@@ -1,0 +1,1 @@
+bench/ablations.ml: Aging Array Circuit Device Float Flow Ivc Leakage List Logic Nbti Physics Printf Sta Sys

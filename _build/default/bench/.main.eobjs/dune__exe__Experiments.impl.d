@@ -1,0 +1,1 @@
+bench/experiments.ml: Aging Array Cell Circuit Device Flow Format Hashtbl Ivc List Nbti Physics Printf Sleep Thermal Variation

@@ -1,0 +1,1 @@
+bench/extensions.ml: Aging Array Cell Circuit Device Flow Format Ivc Leakage List Logic Mitigation Nbti Physics Power Printf Sequential Sram Sta Thermal Variation

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Experiments Extensions Format List Perf Sys

@@ -1,0 +1,461 @@
+(* One reproduction per table and figure of the paper's evaluation.
+
+   Each [figN]/[tableN] function regenerates the corresponding result with
+   the paper's workload and parameters and prints it as an aligned table
+   (figures print their series as x/column data). EXPERIMENTS.md records
+   the paper-vs-measured comparison produced by this harness. *)
+
+let tech = Device.Tech.ptm_90nm
+let params = Nbti.Rd_model.default_params
+let ten_years = Physics.Units.ten_years
+let cond = Nbti.Vth_shift.nominal_pmos tech
+
+let sched ?(ras = (1.0, 9.0)) ?(t_active = 400.0) ?(t_standby = 330.0) ?(active_duty = 0.5)
+    ?(standby_duty = 1.0) () =
+  Nbti.Schedule.active_standby ~ras ~t_active ~t_standby ~active_duty ~standby_duty ()
+
+let dvth_at schedule time = Nbti.Vth_shift.dvth params tech cond ~schedule ~time
+
+let prepared_cache : (string, Flow.Platform.prepared) Hashtbl.t = Hashtbl.create 8
+
+let prepare ?aging name =
+  let cfg = Flow.Platform.default_config ?aging () in
+  let key = name in
+  match (aging, Hashtbl.find_opt prepared_cache key) with
+  | None, Some p -> (cfg, p)
+  | _ ->
+    let p = Flow.Platform.prepare cfg (Circuit.Generators.by_name name) in
+    if aging = None then Hashtbl.replace prepared_cache key p;
+    (cfg, p)
+
+(* --- Fig. 1: conceptual DC vs AC V_th degradation --- *)
+
+let fig1 () =
+  let tau = 1000.0 and c = 0.5 and cycles = 6 in
+  let ac =
+    Nbti.Vth_shift.trace_cycles params tech cond ~temp_k:400.0 ~tau ~c ~cycles ~points_per_phase:5
+  in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun (t, v) ->
+           let dc = Nbti.Vth_shift.dvth_dc_ref params tech cond ~time:t in
+           (t, [ dc *. 1e3; v *. 1e3 ]))
+         ac)
+  in
+  Flow.Report.print
+    (Flow.Report.series
+       ~title:
+         "Fig. 1 - PMOS dVth under DC vs AC stress (mV; T=400K, tau=1000s, duty 0.5):\n\
+          the AC sawtooth recovers inside every cycle and its envelope stays below DC"
+       ~x_label:"time[s]" ~y_labels:[ "DC"; "AC" ] rows)
+
+(* --- Fig. 2: thermal profile of a random task set --- *)
+
+let fig2 () =
+  let model = Thermal.Rc_model.default in
+  let rng = Physics.Rng.create ~seed:2007 in
+  let tasks = Thermal.Workload.random_tasks ~rng ~n:12 () in
+  let trace =
+    Thermal.Rc_model.simulate model ~t0:(Thermal.Rc_model.steady_state model ~power:60.0)
+      ~powers:(Thermal.Workload.power_trace tasks) ~dt:30.0
+  in
+  let rows =
+    Array.to_list (Array.map (fun (t, temp) -> (t, [ Physics.Units.celsius_of_kelvin temp ])) trace)
+  in
+  Flow.Report.print
+    (Flow.Report.series
+       ~title:
+         "Fig. 2 - die temperature running a 12-task set (10-130 W random powers,\n\
+          air-cooled lumped-RC package; the paper's 60-110 C processor band)"
+       ~x_label:"time[s]" ~y_labels:[ "T[degC]" ] rows);
+  let lo, hi =
+    Physics.Stats.min_max (Array.map (fun (_, temp) -> Physics.Units.celsius_of_kelvin temp) trace)
+  in
+  Format.printf "  temperature range: %.1f .. %.1f degC (paper: ~60 .. 110 degC)@.@." lo hi
+
+(* --- Fig. 3: dVth vs time for different RAS --- *)
+
+let fig3 () =
+  let times = Physics.Numerics.logspace ~lo:1e5 ~hi:3e8 ~n:13 in
+  let variants =
+    [
+      ("400K,1:1", sched ~ras:(1.0, 1.0) ~t_standby:400.0 ());
+      ("330K,1:1", sched ~ras:(1.0, 1.0) ());
+      ("330K,1:5", sched ~ras:(1.0, 5.0) ());
+      ("330K,1:9", sched ~ras:(1.0, 9.0) ());
+    ]
+  in
+  let rows =
+    Array.to_list
+      (Array.map (fun t -> (t, List.map (fun (_, s) -> dvth_at s t *. 1e3) variants)) times)
+  in
+  Flow.Report.print
+    (Flow.Report.series
+       ~title:
+         "Fig. 3 - dVth (mV) vs time for different active:standby ratios\n\
+          (T_active=400K, active SP 0.5, standby input 0 = worst case;\n\
+          the T_standby=400K curve sits on top, cooler standby lowers the shift)"
+       ~x_label:"time[s]"
+       ~y_labels:(List.map fst variants)
+       rows)
+
+(* --- Fig. 4: dVth vs time for different T_standby --- *)
+
+let fig4 () =
+  let times = Physics.Numerics.logspace ~lo:1e5 ~hi:3e8 ~n:13 in
+  let temps = [ 330.0; 350.0; 370.0; 400.0 ] in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun t ->
+           (t, List.map (fun temp -> dvth_at (sched ~ras:(1.0, 5.0) ~t_standby:temp ()) t *. 1e3) temps))
+         times)
+  in
+  Flow.Report.print
+    (Flow.Report.series
+       ~title:"Fig. 4 - dVth (mV) vs time for different standby temperatures (RAS 1:5)"
+       ~x_label:"time[s]"
+       ~y_labels:(List.map (fun t -> Printf.sprintf "%.0fK" t) temps)
+       rows)
+
+(* --- Table 1: dVth at 10 years, RAS x T_standby grid --- *)
+
+let table1 () =
+  let ras_list = [ ("9:1", (9.0, 1.0)); ("1:1", (1.0, 1.0)); ("1:5", (1.0, 5.0)); ("1:9", (1.0, 9.0)) ] in
+  let temps = [ 330.0; 350.0; 370.0; 400.0 ] in
+  let rows =
+    List.map
+      (fun (label, ras) ->
+        label
+        :: List.map
+             (fun t -> Flow.Report.cell_mv (dvth_at (sched ~ras ~t_standby:t ()) ten_years))
+             temps)
+      ras_list
+  in
+  Flow.Report.print
+    {
+      Flow.Report.title =
+        "Table 1 - dVth (mV) after 10 years under different RAS and T_standby\n\
+         (T_active=400K, active SP 0.5, standby stress; paper: shift grows with\n\
+         standby share at 400K, shrinks at 330K, is RAS-insensitive near 370K)";
+      header = "RAS" :: List.map (fun t -> Printf.sprintf "T_stby=%.0fK" t) temps;
+      rows;
+    };
+  let gap =
+    dvth_at (sched ~ras:(1.0, 9.0) ~t_standby:400.0 ()) ten_years
+    -. dvth_at (sched ~ras:(1.0, 9.0) ~t_standby:330.0 ()) ten_years
+  in
+  Format.printf "  largest 400K-330K gap (at RAS 1:9): %.1f mV (paper: 9.4 mV; same structure,\n\
+                 \  our global calibration roughly doubles absolute shifts)@.@."
+    (gap *. 1e3)
+
+(* --- Fig. 5: device dVth vs c432 circuit degradation over time --- *)
+
+let fig5 () =
+  let cfg, p = prepare "c432" in
+  let times = Physics.Numerics.logspace ~lo:1e6 ~hi:3e8 ~n:8 in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun time ->
+           let aging = { cfg.Flow.Platform.aging with Aging.Circuit_aging.time = time } in
+           let a =
+             Aging.Circuit_aging.analyze aging (Flow.Platform.netlist p)
+               ~node_sp:(Flow.Platform.node_sp p) ~standby:Aging.Circuit_aging.Standby_all_stressed ()
+           in
+           let device_pct =
+             dvth_at (sched ~ras:(1.0, 9.0) ()) time /. tech.Device.Tech.vth_p *. 100.0
+           in
+           (time, [ device_pct; a.Aging.Circuit_aging.degradation *. 100.0 ]))
+         times)
+  in
+  Flow.Report.print
+    (Flow.Report.series
+       ~title:
+         "Fig. 5 - PMOS dVth (% of Vth0) vs c432 circuit delay degradation (%)\n\
+          over time (RAS 1:9, T_standby=330K; circuit % is well below device %)"
+       ~x_label:"time[s]" ~y_labels:[ "device dVth%"; "c432 delay%" ] rows)
+
+(* --- Table 2: per-vector leakage and NBTI delay degradation --- *)
+
+let table2 () =
+  let gate_rows cell =
+    let lut = Cell.Cell_leakage.build_lut tech cell ~temp_k:400.0 in
+    let n = cell.Cell.Stdcell.n_inputs in
+    let schedule = sched ~ras:(1.0, 9.0) () in
+    let load = Cell.Cell_delay.fo4_load tech cell in
+    let fresh = Cell.Cell_delay.fresh_delay tech cell ~load ~temp_k:400.0 in
+    List.init (1 lsl n) (fun idx ->
+        let v = Cell.Stdcell.vector_of_index ~n_inputs:n idx in
+        let leak = Cell.Cell_leakage.lookup lut v in
+        (* Delay degradation when this vector is held through standby,
+           active SP 0.5 on every input. *)
+        let duties = Cell.Cell_nbti.stress_duties cell ~sp:(Array.make n 0.5) ~standby_vector:v in
+        let factor = Nbti.Degradation.gate_degradation params tech ~schedule ~stress_duties:duties ~time:ten_years in
+        let aged = fresh *. (1.0 +. factor) in
+        [
+          cell.Cell.Stdcell.name;
+          Flow.Report.vector_string v;
+          Flow.Report.cell_si ~unit:"A" leak;
+          Flow.Report.cell_ps fresh;
+          Flow.Report.cell_ps aged;
+          Flow.Report.cell_pct factor;
+        ])
+  in
+  Flow.Report.print
+    {
+      Flow.Report.title =
+        "Table 2 - leakage (400K) and 10-year NBTI delay degradation per standby\n\
+         input vector (RAS 1:9, T_active=400K, T_standby=330K, active SP 0.5).\n\
+         NOR family: the min-leakage vector (all 1) is also the best NBTI vector;\n\
+         NAND/INV: the min-leakage vector (all 0) is the worst NBTI vector";
+      header = [ "cell"; "vector"; "leakage"; "fresh[ps]"; "aged[ps]"; "dDelay[%]" ];
+      rows =
+        gate_rows (Cell.Stdcell.nor_ 2)
+        @ gate_rows (Cell.Stdcell.nor_ 3)
+        @ gate_rows Cell.Stdcell.inv
+        @ gate_rows (Cell.Stdcell.nand_ 2);
+    }
+
+(* --- Table 3: IVC impact across the benchmark suite --- *)
+
+let table3_circuits = [ "c17"; "c432"; "c499"; "c880"; "c1355"; "c1908" ]
+
+let table3 () =
+  let aging = Aging.Circuit_aging.default_config ~ras:(1.0, 5.0) () in
+  let rows =
+    List.map
+      (fun name ->
+        let cfg, p = prepare ~aging name in
+        let rng = Physics.Rng.create ~seed:(Hashtbl.hash name) in
+        let result, stats = Flow.Platform.optimize_ivc cfg p ~rng () in
+        let worst =
+          Aging.Circuit_aging.analyze aging (Flow.Platform.netlist p)
+            ~node_sp:(Flow.Platform.node_sp p) ~standby:Aging.Circuit_aging.Standby_all_stressed ()
+        in
+        [
+          name;
+          string_of_int (List.length result.Ivc.Co_opt.all);
+          Flow.Report.cell_si ~unit:"A" result.Ivc.Co_opt.best.Ivc.Co_opt.leakage;
+          Flow.Report.cell_pct result.Ivc.Co_opt.best.Ivc.Co_opt.degradation;
+          Flow.Report.cell_pct result.Ivc.Co_opt.spread;
+          Flow.Report.cell_pct worst.Aging.Circuit_aging.degradation;
+          string_of_int stats.Ivc.Mlv.evaluations;
+        ])
+      table3_circuits
+  in
+  Flow.Report.print
+    {
+      Flow.Report.title =
+        "Table 3 - IVC impact on circuit performance degradation (RAS 1:5,\n\
+         T_standby=330K, 10 years; MLV set within 4% leakage, Fig. 7 search).\n\
+         Paper: best-MLV degradation ~4.3% of delay on average; MLV-to-MLV\n\
+         spread ('MLV diff') ~0.14% - IVC alone is a weak NBTI lever";
+      header =
+        [ "circuit"; "MLVs"; "leakage"; "best dDelay[%]"; "MLV diff[%]"; "worst-case[%]"; "evals" ];
+      rows;
+    }
+
+(* --- Table 4: internal node control potential --- *)
+
+let table4_circuits = [ "c17"; "c432"; "c499"; "c880"; "c1355"; "c1908"; "c2670" ]
+
+let table4 () =
+  let temps = [| 330.0; 350.0; 370.0; 400.0 |] in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let aging = Aging.Circuit_aging.default_config () in
+        let cfg, p = prepare ~aging name in
+        ignore cfg;
+        let sweep =
+          Ivc.Internal_node.sweep_standby_temperature aging (Flow.Platform.netlist p)
+            ~node_sp:(Flow.Platform.node_sp p) ~temps
+        in
+        Array.to_list
+          (Array.map
+             (fun (t, pot) ->
+               [
+                 name;
+                 Printf.sprintf "%.0f" t;
+                 Flow.Report.cell_ps pot.Ivc.Internal_node.fresh_delay;
+                 Flow.Report.cell_pct pot.Ivc.Internal_node.worst_degradation;
+                 Flow.Report.cell_pct pot.Ivc.Internal_node.best_degradation;
+                 Flow.Report.cell_pct pot.Ivc.Internal_node.potential;
+               ])
+             sweep))
+      table4_circuits
+  in
+  Flow.Report.print
+    {
+      Flow.Report.title =
+        "Table 4 - delay degradation under NBTI and the internal-node-control\n\
+         potential (RAS 1:9, 10 years). Paper: worst case rises 4.05% -> 7.35%\n\
+         as T_standby goes 330K -> 400K, best case stays ~3.32%, potential\n\
+         grows 18.1% -> 54.9%";
+      header = [ "circuit"; "T_stby[K]"; "fresh[ps]"; "worst[%]"; "best[%]"; "potential[%]" ];
+      rows;
+    }
+
+(* --- Fig. 8: sleep transistor dVth vs initial Vth and RAS --- *)
+
+let st_ras_list = [ ("9:1", (9.0, 1.0)); ("5:1", (5.0, 1.0)); ("1:1", (1.0, 1.0)); ("1:5", (1.0, 5.0)); ("1:9", (1.0, 9.0)) ]
+let st_vth_list = [ 0.20; 0.25; 0.30; 0.35; 0.40 ]
+
+let fig8 () =
+  let rows =
+    List.map
+      (fun vth_st ->
+        let spec = Sleep.St_sizing.make_spec ~vth_st () in
+        ( vth_st,
+          List.map
+            (fun (_, ras) ->
+              Sleep.St_sizing.dvth_st params spec
+                ~schedule:(Sleep.St_sizing.st_schedule ~ras ())
+                ~time:ten_years
+              *. 1e3)
+            st_ras_list ))
+      st_vth_list
+  in
+  Flow.Report.print
+    (Flow.Report.series
+       ~title:
+         "Fig. 8 - PMOS sleep transistor dVth (mV) after 10 years vs initial Vth\n\
+          and RAS (stressed through active time, recovering in standby; paper\n\
+          corners: 30.3 mV at (0.20V, 9:1), 6.7 mV at (0.40V, 1:9) - we match the\n\
+          ~4.5x corner-to-corner ratio with a ~1.6x higher absolute calibration)"
+       ~x_label:"Vth0[V]"
+       ~y_labels:(List.map (fun (l, _) -> "RAS " ^ l) st_ras_list)
+       rows)
+
+(* --- Fig. 9: ST upsizing vs initial Vth and RAS --- *)
+
+let fig9 () =
+  let rows =
+    List.map
+      (fun vth_st ->
+        let spec = Sleep.St_sizing.make_spec ~vth_st () in
+        ( vth_st,
+          List.map
+            (fun (_, ras) ->
+              let dvth =
+                Sleep.St_sizing.dvth_st params spec
+                  ~schedule:(Sleep.St_sizing.st_schedule ~ras ())
+                  ~time:ten_years
+              in
+              Sleep.St_sizing.upsize_fraction spec ~dvth *. 100.0)
+            st_ras_list ))
+      st_vth_list
+  in
+  Flow.Report.print
+    (Flow.Report.series
+       ~title:
+         "Fig. 9 - NBTI-aware ST upsizing d(W/L)/(W/L) (%) vs initial Vth and RAS\n\
+          (eq. 31; paper corners: 3.94% at (0.20V, 9:1), 1.13% at (0.40V, 1:9))"
+       ~x_label:"Vth0[V]"
+       ~y_labels:(List.map (fun (l, _) -> "RAS " ^ l) st_ras_list)
+       rows)
+
+(* --- Fig. 11: c432 degradation with and without ST insertion --- *)
+
+let fig11 () =
+  let rows = ref [] in
+  List.iter
+    (fun t_standby ->
+      let aging = Aging.Circuit_aging.default_config ~t_standby () in
+      let _, p = prepare ~aging "c432" in
+      let net = Flow.Platform.netlist p and sp = Flow.Platform.node_sp p in
+      let no_st = Sleep.St_insertion.without_st aging net ~node_sp:sp in
+      rows :=
+        [ "no ST"; Printf.sprintf "%.0f" t_standby; "-"; Flow.Report.cell_pct no_st ] :: !rows;
+      List.iter
+        (fun beta ->
+          let r =
+            Sleep.St_insertion.analyze aging net ~node_sp:sp
+              ~style:Sleep.St_insertion.Footer_and_header ~beta ()
+          in
+          rows :=
+            [
+              Printf.sprintf "ST beta=%.0f%%" (beta *. 100.0);
+              Printf.sprintf "%.0f" t_standby;
+              Flow.Report.cell_pct r.Sleep.St_insertion.st_penalty_aged;
+              Flow.Report.cell_pct r.Sleep.St_insertion.total_degradation;
+            ]
+            :: !rows)
+        [ 0.05; 0.03; 0.01 ])
+    [ 330.0; 400.0 ];
+  Flow.Report.print
+    {
+      Flow.Report.title =
+        "Fig. 11 - c432 10-year degradation with/without sleep transistor insertion\n\
+         (footer+header, NBTI-aware sizing; RAS 1:9). Paper: without ST the worst\n\
+         case is 3.87% (330K) to 7.31% (400K); with ST only active-mode aging\n\
+         remains, so at hot standby a beta<=3% ST yields a FASTER 10-year circuit";
+      header = [ "config"; "T_stby[K]"; "ST penalty@10y[%]"; "total deg vs fresh[%]" ];
+      rows = List.rev !rows;
+    }
+
+(* --- Fig. 12: process variation + aging delay distribution --- *)
+
+let fig12 () =
+  let aging = Aging.Circuit_aging.default_config ~t_standby:400.0 () in
+  let _, p = prepare ~aging "c880" in
+  let net = Flow.Platform.netlist p and sp = Flow.Platform.node_sp p in
+  let horizons = [ ("fresh", 1.0); ("1 year", Physics.Units.years 1.0); ("3 years", Physics.Units.years 3.0); ("10 years", ten_years) ] in
+  let rows =
+    List.map
+      (fun (label, time) ->
+        let cfg = Variation.Process_var.default_config ~n_samples:200 { aging with Aging.Circuit_aging.time } in
+        let s =
+          Variation.Process_var.run cfg net ~node_sp:sp
+            ~standby:Aging.Circuit_aging.Standby_all_stressed ~rng:(Physics.Rng.create ~seed:12)
+        in
+        let which = if label = "fresh" then s.Variation.Process_var.fresh else s.Variation.Process_var.aged in
+        let lo, hi =
+          if label = "fresh" then s.Variation.Process_var.fresh_3sigma else s.Variation.Process_var.aged_3sigma
+        in
+        [
+          label;
+          Flow.Report.cell_ps which.Physics.Stats.mean;
+          Flow.Report.cell_ps which.Physics.Stats.stddev;
+          Flow.Report.cell_ps lo;
+          Flow.Report.cell_ps hi;
+          Printf.sprintf "%.3f" (which.Physics.Stats.stddev /. which.Physics.Stats.mean *. 100.0);
+        ])
+      horizons
+  in
+  Flow.Report.print
+    {
+      Flow.Report.title =
+        "Fig. 12 - c880 delay distribution under 15 mV Vth variation and NBTI\n\
+         (200 Monte-Carlo samples, worst-case standby @400K). Paper: the mean\n\
+         grows while sigma shrinks (fast low-Vth gates age hardest), and the aged\n\
+         -3sigma bound passes the fresh +3sigma bound";
+      header = [ "stress"; "mean[ps]"; "sigma[ps]"; "-3sig[ps]"; "+3sig[ps]"; "sigma/mean[%]" ];
+      rows;
+    };
+  let cfg10 = Variation.Process_var.default_config ~n_samples:200 aging in
+  let s =
+    Variation.Process_var.run cfg10 net ~node_sp:sp
+      ~standby:Aging.Circuit_aging.Standby_all_stressed ~rng:(Physics.Rng.create ~seed:12)
+  in
+  Format.printf "  10-year crossover (aged -3sigma > fresh +3sigma): %b (paper: yes, at 3 years)@.@."
+    (Variation.Process_var.crossover s)
+
+let all : (string * string * (unit -> unit)) list =
+  [
+    ("fig1", "DC vs AC stress trace", fig1);
+    ("fig2", "thermal profile of a task set", fig2);
+    ("fig3", "dVth vs time per RAS", fig3);
+    ("fig4", "dVth vs time per T_standby", fig4);
+    ("table1", "dVth grid RAS x T_standby", table1);
+    ("fig5", "device vs c432 circuit degradation", fig5);
+    ("table2", "per-vector leakage and NBTI delay", table2);
+    ("table3", "IVC impact across benchmarks", table3);
+    ("table4", "internal node control potential", table4);
+    ("fig8", "sleep transistor dVth", fig8);
+    ("fig9", "NBTI-aware ST upsizing", fig9);
+    ("fig11", "c432 with/without ST", fig11);
+    ("fig12", "variation + aging distribution", fig12);
+  ]

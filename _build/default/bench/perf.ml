@@ -1,0 +1,205 @@
+(* Bechamel wall-clock suite: one Test.make per experiment kernel, so the
+   cost of each table/figure regeneration is tracked. *)
+
+open Bechamel
+open Toolkit
+
+let tech = Device.Tech.ptm_90nm
+let params = Nbti.Rd_model.default_params
+let ten_years = Physics.Units.ten_years
+let cond = Nbti.Vth_shift.nominal_pmos tech
+
+let worst_schedule =
+  Nbti.Schedule.active_standby ~ras:(1.0, 9.0) ~t_active:400.0 ~t_standby:330.0 ~active_duty:0.5
+    ~standby_duty:1.0 ()
+
+let c432 = lazy (Circuit.Generators.by_name "c432")
+
+let c432_sp =
+  lazy
+    (let net = Lazy.force c432 in
+     Logic.Signal_prob.analytic net ~input_sp:(Logic.Signal_prob.uniform_inputs net 0.5))
+
+let c432_tables = lazy (Leakage.Circuit_leakage.build_tables tech (Lazy.force c432) ~temp_k:400.0)
+
+(* Kernels, named after the experiment they power. *)
+
+let t_dvth =
+  Test.make ~name:"fig3/4+table1: temperature-aware dVth eval"
+    (Staged.stage (fun () ->
+         ignore (Nbti.Vth_shift.dvth params tech cond ~schedule:worst_schedule ~time:ten_years)))
+
+let t_sn_recursion =
+  Test.make ~name:"ablation2: S_n recursion (n=10000)"
+    (Staged.stage (fun () -> ignore (Nbti.Ac_stress.s_n_exact ~c:0.5 ~n:10_000)))
+
+let t_trace =
+  Test.make ~name:"fig1: within-cycle stress/recovery trace"
+    (Staged.stage (fun () ->
+         ignore
+           (Nbti.Vth_shift.trace_cycles params tech cond ~temp_k:400.0 ~tau:1000.0 ~c:0.5 ~cycles:6
+              ~points_per_phase:5)))
+
+let t_thermal =
+  Test.make ~name:"fig2: RC thermal simulation of a task set"
+    (Staged.stage (fun () ->
+         let rng = Physics.Rng.create ~seed:2007 in
+         let tasks = Thermal.Workload.random_tasks ~rng ~n:12 () in
+         ignore
+           (Thermal.Rc_model.simulate Thermal.Rc_model.default ~t0:350.0
+              ~powers:(Thermal.Workload.power_trace tasks) ~dt:30.0)))
+
+let t_lut =
+  Test.make ~name:"table2: leakage LUT build (NOR3, stack solver)"
+    (Staged.stage (fun () ->
+         ignore (Cell.Cell_leakage.build_lut tech (Cell.Stdcell.nor_ 3) ~temp_k:400.0)))
+
+let t_generate =
+  Test.make ~name:"substrate: c432-profile netlist generation"
+    (Staged.stage (fun () ->
+         ignore
+           (Circuit.Generators.random_dag
+              (List.find
+                 (fun p -> p.Circuit.Generators.name = "c432")
+                 Circuit.Generators.iscas85_profiles))))
+
+let t_logic_sim =
+  Test.make ~name:"flow: 64-vector bit-parallel c432 simulation"
+    (Staged.stage (fun () ->
+         let net = Lazy.force c432 in
+         let n_pi = Circuit.Netlist.n_primary_inputs net in
+         ignore (Logic.Eval.eval_packed net ~inputs:(Array.make n_pi 0x5555_5555_5555_5555L))))
+
+let t_sp =
+  Test.make ~name:"flow: analytic signal probabilities on c432"
+    (Staged.stage (fun () ->
+         let net = Lazy.force c432 in
+         ignore
+           (Logic.Signal_prob.analytic net ~input_sp:(Logic.Signal_prob.uniform_inputs net 0.5))))
+
+let t_sta =
+  Test.make ~name:"table4: fresh STA pass on c432"
+    (Staged.stage (fun () -> ignore (Sta.Timing.fresh tech (Lazy.force c432) ~temp_k:400.0 ())))
+
+let t_aging =
+  Test.make ~name:"fig5/11+table3/4: full aging analysis of c432"
+    (Staged.stage (fun () ->
+         let aging = Aging.Circuit_aging.default_config () in
+         ignore
+           (Aging.Circuit_aging.analyze aging (Lazy.force c432) ~node_sp:(Lazy.force c432_sp)
+              ~standby:Aging.Circuit_aging.Standby_all_stressed ())))
+
+let t_mlv =
+  Test.make ~name:"table3: one probability-based MLV round on c432"
+    (Staged.stage (fun () ->
+         ignore
+           (Ivc.Mlv.probability_based (Lazy.force c432_tables) (Lazy.force c432)
+              ~rng:(Physics.Rng.create ~seed:4) ~pool:16 ~max_rounds:1 ())))
+
+let t_leakage =
+  Test.make ~name:"table3: standby leakage evaluation on c432"
+    (Staged.stage (fun () ->
+         let net = Lazy.force c432 in
+         ignore
+           (Leakage.Circuit_leakage.standby_leakage (Lazy.force c432_tables) net
+              ~vector:(Array.make (Circuit.Netlist.n_primary_inputs net) false))))
+
+let t_variation_sample =
+  Test.make ~name:"fig12: one Monte-Carlo variation sample on c432"
+    (Staged.stage
+       (let rng = Physics.Rng.create ~seed:12 in
+        fun () ->
+          let aging = Aging.Circuit_aging.default_config () in
+          let config = Variation.Process_var.default_config ~n_samples:2 aging in
+          ignore
+            (Variation.Process_var.run config (Lazy.force c432) ~node_sp:(Lazy.force c432_sp)
+               ~standby:Aging.Circuit_aging.Standby_all_stressed ~rng)))
+
+let t_st_sizing =
+  Test.make ~name:"fig8/9: NBTI-aware ST sizing point"
+    (Staged.stage (fun () ->
+         let spec = Sleep.St_sizing.make_spec ~vth_st:0.25 () in
+         let dvth =
+           Sleep.St_sizing.dvth_st params spec ~schedule:(Sleep.St_sizing.st_schedule ())
+             ~time:ten_years
+         in
+         ignore (Sleep.St_sizing.wl_nbti_aware spec ~i_on:1e-3 ~dvth)))
+
+let t_slope_sta =
+  Test.make ~name:"ablation6: slope-resolved STA pass on c432"
+    (Staged.stage (fun () ->
+         ignore
+           (Sta.Timing.analyze_slopes tech (Lazy.force c432) ~temp_k:400.0
+              ~stage_dvth:Sta.Timing.no_aging ())))
+
+let t_snm =
+  Test.make ~name:"ext8: butterfly SNM extraction (Seevinck)"
+    (Staged.stage
+       (let cell = Sram.Cell6t.make () in
+        fun () ->
+          ignore
+            (Sram.Cell6t.static_noise_margin cell ~dvth_left:0.02 ~dvth_right:0.0 ~temp_k:400.0
+               ~mode:`Read)))
+
+let t_seq_sp =
+  Test.make ~name:"ext10: sequential SP fixed point (counter16)"
+    (Staged.stage
+       (let c = Sequential.counter ~bits:16 in
+        fun () -> ignore (Sequential.steady_state_sp c ~input_sp:[| 0.5 |] ())))
+
+let t_activity =
+  Test.make ~name:"ext9: 64-pair activity estimation on c432"
+    (Staged.stage
+       (let rng = Physics.Rng.create ~seed:9 in
+        fun () ->
+          let net = Lazy.force c432 in
+          ignore
+            (Logic.Activity.monte_carlo net ~rng
+               ~input_sp:(Logic.Signal_prob.uniform_inputs net 0.5) ~n_pairs:64)))
+
+let t_grid =
+  Test.make ~name:"ext7: 4x4 thermal grid steady state"
+    (Staged.stage
+       (let g = Thermal.Grid.create () in
+        let p = Array.make (Thermal.Grid.n_blocks g) 6.0 in
+        fun () -> ignore (Thermal.Grid.steady_state g ~powers:p)))
+
+let t_liberty =
+  Test.make ~name:"interop: Liberty render of the full library"
+    (Staged.stage (fun () ->
+         ignore (Cell.Liberty.to_string tech (Cell.Characterize.library_characterization tech ()))))
+
+let t_verilog =
+  Test.make ~name:"interop: Verilog render of c432"
+    (Staged.stage (fun () -> ignore (Circuit.Verilog.to_string (Lazy.force c432))))
+
+let tests =
+  Test.make_grouped ~name:"nbti-repro"
+    [
+      t_dvth; t_sn_recursion; t_trace; t_thermal; t_lut; t_generate; t_logic_sim; t_sp; t_sta;
+      t_aging; t_mlv; t_leakage; t_variation_sample; t_st_sizing; t_slope_sta; t_snm; t_seq_sp;
+      t_activity; t_grid; t_liberty; t_verilog;
+    ]
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let per_instance = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  Analyze.merge ols instances per_instance
+
+let run () =
+  Format.printf "Bechamel wall-clock suite (monotonic clock, ns/run):@.@.";
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun measure by_test ->
+      if measure = Measure.label Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun name result ->
+            match Bechamel.Analyze.OLS.estimates result with
+            | Some [ est ] -> Format.printf "  %-55s %12.1f ns/run@." name est
+            | _ -> Format.printf "  %-55s (no estimate)@." name)
+          by_test)
+    results;
+  Format.printf "@."

@@ -1,0 +1,435 @@
+(* nbti_tool: command-line front end to the NBTI/leakage platform.
+
+   Subcommands mirror the Fig. 6 flow: load or generate a netlist, derive
+   signal probabilities, analyze fresh/aged timing and leakage, and run the
+   two standby optimizations (IVC, sleep transistor insertion). *)
+
+open Cmdliner
+
+(* --- shared arguments --- *)
+
+let netlist_conv =
+  let parse s =
+    if Sys.file_exists s then
+      try Ok (Circuit.Bench_io.parse_file s) with Failure m -> Error (`Msg m)
+    else begin
+      try Ok (Circuit.Generators.by_name s)
+      with Not_found ->
+        Error (`Msg (Printf.sprintf "%s: neither a .bench file nor a known benchmark name" s))
+    end
+  in
+  Arg.conv (parse, fun fmt t -> Format.fprintf fmt "%s" t.Circuit.Netlist.name)
+
+let netlist_arg =
+  let doc = "Circuit: an ISCAS85 benchmark name (c17, c432, ... c7552) or a .bench file path." in
+  Arg.(required & pos 0 (some netlist_conv) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let ras_arg =
+  let doc = "Active:standby time ratio, e.g. 1:9." in
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ a; b ] -> begin
+      match (float_of_string_opt a, float_of_string_opt b) with
+      | Some a, Some b when a > 0.0 && b >= 0.0 -> Ok (a, b)
+      | _ -> Error (`Msg "RAS must be two positive numbers A:S")
+    end
+    | _ -> Error (`Msg "RAS must look like 1:9")
+  in
+  let ras_conv = Arg.conv (parse, fun fmt (a, b) -> Format.fprintf fmt "%g:%g" a b) in
+  Arg.(value & opt ras_conv (1.0, 9.0) & info [ "ras" ] ~docv:"A:S" ~doc)
+
+let t_active_arg =
+  Arg.(value & opt float 400.0 & info [ "t-active" ] ~docv:"K" ~doc:"Active-mode die temperature [K].")
+
+let t_standby_arg =
+  Arg.(value & opt float 330.0 & info [ "t-standby" ] ~docv:"K" ~doc:"Standby-mode die temperature [K].")
+
+let years_arg =
+  Arg.(value & opt float 10.0 & info [ "years" ] ~docv:"Y" ~doc:"Operation time in years.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let standby_arg =
+  let doc =
+    "Standby state: 'worst' (all internal nodes 0), 'best' (all 1), or a 0/1 string applied to \
+     the primary inputs."
+  in
+  Arg.(value & opt string "worst" & info [ "standby" ] ~docv:"STATE" ~doc)
+
+let aging_config ras t_active t_standby years =
+  Aging.Circuit_aging.default_config ~ras ~t_active ~t_standby ~time:(Physics.Units.years years) ()
+
+let standby_state net = function
+  | "worst" -> Ok Aging.Circuit_aging.Standby_all_stressed
+  | "best" -> Ok Aging.Circuit_aging.Standby_all_relaxed
+  | bits ->
+    let n = Circuit.Netlist.n_primary_inputs net in
+    if String.length bits <> n then
+      Error (Printf.sprintf "standby vector must have %d bits" n)
+    else if String.exists (fun c -> c <> '0' && c <> '1') bits then
+      Error "standby vector must be a 0/1 string"
+    else Ok (Aging.Circuit_aging.Standby_vector (Array.init n (fun i -> bits.[i] = '1')))
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run net =
+    Format.printf "%a@." Circuit.Netlist.pp_stats (Circuit.Netlist.stats net);
+    let levels = Circuit.Netlist.levels net in
+    let fanout = Circuit.Netlist.fanout net in
+    let max_fanout = Array.fold_left (fun acc f -> Stdlib.max acc (Array.length f)) 0 fanout in
+    Format.printf "max logic level: %d, max fanout: %d@."
+      (Array.fold_left Stdlib.max 0 levels)
+      max_fanout
+  in
+  let term = Term.(const run $ netlist_arg) in
+  Cmd.v (Cmd.info "stats" ~doc:"Print netlist statistics.") term
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let run net ras t_active t_standby years standby =
+    match standby_state net standby with
+    | Error m ->
+      prerr_endline m;
+      exit 1
+    | Ok standby ->
+      let aging = aging_config ras t_active t_standby years in
+      let cfg = Flow.Platform.default_config ~aging () in
+      let p = Flow.Platform.prepare cfg net in
+      let a = Flow.Platform.analyze cfg p ~standby in
+      Flow.Report.print
+        {
+          Flow.Report.title =
+            Printf.sprintf "NBTI/leakage analysis of %s (RAS %g:%g, %g/%g K, %g years)"
+              net.Circuit.Netlist.name (fst ras) (snd ras) t_active t_standby years;
+          header = [ "metric"; "value" ];
+          rows =
+            [
+              [ "gates"; string_of_int a.Flow.Platform.stats.Circuit.Netlist.n_gates ];
+              [ "fresh delay"; Flow.Report.cell_ps a.Flow.Platform.fresh_delay ^ " ps" ];
+              [ "aged delay"; Flow.Report.cell_ps a.Flow.Platform.aged_delay ^ " ps" ];
+              [ "degradation"; Flow.Report.cell_pct a.Flow.Platform.degradation ^ " %" ];
+              [ "max dVth"; Flow.Report.cell_mv a.Flow.Platform.max_dvth ^ " mV" ];
+              [ "standby leakage"; Flow.Report.cell_si ~unit:"A" a.Flow.Platform.standby_leakage ];
+              [ "active leakage"; Flow.Report.cell_si ~unit:"A" a.Flow.Platform.active_leakage ];
+            ];
+        }
+  in
+  let term =
+    Term.(const run $ netlist_arg $ ras_arg $ t_active_arg $ t_standby_arg $ years_arg $ standby_arg)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Fresh vs aged timing and leakage for a standby state.") term
+
+(* --- ivc --- *)
+
+let ivc_cmd =
+  let pool_arg =
+    Arg.(value & opt int 64 & info [ "pool" ] ~docv:"N" ~doc:"Vectors per search round.")
+  in
+  let run net ras t_active t_standby years seed pool =
+    let aging = aging_config ras t_active t_standby years in
+    let cfg = Flow.Platform.default_config ~aging () in
+    let p = Flow.Platform.prepare cfg net in
+    let result, stats =
+      Flow.Platform.optimize_ivc cfg p ~rng:(Physics.Rng.create ~seed) ~pool ()
+    in
+    Format.printf "MLV search: %d evaluations, %d rounds, converged: %b@." stats.Ivc.Mlv.evaluations
+      stats.Ivc.Mlv.rounds stats.Ivc.Mlv.converged;
+    Flow.Report.print
+      {
+        Flow.Report.title =
+          Printf.sprintf "IVC co-optimization on %s (best vector first)" net.Circuit.Netlist.name;
+        header = [ "vector"; "leakage"; "degradation[%]" ];
+        rows =
+          List.map
+            (fun (c : Ivc.Co_opt.choice) ->
+              [
+                Flow.Report.vector_string c.Ivc.Co_opt.vector;
+                Flow.Report.cell_si ~unit:"A" c.Ivc.Co_opt.leakage;
+                Flow.Report.cell_pct c.Ivc.Co_opt.degradation;
+              ])
+            result.Ivc.Co_opt.all;
+      };
+    Format.printf "MLV-to-MLV degradation spread: %s %%@."
+      (Flow.Report.cell_pct result.Ivc.Co_opt.spread)
+  in
+  let term =
+    Term.(
+      const run $ netlist_arg $ ras_arg $ t_active_arg $ t_standby_arg $ years_arg $ seed_arg
+      $ pool_arg)
+  in
+  Cmd.v (Cmd.info "ivc" ~doc:"Search minimum-leakage vectors and co-optimize for NBTI.") term
+
+(* --- st --- *)
+
+let st_cmd =
+  let style_arg =
+    let style_conv =
+      Arg.enum
+        [
+          ("footer", Sleep.St_insertion.Footer);
+          ("header", Sleep.St_insertion.Header);
+          ("both", Sleep.St_insertion.Footer_and_header);
+        ]
+    in
+    Arg.(value & opt style_conv Sleep.St_insertion.Footer_and_header
+        & info [ "style" ] ~docv:"STYLE" ~doc:"footer | header | both.")
+  in
+  let beta_arg =
+    Arg.(value & opt float 0.03 & info [ "beta" ] ~docv:"B" ~doc:"Allowed ST delay penalty (0-1).")
+  in
+  let vth_arg =
+    Arg.(value & opt (some float) None & info [ "vth-st" ] ~docv:"V" ~doc:"Initial ST |Vth| [V].")
+  in
+  let run net ras t_active t_standby years style beta vth_st =
+    let aging = aging_config ras t_active t_standby years in
+    let cfg = Flow.Platform.default_config ~aging () in
+    let p = Flow.Platform.prepare cfg net in
+    let r = Flow.Platform.optimize_st cfg p ~style ~beta ?vth_st () in
+    let no_st =
+      Sleep.St_insertion.without_st aging (Flow.Platform.netlist p) ~node_sp:(Flow.Platform.node_sp p)
+    in
+    Flow.Report.print
+      {
+        Flow.Report.title = Printf.sprintf "Sleep transistor insertion on %s" net.Circuit.Netlist.name;
+        header = [ "metric"; "value" ];
+        rows =
+          [
+            [ "fresh delay (no ST)"; Flow.Report.cell_ps r.Sleep.St_insertion.fresh_delay ^ " ps" ];
+            [ "fresh delay (with ST)"; Flow.Report.cell_ps r.Sleep.St_insertion.fresh_delay_with_st ^ " ps" ];
+            [ "aged delay (with ST)"; Flow.Report.cell_ps r.Sleep.St_insertion.aged_delay_with_st ^ " ps" ];
+            [ "ST dVth @ lifetime"; Flow.Report.cell_mv r.Sleep.St_insertion.st_dvth ^ " mV" ];
+            [ "ST penalty @ lifetime"; Flow.Report.cell_pct r.Sleep.St_insertion.st_penalty_aged ^ " %" ];
+            [ "internal aging"; Flow.Report.cell_pct r.Sleep.St_insertion.internal_degradation ^ " %" ];
+            [ "total vs fresh"; Flow.Report.cell_pct r.Sleep.St_insertion.total_degradation ^ " %" ];
+            [ "no-ST worst case"; Flow.Report.cell_pct no_st ^ " %" ];
+          ];
+      }
+  in
+  let term =
+    Term.(
+      const run $ netlist_arg $ ras_arg $ t_active_arg $ t_standby_arg $ years_arg $ style_arg
+      $ beta_arg $ vth_arg)
+  in
+  Cmd.v (Cmd.info "st" ~doc:"Analyze sleep transistor insertion with NBTI-aware sizing.") term
+
+(* --- dvth --- *)
+
+let dvth_cmd =
+  let duty_arg =
+    Arg.(value & opt float 0.5 & info [ "duty" ] ~docv:"D" ~doc:"Active-mode stress duty (SP of 0).")
+  in
+  let standby_duty_arg =
+    Arg.(value & opt float 1.0 & info [ "standby-duty" ] ~docv:"D" ~doc:"Standby stress duty (1 = input held at 0).")
+  in
+  let run ras t_active t_standby years duty standby_duty =
+    let tech = Device.Tech.ptm_90nm in
+    let params = Nbti.Rd_model.default_params in
+    let schedule =
+      Nbti.Schedule.active_standby ~ras ~t_active ~t_standby ~active_duty:duty
+        ~standby_duty ()
+    in
+    let cond = Nbti.Vth_shift.nominal_pmos tech in
+    let time = Physics.Units.years years in
+    let dv = Nbti.Vth_shift.dvth params tech cond ~schedule ~time in
+    let eq = Nbti.Schedule.equivalent params schedule in
+    Format.printf "schedule: %a@." Nbti.Schedule.pp schedule;
+    Format.printf "equivalent duty cycle c_eq = %.4f, tau_eq = %.4g s@." eq.Nbti.Schedule.c_eq
+      eq.Nbti.Schedule.tau_eq;
+    Format.printf "dVth(%g years) = %s mV -> gate delay degradation %s %%@." years
+      (Flow.Report.cell_mv dv)
+      (Flow.Report.cell_pct (Nbti.Degradation.factor tech ~dvth:dv))
+  in
+  let term =
+    Term.(
+      const run $ ras_arg $ t_active_arg $ t_standby_arg $ years_arg $ duty_arg $ standby_duty_arg)
+  in
+  Cmd.v (Cmd.info "dvth" ~doc:"Evaluate the temperature-aware device dVth for a schedule.") term
+
+(* --- lifetime --- *)
+
+let lifetime_cmd =
+  let margin_arg =
+    Arg.(value & opt float 0.03 & info [ "margin" ] ~docv:"M" ~doc:"Timing guardband as a fraction.")
+  in
+  let run net ras t_active t_standby standby margin =
+    match standby_state net standby with
+    | Error m ->
+      prerr_endline m;
+      exit 1
+    | Ok standby ->
+      let aging = aging_config ras t_active t_standby 10.0 in
+      let sp =
+        Logic.Signal_prob.analytic net ~input_sp:(Logic.Signal_prob.uniform_inputs net 0.5)
+      in
+      (match Aging.Lifetime.solve aging net ~node_sp:sp ~standby ~margin () with
+      | `Lifetime t ->
+        Format.printf "%s stays within a %s %% guardband for %.2f years@."
+          net.Circuit.Netlist.name (Flow.Report.cell_pct margin) (t /. Physics.Units.year)
+      | `Never_fails ->
+        Format.printf "%s never exceeds a %s %% guardband within 30 years@."
+          net.Circuit.Netlist.name (Flow.Report.cell_pct margin)
+      | `Fails_immediately ->
+        Format.printf "%s exceeds a %s %% guardband within the first hour@."
+          net.Circuit.Netlist.name (Flow.Report.cell_pct margin))
+  in
+  let term =
+    Term.(const run $ netlist_arg $ ras_arg $ t_active_arg $ t_standby_arg $ standby_arg $ margin_arg)
+  in
+  Cmd.v
+    (Cmd.info "lifetime" ~doc:"Solve how long a timing guardband lasts under NBTI.")
+    term
+
+(* --- gen --- *)
+
+let gen_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .bench path.")
+  in
+  let run net path =
+    Circuit.Bench_io.write_file net ~path;
+    Format.printf "wrote %s (%d gates) to %s@." net.Circuit.Netlist.name (Circuit.Netlist.n_gates net) path
+  in
+  let term = Term.(const run $ netlist_arg $ out_arg) in
+  Cmd.v (Cmd.info "gen" ~doc:"Write a generated benchmark as a .bench netlist.") term
+
+(* --- lib (Liberty) --- *)
+
+let lib_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .lib path.")
+  in
+  let aged_arg =
+    Arg.(value & flag & info [ "aged" ] ~doc:"Fold the mission profile's worst-case dVth into the delays.")
+  in
+  let run ras t_active t_standby years out aged =
+    let tech = Device.Tech.ptm_90nm in
+    let text =
+      if aged then begin
+        let schedule =
+          Nbti.Schedule.active_standby ~ras ~t_active ~t_standby ~active_duty:0.5 ~standby_duty:1.0 ()
+        in
+        Cell.Liberty.aged_library Nbti.Rd_model.default_params tech ~schedule
+          ~time:(Physics.Units.years years)
+      end
+      else Cell.Liberty.to_string tech (Cell.Characterize.library_characterization tech ())
+    in
+    let oc = open_out out in
+    output_string oc text;
+    close_out oc;
+    Format.printf "wrote %s (%d bytes, %d cells%s)@." out (String.length text)
+      (List.length Cell.Stdcell.library)
+      (if aged then ", aged view" else "")
+  in
+  let term =
+    Term.(const run $ ras_arg $ t_active_arg $ t_standby_arg $ years_arg $ out_arg $ aged_arg)
+  in
+  Cmd.v
+    (Cmd.info "lib" ~doc:"Emit the characterized cell library as Liberty (.lib), fresh or aged.")
+    term
+
+(* --- verilog --- *)
+
+let verilog_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .v path.")
+  in
+  let run net out =
+    Circuit.Verilog.write_file net ~path:out;
+    Format.printf "wrote %s as structural Verilog to %s@." net.Circuit.Netlist.name out
+  in
+  let term = Term.(const run $ netlist_arg $ out_arg) in
+  Cmd.v (Cmd.info "verilog" ~doc:"Write a netlist as gate-level structural Verilog.") term
+
+(* --- seq --- *)
+
+let seq_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"ISCAS89-style .bench with DFF gates.")
+  in
+  let run path ras t_active t_standby years =
+    match (try Ok (Sequential.parse_file path) with Failure m -> Error m) with
+    | Error m ->
+      prerr_endline m;
+      exit 1
+    | Ok s ->
+      Format.printf "%s: %d flops, %d real inputs, %d core gates@." s.Sequential.name
+        (Sequential.n_flops s) (Sequential.n_real_inputs s)
+        (Circuit.Netlist.n_gates s.Sequential.comb);
+      let input_sp = Array.make (Sequential.n_real_inputs s) 0.5 in
+      let sp, sweeps = Sequential.steady_state_sp s ~input_sp () in
+      Format.printf "state signal probabilities converged in %d sweeps@." sweeps;
+      let aging = aging_config ras t_active t_standby years in
+      let a =
+        Aging.Circuit_aging.analyze aging s.Sequential.comb ~node_sp:sp
+          ~standby:Aging.Circuit_aging.Standby_all_stressed ()
+      in
+      Format.printf "core: fresh %s ps, %g-year worst-case degradation %s %%@."
+        (Flow.Report.cell_ps a.Aging.Circuit_aging.fresh.Sta.Timing.max_delay)
+        years
+        (Flow.Report.cell_pct a.Aging.Circuit_aging.degradation)
+  in
+  let term = Term.(const run $ file_arg $ ras_arg $ t_active_arg $ t_standby_arg $ years_arg) in
+  Cmd.v (Cmd.info "seq" ~doc:"Analyze a sequential (DFF) .bench design.") term
+
+(* --- sram --- *)
+
+let sram_cmd =
+  let run ras t_active t_standby years =
+    let cell = Sram.Cell6t.make () in
+    let params = Nbti.Rd_model.default_params in
+    let schedule =
+      Nbti.Schedule.active_standby ~ras ~t_active ~t_standby ~active_duty:0.5 ~standby_duty:1.0 ()
+    in
+    let time = Physics.Units.years years in
+    let fresh =
+      Sram.Cell6t.static_noise_margin cell ~dvth_left:0.0 ~dvth_right:0.0 ~temp_k:t_active
+        ~mode:`Read
+    in
+    let static_ = Sram.Cell6t.snm_after params cell ~schedule ~time ~store_one_fraction:1.0 ~mode:`Read in
+    let flip = Sram.Cell6t.snm_after params cell ~schedule ~time ~store_one_fraction:0.5 ~mode:`Read in
+    Format.printf "6T cell read SNM: fresh %s mV, %g years static %s mV, with bit flipping %s mV@."
+      (Flow.Report.cell_mv fresh.Sram.Cell6t.snm) years
+      (Flow.Report.cell_mv static_.Sram.Cell6t.snm)
+      (Flow.Report.cell_mv flip.Sram.Cell6t.snm);
+    Format.printf "flipping recovers %s %% of the SNM loss@."
+      (Flow.Report.cell_pct
+         (Sram.Cell6t.recovery_from_flipping params cell ~schedule ~time ~mode:`Read))
+  in
+  let term = Term.(const run $ ras_arg $ t_active_arg $ t_standby_arg $ years_arg) in
+  Cmd.v (Cmd.info "sram" ~doc:"6T SRAM read-stability degradation and bit-flipping recovery.") term
+
+(* --- thermal --- *)
+
+let thermal_cmd =
+  let tasks_arg = Arg.(value & opt int 12 & info [ "tasks" ] ~docv:"N" ~doc:"Number of tasks.") in
+  let idle_arg =
+    Arg.(value & opt float 0.5 & info [ "idle-fraction" ] ~docv:"F" ~doc:"Standby share of total time.")
+  in
+  let run n_tasks idle_fraction seed =
+    let rng = Physics.Rng.create ~seed in
+    let model = Thermal.Rc_model.default in
+    let tasks = Thermal.Workload.random_tasks ~rng ~n:n_tasks () in
+    let mixed = Thermal.Workload.with_idle ~rng ~idle_power:8.0 ~idle_fraction tasks in
+    let s = Thermal.Workload.summarize model ~active_threshold:20.0 mixed in
+    let a, st = s.Thermal.Workload.ras in
+    Format.printf "workload: %d tasks + idle, active %.0f s / standby %.0f s (RAS %.2f:%.2f)@."
+      n_tasks s.Thermal.Workload.active_time s.Thermal.Workload.standby_time a st;
+    Format.printf "steady temperatures: T_active = %.1f K (%.1f C), T_standby = %.1f K (%.1f C)@."
+      s.Thermal.Workload.t_active
+      (Physics.Units.celsius_of_kelvin s.Thermal.Workload.t_active)
+      s.Thermal.Workload.t_standby
+      (Physics.Units.celsius_of_kelvin s.Thermal.Workload.t_standby)
+  in
+  let term = Term.(const run $ tasks_arg $ idle_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "thermal" ~doc:"Generate a task-set workload and extract (RAS, T_active, T_standby).")
+    term
+
+let () =
+  let doc = "Temperature-aware NBTI modeling and standby leakage co-optimization." in
+  let info = Cmd.info "nbti_tool" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ stats_cmd; analyze_cmd; ivc_cmd; st_cmd; dvth_cmd; lifetime_cmd; gen_cmd; lib_cmd;
+         verilog_cmd; seq_cmd; sram_cmd; thermal_cmd ]))

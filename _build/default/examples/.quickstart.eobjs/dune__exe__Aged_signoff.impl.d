@@ -1,0 +1,1 @@
+examples/aged_signoff.ml: Aging Array Cell Circuit Device Filename Flow Format List Logic Nbti Physics Sta Sys Unix Variation

@@ -1,0 +1,1 @@
+examples/aged_signoff.mli:

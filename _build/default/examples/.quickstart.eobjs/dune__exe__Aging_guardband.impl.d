@@ -1,0 +1,1 @@
+examples/aging_guardband.ml: Aging Circuit Flow Format List Logic Physics Sta Variation

@@ -1,0 +1,1 @@
+examples/ivc_standby.ml: Aging Circuit Flow Format Ivc List Physics

@@ -1,0 +1,1 @@
+examples/ivc_standby.mli:

@@ -1,0 +1,1 @@
+examples/mitigation_portfolio.ml: Aging Array Circuit Flow Format Ivc Leakage List Logic Mitigation Physics Printf Sleep Sta

@@ -1,0 +1,1 @@
+examples/mitigation_portfolio.mli:

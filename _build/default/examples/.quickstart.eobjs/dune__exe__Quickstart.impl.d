@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aging Circuit Device Flow Format Ivc Nbti Physics

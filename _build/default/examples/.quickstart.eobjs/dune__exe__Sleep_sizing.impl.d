@@ -1,0 +1,1 @@
+examples/sleep_sizing.ml: Aging Circuit Device Flow Format List Logic Nbti Physics Printf Sleep

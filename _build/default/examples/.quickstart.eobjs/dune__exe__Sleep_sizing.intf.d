@@ -1,0 +1,1 @@
+examples/sleep_sizing.mli:

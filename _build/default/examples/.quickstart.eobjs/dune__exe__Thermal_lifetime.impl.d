@@ -1,0 +1,1 @@
+examples/thermal_lifetime.ml: Aging Array Circuit Format List Logic Physics Thermal

@@ -1,0 +1,72 @@
+(* Input vector control in practice: pick the standby vector for a block.
+
+   The scenario from the paper's Section 4.3: a combinational block is
+   about to be put into standby, and the controller must load a vector
+   into the input flip-flops. A pure leakage-driven choice (the classic
+   MLV) can pick a vector that stresses the PMOS devices hard; this
+   example runs the leakage/NBTI co-optimization and compares the
+   decisions.
+
+   Run with: dune exec examples/ivc_standby.exe *)
+
+let () =
+  let net = Circuit.Generators.by_name "c880" in
+  let aging = Aging.Circuit_aging.default_config ~ras:(1.0, 5.0) ~t_standby:330.0 () in
+  let cfg = Flow.Platform.default_config ~aging () in
+  let prepared = Flow.Platform.prepare cfg net in
+  let tables = Flow.Platform.tables prepared in
+  let rng = Physics.Rng.create ~seed:2024 in
+
+  Format.printf "block: %a@.@." Circuit.Netlist.pp_stats (Circuit.Netlist.stats net);
+
+  (* Step 1: the Fig. 7 probability-based search produces a set of
+     near-minimum-leakage vectors. *)
+  let candidates, stats = Ivc.Mlv.probability_based tables net ~rng () in
+  Format.printf "MLV search: %d vectors evaluated in %d rounds, %d MLVs within 4 %% leakage@."
+    stats.Ivc.Mlv.evaluations stats.Ivc.Mlv.rounds (List.length candidates);
+  let leakage_only = List.hd candidates in
+  Format.printf "leakage-optimal vector: %s  (%s)@.@."
+    (Flow.Report.vector_string leakage_only.Ivc.Mlv.vector)
+    (Physics.Units.si_string ~unit:"A" leakage_only.Ivc.Mlv.leakage);
+
+  (* Step 2: evaluate every MLV's ten-year delay degradation and pick the
+     co-optimal one. *)
+  let result =
+    Ivc.Co_opt.co_optimize aging tables net ~node_sp:(Flow.Platform.node_sp prepared) ~candidates
+  in
+  Flow.Report.print
+    {
+      Flow.Report.title = "candidates, ranked by NBTI delay degradation";
+      header = [ "vector"; "leakage"; "degradation[%]" ];
+      rows =
+        List.map
+          (fun (c : Ivc.Co_opt.choice) ->
+            [
+              Flow.Report.vector_string c.Ivc.Co_opt.vector;
+              Flow.Report.cell_si ~unit:"A" c.Ivc.Co_opt.leakage;
+              Flow.Report.cell_pct c.Ivc.Co_opt.degradation;
+            ])
+          result.Ivc.Co_opt.all;
+    };
+
+  let best = result.Ivc.Co_opt.best in
+  Format.printf "co-optimal vector:  %s@." (Flow.Report.vector_string best.Ivc.Co_opt.vector);
+  Format.printf "leakage sacrificed: %.2f %% of the pure-MLV minimum@."
+    (100.0 *. (best.Ivc.Co_opt.leakage /. leakage_only.Ivc.Mlv.leakage -. 1.0));
+  Format.printf "degradation spread across the MLV set: %.3f %% of circuit delay@.@."
+    (100.0 *. result.Ivc.Co_opt.spread);
+
+  (* Step 3: context — where does IVC sit between the bounding states? *)
+  let worst =
+    Flow.Platform.analyze cfg prepared ~standby:Aging.Circuit_aging.Standby_all_stressed
+  in
+  let ideal = Flow.Platform.analyze cfg prepared ~standby:Aging.Circuit_aging.Standby_all_relaxed in
+  Format.printf
+    "ten-year degradation: worst-case standby %.2f %%, chosen MLV %.2f %%, unreachable ideal \
+     (internal node control) %.2f %%@."
+    (100.0 *. worst.Flow.Platform.degradation)
+    (100.0 *. best.Ivc.Co_opt.degradation)
+    (100.0 *. ideal.Flow.Platform.degradation);
+  Format.printf
+    "conclusion (as in the paper): with a cool standby mode, the spread IVC can exploit is small\n\
+     - the leakage choice is nearly free, but IVC alone is not a strong NBTI mitigation lever.@."

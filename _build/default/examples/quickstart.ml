@@ -1,0 +1,63 @@
+(* Quickstart: the library in six steps.
+
+   1. pick a technology, 2. describe how the circuit spends its life
+   (active/standby schedule), 3. evaluate the temperature-aware device
+   dVth, 4. load a benchmark circuit, 5. run the analysis platform, and
+   6. see how much of the degradation a standby technique could save.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Technology: the paper's PTM 90 nm setting (Vdd = 1 V, |Vth| = 220 mV). *)
+  let tech = Device.Tech.ptm_90nm in
+  let params = Nbti.Rd_model.default_params in
+  Format.printf "technology: %a@." Device.Tech.pp tech;
+  Format.printf "NBTI model: %a@.@." Nbti.Rd_model.pp_params params;
+
+  (* 2. Operating schedule: 1 part active at 400 K (inputs toggling,
+     signal probability 0.5) to 9 parts standby at 330 K with the PMOS
+     gate pinned low (worst case). *)
+  let schedule =
+    Nbti.Schedule.active_standby ~ras:(1.0, 9.0) ~t_active:400.0 ~t_standby:330.0
+      ~active_duty:0.5 ~standby_duty:1.0 ()
+  in
+  Format.printf "schedule: %a@." Nbti.Schedule.pp schedule;
+
+  (* 3. Device-level threshold shift after ten years. *)
+  let cond = Nbti.Vth_shift.nominal_pmos tech in
+  let dvth =
+    Nbti.Vth_shift.dvth params tech cond ~schedule ~time:Physics.Units.ten_years
+  in
+  Format.printf "ten-year dVth: %.1f mV  (DC envelope: %.1f mV)@."
+    (dvth *. 1e3)
+    (Nbti.Vth_shift.dvth_dc_ref params tech cond ~time:Physics.Units.ten_years *. 1e3);
+  Format.printf "per-gate delay penalty: %.2f %%@.@."
+    (100.0 *. Nbti.Degradation.factor tech ~dvth);
+
+  (* 4. A benchmark circuit (regenerated in c432's published size class). *)
+  let net = Circuit.Generators.by_name "c432" in
+  Format.printf "circuit: %a@.@." Circuit.Netlist.pp_stats (Circuit.Netlist.stats net);
+
+  (* 5. The Fig. 6 platform: signal probabilities, leakage tables, then a
+     fresh-vs-aged STA under the worst-case standby state. *)
+  let cfg =
+    Flow.Platform.default_config
+      ~aging:(Aging.Circuit_aging.default_config ~ras:(1.0, 9.0) ~t_standby:330.0 ())
+      ()
+  in
+  let prepared = Flow.Platform.prepare cfg net in
+  let worst = Flow.Platform.analyze cfg prepared ~standby:Aging.Circuit_aging.Standby_all_stressed in
+  Format.printf "fresh critical path: %.1f ps@." (worst.Flow.Platform.fresh_delay *. 1e12);
+  Format.printf "after 10 years (worst standby): %.1f ps (+%.2f %%)@."
+    (worst.Flow.Platform.aged_delay *. 1e12)
+    (100.0 *. worst.Flow.Platform.degradation);
+  Format.printf "standby leakage bound: %s, expected active leakage: %s@.@."
+    (Physics.Units.si_string ~unit:"A" worst.Flow.Platform.standby_leakage)
+    (Physics.Units.si_string ~unit:"A" worst.Flow.Platform.active_leakage);
+
+  (* 6. How much is on the table for standby-state control? *)
+  let potential = Flow.Platform.internal_node_potential cfg prepared in
+  Format.printf "internal node control: worst %.2f %% -> best %.2f %% (potential %.1f %%)@."
+    (100.0 *. potential.Ivc.Internal_node.worst_degradation)
+    (100.0 *. potential.Ivc.Internal_node.best_degradation)
+    (100.0 *. potential.Ivc.Internal_node.potential)

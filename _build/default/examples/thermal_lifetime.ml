@@ -1,0 +1,62 @@
+(* From a measured workload to a lifetime estimate.
+
+   The paper's Fig. 2 motivation, end to end: a processor runs a task set
+   with bursty power; the thermal model turns the power trace into
+   temperatures; the workload summary extracts the (RAS, T_active,
+   T_standby) operating point; and the temperature-aware NBTI model turns
+   that into a ten-year delay figure — which a constant-worst-case-
+   temperature analysis would overestimate.
+
+   Run with: dune exec examples/thermal_lifetime.exe *)
+
+let () =
+  let model = Thermal.Rc_model.default in
+  let rng = Physics.Rng.create ~seed:7 in
+
+  (* A day in the life: compute bursts with idle gaps (40 % standby). *)
+  let tasks = Thermal.Workload.random_tasks ~rng ~n:40 () in
+  let mixed = Thermal.Workload.with_idle ~rng ~idle_power:8.0 ~idle_fraction:0.4 tasks in
+  let trace =
+    Thermal.Rc_model.simulate model
+      ~t0:(Thermal.Rc_model.steady_state model ~power:8.0)
+      ~powers:(Thermal.Workload.power_trace mixed) ~dt:20.0
+  in
+  let temps = Array.map (fun (_, t) -> Physics.Units.celsius_of_kelvin t) trace in
+  let lo, hi = Physics.Stats.min_max temps in
+  Format.printf "workload: %d tasks + idle gaps, %.1f hours total@." (Array.length tasks)
+    (fst trace.(Array.length trace - 1) /. 3600.0);
+  Format.printf "die temperature swing: %.0f .. %.0f degC@.@." lo hi;
+
+  (* Extract the paper's model inputs from the trace. *)
+  let summary = Thermal.Workload.summarize model ~active_threshold:20.0 mixed in
+  let a, s = summary.Thermal.Workload.ras in
+  Format.printf "operating point: RAS = %.2f:%.2f, T_active = %.0f K, T_standby = %.0f K@.@." a s
+    summary.Thermal.Workload.t_active summary.Thermal.Workload.t_standby;
+
+  (* Lifetime analysis of a datapath block under that operating point. *)
+  let net = Circuit.Generators.by_name "c880" in
+  let aging =
+    Aging.Circuit_aging.default_config ~ras:(a, s)
+      ~t_active:summary.Thermal.Workload.t_active
+      ~t_standby:summary.Thermal.Workload.t_standby ()
+  in
+  let sp = Logic.Signal_prob.analytic net ~input_sp:(Logic.Signal_prob.uniform_inputs net 0.5) in
+  let analyze config =
+    (Aging.Circuit_aging.analyze config net ~node_sp:sp
+       ~standby:Aging.Circuit_aging.Standby_all_stressed ())
+      .Aging.Circuit_aging.degradation
+  in
+  let aware = analyze aging in
+  let pessimistic = analyze (Aging.Circuit_aging.worst_case_config aging) in
+  Format.printf "%s ten-year delay degradation:@." net.Circuit.Netlist.name;
+  Format.printf "  temperature-aware estimate:       %.2f %%@." (100.0 *. aware);
+  Format.printf "  worst-case-temperature estimate:  %.2f %% (%.2fx pessimistic)@."
+    (100.0 *. pessimistic) (pessimistic /. aware);
+
+  (* Lifetime-vs-guardband view. *)
+  Format.printf "@.guardband needed if the timing margin budget is the degradation itself:@.";
+  List.iter
+    (fun years ->
+      let d = analyze { aging with Aging.Circuit_aging.time = Physics.Units.years years } in
+      Format.printf "  %5.1f years -> %.2f %%@." years (100.0 *. d))
+    [ 1.0; 3.0; 5.0; 10.0 ]

@@ -1,0 +1,1 @@
+lib/aging/circuit_aging.ml: Array Cell Circuit Device Float Logic Nbti Physics Sta

@@ -1,0 +1,1 @@
+lib/aging/circuit_aging.mli: Circuit Device Nbti Sta

@@ -1,0 +1,1 @@
+lib/aging/lifetime.ml: Circuit_aging Float List Physics

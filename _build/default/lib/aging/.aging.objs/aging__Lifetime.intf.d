@@ -1,0 +1,1 @@
+lib/aging/lifetime.mli: Circuit Circuit_aging

@@ -1,0 +1,106 @@
+(** Circuit-level NBTI aging: turns a netlist, an operating schedule, the
+    active-mode signal probabilities and a standby state into per-gate,
+    per-stage threshold shifts, and runs fresh-vs-aged timing.
+
+    This is the composition the paper's Section 3.3 performs: active-mode
+    stress duties come from signal probabilities, standby-mode stress from
+    the internal state pinned by the standby vector (or the all-0 / all-1
+    bounding states of Section 4.3.3), both feed the temperature-aware
+    ΔV_th model, and an STA pass turns the shifts into circuit delay. *)
+
+type standby_state =
+  | Standby_vector of bool array
+      (** primary inputs held at this vector; internal nets by simulation *)
+  | Standby_all_stressed
+      (** the paper's worst-case bound: every PMOS gate input at 0 *)
+  | Standby_all_relaxed
+      (** best-case bound (internal node control / power gating): every
+          PMOS input at 1, nothing stressed in standby *)
+
+type config = {
+  params : Nbti.Rd_model.params;
+  tech : Device.Tech.t;
+  schedule : Nbti.Schedule.t;
+      (** per-phase stress duties are placeholders; they are overridden
+          per-PMOS (phases at [t_ref] get the active duty, the others the
+          standby duty) *)
+  time : float;  (** operation time [s], e.g. {!Physics.Units.ten_years} *)
+  pbti_scale : float option;
+      (** [Some s] also ages the NMOS devices (PBTI, high-k stacks) with a
+          degradation coefficient [s] times the NBTI one (~0.5 reported
+          for HKMG); [None] (the paper's SiON setting) disables it.
+          Note the standby bounds mirror: the all-0 state that maximizes
+          NBTI relaxes every NMOS, and the all-1 state that relaxes the
+          PMOS stresses every NMOS. *)
+}
+
+val default_config :
+  ?params:Nbti.Rd_model.params ->
+  ?tech:Device.Tech.t ->
+  ?ras:float * float ->
+  ?t_active:float ->
+  ?t_standby:float ->
+  ?time:float ->
+  ?pbti_scale:float ->
+  unit ->
+  config
+(** The paper's setting: PTM-90, RAS 1:9, 400 K / 330 K, 10 years. *)
+
+val duty_table :
+  ?polarity:[ `Pmos | `Nmos ] ->
+  Circuit.Netlist.t ->
+  node_sp:float array ->
+  standby:standby_state ->
+  (float * float) array array
+(** Per-node, per-stage [(active_duty, standby_duty)] stress pairs: the
+    worst PMOS of each stage under the active-mode signal probabilities
+    and the standby state. Empty rows for primary inputs. This is the
+    interface point for techniques that synthesize their own standby
+    duties (MLV rotation, control-point insertion) and for the
+    process-variation study. *)
+
+val stage_dvth_of_duties :
+  config -> duties:(float * float) array array -> (gate:int -> stage:int -> float)
+(** Threshold shifts for an explicit duty table. *)
+
+val stage_dvth_map :
+  config ->
+  Circuit.Netlist.t ->
+  node_sp:float array ->
+  standby:standby_state ->
+  (gate:int -> stage:int -> float)
+(** [stage_dvth_of_duties] over [duty_table]: the per-stage
+    threshold-shift function consumed by {!Sta.Timing.analyze}. Computed
+    eagerly for every gate stage (the returned closure is a table
+    lookup). *)
+
+type analysis = {
+  fresh : Sta.Timing.result;
+  aged : Sta.Timing.result;
+  degradation : float;  (** relative critical-path slowdown *)
+  max_dvth : float;  (** largest per-stage shift in the circuit [V] *)
+}
+
+val analyze :
+  config ->
+  Circuit.Netlist.t ->
+  ?po_load:float ->
+  node_sp:float array ->
+  standby:standby_state ->
+  unit ->
+  analysis
+(** Fresh and aged STA at the active temperature. *)
+
+val analyze_with_duties :
+  config ->
+  Circuit.Netlist.t ->
+  ?po_load:float ->
+  duties:(float * float) array array ->
+  unit ->
+  analysis
+(** Like {!analyze} but for an explicit duty table (shape as returned by
+    {!duty_table}). PMOS-only: [pbti_scale] is not applied here. *)
+
+val worst_case_config : config -> config
+(** Same config with the standby phase forced to the active temperature —
+    the prior-work worst-case-temperature assumption, for the ablation. *)

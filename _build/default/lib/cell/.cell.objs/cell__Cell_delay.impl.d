@@ -1,0 +1,1 @@
+lib/cell/cell_delay.ml: Array Device Float List Network Stdcell

@@ -1,0 +1,1 @@
+lib/cell/cell_delay.mli: Device Network Stdcell

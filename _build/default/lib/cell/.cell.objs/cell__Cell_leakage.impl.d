@@ -1,0 +1,1 @@
+lib/cell/cell_leakage.ml: Array Device List Network Physics Stdcell

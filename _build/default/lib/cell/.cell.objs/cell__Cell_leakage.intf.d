@@ -1,0 +1,1 @@
+lib/cell/cell_leakage.mli: Device Network Stdcell

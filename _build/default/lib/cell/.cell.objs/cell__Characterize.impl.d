@@ -1,0 +1,1 @@
+lib/cell/characterize.ml: Array Cell_delay Cell_leakage Float List Nbti Stdcell String

@@ -1,0 +1,1 @@
+lib/cell/liberty.ml: Array Buffer Characterize Device List Printf Stdcell String

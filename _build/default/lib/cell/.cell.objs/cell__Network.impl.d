@@ -1,0 +1,1 @@
+lib/cell/network.ml: Device Format Hashtbl List

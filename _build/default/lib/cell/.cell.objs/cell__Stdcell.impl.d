@@ -1,0 +1,1 @@
+lib/cell/stdcell.ml: Array Device Float Format Lazy List Network Printf String

@@ -1,0 +1,1 @@
+lib/cell/stdcell.mli: Device Format Network

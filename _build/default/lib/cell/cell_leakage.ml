@@ -1,0 +1,151 @@
+type reduced = Wire | Blocked of off_net
+
+and off_net =
+  | Leak of { gate_v : float; mos : Device.Mosfet.t }
+  | Ser of off_net list
+  | Par of off_net list
+
+let reduce net ~inputs ~vdd =
+  let rec go = function
+    | Network.Device { pin; mos } ->
+      if Network.device_on ~inputs pin mos then Wire
+      else Blocked (Leak { gate_v = (if inputs pin then vdd else 0.0); mos })
+    | Network.Series parts -> begin
+      (* Conducting children are wires and drop out of the chain. *)
+      let blocked =
+        List.filter_map (fun p -> match go p with Wire -> None | Blocked o -> Some o) parts
+      in
+      match blocked with [] -> Wire | [ o ] -> Blocked o | os -> Blocked (Ser os)
+    end
+    | Network.Parallel parts ->
+      let reduceds = List.map go parts in
+      if List.exists (fun r -> r = Wire) reduceds then Wire
+      else begin
+        match List.filter_map (function Wire -> None | Blocked o -> Some o) reduceds with
+        | [] -> Wire
+        | [ o ] -> Blocked o
+        | os -> Blocked (Par os)
+      end
+  in
+  go net
+
+(* Current through a single blocked device between node voltages. The
+   source is the lower-potential terminal for NMOS and the higher one for
+   PMOS; both polarities conduct (weakly) from v_hi to v_lo. *)
+let leak_current tech ~gate_v ~mos ~v_hi ~v_lo ~temp_k =
+  if v_hi <= v_lo then 0.0
+  else begin
+    let vds = v_hi -. v_lo in
+    match mos.Device.Mosfet.polarity with
+    | Device.Mosfet.N ->
+      Device.Mosfet.subthreshold_current tech mos ~vgs:(gate_v -. v_lo) ~vds ~temp_k
+    | Device.Mosfet.P ->
+      Device.Mosfet.subthreshold_current tech mos ~vgs:(v_hi -. gate_v) ~vds ~temp_k
+  end
+
+let rec current_and_nodes tech net ~v_hi ~v_lo ~temp_k =
+  if v_hi <= v_lo then (0.0, [])
+  else begin
+    match net with
+    | Leak { gate_v; mos } -> (leak_current tech ~gate_v ~mos ~v_hi ~v_lo ~temp_k, [])
+    | Par parts ->
+      List.fold_left
+        (fun (i, nodes) p ->
+          let ip, np = current_and_nodes tech p ~v_hi ~v_lo ~temp_k in
+          (i +. ip, nodes @ np))
+        (0.0, []) parts
+    | Ser [] -> invalid_arg "Cell_leakage: empty series group"
+    | Ser [ p ] -> current_and_nodes tech p ~v_hi ~v_lo ~temp_k
+    | Ser (top :: rest) ->
+      (* Solve the junction voltage where the top element's current equals
+         the rest of the chain's. f decreases monotonically in vx. *)
+      let top_i vx = fst (current_and_nodes tech top ~v_hi ~v_lo:vx ~temp_k) in
+      let rest_i vx = fst (current_and_nodes tech (Ser rest) ~v_hi:vx ~v_lo ~temp_k) in
+      let f vx = top_i vx -. rest_i vx in
+      let vx =
+        try Physics.Numerics.brent ~tol:1e-9 ~f v_lo v_hi
+        with Physics.Numerics.No_bracket _ -> 0.5 *. (v_hi +. v_lo)
+      in
+      let i_top = top_i vx in
+      let _, top_nodes = current_and_nodes tech top ~v_hi ~v_lo:vx ~temp_k in
+      let _, rest_nodes = current_and_nodes tech (Ser rest) ~v_hi:vx ~v_lo ~temp_k in
+      (i_top, top_nodes @ [ vx ] @ rest_nodes)
+  end
+
+let off_current tech net ~v_hi ~v_lo ~temp_k =
+  fst (current_and_nodes tech net ~v_hi ~v_lo ~temp_k)
+
+let internal_nodes tech net ~v_hi ~v_lo ~temp_k =
+  snd (current_and_nodes tech net ~v_hi ~v_lo ~temp_k)
+
+let stage_subthreshold tech (stage : Stdcell.stage) ~inputs ~temp_k =
+  let vdd = tech.Device.Tech.vdd in
+  let pu = reduce stage.Stdcell.pull_up ~inputs ~vdd in
+  let pd = reduce stage.Stdcell.pull_down ~inputs ~vdd in
+  match (pu, pd) with
+  | Wire, Wire -> invalid_arg "Cell_leakage: shorted stage"
+  | Blocked b, Wire | Wire, Blocked b ->
+    (* Output pinned to a rail by the conducting side: the blocked network
+       sees the full supply. *)
+    off_current tech b ~v_hi:vdd ~v_lo:0.0 ~temp_k
+  | Blocked _, Blocked _ -> invalid_arg "Cell_leakage: floating stage"
+
+let stage_gate_tunneling tech (stage : Stdcell.stage) ~inputs =
+  let vdd = tech.Device.Tech.vdd in
+  let net_sum net =
+    List.fold_left
+      (fun acc (pin, mos) ->
+        if Network.device_on ~inputs pin mos then
+          acc +. Device.Mosfet.gate_leakage tech mos ~vox:vdd
+        else acc)
+      0.0
+      (Network.devices net)
+  in
+  net_sum stage.Stdcell.pull_up +. net_sum stage.Stdcell.pull_down
+
+let cell_leakage tech cell ~vector ~temp_k =
+  let outs = Stdcell.stage_outputs cell vector in
+  let inputs = function
+    | Network.Input i -> vector.(i)
+    | Network.Stage_out s -> outs.(s)
+  in
+  Array.fold_left
+    (fun acc stage ->
+      acc +. stage_subthreshold tech stage ~inputs ~temp_k +. stage_gate_tunneling tech stage ~inputs)
+    0.0 cell.Stdcell.stages
+
+type lut = { cell : Stdcell.t; temp_k : float; currents : float array }
+
+let build_lut tech cell ~temp_k =
+  let n = cell.Stdcell.n_inputs in
+  let currents =
+    Array.init (1 lsl n) (fun idx ->
+        cell_leakage tech cell ~vector:(Stdcell.vector_of_index ~n_inputs:n idx) ~temp_k)
+  in
+  { cell; temp_k; currents }
+
+let lookup lut vector = lut.currents.(Stdcell.index_of_vector vector)
+
+let expected lut ~sp =
+  let n = lut.cell.Stdcell.n_inputs in
+  assert (Array.length sp = n);
+  let total = ref 0.0 in
+  for idx = 0 to (1 lsl n) - 1 do
+    let p = ref 1.0 in
+    for i = 0 to n - 1 do
+      p := !p *. (if (idx lsr i) land 1 = 1 then sp.(i) else 1.0 -. sp.(i))
+    done;
+    total := !total +. (!p *. lut.currents.(idx))
+  done;
+  !total
+
+let extremes lut =
+  let n = lut.cell.Stdcell.n_inputs in
+  let best = ref 0 and worst = ref 0 in
+  Array.iteri
+    (fun idx i ->
+      if i < lut.currents.(!best) then best := idx;
+      if i > lut.currents.(!worst) then worst := idx)
+    lut.currents;
+  ( (Stdcell.vector_of_index ~n_inputs:n !best, lut.currents.(!best)),
+    (Stdcell.vector_of_index ~n_inputs:n !worst, lut.currents.(!worst)) )

@@ -1,0 +1,69 @@
+(** Per-input-vector cell leakage: subthreshold conduction through the
+    blocked network (with the transistor stacking effect solved by current
+    continuity) plus gate tunneling — the quantities behind the paper's
+    Table 2 and the MLV lookup tables (eq. 24).
+
+    The stacking effect is what makes leakage input-dependent: in a blocked
+    series stack the internal nodes float to the voltages at which every
+    device carries the same current; the resulting negative V_gs on the
+    upper devices suppresses the current by roughly an order of magnitude
+    per stacked off-device. We solve the continuity equations directly by
+    nested root finding on the internal node voltages. *)
+
+(** A network specialized to one input vector: conducting devices become
+    wires, blocked devices become leakage elements that remember their gate
+    voltage. *)
+type reduced =
+  | Wire  (** a conducting path shorts the two terminals *)
+  | Blocked of off_net
+
+and off_net =
+  | Leak of { gate_v : float; mos : Device.Mosfet.t }
+  | Ser of off_net list  (** length >= 1, top-to-bottom *)
+  | Par of off_net list  (** length >= 1 *)
+
+val reduce : Network.t -> inputs:(Network.pin -> bool) -> vdd:float -> reduced
+(** Specializes a network to a vector; gate voltages are [vdd] for logic 1
+    pins and 0 for logic 0. *)
+
+val off_current : Device.Tech.t -> off_net -> v_hi:float -> v_lo:float -> temp_k:float -> float
+(** Subthreshold current [A] through a blocked network between node
+    voltages [v_hi >= v_lo]; internal series nodes are solved by Brent
+    iteration. 0 when [v_hi <= v_lo]. *)
+
+val internal_nodes : Device.Tech.t -> off_net -> v_hi:float -> v_lo:float -> temp_k:float -> float list
+(** The solved internal series node voltages, top-to-bottom (for tests and
+    for the internal-node-control discussion). *)
+
+val stage_subthreshold :
+  Device.Tech.t -> Stdcell.stage -> inputs:(Network.pin -> bool) -> temp_k:float -> float
+(** Rail-to-rail subthreshold current of one stage for a vector: the
+    current through whichever of the two networks is blocked. *)
+
+val stage_gate_tunneling :
+  Device.Tech.t -> Stdcell.stage -> inputs:(Network.pin -> bool) -> float
+(** Gate tunneling of the stage: full-oxide-bias leakage of every
+    conducting (strongly inverted) device; blocked devices contribute
+    negligibly and are ignored. *)
+
+val cell_leakage : Device.Tech.t -> Stdcell.t -> vector:bool array -> temp_k:float -> float
+(** Total leakage [A] of a cell for an input vector: sum over stages of
+    subthreshold + gate tunneling, with internal stage inputs evaluated
+    from the vector. *)
+
+(** {1 Lookup tables (eq. 24)} *)
+
+type lut = private {
+  cell : Stdcell.t;
+  temp_k : float;
+  currents : float array;  (** indexed by {!Stdcell.index_of_vector} *)
+}
+
+val build_lut : Device.Tech.t -> Stdcell.t -> temp_k:float -> lut
+val lookup : lut -> bool array -> float
+
+val expected : lut -> sp:float array -> float
+(** [sum_v I(v) * P(v)] with independent input probabilities — eq. 24. *)
+
+val extremes : lut -> (bool array * float) * (bool array * float)
+(** ((best vector, min current), (worst vector, max current)). *)

@@ -1,0 +1,62 @@
+type cell_char = {
+  cell : Stdcell.t;
+  input_caps : float array;
+  load_points : float array;
+  delays : float array;
+  leakage_states : (string * float) array;
+  leakage_worst : float;
+  leakage_best : float;
+  area : float;
+}
+
+let characterize tech cell ?(temp_k = 400.0) ?(dvth = 0.0) ?(dvth_n = 0.0) ?(n_loads = 5) () =
+  if n_loads < 2 then invalid_arg "Characterize: need at least two load points";
+  let n = cell.Stdcell.n_inputs in
+  let input_caps = Array.init n (fun i -> Cell_delay.input_capacitance tech cell ~pin_index:i) in
+  let base = input_caps.(0) in
+  let load_points =
+    Array.init n_loads (fun i ->
+        base *. Float.pow 16.0 (float_of_int i /. float_of_int (n_loads - 1)))
+  in
+  let delays =
+    Array.map
+      (fun load ->
+        Cell_delay.delay tech cell ~load ~temp_k
+          ~stage_dvth:(fun _ -> dvth)
+          ~stage_dvth_n:(fun _ -> dvth_n)
+          ())
+      load_points
+  in
+  let lut = Cell_leakage.build_lut tech cell ~temp_k in
+  let leakage_states =
+    Array.init (1 lsl n) (fun idx ->
+        let v = Stdcell.vector_of_index ~n_inputs:n idx in
+        (String.init n (fun i -> if v.(i) then '1' else '0'), lut.Cell_leakage.currents.(idx)))
+  in
+  let (_, leakage_best), (_, leakage_worst) = Cell_leakage.extremes lut in
+  {
+    cell;
+    input_caps;
+    load_points;
+    delays;
+    leakage_states;
+    leakage_worst;
+    leakage_best;
+    area = Stdcell.area cell;
+  }
+
+let library_characterization tech ?temp_k ?dvth ?dvth_n () =
+  List.map (fun cell -> characterize tech cell ?temp_k ?dvth ?dvth_n ()) Stdcell.library
+
+let aged_shift params tech ~schedule ~time =
+  let cond = Nbti.Vth_shift.nominal_pmos tech in
+  let worst = Nbti.Schedule.with_stress_duties schedule ~active:1.0 ~standby:1.0 in
+  Nbti.Vth_shift.dvth params tech cond ~schedule:worst ~time
+
+let derate ~fresh ~aged =
+  assert (Array.length fresh.delays = Array.length aged.delays);
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i d -> worst := Float.max !worst ((aged.delays.(i) /. d) -. 1.0))
+    fresh.delays;
+  !worst

@@ -1,0 +1,57 @@
+(** Standard-cell characterization: the delay/leakage/capacitance tables a
+    signoff flow consumes, fresh or NBTI-derated.
+
+    Industrial aging flows ship "aged liberty" views: the same cell
+    library re-characterized with the end-of-life threshold shifts folded
+    into the delays. This module produces those tables from the analytical
+    models — per-cell load-dependent delay, per-input capacitance and
+    per-state leakage — at a given PMOS/NMOS shift, and {!Liberty} renders
+    them in a minimal [.lib] syntax. *)
+
+type cell_char = {
+  cell : Stdcell.t;
+  input_caps : float array;  (** [F] per input pin *)
+  load_points : float array;  (** [F] abscissae of the delay table *)
+  delays : float array;  (** [s] worst propagation delay per load point *)
+  leakage_states : (string * float) array;
+      (** per input vector ("01" little-endian) leakage [A] *)
+  leakage_worst : float;
+  leakage_best : float;
+  area : float;  (** W/L units *)
+}
+
+val characterize :
+  Device.Tech.t ->
+  Stdcell.t ->
+  ?temp_k:float ->
+  ?dvth:float ->
+  ?dvth_n:float ->
+  ?n_loads:int ->
+  unit ->
+  cell_char
+(** Tables at [temp_k] (default 400 K) with optional threshold shifts
+    applied uniformly to every stage ([dvth] PMOS, [dvth_n] NMOS). Load
+    points span 1x..16x the cell's own input capacitance over [n_loads]
+    (default 5) geometric steps. *)
+
+val library_characterization :
+  Device.Tech.t ->
+  ?temp_k:float ->
+  ?dvth:float ->
+  ?dvth_n:float ->
+  unit ->
+  cell_char list
+(** Every library cell. *)
+
+val aged_shift :
+  Nbti.Rd_model.params ->
+  Device.Tech.t ->
+  schedule:Nbti.Schedule.t ->
+  time:float ->
+  float
+(** The library-level derating shift: the worst-case (always-stressed)
+    device ΔV_th under the mission profile — what a conservative aged-lib
+    characterization applies to every PMOS. *)
+
+val derate : fresh:cell_char -> aged:cell_char -> float
+(** Largest relative delay increase across the load points. *)

@@ -1,0 +1,26 @@
+(** Minimal Liberty ([.lib]) writer for the characterized library.
+
+    Emits a syntactically conventional subset — library header with units,
+    per-cell area, per-pin direction/capacitance, one lookup-table timing
+    arc per cell (worst input to output, indexed by output load) and
+    per-state leakage groups — enough for a reader expecting the classic
+    structure, and for diffing fresh vs aged views. Values are rendered in
+    the customary units (ns, pF, nW at the nominal voltage). *)
+
+val to_string :
+  ?name:string -> Device.Tech.t -> Characterize.cell_char list -> string
+(** [name] defaults to the technology name with a "_lib" suffix. *)
+
+val write_file :
+  ?name:string -> Device.Tech.t -> Characterize.cell_char list -> path:string -> unit
+
+val aged_library :
+  Nbti.Rd_model.params ->
+  Device.Tech.t ->
+  schedule:Nbti.Schedule.t ->
+  time:float ->
+  string
+(** One-call aged view: characterizes every cell with the mission
+    profile's worst-case ΔV_th folded in (see
+    {!Characterize.aged_shift}) and renders it with an "_aged" library
+    name. *)

@@ -1,0 +1,83 @@
+type pin = Input of int | Stage_out of int
+
+type t =
+  | Device of { pin : pin; mos : Device.Mosfet.t }
+  | Series of t list
+  | Parallel of t list
+
+let pmos ?(wl = 2.0) pin = Device { pin; mos = Device.Mosfet.pmos ~wl () }
+let nmos ?(wl = 1.0) pin = Device { pin; mos = Device.Mosfet.nmos ~wl () }
+
+let rec devices = function
+  | Device { pin; mos } -> [ (pin, mos) ]
+  | Series parts | Parallel parts -> List.concat_map devices parts
+
+let rec map_devices net ~f =
+  match net with
+  | Device { pin; mos } -> Device { pin; mos = f pin mos }
+  | Series parts -> Series (List.map (fun p -> map_devices p ~f) parts)
+  | Parallel parts -> Parallel (List.map (fun p -> map_devices p ~f) parts)
+
+let pins net =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (pin, _) ->
+      if Hashtbl.mem seen pin then None
+      else begin
+        Hashtbl.add seen pin ();
+        Some pin
+      end)
+    (devices net)
+
+let rec dual net ~to_polarity ~wl =
+  let leaf pin =
+    match to_polarity with
+    | Device.Mosfet.N -> Device { pin; mos = Device.Mosfet.nmos ~wl () }
+    | Device.Mosfet.P -> Device { pin; mos = Device.Mosfet.pmos ~wl () }
+  in
+  match net with
+  | Device { pin; _ } -> leaf pin
+  | Series parts -> Parallel (List.map (fun p -> dual p ~to_polarity ~wl) parts)
+  | Parallel parts -> Series (List.map (fun p -> dual p ~to_polarity ~wl) parts)
+
+let scale_widths net factor =
+  map_devices net ~f:(fun _ mos -> { mos with Device.Mosfet.wl = mos.Device.Mosfet.wl *. factor })
+
+let rec conducts net ~on =
+  match net with
+  | Device { pin; mos } -> on pin mos
+  | Series parts -> List.for_all (fun p -> conducts p ~on) parts
+  | Parallel parts -> List.exists (fun p -> conducts p ~on) parts
+
+let device_on ~inputs pin (mos : Device.Mosfet.t) =
+  match mos.Device.Mosfet.polarity with
+  | Device.Mosfet.N -> inputs pin
+  | Device.Mosfet.P -> not (inputs pin)
+
+let rec conduction_probability net ~p_on =
+  match net with
+  | Device { pin; mos } -> p_on pin mos
+  | Series parts ->
+    List.fold_left (fun acc p -> acc *. conduction_probability p ~p_on) 1.0 parts
+  | Parallel parts ->
+    1.0
+    -. List.fold_left (fun acc p -> acc *. (1.0 -. conduction_probability p ~p_on)) 1.0 parts
+
+let rec validate = function
+  | Device { mos; _ } ->
+    if mos.Device.Mosfet.wl <= 0.0 then invalid_arg "Network: non-positive device width"
+  | Series [] | Parallel [] -> invalid_arg "Network: empty series/parallel group"
+  | Series parts | Parallel parts -> List.iter validate parts
+
+let pp_pin fmt = function
+  | Input i -> Format.fprintf fmt "in%d" i
+  | Stage_out i -> Format.fprintf fmt "s%d" i
+
+let rec pp fmt = function
+  | Device { pin; mos } ->
+    let pol = match mos.Device.Mosfet.polarity with Device.Mosfet.N -> 'n' | Device.Mosfet.P -> 'p' in
+    Format.fprintf fmt "%c(%a,%.1f)" pol pp_pin pin mos.Device.Mosfet.wl
+  | Series parts ->
+    Format.fprintf fmt "[%a]" (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "-") pp) parts
+  | Parallel parts ->
+    Format.fprintf fmt "{%a}" (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "|") pp) parts

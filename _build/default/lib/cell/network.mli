@@ -1,0 +1,59 @@
+(** Series/parallel transistor networks — the structural half of a CMOS
+    standard cell.
+
+    A network connects two electrical nodes (for a pull-up network: V_dd on
+    top, the stage output at the bottom; for a pull-down network: the stage
+    output on top, ground at the bottom). [Series] lists are ordered from
+    the top node downwards; NBTI stress extraction depends on that order
+    (a PMOS is stressed only when the node {e above} it is held at V_dd). *)
+
+type pin =
+  | Input of int  (** external cell input, 0-based *)
+  | Stage_out of int  (** output of an earlier stage of the same cell *)
+
+type t =
+  | Device of { pin : pin; mos : Device.Mosfet.t }
+  | Series of t list  (** top-to-bottom; length >= 1 *)
+  | Parallel of t list  (** length >= 1 *)
+
+val pmos : ?wl:float -> pin -> t
+(** A single PMOS leaf with default [wl = 2.0] (mobility-compensated). *)
+
+val nmos : ?wl:float -> pin -> t
+
+val devices : t -> (pin * Device.Mosfet.t) list
+(** All leaves, in top-to-bottom, left-to-right order. *)
+
+val map_devices : t -> f:(pin -> Device.Mosfet.t -> Device.Mosfet.t) -> t
+
+val pins : t -> pin list
+(** Deduplicated pins in first-appearance order. *)
+
+val dual : t -> to_polarity:Device.Mosfet.polarity -> wl:float -> t
+(** The series/parallel dual with every leaf replaced by a device of
+    [to_polarity] and width [wl]: builds the complementary pull-down from a
+    pull-up (and vice versa). *)
+
+val scale_widths : t -> float -> t
+(** Multiplies every device width by the given factor (cell drive
+    strength). *)
+
+val conducts : t -> on:(pin -> Device.Mosfet.t -> bool) -> bool
+(** Whether a conducting path exists when [on] says which devices conduct.
+    Series = all children; Parallel = any child. *)
+
+val device_on : inputs:(pin -> bool) -> pin -> Device.Mosfet.t -> bool
+(** The CMOS switch rule: an NMOS conducts when its gate is 1, a PMOS when
+    its gate is 0. *)
+
+val conduction_probability : t -> p_on:(pin -> Device.Mosfet.t -> float) -> float
+(** Probability that the network conducts, assuming independent devices
+    (series = product, parallel = 1 - prod(1-p)). Exact when no pin is
+    repeated within the network. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on empty [Series]/[Parallel] lists or
+    non-positive widths. *)
+
+val pp_pin : Format.formatter -> pin -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,272 @@
+type stage = { pull_up : Network.t; pull_down : Network.t }
+
+type t = { name : string; n_inputs : int; stages : stage array }
+
+let vector_of_index ~n_inputs idx = Array.init n_inputs (fun i -> (idx lsr i) land 1 = 1)
+
+let index_of_vector v =
+  let idx = ref 0 in
+  Array.iteri (fun i b -> if b then idx := !idx lor (1 lsl i)) v;
+  !idx
+
+(* Evaluate all stage outputs for a concrete input vector. *)
+let stage_outputs_unchecked stages inputs =
+  let n_stages = Array.length stages in
+  let outs = Array.make n_stages false in
+  let pin_value = function
+    | Network.Input i -> inputs.(i)
+    | Network.Stage_out s -> outs.(s)
+  in
+  for s = 0 to n_stages - 1 do
+    let on = Network.device_on ~inputs:pin_value in
+    let pu = Network.conducts stages.(s).pull_up ~on in
+    let pd = Network.conducts stages.(s).pull_down ~on in
+    if pu = pd then
+      invalid_arg
+        (if pu then "Stdcell: pull-up and pull-down conduct simultaneously (short)"
+         else "Stdcell: floating stage output");
+    outs.(s) <- pu
+  done;
+  outs
+
+let check_pins ~name ~n_inputs stages =
+  Array.iteri
+    (fun s stage ->
+      let check net =
+        Network.validate net;
+        List.iter
+          (function
+            | Network.Input i ->
+              if i < 0 || i >= n_inputs then
+                invalid_arg (Printf.sprintf "Stdcell %s: input pin %d out of range" name i)
+            | Network.Stage_out j ->
+              if j < 0 || j >= s then
+                invalid_arg
+                  (Printf.sprintf "Stdcell %s: stage %d references non-earlier stage %d" name s j))
+          (Network.pins net)
+      in
+      check stage.pull_up;
+      check stage.pull_down)
+    stages
+
+let make ~name ~n_inputs stage_list =
+  if n_inputs < 0 || n_inputs > 8 then invalid_arg "Stdcell.make: unsupported input count";
+  if stage_list = [] then invalid_arg "Stdcell.make: no stages";
+  let stages = Array.of_list stage_list in
+  check_pins ~name ~n_inputs stages;
+  (* Complementarity check over the full input space. *)
+  for idx = 0 to (1 lsl n_inputs) - 1 do
+    ignore (stage_outputs_unchecked stages (vector_of_index ~n_inputs idx))
+  done;
+  { name; n_inputs; stages }
+
+let stage_outputs t inputs =
+  assert (Array.length inputs = t.n_inputs);
+  stage_outputs_unchecked t.stages inputs
+
+let eval t inputs =
+  let outs = stage_outputs t inputs in
+  outs.(Array.length outs - 1)
+
+let truth_table t = Array.init (1 lsl t.n_inputs) (fun idx -> eval t (vector_of_index ~n_inputs:t.n_inputs idx))
+
+let vector_probability ~sp v =
+  let p = ref 1.0 in
+  Array.iteri (fun i b -> p := !p *. (if b then sp.(i) else 1.0 -. sp.(i))) v;
+  !p
+
+let stage_output_probability t ~sp =
+  assert (Array.length sp = t.n_inputs);
+  let acc = Array.make (Array.length t.stages) 0.0 in
+  for idx = 0 to (1 lsl t.n_inputs) - 1 do
+    let v = vector_of_index ~n_inputs:t.n_inputs idx in
+    let p = vector_probability ~sp v in
+    let outs = stage_outputs t v in
+    Array.iteri (fun s b -> if b then acc.(s) <- acc.(s) +. p) outs
+  done;
+  acc
+
+(* --- Library construction --- *)
+
+let input i = Network.Input i
+
+(* NAND-k: series NMOS (upsized by the stack depth), parallel PMOS. *)
+let nand_networks pins =
+  let k = List.length pins in
+  let kf = float_of_int k in
+  {
+    pull_up = Network.Parallel (List.map (fun p -> Network.pmos ~wl:2.0 p) pins);
+    pull_down = Network.Series (List.map (fun p -> Network.nmos ~wl:kf p) pins);
+  }
+
+(* NOR-k: series PMOS stack ordered V_dd -> output, parallel NMOS. *)
+let nor_networks pins =
+  let k = List.length pins in
+  let kf = float_of_int k in
+  {
+    pull_up = Network.Series (List.map (fun p -> Network.pmos ~wl:(2.0 *. kf) p) pins);
+    pull_down = Network.Parallel (List.map (fun p -> Network.nmos ~wl:1.0 p) pins);
+  }
+
+let inv_networks pin =
+  { pull_up = Network.pmos ~wl:2.0 pin; pull_down = Network.nmos ~wl:1.0 pin }
+
+let inputs_upto k = List.init k input
+
+let inv = make ~name:"INV" ~n_inputs:1 [ inv_networks (input 0) ]
+let buf = make ~name:"BUF" ~n_inputs:1 [ inv_networks (input 0); inv_networks (Network.Stage_out 0) ]
+
+let check_fanin k =
+  if k < 2 || k > 4 then invalid_arg "Stdcell: fan-in must be between 2 and 4"
+
+let nand_cells =
+  Array.init 3 (fun i ->
+      let k = i + 2 in
+      make ~name:(Printf.sprintf "NAND%d" k) ~n_inputs:k [ nand_networks (inputs_upto k) ])
+
+let nor_cells =
+  Array.init 3 (fun i ->
+      let k = i + 2 in
+      make ~name:(Printf.sprintf "NOR%d" k) ~n_inputs:k [ nor_networks (inputs_upto k) ])
+
+let and_cells =
+  Array.init 3 (fun i ->
+      let k = i + 2 in
+      make ~name:(Printf.sprintf "AND%d" k) ~n_inputs:k
+        [ nand_networks (inputs_upto k); inv_networks (Network.Stage_out 0) ])
+
+let or_cells =
+  Array.init 3 (fun i ->
+      let k = i + 2 in
+      make ~name:(Printf.sprintf "OR%d" k) ~n_inputs:k
+        [ nor_networks (inputs_upto k); inv_networks (Network.Stage_out 0) ])
+
+let nand_ k = check_fanin k; nand_cells.(k - 2)
+let nor_ k = check_fanin k; nor_cells.(k - 2)
+let and_ k = check_fanin k; and_cells.(k - 2)
+let or_ k = check_fanin k; or_cells.(k - 2)
+
+(* XOR2 as the classic four-NAND structure:
+   s0 = nand(a, b); s1 = nand(a, s0); s2 = nand(b, s0); out = nand(s1, s2). *)
+let xor2 =
+  let s i = Network.Stage_out i in
+  make ~name:"XOR2" ~n_inputs:2
+    [
+      nand_networks [ input 0; input 1 ];
+      nand_networks [ input 0; s 0 ];
+      nand_networks [ input 1; s 0 ];
+      nand_networks [ s 1; s 2 ];
+    ]
+
+let xnor2 =
+  let s i = Network.Stage_out i in
+  make ~name:"XNOR2" ~n_inputs:2
+    [
+      nand_networks [ input 0; input 1 ];
+      nand_networks [ input 0; s 0 ];
+      nand_networks [ input 1; s 0 ];
+      nand_networks [ s 1; s 2 ];
+      inv_networks (s 3);
+    ]
+
+(* AOI21: out = not (in0 * in1 + in2). Pull-down mirrors the expression;
+   pull-up is its dual with series-depth-2 PMOS upsizing. *)
+let aoi21 =
+  make ~name:"AOI21" ~n_inputs:3
+    [
+      {
+        pull_down =
+          Network.Parallel
+            [ Network.Series [ Network.nmos ~wl:2.0 (input 0); Network.nmos ~wl:2.0 (input 1) ];
+              Network.nmos ~wl:1.0 (input 2) ];
+        pull_up =
+          Network.Series
+            [ Network.Parallel [ Network.pmos ~wl:4.0 (input 0); Network.pmos ~wl:4.0 (input 1) ];
+              Network.pmos ~wl:4.0 (input 2) ];
+      };
+    ]
+
+(* OAI21: out = not ((in0 + in1) * in2). *)
+let oai21 =
+  make ~name:"OAI21" ~n_inputs:3
+    [
+      {
+        pull_down =
+          Network.Series
+            [ Network.Parallel [ Network.nmos ~wl:2.0 (input 0); Network.nmos ~wl:2.0 (input 1) ];
+              Network.nmos ~wl:2.0 (input 2) ];
+        pull_up =
+          Network.Parallel
+            [ Network.Series [ Network.pmos ~wl:4.0 (input 0); Network.pmos ~wl:4.0 (input 1) ];
+              Network.pmos ~wl:2.0 (input 2) ];
+      };
+    ]
+
+let library =
+  [ inv; buf ]
+  @ Array.to_list nand_cells
+  @ Array.to_list nor_cells
+  @ Array.to_list and_cells
+  @ Array.to_list or_cells
+  @ [ xor2; xnor2; aoi21; oai21 ]
+
+let by_name = lazy (List.map (fun c -> (c.name, c)) library)
+
+let find name = List.assoc name (Lazy.force by_name)
+
+(* Drive-strength suffix handling: "NAND2_X2.5" -> ("NAND2", 2.5). *)
+let split_drive name =
+  match String.index_opt name '_' with
+  | Some i when i + 1 < String.length name && name.[i + 1] = 'X' -> begin
+    match float_of_string_opt (String.sub name (i + 2) (String.length name - i - 2)) with
+    | Some d -> (String.sub name 0 i, d)
+    | None -> (name, 1.0)
+  end
+  | _ -> (name, 1.0)
+
+let drive_of t = snd (split_drive t.name)
+let base_name t = fst (split_drive t.name)
+
+let scaled t ~drive =
+  if drive <= 0.0 then invalid_arg "Stdcell.scaled: drive must be positive";
+  let base, d0 = split_drive t.name in
+  let total = d0 *. drive in
+  if Float.abs (total -. 1.0) < 1e-9 then { t with name = base }
+  else begin
+    let stages =
+      Array.map
+        (fun stage ->
+          {
+            pull_up = Network.scale_widths stage.pull_up drive;
+            pull_down = Network.scale_widths stage.pull_down drive;
+          })
+        t.stages
+    in
+    { t with name = Printf.sprintf "%s_X%g" base total; stages }
+  end
+
+let all_pmos t =
+  List.concat
+    (List.mapi
+       (fun s stage ->
+         List.filter_map
+           (fun (pin, mos) ->
+             match mos.Device.Mosfet.polarity with
+             | Device.Mosfet.P -> Some (s, pin, mos)
+             | Device.Mosfet.N -> None)
+           (Network.devices stage.pull_up))
+       (Array.to_list t.stages))
+
+let area t =
+  Array.fold_left
+    (fun acc stage ->
+      let net_area n =
+        List.fold_left (fun a (_, m) -> a +. m.Device.Mosfet.wl) 0.0 (Network.devices n)
+      in
+      acc +. net_area stage.pull_up +. net_area stage.pull_down)
+    0.0 t.stages
+
+let pp fmt t =
+  Format.fprintf fmt "%s/%d (%d stage%s, area %.1f)" t.name t.n_inputs (Array.length t.stages)
+    (if Array.length t.stages = 1 then "" else "s")
+    (area t)

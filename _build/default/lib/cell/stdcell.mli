@@ -1,0 +1,95 @@
+(** The standard cell library.
+
+    Each cell is a list of CMOS stages; every stage is a complementary
+    pull-up/pull-down network pair over the cell's input pins and earlier
+    stage outputs. Single-stage cells (INV, NAND, NOR, AOI, OAI) are
+    inverting; the non-inverting cells (BUF, AND, OR) append an inverter
+    stage, and XOR2/XNOR2 are the classic four-NAND structure — exactly the
+    structures whose internal PMOS stress behaviour the paper's Table 2
+    analyses.
+
+    Device sizing follows the usual equal-drive rule on top of the 2:1
+    PMOS/NMOS mobility compensation already present in the default leaf
+    widths: series stacks of depth [k] are upsized by [k]. *)
+
+type stage = { pull_up : Network.t; pull_down : Network.t }
+
+type t = private {
+  name : string;
+  n_inputs : int;
+  stages : stage array;  (** topological order; the last stage drives the output *)
+}
+
+val make : name:string -> n_inputs:int -> stage list -> t
+(** Validates networks, pin ranges (inputs in [0, n_inputs), stage
+    references strictly backwards) and per-stage complementarity over all
+    input combinations.
+    @raise Invalid_argument when a stage's pull-up and pull-down conduct
+    simultaneously (short) or neither conducts (floating) for some input. *)
+
+(** {1 Evaluation} *)
+
+val eval : t -> bool array -> bool
+(** Cell output for a concrete input vector (length [n_inputs]). *)
+
+val stage_outputs : t -> bool array -> bool array
+(** Per-stage outputs for a vector; the last entry equals [eval]. *)
+
+val truth_table : t -> bool array
+(** Output for each of the [2^n_inputs] vectors, index = little-endian
+    packing (bit [i] of the index = input [i]). *)
+
+val vector_of_index : n_inputs:int -> int -> bool array
+val index_of_vector : bool array -> int
+
+val stage_output_probability : t -> sp:float array -> float array
+(** Signal probability of each stage output given independent input
+    probabilities [sp] (probability of logic 1), computed exactly by
+    enumerating input vectors (cells have <= 4 inputs). *)
+
+(** {1 The library} *)
+
+val inv : t
+val buf : t
+
+(** Fan-in 2..4 for the multi-input families. *)
+val nand_ : int -> t
+val nor_ : int -> t
+val and_ : int -> t
+val or_ : int -> t
+val xor2 : t
+val xnor2 : t
+
+(** [aoi21]: out = not (in0 * in1 + in2). *)
+val aoi21 : t
+
+(** [oai21]: out = not ((in0 + in1) * in2). *)
+val oai21 : t
+
+val library : t list
+(** All cells above, each exactly once. *)
+
+val find : string -> t
+(** Lookup by name ("INV", "NAND3", ...). @raise Not_found. *)
+
+val scaled : t -> drive:float -> t
+(** A drive-strength variant: every device width multiplied by [drive]
+    (named "<name>_X<drive>"). Input capacitance and drive current scale
+    together, so a gate upsized in place speeds up exactly by the ratio of
+    its load to its self-loading. [drive > 0]. Used by the NBTI-aware
+    sizing mitigation. *)
+
+val drive_of : t -> float
+(** The drive factor this cell was {!scaled} by (1.0 for library cells). *)
+
+val base_name : t -> string
+(** The library name without the drive suffix. *)
+
+val all_pmos : t -> (int * Network.pin * Device.Mosfet.t) list
+(** Every PMOS device in the cell as [(stage_index, pin, device)]. *)
+
+val area : t -> float
+(** Sum of all device W/L ratios — the area proxy used for ST sizing
+    overhead accounting. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/ac_stress.ml: Float

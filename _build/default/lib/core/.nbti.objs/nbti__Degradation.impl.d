@@ -1,0 +1,1 @@
+lib/core/degradation.ml: Device Float List Schedule Vth_shift

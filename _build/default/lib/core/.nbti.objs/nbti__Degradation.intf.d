@@ -1,0 +1,1 @@
+lib/core/degradation.mli: Device Rd_model Schedule

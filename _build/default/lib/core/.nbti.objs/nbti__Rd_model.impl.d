@@ -1,0 +1,1 @@
+lib/core/rd_model.ml: Device Float Format Physics

@@ -1,0 +1,1 @@
+lib/core/rd_model.mli: Device Format

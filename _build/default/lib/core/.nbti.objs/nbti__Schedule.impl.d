@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Float Format List Rd_model

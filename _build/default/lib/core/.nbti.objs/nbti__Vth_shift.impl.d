@@ -1,0 +1,1 @@
+lib/core/vth_shift.ml: Ac_stress Array Device Float List Rd_model Schedule

@@ -1,0 +1,1 @@
+lib/core/vth_shift.mli: Device Rd_model Schedule

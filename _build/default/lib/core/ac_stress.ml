@@ -1,0 +1,41 @@
+let beta ~c =
+  assert (c >= 0.0 && c <= 1.0);
+  Float.sqrt ((1.0 -. c) /. 2.0)
+
+let s1 ~c = if c <= 0.0 then 0.0 else Float.pow c 0.25 /. (1.0 +. beta ~c)
+
+let s_n_exact ~c ~n =
+  assert (n >= 1);
+  if c <= 0.0 then 0.0
+  else begin
+    let b = beta ~c in
+    let step = c /. (4.0 *. (1.0 +. b)) in
+    let s = ref (s1 ~c) in
+    for _ = 2 to n do
+      s := !s +. (step /. (!s *. !s *. !s))
+    done;
+    !s
+  end
+
+let s_n ~c ~n =
+  assert (n >= 1.0);
+  if c <= 0.0 then 0.0
+  else begin
+    let b = beta ~c in
+    let s1 = s1 ~c in
+    Float.pow ((s1 *. s1 *. s1 *. s1) +. ((n -. 1.0) *. c /. (1.0 +. b))) 0.25
+  end
+
+let dvth ~kv ~c ~tau ~time ~time_exponent =
+  if time <= 0.0 || c <= 0.0 || kv <= 0.0 then 0.0
+  else if c >= 1.0 then kv *. Float.pow time time_exponent
+  else begin
+    assert (tau > 0.0);
+    let n = Float.max 1.0 (time /. tau) in
+    kv *. s_n ~c ~n *. Float.pow tau time_exponent
+  end
+
+let dc_equivalent_duty_factor ~c =
+  if c <= 0.0 then 0.0
+  else if c >= 1.0 then 1.0
+  else Float.pow (c /. (1.0 +. beta ~c)) 0.25

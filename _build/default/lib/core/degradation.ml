@@ -1,0 +1,27 @@
+let overdrive tech = tech.Device.Tech.vdd -. tech.Device.Tech.vth_p
+
+let factor tech ~dvth =
+  if dvth <= 0.0 then 0.0 else tech.Device.Tech.alpha *. dvth /. overdrive tech
+
+let factor_exact tech ~dvth =
+  if dvth <= 0.0 then 0.0
+  else begin
+    let od = overdrive tech in
+    assert (dvth < od);
+    Float.pow (od /. (od -. dvth)) tech.Device.Tech.alpha -. 1.0
+  end
+
+let aged_delay tech ~fresh ~dvth = fresh *. (1.0 +. factor tech ~dvth)
+
+let worst_dvth = List.fold_left Float.max 0.0
+
+let gate_degradation params tech ~schedule ~stress_duties ~time =
+  let cond = Vth_shift.nominal_pmos tech in
+  let shifts =
+    List.map
+      (fun (active, standby) ->
+        let sched = Schedule.with_stress_duties schedule ~active ~standby in
+        Vth_shift.dvth params tech cond ~schedule:sched ~time)
+      stress_duties
+  in
+  factor tech ~dvth:(worst_dvth shifts)

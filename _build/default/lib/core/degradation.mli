@@ -1,0 +1,36 @@
+(** Gate delay degradation from NBTI threshold shifts (paper Section 3.3,
+    eqs. 20–22).
+
+    The alpha-power gate delay is [d = K Cl Vdd / (Vg - Vth)^alpha]
+    (eq. 20). Expanding to first order in dVth (eq. 22):
+
+    {[ delta_d = alpha * dVth / (Vg - Vth0) * d ]}
+
+    When a gate contains several PMOS devices with different shifts, the
+    paper takes the largest shift (worst case). *)
+
+val factor : Device.Tech.t -> dvth:float -> float
+(** The relative delay increase [alpha * dvth / (vdd - vth_p)]; 0 for
+    [dvth <= 0]. *)
+
+val factor_exact : Device.Tech.t -> dvth:float -> float
+(** The unlinearized ratio [((vdd - vth0) / (vdd - vth0 - dvth))^alpha - 1];
+    diverges as dvth approaches the overdrive. Property tests check it
+    upper-bounds {!factor}. *)
+
+val aged_delay : Device.Tech.t -> fresh:float -> dvth:float -> float
+(** [fresh * (1 + factor)]. *)
+
+val worst_dvth : float list -> float
+(** Largest shift among a gate's PMOS devices; 0 for the empty list. *)
+
+val gate_degradation :
+  Rd_model.params ->
+  Device.Tech.t ->
+  schedule:Schedule.t ->
+  stress_duties:(float * float) list ->
+  time:float ->
+  float
+(** One-call helper: per-PMOS [(active_duty, standby_duty)] stress
+    conditions -> worst dVth under the schedule -> relative delay increase.
+    This is the quantity STA adds to every gate. *)

@@ -1,0 +1,86 @@
+type mode = Active | Standby
+
+type phase = { duration : float; temp_k : float; stress_duty : float; mode : mode }
+
+type t = { period : float; phases : phase list; t_ref : float }
+
+let validate_phase p =
+  if p.duration <= 0.0 then invalid_arg "Schedule.make: phase duration must be > 0";
+  if p.stress_duty < 0.0 || p.stress_duty > 1.0 then
+    invalid_arg "Schedule.make: stress duty must be in [0, 1]";
+  if p.temp_k <= 0.0 then invalid_arg "Schedule.make: temperature must be > 0"
+
+let make ?t_ref phases =
+  if phases = [] then invalid_arg "Schedule.make: empty phase list";
+  List.iter validate_phase phases;
+  let period = List.fold_left (fun acc p -> acc +. p.duration) 0.0 phases in
+  let t_ref =
+    match t_ref with
+    | Some t -> t
+    | None -> List.fold_left (fun acc p -> Float.max acc p.temp_k) 0.0 phases
+  in
+  { period; phases; t_ref }
+
+let active_standby ?(period = 1000.0) ~ras:(a, s) ~t_active ~t_standby ~active_duty
+    ~standby_duty () =
+  if a <= 0.0 || s < 0.0 then invalid_arg "Schedule.active_standby: ras parts must be positive";
+  let total = a +. s in
+  let active =
+    { duration = period *. a /. total; temp_k = t_active; stress_duty = active_duty; mode = Active }
+  in
+  if s = 0.0 then make ~t_ref:t_active [ active ]
+  else begin
+    let standby =
+      {
+        duration = period *. s /. total;
+        temp_k = t_standby;
+        stress_duty = standby_duty;
+        mode = Standby;
+      }
+    in
+    make ~t_ref:t_active [ active; standby ]
+  end
+
+let dc ?(temp_k = 400.0) () =
+  make ~t_ref:temp_k [ { duration = 1000.0; temp_k; stress_duty = 1.0; mode = Active } ]
+
+type equivalent = { c_eq : float; tau_eq : float; n_scale : float; t_ref : float }
+
+let equivalent params (t : t) =
+  (* Eq. 17: time spent at T_phase is worth D(T_phase)/D(T_ref) of time at
+     T_ref, for stress and recovery alike. *)
+  let stress, recovery =
+    List.fold_left
+      (fun (s, r) p ->
+        let d = Rd_model.diffusion_ratio params ~t_standby:p.temp_k ~t_active:t.t_ref in
+        ( s +. (p.duration *. p.stress_duty *. d),
+          r +. (p.duration *. (1.0 -. p.stress_duty) *. d) ))
+      (0.0, 0.0) t.phases
+  in
+  let tau_eq = stress +. recovery in
+  let c_eq = if tau_eq <= 0.0 then 0.0 else stress /. tau_eq in
+  { c_eq; tau_eq; n_scale = 1.0 /. t.period; t_ref = t.t_ref }
+
+let worst_case_temperature (t : t) =
+  { t with phases = List.map (fun p -> { p with temp_k = t.t_ref }) t.phases }
+
+let with_stress_duties (t : t) ~active ~standby =
+  let phases =
+    List.map
+      (fun p ->
+        match p.mode with
+        | Active -> { p with stress_duty = active }
+        | Standby -> { p with stress_duty = standby })
+      t.phases
+  in
+  { t with phases }
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "@[<h>period=%gs Tref=%gK [%a]@]" t.period t.t_ref
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+       (fun fmt p ->
+         Format.fprintf fmt "%s %gs@%gK duty=%.3f"
+           (match p.mode with Active -> "act" | Standby -> "stby")
+           p.duration p.temp_k p.stress_duty))
+    t.phases

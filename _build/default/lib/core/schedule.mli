@@ -1,0 +1,88 @@
+(** Active/standby stress schedules and the temperature-equivalence
+    transform (paper Section 3.2, eqs. 17–19) — the paper's contribution.
+
+    A schedule describes one period of circuit operation as a list of
+    phases. Each phase has a duration, a steady-state die temperature, and
+    the fraction of the phase during which the PMOS under analysis is
+    stressed (gate low while its source sits at V_dd):
+
+    - active phase: duty = probability that the gate input is 0 (the signal
+      probability of the "stress condition" for that PMOS);
+    - standby phase: duty = 1.0 if the standby state holds the input at 0
+      (worst case), 0.0 if it holds it at 1 (full recovery).
+
+    The transform maps every phase onto equivalent time at the reference
+    (active) temperature through the hydrogen diffusion ratio
+    [D(T_phase) / D(T_ref)] (eq. 17), producing an equivalent duty cycle
+    [c_eq] and period [tau_eq] (eqs. 18–19) that feed the AC stress model
+    {!Ac_stress}. *)
+
+type mode = Active | Standby
+(** Whether the phase's stress duty is set by signal activity (active) or
+    by a pinned standby state. Per-PMOS evaluation overrides the duty of
+    every phase according to its mode ({!with_stress_duties}). *)
+
+type phase = {
+  duration : float;  (** [s], > 0 *)
+  temp_k : float;  (** steady-state temperature of the phase *)
+  stress_duty : float;  (** fraction of the phase under stress, in [0, 1] *)
+  mode : mode;
+}
+
+type t = private {
+  period : float;  (** sum of phase durations [s] *)
+  phases : phase list;
+  t_ref : float;  (** reference temperature: the (hottest) active temperature *)
+}
+
+val make : ?t_ref:float -> phase list -> t
+(** Builds a schedule from non-empty phases with positive durations.
+    [t_ref] defaults to the maximum phase temperature.
+    @raise Invalid_argument on empty phases, non-positive durations, or
+    duties outside [0, 1]. *)
+
+val active_standby :
+  ?period:float ->
+  ras:float * float ->
+  t_active:float ->
+  t_standby:float ->
+  active_duty:float ->
+  standby_duty:float ->
+  unit ->
+  t
+(** The paper's canonical two-phase schedule. [ras = (a, s)] is the
+    active:standby time ratio (e.g. [(1., 5.)] for "RAS = 1:5");
+    [period] is the full mode-switching period in seconds (default 1000 s —
+    task-level power management; the long-run dVth is insensitive to it).
+    [active_duty] is the stress duty during active mode (signal probability
+    of input 0; 0.5 in most of the paper's experiments); [standby_duty] is
+    1.0 for a standby state that stresses the device, 0.0 for one that
+    relaxes it. *)
+
+val dc : ?temp_k:float -> unit -> t
+(** Permanent stress at [temp_k] (default 400 K): the DC reference. *)
+
+type equivalent = {
+  c_eq : float;  (** equivalent duty cycle (eq. 18) *)
+  tau_eq : float;  (** equivalent period [s] at T_ref (eq. 19) *)
+  n_scale : float;
+      (** cycles elapsed per second of wall-clock time = 1 / period — the
+          transform changes the period length, not the number of periods *)
+  t_ref : float;
+}
+
+val equivalent : Rd_model.params -> t -> equivalent
+(** Applies eqs. 17–19. A schedule with zero total equivalent stress yields
+    [c_eq = 0]. *)
+
+val worst_case_temperature : t -> t
+(** The same schedule with every phase forced to [t_ref] — the prior-work
+    assumption (Kumar [6]) that the paper improves on; used by the
+    temperature-aware-vs-worst-case ablation. *)
+
+val with_stress_duties : t -> active:float -> standby:float -> t
+(** Convenience for per-PMOS evaluation: replaces the stress duty of every
+    [Active] phase by [active] and of every [Standby] phase by
+    [standby]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+type device_cond = { vgs : float; vth0 : float }
+
+let nominal_pmos tech = { vgs = tech.Device.Tech.vdd; vth0 = tech.Device.Tech.vth_p }
+
+let dvth params tech cond ~schedule ~time =
+  if time <= 0.0 then 0.0
+  else begin
+    let eq = Schedule.equivalent params schedule in
+    if eq.Schedule.c_eq <= 0.0 then 0.0
+    else begin
+      let kv = Rd_model.kv params tech ~vgs:cond.vgs ~vth0:cond.vth0 ~temp_k:eq.Schedule.t_ref in
+      (* The number of elapsed periods is set by wall-clock time; the
+         transform only reshapes each period into tau_eq at T_ref. *)
+      let n = Float.max 1.0 (time *. eq.Schedule.n_scale) in
+      let recoverable =
+        kv
+        *. Ac_stress.s_n ~c:eq.Schedule.c_eq ~n
+        *. Float.pow eq.Schedule.tau_eq params.Rd_model.time_exponent
+      in
+      let fp = params.Rd_model.permanent_fraction in
+      if fp <= 0.0 then recoverable
+      else begin
+        (* The permanent share of the traps never anneals: it follows the
+           DC law over the accumulated equivalent stress time, untouched
+           by the relaxation phases. *)
+        let stress_time = eq.Schedule.c_eq *. eq.Schedule.tau_eq *. n in
+        let permanent = kv *. Float.pow stress_time params.Rd_model.time_exponent in
+        ((1.0 -. fp) *. recoverable) +. (fp *. permanent)
+      end
+    end
+  end
+
+let dvth_dc_ref params tech cond ~time =
+  Rd_model.dvth_dc params tech ~vgs:cond.vgs ~vth0:cond.vth0
+    ~temp_k:params.Rd_model.ref_temp_k ~time
+
+let sweep_time params tech cond ~schedule ~times =
+  Array.map (fun t -> (t, dvth params tech cond ~schedule ~time:t)) times
+
+let trace_cycles params tech cond ~temp_k ~tau ~c ~cycles ~points_per_phase =
+  assert (cycles >= 1 && points_per_phase >= 1 && tau > 0.0 && c > 0.0 && c <= 1.0);
+  let kv = Rd_model.kv params tech ~vgs:cond.vgs ~vth0:cond.vth0 ~temp_k in
+  let e = params.Rd_model.time_exponent in
+  let t_stress = c *. tau and t_recover = (1.0 -. c) *. tau in
+  let points = ref [] in
+  let push t v = points := (t, v) :: !points in
+  (* n_level: current dvth expressed as equivalent DC stress time, so each
+     stress phase resumes on the t^e envelope where recovery left off. *)
+  let level = ref 0.0 in
+  let total_stress = ref 0.0 in
+  for cycle = 0 to cycles - 1 do
+    let t0 = float_of_int cycle *. tau in
+    let t_eff = if !level <= 0.0 then 0.0 else Float.pow (!level /. kv) (1.0 /. e) in
+    for i = 1 to points_per_phase do
+      let dt = t_stress *. float_of_int i /. float_of_int points_per_phase in
+      push (t0 +. dt) (kv *. Float.pow (t_eff +. dt) e)
+    done;
+    level := kv *. Float.pow (t_eff +. t_stress) e;
+    total_stress := !total_stress +. t_stress;
+    if t_recover > 0.0 then begin
+      let v0 = !level in
+      for i = 1 to points_per_phase do
+        let dt = t_recover *. float_of_int i /. float_of_int points_per_phase in
+        push (t0 +. t_stress +. dt)
+          (v0 *. Rd_model.recovery_fraction ~t_recover:dt ~t_stress:!total_stress)
+      done;
+      level := v0 *. Rd_model.recovery_fraction ~t_recover ~t_stress:!total_stress
+    end
+  done;
+  Array.of_list (List.rev !points)

@@ -1,0 +1,47 @@
+(** Top-level temperature-aware threshold shift evaluation: R–D coefficient
+    (at the schedule's reference temperature) + equivalence transform + AC
+    stress model, composed as in paper Section 3.2. *)
+
+type device_cond = {
+  vgs : float;  (** stress gate drive magnitude [V]; V_dd for core PMOS *)
+  vth0 : float;  (** initial threshold magnitude [V] *)
+}
+
+val nominal_pmos : Device.Tech.t -> device_cond
+(** [vgs = vdd], [vth0 = vth_p]: the paper's core-logic PMOS. *)
+
+val dvth :
+  Rd_model.params -> Device.Tech.t -> device_cond -> schedule:Schedule.t -> time:float -> float
+(** Threshold shift [V] after [time] seconds of operation under [schedule].
+    Monotone non-decreasing in [time]; 0 for schedules that never stress.
+    With a nonzero [permanent_fraction] the shift blends the recoverable
+    AC solution with a never-annealing share that follows the DC law over
+    the accumulated equivalent stress time — always >= the fully
+    recoverable prediction. *)
+
+val dvth_dc_ref : Rd_model.params -> Device.Tech.t -> device_cond -> time:float -> float
+(** DC shift at the model's reference temperature — the upper envelope. *)
+
+val sweep_time :
+  Rd_model.params ->
+  Device.Tech.t ->
+  device_cond ->
+  schedule:Schedule.t ->
+  times:float array ->
+  (float * float) array
+(** [(time, dvth)] pairs for plotting Figs. 3 and 4. *)
+
+val trace_cycles :
+  Rd_model.params ->
+  Device.Tech.t ->
+  device_cond ->
+  temp_k:float ->
+  tau:float ->
+  c:float ->
+  cycles:int ->
+  points_per_phase:int ->
+  (float * float) array
+(** Fig. 1: the sawtooth within-cycle trace of dVth under AC stress at a
+    fixed temperature — growth as [A (t_eff + dt)^(1/4)] during the stress
+    part of each cycle, fractional recovery (eq. 6) during the rest.
+    Returns [(time, dvth)] samples; [cycles * points_per_phase * 2] points. *)

@@ -1,0 +1,1 @@
+lib/device/arrhenius.ml: Float Physics

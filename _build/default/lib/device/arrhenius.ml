@@ -1,0 +1,11 @@
+type t = { prefactor : float; ea_ev : float }
+
+let rate t ~temp_k =
+  t.prefactor *. Float.exp (-.t.ea_ev /. (Physics.Const.boltzmann_ev *. temp_k))
+
+let ratio t ~t1 ~t2 =
+  Float.exp (-.t.ea_ev /. Physics.Const.boltzmann_ev *. ((1.0 /. t1) -. (1.0 /. t2)))
+
+let of_reference ~rate_at ~temp_k ~ea_ev =
+  let boltz = Physics.Const.boltzmann_ev in
+  { prefactor = rate_at /. Float.exp (-.ea_ev /. (boltz *. temp_k)); ea_ev }

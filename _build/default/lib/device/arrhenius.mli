@@ -1,0 +1,24 @@
+(** Arrhenius-activated rates.
+
+    The temperature dependence of the NBTI reaction–diffusion parameters
+    (hydrogen diffusion coefficient [D_H], dissociation rate [k_f],
+    self-annealing rate [k_r]; paper eqs. 13–15) and of subthreshold leakage
+    all reduce to [rate T = prefactor * exp (-Ea / (kB * T))]. *)
+
+type t = {
+  prefactor : float;  (** rate at infinite temperature, unit of the rate *)
+  ea_ev : float;  (** activation energy [eV] *)
+}
+
+val rate : t -> temp_k:float -> float
+(** [rate r ~temp_k] is [r.prefactor *. exp (-. r.ea_ev /. (kB_eV *. temp_k))]. *)
+
+val ratio : t -> t1:float -> t2:float -> float
+(** [ratio r ~t1 ~t2] is [rate r ~temp_k:t1 /. rate r ~temp_k:t2]; the
+    prefactor cancels, so only [ea_ev] matters. This is the
+    [D_standby / D_active] factor of the paper's equivalent stress time
+    (eq. 17). *)
+
+val of_reference : rate_at:float -> temp_k:float -> ea_ev:float -> t
+(** [of_reference ~rate_at ~temp_k ~ea_ev] builds the law with activation
+    energy [ea_ev] whose rate at [temp_k] equals [rate_at]. *)

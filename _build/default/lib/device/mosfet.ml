@@ -1,0 +1,45 @@
+type polarity = N | P
+
+type t = { polarity : polarity; wl : float; dvth : float }
+
+let nmos ?(dvth = 0.0) ~wl () = { polarity = N; wl; dvth }
+let pmos ?(dvth = 0.0) ~wl () = { polarity = P; wl; dvth }
+
+let vth tech t ~temp_k =
+  let which = match t.polarity with N -> `N | P -> `P in
+  Tech.vth_at tech which ~temp_k +. t.dvth
+
+let k_sat tech t = match t.polarity with N -> tech.Tech.k_sat_n | P -> tech.Tech.k_sat_p
+
+let on_current_vgs tech t ~vgs ~temp_k =
+  let overdrive = vgs -. vth tech t ~temp_k in
+  if overdrive <= 0.0 then 0.0
+  else k_sat tech t *. t.wl *. Float.pow overdrive tech.Tech.alpha
+
+let on_current tech t ~temp_k = on_current_vgs tech t ~vgs:tech.Tech.vdd ~temp_k
+
+let subthreshold_current tech t ~vgs ~vds ~temp_k =
+  if vds <= 0.0 then 0.0
+  else begin
+    let vt = Physics.Const.thermal_voltage ~temp_k in
+    let vth = vth tech t ~temp_k in
+    (* (T/300)^2 captures the mobility x thermal-DOS prefactor growth;
+       the dominant temperature sensitivity is the exp((vgs-vth)/nvT) term
+       through both vT and dVth/dT. *)
+    let thermal_scale = (temp_k /. 300.0) ** 2.0 in
+    tech.Tech.i0_sub *. t.wl *. thermal_scale
+    *. Float.exp ((vgs -. vth) /. (tech.Tech.n_swing *. vt))
+    *. (1.0 -. Float.exp (-.vds /. vt))
+  end
+
+let gate_leakage tech t ~vox =
+  let v = Float.abs vox in
+  if v <= 0.0 then 0.0
+  else tech.Tech.jg0 *. t.wl *. Float.exp ((v -. tech.Tech.vdd) /. tech.Tech.vg0)
+
+let input_capacitance tech t = tech.Tech.cg_per_wl *. t.wl
+
+let delay_factor tech t ~cload ~temp_k =
+  let ion = on_current tech t ~temp_k in
+  assert (ion > 0.0);
+  cload *. tech.Tech.vdd /. ion

@@ -1,0 +1,51 @@
+(** Analytical MOSFET models: alpha-power-law drive current, subthreshold
+    conduction with drain-induced saturation, and gate tunneling leakage.
+
+    Conventions: all voltages are magnitudes relative to the source of the
+    device (so a stressed PMOS has [vgs = vdd]); currents are positive. A
+    device is a width ratio [wl = W/L] on top of a {!Tech.t}; an optional
+    [dvth] carries an NBTI-induced threshold shift (positive = slower). *)
+
+type polarity = N | P
+
+type t = {
+  polarity : polarity;
+  wl : float;  (** W/L ratio; >= 1 in the cell library *)
+  dvth : float;  (** threshold shift from aging [V], added to |V_th| *)
+}
+
+val nmos : ?dvth:float -> wl:float -> unit -> t
+val pmos : ?dvth:float -> wl:float -> unit -> t
+
+val vth : Tech.t -> t -> temp_k:float -> float
+(** Effective threshold magnitude: technology value at [temp_k] plus
+    [dvth]. *)
+
+val on_current : Tech.t -> t -> temp_k:float -> float
+(** Saturated drive current [A] at [|Vgs| = Vdd]:
+    [k_sat * wl * (vdd - vth)^alpha] (Sakurai–Newton).
+    0 if the gate overdrive is not positive. *)
+
+val on_current_vgs : Tech.t -> t -> vgs:float -> temp_k:float -> float
+(** Same with an explicit gate drive (used for sleep transistors whose
+    source sits below the rail). *)
+
+val subthreshold_current : Tech.t -> t -> vgs:float -> vds:float -> temp_k:float -> float
+(** Weak-inversion current [A]:
+    [i0 * wl * exp ((vgs - vth) / (n vT)) * (1 - exp (-vds / vT))] with
+    vT = kT/q scaled from the 300 K reference (T/300)^2 mobility-DOS factor.
+    [vgs] may be negative (gate below source). Monotone in both [vgs] and
+    [vds]; 0 when [vds <= 0]. *)
+
+val gate_leakage : Tech.t -> t -> vox:float -> float
+(** Gate tunneling current [A] at oxide voltage [vox] (magnitude):
+    [jg0 * wl * exp ((|vox| - vdd) / vg0)] — an empirical exponential fit
+    anchored at full-rail bias, adequate for the stacking-effect ordering
+    the MLV search relies on. Essentially temperature-independent. *)
+
+val input_capacitance : Tech.t -> t -> float
+(** Gate capacitance [F] presented to the driver: [cg_per_wl * wl]. *)
+
+val delay_factor : Tech.t -> t -> cload:float -> temp_k:float -> float
+(** Switching delay [s] of this device discharging/charging [cload]
+    (eq. 20): [cload * vdd / on_current]. *)

@@ -1,0 +1,51 @@
+(** Technology parameter sets.
+
+    The paper's experiments use the PTM 90 nm bulk CMOS model with
+    V_dd = 1.0 V and |V_th| = 220 mV for every transistor. [ptm_90nm] is an
+    analytical stand-in for that SPICE deck: the handful of parameters below
+    feed the alpha-power-law on-current, the subthreshold/gate leakage
+    equations and the NBTI field-acceleration term, which together determine
+    every quantity the evaluation reports. Scaled 65/45 nm variants are
+    provided for the scaling discussions (smaller ST V_th headroom, thinner
+    oxide). *)
+
+type t = {
+  name : string;
+  vdd : float;  (** supply voltage [V] *)
+  vth_p : float;  (** PMOS threshold magnitude [V] at 300 K *)
+  vth_n : float;  (** NMOS threshold [V] at 300 K *)
+  tox : float;  (** electrical oxide thickness [m] *)
+  lmin : float;  (** minimum (drawn) channel length [m] *)
+  alpha : float;  (** velocity-saturation index of the alpha-power law *)
+  k_sat_n : float;
+      (** NMOS on-current factor [A/V^alpha] for W/L = 1: I_on = k_sat * (W/L) * (Vgs - Vth)^alpha *)
+  k_sat_p : float;  (** PMOS on-current factor [A/V^alpha] for W/L = 1 *)
+  i0_sub : float;
+      (** subthreshold current prefactor [A] for W/L = 1 at 300 K and Vgs = Vth *)
+  n_swing : float;  (** subthreshold slope factor n (S = n * vT * ln 10) *)
+  dvth_dt : float;  (** threshold temperature coefficient [V/K], negative *)
+  jg0 : float;  (** gate tunneling current [A] per W/L = 1 device at full Vdd bias *)
+  vg0 : float;  (** gate-leakage exponential voltage scale [V] *)
+  cg_per_wl : float;  (** gate capacitance [F] of a W/L = 1, L = lmin device *)
+  ea_sub_ev : float;  (** leakage thermal activation energy [eV] *)
+}
+
+val ptm_90nm : t
+(** The paper's setup: V_dd = 1.0 V, |V_th| = 0.22 V, 90 nm. *)
+
+val ptm_65nm : t
+val ptm_45nm : t
+
+val cox : t -> float
+(** Oxide capacitance per unit area [F/m^2] = eps_SiO2 / tox. *)
+
+val vth_at : t -> [ `N | `P ] -> temp_k:float -> float
+(** Threshold magnitude at temperature [temp_k], linearized around 300 K
+    with [dvth_dt]. Never returns a negative magnitude. *)
+
+val with_vth_p : t -> float -> t
+(** [with_vth_p t v] is [t] with the PMOS threshold magnitude replaced —
+    used for the sleep-transistor initial-V_th sweep (Fig. 8/9) and for
+    dual-V_th experiments. *)
+
+val pp : Format.formatter -> t -> unit

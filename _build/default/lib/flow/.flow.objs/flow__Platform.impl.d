@@ -1,0 +1,1 @@
+lib/flow/platform.ml: Aging Circuit Ivc Leakage Logic Physics Sleep Sta

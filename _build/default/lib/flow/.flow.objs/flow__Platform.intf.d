@@ -1,0 +1,1 @@
+lib/flow/platform.mli: Aging Circuit Ivc Leakage Physics Sleep

@@ -1,0 +1,1 @@
+lib/flow/report.ml: Array Format List Physics Printf Stdlib String

@@ -1,0 +1,81 @@
+type sp_method = Sp_analytic | Sp_monte_carlo of { n_vectors : int; seed : int }
+
+type config = {
+  aging : Aging.Circuit_aging.config;
+  input_sp : float;
+  sp_method : sp_method;
+  leakage_temp : float;
+}
+
+let default_config ?aging () =
+  let aging = match aging with Some a -> a | None -> Aging.Circuit_aging.default_config () in
+  {
+    aging;
+    input_sp = 0.5;
+    sp_method = Sp_monte_carlo { n_vectors = 4096; seed = 7 };
+    leakage_temp = 400.0;
+  }
+
+type prepared = {
+  net : Circuit.Netlist.t;
+  sp : float array;
+  tabs : Leakage.Circuit_leakage.tables;
+  cfg : config;
+}
+
+let prepare config net =
+  let input_sp = Logic.Signal_prob.uniform_inputs net config.input_sp in
+  let sp =
+    match config.sp_method with
+    | Sp_analytic -> Logic.Signal_prob.analytic net ~input_sp
+    | Sp_monte_carlo { n_vectors; seed } ->
+      Logic.Signal_prob.monte_carlo net ~rng:(Physics.Rng.create ~seed) ~input_sp ~n_vectors
+  in
+  let tabs =
+    Leakage.Circuit_leakage.build_tables config.aging.Aging.Circuit_aging.tech net
+      ~temp_k:config.leakage_temp
+  in
+  { net; sp; tabs; cfg = config }
+
+let netlist p = p.net
+let node_sp p = p.sp
+let tables p = p.tabs
+
+type analysis = {
+  stats : Circuit.Netlist.stats;
+  fresh_delay : float;
+  aged_delay : float;
+  degradation : float;
+  max_dvth : float;
+  standby_leakage : float;
+  active_leakage : float;
+}
+
+let analyze config p ~standby =
+  let a = Aging.Circuit_aging.analyze config.aging p.net ~node_sp:p.sp ~standby () in
+  let standby_leakage =
+    match standby with
+    | Aging.Circuit_aging.Standby_vector v ->
+      Leakage.Circuit_leakage.standby_leakage p.tabs p.net ~vector:v
+    | Aging.Circuit_aging.Standby_all_stressed ->
+      Leakage.Circuit_leakage.worst_standby_bound p.tabs p.net
+    | Aging.Circuit_aging.Standby_all_relaxed ->
+      Leakage.Circuit_leakage.best_standby_bound p.tabs p.net
+  in
+  {
+    stats = Circuit.Netlist.stats p.net;
+    fresh_delay = a.Aging.Circuit_aging.fresh.Sta.Timing.max_delay;
+    aged_delay = a.Aging.Circuit_aging.aged.Sta.Timing.max_delay;
+    degradation = a.Aging.Circuit_aging.degradation;
+    max_dvth = a.Aging.Circuit_aging.max_dvth;
+    standby_leakage;
+    active_leakage = Leakage.Circuit_leakage.expected_leakage p.tabs p.net ~node_sp:p.sp;
+  }
+
+let optimize_ivc config p ~rng ?pool ?tolerance () =
+  Ivc.Co_opt.run config.aging p.tabs p.net ~node_sp:p.sp ~rng ?pool ?tolerance ()
+
+let optimize_st config p ~style ~beta ?vth_st ?nbti_aware () =
+  Sleep.St_insertion.analyze config.aging p.net ~node_sp:p.sp ~style ~beta ?vth_st ?nbti_aware ()
+
+let internal_node_potential config p = Ivc.Internal_node.potential config.aging p.net ~node_sp:p.sp

@@ -1,0 +1,61 @@
+(** The NBTI/leakage analysis and optimization platform of the paper's
+    Fig. 6: netlist + technology + NBTI model in; signal probabilities,
+    standby states, leakage, aged timing and the two optimization flows
+    (IVC, sleep transistor insertion) out. *)
+
+type sp_method =
+  | Sp_analytic  (** exact per-gate propagation, net independence *)
+  | Sp_monte_carlo of { n_vectors : int; seed : int }  (** the paper's method *)
+
+type config = {
+  aging : Aging.Circuit_aging.config;
+  input_sp : float;  (** probability of 1 on every primary input (0.5 in the paper) *)
+  sp_method : sp_method;
+  leakage_temp : float;  (** temperature for leakage tables (400 K in Table 2) *)
+}
+
+val default_config : ?aging:Aging.Circuit_aging.config -> unit -> config
+(** The paper's setting: SP 0.5, Monte-Carlo SPs (4096 vectors), leakage
+    at 400 K, aging per {!Aging.Circuit_aging.default_config}. *)
+
+type prepared
+(** A netlist with its signal probabilities and leakage tables computed. *)
+
+val prepare : config -> Circuit.Netlist.t -> prepared
+val netlist : prepared -> Circuit.Netlist.t
+val node_sp : prepared -> float array
+val tables : prepared -> Leakage.Circuit_leakage.tables
+
+type analysis = {
+  stats : Circuit.Netlist.stats;
+  fresh_delay : float;  (** [s] *)
+  aged_delay : float;
+  degradation : float;
+  max_dvth : float;  (** [V] *)
+  standby_leakage : float;  (** [A], for the analyzed standby state *)
+  active_leakage : float;  (** [A], expectation under the SPs *)
+}
+
+val analyze : config -> prepared -> standby:Aging.Circuit_aging.standby_state -> analysis
+(** One full pass of the Fig. 6 flow for a given standby state. The
+    standby leakage of the bounding states is reported as the all-0 /
+    all-1 gate-input bound (sum of per-gate LUT entries). *)
+
+val optimize_ivc :
+  config -> prepared -> rng:Physics.Rng.t -> ?pool:int -> ?tolerance:float -> unit ->
+  Ivc.Co_opt.result * Ivc.Mlv.search_stats
+(** MLV search + NBTI co-optimization (Table 3). *)
+
+val optimize_st :
+  config ->
+  prepared ->
+  style:Sleep.St_insertion.style ->
+  beta:float ->
+  ?vth_st:float ->
+  ?nbti_aware:bool ->
+  unit ->
+  Sleep.St_insertion.result
+(** Sleep transistor insertion analysis (Fig. 11). *)
+
+val internal_node_potential : config -> prepared -> Ivc.Internal_node.potential
+(** Table 4's bounding analysis. *)

@@ -1,0 +1,45 @@
+type table = { title : string; header : string list; rows : string list list }
+
+let pp_table fmt t =
+  let arity = List.length t.header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> arity then
+        invalid_arg (Printf.sprintf "Report.pp_table: row %d has wrong arity" i))
+    t.rows;
+  let widths = Array.of_list (List.map String.length t.header) in
+  List.iter
+    (List.iteri (fun c s -> widths.(c) <- Stdlib.max widths.(c) (String.length s)))
+    t.rows;
+  let pad c s = Printf.sprintf "%*s" widths.(c) s in
+  Format.fprintf fmt "%s@." t.title;
+  Format.fprintf fmt "%s@." (String.concat "  " (List.mapi pad t.header));
+  let rule = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  Format.fprintf fmt "%s@." rule;
+  List.iter (fun row -> Format.fprintf fmt "%s@." (String.concat "  " (List.mapi pad row))) t.rows
+
+let print t =
+  pp_table Format.std_formatter t;
+  Format.printf "@."
+
+let series ~title ~x_label ~y_labels data =
+  {
+    title;
+    header = x_label :: y_labels;
+    rows =
+      List.map
+        (fun (x, ys) -> Printf.sprintf "%.4g" x :: List.map (fun y -> Printf.sprintf "%.5g" y) ys)
+        data;
+  }
+
+let cell_f ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+let cell_pct r = Printf.sprintf "%.2f" (100.0 *. r)
+let cell_si ~unit x = Physics.Units.si_string ~unit x
+let cell_mv v = Printf.sprintf "%.2f" (v *. 1e3)
+let cell_ps s = Printf.sprintf "%.1f" (s *. 1e12)
+
+let vector_string v =
+  let n = Array.length v in
+  let shown = Stdlib.min n 24 in
+  let bits = String.init shown (fun i -> if v.(i) then '1' else '0') in
+  if n > shown then bits ^ "..." else bits

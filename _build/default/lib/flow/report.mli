@@ -1,0 +1,34 @@
+(** Plain-text table and series rendering shared by the benchmark harness,
+    the CLI and the examples. *)
+
+type table = { title : string; header : string list; rows : string list list }
+
+val pp_table : Format.formatter -> table -> unit
+(** Monospace rendering with per-column alignment and a rule under the
+    header. Every row must have the header's arity. *)
+
+val print : table -> unit
+(** [pp_table] to stdout followed by a blank line. *)
+
+val series :
+  title:string -> x_label:string -> y_labels:string list -> (float * float list) list -> table
+(** Tabulates plot data: one row per x sample, one column per curve —
+    how the harness reports the paper's figures. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Fixed-point float cell (default 3 decimals). *)
+
+val cell_pct : float -> string
+(** Ratio as percentage with two decimals: [0.0432] -> ["4.32"]. *)
+
+val cell_si : unit:string -> float -> string
+(** SI-prefixed quantity, e.g. ["23.68 nA"]. *)
+
+val cell_mv : float -> string
+(** Volts rendered as millivolts with two decimals. *)
+
+val cell_ps : float -> string
+(** Seconds rendered as picoseconds with one decimal. *)
+
+val vector_string : bool array -> string
+(** ["0110..."] (truncated with an ellipsis beyond 24 bits). *)

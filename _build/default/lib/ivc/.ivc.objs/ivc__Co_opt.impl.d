@@ -1,0 +1,1 @@
+lib/ivc/co_opt.ml: Aging List Mlv Sta

@@ -1,0 +1,1 @@
+lib/ivc/co_opt.mli: Aging Circuit Leakage Mlv Physics

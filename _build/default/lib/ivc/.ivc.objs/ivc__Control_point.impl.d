@@ -1,0 +1,1 @@
+lib/ivc/control_point.ml: Aging Array Cell Circuit Float Hashtbl List Logic Option Sta

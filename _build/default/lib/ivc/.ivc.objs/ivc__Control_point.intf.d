@@ -1,0 +1,1 @@
+lib/ivc/control_point.mli: Aging Circuit Sta

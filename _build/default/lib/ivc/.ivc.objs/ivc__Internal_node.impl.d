@@ -1,0 +1,1 @@
+lib/ivc/internal_node.ml: Aging Array List Nbti Sta

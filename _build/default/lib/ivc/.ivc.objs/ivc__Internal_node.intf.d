@@ -1,0 +1,1 @@
+lib/ivc/internal_node.mli: Aging Circuit

@@ -1,0 +1,1 @@
+lib/ivc/mlv.ml: Array Circuit Hashtbl Leakage List Physics

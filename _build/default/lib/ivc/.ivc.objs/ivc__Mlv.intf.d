@@ -1,0 +1,1 @@
+lib/ivc/mlv.mli: Circuit Leakage Physics

@@ -1,0 +1,1 @@
+lib/ivc/rotation.ml: Aging Array Circuit Leakage List Mlv

@@ -1,0 +1,1 @@
+lib/ivc/rotation.mli: Aging Circuit Leakage Mlv

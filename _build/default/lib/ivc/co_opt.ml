@@ -1,0 +1,29 @@
+type choice = { vector : bool array; leakage : float; degradation : float; aged_delay : float }
+
+type result = { best : choice; all : choice list; fresh_delay : float; spread : float }
+
+let co_optimize config _tables t ~node_sp ~candidates =
+  if candidates = [] then invalid_arg "Co_opt.co_optimize: no candidates";
+  let evaluate (c : Mlv.candidate) =
+    let analysis =
+      Aging.Circuit_aging.analyze config t ~node_sp
+        ~standby:(Aging.Circuit_aging.Standby_vector c.Mlv.vector) ()
+    in
+    ( {
+        vector = c.Mlv.vector;
+        leakage = c.Mlv.leakage;
+        degradation = analysis.Aging.Circuit_aging.degradation;
+        aged_delay = analysis.Aging.Circuit_aging.aged.Sta.Timing.max_delay;
+      },
+      analysis.Aging.Circuit_aging.fresh.Sta.Timing.max_delay )
+  in
+  let evaluated = List.map evaluate candidates in
+  let fresh_delay = snd (List.hd evaluated) in
+  let all = List.sort (fun a b -> compare a.degradation b.degradation) (List.map fst evaluated) in
+  let best = List.hd all in
+  let worst = List.nth all (List.length all - 1) in
+  { best; all; fresh_delay; spread = worst.degradation -. best.degradation }
+
+let run config tables t ~node_sp ~rng ?pool ?tolerance () =
+  let candidates, stats = Mlv.probability_based tables t ~rng ?pool ?tolerance () in
+  (co_optimize config tables t ~node_sp ~candidates, stats)

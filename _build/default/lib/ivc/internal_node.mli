@@ -1,0 +1,27 @@
+(** Internal node control potential (paper Section 4.3.3, Table 4).
+
+    Primary inputs cannot pin the internal nets of a large circuit, but if
+    internal nodes could be driven directly during standby (Lin et al.
+    [9]), every PMOS could be relaxed. The paper bounds the opportunity by
+    comparing the worst case (all internal nodes 0: every PMOS stressed
+    through standby) against the best case (all nodes 1: full standby
+    recovery); the relative gap is the technique's potential. *)
+
+type potential = {
+  fresh_delay : float;  (** [s] *)
+  worst_degradation : float;  (** all internal nodes 0 in standby *)
+  best_degradation : float;  (** all internal nodes 1 in standby *)
+  potential : float;  (** (worst - best) / worst *)
+}
+
+val potential :
+  Aging.Circuit_aging.config -> Circuit.Netlist.t -> node_sp:float array -> potential
+
+val sweep_standby_temperature :
+  Aging.Circuit_aging.config ->
+  Circuit.Netlist.t ->
+  node_sp:float array ->
+  temps:float array ->
+  (float * potential) array
+(** Re-evaluates the bound across standby temperatures (the rows of
+    Table 4); the active phase of the config's schedule is kept. *)

@@ -1,0 +1,87 @@
+type candidate = { vector : bool array; leakage : float }
+
+let evaluate tables t vector =
+  { vector; leakage = Leakage.Circuit_leakage.standby_leakage tables t ~vector }
+
+let exhaustive tables t =
+  let n = Circuit.Netlist.n_primary_inputs t in
+  if n > 20 then invalid_arg "Mlv.exhaustive: too many primary inputs";
+  let best = ref (evaluate tables t (Array.make n false)) in
+  for idx = 1 to (1 lsl n) - 1 do
+    let c = evaluate tables t (Array.init n (fun i -> (idx lsr i) land 1 = 1)) in
+    if c.leakage < !best.leakage then best := c
+  done;
+  !best
+
+let random_vector rng n = Array.init n (fun _ -> Physics.Rng.bool rng)
+
+let random_search tables t ~rng ~n =
+  assert (n >= 1);
+  let n_pi = Circuit.Netlist.n_primary_inputs t in
+  let best = ref (evaluate tables t (random_vector rng n_pi)) in
+  for _ = 2 to n do
+    let c = evaluate tables t (random_vector rng n_pi) in
+    if c.leakage < !best.leakage then best := c
+  done;
+  !best
+
+type search_stats = { rounds : int; evaluations : int; converged : bool }
+
+let dedup_sort candidates =
+  let tbl = Hashtbl.create 64 in
+  let uniq =
+    List.filter
+      (fun c ->
+        let key = Array.to_list c.vector in
+        if Hashtbl.mem tbl key then false
+        else begin
+          Hashtbl.add tbl key ();
+          true
+        end)
+      candidates
+  in
+  List.sort (fun a b -> compare a.leakage b.leakage) uniq
+
+let probability_based tables t ~rng ?(pool = 64) ?(tolerance = 0.04) ?(max_rounds = 50)
+    ?(max_set = 16) () =
+  if pool < 2 then invalid_arg "Mlv.probability_based: pool must be >= 2";
+  if tolerance < 0.0 then invalid_arg "Mlv.probability_based: negative tolerance";
+  let n_pi = Circuit.Netlist.n_primary_inputs t in
+  let evaluations = ref 0 in
+  let eval v =
+    incr evaluations;
+    evaluate tables t v
+  in
+  (* Line 0: N random vectors. *)
+  let initial = List.init pool (fun _ -> eval (random_vector rng n_pi)) in
+  (* Line 1: the MLV set keeps vectors within [tolerance] of the set min. *)
+  let mlv_set cands =
+    match dedup_sort cands with
+    | [] -> assert false
+    | best :: _ as sorted ->
+      let in_band = List.filter (fun c -> c.leakage <= best.leakage *. (1.0 +. tolerance)) sorted in
+      List.filteri (fun i _ -> i < max_set) in_band
+  in
+  let probabilities set =
+    (* Line 2: per-input probability of 1 across the MLV set. *)
+    let n_set = float_of_int (List.length set) in
+    Array.init n_pi (fun i ->
+        let ones = List.fold_left (fun acc c -> if c.vector.(i) then acc + 1 else acc) 0 set in
+        float_of_int ones /. n_set)
+  in
+  let converged probs = Array.for_all (fun p -> p <= 0.02 || p >= 0.98) probs in
+  let rec loop set round =
+    let probs = probabilities set in
+    if converged probs || round >= max_rounds then (set, round, converged probs)
+    else begin
+      (* Lines 3-4: sample new vectors from the probabilities, fold them
+         into the set. *)
+      let fresh =
+        List.init pool (fun _ ->
+            eval (Array.init n_pi (fun i -> Physics.Rng.bernoulli rng ~p:probs.(i))))
+      in
+      loop (mlv_set (set @ fresh)) (round + 1)
+    end
+  in
+  let set, rounds, converged = loop (mlv_set initial) 0 in
+  (set, { rounds; evaluations = !evaluations; converged })

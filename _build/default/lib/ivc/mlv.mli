@@ -1,0 +1,50 @@
+(** Minimum-leakage-vector (MLV) search for input vector control
+    (paper Section 4.3.1; algorithm of Fig. 7).
+
+    Finding the true MLV is NP-complete; the paper uses a probability-based
+    heuristic: keep a set of low-leakage vectors, extract per-input 1
+    probabilities from the set, sample new vectors from those
+    probabilities, and iterate until the probabilities converge to 0/1.
+    An exhaustive search (small circuits) and plain random search are
+    provided as baselines and for tests. *)
+
+type candidate = { vector : bool array; leakage : float  (** [A] *) }
+
+val evaluate : Leakage.Circuit_leakage.tables -> Circuit.Netlist.t -> bool array -> candidate
+
+val exhaustive : Leakage.Circuit_leakage.tables -> Circuit.Netlist.t -> candidate
+(** Global optimum by enumeration. @raise Invalid_argument beyond 20
+    primary inputs. *)
+
+val random_search :
+  Leakage.Circuit_leakage.tables ->
+  Circuit.Netlist.t ->
+  rng:Physics.Rng.t ->
+  n:int ->
+  candidate
+(** Best of [n] uniform random vectors. *)
+
+type search_stats = {
+  rounds : int;
+  evaluations : int;
+  converged : bool;  (** whether all input probabilities reached 0/1 *)
+}
+
+val probability_based :
+  Leakage.Circuit_leakage.tables ->
+  Circuit.Netlist.t ->
+  rng:Physics.Rng.t ->
+  ?pool:int ->
+  ?tolerance:float ->
+  ?max_rounds:int ->
+  ?max_set:int ->
+  unit ->
+  candidate list * search_stats
+(** The Fig. 7 algorithm. [pool] vectors per round (default 64);
+    [tolerance] is the leakage band that defines the MLV set, as a
+    fraction of the set's minimum (default 0.04 — the paper keeps MLVs
+    within 4 % of the circuit leakage); [max_rounds] caps the iteration
+    (default 50); [max_set] caps the set size (default 16, best kept) so
+    the downstream NBTI co-optimization evaluates a bounded candidate
+    list. Returns the deduplicated MLV set sorted by leakage (best
+    first), never empty. *)

@@ -1,0 +1,111 @@
+type plan = { vectors : bool array array; weights : float array }
+
+let uniform_plan vectors =
+  match vectors with
+  | [] -> invalid_arg "Rotation.uniform_plan: no vectors"
+  | first :: rest ->
+    let width = Array.length first in
+    if List.exists (fun v -> Array.length v <> width) rest then
+      invalid_arg "Rotation.uniform_plan: inconsistent vector widths";
+    let n = List.length vectors in
+    {
+      vectors = Array.of_list vectors;
+      weights = Array.make n (1.0 /. float_of_int n);
+    }
+
+(* Blend the standby-duty components of the per-vector tables; the active
+   component is vector-independent. *)
+let duties (t : Circuit.Netlist.t) ~node_sp plan =
+  assert (Array.length plan.vectors > 0);
+  let tables =
+    Array.map
+      (fun v ->
+        Aging.Circuit_aging.duty_table t ~node_sp
+          ~standby:(Aging.Circuit_aging.Standby_vector v))
+      plan.vectors
+  in
+  Array.mapi
+    (fun node stages ->
+      Array.mapi
+        (fun stage (active, _) ->
+          let standby = ref 0.0 in
+          Array.iteri
+            (fun k table -> standby := !standby +. (plan.weights.(k) *. snd table.(node).(stage)))
+            tables;
+          (active, !standby))
+        stages)
+    tables.(0)
+
+let analyze config t ?po_load ~node_sp plan () =
+  Aging.Circuit_aging.analyze_with_duties config t ?po_load ~duties:(duties t ~node_sp plan) ()
+
+(* Greedy objective: mean squared blended standby duty over gate stages.
+   Spreading the same total stress over more stages strictly lowers it
+   (Jensen), whereas a plain max saturates at 1 as soon as one stage is
+   stressed under every candidate. *)
+let spread_objective duty_table =
+  let sum = ref 0.0 and count = ref 0 in
+  Array.iter
+    (fun stages ->
+      Array.iter
+        (fun (_, st) ->
+          sum := !sum +. (st *. st);
+          incr count)
+        stages)
+    duty_table;
+  if !count = 0 then 0.0 else !sum /. float_of_int !count
+
+let select_complementary (t : Circuit.Netlist.t) ~candidates ~k =
+  if candidates = [] then invalid_arg "Rotation.select_complementary: no candidates";
+  if k < 1 then invalid_arg "Rotation.select_complementary: k must be >= 1";
+  (* Work on standby stress tables only: SPs do not matter for selection,
+     so use a uniform dummy. *)
+  let node_sp = Array.make (Circuit.Netlist.n_nodes t) 0.5 in
+  let stress_table v =
+    Aging.Circuit_aging.duty_table t ~node_sp ~standby:(Aging.Circuit_aging.Standby_vector v)
+  in
+  let tables =
+    List.map (fun (c : Mlv.candidate) -> (c.Mlv.vector, stress_table c.Mlv.vector)) candidates
+  in
+  let blend chosen =
+    let n = float_of_int (List.length chosen) in
+    let _, first = List.hd chosen in
+    Array.mapi
+      (fun node stages ->
+        Array.mapi
+          (fun stage (active, _) ->
+            let s =
+              List.fold_left (fun acc (_, tab) -> acc +. snd tab.(node).(stage)) 0.0 chosen
+            in
+            (active, s /. n))
+          stages)
+      first
+  in
+  let rec grow chosen remaining =
+    if List.length chosen >= k || remaining = [] then chosen
+    else begin
+      let scored =
+        List.map (fun cand -> (spread_objective (blend (cand :: chosen)), cand)) remaining
+      in
+      let best_score, best =
+        List.fold_left
+          (fun (bs, bc) (s, c) -> if s < bs then (s, c) else (bs, bc))
+          (List.hd scored) (List.tl scored)
+      in
+      let current = spread_objective (blend chosen) in
+      if best_score >= current -. 1e-15 then chosen
+      else grow (best :: chosen) (List.filter (fun c -> c != best) remaining)
+    end
+  in
+  let first = List.hd tables and rest = List.tl tables in
+  let chosen = grow [ first ] rest in
+  uniform_plan (List.rev_map fst chosen)
+
+let leakage_of_plan tables t plan =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun k v ->
+      total :=
+        !total +. (plan.weights.(k) *. Leakage.Circuit_leakage.standby_leakage tables t ~vector:v))
+    plan.vectors;
+  !total

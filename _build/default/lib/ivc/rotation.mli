@@ -1,0 +1,50 @@
+(** Alternating input vector control (Abella et al., "Penelope: the
+    NBTI-aware processor" [23]; discussed in the paper's related work).
+
+    Any single standby vector always stresses the same PMOS devices, so
+    their degradation accumulates for the whole standby life. Rotating
+    among several vectors that stress {e different} devices time-shares
+    the stress: each PMOS's standby duty becomes the fraction of standby
+    time during which its stress condition holds, which lowers the
+    {e maximum} degradation — the quantity the critical path cares
+    about — at essentially no hardware cost beyond the vector sequencing.
+
+    The module synthesizes the blended per-stage duty table (weights =
+    share of standby time per vector) and runs the standard aging
+    analysis on it, plus a greedy selector that picks a complementary
+    vector subset from an MLV set. *)
+
+type plan = {
+  vectors : bool array array;  (** rotated standby vectors *)
+  weights : float array;  (** standby-time share per vector; sums to 1 *)
+}
+
+val uniform_plan : bool array list -> plan
+(** Equal time share for each vector. @raise Invalid_argument on an empty
+    list or inconsistent widths. *)
+
+val duties :
+  Circuit.Netlist.t -> node_sp:float array -> plan -> (float * float) array array
+(** The blended duty table: active duties as usual, standby duty of each
+    gate stage = weighted share of vectors whose state stresses it. *)
+
+val analyze :
+  Aging.Circuit_aging.config ->
+  Circuit.Netlist.t ->
+  ?po_load:float ->
+  node_sp:float array ->
+  plan ->
+  unit ->
+  Aging.Circuit_aging.analysis
+
+val select_complementary :
+  Circuit.Netlist.t -> candidates:Mlv.candidate list -> k:int -> plan
+(** Greedy subset selection from an MLV set: starting from the
+    lowest-leakage vector, repeatedly add the candidate that most lowers
+    the mean squared blended standby duty (stress spreading), up to [k]
+    vectors (fewer when no addition helps). Blending guarantees every
+    stage's duty stays below the worst single candidate's, so the
+    rotation's maximum device shift never exceeds the worst vector's. *)
+
+val leakage_of_plan : Leakage.Circuit_leakage.tables -> Circuit.Netlist.t -> plan -> float
+(** Time-weighted standby leakage of the rotation. *)

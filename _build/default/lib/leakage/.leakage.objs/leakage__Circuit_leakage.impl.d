@@ -1,0 +1,1 @@
+lib/leakage/circuit_leakage.ml: Array Cell Circuit Hashtbl Logic

@@ -1,0 +1,1 @@
+lib/leakage/circuit_leakage.mli: Circuit Device

@@ -1,0 +1,56 @@
+type tables = { temp_k : float; by_cell : (string, Cell.Cell_leakage.lut) Hashtbl.t }
+
+let build_tables tech (t : Circuit.Netlist.t) ~temp_k =
+  let by_cell = Hashtbl.create 16 in
+  Array.iter
+    (function
+      | Circuit.Netlist.Primary_input _ -> ()
+      | Circuit.Netlist.Gate { cell; _ } ->
+        if not (Hashtbl.mem by_cell cell.Cell.Stdcell.name) then
+          Hashtbl.add by_cell cell.Cell.Stdcell.name (Cell.Cell_leakage.build_lut tech cell ~temp_k))
+    t.Circuit.Netlist.nodes;
+  { temp_k; by_cell }
+
+let tables_temp t = t.temp_k
+
+let lut tables cell = Hashtbl.find tables.by_cell cell.Cell.Stdcell.name
+
+let per_gate_standby tables (t : Circuit.Netlist.t) ~vector =
+  let values = Logic.Eval.eval t ~inputs:vector in
+  Array.mapi
+    (fun _i node ->
+      match node with
+      | Circuit.Netlist.Primary_input _ -> 0.0
+      | Circuit.Netlist.Gate { cell; fanin; _ } ->
+        let gate_vector = Array.map (fun f -> values.(f)) fanin in
+        Cell.Cell_leakage.lookup (lut tables cell) gate_vector)
+    t.Circuit.Netlist.nodes
+
+let standby_leakage tables t ~vector =
+  Array.fold_left ( +. ) 0.0 (per_gate_standby tables t ~vector)
+
+let per_gate_expected tables (t : Circuit.Netlist.t) ~node_sp =
+  Array.map
+    (fun node ->
+      match node with
+      | Circuit.Netlist.Primary_input _ -> 0.0
+      | Circuit.Netlist.Gate { cell; fanin; _ } ->
+        let sp = Array.map (fun f -> node_sp.(f)) fanin in
+        Cell.Cell_leakage.expected (lut tables cell) ~sp)
+    t.Circuit.Netlist.nodes
+
+let expected_leakage tables t ~node_sp =
+  Array.fold_left ( +. ) 0.0 (per_gate_expected tables t ~node_sp)
+
+let bound pick tables (t : Circuit.Netlist.t) =
+  Array.fold_left
+    (fun acc node ->
+      match node with
+      | Circuit.Netlist.Primary_input _ -> acc
+      | Circuit.Netlist.Gate { cell; _ } ->
+        let (_, best), (_, worst) = Cell.Cell_leakage.extremes (lut tables cell) in
+        acc +. pick best worst)
+    0.0 t.Circuit.Netlist.nodes
+
+let worst_standby_bound tables t = bound (fun _ worst -> worst) tables t
+let best_standby_bound tables t = bound (fun best _ -> best) tables t

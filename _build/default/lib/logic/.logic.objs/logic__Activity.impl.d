@@ -1,0 +1,1 @@
+lib/logic/activity.ml: Array Circuit Eval Int64 Physics

@@ -1,0 +1,1 @@
+lib/logic/activity.mli: Circuit Physics

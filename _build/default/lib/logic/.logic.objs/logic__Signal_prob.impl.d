@@ -1,0 +1,1 @@
+lib/logic/signal_prob.ml: Array Cell Circuit Eval Float Int64 Physics

@@ -1,0 +1,1 @@
+lib/logic/signal_prob.mli: Circuit Physics

@@ -1,0 +1,30 @@
+let input_activity ~sp = 2.0 *. sp *. (1.0 -. sp)
+
+let monte_carlo (t : Circuit.Netlist.t) ~rng ~input_sp ~n_pairs =
+  if n_pairs < 1 then invalid_arg "Activity.monte_carlo: n_pairs must be >= 1";
+  let n_pi = Circuit.Netlist.n_primary_inputs t in
+  assert (Array.length input_sp = n_pi);
+  let n_words = (n_pairs + 63) / 64 in
+  let total = n_words * 64 in
+  let toggles = Array.make (Circuit.Netlist.n_nodes t) 0 in
+  let pack sp =
+    let w = ref 0L in
+    for bit = 0 to 63 do
+      if Physics.Rng.bernoulli rng ~p:sp then w := Int64.logor !w (Int64.shift_left 1L bit)
+    done;
+    !w
+  in
+  let popcount x =
+    let rec go x acc = if x = 0L then acc else go (Int64.logand x (Int64.sub x 1L)) (acc + 1) in
+    go x 0
+  in
+  for _ = 1 to n_words do
+    let v1 = Array.map pack input_sp in
+    let v2 = Array.map pack input_sp in
+    let r1 = Eval.eval_packed t ~inputs:v1 in
+    let r2 = Eval.eval_packed t ~inputs:v2 in
+    Array.iteri
+      (fun i w1 -> toggles.(i) <- toggles.(i) + popcount (Int64.logxor w1 r2.(i)))
+      r1
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int total) toggles

@@ -1,0 +1,1 @@
+lib/mitigation/dual_vth.ml: Aging Array Cell Circuit Device Float Hashtbl List Nbti Sta

@@ -1,0 +1,1 @@
+lib/mitigation/dual_vth.mli: Aging Circuit Device

@@ -1,0 +1,1 @@
+lib/mitigation/gate_sizing.ml: Aging Array Cell Circuit Float List Nbti Sta

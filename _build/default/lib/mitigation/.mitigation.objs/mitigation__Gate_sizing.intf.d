@@ -1,0 +1,1 @@
+lib/mitigation/gate_sizing.mli: Aging Circuit

@@ -1,0 +1,56 @@
+(** Dual-V_th assignment as a combined leakage/NBTI lever (Wang & Vrudhula
+    [30]; the paper's Section 4.1 "V_th dependence" observation).
+
+    A higher threshold cuts subthreshold leakage exponentially {e and}
+    slows NBTI (lower oxide field, eq. 23) — at the cost of a slower gate.
+    The classic design-time move is therefore to assign high-V_th cells to
+    gates with timing slack and keep low-V_th on the critical paths.
+
+    The assignment loop is slack-driven: sort gates by slack, flip a gate
+    to HVT when its slack still covers the delay it would lose, re-time,
+    repeat to fixpoint. Evaluation reports leakage, degradation and delay
+    before/after. *)
+
+type config = {
+  aging : Aging.Circuit_aging.config;
+  vth_offset : float;  (** HVT threshold increase [V], e.g. 0.08 *)
+  timing_tolerance : float;
+      (** allowed fresh-delay increase vs the all-LVT circuit (0 = none) *)
+}
+
+val default_config : ?vth_offset:float -> ?timing_tolerance:float -> Aging.Circuit_aging.config -> config
+(** Defaults: +80 mV, 0 % timing loss. *)
+
+val hvt_tech : config -> Device.Tech.t
+(** The high-V_th technology variant (both polarities raised). *)
+
+val hvt_delay_factor : config -> float
+(** The ratio HVT/LVT gate delay at the active temperature:
+    [((Vdd - VthL) / (Vdd - VthH))^alpha]. > 1. *)
+
+type result = {
+  assignment : bool array;  (** per node: true = HVT *)
+  n_hvt : int;
+  n_gates : int;
+  fresh_before : float;  (** all-LVT critical delay [s] *)
+  fresh_after : float;
+  degradation_before : float;  (** 10-year worst-case, all LVT *)
+  degradation_after : float;
+  active_leakage_before : float;  (** [A] *)
+  active_leakage_after : float;
+  standby_leakage_before : float;  (** worst-vector bound [A] *)
+  standby_leakage_after : float;
+  iterations : int;
+}
+
+val optimize :
+  config ->
+  Circuit.Netlist.t ->
+  node_sp:float array ->
+  standby:Aging.Circuit_aging.standby_state ->
+  ?max_iterations:int ->
+  unit ->
+  result
+(** Runs the slack-driven assignment (default 10 sweeps) and evaluates
+    delay/leakage/aging before and after. The returned [fresh_after]
+    always satisfies the timing tolerance. *)

@@ -1,0 +1,88 @@
+type result = {
+  drives : float array;
+  sized : Circuit.Netlist.t;
+  fresh_before : float;
+  aged_before : float;
+  fresh_after : float;
+  aged_after : float;
+  target : float;
+  met : bool;
+  area_overhead : float;
+  iterations : int;
+}
+
+let materialize (t : Circuit.Netlist.t) ~drives =
+  let nodes =
+    Array.mapi
+      (fun i node ->
+        match node with
+        | Circuit.Netlist.Primary_input _ -> node
+        | Circuit.Netlist.Gate g ->
+          if drives.(i) = 1.0 then node
+          else Circuit.Netlist.Gate { g with cell = Cell.Stdcell.scaled g.cell ~drive:drives.(i) })
+      t.Circuit.Netlist.nodes
+  in
+  Circuit.Netlist.create ~name:t.Circuit.Netlist.name nodes ~outputs:t.Circuit.Netlist.outputs
+
+let area (t : Circuit.Netlist.t) =
+  Array.fold_left
+    (fun acc node ->
+      match node with
+      | Circuit.Netlist.Primary_input _ -> acc
+      | Circuit.Netlist.Gate { cell; _ } -> acc +. Cell.Stdcell.area cell)
+    0.0 t.Circuit.Netlist.nodes
+
+let optimize config (t : Circuit.Netlist.t) ~node_sp ~standby ?(margin = 0.01) ?(step = 1.2)
+    ?(max_drive = 4.0) ?(max_iterations = 40) () =
+  if margin < 0.0 then invalid_arg "Gate_sizing.optimize: negative margin";
+  if step <= 1.0 then invalid_arg "Gate_sizing.optimize: step must exceed 1";
+  let tech = config.Aging.Circuit_aging.tech in
+  let temp_k = config.Aging.Circuit_aging.schedule.Nbti.Schedule.t_ref in
+  (* Duty pairs survive scaling (pin structure is unchanged), so extract
+     once and rebuild only the dvth closure per materialized netlist. *)
+  let duties = Aging.Circuit_aging.duty_table t ~node_sp ~standby in
+  let stage_dvth = Aging.Circuit_aging.stage_dvth_of_duties config ~duties in
+  let aged_sta net = Sta.Timing.analyze tech net ~temp_k ~stage_dvth () in
+  let fresh0 = Sta.Timing.fresh tech t ~temp_k () in
+  let aged0 = aged_sta t in
+  let target = fresh0.Sta.Timing.max_delay *. (1.0 +. margin) in
+  let n = Circuit.Netlist.n_nodes t in
+  let drives = Array.make n 1.0 in
+  let rec loop net aged iterations =
+    if aged.Sta.Timing.max_delay <= target || iterations >= max_iterations then
+      (net, aged, iterations)
+    else begin
+      (* Upsize the aged critical path (PIs excluded); saturated gates
+         cannot grow further — if the whole path is saturated, stop. *)
+      let grew = ref false in
+      List.iter
+        (fun i ->
+          match t.Circuit.Netlist.nodes.(i) with
+          | Circuit.Netlist.Primary_input _ -> ()
+          | Circuit.Netlist.Gate _ ->
+            if drives.(i) < max_drive then begin
+              drives.(i) <- Float.min max_drive (drives.(i) *. step);
+              grew := true
+            end)
+        aged.Sta.Timing.critical_path;
+      if not !grew then (net, aged, iterations)
+      else begin
+        let net' = materialize t ~drives in
+        loop net' (aged_sta net') (iterations + 1)
+      end
+    end
+  in
+  let sized, aged_final, iterations = loop t aged0 0 in
+  let fresh_final = Sta.Timing.fresh tech sized ~temp_k () in
+  {
+    drives;
+    sized;
+    fresh_before = fresh0.Sta.Timing.max_delay;
+    aged_before = aged0.Sta.Timing.max_delay;
+    fresh_after = fresh_final.Sta.Timing.max_delay;
+    aged_after = aged_final.Sta.Timing.max_delay;
+    target;
+    met = aged_final.Sta.Timing.max_delay <= target;
+    area_overhead = (area sized -. area t) /. area t;
+    iterations;
+  }

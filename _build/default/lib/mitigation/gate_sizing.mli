@@ -1,0 +1,43 @@
+(** NBTI-aware gate sizing (Paul et al. [22], on the temperature-aware
+    model).
+
+    Instead of guard-banding the whole design, upsize the gates on the
+    aged critical paths until the end-of-life delay meets a target. An
+    upsized gate drives its load faster in proportion to its drive, but
+    presents proportionally more input capacitance to its fanins — both
+    effects flow through the load model, so the loop re-times after every
+    change and naturally stops when upsizing migrates the critical path.
+
+    NBTI stress conditions depend only on the cell's pin structure, which
+    scaling preserves, so one duty extraction serves every iteration. *)
+
+type result = {
+  drives : float array;  (** final per-gate drive factor (1.0 = untouched) *)
+  sized : Circuit.Netlist.t;  (** netlist with the scaled cells materialized *)
+  fresh_before : float;  (** [s] *)
+  aged_before : float;
+  fresh_after : float;
+  aged_after : float;
+  target : float;  (** the aged-delay target [s] *)
+  met : bool;  (** aged_after <= target *)
+  area_overhead : float;  (** added device W/L as a fraction of the original *)
+  iterations : int;
+}
+
+val optimize :
+  Aging.Circuit_aging.config ->
+  Circuit.Netlist.t ->
+  node_sp:float array ->
+  standby:Aging.Circuit_aging.standby_state ->
+  ?margin:float ->
+  ?step:float ->
+  ?max_drive:float ->
+  ?max_iterations:int ->
+  unit ->
+  result
+(** Upsizes until the aged delay is within [margin] of the {e fresh}
+    critical delay (default 0.01: the aged circuit may be at most 1 %
+    slower than the original fresh one). Each iteration multiplies the
+    drive of every aged-critical-path gate by [step] (default 1.2),
+    saturating at [max_drive] (default 4.0); stops on success, saturation
+    or [max_iterations] (default 40). *)

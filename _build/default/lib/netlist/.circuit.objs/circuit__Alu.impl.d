@@ -1,0 +1,1 @@
+lib/netlist/alu.ml: Array Cell Netlist Printf

@@ -1,0 +1,1 @@
+lib/netlist/ecc.ml: Array Cell Fun List Netlist Printf

@@ -1,0 +1,1 @@
+lib/netlist/ecc.mli: Netlist

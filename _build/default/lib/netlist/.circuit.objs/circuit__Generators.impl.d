@@ -1,0 +1,1 @@
+lib/netlist/generators.ml: Alu Array Bench_io Cell Ecc Hashtbl Interrupt List Multiplier Netlist Physics Printf Queue

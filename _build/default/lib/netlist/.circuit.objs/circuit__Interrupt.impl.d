@@ -1,0 +1,1 @@
+lib/netlist/interrupt.ml: Array Cell Fun List Netlist Printf

@@ -1,0 +1,1 @@
+lib/netlist/interrupt.mli: Netlist

@@ -1,0 +1,1 @@
+lib/netlist/multiplier.ml: Array Netlist Option Printf

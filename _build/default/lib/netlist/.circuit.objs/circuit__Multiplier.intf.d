@@ -1,0 +1,1 @@
+lib/netlist/multiplier.mli: Netlist

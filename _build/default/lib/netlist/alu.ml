@@ -1,0 +1,62 @@
+module B = Netlist.Builder
+
+(* 4-way one-hot mux from two select lines, built as an AOI-style
+   AND/NOR plane: out = d0 s0' s1' + d1 s0 s1' + d2 s0' s1 + d3 s0 s1. *)
+let mux4 b ~s0 ~s1 ~d0 ~d1 ~d2 ~d3 =
+  let s0n = B.not_ b s0 and s1n = B.not_ b s1 in
+  let t0 = B.gate b ~cell:(Cell.Stdcell.and_ 3) [| d0; s0n; s1n |] in
+  let t1 = B.gate b ~cell:(Cell.Stdcell.and_ 3) [| d1; s0; s1n |] in
+  let t2 = B.gate b ~cell:(Cell.Stdcell.and_ 3) [| d2; s0n; s1 |] in
+  let t3 = B.gate b ~cell:(Cell.Stdcell.and_ 3) [| d3; s0; s1 |] in
+  B.gate b ~cell:(Cell.Stdcell.or_ 4) [| t0; t1; t2; t3 |]
+
+let slice b ~tag ~width ~s0 ~s1 =
+  let a = Array.init width (fun i -> B.input b (Printf.sprintf "%sa%d" tag i)) in
+  let bb = Array.init width (fun i -> B.input b (Printf.sprintf "%sb%d" tag i)) in
+  let cin = B.input b (tag ^ "cin") in
+  (* Ripple-carry adder. *)
+  let carry = ref cin in
+  let sum =
+    Array.init width (fun i ->
+        let axb = B.xor2 b a.(i) bb.(i) in
+        let s = B.xor2 b axb !carry in
+        let t1 = B.and2 b a.(i) bb.(i) in
+        let t2 = B.and2 b !carry axb in
+        carry := B.or2 b t1 t2;
+        s)
+  in
+  (* Logic unit and operation mux. *)
+  let results =
+    Array.init width (fun i ->
+        let and_i = B.and2 b a.(i) bb.(i) in
+        let or_i = B.or2 b a.(i) bb.(i) in
+        let xor_i = B.xor2 b a.(i) bb.(i) in
+        mux4 b ~s0 ~s1 ~d0:sum.(i) ~d1:and_i ~d2:or_i ~d3:xor_i)
+  in
+  Array.iter (fun r -> B.output b r) results;
+  B.output b !carry;
+  (* Flags: zero = NOR tree over results, parity = XOR tree. *)
+  let rec nor_fold = function
+    | [] -> assert false
+    | [ x ] -> B.not_ b x
+    | [ x; y ] -> B.nor2 b x y
+    | x :: y :: rest -> nor_fold (B.or2 b x y :: rest)
+  in
+  let zero = nor_fold (Array.to_list results) in
+  let parity = Array.fold_left (fun acc r -> B.xor2 b acc r) results.(0) (Array.sub results 1 (width - 1)) in
+  B.output b zero;
+  B.output b parity
+
+let generate ~width =
+  if width < 2 then invalid_arg "Alu.generate: width must be >= 2";
+  let b = B.create ~name:(Printf.sprintf "alu%d" width) in
+  let s0 = B.input b "s0" and s1 = B.input b "s1" in
+  slice b ~tag:"" ~width ~s0 ~s1;
+  B.finish b
+
+let c880_like () =
+  let b = B.create ~name:"c880" in
+  let s0 = B.input b "s0" and s1 = B.input b "s1" in
+  slice b ~tag:"x" ~width:14 ~s0 ~s1;
+  slice b ~tag:"y" ~width:14 ~s0 ~s1;
+  B.finish b

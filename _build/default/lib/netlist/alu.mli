@@ -1,0 +1,15 @@
+(** ALU datapath generator in the c880 size class.
+
+    ISCAS85's c880 is an 8-bit ALU: this generator builds the same kind of
+    structure — a ripple-carry adder, a bitwise logic unit (AND/OR/XOR/NOT),
+    a NAND-mux operation selector, and zero/parity flags — parameterized by
+    datapath width. *)
+
+val generate : width:int -> Netlist.t
+(** Inputs: operands [a0..], [b0..], carry-in [cin], two select lines
+    [s0 s1] choosing between add/and/or/xor. Outputs: result bits [r0..],
+    carry-out [cout], zero flag [zero], parity [par]. [width >= 2]. *)
+
+val c880_like : unit -> Netlist.t
+(** Two 14-bit slices sharing the select lines: 60 primary inputs exactly
+    as c880, in its ~400-gate class; named "c880". *)

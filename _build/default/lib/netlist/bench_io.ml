@@ -1,0 +1,216 @@
+type def =
+  | Def_input
+  | Def_gate of { op : string; args : string list; line : int }
+
+let fail_line line msg = failwith (Printf.sprintf ".bench line %d: %s" line msg)
+
+(* --- Parsing --- *)
+
+let strip_comment s = match String.index_opt s '#' with Some i -> String.sub s 0 i | None -> s
+
+let parse_call line s =
+  (* "OP ( a , b , ... )" *)
+  match String.index_opt s '(' with
+  | None -> fail_line line "expected '('"
+  | Some lp ->
+    let op = String.trim (String.sub s 0 lp) in
+    let rp =
+      match String.rindex_opt s ')' with
+      | Some i when i > lp -> i
+      | _ -> fail_line line "expected ')'"
+    in
+    let args_str = String.sub s (lp + 1) (rp - lp - 1) in
+    let args =
+      String.split_on_char ',' args_str |> List.map String.trim
+      |> List.filter (fun a -> a <> "")
+    in
+    (String.uppercase_ascii op, args)
+
+let parse_lines text =
+  let defs : (string, def) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  let outputs = ref [] in
+  let add_def line name def =
+    if Hashtbl.mem defs name then fail_line line (Printf.sprintf "signal %s redefined" name);
+    Hashtbl.add defs name def;
+    order := name :: !order
+  in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let s = String.trim (strip_comment raw) in
+      if s <> "" then begin
+        match String.index_opt s '=' with
+        | Some eq ->
+          let name = String.trim (String.sub s 0 eq) in
+          if name = "" then fail_line line "empty signal name";
+          let rhs = String.trim (String.sub s (eq + 1) (String.length s - eq - 1)) in
+          let op, args = parse_call line rhs in
+          if args = [] then fail_line line "gate with no inputs";
+          add_def line name (Def_gate { op; args; line })
+        | None ->
+          let op, args = parse_call line s in
+          (match (op, args) with
+          | "INPUT", [ a ] -> add_def line a Def_input
+          | "OUTPUT", [ a ] -> outputs := a :: !outputs
+          | "INPUT", _ | "OUTPUT", _ -> fail_line line "INPUT/OUTPUT take one signal"
+          | _ -> fail_line line (Printf.sprintf "unexpected statement %s" op))
+      end)
+    (String.split_on_char '\n' text);
+  (defs, List.rev !order, List.rev !outputs)
+
+(* Balanced reduction of a wide associative gate into library cells:
+   chunks of four are collapsed with [inner] until at most [max_root]
+   signals remain for the root cell. *)
+let rec reduce_tree b ~inner ids =
+  if List.length ids <= 4 then ids
+  else begin
+    let rec chunk = function
+      | a :: b' :: c :: d :: rest -> [ a; b'; c; d ] :: chunk rest
+      | [] -> []
+      | rest -> [ rest ]
+    in
+    let collapsed =
+      List.map
+        (fun group ->
+          match group with
+          | [ single ] -> single
+          | _ -> Netlist.Builder.gate b ~cell:(inner (List.length group)) (Array.of_list group))
+        (chunk ids)
+    in
+    reduce_tree b ~inner collapsed
+  end
+
+let build_gate b ~op ~line ~name args =
+  let module B = Netlist.Builder in
+  let k = List.length args in
+  let root cell ids = B.gate b ~name ~cell (Array.of_list ids) in
+  let xor_chain init =
+    (* combine all of [init] with intermediate XOR2s, returning one id *)
+    match init with
+    | [] -> fail_line line "XOR with no inputs"
+    | first :: rest -> List.fold_left (fun acc a -> B.xor2 b acc a) first rest
+  in
+  match (op, k) with
+  | ("NOT" | "INV"), 1 -> root Cell.Stdcell.inv args
+  | ("BUF" | "BUFF"), 1 -> root Cell.Stdcell.buf args
+  | ("NOT" | "INV" | "BUF" | "BUFF"), _ -> fail_line line (op ^ " takes one input")
+  | "AND", 1 | "OR", 1 -> root Cell.Stdcell.buf args
+  | "NAND", 1 | "NOR", 1 -> root Cell.Stdcell.inv args
+  | "AND", _ when k <= 4 -> root (Cell.Stdcell.and_ k) args
+  | "OR", _ when k <= 4 -> root (Cell.Stdcell.or_ k) args
+  | "NAND", _ when k <= 4 -> root (Cell.Stdcell.nand_ k) args
+  | "NOR", _ when k <= 4 -> root (Cell.Stdcell.nor_ k) args
+  | "AND", _ ->
+    let ids = reduce_tree b ~inner:Cell.Stdcell.and_ args in
+    root (Cell.Stdcell.and_ (List.length ids)) ids
+  | "OR", _ ->
+    let ids = reduce_tree b ~inner:Cell.Stdcell.or_ args in
+    root (Cell.Stdcell.or_ (List.length ids)) ids
+  | "NAND", _ ->
+    let ids = reduce_tree b ~inner:Cell.Stdcell.and_ args in
+    root (Cell.Stdcell.nand_ (List.length ids)) ids
+  | "NOR", _ ->
+    let ids = reduce_tree b ~inner:Cell.Stdcell.or_ args in
+    root (Cell.Stdcell.nor_ (List.length ids)) ids
+  | "XOR", _ when k >= 2 -> begin
+    match List.rev args with
+    | last :: rev_init -> root Cell.Stdcell.xor2 [ xor_chain (List.rev rev_init); last ]
+    | [] -> assert false
+  end
+  | "XNOR", _ when k >= 2 -> begin
+    match List.rev args with
+    | last :: rev_init -> root Cell.Stdcell.xnor2 [ xor_chain (List.rev rev_init); last ]
+    | [] -> assert false
+  end
+  | _ -> fail_line line (Printf.sprintf "unsupported gate %s/%d" op k)
+
+let parse_string ~name text =
+  let defs, order, output_names = parse_lines text in
+  let b = Netlist.Builder.create ~name in
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let visiting : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec resolve signal =
+    match Hashtbl.find_opt ids signal with
+    | Some id -> id
+    | None ->
+      if Hashtbl.mem visiting signal then
+        failwith (Printf.sprintf ".bench: combinational cycle through %s" signal);
+      Hashtbl.add visiting signal ();
+      let id =
+        match Hashtbl.find_opt defs signal with
+        | None -> failwith (Printf.sprintf ".bench: undefined signal %s" signal)
+        | Some Def_input -> Netlist.Builder.input b signal
+        | Some (Def_gate { op; args; line }) ->
+          let arg_ids = List.map resolve args in
+          build_gate b ~op ~line ~name:signal arg_ids
+      in
+      Hashtbl.remove visiting signal;
+      Hashtbl.replace ids signal id;
+      id
+  in
+  List.iter (fun signal -> ignore (resolve signal)) order;
+  List.iter (fun o -> Netlist.Builder.output b (resolve o)) output_names;
+  Netlist.Builder.finish b
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let base = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name:base text
+
+(* --- Writing --- *)
+
+let to_string (t : Netlist.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s : %d gates\n" t.Netlist.name (Netlist.n_gates t));
+  let name i = Netlist.node_name t i in
+  Array.iter
+    (fun i -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (name i)))
+    (Netlist.primary_inputs t);
+  Array.iter (fun o -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (name o))) t.Netlist.outputs;
+  let emit out op args =
+    Buffer.add_string buf (Printf.sprintf "%s = %s(%s)\n" out op (String.concat ", " args))
+  in
+  Array.iteri
+    (fun _i node ->
+      match node with
+      | Netlist.Primary_input _ -> ()
+      | Netlist.Gate { cell; fanin; name = gname } -> begin
+        let args = Array.to_list (Array.map name fanin) in
+        match cell.Cell.Stdcell.name with
+        | "INV" -> emit gname "NOT" args
+        | "BUF" -> emit gname "BUF" args
+        | "XOR2" -> emit gname "XOR" args
+        | "XNOR2" -> emit gname "XNOR" args
+        | "AOI21" -> begin
+          match args with
+          | [ a; b'; c ] ->
+            let tmp = gname ^ "_and" in
+            emit tmp "AND" [ a; b' ];
+            emit gname "NOR" [ tmp; c ]
+          | _ -> assert false
+        end
+        | "OAI21" -> begin
+          match args with
+          | [ a; b'; c ] ->
+            let tmp = gname ^ "_or" in
+            emit tmp "OR" [ a; b' ];
+            emit gname "NAND" [ tmp; c ]
+          | _ -> assert false
+        end
+        | n when String.length n > 4 && String.sub n 0 4 = "NAND" -> emit gname "NAND" args
+        | n when String.length n > 3 && String.sub n 0 3 = "NOR" -> emit gname "NOR" args
+        | n when String.length n > 3 && String.sub n 0 3 = "AND" -> emit gname "AND" args
+        | n when String.length n > 2 && String.sub n 0 2 = "OR" -> emit gname "OR" args
+        | n -> failwith ("Bench_io.to_string: no .bench encoding for cell " ^ n)
+      end)
+    t.Netlist.nodes;
+  Buffer.contents buf
+
+let write_file t ~path =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc

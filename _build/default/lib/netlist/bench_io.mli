@@ -1,0 +1,32 @@
+(** ISCAS85 [.bench] netlist format reader/writer.
+
+    The format:
+    {[
+      # comment
+      INPUT(G1)
+      OUTPUT(G22)
+      G10 = NAND(G1, G3)
+      G11 = NOT(G1)
+    ]}
+
+    Supported operators: [AND], [OR], [NAND], [NOR], [XOR], [XNOR], [NOT],
+    [BUF]/[BUFF]. Fan-in beyond the library's 4 is decomposed into balanced
+    trees of library cells that compute the same function (the inverting
+    gate is kept at the root so the PMOS stress structure of the output
+    stage is preserved); [XOR]/[XNOR] beyond 2 inputs are chained. Signals
+    may be referenced before their defining line, as in the original ISCAS
+    distributions.
+
+    The writer emits one line per logic stage, inventing intermediate
+    names for decomposed complex cells (AOI21/OAI21), so a round trip
+    preserves the logic function though not necessarily the gate count. *)
+
+val parse_string : name:string -> string -> Netlist.t
+(** @raise Failure with a line-numbered message on syntax errors,
+    undefined signals, or redefinitions. *)
+
+val parse_file : string -> Netlist.t
+(** Netlist name = basename without extension. *)
+
+val to_string : Netlist.t -> string
+val write_file : Netlist.t -> path:string -> unit

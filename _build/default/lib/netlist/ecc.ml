@@ -1,0 +1,59 @@
+module B = Netlist.Builder
+
+let xor_tree b ids =
+  match ids with
+  | [] -> invalid_arg "Ecc: empty xor tree"
+  | first :: rest -> List.fold_left (fun acc x -> B.xor2 b acc x) first rest
+
+(* Balanced AND over a non-empty list. *)
+let rec and_tree b = function
+  | [] -> invalid_arg "Ecc: empty and tree"
+  | [ x ] -> x
+  | [ x; y ] -> B.and2 b x y
+  | [ x; y; z ] -> B.gate b ~cell:(Cell.Stdcell.and_ 3) [| x; y; z |]
+  | [ x; y; z; w ] -> B.gate b ~cell:(Cell.Stdcell.and_ 4) [| x; y; z; w |]
+  | ids ->
+    let n = List.length ids in
+    let left = List.filteri (fun i _ -> i < n / 2) ids in
+    let right = List.filteri (fun i _ -> i >= n / 2) ids in
+    B.and2 b (and_tree b left) (and_tree b right)
+
+let generate ~data_bits ~check_bits ?(control_bits = 0) () =
+  if data_bits < 2 || check_bits < 2 || control_bits < 0 then invalid_arg "Ecc.generate: too small";
+  if 1 lsl check_bits <= data_bits then
+    invalid_arg "Ecc.generate: 2^check_bits must exceed data_bits";
+  let b = B.create ~name:(Printf.sprintf "ecc%d_%d" data_bits check_bits) in
+  let data = Array.init data_bits (fun i -> B.input b (Printf.sprintf "d%d" i)) in
+  let check = Array.init check_bits (fun i -> B.input b (Printf.sprintf "c%d" i)) in
+  let control = Array.init control_bits (fun i -> B.input b (Printf.sprintf "e%d" i)) in
+  (* Data position i gets syndrome code i + 1 (nonzero, distinct). *)
+  let code i = i + 1 in
+  (* Syndrome bit k = check_k XOR (xor of data bits whose code has bit k). *)
+  let syndrome =
+    Array.init check_bits (fun k ->
+        let members =
+          List.filter_map
+            (fun i -> if (code i lsr k) land 1 = 1 then Some data.(i) else None)
+            (List.init data_bits Fun.id)
+        in
+        xor_tree b ((check.(k) :: Array.to_list control) @ members))
+  in
+  let syndrome_bar = Array.map (fun s -> B.not_ b s) syndrome in
+  (* Decoder: data bit i flips when the syndrome equals code i. *)
+  Array.iteri
+    (fun i d ->
+      let match_terms =
+        List.init check_bits (fun k ->
+            if (code i lsr k) land 1 = 1 then syndrome.(k) else syndrome_bar.(k))
+      in
+      let flip = and_tree b match_terms in
+      let corrected = B.xor2 b d flip in
+      B.output b corrected;
+      ignore d)
+    data;
+  B.finish b
+
+let rename name (n : Netlist.t) = Netlist.create ~name n.Netlist.nodes ~outputs:n.Netlist.outputs
+
+let c499_like () = rename "c499" (generate ~data_bits:32 ~check_bits:6 ~control_bits:3 ())
+let c1355_like () = rename "c1355" (generate ~data_bits:32 ~check_bits:6 ~control_bits:3 ())

@@ -1,0 +1,28 @@
+(** XOR-tree error-correcting-code circuit generator.
+
+    ISCAS85's c499/c1355 implement a (32, 5) single-error-correcting
+    code: parity-check XOR trees compute a syndrome from 41 inputs
+    (32 data + 8 check + 1 control class in the original), a decoder
+    matches the syndrome against each bit position, and correction XORs
+    flip the selected data bit. This generator reproduces that structure —
+    wide XOR trees reconverging through an AND-plane decoder into output
+    XORs — parameterized by data width. c1355 is the same function with
+    every XOR expanded into four NANDs, which is exactly how the cell
+    library's XOR2 is already built, so [c1355_like] simply reports the
+    expanded statistics of the same netlist. *)
+
+val generate : data_bits:int -> check_bits:int -> ?control_bits:int -> unit -> Netlist.t
+(** [generate ~data_bits ~check_bits ()] requires
+    [2^check_bits > data_bits] (each data position needs a distinct
+    nonzero syndrome). [control_bits] (default 0) adds global enable
+    lines XORed into every syndrome tree, as in c499's control inputs.
+    Inputs: [d0..], [c0..], [e0..]; outputs: corrected data bits. *)
+
+val c499_like : unit -> Netlist.t
+(** [generate ~data_bits:32 ~check_bits:6 ~control_bits:3 ()]: 41 inputs
+    and 32 outputs, matching c499's interface; ~230 XOR/AND gates. *)
+
+val c1355_like : unit -> Netlist.t
+(** Same function, named "c1355": the ISCAS variant where every XOR is a
+    four-NAND cluster — our XOR2 standard cell is already that cluster, so
+    the netlist is identical and only the accounting name differs. *)

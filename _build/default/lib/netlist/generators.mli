@@ -1,0 +1,49 @@
+(** Benchmark circuit generation.
+
+    The paper evaluates on ISCAS85 netlists synthesized to a 90 nm library.
+    The original `.bench` files are not redistributed here (they load
+    unchanged through {!Bench_io} if you have them); instead each benchmark
+    is regenerated in its published size class:
+
+    - c17 is reproduced exactly (it is fully public),
+    - c432 / c6288 / c499 / c1355 / c880 are rebuilt {e structurally}
+      (real interrupt-controller / multiplier / ECC / ALU architectures,
+      see {!Interrupt}, {!Multiplier}, {!Ecc}, {!Alu}),
+    - the remaining circuits are seeded random DAGs matching the published
+      PI/PO/gate-count profile with an ISCAS-like gate mix and depth.
+
+    All generation is deterministic: the same name always produces the
+    same netlist. *)
+
+type profile = {
+  name : string;
+  n_pi : int;
+  n_po : int;
+  n_gates : int;  (** target; random generation lands exactly on it *)
+  seed : int;
+}
+
+val iscas85_profiles : profile list
+(** Published PI/PO/gate profiles of the ten ISCAS85 circuits. *)
+
+val c17 : unit -> Netlist.t
+(** The genuine 6-NAND c17. *)
+
+val random_dag : profile -> Netlist.t
+(** A connected random DAG with exactly the profile's counts: every gate's
+    fanins are drawn with a locality bias that yields ISCAS-like logic
+    depth; every primary input drives at least one gate (for profiles with
+    fewer gates than PIs, as many as fit); primary outputs are drawn from
+    fanout-free nodes first. *)
+
+val by_name : string -> Netlist.t
+(** ["c17"], ["c432"], ..., ["c7552"]: the structural generators for c17,
+    c432, c499, c880, c1355 and c6288; profile-matched random DAGs for
+    the rest. @raise Not_found for unknown names. *)
+
+val benchmark_suite : unit -> Netlist.t list
+(** All ten ISCAS85-class circuits, in size order. *)
+
+val small_suite : unit -> Netlist.t list
+(** The subset fast enough for unit-test-time analysis
+    (c17, c432, c499, c880). *)

@@ -1,0 +1,96 @@
+module B = Netlist.Builder
+
+let rec or_tree b = function
+  | [] -> invalid_arg "Interrupt: empty or tree"
+  | [ x ] -> x
+  | [ x; y ] -> B.or2 b x y
+  | [ x; y; z ] -> B.gate b ~cell:(Cell.Stdcell.or_ 3) [| x; y; z |]
+  | [ x; y; z; w ] -> B.gate b ~cell:(Cell.Stdcell.or_ 4) [| x; y; z; w |]
+  | ids ->
+    let n = List.length ids in
+    let left = List.filteri (fun i _ -> i < n / 2) ids in
+    let right = List.filteri (fun i _ -> i >= n / 2) ids in
+    B.or2 b (or_tree b left) (or_tree b right)
+
+let generate ?(channels = 9) () =
+  if channels < 2 || channels > 15 then invalid_arg "Interrupt.generate: 2..15 channels";
+  let b = B.create ~name:(Printf.sprintf "intc%d" channels) in
+  let bus prefix = Array.init channels (fun i -> B.input b (Printf.sprintf "%s%d" prefix i)) in
+  let a = bus "a" and bb = bus "b" and c = bus "c" and e = bus "e" in
+  (* Per-line qualified requests with bus priority A > B > C. *)
+  let fa = Array.init channels (fun i -> B.and2 b a.(i) e.(i)) in
+  let fa_n = Array.map (fun x -> B.not_ b x) fa in
+  let fb =
+    Array.init channels (fun i ->
+        B.gate b ~cell:(Cell.Stdcell.and_ 3) [| bb.(i); e.(i); fa_n.(i) |])
+  in
+  let fb_n = Array.map (fun x -> B.not_ b x) fb in
+  let fc =
+    Array.init channels (fun i ->
+        B.gate b ~cell:(Cell.Stdcell.and_ 4) [| c.(i); e.(i); fa_n.(i); fb_n.(i) |])
+  in
+  (* Bus acknowledge flags. *)
+  let pa = or_tree b (Array.to_list fa) in
+  let pb = or_tree b (Array.to_list fb) in
+  let pc = or_tree b (Array.to_list fc) in
+  B.output b pa;
+  B.output b pb;
+  B.output b pc;
+  (* Winning line: lowest-index active request across the buses. *)
+  let active = Array.init channels (fun i -> or_tree b [ fa.(i); fb.(i); fc.(i) ]) in
+  let grant =
+    Array.init channels (fun i ->
+        if i = 0 then active.(0)
+        else begin
+          (* no earlier active line: chain the blocking term *)
+          let blockers = Array.to_list (Array.sub active 0 i) in
+          let any_earlier = or_tree b blockers in
+          let none_earlier = B.not_ b any_earlier in
+          B.and2 b active.(i) none_earlier
+        end)
+  in
+  (* 4-bit code of (winning line + 1); all-zero when nothing requests. *)
+  for bit = 0 to 3 do
+    let members =
+      List.filter_map
+        (fun i -> if ((i + 1) lsr bit) land 1 = 1 then Some grant.(i) else None)
+        (List.init channels Fun.id)
+    in
+    let out =
+      match members with
+      | [] ->
+        (* Width never reaches this bit: encode constant 0 as
+           AND(line0, NOT line0)-free by reusing a dead grant - for the
+           canonical 9 channels every bit has members, so this arm only
+           pads tiny study sizes. *)
+        B.and2 b grant.(0) (B.not_ b grant.(0))
+      | ms -> or_tree b ms
+    in
+    B.output b (B.gate b ~name:(Printf.sprintf "line%d" bit) ~cell:Cell.Stdcell.buf [| out |])
+  done;
+  B.finish b
+
+let c432_like () =
+  let n = generate () in
+  Netlist.create ~name:"c432" n.Netlist.nodes ~outputs:n.Netlist.outputs
+
+let reference ~a ~b ~c ~e =
+  let channels = Array.length a in
+  assert (Array.length b = channels && Array.length c = channels && Array.length e = channels);
+  let fa = Array.init channels (fun i -> a.(i) && e.(i)) in
+  let fb = Array.init channels (fun i -> b.(i) && e.(i) && not fa.(i)) in
+  let fc = Array.init channels (fun i -> c.(i) && e.(i) && (not fa.(i)) && not fb.(i)) in
+  let any arr = Array.exists Fun.id arr in
+  let active = Array.init channels (fun i -> fa.(i) || fb.(i) || fc.(i)) in
+  let winner = ref 0 in
+  (try
+     for i = 0 to channels - 1 do
+       if active.(i) then begin
+         winner := i + 1;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  Array.append
+    [| any fa; any fb; any fc |]
+    (Array.init 4 (fun bit -> (!winner lsr bit) land 1 = 1))

@@ -1,0 +1,28 @@
+(** Priority interrupt controller generator — c432's real architecture.
+
+    ISCAS85's c432 is a 27-channel interrupt controller (Hansen, Yalcin &
+    Hayes, "Unveiling the ISCAS-85 benchmarks"): three 9-line request
+    buses A, B, C share nine enable lines E; bus A has priority over B
+    over C on each line, and among the granted lines the lowest index
+    wins. The outputs are the three bus-acknowledge flags PA/PB/PC and a
+    4-bit encoding of the winning line.
+
+    This generator reproduces that function and interface (36 inputs,
+    7 outputs, ~160 gates of mixed NAND/NOR/AND/OR/NOT in the published
+    size class), so the repository's "c432" is a real controller rather
+    than a profile-matched random DAG. *)
+
+val generate : ?channels:int -> unit -> Netlist.t
+(** [generate ()] builds the controller with the canonical 9 lines per
+    bus; [channels] (2..15) scales the study. Inputs, in order:
+    [a0..a8, b0..b8, c0..c8, e0..e8]; outputs: [pa, pb, pc,
+    line0..line3] (binary code of the winning line + 1; 0 = no
+    request). *)
+
+val c432_like : unit -> Netlist.t
+(** [generate ()], named "c432". *)
+
+val reference :
+  a:bool array -> b:bool array -> c:bool array -> e:bool array -> bool array
+(** Behavioural model for tests: the expected [pa; pb; pc; line bits]
+    for the given request/enable lines. *)

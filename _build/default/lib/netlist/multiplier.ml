@@ -1,0 +1,68 @@
+module B = Netlist.Builder
+
+(* sum = a xor b xor cin; cout = ab + cin (a xor b) *)
+let full_adder b ~x ~y ~cin =
+  let axb = B.xor2 b x y in
+  let sum = B.xor2 b axb cin in
+  let t1 = B.and2 b x y in
+  let t2 = B.and2 b cin axb in
+  let cout = B.or2 b t1 t2 in
+  (sum, cout)
+
+let half_adder b ~x ~y =
+  let sum = B.xor2 b x y in
+  let cout = B.and2 b x y in
+  (sum, cout)
+
+let generate ~width =
+  if width < 2 then invalid_arg "Multiplier.generate: width must be >= 2";
+  let b = B.create ~name:(Printf.sprintf "mult%dx%d" width width) in
+  let a_bits = Array.init width (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let b_bits = Array.init width (fun j -> B.input b (Printf.sprintf "b%d" j)) in
+  (* Shift-add array: accumulate each partial-product row into a growing
+     accumulator indexed by bit weight; None = known-zero bit. *)
+  let acc : int option array = Array.make (2 * width) None in
+  for j = 0 to width - 1 do
+    let carry = ref None in
+    for i = 0 to width - 1 do
+      let w = i + j in
+      let pp = B.and2 b a_bits.(i) b_bits.(j) in
+      let sum, cout =
+        match (acc.(w), !carry) with
+        | None, None -> (pp, None)
+        | Some a, None ->
+          let s, c = half_adder b ~x:pp ~y:a in
+          (s, Some c)
+        | None, Some c ->
+          let s, c' = half_adder b ~x:pp ~y:c in
+          (s, Some c')
+        | Some a, Some c ->
+          let s, c' = full_adder b ~x:pp ~y:a ~cin:c in
+          (s, Some c')
+      in
+      acc.(w) <- Some sum;
+      carry := cout
+    done;
+    (* Ripple the final carry into the high accumulator bits. *)
+    let w = ref (j + width) in
+    while !carry <> None do
+      let c = Option.get !carry in
+      (match acc.(!w) with
+      | None ->
+        acc.(!w) <- Some c;
+        carry := None
+      | Some a ->
+        let s, c' = half_adder b ~x:c ~y:a in
+        acc.(!w) <- Some s;
+        carry := Some c');
+      incr w
+    done
+  done;
+  (* The top bit acc.(2*width - 1) only exists via carries; every defined
+     weight becomes a product output. *)
+  Array.iter (function Some id -> B.output b id | None -> ()) acc;
+  B.finish b
+
+let c6288_like () =
+  let n = generate ~width:16 in
+  Netlist.create ~name:"c6288" n.Netlist.nodes ~outputs:n.Netlist.outputs

@@ -1,0 +1,16 @@
+(** Structural array multiplier generator.
+
+    ISCAS85's c6288 is a 16x16 array multiplier; this generator produces
+    the same architecture (AND partial products, carry-save full-adder
+    array, ripple final row) from the library's gates, at any width. At
+    [width = 16] it lands in the same size class (~1.4k gates, depth ~90)
+    with the long reconvergent carry chains that make c6288 the classic
+    deep-benchmark stress case. *)
+
+val generate : width:int -> Netlist.t
+(** [generate ~width] multiplies two [width]-bit unsigned operands
+    (inputs [a0..], [b0..]) into a [2*width]-bit product ([p0..]).
+    [width >= 2]. *)
+
+val c6288_like : unit -> Netlist.t
+(** [generate ~width:16], named "c6288". *)

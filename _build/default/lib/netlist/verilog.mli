@@ -1,0 +1,14 @@
+(** Structural Verilog writer: a gate-level [.v] view of a netlist over
+    the characterized cell library — the handoff format downstream P&R
+    and simulation flows expect alongside the Liberty view.
+
+    Complex library cells (XOR2, XNOR2, AOI21, OAI21, BUF and the wide
+    AND/OR/NAND/NOR) are emitted as primitive-gate instances or small
+    primitive clusters so the output elaborates under any plain Verilog
+    tool without the library's own cell models. *)
+
+val to_string : Netlist.t -> string
+(** A single [module] named after the netlist, with sanitized identifiers
+    (invalid characters replaced, reserved words suffixed). *)
+
+val write_file : Netlist.t -> path:string -> unit

@@ -1,0 +1,1 @@
+lib/physics/numerics.ml: Array Float Printf

@@ -1,0 +1,1 @@
+lib/physics/numerics.mli:

@@ -1,0 +1,1 @@
+lib/physics/rng.ml: Array Float Int64

@@ -1,0 +1,1 @@
+lib/physics/stats.ml: Array Float Format Numerics Stdlib

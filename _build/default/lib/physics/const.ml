@@ -1,0 +1,8 @@
+let boltzmann = 1.380649e-23
+let boltzmann_ev = 8.617333262e-5
+let electron_charge = 1.602176634e-19
+let eps0 = 8.8541878128e-12
+let eps_sio2 = 3.9 *. eps0
+let eps_si = 11.7 *. eps0
+let thermal_voltage ~temp_k = boltzmann *. temp_k /. electron_charge
+let room_temperature = 300.0

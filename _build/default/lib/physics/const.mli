@@ -1,0 +1,28 @@
+(** Physical constants used throughout the device and NBTI models.
+
+    All values are in SI units unless the name says otherwise. *)
+
+val boltzmann : float
+(** Boltzmann constant [J/K]. *)
+
+val boltzmann_ev : float
+(** Boltzmann constant [eV/K]; convenient for Arrhenius factors written with
+    activation energies in electron-volts. *)
+
+val electron_charge : float
+(** Elementary charge [C]. *)
+
+val eps0 : float
+(** Vacuum permittivity [F/m]. *)
+
+val eps_sio2 : float
+(** Permittivity of SiO2 [F/m] (relative permittivity 3.9). *)
+
+val eps_si : float
+(** Permittivity of silicon [F/m] (relative permittivity 11.7). *)
+
+val thermal_voltage : temp_k:float -> float
+(** [thermal_voltage ~temp_k] is kT/q [V] at absolute temperature [temp_k]. *)
+
+val room_temperature : float
+(** 300 K, the conventional reference temperature. *)

@@ -1,0 +1,144 @@
+exception No_bracket of string
+
+let close ?(rtol = 1e-9) ?(atol = 0.0) a b =
+  Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let check_bracket name fa fb =
+  if fa *. fb > 0.0 then
+    raise (No_bracket (Printf.sprintf "%s: f(lo) and f(hi) have the same sign" name))
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f lo hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else begin
+    check_bracket "bisect" flo fhi;
+    let rec loop lo hi flo i =
+      let mid = 0.5 *. (lo +. hi) in
+      if hi -. lo <= tol || i >= max_iter then mid
+      else
+        let fmid = f mid in
+        if fmid = 0.0 then mid
+        else if flo *. fmid < 0.0 then loop lo mid flo (i + 1)
+        else loop mid hi fmid (i + 1)
+    in
+    loop lo hi flo 0
+  end
+
+(* Brent's method, following the classic Numerical Recipes structure. *)
+let brent ?(tol = 1e-12) ?(max_iter = 100) ~f a b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else begin
+    check_bracket "brent" fa fb;
+    let a = ref a and b = ref b and fa = ref fa and fb = ref fb in
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and e = ref (!b -. !a) in
+    let result = ref None in
+    let i = ref 0 in
+    while !result = None && !i < max_iter do
+      incr i;
+      if Float.abs !fc < Float.abs !fb then begin
+        a := !b; b := !c; c := !a;
+        fa := !fb; fb := !fc; fc := !fa
+      end;
+      let tol1 = (2.0 *. epsilon_float *. Float.abs !b) +. (0.5 *. tol) in
+      let xm = 0.5 *. (!c -. !b) in
+      if Float.abs xm <= tol1 || !fb = 0.0 then result := Some !b
+      else begin
+        if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
+          (* Attempt inverse quadratic interpolation / secant. *)
+          let s = !fb /. !fa in
+          let p, q =
+            if !a = !c then
+              let p = 2.0 *. xm *. s in
+              let q = 1.0 -. s in
+              (p, q)
+            else begin
+              let q = !fa /. !fc and r = !fb /. !fc in
+              let p = s *. ((2.0 *. xm *. q *. (q -. r)) -. ((!b -. !a) *. (r -. 1.0))) in
+              let q = (q -. 1.0) *. (r -. 1.0) *. (s -. 1.0) in
+              (p, q)
+            end
+          in
+          let p, q = if p > 0.0 then (p, -.q) else (-.p, q) in
+          let min1 = (3.0 *. xm *. q) -. Float.abs (tol1 *. q) in
+          let min2 = Float.abs (!e *. q) in
+          if 2.0 *. p < Float.min min1 min2 then begin
+            e := !d;
+            d := p /. q
+          end else begin
+            d := xm;
+            e := !d
+          end
+        end else begin
+          d := xm;
+          e := !d
+        end;
+        a := !b;
+        fa := !fb;
+        if Float.abs !d > tol1 then b := !b +. !d
+        else b := !b +. (if xm >= 0.0 then tol1 else -.tol1);
+        fb := f !b;
+        if (!fb > 0.0 && !fc > 0.0) || (!fb < 0.0 && !fc < 0.0) then begin
+          c := !a; fc := !fa;
+          d := !b -. !a; e := !d
+        end
+      end
+    done;
+    match !result with Some x -> x | None -> !b
+  end
+
+let fixpoint ?(tol = 1e-12) ?(max_iter = 1000) ~f x0 =
+  let rec loop x i =
+    let x' = f x in
+    if Float.abs (x' -. x) <= tol || i >= max_iter then x' else loop x' (i + 1)
+  in
+  loop x0 0
+
+let interp_linear ~xs ~ys x =
+  let n = Array.length xs in
+  assert (n = Array.length ys && n >= 1);
+  if n = 1 || x <= xs.(0) then ys.(0)
+  else if x >= xs.(n - 1) then ys.(n - 1)
+  else begin
+    (* Binary search for the segment containing x. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    let x0 = xs.(!lo) and x1 = xs.(!hi) in
+    let t = if x1 = x0 then 0.0 else (x -. x0) /. (x1 -. x0) in
+    ys.(!lo) +. (t *. (ys.(!hi) -. ys.(!lo)))
+  end
+
+let integrate_trapezoid ~f ~a ~b ~n =
+  assert (n >= 1);
+  let h = (b -. a) /. float_of_int n in
+  let sum = ref (0.5 *. (f a +. f b)) in
+  for i = 1 to n - 1 do
+    sum := !sum +. f (a +. (float_of_int i *. h))
+  done;
+  !sum *. h
+
+let kahan_sum xs =
+  let sum = ref 0.0 and c = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !c in
+      let t = !sum +. y in
+      c := t -. !sum -. y;
+      sum := t)
+    xs;
+  !sum
+
+let linspace ~lo ~hi ~n =
+  assert (n >= 2);
+  Array.init n (fun i -> lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))
+
+let logspace ~lo ~hi ~n =
+  assert (lo > 0.0 && hi > 0.0 && n >= 2);
+  let llo = Float.log10 lo and lhi = Float.log10 hi in
+  Array.map (fun e -> Float.pow 10.0 e) (linspace ~lo:llo ~hi:lhi ~n)

@@ -1,0 +1,49 @@
+(** Small numerical toolbox: root finding, interpolation, integration and
+    robust summation.
+
+    Everything here is deterministic and allocation-light; these routines sit
+    in the inner loops of the leakage stack solver and the NBTI sweeps. *)
+
+exception No_bracket of string
+(** Raised by root finders when the supplied interval does not bracket a
+    root. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [bisect ~f lo hi] finds [x] in [lo, hi] with [f x = 0] by bisection.
+    Requires [f lo] and [f hi] of opposite signs (or one of them zero).
+    [tol] is the absolute interval tolerance (default [1e-12]).
+    @raise No_bracket if the interval does not bracket a root. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** Brent's method: same contract as {!bisect} but with superlinear
+    convergence. Used by the stack solver where many roots are found per
+    leakage table. *)
+
+val fixpoint :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float
+(** [fixpoint ~f x0] iterates [x <- f x] until [|f x - x| <= tol]
+    (default [1e-12]) or [max_iter] (default 1000) iterations, returning the
+    last iterate. *)
+
+val interp_linear : xs:float array -> ys:float array -> float -> float
+(** Piecewise-linear interpolation over sorted abscissae [xs]; clamps outside
+    the range. [xs] and [ys] must have equal length >= 1. *)
+
+val integrate_trapezoid : f:(float -> float) -> a:float -> b:float -> n:int -> float
+(** Composite trapezoid rule with [n >= 1] panels. *)
+
+val kahan_sum : float array -> float
+(** Compensated summation. *)
+
+val logspace : lo:float -> hi:float -> n:int -> float array
+(** [logspace ~lo ~hi ~n] is [n] points logarithmically spaced from [lo] to
+    [hi] inclusive; [lo, hi > 0], [n >= 2]. *)
+
+val linspace : lo:float -> hi:float -> n:int -> float array
+(** [n >= 2] points linearly spaced from [lo] to [hi] inclusive. *)
+
+val close : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** [close a b] is true when [|a - b| <= atol + rtol * max |a| |b|]
+    (defaults: [rtol = 1e-9], [atol = 0.0]). *)

@@ -1,0 +1,73 @@
+type t = { mutable state : int64; mutable spare : float option }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix64 (Int64.of_int seed); spare = None }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = int64 t in
+  { state = mix64 s; spare = None }
+
+let copy t = { state = t.state; spare = t.spare }
+
+let bits t = Int64.to_int (Int64.shift_right_logical (int64 t) 2)
+
+let int t n =
+  assert (n > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec draw () =
+    let r = bits t in
+    let v = r mod n in
+    if r - v > (1 lsl 62) - n then draw () else v
+  in
+  draw ()
+
+let uniform t =
+  (* 53 uniform mantissa bits. *)
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int r *. 0x1.0p-53
+
+let float t x = uniform t *. x
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t ~p =
+  let p = Float.max 0.0 (Float.min 1.0 p) in
+  uniform t < p
+
+let gaussian t ~mean ~sigma =
+  match t.spare with
+  | Some z ->
+    t.spare <- None;
+    mean +. (sigma *. z)
+  | None ->
+    (* Box-Muller; u1 must be strictly positive for the log. *)
+    let rec positive () =
+      let u = uniform t in
+      if u > 0.0 then u else positive ()
+    in
+    let u1 = positive () and u2 = uniform t in
+    let r = Float.sqrt (-2.0 *. Float.log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    t.spare <- Some (r *. Float.sin theta);
+    mean +. (sigma *. r *. Float.cos theta)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

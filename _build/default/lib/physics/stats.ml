@@ -1,0 +1,114 @@
+let mean xs =
+  assert (Array.length xs > 0);
+  Numerics.kahan_sum xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  if n = 1 then 0.0
+  else begin
+    let m = mean xs in
+    let devs = Array.map (fun x -> (x -. m) *. (x -. m)) xs in
+    Numerics.kahan_sum devs /. float_of_int (n - 1)
+  end
+
+let stddev xs = Float.sqrt (variance xs)
+
+let min_max xs =
+  assert (Array.length xs > 0);
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let percentile xs ~p =
+  assert (Array.length xs > 0 && p >= 0.0 && p <= 100.0);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median xs = percentile xs ~p:50.0
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p05 : float;
+  p50 : float;
+  p95 : float;
+}
+
+let summarize xs =
+  let min, max = min_max xs in
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min;
+    max;
+    p05 = percentile xs ~p:5.0;
+    p50 = median xs;
+    p95 = percentile xs ~p:95.0;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.6g sd=%.6g min=%.6g p05=%.6g p50=%.6g p95=%.6g max=%.6g"
+    s.n s.mean s.stddev s.min s.p05 s.p50 s.p95 s.max
+
+let histogram xs ~bins =
+  assert (bins >= 1 && Array.length xs > 0);
+  let lo, hi = min_max xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = Stdlib.max 0 (Stdlib.min (bins - 1) i) in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  Array.mapi
+    (fun i c ->
+      let b_lo = lo +. (float_of_int i *. width) in
+      (b_lo, b_lo +. width, c))
+    counts
+
+(* Abramowitz & Stegun 7.1.26 rational approximation. *)
+let erf x =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let poly =
+    t
+    *. (0.254829592
+       +. (t *. (-0.284496736 +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+  in
+  sign *. (1.0 -. (poly *. Float.exp (-.x *. x)))
+
+let normal_pdf ~mean ~sigma x =
+  let z = (x -. mean) /. sigma in
+  Float.exp (-0.5 *. z *. z) /. (sigma *. Float.sqrt (2.0 *. Float.pi))
+
+let normal_cdf ~mean ~sigma x =
+  0.5 *. (1.0 +. erf ((x -. mean) /. (sigma *. Float.sqrt 2.0)))
+
+let correlation xs ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys && n >= 2);
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. Float.sqrt (!sxx *. !syy)

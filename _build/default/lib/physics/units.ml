@@ -1,0 +1,33 @@
+let kelvin_of_celsius c = c +. 273.15
+let celsius_of_kelvin k = k -. 273.15
+
+let second = 1.0
+let minute = 60.0
+let hour = 3600.0
+let day = 24.0 *. hour
+let year = 365.25 *. day
+let years n = n *. year
+let ten_years = 3.0e8
+
+(* SI prefixes from 1e-18 to 1e18, indexed by exponent/3 + 6. *)
+let prefixes = [| "a"; "f"; "p"; "n"; "u"; "m"; ""; "k"; "M"; "G"; "T"; "P"; "E" |]
+
+let pp_si ?(unit = "") fmt x =
+  if x = 0.0 then Format.fprintf fmt "0 %s" unit
+  else begin
+    let sign = if x < 0.0 then "-" else "" in
+    let mag = Float.abs x in
+    let exp3 = int_of_float (Float.floor (Float.log10 mag /. 3.0)) in
+    if exp3 < -6 || exp3 > 6 then Format.fprintf fmt "%s%.3e %s" sign mag unit
+    else begin
+      let scaled = mag /. Float.pow 10.0 (float_of_int (3 * exp3)) in
+      Format.fprintf fmt "%s%.3f %s%s" sign scaled prefixes.(exp3 + 6) unit
+    end
+  end
+
+let si_string ?unit x =
+  match unit with
+  | None -> Format.asprintf "%a" (pp_si ?unit:None) x
+  | Some u -> Format.asprintf "%a" (pp_si ~unit:u) x
+
+let pp_percent fmt r = Format.fprintf fmt "%.2f %%" (100.0 *. r)

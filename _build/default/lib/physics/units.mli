@@ -1,0 +1,33 @@
+(** Unit helpers: temperatures, times and SI-prefixed pretty printing.
+
+    The NBTI literature mixes Kelvin and Celsius and quotes lifetimes in
+    seconds ("3.15e8 s, about 10 years"); these helpers keep the conversions
+    in one place. *)
+
+val kelvin_of_celsius : float -> float
+val celsius_of_kelvin : float -> float
+
+val second : float
+val minute : float
+val hour : float
+val day : float
+val year : float
+(** One Julian year [s] (365.25 days = 3.15576e7 s). The paper's "10 years"
+    operation time of 3e8 s corresponds to [10.0 *. year] rounded down. *)
+
+val years : float -> float
+(** [years n] is [n] years expressed in seconds. *)
+
+val ten_years : float
+(** The paper's canonical operation time: 3.0e8 s ("about 10 years"). *)
+
+val pp_si : ?unit:string -> Format.formatter -> float -> unit
+(** [pp_si ~unit fmt x] prints [x] with an SI prefix, e.g. [pp_si ~unit:"A"]
+    renders [3.2e-9] as ["3.200 nA"]. Handles zero, negatives and values
+    outside the prefix range by falling back to scientific notation. *)
+
+val si_string : ?unit:string -> float -> string
+(** [si_string ~unit x] is [Format.asprintf "%a" (pp_si ~unit) x]. *)
+
+val pp_percent : Format.formatter -> float -> unit
+(** Prints a ratio as a percentage with two decimals: [0.0432] -> ["4.32 %"]. *)

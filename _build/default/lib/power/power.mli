@@ -1,0 +1,55 @@
+(** Circuit power and the self-consistent electrothermal operating point.
+
+    Closes the loop the paper leaves open between its Fig. 2 thermal
+    setting and its circuits: dynamic power from switching activities and
+    node capacitances, leakage from the stacking-effect tables — which
+    itself grows with temperature, which grows with power. The operating
+    point is the fixed point of that feedback, and its temperature is what
+    the NBTI schedule should use as [T_active]. *)
+
+type breakdown = {
+  dynamic : float;  (** [W] *)
+  leakage : float;  (** [W] *)
+  total : float;
+}
+
+val dynamic :
+  Device.Tech.t -> Circuit.Netlist.t -> activity:float array -> freq:float -> float
+(** [sum_i a_i C_i V_dd^2 f / 2]: per-toggle charging energy over the node
+    loads (fanout gate capacitance + drain diffusion + PO load), at clock
+    frequency [freq]. *)
+
+val leakage_at : Device.Tech.t -> Circuit.Netlist.t -> node_sp:float array -> temp_k:float -> float
+(** Expected active leakage power [W] (leakage current x V_dd) with the
+    cell tables rebuilt at [temp_k]. *)
+
+val breakdown_at :
+  Device.Tech.t ->
+  Circuit.Netlist.t ->
+  node_sp:float array ->
+  activity:float array ->
+  freq:float ->
+  temp_k:float ->
+  breakdown
+
+type operating_point = {
+  temp_k : float;  (** self-consistent junction temperature *)
+  per_block : breakdown;  (** one instance of the analyzed block *)
+  chip_power : float;  (** [W], all [n_blocks] instances *)
+  iterations : int;
+}
+
+val operating_point :
+  Device.Tech.t ->
+  Thermal.Rc_model.t ->
+  Circuit.Netlist.t ->
+  node_sp:float array ->
+  activity:float array ->
+  freq:float ->
+  n_blocks:float ->
+  operating_point
+(** Fixed point of [T = steady_state (n_blocks * P(T))]: a chip modeled as
+    [n_blocks] copies of the analyzed block on the air-cooled package.
+    Damped iteration; converges for any leakage that grows sub-linearly
+    against the package's cooling slope (checked: diverging runaway raises
+    [Failure "thermal runaway"]). *)

@@ -1,0 +1,218 @@
+type flop = { name : string; q_node : int; d_node : int }
+
+type t = {
+  name : string;
+  comb : Circuit.Netlist.t;
+  flops : flop array;
+  real_inputs : int array;
+}
+
+let node_id_by_name (net : Circuit.Netlist.t) name =
+  let found = ref (-1) in
+  Array.iteri (fun i _ -> if Circuit.Netlist.node_name net i = name then found := i) net.Circuit.Netlist.nodes;
+  if !found < 0 then failwith (Printf.sprintf "Sequential: unknown signal %s" name);
+  !found
+
+let build name comb (pairs : (string * string) list) =
+  let flops =
+    Array.of_list
+      (List.map
+         (fun (q_name, d_name) ->
+           let q_node = node_id_by_name comb q_name in
+           (match comb.Circuit.Netlist.nodes.(q_node) with
+           | Circuit.Netlist.Primary_input _ -> ()
+           | Circuit.Netlist.Gate _ ->
+             invalid_arg (Printf.sprintf "Sequential: flop output %s is not a core input" q_name));
+           { name = q_name; q_node; d_node = node_id_by_name comb d_name })
+         pairs)
+  in
+  let is_flop = Hashtbl.create 16 in
+  Array.iter (fun f -> Hashtbl.replace is_flop f.q_node ()) flops;
+  let real_inputs =
+    Array.of_list
+      (List.filter
+         (fun id -> not (Hashtbl.mem is_flop id))
+         (Array.to_list (Circuit.Netlist.primary_inputs comb)))
+  in
+  { name; comb; flops; real_inputs }
+
+let of_netlist (comb : Circuit.Netlist.t) ~flops = build comb.Circuit.Netlist.name comb flops
+
+(* ISCAS89 preprocessing: "X = DFF(Y)" becomes "INPUT(X)" with (X, Y)
+   recorded, and Y is forced to be built by referencing it as an output
+   only if it otherwise dangles - Bench_io builds every defined signal, so
+   no extra reference is needed. *)
+let parse_string ~name text =
+  let dff_re = Str.regexp "^[ \t]*\\([^ \t=]+\\)[ \t]*=[ \t]*DFF[ \t]*(\\([^)]*\\))[ \t]*$" in
+  let pairs = ref [] in
+  let lines =
+    List.map
+      (fun line ->
+        if Str.string_match dff_re line 0 then begin
+          let q = Str.matched_group 1 line in
+          let d = String.trim (Str.matched_group 2 line) in
+          pairs := (q, d) :: !pairs;
+          Printf.sprintf "INPUT(%s)" q
+        end
+        else line)
+      (String.split_on_char '\n' text)
+  in
+  let comb = Circuit.Bench_io.parse_string ~name (String.concat "\n" lines) in
+  build name comb (List.rev !pairs)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string ~name:(Filename.remove_extension (Filename.basename path)) text
+
+let n_flops t = Array.length t.flops
+let n_real_inputs t = Array.length t.real_inputs
+
+(* Position of every core PI: either a real-input index or a flop index. *)
+let pi_roles t =
+  let roles = Hashtbl.create 64 in
+  Array.iteri (fun k id -> Hashtbl.replace roles id (`Real k)) t.real_inputs;
+  Array.iteri (fun k f -> Hashtbl.replace roles f.q_node (`Flop k)) t.flops;
+  Array.map (fun id -> Hashtbl.find roles id) (Circuit.Netlist.primary_inputs t.comb)
+
+let core_input_sp t ~input_sp ~state_sp =
+  assert (Array.length input_sp = n_real_inputs t);
+  assert (Array.length state_sp = n_flops t);
+  Array.map
+    (function `Real k -> input_sp.(k) | `Flop k -> state_sp.(k))
+    (pi_roles t)
+
+let steady_state_sp t ~input_sp ?(tol = 1e-6) ?(max_iter = 200) () =
+  let state_sp = Array.make (n_flops t) 0.5 in
+  let node_sp = ref [||] in
+  let sweeps = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !sweeps < max_iter do
+    incr sweeps;
+    node_sp :=
+      Logic.Signal_prob.analytic t.comb ~input_sp:(core_input_sp t ~input_sp ~state_sp);
+    let delta = ref 0.0 in
+    Array.iteri
+      (fun k f ->
+        let next = Float.max 0.0 (Float.min 1.0 !node_sp.(f.d_node)) in
+        delta := Float.max !delta (Float.abs (next -. state_sp.(k)));
+        state_sp.(k) <- next)
+      t.flops;
+    if !delta < tol then converged := true
+  done;
+  (* One final propagation so the returned SPs reflect the converged state. *)
+  (Logic.Signal_prob.analytic t.comb ~input_sp:(core_input_sp t ~input_sp ~state_sp), !sweeps)
+
+let assemble_inputs t ~inputs ~state =
+  assert (Array.length inputs = n_real_inputs t);
+  assert (Array.length state = n_flops t);
+  Array.map (function `Real k -> inputs.(k) | `Flop k -> state.(k)) (pi_roles t)
+
+let step t ~inputs ~state =
+  let values = Logic.Eval.eval t.comb ~inputs:(assemble_inputs t ~inputs ~state) in
+  let outputs = Array.map (fun o -> values.(o)) t.comb.Circuit.Netlist.outputs in
+  let next = Array.map (fun f -> values.(f.d_node)) t.flops in
+  (outputs, next)
+
+let simulate t ~inputs ~initial_state =
+  let state = ref initial_state in
+  let outputs =
+    Array.map
+      (fun cycle_inputs ->
+        let out, next = step t ~inputs:cycle_inputs ~state:!state in
+        state := next;
+        out)
+      inputs
+  in
+  (outputs, !state)
+
+(* --- Generators --- *)
+
+let counter ~bits =
+  if bits < 1 then invalid_arg "Sequential.counter: bits must be >= 1";
+  let b = Circuit.Netlist.Builder.create ~name:(Printf.sprintf "counter%d" bits) in
+  let en = Circuit.Netlist.Builder.input b "en" in
+  let qs = Array.init bits (fun i -> Circuit.Netlist.Builder.input b (Printf.sprintf "q%d" i)) in
+  let carry = ref en in
+  for i = 0 to bits - 1 do
+    let d = Circuit.Netlist.Builder.gate b ~name:(Printf.sprintf "d%d" i) ~cell:Cell.Stdcell.xor2 [| qs.(i); !carry |] in
+    Circuit.Netlist.Builder.output b d;
+    if i < bits - 1 then carry := Circuit.Netlist.Builder.and2 b !carry qs.(i)
+  done;
+  let comb = Circuit.Netlist.Builder.finish b in
+  let flop_pairs =
+    List.init bits (fun i -> (Printf.sprintf "q%d" i, Printf.sprintf "d%d" i))
+  in
+  build (Printf.sprintf "counter%d" bits) comb flop_pairs
+
+let lfsr_taps = function
+  | 4 -> [ 3; 2 ]
+  | 8 -> [ 7; 5; 4; 3 ]
+  | 16 -> [ 15; 14; 12; 3 ]
+  | bits -> [ bits - 1; 0 ]
+
+let lfsr ~bits =
+  if bits < 2 then invalid_arg "Sequential.lfsr: bits must be >= 2";
+  let b = Circuit.Netlist.Builder.create ~name:(Printf.sprintf "lfsr%d" bits) in
+  let qs = Array.init bits (fun i -> Circuit.Netlist.Builder.input b (Printf.sprintf "q%d" i)) in
+  let feedback =
+    match lfsr_taps bits with
+    | [] -> assert false
+    | first :: rest -> List.fold_left (fun acc i -> Circuit.Netlist.Builder.xor2 b acc qs.(i)) qs.(first) rest
+  in
+  Circuit.Netlist.Builder.output b feedback;
+  let comb = Circuit.Netlist.Builder.finish b in
+  let feedback_name = Circuit.Netlist.node_name comb comb.Circuit.Netlist.outputs.(0) in
+  let flop_pairs =
+    List.init bits (fun i ->
+        if i = 0 then ("q0", feedback_name) else (Printf.sprintf "q%d" i, Printf.sprintf "q%d" (i - 1)))
+  in
+  build (Printf.sprintf "lfsr%d" bits) comb flop_pairs
+
+let s27_text =
+  "# s27 (ISCAS89)\n\
+   INPUT(G0)\nINPUT(G1)\nINPUT(G2)\nINPUT(G3)\n\
+   OUTPUT(G17)\n\
+   G5 = DFF(G10)\n\
+   G6 = DFF(G11)\n\
+   G7 = DFF(G13)\n\
+   G14 = NOT(G0)\n\
+   G17 = NOT(G11)\n\
+   G8 = AND(G14, G6)\n\
+   G15 = OR(G12, G8)\n\
+   G16 = OR(G3, G8)\n\
+   G9 = NAND(G16, G15)\n\
+   G10 = NOR(G14, G11)\n\
+   G11 = NOR(G5, G9)\n\
+   G12 = NOR(G1, G7)\n\
+   G13 = NOR(G2, G12)\n"
+
+let s27 () = parse_string ~name:"s27" s27_text
+
+let random_profile ~name ~n_pi ~n_ff ~n_gates ~seed =
+  if n_ff < 1 then invalid_arg "Sequential.random_profile: need at least one flop";
+  if n_gates < n_ff then invalid_arg "Sequential.random_profile: fewer gates than flops";
+  (* The combinational core sees the flop outputs as extra primary
+     inputs; its last n_ff primary outputs become the D pins. *)
+  let profile =
+    {
+      Circuit.Generators.name;
+      n_pi = n_pi + n_ff;
+      n_po = n_ff + 1;
+      n_gates;
+      seed;
+    }
+  in
+  let comb = Circuit.Generators.random_dag profile in
+  let pis = Circuit.Netlist.primary_inputs comb in
+  let outs = comb.Circuit.Netlist.nodes in
+  ignore outs;
+  let flops =
+    List.init n_ff (fun k ->
+        let q = pis.(n_pi + k) in
+        let d = comb.Circuit.Netlist.outputs.(k + 1) in
+        (Circuit.Netlist.node_name comb q, Circuit.Netlist.node_name comb d))
+  in
+  build name comb flops

@@ -1,0 +1,80 @@
+(** Sequential circuits: D-flip-flop netlists mapped onto the
+    combinational analysis core.
+
+    The paper analyzes combinational blocks; real designs wrap them in
+    registers. The standard reduction applies: every flip-flop's Q pin
+    becomes a pseudo primary input of the combinational core and its D pin
+    a pseudo output. Everything in the library (aging, leakage, timing,
+    IVC) then operates on the core — what is specifically sequential is
+    the {e signal probability} of the state bits, which this module
+    derives as the fixed point of the combinational SP propagation
+    (the classic sequential switching-activity approximation), and the
+    standby state, which a scan chain would load.
+
+    [.bench] files with [X = DFF(Y)] lines (the ISCAS89 convention) load
+    directly. *)
+
+type flop = {
+  name : string;  (** the DFF output signal name *)
+  q_node : int;  (** pseudo-PI node id in the core *)
+  d_node : int;  (** the node driving the D pin *)
+}
+
+type t = private {
+  name : string;
+  comb : Circuit.Netlist.t;  (** the combinational core *)
+  flops : flop array;
+  real_inputs : int array;  (** core PI ids that are true primary inputs *)
+}
+
+val parse_string : name:string -> string -> t
+(** ISCAS89-style [.bench] with [DFF] gates.
+    @raise Failure on syntax errors (same reporting as {!Bench_io}). *)
+
+val parse_file : string -> t
+
+val of_netlist : Circuit.Netlist.t -> flops:(string * string) list -> t
+(** Wraps an existing combinational netlist: each [(q_name, d_name)] pair
+    names a PI node (Q) and any node (D). *)
+
+val n_flops : t -> int
+val n_real_inputs : t -> int
+
+val core_input_sp : t -> input_sp:float array -> state_sp:float array -> float array
+(** Assembles the core's PI-ordered SP array from real-input SPs and
+    per-flop state SPs. *)
+
+val steady_state_sp :
+  t -> input_sp:float array -> ?tol:float -> ?max_iter:int -> unit -> float array * int
+(** Per-node signal probabilities of the core with the state bits at their
+    fixed point: iterate [sp(Q) <- sp(D)] until the largest change is
+    below [tol] (default 1e-6) or [max_iter] (default 200) sweeps.
+    Returns the node SPs and the sweep count. *)
+
+val step : t -> inputs:bool array -> state:bool array -> bool array * bool array
+(** One clock cycle: [(outputs, next_state)] for the given real-input and
+    state values. *)
+
+val simulate :
+  t -> inputs:bool array array -> initial_state:bool array -> bool array array * bool array
+(** Multi-cycle simulation over a sequence of input vectors; returns the
+    per-cycle primary outputs and the final state. *)
+
+(** {1 Generators (for tests and benchmarks)} *)
+
+val counter : bits:int -> t
+(** An [bits]-bit binary up-counter with an enable input. *)
+
+val lfsr : bits:int -> t
+(** A Fibonacci LFSR; maximal-length taps for 4, 8 and 16 bits (other
+    sizes use a two-tap feedback that may not be maximal). No real
+    inputs. *)
+
+val s27 : unit -> t
+(** The genuine ISCAS89 s27 (4 inputs, 1 output, 3 flip-flops, 10
+    gates) — the sequential counterpart of c17's exact reproduction. *)
+
+val random_profile : name:string -> n_pi:int -> n_ff:int -> n_gates:int -> seed:int -> t
+(** A seeded random sequential design: a {!Circuit.Generators.random_dag}
+    combinational core whose last [n_ff] outputs close through
+    flip-flops. Deterministic per seed. *)

@@ -1,0 +1,1 @@
+lib/sleep/st_insertion.ml: Aging Device Nbti St_sizing Sta

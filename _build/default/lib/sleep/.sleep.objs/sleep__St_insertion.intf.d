@@ -1,0 +1,1 @@
+lib/sleep/st_insertion.mli: Aging Circuit

@@ -1,0 +1,1 @@
+lib/sleep/st_sizing.ml: Array Cell Circuit Device Nbti

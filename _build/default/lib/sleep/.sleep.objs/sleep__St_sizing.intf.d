@@ -1,0 +1,1 @@
+lib/sleep/st_sizing.mli: Circuit Device Nbti

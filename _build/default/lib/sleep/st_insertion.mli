@@ -1,0 +1,54 @@
+(** Sleep transistor insertion and its effect on circuit aging
+    (paper Section 4.4.2, Figs. 10–11).
+
+    Any ST style gates the block off in standby, which collapses the
+    gate-source voltages of the internal PMOS devices to ~0: in standby
+    nothing is stressed (the internal nets float to V_dd under a footer,
+    to ground under a header — either way no PMOS sees V_gs = -V_dd). The
+    circuit therefore ages only through its active-mode signal activity,
+    at the cost of a time-0 delay penalty [beta] from the virtual rail
+    drop:
+
+    - [Footer] (NMOS): immune to NBTI; the penalty stays [beta] for life.
+    - [Header] (PMOS): the ST itself is stressed through the whole active
+      time; its V_th drift inflates the penalty over time unless the ST
+      was upsized NBTI-aware (eq. 31), in which case the end-of-life
+      penalty is [beta] and the fresh circuit is slightly faster.
+    - [Footer_and_header]: the budget is split; only the header half
+      drifts. *)
+
+type style = Footer | Header | Footer_and_header
+
+type result = {
+  style : style;
+  beta : float;  (** time-0 ST delay penalty budget *)
+  nbti_aware : bool;
+  fresh_delay : float;  (** no-ST critical path [s] *)
+  fresh_delay_with_st : float;  (** [s] at time 0 *)
+  aged_delay_with_st : float;  (** [s] at the config's lifetime *)
+  total_degradation : float;
+      (** (aged with ST - fresh without ST) / fresh without ST — the
+          quantity Fig. 11 plots against the no-ST worst case *)
+  internal_degradation : float;  (** active-stress-only circuit aging *)
+  st_penalty_aged : float;  (** the ST's delay penalty at end of life *)
+  st_dvth : float;  (** header ST threshold shift [V] (0 for footers) *)
+}
+
+val analyze :
+  Aging.Circuit_aging.config ->
+  Circuit.Netlist.t ->
+  node_sp:float array ->
+  style:style ->
+  beta:float ->
+  ?vth_st:float ->
+  ?nbti_aware:bool ->
+  unit ->
+  result
+(** [nbti_aware] (default true) sizes the header for end-of-life
+    (penalty <= [beta] for the whole lifetime); otherwise the header is
+    sized fresh and the penalty grows with the ST's V_th drift. The ST
+    stress schedule reuses the config's RAS and temperatures. *)
+
+val without_st : Aging.Circuit_aging.config -> Circuit.Netlist.t -> node_sp:float array -> float
+(** The comparison baseline: worst-case degradation with no ST (standby
+    state all-0). *)

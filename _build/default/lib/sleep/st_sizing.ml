@@ -1,0 +1,63 @@
+type spec = { tech : Device.Tech.t; beta : float; vth_st : float }
+
+let make_spec ?(tech = Device.Tech.ptm_90nm) ?(beta = 0.05) ?vth_st () =
+  if beta <= 0.0 || beta >= 1.0 then invalid_arg "St_sizing.make_spec: beta must be in (0, 1)";
+  let vth_st = match vth_st with Some v -> v | None -> tech.Device.Tech.vth_p in
+  if vth_st <= 0.0 || vth_st >= tech.Device.Tech.vdd then
+    invalid_arg "St_sizing.make_spec: vth_st out of range";
+  { tech; beta; vth_st }
+
+let vst_bound spec = spec.beta *. (spec.tech.Device.Tech.vdd -. spec.tech.Device.Tech.vth_p)
+
+let wl_fresh spec ~i_on =
+  if i_on <= 0.0 then invalid_arg "St_sizing.wl_fresh: non-positive current";
+  let vdd = spec.tech.Device.Tech.vdd in
+  (* The PMOS saturation drive factor stands in for mu_p * C_ox: only the
+     ratio structure of eq. 30 matters for the sizing study. *)
+  let k_lin = spec.tech.Device.Tech.k_sat_p in
+  i_on /. (k_lin *. (vdd -. spec.vth_st) *. vst_bound spec)
+
+let st_schedule ?(ras = (1.0, 9.0)) ?(t_active = 400.0) ?(t_standby = 330.0) () =
+  Nbti.Schedule.active_standby ~ras ~t_active ~t_standby ~active_duty:1.0 ~standby_duty:0.0 ()
+
+let dvth_st params spec ~schedule ~time =
+  let cond = { Nbti.Vth_shift.vgs = spec.tech.Device.Tech.vdd; vth0 = spec.vth_st } in
+  Nbti.Vth_shift.dvth params spec.tech cond ~schedule ~time
+
+let upsize_fraction spec ~dvth =
+  if dvth < 0.0 then invalid_arg "St_sizing.upsize_fraction: negative shift";
+  dvth /. (spec.tech.Device.Tech.vdd -. spec.vth_st)
+
+let wl_nbti_aware spec ~i_on ~dvth = wl_fresh spec ~i_on *. (1.0 +. upsize_fraction spec ~dvth)
+
+let block_on_current tech (t : Circuit.Netlist.t) ~simultaneity =
+  if simultaneity <= 0.0 || simultaneity > 1.0 then
+    invalid_arg "St_sizing.block_on_current: simultaneity must be in (0, 1]";
+  let total =
+    Array.fold_left
+      (fun acc node ->
+        match node with
+        | Circuit.Netlist.Primary_input _ -> acc
+        | Circuit.Netlist.Gate { cell; _ } ->
+          let stages = cell.Cell.Stdcell.stages in
+          let out_stage = stages.(Array.length stages - 1) in
+          let wl =
+            Cell.Cell_delay.worst_strength out_stage.Cell.Stdcell.pull_down
+              ~on_polarity:Device.Mosfet.N
+          in
+          acc +. Device.Mosfet.on_current tech (Device.Mosfet.nmos ~wl ()) ~temp_k:400.0)
+      0.0 t.Circuit.Netlist.nodes
+  in
+  simultaneity *. total
+
+let st_area_fraction _tech (t : Circuit.Netlist.t) ~wl_st =
+  let block_area =
+    Array.fold_left
+      (fun acc node ->
+        match node with
+        | Circuit.Netlist.Primary_input _ -> acc
+        | Circuit.Netlist.Gate { cell; _ } -> acc +. Cell.Stdcell.area cell)
+      0.0 t.Circuit.Netlist.nodes
+  in
+  if block_area <= 0.0 then invalid_arg "St_sizing.st_area_fraction: empty block";
+  wl_st /. block_area

@@ -1,0 +1,56 @@
+(** NBTI-aware PMOS sleep transistor sizing (paper Section 4.4.1,
+    eqs. 25–31, Figs. 8–9).
+
+    A sleep transistor in the linear region drops [V_ST] between the rail
+    and the virtual rail. Bounding the gate delay penalty by [beta]
+    (eq. 27/28) bounds [V_ST]; the current the ST must carry then fixes its
+    size (eqs. 29–30). A PMOS header's gate is at 0 during the whole active
+    time — permanent NBTI stress at T_active — so its threshold drifts and
+    the ST must be upsized by [dVth / (V_dd - V_thST)] (eq. 31) to still
+    meet [beta] at end of life. *)
+
+type spec = {
+  tech : Device.Tech.t;
+  beta : float;  (** allowed gate delay penalty, e.g. 0.05; in (0, 1) *)
+  vth_st : float;  (** initial threshold magnitude of the ST [V] *)
+}
+
+val make_spec : ?tech:Device.Tech.t -> ?beta:float -> ?vth_st:float -> unit -> spec
+(** Defaults: PTM-90, beta = 0.05, vth_st = the technology's PMOS V_th. *)
+
+val vst_bound : spec -> float
+(** Eq. 28: maximum virtual-rail drop [beta * (V_dd - V_th,low)]. *)
+
+val wl_fresh : spec -> i_on:float -> float
+(** Eq. 30: minimum W/L carrying [i_on] amps at the [vst_bound] drop,
+    using the linear-region current [mu_p C_ox (W/L) (V_dd - V_thST) V_ST]
+    (the technology's PMOS drive factor stands in for [mu_p C_ox]). *)
+
+val st_schedule :
+  ?ras:float * float -> ?t_active:float -> ?t_standby:float -> unit -> Nbti.Schedule.t
+(** The header ST's stress pattern: gate at 0 (full stress) through the
+    active phase, gate at 1 (recovery) through standby. Defaults: RAS 1:9,
+    400 K / 330 K. *)
+
+val dvth_st : Nbti.Rd_model.params -> spec -> schedule:Nbti.Schedule.t -> time:float -> float
+(** The ST's threshold shift [V]: the NBTI model evaluated at the ST's own
+    initial threshold (the [vgs = V_dd], [vth0 = vth_st] condition of
+    Fig. 8). *)
+
+val upsize_fraction : spec -> dvth:float -> float
+(** Eq. 31: [dvth / (V_dd - vth_st)] — the fractional W/L increase needed
+    to preserve [beta] at end of life (Fig. 9). *)
+
+val wl_nbti_aware : spec -> i_on:float -> dvth:float -> float
+(** [wl_fresh * (1 + upsize_fraction)]. *)
+
+val block_on_current : Device.Tech.t -> Circuit.Netlist.t -> simultaneity:float -> float
+(** Worst-case current the ST must carry for a gated block: the sum of
+    every gate's output-stage drive current scaled by [simultaneity] (the
+    fraction of gates that can switch in the same instant; Kao/Anis-style
+    mutual exclusion gives values well below 1). *)
+
+val st_area_fraction :
+  Device.Tech.t -> Circuit.Netlist.t -> wl_st:float -> float
+(** ST area (W/L) as a fraction of the block's total device area — the
+    area-overhead figure of merit of BBSTI studies. *)

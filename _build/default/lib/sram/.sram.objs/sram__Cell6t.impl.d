@@ -1,0 +1,1 @@
+lib/sram/cell6t.ml: Array Device Float Nbti Physics

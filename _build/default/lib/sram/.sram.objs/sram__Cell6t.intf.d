@@ -1,0 +1,1 @@
+lib/sram/cell6t.mli: Device Nbti

@@ -1,0 +1,106 @@
+type t = {
+  tech : Device.Tech.t;
+  pull_down_wl : float;
+  pull_up_wl : float;
+  access_wl : float;
+  gain : float;
+}
+
+let make ?(tech = Device.Tech.ptm_90nm) ?(pull_down_wl = 2.0) ?(pull_up_wl = 1.2)
+    ?(access_wl = 1.0) ?(gain = 8.0) () =
+  if pull_down_wl <= 0.0 || pull_up_wl <= 0.0 || access_wl <= 0.0 then
+    invalid_arg "Cell6t.make: non-positive device width";
+  if gain <= 1.0 then invalid_arg "Cell6t.make: gain must exceed 1";
+  { tech; pull_down_wl; pull_up_wl; access_wl; gain }
+
+let switching_threshold cell ~dvth_p ~temp_k =
+  let tech = cell.tech in
+  let vthn = Device.Tech.vth_at tech `N ~temp_k in
+  let vthp = Device.Tech.vth_at tech `P ~temp_k +. dvth_p in
+  let beta_ratio =
+    tech.Device.Tech.k_sat_p *. cell.pull_up_wl /. (tech.Device.Tech.k_sat_n *. cell.pull_down_wl)
+  in
+  let r = Float.pow beta_ratio (1.0 /. tech.Device.Tech.alpha) in
+  (vthn +. (r *. (tech.Device.Tech.vdd -. vthp))) /. (1.0 +. r)
+
+let vtc cell ~dvth_p ~temp_k ~v_read vin =
+  let vdd = cell.tech.Device.Tech.vdd in
+  let vm = switching_threshold cell ~dvth_p ~temp_k in
+  let swing = vdd -. v_read in
+  v_read +. (swing *. 0.5 *. (1.0 -. Float.tanh (cell.gain *. (vin -. vm) /. vdd)))
+
+let read_disturb_voltage cell ~temp_k =
+  ignore temp_k;
+  (* First-order conductance divider of access vs driver NMOS. *)
+  cell.tech.Device.Tech.vdd *. cell.access_wl /. (cell.access_wl +. (2.0 *. cell.pull_down_wl))
+
+type snm = { left_lobe : float; right_lobe : float; snm : float }
+
+(* Seevinck's rotation method: after a 45-degree rotation a nested square
+   of side s becomes a vertical separation of s * sqrt 2 between the two
+   butterfly curves; each lobe's SNM is the max separation over u. *)
+let static_noise_margin cell ~dvth_left ~dvth_right ~temp_k ~mode =
+  let vdd = cell.tech.Device.Tech.vdd in
+  let v_read = match mode with `Hold -> 0.0 | `Read -> read_disturb_voltage cell ~temp_k in
+  let n = 512 in
+  let sqrt2 = Float.sqrt 2.0 in
+  (* Curve 1: left inverter, y = f_L(x) (x = right node, y = left node).
+     Curve 2: right inverter, x = f_R(y) -> sampled as (f_R(y), y). *)
+  let rotate (x, y) = ((x -. y) /. sqrt2, (x +. y) /. sqrt2) in
+  let sample f =
+    Array.init (n + 1) (fun i ->
+        let v = vdd *. float_of_int i /. float_of_int n in
+        rotate (f v))
+  in
+  let curve1 = sample (fun x -> (x, vtc cell ~dvth_p:dvth_left ~temp_k ~v_read x)) in
+  let curve2 = sample (fun y -> (vtc cell ~dvth_p:dvth_right ~temp_k ~v_read y, y)) in
+  let interp curve =
+    let pts = Array.copy curve in
+    Array.sort (fun (a, _) (b, _) -> compare a b) pts;
+    let xs = Array.map fst pts and ys = Array.map snd pts in
+    fun u -> Physics.Numerics.interp_linear ~xs ~ys u
+  in
+  let f1 = interp curve1 and f2 = interp curve2 in
+  let u_lo =
+    Float.max (Array.fold_left (fun a (u, _) -> Float.min a u) infinity curve1)
+      (Array.fold_left (fun a (u, _) -> Float.min a u) infinity curve2)
+  in
+  let u_hi =
+    Float.min (Array.fold_left (fun a (u, _) -> Float.max a u) neg_infinity curve1)
+      (Array.fold_left (fun a (u, _) -> Float.max a u) neg_infinity curve2)
+  in
+  let pos = ref 0.0 and neg = ref 0.0 in
+  for i = 0 to n do
+    let u = u_lo +. ((u_hi -. u_lo) *. float_of_int i /. float_of_int n) in
+    let d = f1 u -. f2 u in
+    if d > !pos then pos := d;
+    if -.d > !neg then neg := -.d
+  done;
+  let left_lobe = !pos /. sqrt2 and right_lobe = !neg /. sqrt2 in
+  { left_lobe; right_lobe; snm = Float.min left_lobe right_lobe }
+
+let storage_duties ~store_one_fraction =
+  if store_one_fraction < 0.0 || store_one_fraction > 1.0 then
+    invalid_arg "Cell6t.storage_duties: fraction must be in [0, 1]";
+  let f = store_one_fraction in
+  ((f, f), (1.0 -. f, 1.0 -. f))
+
+let side_dvth params cell ~schedule ~time ~duties:(active, standby) =
+  let tech = cell.tech in
+  let cond = { Nbti.Vth_shift.vgs = tech.Device.Tech.vdd; vth0 = tech.Device.Tech.vth_p } in
+  let sched = Nbti.Schedule.with_stress_duties schedule ~active ~standby in
+  Nbti.Vth_shift.dvth params tech cond ~schedule:sched ~time
+
+let snm_after params cell ~(schedule : Nbti.Schedule.t) ~time ~store_one_fraction ~mode =
+  let left_duties, right_duties = storage_duties ~store_one_fraction in
+  let dvth_left = side_dvth params cell ~schedule ~time ~duties:left_duties in
+  let dvth_right = side_dvth params cell ~schedule ~time ~duties:right_duties in
+  static_noise_margin cell ~dvth_left ~dvth_right ~temp_k:schedule.Nbti.Schedule.t_ref ~mode
+
+let recovery_from_flipping params cell ~(schedule : Nbti.Schedule.t) ~time ~mode =
+  let temp_k = schedule.Nbti.Schedule.t_ref in
+  let fresh = static_noise_margin cell ~dvth_left:0.0 ~dvth_right:0.0 ~temp_k ~mode in
+  let static_ = snm_after params cell ~schedule ~time ~store_one_fraction:1.0 ~mode in
+  let flip = snm_after params cell ~schedule ~time ~store_one_fraction:0.5 ~mode in
+  let loss = fresh.snm -. static_.snm in
+  if loss <= 0.0 then 0.0 else (flip.snm -. static_.snm) /. loss

@@ -1,0 +1,84 @@
+(** NBTI and SRAM read stability (Kumar et al. [21], the paper's related
+    work on memory): a 6T cell model with static-noise-margin analysis
+    and the bit-flipping mitigation.
+
+    A 6T cell stores its bit in two cross-coupled inverters; whichever
+    side holds a 1 keeps its pull-up PMOS gate at 0 — permanent NBTI
+    stress. The resulting asymmetric V_th shift skews the butterfly curve
+    and shrinks the static noise margin (SNM), worst during reads when the
+    access transistor lifts the low node. Kumar's mitigation periodically
+    flips the stored bit so each PMOS is stressed half the time (an AC
+    pattern), recovering most of the margin.
+
+    The VTC uses the alpha-power-law switching threshold with a gain-limited
+    transition; SNM is extracted with Seevinck's 45-degree rotation method
+    on the two (mirrored) VTCs. *)
+
+type t = {
+  tech : Device.Tech.t;
+  pull_down_wl : float;  (** driver NMOS W/L *)
+  pull_up_wl : float;  (** load PMOS W/L *)
+  access_wl : float;  (** access NMOS W/L *)
+  gain : float;  (** VTC transition steepness (dimensionless, > 1) *)
+}
+
+val make :
+  ?tech:Device.Tech.t ->
+  ?pull_down_wl:float ->
+  ?pull_up_wl:float ->
+  ?access_wl:float ->
+  ?gain:float ->
+  unit ->
+  t
+(** Defaults: PD 2.0, PU 1.2, AX 1.0 (cell ratio 2.0), gain 8 — a
+    conventional read-stable 6T design point. *)
+
+val switching_threshold : t -> dvth_p:float -> temp_k:float -> float
+(** Inverter switching threshold [V]:
+    [(V_thn + r (V_dd - |V_thp| - dvth)) / (1 + r)] with
+    [r = (k_p W_p / (k_n W_d))^(1/alpha)]. Decreases as the PMOS ages. *)
+
+val vtc : t -> dvth_p:float -> temp_k:float -> v_read:float -> float -> float
+(** [vtc cell ~dvth_p ~temp_k ~v_read vin]: inverter transfer curve with
+    output swing limited to [v_read .. V_dd] ([v_read = 0] for hold;
+    during a read the access transistor holds the low node at the
+    read-disturb voltage). Monotone non-increasing in [vin]. *)
+
+val read_disturb_voltage : t -> temp_k:float -> float
+(** The divider voltage of the low node during a read: the access NMOS
+    fighting the driver NMOS, [V_dd * AX / (AX + PD)] in conductance
+    terms — the standard first-order estimate. *)
+
+type snm = { left_lobe : float; right_lobe : float; snm : float  (** min of the lobes [V] *) }
+
+val static_noise_margin :
+  t -> dvth_left:float -> dvth_right:float -> temp_k:float -> mode:[ `Hold | `Read ] -> snm
+(** Butterfly SNM with per-side PMOS shifts ([dvth_left] ages the
+    inverter whose input is the right node, i.e. the side storing 1
+    stresses its own pull-up). Symmetric shifts give equal lobes. *)
+
+(** {1 NBTI storage patterns} *)
+
+val storage_duties : store_one_fraction:float -> (float * float) * (float * float)
+(** [(left_active, left_standby), (right_...)] stress duty pairs for a cell
+    that stores 1 on the left node a fraction of the lifetime: the left
+    pull-up PMOS is stressed while the cell holds 1 (gate at the low right
+    node)... and symmetrically. [store_one_fraction = 1.0] is the static
+    worst case; [0.5] is Kumar's bit-flipping pattern. *)
+
+val snm_after :
+  Nbti.Rd_model.params ->
+  t ->
+  schedule:Nbti.Schedule.t ->
+  time:float ->
+  store_one_fraction:float ->
+  mode:[ `Hold | `Read ] ->
+  snm
+(** End-of-life SNM: per-side ΔV_th from the storage pattern layered on
+    the operating schedule, then the butterfly extraction. *)
+
+val recovery_from_flipping :
+  Nbti.Rd_model.params -> t -> schedule:Nbti.Schedule.t -> time:float -> mode:[ `Hold | `Read ] -> float
+(** Fraction of the static-storage SNM {e loss} recovered by 50/50 bit
+    flipping: [(snm_flip - snm_static) / (snm_fresh - snm_static)].
+    In [0, 1] for any aging scenario that degrades the static cell. *)

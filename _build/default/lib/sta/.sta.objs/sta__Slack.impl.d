@@ -1,0 +1,1 @@
+lib/sta/slack.ml: Array Circuit Float List Timing

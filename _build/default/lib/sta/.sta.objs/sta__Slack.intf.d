@@ -1,0 +1,1 @@
+lib/sta/slack.mli: Circuit Timing

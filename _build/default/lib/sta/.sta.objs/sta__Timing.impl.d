@@ -1,0 +1,1 @@
+lib/sta/timing.ml: Array Cell Circuit Device Float List

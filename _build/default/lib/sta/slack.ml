@@ -1,0 +1,36 @@
+type t = { required : float array; slack : float array; target : float }
+
+let compute (net : Circuit.Netlist.t) ~(timing : Timing.result) ?target () =
+  let target = match target with Some t -> t | None -> timing.Timing.max_delay in
+  let n = Circuit.Netlist.n_nodes net in
+  let required = Array.make n infinity in
+  Array.iter (fun o -> required.(o) <- Float.min required.(o) target) net.Circuit.Netlist.outputs;
+  (* Reverse topological sweep: a node must be ready early enough for every
+     reader to still meet its own required time. *)
+  for i = n - 1 downto 0 do
+    match net.Circuit.Netlist.nodes.(i) with
+    | Circuit.Netlist.Primary_input _ -> ()
+    | Circuit.Netlist.Gate { fanin; _ } ->
+      let upstream_req = required.(i) -. timing.Timing.gate_delay.(i) in
+      Array.iter (fun f -> required.(f) <- Float.min required.(f) upstream_req) fanin
+  done;
+  (* Nodes nothing reads and that are not outputs keep infinite required
+     time; clamp their slack to the target for sane accounting. *)
+  let slack =
+    Array.mapi
+      (fun i r ->
+        if Float.is_finite r then r -. timing.Timing.arrival.(i)
+        else target -. timing.Timing.arrival.(i))
+      required
+  in
+  { required; slack; target }
+
+let critical_nodes t ~eps =
+  let acc = ref [] in
+  Array.iteri (fun i s -> if s <= eps then acc := i :: !acc) t.slack;
+  List.rev !acc
+
+let min_slack t = Array.fold_left Float.min infinity t.slack
+
+let total_positive_slack t =
+  Array.fold_left (fun acc s -> if s > 0.0 then acc +. s else acc) 0.0 t.slack

@@ -1,0 +1,30 @@
+(** Required times and slacks — the backward half of static timing
+    analysis, needed by every optimization that spends non-critical timing
+    margin (dual-V_th assignment, NBTI-aware sizing, fine-grain sleep
+    transistor budgets).
+
+    Conventions: the required time at every primary output is the circuit's
+    target (default: the critical-path delay, making the worst path
+    zero-slack); a gate's required time is the minimum over its fanouts of
+    (their required time minus their delay); slack = required − arrival. *)
+
+type t = {
+  required : float array;  (** per node [s] *)
+  slack : float array;  (** per node [s]; >= 0 when the target is met *)
+  target : float;  (** the required time applied at the outputs *)
+}
+
+val compute : Circuit.Netlist.t -> timing:Timing.result -> ?target:float -> unit -> t
+(** [target] defaults to [timing.max_delay]. *)
+
+val critical_nodes : t -> eps:float -> int list
+(** Nodes with slack below [eps] — the (near-)critical subgraph, in node
+    order. *)
+
+val min_slack : t -> float
+(** The smallest slack over all nodes (0 when [target] is the critical
+    delay). *)
+
+val total_positive_slack : t -> float
+(** Sum of positive slacks over all nodes: the optimization budget
+    measure. *)

@@ -1,0 +1,134 @@
+type result = {
+  arrival : float array;
+  gate_delay : float array;
+  max_delay : float;
+  critical_path : int list;
+  critical_output : int;
+}
+
+let default_po_load tech = 4.0 *. Cell.Cell_delay.input_capacitance tech Cell.Stdcell.inv ~pin_index:0
+
+(* Drain diffusion capacitance of a gate's output stage: roughly half a
+   gate capacitance per unit device width hanging off the output node. *)
+let drain_cap tech (node : Circuit.Netlist.node) =
+  match node with
+  | Circuit.Netlist.Primary_input _ -> 0.0
+  | Circuit.Netlist.Gate { cell; _ } ->
+    let stages = cell.Cell.Stdcell.stages in
+    let out = stages.(Array.length stages - 1) in
+    let width net =
+      List.fold_left (fun acc (_, m) -> acc +. m.Device.Mosfet.wl) 0.0 (Cell.Network.devices net)
+    in
+    0.5 *. tech.Device.Tech.cg_per_wl
+    *. (width out.Cell.Stdcell.pull_up +. width out.Cell.Stdcell.pull_down)
+
+let loads tech (t : Circuit.Netlist.t) ?po_load () =
+  let po_load = match po_load with Some l -> l | None -> default_po_load tech in
+  let result = Array.make (Circuit.Netlist.n_nodes t) 0.0 in
+  let fanout = Circuit.Netlist.fanout_pins t in
+  Array.iteri
+    (fun i pins ->
+      let cap =
+        Array.fold_left
+          (fun acc (gate_id, pin) ->
+            match t.Circuit.Netlist.nodes.(gate_id) with
+            | Circuit.Netlist.Gate { cell; _ } ->
+              acc +. Cell.Cell_delay.input_capacitance tech cell ~pin_index:pin
+            | Circuit.Netlist.Primary_input _ -> acc)
+          0.0 pins
+      in
+      let cap = cap +. drain_cap tech t.Circuit.Netlist.nodes.(i) in
+      result.(i) <- (cap +. if Circuit.Netlist.is_output t i then po_load else 0.0))
+    fanout;
+  result
+
+let no_aging ~gate:_ ~stage:_ = 0.0
+
+let analyze tech (t : Circuit.Netlist.t) ?po_load ?(gate_scale = fun _ -> 1.0)
+    ?(stage_dvth_n = no_aging) ~temp_k ~stage_dvth () =
+  let node_load = loads tech t ?po_load () in
+  let n = Circuit.Netlist.n_nodes t in
+  let arrival = Array.make n 0.0 in
+  let gate_delay = Array.make n 0.0 in
+  Array.iteri
+    (fun i node ->
+      match node with
+      | Circuit.Netlist.Primary_input _ -> ()
+      | Circuit.Netlist.Gate { cell; fanin; _ } ->
+        let input_arrival = Array.fold_left (fun acc f -> Float.max acc arrival.(f)) 0.0 fanin in
+        let d =
+          gate_scale i
+          *. Cell.Cell_delay.delay tech cell ~load:node_load.(i) ~temp_k
+               ~stage_dvth:(fun stage -> stage_dvth ~gate:i ~stage)
+               ~stage_dvth_n:(fun stage -> stage_dvth_n ~gate:i ~stage)
+               ()
+        in
+        gate_delay.(i) <- d;
+        arrival.(i) <- input_arrival +. d)
+    t.Circuit.Netlist.nodes;
+  let critical_output =
+    Array.fold_left
+      (fun best o -> if arrival.(o) > arrival.(best) then o else best)
+      t.Circuit.Netlist.outputs.(0) t.Circuit.Netlist.outputs
+  in
+  (* Backtrack the max-arrival chain to the driving primary input. *)
+  let rec backtrack i acc =
+    match t.Circuit.Netlist.nodes.(i) with
+    | Circuit.Netlist.Primary_input _ -> i :: acc
+    | Circuit.Netlist.Gate { fanin; _ } ->
+      if Array.length fanin = 0 then i :: acc
+      else begin
+        let pred =
+          Array.fold_left (fun best f -> if arrival.(f) > arrival.(best) then f else best)
+            fanin.(0) fanin
+        in
+        backtrack pred (i :: acc)
+      end
+  in
+  {
+    arrival;
+    gate_delay;
+    max_delay = arrival.(critical_output);
+    critical_path = backtrack critical_output [];
+    critical_output;
+  }
+
+let fresh tech t ?po_load ~temp_k () = analyze tech t ?po_load ~temp_k ~stage_dvth:no_aging ()
+
+let degradation ~fresh ~aged =
+  assert (fresh.max_delay > 0.0);
+  (aged.max_delay -. fresh.max_delay) /. fresh.max_delay
+
+type slope_result = { rise : float array; fall : float array; max_delay_rf : float }
+
+let analyze_slopes tech (t : Circuit.Netlist.t) ?po_load ?(stage_dvth_n = no_aging) ~temp_k
+    ~stage_dvth () =
+  let node_load = loads tech t ?po_load () in
+  let n = Circuit.Netlist.n_nodes t in
+  let rise = Array.make n 0.0 and fall = Array.make n 0.0 in
+  Array.iteri
+    (fun i node ->
+      match node with
+      | Circuit.Netlist.Primary_input _ -> ()
+      | Circuit.Netlist.Gate { cell; fanin; _ } ->
+        let in_rise = Array.fold_left (fun acc f -> Float.max acc rise.(f)) 0.0 fanin in
+        let in_fall = Array.fold_left (fun acc f -> Float.max acc fall.(f)) 0.0 fanin in
+        let r, fl =
+          Cell.Cell_delay.delay_pair tech cell ~load:node_load.(i) ~temp_k
+            ~stage_dvth:(fun stage -> stage_dvth ~gate:i ~stage)
+            ~stage_dvth_n:(fun stage -> stage_dvth_n ~gate:i ~stage)
+            ~input_arrival:(in_rise, in_fall) ()
+        in
+        rise.(i) <- r;
+        fall.(i) <- fl)
+    t.Circuit.Netlist.nodes;
+  let max_delay_rf =
+    Array.fold_left
+      (fun acc o -> Float.max acc (Float.max rise.(o) fall.(o)))
+      0.0 t.Circuit.Netlist.outputs
+  in
+  { rise; fall; max_delay_rf }
+
+let slope_degradation ~fresh ~aged =
+  assert (fresh.max_delay_rf > 0.0);
+  (aged.max_delay_rf -. fresh.max_delay_rf) /. fresh.max_delay_rf

@@ -1,0 +1,1 @@
+lib/thermal/workload.ml: Array Physics Rc_model

@@ -1,0 +1,1 @@
+lib/thermal/workload.mli: Physics Rc_model

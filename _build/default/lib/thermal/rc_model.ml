@@ -1,0 +1,37 @@
+type t = { r_th : float; c_th : float; t_amb : float }
+
+(* 0.45 K/W and 120 J/K give a ~54 s task-level time constant and map the
+   paper's 10-130 W task range onto ~327-386 K: Fig. 2's 60-110 C band. *)
+let default = { r_th = 0.45; c_th = 120.0; t_amb = 323.0 }
+
+let steady_state m ~power = m.t_amb +. (power *. m.r_th)
+let power_for_temperature m ~temp_k = (temp_k -. m.t_amb) /. m.r_th
+let time_constant m = m.r_th *. m.c_th
+
+let step m ~temp_k ~power ~dt =
+  assert (dt >= 0.0);
+  let t_ss = steady_state m ~power in
+  t_ss +. ((temp_k -. t_ss) *. Float.exp (-.dt /. time_constant m))
+
+let simulate m ~t0 ~powers ~dt =
+  assert (dt > 0.0);
+  let samples = ref [ (0.0, t0) ] in
+  let temp = ref t0 and now = ref 0.0 in
+  Array.iter
+    (fun (duration, power) ->
+      assert (duration >= 0.0);
+      let elapsed = ref 0.0 in
+      while !elapsed +. dt <= duration do
+        temp := step m ~temp_k:!temp ~power ~dt;
+        elapsed := !elapsed +. dt;
+        now := !now +. dt;
+        samples := (!now, !temp) :: !samples
+      done;
+      let rest = duration -. !elapsed in
+      if rest > 0.0 then begin
+        temp := step m ~temp_k:!temp ~power ~dt:rest;
+        now := !now +. rest;
+        samples := (!now, !temp) :: !samples
+      end)
+    powers;
+  Array.of_list (List.rev !samples)

@@ -1,0 +1,38 @@
+(** Lumped-RC die thermal model (the paper's "typical air cooling
+    condition" [28]).
+
+    One thermal node: [C_th dT/dt = P - (T - T_amb) / R_th]. Under constant
+    power the temperature relaxes exponentially to
+    [T_ss = T_amb + P * R_th] with time constant [tau = R_th * C_th]; the
+    paper's observation that mode-switch transients settle "in the order of
+    milliseconds" at the gate level and that processor-level task switches
+    span the 60–110 C band fixes the default parameters. *)
+
+type t = {
+  r_th : float;  (** junction-to-ambient thermal resistance [K/W] *)
+  c_th : float;  (** thermal capacitance [J/K] *)
+  t_amb : float;  (** ambient temperature [K] *)
+}
+
+val default : t
+(** Air-cooled package tuned to the paper's processor setting: a
+    10–130 W power range maps onto roughly 330–385 K junction
+    temperature, matching Fig. 2's 60–110 C band. *)
+
+val steady_state : t -> power:float -> float
+(** [t_amb + power * r_th]. *)
+
+val power_for_temperature : t -> temp_k:float -> float
+(** Inverse of {!steady_state}. *)
+
+val time_constant : t -> float
+(** [r_th * c_th] in seconds. *)
+
+val step : t -> temp_k:float -> power:float -> dt:float -> float
+(** Exact exponential update over an interval of constant power. *)
+
+val simulate : t -> t0:float -> powers:(float * float) array -> dt:float -> (float * float) array
+(** [simulate m ~t0 ~powers ~dt] integrates a piecewise-constant power
+    trace [(duration, watts)] starting from temperature [t0], sampling
+    every [dt] seconds. Returns [(time, temp_k)] samples including the
+    start point. *)

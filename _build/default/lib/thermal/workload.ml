@@ -1,0 +1,62 @@
+type task = { duration : float; power : float }
+
+let random_tasks ~rng ~n ?(power_range = (10.0, 130.0)) ?(duration_range = (30.0, 300.0)) () =
+  if n < 1 then invalid_arg "Workload.random_tasks: n must be >= 1";
+  let lo_p, hi_p = power_range and lo_d, hi_d = duration_range in
+  if lo_p > hi_p || lo_d > hi_d then invalid_arg "Workload.random_tasks: bad ranges";
+  Array.init n (fun _ ->
+      {
+        duration = lo_d +. Physics.Rng.float rng (hi_d -. lo_d);
+        power = lo_p +. Physics.Rng.float rng (hi_p -. lo_p);
+      })
+
+let with_idle ~rng ~idle_power ~idle_fraction tasks =
+  if idle_fraction < 0.0 || idle_fraction >= 1.0 then
+    invalid_arg "Workload.with_idle: fraction must be in [0, 1)";
+  let pieces =
+    Array.map
+      (fun t ->
+        (* Expected idle time per task keeps the global share at
+           idle_fraction: idle = active * f / (1 - f), jittered +-50 %. *)
+        let mean_idle = t.duration *. idle_fraction /. (1.0 -. idle_fraction) in
+        let idle = mean_idle *. (0.5 +. Physics.Rng.float rng 1.0) in
+        [| t; { duration = idle; power = idle_power } |])
+      tasks
+  in
+  Array.concat (Array.to_list pieces)
+
+let power_trace tasks = Array.map (fun t -> (t.duration, t.power)) tasks
+
+type mode_summary = {
+  active_time : float;
+  standby_time : float;
+  ras : float * float;
+  t_active : float;
+  t_standby : float;
+}
+
+let summarize model ~active_threshold tasks =
+  let a_time = ref 0.0 and s_time = ref 0.0 in
+  let a_temp = ref 0.0 and s_temp = ref 0.0 in
+  Array.iter
+    (fun t ->
+      let temp = Rc_model.steady_state model ~power:t.power in
+      if t.power >= active_threshold then begin
+        a_time := !a_time +. t.duration;
+        a_temp := !a_temp +. (temp *. t.duration)
+      end
+      else begin
+        s_time := !s_time +. t.duration;
+        s_temp := !s_temp +. (temp *. t.duration)
+      end)
+    tasks;
+  if !a_time = 0.0 || !s_time = 0.0 then
+    invalid_arg "Workload.summarize: need both active and standby intervals";
+  let total = !a_time +. !s_time in
+  {
+    active_time = !a_time;
+    standby_time = !s_time;
+    ras = (!a_time /. total, !s_time /. total);
+    t_active = !a_temp /. !a_time;
+    t_standby = !s_temp /. !s_time;
+  }

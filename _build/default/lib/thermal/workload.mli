@@ -1,0 +1,43 @@
+(** Task-set workloads and the RAS (active:standby time ratio) abstraction.
+
+    The paper derives its temperature setting from a processor running a
+    task set with a "random power profile ranging from 10 to 130 W"
+    (Fig. 2) and summarizes circuit operation by the RAS ratio and the two
+    steady-state temperatures. This module generates such task sets,
+    produces mode traces, and extracts RAS / steady temperatures from
+    them. *)
+
+type task = { duration : float;  (** [s] *) power : float  (** [W] *) }
+
+val random_tasks :
+  rng:Physics.Rng.t ->
+  n:int ->
+  ?power_range:float * float ->
+  ?duration_range:float * float ->
+  unit ->
+  task array
+(** [n] tasks with powers uniform in [power_range] (default the paper's
+    10–130 W) and durations uniform in [duration_range] (default
+    30–300 s). *)
+
+val with_idle :
+  rng:Physics.Rng.t -> idle_power:float -> idle_fraction:float -> task array -> task array
+(** Interleaves idle (standby) intervals after each task such that the
+    expected idle share of total time is [idle_fraction]. *)
+
+val power_trace : task array -> (float * float) array
+(** [(duration, watts)] pairs for {!Rc_model.simulate}. *)
+
+type mode_summary = {
+  active_time : float;
+  standby_time : float;
+  ras : float * float;  (** normalized (active, standby) parts *)
+  t_active : float;  (** mean steady-state temperature of active intervals *)
+  t_standby : float;
+}
+
+val summarize : Rc_model.t -> active_threshold:float -> task array -> mode_summary
+(** Splits tasks at [active_threshold] watts into active/standby and
+    averages their steady-state temperatures (time-weighted). This is the
+    bridge from a measured workload to the paper's
+    (RAS, T_active, T_standby) model inputs. *)

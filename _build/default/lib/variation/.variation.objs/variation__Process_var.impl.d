@@ -1,0 +1,1 @@
+lib/variation/process_var.ml: Aging Array Circuit Device Float Nbti Physics Sta

@@ -1,0 +1,1 @@
+lib/variation/process_var.mli: Aging Circuit Physics

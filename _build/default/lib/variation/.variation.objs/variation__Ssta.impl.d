@@ -1,0 +1,1 @@
+lib/variation/ssta.ml: Aging Array Circuit Device Float Nbti Physics Process_var Sta

@@ -1,0 +1,1 @@
+lib/variation/ssta.mli: Aging Circuit Process_var

@@ -1,0 +1,70 @@
+type config = {
+  aging : Aging.Circuit_aging.config;
+  sigma_vth : float;
+  n_samples : int;
+}
+
+let default_config ?(sigma_vth = 0.015) ?(n_samples = 500) aging =
+  if sigma_vth < 0.0 then invalid_arg "Process_var: negative sigma";
+  if n_samples < 2 then invalid_arg "Process_var: need at least 2 samples";
+  { aging; sigma_vth; n_samples }
+
+type sample = { fresh_delay : float; aged_delay : float }
+
+type study = {
+  samples : sample array;
+  fresh : Physics.Stats.summary;
+  aged : Physics.Stats.summary;
+  fresh_3sigma : float * float;
+  aged_3sigma : float * float;
+}
+
+let run config t ~node_sp ~standby ~rng =
+  let aging = config.aging in
+  let tech = aging.Aging.Circuit_aging.tech in
+  let temp_k = aging.Aging.Circuit_aging.schedule.Nbti.Schedule.t_ref in
+  let duties = Aging.Circuit_aging.duty_table t ~node_sp ~standby in
+  let n_nodes = Circuit.Netlist.n_nodes t in
+  let vth_nom = Device.Tech.vth_at tech `P ~temp_k in
+  let overdrive_nom = tech.Device.Tech.vdd -. vth_nom in
+  let alpha = tech.Device.Tech.alpha in
+  let samples =
+    Array.init config.n_samples (fun _ ->
+        (* Per-gate V_th0 offset; the same offset scales the gate delay
+           ((Vdd - Vth)^-alpha) and feeds the NBTI field acceleration. *)
+        let offsets =
+          Array.init n_nodes (fun _ -> Physics.Rng.gaussian rng ~mean:0.0 ~sigma:config.sigma_vth)
+        in
+        let gate_scale i =
+          let od = tech.Device.Tech.vdd -. (vth_nom +. offsets.(i)) in
+          Float.pow (overdrive_nom /. od) alpha
+        in
+        let stage_dvth ~gate ~stage =
+          let active, standby_duty = duties.(gate).(stage) in
+          let vth0 = tech.Device.Tech.vth_p +. offsets.(gate) in
+          let cond = { Nbti.Vth_shift.vgs = tech.Device.Tech.vdd; vth0 } in
+          let sched =
+            Nbti.Schedule.with_stress_duties aging.Aging.Circuit_aging.schedule ~active
+              ~standby:standby_duty
+          in
+          Nbti.Vth_shift.dvth aging.Aging.Circuit_aging.params tech cond ~schedule:sched
+            ~time:aging.Aging.Circuit_aging.time
+        in
+        let fresh =
+          Sta.Timing.analyze tech t ~gate_scale ~temp_k ~stage_dvth:Sta.Timing.no_aging ()
+        in
+        let aged = Sta.Timing.analyze tech t ~gate_scale ~temp_k ~stage_dvth () in
+        { fresh_delay = fresh.Sta.Timing.max_delay; aged_delay = aged.Sta.Timing.max_delay })
+  in
+  let fresh = Physics.Stats.summarize (Array.map (fun s -> s.fresh_delay) samples) in
+  let aged = Physics.Stats.summarize (Array.map (fun s -> s.aged_delay) samples) in
+  let band (s : Physics.Stats.summary) =
+    (s.Physics.Stats.mean -. (3.0 *. s.Physics.Stats.stddev),
+     s.Physics.Stats.mean +. (3.0 *. s.Physics.Stats.stddev))
+  in
+  { samples; fresh; aged; fresh_3sigma = band fresh; aged_3sigma = band aged }
+
+let crossover study =
+  let _, fresh_hi = study.fresh_3sigma in
+  let aged_lo, _ = study.aged_3sigma in
+  aged_lo > fresh_hi

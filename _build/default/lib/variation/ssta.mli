@@ -1,0 +1,51 @@
+(** First-order statistical STA — the "statistical analysis platform" the
+    paper's discussion (Fig. 12, Wang et al. [51]) says its
+    temperature-aware model plugs into.
+
+    Every gate delay is a Gaussian (mean from the nominal model, sigma
+    from the per-gate V_th0 spread through the alpha-power sensitivity);
+    arrival distributions propagate with sum-of-independents at gate
+    traversal and Clark's MAX approximation at fanin merges (inputs
+    treated as independent — the usual first-order simplification, checked
+    against Monte-Carlo in the tests).
+
+    Aging enters twice: it shifts each gate's mean delay, and it {e
+    shrinks} each gate's sigma, because a low-V_th0 (fast) sample sits at
+    a higher oxide field and degrades more (eq. 23) — the compensation
+    [51] reports and Fig. 12 shows. The aged sensitivity is evaluated by
+    central differences through the full temperature-aware ΔV_th model. *)
+
+type gaussian = { mean : float; var : float }
+
+val clark_max : gaussian -> gaussian -> gaussian
+(** Clark's moment-matched maximum of two independent Gaussians. Exact
+    when the two are identical or one dominates. *)
+
+type result = {
+  arrival : gaussian array;  (** per node *)
+  circuit : gaussian;  (** max over primary outputs (Clark-folded) *)
+}
+
+val sigma : gaussian -> float
+
+val analyze :
+  Aging.Circuit_aging.config ->
+  Circuit.Netlist.t ->
+  sigma_vth:float ->
+  node_sp:float array ->
+  standby:Aging.Circuit_aging.standby_state ->
+  aged:bool ->
+  result
+(** [aged = false]: fresh distribution (mean = nominal delay, sigma from
+    the V_th0 sensitivity alone). [aged = true]: end-of-life distribution
+    with aged means and compensation-corrected sigmas. *)
+
+val parametric_yield : gaussian -> target:float -> float
+(** Fraction of manufactured instances meeting a cycle-time [target]:
+    [P(delay <= target)]. The fresh-vs-aged yield drop at a fixed target
+    is the Fig. 12 story expressed as a signoff number. *)
+
+val compare_mc :
+  fresh:result -> aged:result -> mc:Process_var.study -> (float * float) * (float * float)
+(** Convenience for validation: ((fresh mean error, fresh sigma error),
+    (aged ...)) as relative deviations from the Monte-Carlo study. *)

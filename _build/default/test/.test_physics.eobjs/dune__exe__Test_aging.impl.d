@@ -1,0 +1,1 @@
+test/test_aging.ml: Aging Alcotest Array Cell Circuit List Logic Nbti Physics QCheck QCheck_alcotest Sta

@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Array Cell Device Float Fun List Nbti Physics Printf QCheck QCheck_alcotest Str String

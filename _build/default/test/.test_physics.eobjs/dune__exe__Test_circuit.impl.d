@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Cell Circuit Filename Fun List Logic Physics Printf QCheck QCheck_alcotest Str String Sys

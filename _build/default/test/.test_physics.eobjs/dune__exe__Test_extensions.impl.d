@@ -1,0 +1,1 @@
+test/test_extensions.ml: Aging Alcotest Array Cell Circuit Device Float Ivc Leakage List Logic Mitigation Physics Printf Sta Thermal

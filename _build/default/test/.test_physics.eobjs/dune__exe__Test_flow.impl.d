@@ -1,0 +1,1 @@
+test/test_flow.ml: Aging Alcotest Array Circuit Float Flow Format Ivc List Physics Sleep String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Aging Alcotest Cell Circuit Device Float Flow Ivc List Logic Nbti Physics Sleep

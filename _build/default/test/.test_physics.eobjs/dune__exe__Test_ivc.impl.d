@@ -1,0 +1,1 @@
+test/test_ivc.ml: Aging Alcotest Array Circuit Device Float Ivc Leakage List Logic Physics

@@ -1,0 +1,1 @@
+test/test_leakage.ml: Alcotest Array Circuit Device Leakage Logic Physics

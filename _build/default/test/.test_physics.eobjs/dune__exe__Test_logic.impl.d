@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Circuit Float Int64 List Logic Physics Printf QCheck QCheck_alcotest

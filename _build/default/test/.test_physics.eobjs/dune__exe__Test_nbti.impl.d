@@ -1,0 +1,1 @@
+test/test_nbti.ml: Alcotest Array Device Float List Nbti Physics Printf QCheck QCheck_alcotest

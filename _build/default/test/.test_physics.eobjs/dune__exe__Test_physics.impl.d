@@ -1,0 +1,1 @@
+test/test_physics.ml: Alcotest Array Float Format Fun Gen List Physics QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Circuit Device Float List Logic Physics Power Printf QCheck QCheck_alcotest Thermal

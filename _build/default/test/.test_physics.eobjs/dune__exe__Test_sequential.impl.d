@@ -1,0 +1,1 @@
+test/test_sequential.ml: Aging Alcotest Array Circuit Fun List Physics QCheck QCheck_alcotest Sequential

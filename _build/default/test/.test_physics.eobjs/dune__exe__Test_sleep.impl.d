@@ -1,0 +1,1 @@
+test/test_sleep.ml: Aging Alcotest Array Circuit Device Float List Logic Nbti Physics QCheck QCheck_alcotest Sleep

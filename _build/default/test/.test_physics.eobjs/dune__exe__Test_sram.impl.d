@@ -1,0 +1,1 @@
+test/test_sram.ml: Alcotest Float List Nbti Physics QCheck QCheck_alcotest Sram

@@ -1,0 +1,1 @@
+test/test_sta.ml: Aging Alcotest Array Circuit Device Float List Logic Sta

@@ -1,0 +1,1 @@
+test/test_thermal.ml: Alcotest Array Float List Physics QCheck QCheck_alcotest Thermal

@@ -1,0 +1,1 @@
+test/test_variation.ml: Aging Alcotest Array Circuit Float Logic Physics Variation

@@ -1,0 +1,195 @@
+(* Tests for the device layer: technology parameters, Arrhenius rates and
+   the analytical MOSFET models. *)
+
+let tech = Device.Tech.ptm_90nm
+
+let check_close ?(eps = 1e-9) msg expected actual = Alcotest.(check (float eps)) msg expected actual
+
+(* --- Arrhenius --- *)
+
+let test_arrhenius_rate () =
+  let law = { Device.Arrhenius.prefactor = 2.0; ea_ev = 0.0 } in
+  check_close "zero Ea gives prefactor" 2.0 (Device.Arrhenius.rate law ~temp_k:350.0)
+
+let test_arrhenius_ratio () =
+  let law = { Device.Arrhenius.prefactor = 1.0; ea_ev = 0.48 } in
+  check_close "equal temps" 1.0 (Device.Arrhenius.ratio law ~t1:400.0 ~t2:400.0);
+  let r = Device.Arrhenius.ratio law ~t1:330.0 ~t2:400.0 in
+  Alcotest.(check bool) "cooler is slower" true (r < 1.0);
+  (* exp(-0.48/kB * (1/330 - 1/400)) ~ 0.052 *)
+  check_close ~eps:0.005 "expected magnitude" 0.052 r
+
+let test_arrhenius_of_reference () =
+  let law = Device.Arrhenius.of_reference ~rate_at:1e-3 ~temp_k:400.0 ~ea_ev:0.3 in
+  check_close ~eps:1e-12 "reference reproduced" 1e-3 (Device.Arrhenius.rate law ~temp_k:400.0)
+
+(* --- Tech --- *)
+
+let test_cox () =
+  (* eps_SiO2 / 2.05nm ~ 1.68e-2 F/m^2 *)
+  check_close ~eps:2e-4 "Cox" 1.684e-2 (Device.Tech.cox tech)
+
+let test_vth_temperature () =
+  check_close "300K nominal" 0.22 (Device.Tech.vth_at tech `P ~temp_k:300.0);
+  check_close ~eps:1e-9 "400K lower" (0.22 -. 0.07) (Device.Tech.vth_at tech `P ~temp_k:400.0);
+  Alcotest.(check bool)
+    "never negative" true
+    (Device.Tech.vth_at tech `N ~temp_k:1000.0 >= 0.0)
+
+let test_with_vth_p () =
+  let t2 = Device.Tech.with_vth_p tech 0.3 in
+  check_close "replaced" 0.3 t2.Device.Tech.vth_p;
+  check_close "original untouched" 0.22 tech.Device.Tech.vth_p;
+  check_close "other fields kept" tech.Device.Tech.vdd t2.Device.Tech.vdd
+
+let test_scaled_nodes () =
+  Alcotest.(check bool)
+    "65nm leaks more than 90nm" true
+    (Device.Tech.ptm_65nm.Device.Tech.i0_sub > tech.Device.Tech.i0_sub);
+  Alcotest.(check bool)
+    "45nm thinner oxide" true
+    (Device.Tech.ptm_45nm.Device.Tech.tox < tech.Device.Tech.tox)
+
+(* --- Mosfet: drive current --- *)
+
+let test_on_current_basic () =
+  let n = Device.Mosfet.nmos ~wl:1.0 () in
+  let i = Device.Mosfet.on_current tech n ~temp_k:300.0 in
+  (* k_sat * (1.0 - 0.22)^1.3 = 5.4e-4 * 0.78^1.3 *)
+  check_close ~eps:1e-7 "alpha-power value" (5.4e-4 *. Float.pow 0.78 1.3) i
+
+let test_on_current_width_scaling () =
+  let n1 = Device.Mosfet.nmos ~wl:1.0 () and n3 = Device.Mosfet.nmos ~wl:3.0 () in
+  check_close ~eps:1e-9 "linear in W/L"
+    (3.0 *. Device.Mosfet.on_current tech n1 ~temp_k:300.0)
+    (Device.Mosfet.on_current tech n3 ~temp_k:300.0)
+
+let test_on_current_cutoff () =
+  let n = Device.Mosfet.nmos ~wl:1.0 () in
+  check_close "no overdrive, no current" 0.0
+    (Device.Mosfet.on_current_vgs tech n ~vgs:0.1 ~temp_k:300.0)
+
+let test_on_current_dvth () =
+  let fresh = Device.Mosfet.pmos ~wl:2.0 () in
+  let aged = Device.Mosfet.pmos ~dvth:0.05 ~wl:2.0 () in
+  Alcotest.(check bool)
+    "NBTI shift reduces drive" true
+    (Device.Mosfet.on_current tech aged ~temp_k:400.0
+    < Device.Mosfet.on_current tech fresh ~temp_k:400.0)
+
+let test_pmos_weaker () =
+  let n = Device.Mosfet.nmos ~wl:1.0 () and p = Device.Mosfet.pmos ~wl:1.0 () in
+  Alcotest.(check bool)
+    "hole mobility penalty" true
+    (Device.Mosfet.on_current tech p ~temp_k:300.0 < Device.Mosfet.on_current tech n ~temp_k:300.0)
+
+(* --- Mosfet: subthreshold --- *)
+
+let sub ?(vgs = 0.0) ?(vds = 1.0) ?(temp_k = 300.0) ?(wl = 1.0) () =
+  Device.Mosfet.subthreshold_current tech (Device.Mosfet.nmos ~wl ()) ~vgs ~vds ~temp_k
+
+let test_sub_monotone_vgs () =
+  Alcotest.(check bool) "higher gate leaks more" true (sub ~vgs:0.1 () > sub ~vgs:0.0 ());
+  Alcotest.(check bool) "negative gate leaks less" true (sub ~vgs:(-0.1) () < sub ~vgs:0.0 ())
+
+let test_sub_monotone_vds () =
+  Alcotest.(check bool) "vds saturation" true (sub ~vds:1.0 () > sub ~vds:0.01 ());
+  Alcotest.(check (float 0.0)) "zero vds" 0.0 (sub ~vds:0.0 ())
+
+let test_sub_monotone_temp () =
+  Alcotest.(check bool) "hotter leaks more" true (sub ~temp_k:400.0 () > sub ~temp_k:300.0 ())
+
+let test_sub_temp_magnitude () =
+  (* Subthreshold leakage grows by roughly an order of magnitude from 300K
+     to 400K at this Vth and swing. *)
+  let ratio = sub ~temp_k:400.0 () /. sub ~temp_k:300.0 () in
+  Alcotest.(check bool) "300->400K growth plausible" true (ratio > 5.0 && ratio < 100.0)
+
+let test_sub_decade_per_swing () =
+  (* One subthreshold swing S = n vT ln10 below threshold cuts the current
+     10x. *)
+  let s = 1.5 *. Physics.Const.thermal_voltage ~temp_k:300.0 *. Float.log 10.0 in
+  let ratio = sub ~vgs:0.0 () /. sub ~vgs:(-.s) () in
+  Alcotest.(check (float 0.01)) "one decade" 10.0 ratio
+
+(* --- Mosfet: gate leakage and capacitance --- *)
+
+let test_gate_leakage () =
+  let p = Device.Mosfet.pmos ~wl:2.0 () in
+  check_close ~eps:1e-12 "full bias anchor" (2.0 *. tech.Device.Tech.jg0)
+    (Device.Mosfet.gate_leakage tech p ~vox:tech.Device.Tech.vdd);
+  Alcotest.(check bool)
+    "lower oxide voltage leaks less" true
+    (Device.Mosfet.gate_leakage tech p ~vox:0.5 < Device.Mosfet.gate_leakage tech p ~vox:1.0);
+  check_close "zero bias" 0.0 (Device.Mosfet.gate_leakage tech p ~vox:0.0)
+
+let test_input_capacitance () =
+  let p = Device.Mosfet.pmos ~wl:2.0 () in
+  check_close ~eps:1e-20 "cap scales with width" (2.0 *. tech.Device.Tech.cg_per_wl)
+    (Device.Mosfet.input_capacitance tech p)
+
+let test_delay_factor () =
+  let n = Device.Mosfet.nmos ~wl:1.0 () in
+  let d = Device.Mosfet.delay_factor tech n ~cload:1e-15 ~temp_k:300.0 in
+  Alcotest.(check bool) "picosecond scale" true (d > 1e-13 && d < 1e-11);
+  let d2 = Device.Mosfet.delay_factor tech n ~cload:2e-15 ~temp_k:300.0 in
+  check_close ~eps:1e-18 "linear in load" (2.0 *. d) d2
+
+(* --- Properties --- *)
+
+let prop_sub_monotone =
+  QCheck.Test.make ~name:"subthreshold current is monotone in vgs" ~count:200
+    QCheck.(pair (float_range (-0.5) 0.2) (float_range 0.0 0.19))
+    (fun (vgs, dv) -> sub ~vgs:(vgs +. dv) () >= sub ~vgs () -. 1e-30)
+
+let prop_on_current_monotone_vgs =
+  QCheck.Test.make ~name:"on-current is monotone in gate drive" ~count:200
+    QCheck.(pair (float_range 0.0 1.0) (float_range 0.0 0.5))
+    (fun (vgs, dv) ->
+      let n = Device.Mosfet.nmos ~wl:1.0 () in
+      Device.Mosfet.on_current_vgs tech n ~vgs:(vgs +. dv) ~temp_k:300.0
+      >= Device.Mosfet.on_current_vgs tech n ~vgs ~temp_k:300.0 -. 1e-30)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_sub_monotone; prop_on_current_monotone_vgs ]
+
+let () =
+  Alcotest.run "device"
+    [
+      ( "arrhenius",
+        [
+          Alcotest.test_case "rate" `Quick test_arrhenius_rate;
+          Alcotest.test_case "ratio" `Quick test_arrhenius_ratio;
+          Alcotest.test_case "of_reference" `Quick test_arrhenius_of_reference;
+        ] );
+      ( "tech",
+        [
+          Alcotest.test_case "cox" `Quick test_cox;
+          Alcotest.test_case "vth temperature dependence" `Quick test_vth_temperature;
+          Alcotest.test_case "with_vth_p" `Quick test_with_vth_p;
+          Alcotest.test_case "scaled nodes" `Quick test_scaled_nodes;
+        ] );
+      ( "drive-current",
+        [
+          Alcotest.test_case "alpha-power value" `Quick test_on_current_basic;
+          Alcotest.test_case "width scaling" `Quick test_on_current_width_scaling;
+          Alcotest.test_case "cutoff" `Quick test_on_current_cutoff;
+          Alcotest.test_case "NBTI shift reduces drive" `Quick test_on_current_dvth;
+          Alcotest.test_case "PMOS weaker than NMOS" `Quick test_pmos_weaker;
+        ] );
+      ( "subthreshold",
+        [
+          Alcotest.test_case "monotone in vgs" `Quick test_sub_monotone_vgs;
+          Alcotest.test_case "monotone in vds" `Quick test_sub_monotone_vds;
+          Alcotest.test_case "monotone in temperature" `Quick test_sub_monotone_temp;
+          Alcotest.test_case "temperature magnitude" `Quick test_sub_temp_magnitude;
+          Alcotest.test_case "decade per swing" `Quick test_sub_decade_per_swing;
+        ] );
+      ( "gate-leakage-caps",
+        [
+          Alcotest.test_case "gate tunneling" `Quick test_gate_leakage;
+          Alcotest.test_case "input capacitance" `Quick test_input_capacitance;
+          Alcotest.test_case "delay factor" `Quick test_delay_factor;
+        ] );
+      ("properties", props);
+    ]

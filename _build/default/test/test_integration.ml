@@ -1,0 +1,196 @@
+(* Integration tests: the paper's anchor numbers and cross-module
+   behaviours on real benchmark circuits (EXPERIMENTS.md records the full
+   paper-vs-measured comparison; these tests pin the load-bearing shapes
+   so regressions are caught by `dune runtest`). *)
+
+let tech = Device.Tech.ptm_90nm
+let params = Nbti.Rd_model.default_params
+let ten_years = Physics.Units.ten_years
+let cond = Nbti.Vth_shift.nominal_pmos tech
+
+let worst_sched ~ras ~t_standby =
+  Nbti.Schedule.active_standby ~ras ~t_active:400.0 ~t_standby ~active_duty:0.5 ~standby_duty:1.0 ()
+
+let device_degradation schedule =
+  Nbti.Degradation.factor tech
+    ~dvth:(Nbti.Vth_shift.dvth params tech cond ~schedule ~time:ten_years)
+
+(* --- Table 4 anchors (device-level bounds) --- *)
+
+let test_table4_worst_at_400k () =
+  (* Paper: worst-case degradation 7.35 % at T_standby = 400 K, RAS 1:9. *)
+  let d = device_degradation (worst_sched ~ras:(1.0, 9.0) ~t_standby:400.0) in
+  Alcotest.(check bool) "7.35% +- 0.5" true (d > 0.068 && d < 0.079)
+
+let test_table4_worst_at_330k () =
+  (* Paper: 4.05 % at T_standby = 330 K. *)
+  let d = device_degradation (worst_sched ~ras:(1.0, 9.0) ~t_standby:330.0) in
+  Alcotest.(check bool) "4.05% +- 0.5" true (d > 0.035 && d < 0.046)
+
+let test_table4_best_case () =
+  (* Paper: best case ~3.32 % regardless of standby temperature. *)
+  let best t_standby =
+    Nbti.Degradation.factor tech
+      ~dvth:
+        (Nbti.Vth_shift.dvth params tech cond
+           ~schedule:
+             (Nbti.Schedule.active_standby ~ras:(1.0, 9.0) ~t_active:400.0 ~t_standby
+                ~active_duty:0.5 ~standby_duty:0.0 ())
+           ~time:ten_years)
+  in
+  let b330 = best 330.0 and b400 = best 400.0 in
+  Alcotest.(check bool) "3.32% +- 0.4" true (b330 > 0.028 && b330 < 0.038);
+  Alcotest.(check bool) "temperature-independent" true (Float.abs (b400 -. b330) /. b330 < 0.05)
+
+let test_table4_potential_band () =
+  (* Paper: internal-node-control potential grows from ~18 % (330 K) to
+     ~55 % (400 K). Our device-level bound reproduces the trend and the
+     hot-end magnitude. *)
+  let potential t_standby =
+    let w = device_degradation (worst_sched ~ras:(1.0, 9.0) ~t_standby) in
+    let b =
+      Nbti.Degradation.factor tech
+        ~dvth:
+          (Nbti.Vth_shift.dvth params tech cond
+             ~schedule:
+               (Nbti.Schedule.active_standby ~ras:(1.0, 9.0) ~t_active:400.0 ~t_standby
+                  ~active_duty:0.5 ~standby_duty:0.0 ())
+             ~time:ten_years)
+    in
+    (w -. b) /. w
+  in
+  let p330 = potential 330.0 and p400 = potential 400.0 in
+  Alcotest.(check bool) "grows with standby temperature" true (p400 > p330);
+  Alcotest.(check bool) "hot end near 55%" true (p400 > 0.45 && p400 < 0.62)
+
+(* --- Table 1 anchors --- *)
+
+let test_table1_gap_at_1_9 () =
+  (* The largest dVth gap across standby temperatures occurs at RAS 1:9
+     (the paper reports 9.4 mV; our calibration roughly doubles the
+     absolute scale but preserves the structure). *)
+  let dv ~ras ~t_standby =
+    Nbti.Vth_shift.dvth params tech cond ~schedule:(worst_sched ~ras ~t_standby) ~time:ten_years
+  in
+  let gap ras = dv ~ras ~t_standby:400.0 -. dv ~ras ~t_standby:330.0 in
+  Alcotest.(check bool) "gap largest at 1:9" true
+    (gap (1.0, 9.0) > gap (1.0, 1.0) && gap (1.0, 1.0) > gap (9.0, 1.0));
+  Alcotest.(check bool) "gap is tens of mV" true (gap (1.0, 9.0) > 0.005 && gap (1.0, 9.0) < 0.04)
+
+(* --- Fig. 5: circuit degradation below device dVth percentage --- *)
+
+let test_fig5_circuit_below_device () =
+  let c432 = Circuit.Generators.by_name "c432" in
+  let config = Aging.Circuit_aging.default_config () in
+  let sp = Logic.Signal_prob.analytic c432 ~input_sp:(Logic.Signal_prob.uniform_inputs c432 0.5) in
+  let a =
+    Aging.Circuit_aging.analyze config c432 ~node_sp:sp
+      ~standby:Aging.Circuit_aging.Standby_all_stressed ()
+  in
+  let dvth_pct = a.Aging.Circuit_aging.max_dvth /. tech.Device.Tech.vth_p in
+  Alcotest.(check bool) "delay % well below dVth %" true
+    (a.Aging.Circuit_aging.degradation < 0.5 *. dvth_pct)
+
+(* --- Fig. 11 anchor: c432 without ST at 330 K is ~3.87 % --- *)
+
+let test_fig11_c432_no_st () =
+  let c432 = Circuit.Generators.by_name "c432" in
+  let config = Aging.Circuit_aging.default_config () in
+  let sp = Logic.Signal_prob.analytic c432 ~input_sp:(Logic.Signal_prob.uniform_inputs c432 0.5) in
+  let d = Sleep.St_insertion.without_st config c432 ~node_sp:sp in
+  Alcotest.(check bool) "3.87% +- 0.6" true (d > 0.032 && d < 0.045)
+
+(* --- Table 2 shape: leakage vs NBTI direction per gate family --- *)
+
+let test_table2_nor_alignment () =
+  (* For NOR gates the minimum-leakage vector (all 1) is also the
+     best-NBTI vector (nothing stressed). *)
+  let cell = Cell.Stdcell.nor_ 2 in
+  let lut = Cell.Cell_leakage.build_lut tech cell ~temp_k:400.0 in
+  let (best_vec, _), _ = Cell.Cell_leakage.extremes lut in
+  Alcotest.(check bool) "min leakage = all ones" true (best_vec = [| true; true |]);
+  Alcotest.(check bool) "and nothing stressed" false (Cell.Cell_nbti.any_stressed cell ~vector:best_vec)
+
+let test_table2_nand_conflict () =
+  (* For NAND gates the minimum-leakage vector (all 0) is the WORST NBTI
+     vector (every PMOS stressed) — the co-optimization motivation. *)
+  let cell = Cell.Stdcell.nand_ 2 in
+  let lut = Cell.Cell_leakage.build_lut tech cell ~temp_k:400.0 in
+  let (best_vec, _), _ = Cell.Cell_leakage.extremes lut in
+  Alcotest.(check bool) "min leakage = all zeros" true (best_vec = [| false; false |]);
+  let flags = Cell.Cell_nbti.stressed_under_vector cell ~vector:best_vec in
+  Alcotest.(check bool) "every PMOS stressed" true
+    (List.for_all (fun d -> d.Cell.Cell_nbti.stressed) flags)
+
+(* --- Table 3 shape on a real benchmark --- *)
+
+let test_table3_c432_ivc () =
+  let cfg =
+    Flow.Platform.default_config ~aging:(Aging.Circuit_aging.default_config ~ras:(1.0, 5.0) ()) ()
+  in
+  let c432 = Circuit.Generators.by_name "c432" in
+  let p = Flow.Platform.prepare cfg c432 in
+  let result, _ = Flow.Platform.optimize_ivc cfg p ~rng:(Physics.Rng.create ~seed:71) ~pool:32 () in
+  (* Paper: minimized delay degradation ~4.3 % of circuit delay on
+     average; the MLV-to-MLV spread is tiny (~0.1 %). *)
+  let best = result.Ivc.Co_opt.best.Ivc.Co_opt.degradation in
+  Alcotest.(check bool) "IVC degradation in the paper's band" true (best > 0.025 && best < 0.055);
+  Alcotest.(check bool) "MLV spread is small" true (result.Ivc.Co_opt.spread < 0.01)
+
+(* --- Cross-benchmark sanity: the full small suite analyses cleanly --- *)
+
+let test_small_suite_analyzes () =
+  let cfg = Flow.Platform.default_config () in
+  List.iter
+    (fun net ->
+      let p = Flow.Platform.prepare cfg net in
+      let a = Flow.Platform.analyze cfg p ~standby:Aging.Circuit_aging.Standby_all_stressed in
+      Alcotest.(check bool)
+        (net.Circuit.Netlist.name ^ " degradation plausible")
+        true
+        (a.Flow.Platform.degradation > 0.01 && a.Flow.Platform.degradation < 0.12))
+    (Circuit.Generators.small_suite ())
+
+(* --- Ablation direction: worst-case temperature assumption --- *)
+
+let test_ablation_worst_case_temperature () =
+  let c432 = Circuit.Generators.by_name "c432" in
+  let config = Aging.Circuit_aging.default_config () in
+  let sp = Logic.Signal_prob.analytic c432 ~input_sp:(Logic.Signal_prob.uniform_inputs c432 0.5) in
+  let aware =
+    (Aging.Circuit_aging.analyze config c432 ~node_sp:sp
+       ~standby:Aging.Circuit_aging.Standby_all_stressed ())
+      .Aging.Circuit_aging.degradation
+  in
+  let pessimistic =
+    (Aging.Circuit_aging.analyze
+       (Aging.Circuit_aging.worst_case_config config)
+       c432 ~node_sp:sp ~standby:Aging.Circuit_aging.Standby_all_stressed ())
+      .Aging.Circuit_aging.degradation
+  in
+  (* The headline claim: worst-case-temperature analysis is substantially
+     pessimistic — at RAS 1:9 / 330 K nearly 2x. *)
+  Alcotest.(check bool) "pessimism factor > 1.5" true (pessimistic /. aware > 1.5)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "paper-anchors",
+        [
+          Alcotest.test_case "Table 4 worst @400K" `Quick test_table4_worst_at_400k;
+          Alcotest.test_case "Table 4 worst @330K" `Quick test_table4_worst_at_330k;
+          Alcotest.test_case "Table 4 best case" `Quick test_table4_best_case;
+          Alcotest.test_case "Table 4 potential" `Quick test_table4_potential_band;
+          Alcotest.test_case "Table 1 RAS gap" `Quick test_table1_gap_at_1_9;
+          Alcotest.test_case "Fig. 5 circuit vs device" `Quick test_fig5_circuit_below_device;
+          Alcotest.test_case "Fig. 11 c432 no-ST" `Quick test_fig11_c432_no_st;
+          Alcotest.test_case "Table 2 NOR alignment" `Quick test_table2_nor_alignment;
+          Alcotest.test_case "Table 2 NAND conflict" `Quick test_table2_nand_conflict;
+          Alcotest.test_case "Table 3 IVC on c432" `Quick test_table3_c432_ivc;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "small suite analyzes" `Quick test_small_suite_analyzes;
+          Alcotest.test_case "worst-case-temp ablation" `Quick test_ablation_worst_case_temperature;
+        ] );
+    ]

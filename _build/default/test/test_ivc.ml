@@ -1,0 +1,183 @@
+(* Tests for input vector control: MLV search, leakage/NBTI
+   co-optimization and the internal node control bound. *)
+
+let tech = Device.Tech.ptm_90nm
+let c17 = Circuit.Generators.c17 ()
+let tables = Leakage.Circuit_leakage.build_tables tech c17 ~temp_k:400.0
+let sp = Logic.Signal_prob.analytic c17 ~input_sp:(Array.make 5 0.5)
+let config = Aging.Circuit_aging.default_config ()
+
+let test_evaluate () =
+  let c = Ivc.Mlv.evaluate tables c17 (Array.make 5 false) in
+  Alcotest.(check (float 1e-18)) "consistent with leakage lib"
+    (Leakage.Circuit_leakage.standby_leakage tables c17 ~vector:(Array.make 5 false))
+    c.Ivc.Mlv.leakage
+
+let test_exhaustive_is_optimal () =
+  let best = Ivc.Mlv.exhaustive tables c17 in
+  for idx = 0 to 31 do
+    let v = Array.init 5 (fun i -> (idx lsr i) land 1 = 1) in
+    Alcotest.(check bool) "no vector beats exhaustive" true
+      (Leakage.Circuit_leakage.standby_leakage tables c17 ~vector:v >= best.Ivc.Mlv.leakage -. 1e-18)
+  done
+
+let test_exhaustive_guard () =
+  let big = Circuit.Generators.by_name "c432" in
+  let t = Leakage.Circuit_leakage.build_tables tech big ~temp_k:400.0 in
+  Alcotest.(check bool) "too many PIs rejected" true
+    (try
+       ignore (Ivc.Mlv.exhaustive t big);
+       false
+     with Invalid_argument _ -> true)
+
+let test_random_search_bounded_by_optimum () =
+  let best = Ivc.Mlv.exhaustive tables c17 in
+  let r = Ivc.Mlv.random_search tables c17 ~rng:(Physics.Rng.create ~seed:31) ~n:200 in
+  Alcotest.(check bool) "random >= optimal" true (r.Ivc.Mlv.leakage >= best.Ivc.Mlv.leakage -. 1e-18)
+
+let test_probability_based_finds_optimum_on_c17 () =
+  (* 5 inputs: the heuristic should find the global optimum easily. *)
+  let best = Ivc.Mlv.exhaustive tables c17 in
+  let set, stats = Ivc.Mlv.probability_based tables c17 ~rng:(Physics.Rng.create ~seed:32) () in
+  (match set with
+  | top :: _ ->
+    Alcotest.(check bool) "within 2% of optimum" true
+      (top.Ivc.Mlv.leakage <= best.Ivc.Mlv.leakage *. 1.02)
+  | [] -> Alcotest.fail "empty MLV set");
+  Alcotest.(check bool) "bounded evaluations" true (stats.Ivc.Mlv.evaluations > 0)
+
+let test_probability_based_set_properties () =
+  let set, _ = Ivc.Mlv.probability_based tables c17 ~rng:(Physics.Rng.create ~seed:33) ~max_set:8 () in
+  Alcotest.(check bool) "bounded size" true (List.length set <= 8 && set <> []);
+  (* sorted ascending *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Ivc.Mlv.leakage <= b.Ivc.Mlv.leakage && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by leakage" true (sorted set);
+  (* all within the tolerance band of the set minimum *)
+  match set with
+  | best :: _ ->
+    List.iter
+      (fun c ->
+        Alcotest.(check bool) "within band" true
+          (c.Ivc.Mlv.leakage <= best.Ivc.Mlv.leakage *. 1.0401))
+      set
+  | [] -> Alcotest.fail "empty"
+
+let test_probability_based_deterministic () =
+  let run seed = fst (Ivc.Mlv.probability_based tables c17 ~rng:(Physics.Rng.create ~seed) ()) in
+  let a = run 5 and b = run 5 in
+  Alcotest.(check int) "same size" (List.length a) (List.length b);
+  List.iter2
+    (fun x y -> Alcotest.(check (float 0.0)) "same leakage sequence" x.Ivc.Mlv.leakage y.Ivc.Mlv.leakage)
+    a b
+
+(* --- Co-optimization --- *)
+
+let candidates () = fst (Ivc.Mlv.probability_based tables c17 ~rng:(Physics.Rng.create ~seed:34) ())
+
+let test_co_optimize_picks_min_degradation () =
+  let result = Ivc.Co_opt.co_optimize config tables c17 ~node_sp:sp ~candidates:(candidates ()) in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "best is minimal" true
+        (c.Ivc.Co_opt.degradation >= result.Ivc.Co_opt.best.Ivc.Co_opt.degradation -. 1e-15))
+    result.Ivc.Co_opt.all
+
+let test_co_optimize_spread () =
+  let result = Ivc.Co_opt.co_optimize config tables c17 ~node_sp:sp ~candidates:(candidates ()) in
+  let ds = List.map (fun c -> c.Ivc.Co_opt.degradation) result.Ivc.Co_opt.all in
+  let lo, hi = Physics.Stats.min_max (Array.of_list ds) in
+  Alcotest.(check (float 1e-15)) "spread = max - min" (hi -. lo) result.Ivc.Co_opt.spread
+
+let test_co_optimize_empty_rejected () =
+  Alcotest.(check bool) "empty candidates" true
+    (try
+       ignore (Ivc.Co_opt.co_optimize config tables c17 ~node_sp:sp ~candidates:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_run_end_to_end () =
+  let result, _ = Ivc.Co_opt.run config tables c17 ~node_sp:sp ~rng:(Physics.Rng.create ~seed:35) () in
+  Alcotest.(check bool) "fresh delay positive" true (result.Ivc.Co_opt.fresh_delay > 0.0);
+  Alcotest.(check bool) "best degradation within bounds" true
+    (result.Ivc.Co_opt.best.Ivc.Co_opt.degradation > 0.0
+    && result.Ivc.Co_opt.best.Ivc.Co_opt.degradation < 0.15)
+
+let test_ivc_best_between_bounding_states () =
+  let result, _ = Ivc.Co_opt.run config tables c17 ~node_sp:sp ~rng:(Physics.Rng.create ~seed:36) () in
+  let d standby =
+    (Aging.Circuit_aging.analyze config c17 ~node_sp:sp ~standby ()).Aging.Circuit_aging.degradation
+  in
+  let worst = d Aging.Circuit_aging.Standby_all_stressed in
+  let best = d Aging.Circuit_aging.Standby_all_relaxed in
+  Alcotest.(check bool) "IVC result within the bounds" true
+    (result.Ivc.Co_opt.best.Ivc.Co_opt.degradation >= best -. 1e-12
+    && result.Ivc.Co_opt.best.Ivc.Co_opt.degradation <= worst +. 1e-12)
+
+(* --- Internal node control --- *)
+
+let test_potential_structure () =
+  let p = Ivc.Internal_node.potential config c17 ~node_sp:sp in
+  Alcotest.(check bool) "worst >= best" true
+    (p.Ivc.Internal_node.worst_degradation >= p.Ivc.Internal_node.best_degradation);
+  Alcotest.(check bool) "potential in [0,1]" true
+    (p.Ivc.Internal_node.potential >= 0.0 && p.Ivc.Internal_node.potential <= 1.0)
+
+let test_potential_grows_with_standby_temperature () =
+  (* Table 4's trend: 18.1% at 330K growing to 54.9% at 400K. *)
+  let sweep =
+    Ivc.Internal_node.sweep_standby_temperature config c17 ~node_sp:sp
+      ~temps:[| 330.0; 350.0; 370.0; 400.0 |]
+  in
+  Array.iteri
+    (fun i (_, p) ->
+      if i > 0 then begin
+        let _, prev = sweep.(i - 1) in
+        Alcotest.(check bool) "monotone in standby temperature" true
+          (p.Ivc.Internal_node.potential >= prev.Ivc.Internal_node.potential)
+      end)
+    sweep
+
+let test_worst_degradation_grows_with_standby_temperature () =
+  let sweep =
+    Ivc.Internal_node.sweep_standby_temperature config c17 ~node_sp:sp ~temps:[| 330.0; 400.0 |]
+  in
+  let _, cold = sweep.(0) and _, hot = sweep.(1) in
+  Alcotest.(check bool) "hot standby degrades more" true
+    (hot.Ivc.Internal_node.worst_degradation > cold.Ivc.Internal_node.worst_degradation);
+  (* Best case barely moves (recovery is temperature-insensitive). *)
+  Alcotest.(check bool) "best case stable" true
+    (Float.abs (hot.Ivc.Internal_node.best_degradation -. cold.Ivc.Internal_node.best_degradation)
+     /. cold.Ivc.Internal_node.best_degradation
+    < 0.05)
+
+let () =
+  Alcotest.run "ivc"
+    [
+      ( "mlv",
+        [
+          Alcotest.test_case "evaluate" `Quick test_evaluate;
+          Alcotest.test_case "exhaustive optimal" `Quick test_exhaustive_is_optimal;
+          Alcotest.test_case "exhaustive guard" `Quick test_exhaustive_guard;
+          Alcotest.test_case "random search bound" `Quick test_random_search_bounded_by_optimum;
+          Alcotest.test_case "probability-based near optimum" `Quick test_probability_based_finds_optimum_on_c17;
+          Alcotest.test_case "set properties" `Quick test_probability_based_set_properties;
+          Alcotest.test_case "deterministic" `Quick test_probability_based_deterministic;
+        ] );
+      ( "co-opt",
+        [
+          Alcotest.test_case "picks min degradation" `Quick test_co_optimize_picks_min_degradation;
+          Alcotest.test_case "spread" `Quick test_co_optimize_spread;
+          Alcotest.test_case "empty rejected" `Quick test_co_optimize_empty_rejected;
+          Alcotest.test_case "end to end" `Quick test_run_end_to_end;
+          Alcotest.test_case "within bounding states" `Quick test_ivc_best_between_bounding_states;
+        ] );
+      ( "internal-node",
+        [
+          Alcotest.test_case "potential structure" `Quick test_potential_structure;
+          Alcotest.test_case "potential grows with T_standby" `Quick test_potential_grows_with_standby_temperature;
+          Alcotest.test_case "worst grows, best stable" `Quick test_worst_degradation_grows_with_standby_temperature;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+(* Tests for circuit-level leakage estimation. *)
+
+let tech = Device.Tech.ptm_90nm
+let c17 = Circuit.Generators.c17 ()
+let tables = Leakage.Circuit_leakage.build_tables tech c17 ~temp_k:400.0
+
+let test_tables_temp () =
+  Alcotest.(check (float 0.0)) "temperature recorded" 400.0
+    (Leakage.Circuit_leakage.tables_temp tables)
+
+let test_standby_positive () =
+  let l = Leakage.Circuit_leakage.standby_leakage tables c17 ~vector:(Array.make 5 false) in
+  Alcotest.(check bool) "positive total" true (l > 0.0)
+
+let test_per_gate_sums_to_total () =
+  let vector = [| true; false; true; false; true |] in
+  let per_gate = Leakage.Circuit_leakage.per_gate_standby tables c17 ~vector in
+  let total = Leakage.Circuit_leakage.standby_leakage tables c17 ~vector in
+  Alcotest.(check (float 1e-18)) "sum matches" total (Array.fold_left ( +. ) 0.0 per_gate);
+  Array.iter
+    (fun id -> Alcotest.(check (float 0.0)) "PI contributes nothing" 0.0 per_gate.(id))
+    (Circuit.Netlist.primary_inputs c17)
+
+let test_vector_dependence () =
+  (* The whole point of IVC: different vectors leak differently. *)
+  let all = Array.init 32 (fun idx ->
+      Leakage.Circuit_leakage.standby_leakage tables c17
+        ~vector:(Array.init 5 (fun i -> (idx lsr i) land 1 = 1)))
+  in
+  let lo, hi = Physics.Stats.min_max all in
+  Alcotest.(check bool) "meaningful spread" true ((hi -. lo) /. lo > 0.05)
+
+let test_bounds_bracket_actual () =
+  let worst = Leakage.Circuit_leakage.worst_standby_bound tables c17 in
+  let best = Leakage.Circuit_leakage.best_standby_bound tables c17 in
+  Alcotest.(check bool) "bounds ordered" true (best < worst);
+  for idx = 0 to 31 do
+    let v = Array.init 5 (fun i -> (idx lsr i) land 1 = 1) in
+    let l = Leakage.Circuit_leakage.standby_leakage tables c17 ~vector:v in
+    Alcotest.(check bool) "within bounds" true (l >= best -. 1e-18 && l <= worst +. 1e-18)
+  done
+
+let test_expected_leakage_brackets () =
+  let sp = Logic.Signal_prob.analytic c17 ~input_sp:(Array.make 5 0.5) in
+  let e = Leakage.Circuit_leakage.expected_leakage tables c17 ~node_sp:sp in
+  let worst = Leakage.Circuit_leakage.worst_standby_bound tables c17 in
+  let best = Leakage.Circuit_leakage.best_standby_bound tables c17 in
+  Alcotest.(check bool) "expectation within bounds" true (e > best && e < worst)
+
+let test_expected_matches_enumeration () =
+  (* With exact per-gate input distributions the eq. 24 expectation over
+     gate LUTs must equal the true expectation when gate inputs are
+     primary inputs. Build a one-gate circuit to check exactly. *)
+  let b = Circuit.Netlist.Builder.create ~name:"one" in
+  let x = Circuit.Netlist.Builder.input b "x" in
+  let y = Circuit.Netlist.Builder.input b "y" in
+  let g = Circuit.Netlist.Builder.nor2 b x y in
+  Circuit.Netlist.Builder.output b g;
+  let t = Circuit.Netlist.Builder.finish b in
+  let tabs = Leakage.Circuit_leakage.build_tables tech t ~temp_k:400.0 in
+  let sp = [| 0.3; 0.7; 0.0 |] in
+  (* node_sp indexed by node id: PIs then gate. *)
+  let e = Leakage.Circuit_leakage.expected_leakage tabs t ~node_sp:sp in
+  let manual = ref 0.0 in
+  for idx = 0 to 3 do
+    let v = [| idx land 1 = 1; idx lsr 1 land 1 = 1 |] in
+    let p = (if v.(0) then 0.3 else 0.7) *. if v.(1) then 0.7 else 0.3 in
+    manual := !manual +. (p *. Leakage.Circuit_leakage.standby_leakage tabs t ~vector:v)
+  done;
+  Alcotest.(check (float 1e-15)) "matches enumeration" !manual e
+
+let test_temperature_monotone () =
+  let cold = Leakage.Circuit_leakage.build_tables tech c17 ~temp_k:330.0 in
+  let v = Array.make 5 true in
+  Alcotest.(check bool) "hotter leaks more" true
+    (Leakage.Circuit_leakage.standby_leakage tables c17 ~vector:v
+    > Leakage.Circuit_leakage.standby_leakage cold c17 ~vector:v)
+
+let test_larger_circuit_leaks_more () =
+  let c432 = Circuit.Generators.by_name "c432" in
+  let t432 = Leakage.Circuit_leakage.build_tables tech c432 ~temp_k:400.0 in
+  Alcotest.(check bool) "more gates more leakage" true
+    (Leakage.Circuit_leakage.best_standby_bound t432 c432
+    > Leakage.Circuit_leakage.worst_standby_bound tables c17)
+
+let () =
+  Alcotest.run "leakage"
+    [
+      ( "circuit-leakage",
+        [
+          Alcotest.test_case "tables temperature" `Quick test_tables_temp;
+          Alcotest.test_case "standby positive" `Quick test_standby_positive;
+          Alcotest.test_case "per-gate sums" `Quick test_per_gate_sums_to_total;
+          Alcotest.test_case "vector dependence" `Quick test_vector_dependence;
+          Alcotest.test_case "bounds bracket vectors" `Quick test_bounds_bracket_actual;
+          Alcotest.test_case "expected within bounds" `Quick test_expected_leakage_brackets;
+          Alcotest.test_case "expected matches enumeration" `Quick test_expected_matches_enumeration;
+          Alcotest.test_case "temperature monotone" `Quick test_temperature_monotone;
+          Alcotest.test_case "size monotone" `Quick test_larger_circuit_leaks_more;
+        ] );
+    ]

@@ -1,0 +1,148 @@
+(* Tests for switching activity, power estimation and the electrothermal
+   operating point. *)
+
+let tech = Device.Tech.ptm_90nm
+let c17 = Circuit.Generators.c17 ()
+let c432 = Circuit.Generators.by_name "c432"
+
+let input_sp net = Logic.Signal_prob.uniform_inputs net 0.5
+
+let activity net ?(seed = 9) () =
+  Logic.Activity.monte_carlo net ~rng:(Physics.Rng.create ~seed) ~input_sp:(input_sp net)
+    ~n_pairs:8192
+
+let check_close ?(eps = 1e-9) msg expected actual = Alcotest.(check (float eps)) msg expected actual
+
+(* --- Activity --- *)
+
+let test_input_activity_formula () =
+  check_close "p=0.5" 0.5 (Logic.Activity.input_activity ~sp:0.5);
+  check_close "p=0" 0.0 (Logic.Activity.input_activity ~sp:0.0);
+  check_close ~eps:1e-12 "p=0.2" (2.0 *. 0.2 *. 0.8) (Logic.Activity.input_activity ~sp:0.2)
+
+let test_activity_pi_matches_formula () =
+  let act = activity c17 () in
+  Array.iter
+    (fun id ->
+      Alcotest.(check bool) "PI activity near 0.5" true (Float.abs (act.(id) -. 0.5) < 0.03))
+    (Circuit.Netlist.primary_inputs c17)
+
+let test_activity_in_range () =
+  let act = activity c432 () in
+  Array.iter (fun a -> Alcotest.(check bool) "in [0,1]" true (a >= 0.0 && a <= 1.0)) act
+
+let test_activity_matches_sp_identity () =
+  (* For temporally independent inputs, a net with signal probability p
+     toggles with probability 2 p (1-p); check against exact SPs on c17. *)
+  let sp = Logic.Signal_prob.analytic c17 ~input_sp:(input_sp c17) in
+  let act = activity c17 ~seed:11 () in
+  Array.iteri
+    (fun i a ->
+      (* Reconvergence makes consecutive evaluations correlated only
+         through the inputs, which are independent across the pair - the
+         identity is exact up to MC noise for each node's marginal. *)
+      let expected = 2.0 *. sp.(i) *. (1.0 -. sp.(i)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d toggle rate" i)
+        true
+        (Float.abs (a -. expected) < 0.04))
+    act
+
+let test_activity_deterministic () =
+  let a = activity c432 ~seed:3 () and b = activity c432 ~seed:3 () in
+  Alcotest.(check (array (float 0.0))) "same seed same estimate" a b
+
+(* --- Power --- *)
+
+let test_dynamic_scales_with_frequency () =
+  let act = activity c432 () in
+  let p1 = Power.dynamic tech c432 ~activity:act ~freq:1e9 in
+  let p2 = Power.dynamic tech c432 ~activity:act ~freq:2e9 in
+  check_close ~eps:1e-12 "linear in f" (2.0 *. p1) p2;
+  Alcotest.(check bool) "uW scale for a 160-gate block" true (p1 > 1e-6 && p1 < 1e-3)
+
+let test_leakage_grows_with_temperature () =
+  let sp = Logic.Signal_prob.analytic c432 ~input_sp:(input_sp c432) in
+  Alcotest.(check bool) "hotter leaks more" true
+    (Power.leakage_at tech c432 ~node_sp:sp ~temp_k:400.0
+    > Power.leakage_at tech c432 ~node_sp:sp ~temp_k:330.0)
+
+let test_breakdown_sums () =
+  let sp = Logic.Signal_prob.analytic c432 ~input_sp:(input_sp c432) in
+  let act = activity c432 () in
+  let b = Power.breakdown_at tech c432 ~node_sp:sp ~activity:act ~freq:1e9 ~temp_k:360.0 in
+  check_close ~eps:1e-15 "total = dyn + leak" (b.Power.dynamic +. b.Power.leakage) b.Power.total
+
+let test_operating_point_consistency () =
+  let sp = Logic.Signal_prob.analytic c432 ~input_sp:(input_sp c432) in
+  let act = activity c432 () in
+  let op =
+    Power.operating_point tech Thermal.Rc_model.default c432 ~node_sp:sp ~activity:act ~freq:1e9
+      ~n_blocks:1.5e6
+  in
+  (* Self-consistency: the temperature implied by the chip power equals
+     the fixed point. *)
+  let implied = Thermal.Rc_model.steady_state Thermal.Rc_model.default ~power:op.Power.chip_power in
+  Alcotest.(check bool) "fixed point" true (Float.abs (implied -. op.Power.temp_k) < 0.2);
+  Alcotest.(check bool) "realistic chip temperature" true
+    (op.Power.temp_k > 340.0 && op.Power.temp_k < 420.0);
+  Alcotest.(check bool) "converged quickly" true (op.Power.iterations < 60)
+
+let test_operating_point_grows_with_blocks () =
+  let sp = Logic.Signal_prob.analytic c17 ~input_sp:(input_sp c17) in
+  let act = activity c17 () in
+  let temp n =
+    (Power.operating_point tech Thermal.Rc_model.default c17 ~node_sp:sp ~activity:act ~freq:1e9
+       ~n_blocks:n)
+      .Power.temp_k
+  in
+  Alcotest.(check bool) "more blocks run hotter" true (temp 2e7 > temp 1e6)
+
+let test_leakage_share_rises_with_temperature () =
+  (* The positive feedback the loop captures: at the hot operating point
+     leakage is a larger share than at ambient. The growth is tempered by
+     the temperature-independent gate-tunneling component (a large slice
+     at 2 nm oxides), so the share rises by tens of percent, not the 8x of
+     the subthreshold term alone. *)
+  let sp = Logic.Signal_prob.analytic c432 ~input_sp:(input_sp c432) in
+  let act = activity c432 () in
+  let share temp_k =
+    let b = Power.breakdown_at tech c432 ~node_sp:sp ~activity:act ~freq:1e9 ~temp_k in
+    b.Power.leakage /. b.Power.total
+  in
+  Alcotest.(check bool) "leakage share grows" true (share 400.0 > 1.3 *. share 330.0)
+
+let prop_dynamic_linear_in_activity =
+  QCheck.Test.make ~name:"dynamic power is linear in the activity vector" ~count:50
+    QCheck.(float_range 0.1 3.0)
+    (fun k ->
+      let act = activity c17 () in
+      let scaled = Array.map (fun a -> a *. k) act in
+      let p1 = Power.dynamic tech c17 ~activity:act ~freq:1e9 in
+      let p2 = Power.dynamic tech c17 ~activity:scaled ~freq:1e9 in
+      Float.abs (p2 -. (k *. p1)) < 1e-12)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_dynamic_linear_in_activity ]
+
+let () =
+  Alcotest.run "power"
+    [
+      ( "activity",
+        [
+          Alcotest.test_case "input formula" `Quick test_input_activity_formula;
+          Alcotest.test_case "PI activity" `Quick test_activity_pi_matches_formula;
+          Alcotest.test_case "range" `Quick test_activity_in_range;
+          Alcotest.test_case "matches 2p(1-p)" `Quick test_activity_matches_sp_identity;
+          Alcotest.test_case "deterministic" `Quick test_activity_deterministic;
+        ] );
+      ( "power",
+        [
+          Alcotest.test_case "dynamic scales with f" `Quick test_dynamic_scales_with_frequency;
+          Alcotest.test_case "leakage vs temperature" `Quick test_leakage_grows_with_temperature;
+          Alcotest.test_case "breakdown sums" `Quick test_breakdown_sums;
+          Alcotest.test_case "operating point fixed" `Quick test_operating_point_consistency;
+          Alcotest.test_case "monotone in blocks" `Quick test_operating_point_grows_with_blocks;
+          Alcotest.test_case "leakage share feedback" `Quick test_leakage_share_rises_with_temperature;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,270 @@
+(* Tests for sequential circuit support: DFF parsing, simulation,
+   generators and the steady-state sequential signal probabilities. *)
+
+let check_close ?(eps = 1e-9) msg expected actual = Alcotest.(check (float eps)) msg expected actual
+
+let counter4 = Sequential.counter ~bits:4
+let lfsr8 = Sequential.lfsr ~bits:8
+
+let int_of_state state =
+  Array.to_list state |> List.mapi (fun i b -> if b then 1 lsl i else 0) |> List.fold_left ( + ) 0
+
+(* --- structure --- *)
+
+let test_counter_structure () =
+  Alcotest.(check int) "flops" 4 (Sequential.n_flops counter4);
+  Alcotest.(check int) "enable input" 1 (Sequential.n_real_inputs counter4)
+
+let test_lfsr_structure () =
+  Alcotest.(check int) "flops" 8 (Sequential.n_flops lfsr8);
+  Alcotest.(check int) "no real inputs" 0 (Sequential.n_real_inputs lfsr8)
+
+(* --- simulation --- *)
+
+let test_counter_counts () =
+  let state = ref (Array.make 4 false) in
+  for expected = 1 to 20 do
+    let _, next = Sequential.step counter4 ~inputs:[| true |] ~state:!state in
+    state := next;
+    Alcotest.(check int) "increments" (expected mod 16) (int_of_state !state)
+  done
+
+let test_counter_holds_when_disabled () =
+  let state0 = [| true; false; true; false |] in
+  let _, next = Sequential.step counter4 ~inputs:[| false |] ~state:state0 in
+  Alcotest.(check int) "state held" (int_of_state state0) (int_of_state next)
+
+let test_counter_simulate () =
+  let inputs = Array.make 7 [| true |] in
+  let outs, final = Sequential.simulate counter4 ~inputs ~initial_state:(Array.make 4 false) in
+  Alcotest.(check int) "cycles of outputs" 7 (Array.length outs);
+  Alcotest.(check int) "final count" 7 (int_of_state final)
+
+let test_lfsr_maximal_period () =
+  let start = Array.append [| true |] (Array.make 7 false) in
+  let state = ref start in
+  let period = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let _, next = Sequential.step lfsr8 ~inputs:[||] ~state:!state in
+    state := next;
+    incr period;
+    if next = start || !period > 256 then continue_ := false
+  done;
+  Alcotest.(check int) "2^8 - 1" 255 !period
+
+let test_lfsr_zero_state_stuck () =
+  let zero = Array.make 8 false in
+  let _, next = Sequential.step lfsr8 ~inputs:[||] ~state:zero in
+  Alcotest.(check int) "all-zero is the absorbing state" 0 (int_of_state next)
+
+(* --- parsing --- *)
+
+let toggle_text =
+  "INPUT(a)\nOUTPUT(z)\nq = DFF(d)\nd = XOR(a, q)\nz = AND(a, q)\n"
+
+let test_parse_dff () =
+  let s = Sequential.parse_string ~name:"toggle" toggle_text in
+  Alcotest.(check int) "one flop" 1 (Sequential.n_flops s);
+  Alcotest.(check int) "one real input" 1 (Sequential.n_real_inputs s);
+  (* Toggle flop: with a = 1 the state flips every cycle. *)
+  let state = ref [| false |] in
+  let seen = ref [] in
+  for _ = 1 to 4 do
+    let _, next = Sequential.step s ~inputs:[| true |] ~state:!state in
+    seen := next.(0) :: !seen;
+    state := next
+  done;
+  Alcotest.(check (list bool)) "toggles" [ false; true; false; true ] !seen
+
+let test_parse_preserves_outputs () =
+  let s = Sequential.parse_string ~name:"toggle" toggle_text in
+  (* z = a AND q: with q = 1, a = 1 the output is 1. *)
+  let out, _ = Sequential.step s ~inputs:[| true |] ~state:[| true |] in
+  Alcotest.(check (array bool)) "combinational output" [| true |] out
+
+let test_parse_unknown_dff_input_fails () =
+  Alcotest.(check bool) "dangling D" true
+    (try
+       ignore (Sequential.parse_string ~name:"bad" "INPUT(a)\nOUTPUT(a)\nq = DFF(nowhere)\n");
+       false
+     with Failure _ -> true)
+
+let test_of_netlist_rejects_gate_as_q () =
+  let b = Circuit.Netlist.Builder.create ~name:"t" in
+  let a = Circuit.Netlist.Builder.input b "a" in
+  let g = Circuit.Netlist.Builder.not_ b a in
+  Circuit.Netlist.Builder.output b g;
+  let net = Circuit.Netlist.Builder.finish b in
+  let gate_name = Circuit.Netlist.node_name net g in
+  Alcotest.(check bool) "gate as flop Q rejected" true
+    (try
+       ignore (Sequential.of_netlist net ~flops:[ (gate_name, "a") ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- steady-state SPs --- *)
+
+let test_lfsr_sp_is_half () =
+  let sp, _ = Sequential.steady_state_sp lfsr8 ~input_sp:[||] () in
+  Array.iter
+    (fun id -> check_close ~eps:1e-6 "state bits at 0.5" 0.5 sp.(id))
+    (Circuit.Netlist.primary_inputs lfsr8.Sequential.comb)
+
+let test_counter_sp_converges () =
+  let sp, sweeps = Sequential.steady_state_sp counter4 ~input_sp:[| 0.7 |] () in
+  Alcotest.(check bool) "converged" true (sweeps < 200);
+  Array.iter
+    (fun p -> Alcotest.(check bool) "probabilities" true (p >= 0.0 && p <= 1.0))
+    sp
+
+let test_biased_toggle_sp () =
+  (* The toggle flop q' = a xor q has SP exactly 0.5 at its fixed point
+     whenever 0 < sp(a): solve p = a(1-p) + (1-a)p -> p = 0.5. *)
+  let s = Sequential.parse_string ~name:"toggle" toggle_text in
+  let sp, _ = Sequential.steady_state_sp s ~input_sp:[| 0.3 |] () in
+  let q_node = s.Sequential.flops.(0).Sequential.q_node in
+  check_close ~eps:1e-4 "toggle fixed point" 0.5 sp.(q_node)
+
+let test_core_input_sp_assembly () =
+  let v = Sequential.core_input_sp counter4 ~input_sp:[| 0.9 |] ~state_sp:(Array.make 4 0.25) in
+  Alcotest.(check int) "covers all core PIs" 5 (Array.length v);
+  (* en is the first declared PI *)
+  check_close "enable SP placed" 0.9 v.(0)
+
+(* --- aging integration --- *)
+
+let test_sequential_core_ages () =
+  (* The combinational core of a sequential design drops straight into the
+     aging platform with the steady-state SPs. *)
+  let sp, _ = Sequential.steady_state_sp counter4 ~input_sp:[| 0.5 |] () in
+  let aging = Aging.Circuit_aging.default_config () in
+  let a =
+    Aging.Circuit_aging.analyze aging counter4.Sequential.comb ~node_sp:sp
+      ~standby:Aging.Circuit_aging.Standby_all_stressed ()
+  in
+  Alcotest.(check bool) "plausible degradation" true
+    (a.Aging.Circuit_aging.degradation > 0.01 && a.Aging.Circuit_aging.degradation < 0.12)
+
+(* --- s27 and random sequential --- *)
+
+let test_s27_structure () =
+  let s = Sequential.s27 () in
+  Alcotest.(check int) "4 inputs" 4 (Sequential.n_real_inputs s);
+  Alcotest.(check int) "3 flops" 3 (Sequential.n_flops s);
+  Alcotest.(check int) "10 gates" 10 (Circuit.Netlist.n_gates s.Sequential.comb);
+  Alcotest.(check int) "1 output" 1 (Array.length s.Sequential.comb.Circuit.Netlist.outputs)
+
+let test_s27_is_alive () =
+  (* Under random stimulus the output and the state must both change at
+     some point - catches dead or constant reductions. *)
+  let s = Sequential.s27 () in
+  let rng = Physics.Rng.create ~seed:27 in
+  let state = ref (Array.make 3 false) in
+  let outs = ref [] and states = ref [] in
+  for _ = 1 to 64 do
+    let inputs = Array.init 4 (fun _ -> Physics.Rng.bool rng) in
+    let out, next = Sequential.step s ~inputs ~state:!state in
+    outs := out.(0) :: !outs;
+    states := int_of_state next :: !states;
+    state := next
+  done;
+  Alcotest.(check bool) "output toggles" true (List.exists not !outs && List.exists Fun.id !outs);
+  Alcotest.(check bool) "state visits several values" true
+    (List.length (List.sort_uniq compare !states) >= 2)
+
+let test_s27_sp_converges () =
+  let s = Sequential.s27 () in
+  let sp, sweeps = Sequential.steady_state_sp s ~input_sp:(Array.make 4 0.5) () in
+  Alcotest.(check bool) "fast convergence" true (sweeps < 100);
+  Array.iter (fun p -> Alcotest.(check bool) "valid prob" true (p >= 0.0 && p <= 1.0)) sp
+
+let test_random_profile () =
+  let r = Sequential.random_profile ~name:"sr" ~n_pi:10 ~n_ff:8 ~n_gates:120 ~seed:5 in
+  Alcotest.(check int) "flops" 8 (Sequential.n_flops r);
+  Alcotest.(check int) "real inputs" 10 (Sequential.n_real_inputs r);
+  Alcotest.(check int) "gates" 120 (Circuit.Netlist.n_gates r.Sequential.comb);
+  (* deterministic *)
+  let r2 = Sequential.random_profile ~name:"sr" ~n_pi:10 ~n_ff:8 ~n_gates:120 ~seed:5 in
+  let sp1, _ = Sequential.steady_state_sp r ~input_sp:(Array.make 10 0.5) () in
+  let sp2, _ = Sequential.steady_state_sp r2 ~input_sp:(Array.make 10 0.5) () in
+  Alcotest.(check (array (float 0.0))) "deterministic" sp1 sp2
+
+(* --- properties --- *)
+
+let prop_counter_increments =
+  QCheck.Test.make ~name:"enabled counter always increments mod 2^bits" ~count:200
+    (QCheck.make (QCheck.Gen.int_bound 15))
+    (fun v ->
+      let state = Array.init 4 (fun i -> (v lsr i) land 1 = 1) in
+      let _, next = Sequential.step counter4 ~inputs:[| true |] ~state in
+      int_of_state next = (v + 1) mod 16)
+
+let prop_lfsr_shifts =
+  QCheck.Test.make ~name:"LFSR state shifts by one position" ~count:200
+    (QCheck.make (QCheck.Gen.int_bound 254))
+    (fun v ->
+      let v = v + 1 in
+      let state = Array.init 8 (fun i -> (v lsr i) land 1 = 1) in
+      let _, next = Sequential.step lfsr8 ~inputs:[||] ~state in
+      let shifted_ok = ref true in
+      for i = 1 to 7 do
+        if next.(i) <> state.(i - 1) then shifted_ok := false
+      done;
+      !shifted_ok)
+
+let prop_parse_never_escapes_failure =
+  QCheck.Test.make ~name:"DFF parser only ever raises Failure" ~count:200
+    QCheck.(string_of_size (QCheck.Gen.int_bound 80))
+    (fun text ->
+      match Sequential.parse_string ~name:"fuzz" text with
+      | _ -> true
+      | exception Failure _ -> true
+      | exception Invalid_argument _ -> true
+      | exception _ -> false)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_counter_increments; prop_lfsr_shifts; prop_parse_never_escapes_failure ]
+
+let () =
+  Alcotest.run "sequential"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_structure;
+          Alcotest.test_case "lfsr" `Quick test_lfsr_structure;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "counter counts" `Quick test_counter_counts;
+          Alcotest.test_case "counter holds" `Quick test_counter_holds_when_disabled;
+          Alcotest.test_case "simulate" `Quick test_counter_simulate;
+          Alcotest.test_case "lfsr maximal period" `Quick test_lfsr_maximal_period;
+          Alcotest.test_case "lfsr zero state" `Quick test_lfsr_zero_state_stuck;
+        ] );
+      ( "parsing",
+        [
+          Alcotest.test_case "DFF parse + toggle" `Quick test_parse_dff;
+          Alcotest.test_case "outputs preserved" `Quick test_parse_preserves_outputs;
+          Alcotest.test_case "dangling D fails" `Quick test_parse_unknown_dff_input_fails;
+          Alcotest.test_case "gate as Q rejected" `Quick test_of_netlist_rejects_gate_as_q;
+        ] );
+      ( "signal-probability",
+        [
+          Alcotest.test_case "lfsr at 0.5" `Quick test_lfsr_sp_is_half;
+          Alcotest.test_case "counter converges" `Quick test_counter_sp_converges;
+          Alcotest.test_case "toggle fixed point" `Quick test_biased_toggle_sp;
+          Alcotest.test_case "input assembly" `Quick test_core_input_sp_assembly;
+        ] );
+      ( "aging",
+        [ Alcotest.test_case "core ages" `Quick test_sequential_core_ages ] );
+      ( "s27-and-random",
+        [
+          Alcotest.test_case "s27 structure" `Quick test_s27_structure;
+          Alcotest.test_case "s27 alive" `Quick test_s27_is_alive;
+          Alcotest.test_case "s27 SP converges" `Quick test_s27_sp_converges;
+          Alcotest.test_case "random profile" `Quick test_random_profile;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,219 @@
+(* Tests for sleep transistor sizing and insertion. *)
+
+let tech = Device.Tech.ptm_90nm
+let params = Nbti.Rd_model.default_params
+let c17 = Circuit.Generators.c17 ()
+let sp = Logic.Signal_prob.analytic c17 ~input_sp:(Array.make 5 0.5)
+let config = Aging.Circuit_aging.default_config ()
+let ten_years = Physics.Units.ten_years
+
+let check_close ?(eps = 1e-9) msg expected actual = Alcotest.(check (float eps)) msg expected actual
+
+(* --- Sizing --- *)
+
+let test_spec_defaults_and_validation () =
+  let spec = Sleep.St_sizing.make_spec () in
+  check_close "default vth_st" tech.Device.Tech.vth_p spec.Sleep.St_sizing.vth_st;
+  Alcotest.(check bool) "bad beta rejected" true
+    (try
+       ignore (Sleep.St_sizing.make_spec ~beta:1.5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_vst_bound () =
+  let spec = Sleep.St_sizing.make_spec ~beta:0.05 () in
+  (* eq. 28: 0.05 * (1.0 - 0.22) = 39 mV *)
+  check_close ~eps:1e-12 "eq. 28" 0.039 (Sleep.St_sizing.vst_bound spec)
+
+let test_wl_fresh_scaling () =
+  let spec = Sleep.St_sizing.make_spec () in
+  let w1 = Sleep.St_sizing.wl_fresh spec ~i_on:1e-3 in
+  let w2 = Sleep.St_sizing.wl_fresh spec ~i_on:2e-3 in
+  check_close ~eps:1e-9 "linear in current" (2.0 *. w1) w2;
+  Alcotest.(check bool) "positive" true (w1 > 0.0)
+
+let test_tighter_beta_needs_bigger_st () =
+  let loose = Sleep.St_sizing.make_spec ~beta:0.05 () in
+  let tight = Sleep.St_sizing.make_spec ~beta:0.01 () in
+  Alcotest.(check bool) "1% budget needs a bigger ST" true
+    (Sleep.St_sizing.wl_fresh tight ~i_on:1e-3 > Sleep.St_sizing.wl_fresh loose ~i_on:1e-3)
+
+let test_st_dvth_fig8_trends () =
+  (* Fig. 8: ST dVth grows with active share and with lower initial Vth. *)
+  let dv ~vth_st ~ras =
+    let spec = Sleep.St_sizing.make_spec ~vth_st () in
+    Sleep.St_sizing.dvth_st params spec ~schedule:(Sleep.St_sizing.st_schedule ~ras ()) ~time:ten_years
+  in
+  let high_active = dv ~vth_st:0.20 ~ras:(9.0, 1.0) in
+  let low_active = dv ~vth_st:0.20 ~ras:(1.0, 9.0) in
+  Alcotest.(check bool) "RAS trend" true (high_active > low_active);
+  let low_vth = dv ~vth_st:0.20 ~ras:(9.0, 1.0) in
+  let high_vth = dv ~vth_st:0.40 ~ras:(9.0, 1.0) in
+  Alcotest.(check bool) "initial Vth trend" true (low_vth > high_vth);
+  (* The corner-to-corner spread matches Fig. 8's ~4.5x
+     (30.3 mV / 6.7 mV). *)
+  let spread = dv ~vth_st:0.20 ~ras:(9.0, 1.0) /. dv ~vth_st:0.40 ~ras:(1.0, 9.0) in
+  Alcotest.(check bool) "Fig. 8 spread" true (spread > 3.5 && spread < 5.5)
+
+let test_st_dvth_standby_temp_insensitive () =
+  (* The ST recovers in standby; the paper notes its degradation is not
+     influenced by the standby temperature. *)
+  let spec = Sleep.St_sizing.make_spec ~vth_st:0.22 () in
+  let dv t_standby =
+    Sleep.St_sizing.dvth_st params spec
+      ~schedule:(Sleep.St_sizing.st_schedule ~t_standby ())
+      ~time:ten_years
+  in
+  Alcotest.(check bool) "within 5%" true (Float.abs (dv 330.0 -. dv 400.0) /. dv 400.0 < 0.05)
+
+let test_upsize_fraction_fig9 () =
+  (* Fig. 9 anchors: dVth/(Vdd - VthST); 30.3 mV at 0.20 V -> 3.79 %,
+     6.7 mV at 0.40 V -> 1.12 %. *)
+  let spec20 = Sleep.St_sizing.make_spec ~vth_st:0.20 () in
+  check_close ~eps:1e-6 "eq. 31 at 0.20V" (0.0303 /. 0.8)
+    (Sleep.St_sizing.upsize_fraction spec20 ~dvth:0.0303);
+  let spec40 = Sleep.St_sizing.make_spec ~vth_st:0.40 () in
+  check_close ~eps:1e-6 "eq. 31 at 0.40V" (0.0067 /. 0.6)
+    (Sleep.St_sizing.upsize_fraction spec40 ~dvth:0.0067)
+
+let test_wl_nbti_aware_bigger () =
+  let spec = Sleep.St_sizing.make_spec () in
+  Alcotest.(check bool) "upsized" true
+    (Sleep.St_sizing.wl_nbti_aware spec ~i_on:1e-3 ~dvth:0.03
+    > Sleep.St_sizing.wl_fresh spec ~i_on:1e-3)
+
+let test_block_current_and_area () =
+  let i = Sleep.St_sizing.block_on_current tech c17 ~simultaneity:0.3 in
+  Alcotest.(check bool) "positive" true (i > 0.0);
+  check_close ~eps:1e-12 "linear in simultaneity" (2.0 *. i)
+    (Sleep.St_sizing.block_on_current tech c17 ~simultaneity:0.6);
+  let spec = Sleep.St_sizing.make_spec () in
+  let wl = Sleep.St_sizing.wl_fresh spec ~i_on:i in
+  let frac = Sleep.St_sizing.st_area_fraction tech c17 ~wl_st:wl in
+  Alcotest.(check bool) "area overhead positive" true (frac > 0.0)
+
+(* --- Insertion --- *)
+
+let analyze ?(style = Sleep.St_insertion.Footer_and_header) ?(beta = 0.05) ?nbti_aware () =
+  Sleep.St_insertion.analyze config c17 ~node_sp:sp ~style ~beta ?nbti_aware ()
+
+let test_footer_immune () =
+  let r = analyze ~style:Sleep.St_insertion.Footer () in
+  Alcotest.(check (float 0.0)) "no ST aging" 0.0 r.Sleep.St_insertion.st_dvth;
+  check_close ~eps:1e-12 "penalty constant" 0.05 r.Sleep.St_insertion.st_penalty_aged
+
+let test_header_ages () =
+  let r = analyze ~style:Sleep.St_insertion.Header () in
+  Alcotest.(check bool) "header ST shifts" true (r.Sleep.St_insertion.st_dvth > 0.005)
+
+let test_nbti_aware_holds_budget () =
+  let r = analyze ~style:Sleep.St_insertion.Header ~nbti_aware:true () in
+  check_close ~eps:1e-12 "aged penalty equals budget" 0.05 r.Sleep.St_insertion.st_penalty_aged;
+  Alcotest.(check bool) "fresh faster than budget" true
+    (r.Sleep.St_insertion.fresh_delay_with_st < r.Sleep.St_insertion.fresh_delay *. 1.05 +. 1e-18)
+
+let test_unaware_header_blows_budget () =
+  let r = analyze ~style:Sleep.St_insertion.Header ~nbti_aware:false () in
+  Alcotest.(check bool) "penalty drifts past budget" true
+    (r.Sleep.St_insertion.st_penalty_aged > 0.05)
+
+let test_footer_and_header_splits () =
+  let aware = analyze ~style:Sleep.St_insertion.Footer_and_header ~nbti_aware:false () in
+  let header = analyze ~style:Sleep.St_insertion.Header ~nbti_aware:false () in
+  Alcotest.(check bool) "half the budget drifts" true
+    (aware.Sleep.St_insertion.st_penalty_aged < header.Sleep.St_insertion.st_penalty_aged)
+
+let test_st_internal_matches_best_case () =
+  (* "The circuit performance degradation is almost the same as the best
+     case of the internal node control." *)
+  let r = analyze () in
+  let best =
+    (Aging.Circuit_aging.analyze config c17 ~node_sp:sp
+       ~standby:Aging.Circuit_aging.Standby_all_relaxed ())
+      .Aging.Circuit_aging.degradation
+  in
+  check_close ~eps:1e-12 "internal aging equals relaxed bound" best
+    r.Sleep.St_insertion.internal_degradation
+
+let test_lower_beta_less_total_degradation () =
+  let d beta = (analyze ~beta ()).Sleep.St_insertion.total_degradation in
+  Alcotest.(check bool) "ordering over beta" true (d 0.01 < d 0.03 && d 0.03 < d 0.05)
+
+let test_st_beats_no_st_at_hot_standby () =
+  (* Fig. 11's punchline: at T_standby = 400 K the gated circuit ages less
+     than the free-running worst case even counting the ST penalty. *)
+  let hot = Aging.Circuit_aging.default_config ~t_standby:400.0 () in
+  let no_st = Sleep.St_insertion.without_st hot c17 ~node_sp:sp in
+  let with_st =
+    Sleep.St_insertion.analyze hot c17 ~node_sp:sp ~style:Sleep.St_insertion.Footer_and_header
+      ~beta:0.01 ()
+  in
+  Alcotest.(check bool) "ST wins at 10 years" true
+    (with_st.Sleep.St_insertion.total_degradation < no_st)
+
+let test_invalid_beta () =
+  Alcotest.(check bool) "beta >= 1 rejected" true
+    (try
+       ignore (analyze ~beta:1.0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- properties --- *)
+
+let prop_upsize_bounded =
+  QCheck.Test.make ~name:"ST upsizing stays below the headroom fraction" ~count:200
+    QCheck.(pair (float_range 0.2 0.4) (float_range 0.0 0.05))
+    (fun (vth_st, dvth) ->
+      let spec = Sleep.St_sizing.make_spec ~vth_st () in
+      let u = Sleep.St_sizing.upsize_fraction spec ~dvth in
+      u >= 0.0 && u <= dvth /. (1.0 -. 0.4) +. 1e-12)
+
+let prop_wl_monotone_in_beta =
+  QCheck.Test.make ~name:"tighter delay budgets need monotonically bigger STs" ~count:100
+    QCheck.(pair (float_range 0.005 0.2) (float_range 0.005 0.2))
+    (fun (b1, b2) ->
+      let lo = Float.min b1 b2 and hi = Float.max b1 b2 in
+      let wl beta = Sleep.St_sizing.wl_fresh (Sleep.St_sizing.make_spec ~beta ()) ~i_on:1e-3 in
+      wl lo >= wl hi -. 1e-9)
+
+let prop_total_degradation_monotone_in_beta =
+  QCheck.Test.make ~name:"ST total degradation is monotone in beta" ~count:12
+    QCheck.(pair (float_range 0.005 0.08) (float_range 0.005 0.08))
+    (fun (b1, b2) ->
+      let lo = Float.min b1 b2 and hi = Float.max b1 b2 in
+      let d beta = (analyze ~beta ()).Sleep.St_insertion.total_degradation in
+      d lo <= d hi +. 1e-12)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_upsize_bounded; prop_wl_monotone_in_beta; prop_total_degradation_monotone_in_beta ]
+
+let () =
+  Alcotest.run "sleep"
+    [
+      ( "sizing",
+        [
+          Alcotest.test_case "spec defaults/validation" `Quick test_spec_defaults_and_validation;
+          Alcotest.test_case "vst bound (eq. 28)" `Quick test_vst_bound;
+          Alcotest.test_case "wl scaling (eq. 30)" `Quick test_wl_fresh_scaling;
+          Alcotest.test_case "tighter beta bigger ST" `Quick test_tighter_beta_needs_bigger_st;
+          Alcotest.test_case "Fig. 8 trends" `Quick test_st_dvth_fig8_trends;
+          Alcotest.test_case "standby temperature insensitive" `Quick test_st_dvth_standby_temp_insensitive;
+          Alcotest.test_case "Fig. 9 upsize anchors" `Quick test_upsize_fraction_fig9;
+          Alcotest.test_case "NBTI-aware is bigger" `Quick test_wl_nbti_aware_bigger;
+          Alcotest.test_case "block current and area" `Quick test_block_current_and_area;
+        ] );
+      ( "insertion",
+        [
+          Alcotest.test_case "footer immune" `Quick test_footer_immune;
+          Alcotest.test_case "header ages" `Quick test_header_ages;
+          Alcotest.test_case "NBTI-aware holds budget" `Quick test_nbti_aware_holds_budget;
+          Alcotest.test_case "unaware header drifts" `Quick test_unaware_header_blows_budget;
+          Alcotest.test_case "footer+header splits budget" `Quick test_footer_and_header_splits;
+          Alcotest.test_case "internal aging equals relaxed bound" `Quick test_st_internal_matches_best_case;
+          Alcotest.test_case "beta ordering" `Quick test_lower_beta_less_total_degradation;
+          Alcotest.test_case "ST beats no-ST at 400K standby" `Quick test_st_beats_no_st_at_hot_standby;
+          Alcotest.test_case "invalid beta" `Quick test_invalid_beta;
+        ] );
+      ("properties", props);
+    ]

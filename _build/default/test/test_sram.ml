@@ -1,0 +1,151 @@
+(* Tests for the 6T SRAM NBTI study (Kumar et al. [21]). *)
+
+let cell = Sram.Cell6t.make ()
+let params = Nbti.Rd_model.default_params
+let ten_years = Physics.Units.ten_years
+
+let schedule =
+  Nbti.Schedule.active_standby ~ras:(1.0, 1.0) ~t_active:400.0 ~t_standby:330.0 ~active_duty:0.5
+    ~standby_duty:1.0 ()
+
+let snm_fresh mode =
+  Sram.Cell6t.static_noise_margin cell ~dvth_left:0.0 ~dvth_right:0.0 ~temp_k:400.0 ~mode
+
+let check_close ?(eps = 1e-9) msg expected actual = Alcotest.(check (float eps)) msg expected actual
+
+let test_make_validation () =
+  Alcotest.(check bool) "bad width" true
+    (try
+       ignore (Sram.Cell6t.make ~pull_down_wl:(-1.0) ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad gain" true
+    (try
+       ignore (Sram.Cell6t.make ~gain:0.5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_switching_threshold () =
+  let vm = Sram.Cell6t.switching_threshold cell ~dvth_p:0.0 ~temp_k:400.0 in
+  Alcotest.(check bool) "mid-rail-ish" true (vm > 0.3 && vm < 0.7);
+  let vm_aged = Sram.Cell6t.switching_threshold cell ~dvth_p:0.05 ~temp_k:400.0 in
+  Alcotest.(check bool) "PMOS aging lowers Vm" true (vm_aged < vm)
+
+let test_vtc_shape () =
+  let f = Sram.Cell6t.vtc cell ~dvth_p:0.0 ~temp_k:400.0 ~v_read:0.0 in
+  Alcotest.(check bool) "inverts" true (f 0.0 > 0.9 && f 1.0 < 0.1);
+  (* monotone non-increasing *)
+  let prev = ref (f 0.0) in
+  for i = 1 to 100 do
+    let v = f (float_of_int i /. 100.0) in
+    Alcotest.(check bool) "monotone" true (v <= !prev +. 1e-12);
+    prev := v
+  done
+
+let test_read_disturb () =
+  let v = Sram.Cell6t.read_disturb_voltage cell ~temp_k:400.0 in
+  (* AX 1.0 vs 2*PD 4.0: 0.2 V *)
+  check_close ~eps:1e-9 "divider" 0.2 v
+
+let test_fresh_snm_symmetric () =
+  let h = snm_fresh `Hold in
+  check_close ~eps:1e-4 "equal lobes when symmetric" h.Sram.Cell6t.left_lobe h.Sram.Cell6t.right_lobe;
+  Alcotest.(check bool) "hold SNM plausible (100-350 mV)" true
+    (h.Sram.Cell6t.snm > 0.1 && h.Sram.Cell6t.snm < 0.35)
+
+let test_read_snm_below_hold () =
+  Alcotest.(check bool) "read disturb shrinks SNM" true
+    ((snm_fresh `Read).Sram.Cell6t.snm < (snm_fresh `Hold).Sram.Cell6t.snm)
+
+let test_asymmetric_aging_skews_lobes () =
+  let s =
+    Sram.Cell6t.static_noise_margin cell ~dvth_left:0.04 ~dvth_right:0.0 ~temp_k:400.0 ~mode:`Read
+  in
+  Alcotest.(check bool) "lobes differ" true
+    (Float.abs (s.Sram.Cell6t.left_lobe -. s.Sram.Cell6t.right_lobe) > 0.002);
+  Alcotest.(check bool) "SNM below fresh" true (s.Sram.Cell6t.snm < (snm_fresh `Read).Sram.Cell6t.snm)
+
+let test_storage_duties () =
+  let (la, ls), (ra, rs) = Sram.Cell6t.storage_duties ~store_one_fraction:0.7 in
+  check_close "left active" 0.7 la;
+  check_close "left standby" 0.7 ls;
+  check_close "right active" 0.3 ra;
+  check_close "right standby" 0.3 rs;
+  Alcotest.(check bool) "bad fraction" true
+    (try
+       ignore (Sram.Cell6t.storage_duties ~store_one_fraction:1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_static_storage_degrades () =
+  let aged =
+    Sram.Cell6t.snm_after params cell ~schedule ~time:ten_years ~store_one_fraction:1.0 ~mode:`Read
+  in
+  Alcotest.(check bool) "read SNM drops with age" true
+    (aged.Sram.Cell6t.snm < (snm_fresh `Read).Sram.Cell6t.snm -. 0.003)
+
+let test_flipping_beats_static () =
+  (* Kumar's result: 50/50 bit flipping recovers a large share of the
+     static-storage SNM loss and equalizes the lobes. *)
+  let static_ =
+    Sram.Cell6t.snm_after params cell ~schedule ~time:ten_years ~store_one_fraction:1.0 ~mode:`Read
+  in
+  let flip =
+    Sram.Cell6t.snm_after params cell ~schedule ~time:ten_years ~store_one_fraction:0.5 ~mode:`Read
+  in
+  Alcotest.(check bool) "flipping better" true (flip.Sram.Cell6t.snm > static_.Sram.Cell6t.snm);
+  check_close ~eps:1e-3 "flipping equalizes lobes" flip.Sram.Cell6t.left_lobe
+    flip.Sram.Cell6t.right_lobe;
+  let recovery = Sram.Cell6t.recovery_from_flipping params cell ~schedule ~time:ten_years ~mode:`Read in
+  Alcotest.(check bool) "meaningful recovery" true (recovery > 0.2 && recovery <= 1.0)
+
+let test_storing_zero_mirrors_one () =
+  let s1 =
+    Sram.Cell6t.snm_after params cell ~schedule ~time:ten_years ~store_one_fraction:1.0 ~mode:`Read
+  in
+  let s0 =
+    Sram.Cell6t.snm_after params cell ~schedule ~time:ten_years ~store_one_fraction:0.0 ~mode:`Read
+  in
+  check_close ~eps:1e-4 "mirror symmetry" s1.Sram.Cell6t.snm s0.Sram.Cell6t.snm;
+  check_close ~eps:1e-4 "lobes swap" s1.Sram.Cell6t.left_lobe s0.Sram.Cell6t.right_lobe
+
+let test_longer_life_lower_snm () =
+  let at time =
+    (Sram.Cell6t.snm_after params cell ~schedule ~time ~store_one_fraction:1.0 ~mode:`Read)
+      .Sram.Cell6t.snm
+  in
+  Alcotest.(check bool) "monotone degradation" true
+    (at (Physics.Units.years 1.0) > at (Physics.Units.years 10.0))
+
+let prop_snm_decreases_with_shift =
+  QCheck.Test.make ~name:"SNM is non-increasing in a symmetric shift" ~count:100
+    QCheck.(pair (float_range 0.0 0.06) (float_range 0.0 0.02))
+    (fun (dv, extra) ->
+      let snm d =
+        (Sram.Cell6t.static_noise_margin cell ~dvth_left:d ~dvth_right:d ~temp_k:400.0 ~mode:`Read)
+          .Sram.Cell6t.snm
+      in
+      snm (dv +. extra) <= snm dv +. 1e-6)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_snm_decreases_with_shift ]
+
+let () =
+  Alcotest.run "sram"
+    [
+      ( "cell6t",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "switching threshold" `Quick test_switching_threshold;
+          Alcotest.test_case "VTC shape" `Quick test_vtc_shape;
+          Alcotest.test_case "read disturb voltage" `Quick test_read_disturb;
+          Alcotest.test_case "fresh SNM symmetric" `Quick test_fresh_snm_symmetric;
+          Alcotest.test_case "read below hold" `Quick test_read_snm_below_hold;
+          Alcotest.test_case "asymmetric aging skews" `Quick test_asymmetric_aging_skews_lobes;
+          Alcotest.test_case "storage duties" `Quick test_storage_duties;
+          Alcotest.test_case "static storage degrades" `Quick test_static_storage_degrades;
+          Alcotest.test_case "flipping beats static" `Quick test_flipping_beats_static;
+          Alcotest.test_case "zero mirrors one" `Quick test_storing_zero_mirrors_one;
+          Alcotest.test_case "monotone in lifetime" `Quick test_longer_life_lower_snm;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,159 @@
+(* Tests for the lumped-RC thermal model and workload generation. *)
+
+let m = Thermal.Rc_model.default
+
+let check_close ?(eps = 1e-9) msg expected actual = Alcotest.(check (float eps)) msg expected actual
+
+let test_steady_state () =
+  check_close "T = Tamb + P R" (m.Thermal.Rc_model.t_amb +. (100.0 *. m.Thermal.Rc_model.r_th))
+    (Thermal.Rc_model.steady_state m ~power:100.0);
+  check_close ~eps:1e-9 "inverse" 100.0
+    (Thermal.Rc_model.power_for_temperature m
+       ~temp_k:(Thermal.Rc_model.steady_state m ~power:100.0))
+
+let test_default_matches_paper_band () =
+  (* 10-130 W should span roughly the 60-110 C band of Fig. 2. *)
+  let lo = Thermal.Rc_model.steady_state m ~power:10.0 in
+  let hi = Thermal.Rc_model.steady_state m ~power:130.0 in
+  Alcotest.(check bool) "low end near 327K" true (lo > 320.0 && lo < 340.0);
+  Alcotest.(check bool) "high end near 383K" true (hi > 370.0 && hi < 395.0)
+
+let test_step_converges () =
+  let t = ref 330.0 in
+  for _ = 1 to 200 do
+    t := Thermal.Rc_model.step m ~temp_k:!t ~power:100.0 ~dt:10.0
+  done;
+  check_close ~eps:1e-3 "converged to steady state"
+    (Thermal.Rc_model.steady_state m ~power:100.0) !t
+
+let test_step_exact_exponential () =
+  let t0 = 330.0 and p = 100.0 in
+  let tss = Thermal.Rc_model.steady_state m ~power:p in
+  let tau = Thermal.Rc_model.time_constant m in
+  let expected = tss +. ((t0 -. tss) *. Float.exp (-1.0)) in
+  check_close ~eps:1e-9 "one time constant" expected
+    (Thermal.Rc_model.step m ~temp_k:t0 ~power:p ~dt:tau)
+
+let test_step_zero_dt () =
+  check_close "dt=0 identity" 345.0 (Thermal.Rc_model.step m ~temp_k:345.0 ~power:50.0 ~dt:0.0)
+
+let test_simulate_samples () =
+  let samples = Thermal.Rc_model.simulate m ~t0:330.0 ~powers:[| (100.0, 80.0) |] ~dt:10.0 in
+  Alcotest.(check int) "11 samples including start" 11 (Array.length samples);
+  let t_end, temp_end = samples.(10) in
+  check_close "end time" 100.0 t_end;
+  Alcotest.(check bool) "warming toward steady state" true (temp_end > 330.0)
+
+let test_simulate_piecewise () =
+  let samples =
+    Thermal.Rc_model.simulate m ~t0:330.0 ~powers:[| (55.0, 120.0); (45.0, 10.0) |] ~dt:10.0
+  in
+  let times = Array.map fst samples in
+  Alcotest.(check (float 1e-9)) "total duration" 100.0 times.(Array.length times - 1);
+  (* Heats during the hot task, cools during the idle one. *)
+  let mid = samples.(5) and last = samples.(Array.length samples - 1) in
+  Alcotest.(check bool) "heats then cools" true (snd mid > 330.0 && snd last < snd mid)
+
+let test_random_tasks_ranges () =
+  let rng = Physics.Rng.create ~seed:21 in
+  let tasks = Thermal.Workload.random_tasks ~rng ~n:200 () in
+  Alcotest.(check int) "count" 200 (Array.length tasks);
+  Array.iter
+    (fun t ->
+      Alcotest.(check bool) "power in 10..130" true
+        (t.Thermal.Workload.power >= 10.0 && t.Thermal.Workload.power <= 130.0);
+      Alcotest.(check bool) "duration in 30..300" true
+        (t.Thermal.Workload.duration >= 30.0 && t.Thermal.Workload.duration <= 300.0))
+    tasks
+
+let test_with_idle_fraction () =
+  let rng = Physics.Rng.create ~seed:22 in
+  let tasks = Thermal.Workload.random_tasks ~rng ~n:400 () in
+  let mixed = Thermal.Workload.with_idle ~rng ~idle_power:5.0 ~idle_fraction:0.5 tasks in
+  Alcotest.(check int) "interleaved" 800 (Array.length mixed);
+  let idle_time =
+    Array.fold_left
+      (fun acc t -> if t.Thermal.Workload.power = 5.0 then acc +. t.Thermal.Workload.duration else acc)
+      0.0 mixed
+  in
+  let total = Array.fold_left (fun acc t -> acc +. t.Thermal.Workload.duration) 0.0 mixed in
+  Alcotest.(check bool) "idle share near 50%" true (Float.abs ((idle_time /. total) -. 0.5) < 0.1)
+
+let test_summarize () =
+  let tasks =
+    [|
+      { Thermal.Workload.duration = 100.0; power = 100.0 };
+      { Thermal.Workload.duration = 300.0; power = 5.0 };
+    |]
+  in
+  let s = Thermal.Workload.summarize m ~active_threshold:20.0 tasks in
+  check_close "active time" 100.0 s.Thermal.Workload.active_time;
+  check_close "standby time" 300.0 s.Thermal.Workload.standby_time;
+  let a, st = s.Thermal.Workload.ras in
+  check_close "ras normalized" 0.25 a;
+  check_close "ras standby" 0.75 st;
+  Alcotest.(check bool) "active hotter" true (s.Thermal.Workload.t_active > s.Thermal.Workload.t_standby)
+
+let test_summarize_requires_both_modes () =
+  let tasks = [| { Thermal.Workload.duration = 10.0; power = 100.0 } |] in
+  Alcotest.(check bool) "all-active rejected" true
+    (try
+       ignore (Thermal.Workload.summarize m ~active_threshold:20.0 tasks);
+       false
+     with Invalid_argument _ -> true)
+
+let test_power_trace () =
+  let tasks = [| { Thermal.Workload.duration = 10.0; power = 50.0 } |] in
+  Alcotest.(check (array (pair (float 0.0) (float 0.0)))) "pairs" [| (10.0, 50.0) |]
+    (Thermal.Workload.power_trace tasks)
+
+(* Property: the step update always moves the temperature toward the
+   steady state without overshooting. *)
+let prop_step_no_overshoot =
+  QCheck.Test.make ~name:"RC step never overshoots" ~count:300
+    QCheck.(triple (float_range 300.0 420.0) (float_range 0.0 150.0) (float_range 0.0 500.0))
+    (fun (t0, p, dt) ->
+      let tss = Thermal.Rc_model.steady_state m ~power:p in
+      let t1 = Thermal.Rc_model.step m ~temp_k:t0 ~power:p ~dt in
+      if t0 <= tss then t1 >= t0 -. 1e-9 && t1 <= tss +. 1e-9
+      else t1 <= t0 +. 1e-9 && t1 >= tss -. 1e-9)
+
+let prop_grid_steady_between_ambient_and_adiabatic =
+  QCheck.Test.make ~name:"grid block temps sit between ambient and the lumped bound" ~count:40
+    QCheck.(float_range 0.0 120.0)
+    (fun total_power ->
+      let g = Thermal.Grid.create () in
+      let n = Thermal.Grid.n_blocks g in
+      let state = Thermal.Grid.steady_state g ~powers:(Array.make n (total_power /. float_of_int n)) in
+      (* Hottest block above ambient, and below what the same power would
+         reach with no lateral spreading at all (single-block bound). *)
+      let hottest = Thermal.Grid.hottest state in
+      hottest >= 323.0 -. 1e-6 && hottest <= 323.0 +. (total_power *. 0.6) +. 1.0)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_step_no_overshoot; prop_grid_steady_between_ambient_and_adiabatic ]
+
+let () =
+  Alcotest.run "thermal"
+    [
+      ( "rc-model",
+        [
+          Alcotest.test_case "steady state" `Quick test_steady_state;
+          Alcotest.test_case "paper temperature band" `Quick test_default_matches_paper_band;
+          Alcotest.test_case "convergence" `Quick test_step_converges;
+          Alcotest.test_case "exact exponential" `Quick test_step_exact_exponential;
+          Alcotest.test_case "zero dt" `Quick test_step_zero_dt;
+          Alcotest.test_case "simulate sampling" `Quick test_simulate_samples;
+          Alcotest.test_case "piecewise powers" `Quick test_simulate_piecewise;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "random task ranges" `Quick test_random_tasks_ranges;
+          Alcotest.test_case "idle fraction" `Quick test_with_idle_fraction;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "needs both modes" `Quick test_summarize_requires_both_modes;
+          Alcotest.test_case "power trace" `Quick test_power_trace;
+        ] );
+      ("properties", props);
+    ]

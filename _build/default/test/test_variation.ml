@@ -1,0 +1,207 @@
+(* Tests for the process-variation Monte-Carlo study (Fig. 12). *)
+
+let c17 = Circuit.Generators.c17 ()
+let sp = Logic.Signal_prob.analytic c17 ~input_sp:(Array.make 5 0.5)
+let aging = Aging.Circuit_aging.default_config ~t_standby:400.0 ()
+
+let study ?(n_samples = 200) ?(seed = 51) () =
+  let config = Variation.Process_var.default_config ~n_samples aging in
+  Variation.Process_var.run config c17 ~node_sp:sp
+    ~standby:Aging.Circuit_aging.Standby_all_stressed ~rng:(Physics.Rng.create ~seed)
+
+let test_config_validation () =
+  Alcotest.(check bool) "negative sigma rejected" true
+    (try
+       ignore (Variation.Process_var.default_config ~sigma_vth:(-0.01) aging);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "n=1 rejected" true
+    (try
+       ignore (Variation.Process_var.default_config ~n_samples:1 aging);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sample_count () =
+  let s = study () in
+  Alcotest.(check int) "samples" 200 (Array.length s.Variation.Process_var.samples);
+  Alcotest.(check int) "summary n" 200 s.Variation.Process_var.fresh.Physics.Stats.n
+
+let test_aging_shifts_mean () =
+  let s = study () in
+  Alcotest.(check bool) "aged mean above fresh mean" true
+    (s.Variation.Process_var.aged.Physics.Stats.mean > s.Variation.Process_var.fresh.Physics.Stats.mean)
+
+let test_every_sample_ages () =
+  let s = study () in
+  Array.iter
+    (fun sample ->
+      Alcotest.(check bool) "aged >= fresh per sample" true
+        (sample.Variation.Process_var.aged_delay >= sample.Variation.Process_var.fresh_delay))
+    s.Variation.Process_var.samples
+
+let test_variance_compensation () =
+  (* Wang et al. [51]: lower-Vth gates degrade faster, which squeezes the
+     aged distribution: sigma/mean must shrink. *)
+  let s = study ~n_samples:400 () in
+  let cv (x : Physics.Stats.summary) = x.Physics.Stats.stddev /. x.Physics.Stats.mean in
+  Alcotest.(check bool) "relative spread shrinks with stress" true
+    (cv s.Variation.Process_var.aged < cv s.Variation.Process_var.fresh)
+
+let test_deterministic () =
+  let a = study ~seed:7 () and b = study ~seed:7 () in
+  Alcotest.(check (float 0.0)) "same mean" a.Variation.Process_var.fresh.Physics.Stats.mean
+    b.Variation.Process_var.fresh.Physics.Stats.mean
+
+let test_seeds_differ () =
+  let a = study ~seed:7 () and b = study ~seed:8 () in
+  Alcotest.(check bool) "different draws" true
+    (a.Variation.Process_var.fresh.Physics.Stats.mean
+    <> b.Variation.Process_var.fresh.Physics.Stats.mean)
+
+let test_crossover_at_ten_years () =
+  (* Fig. 12's headline: after enough stress the aged -3sigma bound passes
+     the fresh +3sigma bound. The paper shows this on C880; any circuit
+     deep enough for path averaging to shrink sigma works — c17's 3-gate
+     paths are too shallow, so use c432. *)
+  let c432 = Circuit.Generators.by_name "c432" in
+  let sp432 = Logic.Signal_prob.analytic c432 ~input_sp:(Logic.Signal_prob.uniform_inputs c432 0.5) in
+  let config = Variation.Process_var.default_config ~n_samples:150 aging in
+  let s =
+    Variation.Process_var.run config c432 ~node_sp:sp432
+      ~standby:Aging.Circuit_aging.Standby_all_stressed ~rng:(Physics.Rng.create ~seed:53)
+  in
+  Alcotest.(check bool) "aging dominates variation" true (Variation.Process_var.crossover s)
+
+let test_no_crossover_when_fresh () =
+  (* With a tiny lifetime, aging cannot dominate a 15 mV sigma. *)
+  let short = { aging with Aging.Circuit_aging.time = 3600.0 } in
+  let config = Variation.Process_var.default_config ~n_samples:200 short in
+  let s =
+    Variation.Process_var.run config c17 ~node_sp:sp
+      ~standby:Aging.Circuit_aging.Standby_all_stressed ~rng:(Physics.Rng.create ~seed:52)
+  in
+  Alcotest.(check bool) "one hour of stress does not dominate" false
+    (Variation.Process_var.crossover s)
+
+let test_three_sigma_bands () =
+  let s = study () in
+  let lo, hi = s.Variation.Process_var.fresh_3sigma in
+  Alcotest.(check (float 1e-18)) "band width"
+    (6.0 *. s.Variation.Process_var.fresh.Physics.Stats.stddev)
+    (hi -. lo)
+
+(* --- SSTA --- *)
+
+let ssta_setup () =
+  let c432 = Circuit.Generators.by_name "c432" in
+  let sp432 = Logic.Signal_prob.analytic c432 ~input_sp:(Array.make 36 0.5) in
+  (c432, sp432, Aging.Circuit_aging.Standby_all_stressed)
+
+let test_clark_max_properties () =
+  let g m v = { Variation.Ssta.mean = m; var = v } in
+  (* identical inputs: mean rises by theta*phi(0), variance shrinks *)
+  let m = Variation.Ssta.clark_max (g 1.0 0.04) (g 1.0 0.04) in
+  Alcotest.(check bool) "max of equals exceeds the mean" true (m.Variation.Ssta.mean > 1.0);
+  Alcotest.(check bool) "variance shrinks" true (m.Variation.Ssta.var < 0.08);
+  (* dominant input passes through *)
+  let d = Variation.Ssta.clark_max (g 10.0 0.01) (g 1.0 0.01) in
+  Alcotest.(check (float 1e-6)) "dominant mean" 10.0 d.Variation.Ssta.mean;
+  Alcotest.(check (float 1e-6)) "dominant var" 0.01 d.Variation.Ssta.var;
+  (* degenerate (zero variance) falls back to plain max *)
+  let z = Variation.Ssta.clark_max (g 2.0 0.0) (g 3.0 0.0) in
+  Alcotest.(check (float 0.0)) "plain max" 3.0 z.Variation.Ssta.mean
+
+let test_ssta_matches_monte_carlo () =
+  let c432, sp432, standby = ssta_setup () in
+  let aging = Aging.Circuit_aging.default_config ~t_standby:400.0 () in
+  let fresh = Variation.Ssta.analyze aging c432 ~sigma_vth:0.015 ~node_sp:sp432 ~standby ~aged:false in
+  let aged_r = Variation.Ssta.analyze aging c432 ~sigma_vth:0.015 ~node_sp:sp432 ~standby ~aged:true in
+  let mc_cfg = Variation.Process_var.default_config ~n_samples:300 aging in
+  let mc = Variation.Process_var.run mc_cfg c432 ~node_sp:sp432 ~standby ~rng:(Physics.Rng.create ~seed:2) in
+  let (fm, fs), (am, asd) = Variation.Ssta.compare_mc ~fresh ~aged:aged_r ~mc in
+  Alcotest.(check bool) "fresh mean within 1%" true (Float.abs fm < 0.01);
+  Alcotest.(check bool) "fresh sigma within 15%" true (Float.abs fs < 0.15);
+  Alcotest.(check bool) "aged mean within 1%" true (Float.abs am < 0.01);
+  Alcotest.(check bool) "aged sigma within 25%" true (Float.abs asd < 0.25)
+
+let test_ssta_shows_compensation () =
+  let c432, sp432, standby = ssta_setup () in
+  let aging = Aging.Circuit_aging.default_config ~t_standby:400.0 () in
+  let fresh = Variation.Ssta.analyze aging c432 ~sigma_vth:0.015 ~node_sp:sp432 ~standby ~aged:false in
+  let aged_r = Variation.Ssta.analyze aging c432 ~sigma_vth:0.015 ~node_sp:sp432 ~standby ~aged:true in
+  Alcotest.(check bool) "mean grows" true
+    (aged_r.Variation.Ssta.circuit.Variation.Ssta.mean > fresh.Variation.Ssta.circuit.Variation.Ssta.mean);
+  Alcotest.(check bool) "sigma shrinks (compensation, analytically)" true
+    (Variation.Ssta.sigma aged_r.Variation.Ssta.circuit < Variation.Ssta.sigma fresh.Variation.Ssta.circuit)
+
+let test_parametric_yield () =
+  let g m v = { Variation.Ssta.mean = m; var = v } in
+  Alcotest.(check (float 1e-9)) "target at mean" 0.5
+    (Variation.Ssta.parametric_yield (g 1.0 0.01) ~target:1.0);
+  Alcotest.(check bool) "generous target" true
+    (Variation.Ssta.parametric_yield (g 1.0 0.01) ~target:2.0 > 0.999);
+  Alcotest.(check (float 0.0)) "deterministic pass" 1.0
+    (Variation.Ssta.parametric_yield (g 1.0 0.0) ~target:1.0);
+  Alcotest.(check (float 0.0)) "deterministic fail" 0.0
+    (Variation.Ssta.parametric_yield (g 2.0 0.0) ~target:1.0)
+
+let test_aging_costs_yield () =
+  (* The signoff framing of Fig. 12: at a fixed cycle-time target, aging
+     erodes the parametric yield. *)
+  let c432, sp432, standby = ssta_setup () in
+  let aging = Aging.Circuit_aging.default_config ~t_standby:400.0 () in
+  let fresh = Variation.Ssta.analyze aging c432 ~sigma_vth:0.015 ~node_sp:sp432 ~standby ~aged:false in
+  let aged = Variation.Ssta.analyze aging c432 ~sigma_vth:0.015 ~node_sp:sp432 ~standby ~aged:true in
+  (* Target: fresh mean + 3 sigma - essentially 100% fresh yield. *)
+  let target =
+    fresh.Variation.Ssta.circuit.Variation.Ssta.mean
+    +. (3.0 *. Variation.Ssta.sigma fresh.Variation.Ssta.circuit)
+  in
+  let yf = Variation.Ssta.parametric_yield fresh.Variation.Ssta.circuit ~target in
+  let ya = Variation.Ssta.parametric_yield aged.Variation.Ssta.circuit ~target in
+  Alcotest.(check bool) "fresh yield ~1" true (yf > 0.99);
+  Alcotest.(check bool) "aged yield collapses" true (ya < 0.1)
+
+let test_ssta_arrival_monotone () =
+  let c432, sp432, standby = ssta_setup () in
+  let aging = Aging.Circuit_aging.default_config () in
+  let r = Variation.Ssta.analyze aging c432 ~sigma_vth:0.015 ~node_sp:sp432 ~standby ~aged:false in
+  Array.iteri
+    (fun i node ->
+      match node with
+      | Circuit.Netlist.Primary_input _ -> ()
+      | Circuit.Netlist.Gate { fanin; _ } ->
+        Array.iter
+          (fun f ->
+            Alcotest.(check bool) "mean after fanin" true
+              (r.Variation.Ssta.arrival.(i).Variation.Ssta.mean
+              > r.Variation.Ssta.arrival.(f).Variation.Ssta.mean))
+          fanin)
+    c432.Circuit.Netlist.nodes
+
+let () =
+  Alcotest.run "variation"
+    [
+      ( "process-var",
+        [
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "sample count" `Quick test_sample_count;
+          Alcotest.test_case "aging shifts mean" `Quick test_aging_shifts_mean;
+          Alcotest.test_case "every sample ages" `Quick test_every_sample_ages;
+          Alcotest.test_case "variance compensation" `Quick test_variance_compensation;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+          Alcotest.test_case "10-year crossover" `Quick test_crossover_at_ten_years;
+          Alcotest.test_case "no fresh crossover" `Quick test_no_crossover_when_fresh;
+          Alcotest.test_case "3-sigma bands" `Quick test_three_sigma_bands;
+        ] );
+      ( "ssta",
+        [
+          Alcotest.test_case "clark max" `Quick test_clark_max_properties;
+          Alcotest.test_case "matches Monte-Carlo" `Quick test_ssta_matches_monte_carlo;
+          Alcotest.test_case "compensation analytically" `Quick test_ssta_shows_compensation;
+          Alcotest.test_case "arrival monotone" `Quick test_ssta_arrival_monotone;
+          Alcotest.test_case "parametric yield" `Quick test_parametric_yield;
+          Alcotest.test_case "aging costs yield" `Quick test_aging_costs_yield;
+        ] );
+    ]
