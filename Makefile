@@ -1,0 +1,20 @@
+.PHONY: all build test smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# End-to-end smoke of the analysis daemon: start a server on a private
+# socket, issue one analyze request against c17, assert a well-formed
+# response, and shut the server down.
+smoke: build
+	./scripts/smoke_server.sh
+
+check: build test smoke
+
+clean:
+	dune clean

@@ -427,9 +427,143 @@ let thermal_cmd =
     (Cmd.info "thermal" ~doc:"Generate a task-set workload and extract (RAS, T_active, T_standby).")
     term
 
+(* --- serve / request: the aging-analysis daemon and its client --- *)
+
+let endpoint_arg =
+  let doc =
+    "Service endpoint: a Unix socket path (optionally prefixed unix:) or tcp:HOST:PORT."
+  in
+  let parse s = match Server.Service.endpoint_of_string s with Ok e -> Ok e | Error m -> Error (`Msg m) in
+  let print fmt = function
+    | Server.Service.Unix_socket p -> Format.fprintf fmt "unix:%s" p
+    | Server.Service.Tcp (h, p) -> Format.fprintf fmt "tcp:%s:%d" h p
+  in
+  let endpoint_conv = Arg.conv (parse, print) in
+  Arg.(required & opt (some endpoint_conv) None & info [ "s"; "socket" ] ~docv:"ENDPOINT" ~doc)
+
+let serve_cmd =
+  let result_cache_arg =
+    Arg.(value & opt int 256 & info [ "result-cache" ] ~docv:"N" ~doc:"Result cache entries.")
+  in
+  let prepared_cache_arg =
+    Arg.(value & opt int 32 & info [ "prepared-cache" ] ~docv:"N" ~doc:"Prepared-pipeline cache entries.")
+  in
+  let max_pending_arg =
+    Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"N" ~doc:"Concurrent requests before overload.")
+  in
+  let run endpoint result_capacity prepared_capacity max_pending =
+    let t = Server.Service.create ~result_capacity ~prepared_capacity ~max_pending () in
+    Server.Service.install_signal_handlers t;
+    let on_ready () =
+      (match endpoint with
+      | Server.Service.Unix_socket p -> Format.printf "nbti_tool: serving on unix:%s@." p
+      | Server.Service.Tcp (h, p) -> Format.printf "nbti_tool: serving on tcp:%s:%d@." h p);
+      Format.printf "protocol v%d; stop with SIGINT/SIGTERM@." Server.Protocol.version
+    in
+    (try Server.Service.serve t endpoint ~on_ready () with
+    | Unix.Unix_error (err, fn, arg) ->
+      Format.eprintf "nbti_tool serve: %s(%s): %s@." fn arg (Unix.error_message err);
+      exit 1);
+    Format.printf "nbti_tool: server stopped@."
+  in
+  let term =
+    Term.(const run $ endpoint_arg $ result_cache_arg $ prepared_cache_arg $ max_pending_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the aging-analysis daemon: newline-delimited JSON requests over a socket.")
+    term
+
+let request_cmd =
+  let body_arg =
+    let doc =
+      "Request: a raw JSON object (versioned protocol), a circuit name (shorthand for a default \
+       analyze request), or - to read one JSON request per line from stdin."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"REQUEST" ~doc)
+  in
+  let connect endpoint =
+    let domain, addr =
+      match endpoint with
+      | Server.Service.Unix_socket p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
+      | Server.Service.Tcp (h, p) ->
+        let ip =
+          try (Unix.gethostbyname h).Unix.h_addr_list.(0)
+          with Not_found -> Unix.inet_addr_of_string h
+        in
+        (Unix.PF_INET, Unix.ADDR_INET (ip, p))
+    in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    Unix.connect fd addr;
+    (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  in
+  let request_line body =
+    let is_json = String.length body > 0 && (body.[0] = '{' || body.[0] = '[') in
+    if is_json then body
+    else
+      (* shorthand: a circuit name (or .bench path) becomes a default analyze *)
+      let circuit =
+        if Sys.file_exists body then begin
+          let ic = open_in body in
+          let text = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          Server.Json.Assoc [ ("bench", Server.Json.String text) ]
+        end
+        else Server.Json.String body
+      in
+      Server.Json.to_string
+        (Server.Json.Assoc
+           [
+             ("v", Server.Json.Int Server.Protocol.version);
+             ("op", Server.Json.String "analyze");
+             ("circuit", circuit);
+           ])
+  in
+  let run endpoint body =
+    match connect endpoint with
+    | exception Unix.Unix_error (err, fn, arg) ->
+      Format.eprintf "nbti_tool request: %s(%s): %s@." fn arg (Unix.error_message err);
+      exit 1
+    | ic, oc ->
+      let ok = ref true in
+      let roundtrip line =
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        match input_line ic with
+        | response ->
+          print_endline response;
+          (match Server.Json.(member_opt "ok" (of_string response)) with
+           | Some (Server.Json.Bool true) -> ()
+           | _ -> ok := false
+           | exception _ -> ok := false)
+        | exception End_of_file ->
+          prerr_endline "nbti_tool request: server closed the connection";
+          exit 1
+      in
+      if body = "-" then begin
+        try
+          while true do
+            let line = input_line stdin in
+            if String.trim line <> "" then roundtrip line
+          done
+        with End_of_file -> ()
+      end
+      else begin
+        let line = request_line body in
+        roundtrip line
+      end;
+      if not !ok then exit 1
+  in
+  let term = Term.(const run $ endpoint_arg $ body_arg) in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:"Send one request (or stdin lines with -) to a running analysis daemon.")
+    term
+
 let () =
   let doc = "Temperature-aware NBTI modeling and standby leakage co-optimization." in
   let info = Cmd.info "nbti_tool" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ stats_cmd; analyze_cmd; ivc_cmd; st_cmd; dvth_cmd; lifetime_cmd; gen_cmd; lib_cmd;
-         verilog_cmd; seq_cmd; sram_cmd; thermal_cmd ]))
+         verilog_cmd; seq_cmd; sram_cmd; thermal_cmd; serve_cmd; request_cmd ]))

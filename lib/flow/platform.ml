@@ -16,6 +16,68 @@ let default_config ?aging () =
     leakage_temp = 400.0;
   }
 
+(* Canonical fingerprints: every numeric field rendered at full float
+   precision into one buffer, then hashed. Two configs with equal
+   fingerprints are field-for-field equal on everything the hashed
+   computation reads, so fingerprints are sound cache keys. *)
+
+let add_float buf x = Buffer.add_string buf (Printf.sprintf "%.17g;" x)
+
+let add_string buf x =
+  Buffer.add_string buf x;
+  Buffer.add_char buf ';'
+
+let add_tech buf (t : Device.Tech.t) =
+  add_string buf t.Device.Tech.name;
+  List.iter (add_float buf)
+    [
+      t.Device.Tech.vdd; t.Device.Tech.vth_p; t.Device.Tech.vth_n; t.Device.Tech.tox;
+      t.Device.Tech.lmin; t.Device.Tech.alpha; t.Device.Tech.k_sat_n; t.Device.Tech.k_sat_p;
+      t.Device.Tech.i0_sub; t.Device.Tech.n_swing; t.Device.Tech.dvth_dt; t.Device.Tech.jg0;
+      t.Device.Tech.vg0; t.Device.Tech.cg_per_wl; t.Device.Tech.ea_sub_ev;
+    ]
+
+let add_prepare_fields buf cfg =
+  add_tech buf cfg.aging.Aging.Circuit_aging.tech;
+  add_float buf cfg.input_sp;
+  (match cfg.sp_method with
+  | Sp_analytic -> add_string buf "analytic"
+  | Sp_monte_carlo { n_vectors; seed } -> add_string buf (Printf.sprintf "mc:%d:%d" n_vectors seed));
+  add_float buf cfg.leakage_temp
+
+let prepare_fingerprint cfg =
+  let buf = Buffer.create 256 in
+  add_prepare_fields buf cfg;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let config_fingerprint cfg =
+  let buf = Buffer.create 512 in
+  add_prepare_fields buf cfg;
+  let a = cfg.aging in
+  let p = a.Aging.Circuit_aging.params in
+  List.iter (add_float buf)
+    [
+      p.Nbti.Rd_model.kv_ref; p.Nbti.Rd_model.ref_temp_k; p.Nbti.Rd_model.ref_overdrive;
+      p.Nbti.Rd_model.ref_vth0; p.Nbti.Rd_model.ea_ev; p.Nbti.Rd_model.e0_field;
+      p.Nbti.Rd_model.time_exponent; p.Nbti.Rd_model.permanent_fraction;
+    ];
+  let sch = a.Aging.Circuit_aging.schedule in
+  add_float buf sch.Nbti.Schedule.period;
+  add_float buf sch.Nbti.Schedule.t_ref;
+  List.iter
+    (fun (ph : Nbti.Schedule.phase) ->
+      add_float buf ph.Nbti.Schedule.duration;
+      add_float buf ph.Nbti.Schedule.temp_k;
+      add_float buf ph.Nbti.Schedule.stress_duty;
+      add_string buf
+        (match ph.Nbti.Schedule.mode with Nbti.Schedule.Active -> "A" | Nbti.Schedule.Standby -> "S"))
+    sch.Nbti.Schedule.phases;
+  add_float buf a.Aging.Circuit_aging.time;
+  (match a.Aging.Circuit_aging.pbti_scale with
+  | None -> add_string buf "nopbti"
+  | Some x -> add_float buf x);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 type prepared = {
   net : Circuit.Netlist.t;
   sp : float array;

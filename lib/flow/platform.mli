@@ -18,6 +18,21 @@ val default_config : ?aging:Aging.Circuit_aging.config -> unit -> config
 (** The paper's setting: SP 0.5, Monte-Carlo SPs (4096 vectors), leakage
     at 400 K, aging per {!Aging.Circuit_aging.default_config}. *)
 
+val prepare_fingerprint : config -> string
+(** Digest of only the fields {!prepare} reads (technology, input SP,
+    SP estimator, leakage temperature). Sweeps over lifetime, RAS or
+    temperatures share a prepare fingerprint, so a caching layer can
+    reuse the expensive {!prepare} across such requests. *)
+
+val config_fingerprint : config -> string
+(** Canonical content digest (hex) of every numeric and structural field
+    of the config — NBTI parameters, technology, schedule phases,
+    lifetime, SP estimator and leakage temperature. Together with
+    {!Circuit.Netlist.digest} it forms the content-addressed cache key
+    used by the analysis service: equal fingerprints guarantee
+    {!prepare} / {!analyze} produce identical results (both are
+    deterministic; see the determinism regression test). *)
+
 type prepared
 (** A netlist with its signal probabilities and leakage tables computed. *)
 

@@ -8,6 +8,30 @@ let fail_line line msg = failwith (Printf.sprintf ".bench line %d: %s" line msg)
 
 let strip_comment s = match String.index_opt s '#' with Some i -> String.sub s 0 i | None -> s
 
+(* Accept LF, CRLF and lone-CR line endings: the ISCAS distributions
+   circulate in DOS and classic-Mac flavours too. Trailing whitespace on
+   a line is handled downstream by [String.trim]. *)
+let split_lines text =
+  let n = String.length text in
+  let lines = ref [] in
+  let buf = Buffer.create 80 in
+  let flush_line () =
+    lines := Buffer.contents buf :: !lines;
+    Buffer.clear buf
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match text.[!i] with
+    | '\n' -> flush_line ()
+    | '\r' ->
+      flush_line ();
+      if !i + 1 < n && text.[!i + 1] = '\n' then incr i
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  flush_line ();
+  List.rev !lines
+
 let parse_call line s =
   (* "OP ( a , b , ... )" *)
   match String.index_opt s '(' with
@@ -56,7 +80,7 @@ let parse_lines text =
           | "INPUT", _ | "OUTPUT", _ -> fail_line line "INPUT/OUTPUT take one signal"
           | _ -> fail_line line (Printf.sprintf "unexpected statement %s" op))
       end)
-    (String.split_on_char '\n' text);
+    (split_lines text);
   (defs, List.rev !order, List.rev !outputs)
 
 (* Balanced reduction of a wide associative gate into library cells:

@@ -15,7 +15,9 @@
     gate is kept at the root so the PMOS stress structure of the output
     stage is preserved); [XOR]/[XNOR] beyond 2 inputs are chained. Signals
     may be referenced before their defining line, as in the original ISCAS
-    distributions.
+    distributions. Line endings may be LF, CRLF or lone CR, and trailing
+    whitespace on a line is ignored — circulating copies of the
+    benchmarks come in all three flavours.
 
     The writer emits one line per logic stage, inventing intermediate
     names for decomposed complex cells (AOI21/OAI21), so a round trip

@@ -138,6 +138,21 @@ let levels t =
 
 let depth t = Array.fold_left Stdlib.max 0 (levels t)
 
+let digest t =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun node ->
+      match node with
+      | Primary_input _ -> Buffer.add_string buf "I;"
+      | Gate { cell; fanin; _ } ->
+        Buffer.add_string buf cell.Cell.Stdcell.name;
+        Array.iter (fun f -> Buffer.add_string buf (Printf.sprintf ",%d" f)) fanin;
+        Buffer.add_char buf ';')
+    t.nodes;
+  Buffer.add_char buf '@';
+  Array.iter (fun o -> Buffer.add_string buf (Printf.sprintf "%d," o)) t.outputs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 type stats = {
   name : string;
   n_pi : int;

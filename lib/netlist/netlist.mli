@@ -46,6 +46,14 @@ val levels : t -> int array
 val depth : t -> int
 (** Maximum gate level. 0 for gate-free netlists. *)
 
+val digest : t -> string
+(** Content digest (hex) of the netlist's canonical form: per-node cell
+    identity and fanin indices plus the output list, in node order.
+    Instance and netlist {e names} are excluded — they carry no analytical
+    content — so structurally identical netlists share a digest. This is
+    the cache key half contributed by the circuit in the analysis
+    service's content-addressed result cache. *)
+
 type stats = {
   name : string;
   n_pi : int;

@@ -1,0 +1,40 @@
+(** Bounded, thread-safe LRU result cache.
+
+    The service keys entries on content digests — a canonical hash of the
+    netlist plus the config fingerprint (and standby state for full
+    analyses) — so identical requests are answered without recomputing
+    the Fig. 6 flow. Capacity is a hard entry bound; inserting into a
+    full cache evicts the least-recently-used entry. Every lookup
+    updates recency; hit, miss and eviction counters are kept for the
+    [stats] endpoint. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Counts a hit (and refreshes recency) or a miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Inserts or replaces; may evict the LRU entry. *)
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a * bool
+(** [find_or_add t key compute] returns [(value, was_hit)]. The compute
+    function runs outside any internal lock only logically — the whole
+    cache is protected by one mutex, but [compute] is invoked without
+    holding it, so concurrent misses on the same key may compute twice
+    (last insert wins); results are content-addressed so both are
+    identical. *)
+
+val clear : 'a t -> unit
+(** Drops all entries; counters are preserved. *)
+
+type stats = { hits : int; misses : int; evictions : int; size : int; capacity : int }
+
+val stats : 'a t -> stats
+val hit_rate : stats -> float
+(** Hits over lookups; 0 before the first lookup. *)

@@ -1,0 +1,143 @@
+(* Half-decade buckets from 1 us to 100 s; one extra overflow bucket.
+   sqrt 10 spacing keeps the quantile estimate within ~1.8x. *)
+let bucket_upper_s =
+  Array.init 17 (fun i -> 1e-6 *. (Float.sqrt 10.0 ** float_of_int i))
+
+let n_buckets = Array.length bucket_upper_s + 1
+
+let bucket_of elapsed =
+  let rec go i =
+    if i >= Array.length bucket_upper_s then Array.length bucket_upper_s
+    else if elapsed <= bucket_upper_s.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+type counters = {
+  mutable requests : int;
+  mutable errors : int;
+  mutable total_s : float;
+  mutable min_s : float;
+  mutable max_s : float;
+  counts : int array;
+}
+
+type t = { table : (string, counters) Hashtbl.t; lock : Mutex.t }
+
+let create () = { table = Hashtbl.create 8; lock = Mutex.create () }
+
+let record t ~endpoint ~ok ~elapsed_s =
+  let elapsed_s = Float.max 0.0 elapsed_s in
+  Mutex.lock t.lock;
+  let c =
+    match Hashtbl.find_opt t.table endpoint with
+    | Some c -> c
+    | None ->
+      let c =
+        {
+          requests = 0;
+          errors = 0;
+          total_s = 0.0;
+          min_s = Float.infinity;
+          max_s = 0.0;
+          counts = Array.make n_buckets 0;
+        }
+      in
+      Hashtbl.add t.table endpoint c;
+      c
+  in
+  c.requests <- c.requests + 1;
+  if not ok then c.errors <- c.errors + 1;
+  c.total_s <- c.total_s +. elapsed_s;
+  c.min_s <- Float.min c.min_s elapsed_s;
+  c.max_s <- Float.max c.max_s elapsed_s;
+  c.counts.(bucket_of elapsed_s) <- c.counts.(bucket_of elapsed_s) + 1;
+  Mutex.unlock t.lock
+
+let time t ~endpoint f =
+  let t0 = Unix.gettimeofday () in
+  match f () with
+  | v ->
+    record t ~endpoint ~ok:true ~elapsed_s:(Unix.gettimeofday () -. t0);
+    v
+  | exception e ->
+    record t ~endpoint ~ok:false ~elapsed_s:(Unix.gettimeofday () -. t0);
+    raise e
+
+type histogram = { bucket_upper_s : float array; counts : int array }
+
+type endpoint_snapshot = {
+  endpoint : string;
+  requests : int;
+  errors : int;
+  total_s : float;
+  min_s : float;
+  max_s : float;
+  histogram : histogram;
+}
+
+let mean_s s = if s.requests = 0 then 0.0 else s.total_s /. float_of_int s.requests
+
+let quantile_s s q =
+  if s.requests = 0 then 0.0
+  else begin
+    let rank = Float.max 1.0 (Float.of_int s.requests *. q) in
+    let rec go i seen =
+      if i >= Array.length s.histogram.counts then s.max_s
+      else begin
+        let seen = seen + s.histogram.counts.(i) in
+        if float_of_int seen >= rank then
+          if i < Array.length s.histogram.bucket_upper_s then
+            Float.min s.histogram.bucket_upper_s.(i) s.max_s
+          else s.max_s
+        else go (i + 1) seen
+      end
+    in
+    go 0 0
+  end
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let entries =
+    Hashtbl.fold
+      (fun endpoint (c : counters) acc ->
+        {
+          endpoint;
+          requests = c.requests;
+          errors = c.errors;
+          total_s = c.total_s;
+          min_s = (if c.requests = 0 then 0.0 else c.min_s);
+          max_s = c.max_s;
+          histogram = { bucket_upper_s; counts = Array.copy c.counts };
+        }
+        :: acc)
+      t.table []
+  in
+  Mutex.unlock t.lock;
+  List.sort (fun a b -> compare a.endpoint b.endpoint) entries
+
+let to_json t =
+  let endpoint_json s =
+    ( s.endpoint,
+      Json.Assoc
+        [
+          ("requests", Json.Int s.requests);
+          ("errors", Json.Int s.errors);
+          ("mean_s", Json.Float (mean_s s));
+          ("min_s", Json.Float s.min_s);
+          ("max_s", Json.Float s.max_s);
+          ("p50_s", Json.Float (quantile_s s 0.5));
+          ("p90_s", Json.Float (quantile_s s 0.9));
+          ("p99_s", Json.Float (quantile_s s 0.99));
+          ( "histogram",
+            Json.Assoc
+              [
+                ( "bucket_upper_s",
+                  Json.List
+                    (Array.to_list (Array.map (fun b -> Json.Float b) s.histogram.bucket_upper_s))
+                );
+                ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) s.histogram.counts)));
+              ] );
+        ] )
+  in
+  Json.Assoc (List.map endpoint_json (snapshot t))

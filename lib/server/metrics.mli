@@ -1,0 +1,42 @@
+(** Per-endpoint request metrics for the [stats] endpoint: request and
+    error counts plus a fixed-bucket logarithmic latency histogram
+    (1 µs … 100 s, half-decade buckets). Thread-safe. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> endpoint:string -> ok:bool -> elapsed_s:float -> unit
+(** Accounts one request against [endpoint] ("analyze", "stats", ...). *)
+
+val time : t -> endpoint:string -> (unit -> 'a) -> 'a
+(** Runs the thunk, records its wall-clock latency, counts an error when
+    it raises (and re-raises). *)
+
+type histogram = {
+  bucket_upper_s : float array;  (** inclusive upper bound of each bucket [s] *)
+  counts : int array;  (** same length; the last bucket is the overflow *)
+}
+
+type endpoint_snapshot = {
+  endpoint : string;
+  requests : int;
+  errors : int;
+  total_s : float;
+  min_s : float;  (** 0 when [requests = 0] *)
+  max_s : float;
+  histogram : histogram;
+}
+
+val mean_s : endpoint_snapshot -> float
+val quantile_s : endpoint_snapshot -> float -> float
+(** Histogram-estimated latency quantile (e.g. [0.5], [0.99]): the upper
+    bound of the bucket holding that rank — an upper estimate, exact to
+    bucket resolution. 0 when the endpoint has no requests. *)
+
+val snapshot : t -> endpoint_snapshot list
+(** Sorted by endpoint name. *)
+
+val to_json : t -> Json.t
+(** The [stats] wire shape: per-endpoint counts, mean/min/max, p50/p90/p99
+    and the raw histogram buckets. *)

@@ -1,0 +1,423 @@
+let version = 1
+
+type circuit_spec = Named of string | Bench of string
+type standby_spec = Worst | Best | Vector of bool array
+
+type flow_spec = {
+  ras : float * float;
+  t_active : float;
+  t_standby : float;
+  years : float;
+  input_sp : float;
+  sp_method : Flow.Platform.sp_method;
+  leakage_temp : float;
+  pbti_scale : float option;
+}
+
+let default_flow_spec =
+  {
+    ras = (1.0, 9.0);
+    t_active = 400.0;
+    t_standby = 330.0;
+    years = 10.0;
+    input_sp = 0.5;
+    sp_method = Flow.Platform.Sp_monte_carlo { n_vectors = 4096; seed = 7 };
+    leakage_temp = 400.0;
+    pbti_scale = None;
+  }
+
+let platform_config spec =
+  let aging =
+    Aging.Circuit_aging.default_config ~ras:spec.ras ~t_active:spec.t_active
+      ~t_standby:spec.t_standby
+      ~time:(Physics.Units.years spec.years)
+      ?pbti_scale:spec.pbti_scale ()
+  in
+  {
+    Flow.Platform.aging;
+    input_sp = spec.input_sp;
+    sp_method = spec.sp_method;
+    leakage_temp = spec.leakage_temp;
+  }
+
+type job =
+  | Analyze of { circuit : circuit_spec; flow : flow_spec; standby : standby_spec }
+  | Ivc_search of {
+      circuit : circuit_spec;
+      flow : flow_spec;
+      seed : int;
+      pool : int;
+      tolerance : float option;
+    }
+  | Sleep_sizing of {
+      circuit : circuit_spec;
+      flow : flow_spec;
+      style : Sleep.St_insertion.style;
+      beta : float;
+      vth_st : float option;
+      nbti_aware : bool;
+    }
+
+type request = Single of job | Batch of job list | Health | Stats
+type envelope = { id : string option; request : request }
+
+type error_code = Parse_error | Unsupported_version | Bad_request | Overloaded | Internal_error
+
+let error_code_string = function
+  | Parse_error -> "parse_error"
+  | Unsupported_version -> "unsupported_version"
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Internal_error -> "internal_error"
+
+(* --- Decoding --- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let circuit_of_json = function
+  | Json.String name -> Named name
+  | Json.Assoc _ as o -> begin
+    match Json.member_opt "bench" o with
+    | Some (Json.String text) -> Bench text
+    | _ -> bad "circuit object must have a \"bench\" text field"
+  end
+  | _ -> bad "circuit must be a name or {\"bench\": ...}"
+
+let standby_of_json = function
+  | Json.String "worst" -> Worst
+  | Json.String "best" -> Best
+  | Json.String bits ->
+    if bits = "" || String.exists (fun c -> c <> '0' && c <> '1') bits then
+      bad "standby must be \"worst\", \"best\" or a 0/1 vector string"
+    else Vector (Array.init (String.length bits) (fun i -> bits.[i] = '1'))
+  | _ -> bad "standby must be a string"
+
+let sp_method_of_json = function
+  | Json.String "analytic" -> Flow.Platform.Sp_analytic
+  | Json.Assoc _ as o ->
+    let n_vectors =
+      match Json.member_opt "n_vectors" o with Some v -> Json.to_int v | None -> 4096
+    in
+    let seed = match Json.member_opt "seed" o with Some v -> Json.to_int v | None -> 7 in
+    if n_vectors < 1 then bad "sp_method.n_vectors must be >= 1";
+    Flow.Platform.Sp_monte_carlo { n_vectors; seed }
+  | _ -> bad "sp_method must be \"analytic\" or {\"n_vectors\":..,\"seed\":..}"
+
+let flow_of_json o =
+  let d = default_flow_spec in
+  let fopt key dflt = match Json.member_opt key o with Some v -> Json.to_float v | None -> dflt in
+  let ras =
+    match Json.member_opt "ras" o with
+    | None -> d.ras
+    | Some (Json.List [ a; s ]) ->
+      let a = Json.to_float a and s = Json.to_float s in
+      if a <= 0.0 || s < 0.0 then bad "ras must be [active>0, standby>=0]";
+      (a, s)
+    | Some _ -> bad "ras must be a two-element array [active, standby]"
+  in
+  let sp_method =
+    match Json.member_opt "sp_method" o with Some v -> sp_method_of_json v | None -> d.sp_method
+  in
+  let pbti_scale =
+    match Json.member_opt "pbti_scale" o with Some v -> Some (Json.to_float v) | None -> None
+  in
+  let years = fopt "years" d.years in
+  if years <= 0.0 then bad "years must be > 0";
+  {
+    ras;
+    t_active = fopt "t_active" d.t_active;
+    t_standby = fopt "t_standby" d.t_standby;
+    years;
+    input_sp = fopt "input_sp" d.input_sp;
+    sp_method;
+    leakage_temp = fopt "leakage_temp" d.leakage_temp;
+    pbti_scale;
+  }
+
+let flow_of_envelope o =
+  match Json.member_opt "config" o with Some c -> flow_of_json c | None -> default_flow_spec
+
+let style_of_json = function
+  | Json.String "footer" -> Sleep.St_insertion.Footer
+  | Json.String "header" -> Sleep.St_insertion.Header
+  | Json.String "both" -> Sleep.St_insertion.Footer_and_header
+  | _ -> bad "style must be \"footer\", \"header\" or \"both\""
+
+let job_of_json o =
+  let circuit () =
+    match Json.member_opt "circuit" o with
+    | Some c -> circuit_of_json c
+    | None -> bad "missing circuit"
+  in
+  let op =
+    match Json.member_opt "op" o with
+    | Some (Json.String op) -> op
+    | _ -> bad "missing op"
+  in
+  match op with
+  | "analyze" ->
+    let standby =
+      match Json.member_opt "standby" o with Some s -> standby_of_json s | None -> Worst
+    in
+    Analyze { circuit = circuit (); flow = flow_of_envelope o; standby }
+  | "ivc_search" ->
+    let seed = match Json.member_opt "seed" o with Some v -> Json.to_int v | None -> 42 in
+    let pool = match Json.member_opt "pool" o with Some v -> Json.to_int v | None -> 64 in
+    if pool < 1 then bad "pool must be >= 1";
+    let tolerance =
+      match Json.member_opt "tolerance" o with Some v -> Some (Json.to_float v) | None -> None
+    in
+    Ivc_search { circuit = circuit (); flow = flow_of_envelope o; seed; pool; tolerance }
+  | "sleep_sizing" ->
+    let style =
+      match Json.member_opt "style" o with
+      | Some s -> style_of_json s
+      | None -> Sleep.St_insertion.Footer_and_header
+    in
+    let beta = match Json.member_opt "beta" o with Some v -> Json.to_float v | None -> 0.03 in
+    if beta <= 0.0 || beta >= 1.0 then bad "beta must be in (0, 1)";
+    let vth_st =
+      match Json.member_opt "vth_st" o with Some v -> Some (Json.to_float v) | None -> None
+    in
+    let nbti_aware =
+      match Json.member_opt "nbti_aware" o with Some v -> Json.to_bool v | None -> true
+    in
+    Sleep_sizing { circuit = circuit (); flow = flow_of_envelope o; style; beta; vth_st; nbti_aware }
+  | op -> bad "unknown op %S" op
+
+let envelope_of_json json =
+  try
+    match json with
+    | Json.Assoc _ -> begin
+      let id =
+        match Json.member_opt "id" json with
+        | Some (Json.String s) -> Some s
+        | Some _ -> bad "id must be a string"
+        | None -> None
+      in
+      match Json.member_opt "v" json with
+      | Some (Json.Int v) when v = version -> begin
+        match Json.member_opt "op" json with
+        | Some (Json.String "health") -> Ok { id; request = Health }
+        | Some (Json.String "stats") -> Ok { id; request = Stats }
+        | Some (Json.String "batch") ->
+          let jobs =
+            match Json.member_opt "jobs" json with
+            | Some (Json.List jobs) -> List.map job_of_json jobs
+            | _ -> bad "batch requires a \"jobs\" array"
+          in
+          if jobs = [] then bad "batch with no jobs";
+          Ok { id; request = Batch jobs }
+        | Some (Json.String _) -> Ok { id; request = Single (job_of_json json) }
+        | _ -> Error (Bad_request, "missing op")
+      end
+      | Some (Json.Int v) ->
+        Error (Unsupported_version, Printf.sprintf "protocol version %d not supported (want %d)" v version)
+      | _ -> Error (Unsupported_version, "missing protocol version field \"v\"")
+    end
+    | _ -> Error (Bad_request, "request must be a JSON object")
+  with
+  | Bad m -> Error (Bad_request, m)
+  | Json.Type_error m -> Error (Bad_request, m)
+
+(* --- Encoding (client side) --- *)
+
+let json_of_circuit = function
+  | Named n -> Json.String n
+  | Bench text -> Json.Assoc [ ("bench", Json.String text) ]
+
+let standby_string = function
+  | Worst -> "worst"
+  | Best -> "best"
+  | Vector v -> String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+
+let json_of_flow spec =
+  let sp_method =
+    match spec.sp_method with
+    | Flow.Platform.Sp_analytic -> Json.String "analytic"
+    | Flow.Platform.Sp_monte_carlo { n_vectors; seed } ->
+      Json.Assoc [ ("n_vectors", Json.Int n_vectors); ("seed", Json.Int seed) ]
+  in
+  Json.Assoc
+    ([
+       ("ras", Json.List [ Json.Float (fst spec.ras); Json.Float (snd spec.ras) ]);
+       ("t_active", Json.Float spec.t_active);
+       ("t_standby", Json.Float spec.t_standby);
+       ("years", Json.Float spec.years);
+       ("input_sp", Json.Float spec.input_sp);
+       ("sp_method", sp_method);
+       ("leakage_temp", Json.Float spec.leakage_temp);
+     ]
+    @ match spec.pbti_scale with None -> [] | Some s -> [ ("pbti_scale", Json.Float s) ])
+
+let style_string = function
+  | Sleep.St_insertion.Footer -> "footer"
+  | Sleep.St_insertion.Header -> "header"
+  | Sleep.St_insertion.Footer_and_header -> "both"
+
+let job_fields = function
+  | Analyze { circuit; flow; standby } ->
+    [
+      ("op", Json.String "analyze");
+      ("circuit", json_of_circuit circuit);
+      ("standby", Json.String (standby_string standby));
+      ("config", json_of_flow flow);
+    ]
+  | Ivc_search { circuit; flow; seed; pool; tolerance } ->
+    [
+      ("op", Json.String "ivc_search");
+      ("circuit", json_of_circuit circuit);
+      ("config", json_of_flow flow);
+      ("seed", Json.Int seed);
+      ("pool", Json.Int pool);
+    ]
+    @ (match tolerance with None -> [] | Some t -> [ ("tolerance", Json.Float t) ])
+  | Sleep_sizing { circuit; flow; style; beta; vth_st; nbti_aware } ->
+    [
+      ("op", Json.String "sleep_sizing");
+      ("circuit", json_of_circuit circuit);
+      ("config", json_of_flow flow);
+      ("style", Json.String (style_string style));
+      ("beta", Json.Float beta);
+      ("nbti_aware", Json.Bool nbti_aware);
+    ]
+    @ (match vth_st with None -> [] | Some v -> [ ("vth_st", Json.Float v) ])
+
+let json_of_envelope { id; request } =
+  let id_field = match id with None -> [] | Some id -> [ ("id", Json.String id) ] in
+  let v_field = [ ("v", Json.Int version) ] in
+  match request with
+  | Health -> Json.Assoc (v_field @ id_field @ [ ("op", Json.String "health") ])
+  | Stats -> Json.Assoc (v_field @ id_field @ [ ("op", Json.String "stats") ])
+  | Single job -> Json.Assoc (v_field @ id_field @ job_fields job)
+  | Batch jobs ->
+    Json.Assoc
+      (v_field @ id_field
+      @ [ ("op", Json.String "batch"); ("jobs", Json.List (List.map (fun j -> Json.Assoc (job_fields j)) jobs)) ])
+
+(* --- Responses --- *)
+
+let response_base id =
+  ("v", Json.Int version) :: (match id with None -> [] | Some id -> [ ("id", Json.String id) ])
+
+let ok_response ~id result =
+  Json.Assoc (response_base id @ [ ("ok", Json.Bool true); ("result", result) ])
+
+let error_response ~id code message =
+  Json.Assoc
+    (response_base id
+    @ [
+        ("ok", Json.Bool false);
+        ( "error",
+          Json.Assoc
+            [ ("code", Json.String (error_code_string code)); ("message", Json.String message) ] );
+      ])
+
+let response_result json =
+  if Json.to_bool (Json.member "ok" json) then Ok (Json.member "result" json)
+  else begin
+    let e = Json.member "error" json in
+    Error (Json.to_string_exn (Json.member "code" e), Json.to_string_exn (Json.member "message" e))
+  end
+
+let json_of_analysis (a : Flow.Platform.analysis) =
+  let s = a.Flow.Platform.stats in
+  Json.Assoc
+    [
+      ( "stats",
+        Json.Assoc
+          [
+            ("name", Json.String s.Circuit.Netlist.name);
+            ("n_pi", Json.Int s.Circuit.Netlist.n_pi);
+            ("n_po", Json.Int s.Circuit.Netlist.n_po);
+            ("n_gates", Json.Int s.Circuit.Netlist.n_gates);
+            ("depth", Json.Int s.Circuit.Netlist.depth);
+            ( "by_cell",
+              Json.Assoc (List.map (fun (c, n) -> (c, Json.Int n)) s.Circuit.Netlist.by_cell) );
+          ] );
+      ("fresh_delay_s", Json.Float a.Flow.Platform.fresh_delay);
+      ("aged_delay_s", Json.Float a.Flow.Platform.aged_delay);
+      ("degradation", Json.Float a.Flow.Platform.degradation);
+      ("max_dvth_v", Json.Float a.Flow.Platform.max_dvth);
+      ("standby_leakage_a", Json.Float a.Flow.Platform.standby_leakage);
+      ("active_leakage_a", Json.Float a.Flow.Platform.active_leakage);
+    ]
+
+let analysis_of_json json =
+  let s = Json.member "stats" json in
+  {
+    Flow.Platform.stats =
+      {
+        Circuit.Netlist.name = Json.to_string_exn (Json.member "name" s);
+        n_pi = Json.to_int (Json.member "n_pi" s);
+        n_po = Json.to_int (Json.member "n_po" s);
+        n_gates = Json.to_int (Json.member "n_gates" s);
+        depth = Json.to_int (Json.member "depth" s);
+        by_cell = List.map (fun (c, n) -> (c, Json.to_int n)) (Json.to_assoc (Json.member "by_cell" s));
+      };
+    fresh_delay = Json.to_float (Json.member "fresh_delay_s" json);
+    aged_delay = Json.to_float (Json.member "aged_delay_s" json);
+    degradation = Json.to_float (Json.member "degradation" json);
+    max_dvth = Json.to_float (Json.member "max_dvth_v" json);
+    standby_leakage = Json.to_float (Json.member "standby_leakage_a" json);
+    active_leakage = Json.to_float (Json.member "active_leakage_a" json);
+  }
+
+let vector_string v = String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+
+let json_of_ivc (r : Ivc.Co_opt.result) (stats : Ivc.Mlv.search_stats) =
+  let choice (c : Ivc.Co_opt.choice) =
+    Json.Assoc
+      [
+        ("vector", Json.String (vector_string c.Ivc.Co_opt.vector));
+        ("leakage_a", Json.Float c.Ivc.Co_opt.leakage);
+        ("degradation", Json.Float c.Ivc.Co_opt.degradation);
+        ("aged_delay_s", Json.Float c.Ivc.Co_opt.aged_delay);
+      ]
+  in
+  Json.Assoc
+    [
+      ("best", choice r.Ivc.Co_opt.best);
+      ("all", Json.List (List.map choice r.Ivc.Co_opt.all));
+      ("fresh_delay_s", Json.Float r.Ivc.Co_opt.fresh_delay);
+      ("spread", Json.Float r.Ivc.Co_opt.spread);
+      ( "search",
+        Json.Assoc
+          [
+            ("rounds", Json.Int stats.Ivc.Mlv.rounds);
+            ("evaluations", Json.Int stats.Ivc.Mlv.evaluations);
+            ("converged", Json.Bool stats.Ivc.Mlv.converged);
+          ] );
+    ]
+
+let json_of_st (r : Sleep.St_insertion.result) =
+  Json.Assoc
+    [
+      ("style", Json.String (style_string r.Sleep.St_insertion.style));
+      ("beta", Json.Float r.Sleep.St_insertion.beta);
+      ("nbti_aware", Json.Bool r.Sleep.St_insertion.nbti_aware);
+      ("fresh_delay_s", Json.Float r.Sleep.St_insertion.fresh_delay);
+      ("fresh_delay_with_st_s", Json.Float r.Sleep.St_insertion.fresh_delay_with_st);
+      ("aged_delay_with_st_s", Json.Float r.Sleep.St_insertion.aged_delay_with_st);
+      ("total_degradation", Json.Float r.Sleep.St_insertion.total_degradation);
+      ("internal_degradation", Json.Float r.Sleep.St_insertion.internal_degradation);
+      ("st_penalty_aged", Json.Float r.Sleep.St_insertion.st_penalty_aged);
+      ("st_dvth_v", Json.Float r.Sleep.St_insertion.st_dvth);
+    ]
+
+(* --- Cache keys --- *)
+
+let job_cache_key job ~circuit_digest =
+  let flow_fp flow = Flow.Platform.config_fingerprint (platform_config flow) in
+  match job with
+  | Analyze { circuit = _; flow; standby } ->
+    Printf.sprintf "analyze|%s|%s|%s" circuit_digest (flow_fp flow) (standby_string standby)
+  | Ivc_search { circuit = _; flow; seed; pool; tolerance } ->
+    Printf.sprintf "ivc|%s|%s|%d|%d|%s" circuit_digest (flow_fp flow) seed pool
+      (match tolerance with None -> "default" | Some t -> Printf.sprintf "%.17g" t)
+  | Sleep_sizing { circuit = _; flow; style; beta; vth_st; nbti_aware } ->
+    Printf.sprintf "st|%s|%s|%s|%.17g|%s|%b" circuit_digest (flow_fp flow) (style_string style) beta
+      (match vth_st with None -> "default" | Some v -> Printf.sprintf "%.17g" v)
+      nbti_aware

@@ -1,0 +1,121 @@
+(** Typed wire protocol of the aging-analysis service.
+
+    Transport is newline-delimited JSON: one request object per line in,
+    one response object per line out. Every request carries the protocol
+    version under ["v"] and an optional correlation ["id"] that is echoed
+    in the response. Five operations mirror the platform's entry points
+    ([analyze], [ivc_search], [sleep_sizing], plus [batch] over them) and
+    two are introspective ([health], [stats]).
+
+    Request shapes (fields marked ? are optional and default):
+
+    {v
+    {"v":1, "id"?:"...", "op":"analyze",
+     "circuit":"c432" | {"bench":"INPUT(a)\n..."},
+     "standby"?: "worst" | "best" | "0101...",
+     "config"?: {"ras"?:[1,9], "t_active"?:400, "t_standby"?:330,
+                 "years"?:10, "input_sp"?:0.5, "leakage_temp"?:400,
+                 "pbti_scale"?:0.5,
+                 "sp_method"?: "analytic"
+                            | {"n_vectors":4096, "seed":7}}}
+    {"v":1, "op":"ivc_search", "circuit":..., "config"?:...,
+     "seed"?:42, "pool"?:64, "tolerance"?:0.04}
+    {"v":1, "op":"sleep_sizing", "circuit":..., "config"?:...,
+     "style"?:"footer"|"header"|"both", "beta"?:0.03,
+     "vth_st"?:0.3, "nbti_aware"?:true}
+    {"v":1, "op":"batch", "jobs":[{"op":"analyze",...}, ...]}
+    {"v":1, "op":"health"}
+    {"v":1, "op":"stats"}
+    v}
+
+    Responses are [{"v":1,"id":...,"ok":true,"result":{...}}] or
+    [{"v":1,"id":...,"ok":false,"error":{"code":"...","message":"..."}}]. *)
+
+val version : int
+
+(** {1 Requests} *)
+
+type circuit_spec =
+  | Named of string  (** generator / benchmark name, e.g. ["c432"] *)
+  | Bench of string  (** inline [.bench] netlist text *)
+
+type standby_spec = Worst | Best | Vector of bool array
+
+type flow_spec = {
+  ras : float * float;
+  t_active : float;
+  t_standby : float;
+  years : float;
+  input_sp : float;
+  sp_method : Flow.Platform.sp_method;
+  leakage_temp : float;
+  pbti_scale : float option;
+}
+
+val default_flow_spec : flow_spec
+(** The paper's setting (the same defaults as [nbti_tool analyze]). *)
+
+val platform_config : flow_spec -> Flow.Platform.config
+
+type job =
+  | Analyze of { circuit : circuit_spec; flow : flow_spec; standby : standby_spec }
+  | Ivc_search of {
+      circuit : circuit_spec;
+      flow : flow_spec;
+      seed : int;
+      pool : int;
+      tolerance : float option;
+    }
+  | Sleep_sizing of {
+      circuit : circuit_spec;
+      flow : flow_spec;
+      style : Sleep.St_insertion.style;
+      beta : float;
+      vth_st : float option;
+      nbti_aware : bool;
+    }
+
+type request = Single of job | Batch of job list | Health | Stats
+
+type envelope = { id : string option; request : request }
+
+type error_code =
+  | Parse_error  (** the line is not valid JSON *)
+  | Unsupported_version  (** missing or unknown ["v"] *)
+  | Bad_request  (** shape or value errors, unknown circuit, bad vector *)
+  | Overloaded  (** job queue full; retry later *)
+  | Internal_error
+
+val error_code_string : error_code -> string
+(** The wire spelling: ["parse_error"], ["bad_request"], ... *)
+
+val envelope_of_json : Json.t -> (envelope, error_code * string) result
+val json_of_envelope : envelope -> Json.t
+(** Client-side encoder; [envelope_of_json (json_of_envelope e)] gives
+    back [e] up to defaulted fields being materialized. *)
+
+(** {1 Responses} *)
+
+val ok_response : id:string option -> Json.t -> Json.t
+val error_response : id:string option -> error_code -> string -> Json.t
+
+val response_result : Json.t -> (Json.t, string * string) result
+(** Splits a decoded response envelope into [Ok result] or
+    [Error (code, message)].
+    @raise Json.Type_error on envelopes not produced by this protocol. *)
+
+val json_of_analysis : Flow.Platform.analysis -> Json.t
+val analysis_of_json : Json.t -> Flow.Platform.analysis
+(** Exact inverse of {!json_of_analysis}: floats round-trip bit-exactly,
+    so a served analysis equals the direct platform result. *)
+
+val json_of_ivc : Ivc.Co_opt.result -> Ivc.Mlv.search_stats -> Json.t
+val json_of_st : Sleep.St_insertion.result -> Json.t
+
+(** {1 Cache keys} *)
+
+val job_cache_key : job -> circuit_digest:string -> string
+(** Canonical content-addressed key: the job's kind and every
+    result-relevant parameter (config fingerprint included), with the
+    circuit replaced by its {!Circuit.Netlist.digest}. Jobs with equal
+    keys compute identical results. *)

@@ -1,0 +1,346 @@
+type t = {
+  prepared : Flow.Platform.prepared Cache.t;
+  results : Json.t Cache.t;
+  metrics : Metrics.t;
+  started_at : float;
+  max_pending : int;
+  mutable pending : int;
+  admission : Mutex.t;
+  mutable running : bool;
+  mutable listen_fd : Unix.file_descr option;
+  mutable socket_path : string option;
+  state : Mutex.t;
+}
+
+let create ?(result_capacity = 256) ?(prepared_capacity = 32) ?(max_pending = 64) () =
+  {
+    prepared = Cache.create ~capacity:prepared_capacity;
+    results = Cache.create ~capacity:result_capacity;
+    metrics = Metrics.create ();
+    started_at = Unix.gettimeofday ();
+    max_pending;
+    pending = 0;
+    admission = Mutex.create ();
+    running = false;
+    listen_fd = None;
+    socket_path = None;
+    state = Mutex.create ();
+  }
+
+let uptime_s t = Unix.gettimeofday () -. t.started_at
+
+(* --- Bounded admission to the compute path --- *)
+
+exception Overloaded
+
+let admit t =
+  Mutex.lock t.admission;
+  let ok = t.pending < t.max_pending in
+  if ok then t.pending <- t.pending + 1;
+  Mutex.unlock t.admission;
+  if not ok then raise Overloaded
+
+let release t =
+  Mutex.lock t.admission;
+  t.pending <- t.pending - 1;
+  Mutex.unlock t.admission
+
+(* --- Job execution --- *)
+
+exception Bad_request_error of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_request_error m)) fmt
+
+let resolve_circuit = function
+  | Protocol.Named name -> begin
+    try Circuit.Generators.by_name name
+    with Not_found -> bad "unknown circuit %S (expected an ISCAS85 name or inline bench text)" name
+  end
+  | Protocol.Bench text -> begin
+    try Circuit.Bench_io.parse_string ~name:"inline" text
+    with Failure m -> bad "bench parse error: %s" m
+  end
+
+let standby_of_spec net = function
+  | Protocol.Worst -> Aging.Circuit_aging.Standby_all_stressed
+  | Protocol.Best -> Aging.Circuit_aging.Standby_all_relaxed
+  | Protocol.Vector v ->
+    let n = Circuit.Netlist.n_primary_inputs net in
+    if Array.length v <> n then
+      bad "standby vector has %d bits, circuit has %d primary inputs" (Array.length v) n;
+    Aging.Circuit_aging.Standby_vector v
+
+(* The prepared cache is keyed on the *prepare* fingerprint, which is
+   coarser than the full config fingerprint: lifetime / RAS / temperature
+   sweeps reuse the same signal probabilities and leakage tables. *)
+let prepared_for t cfg net ~digest =
+  let key = digest ^ "|" ^ Flow.Platform.prepare_fingerprint cfg in
+  Cache.find_or_add t.prepared key (fun () -> Flow.Platform.prepare cfg net)
+
+let run_job t job =
+  let circuit =
+    match job with
+    | Protocol.Analyze { circuit; _ } | Protocol.Ivc_search { circuit; _ }
+    | Protocol.Sleep_sizing { circuit; _ } ->
+      circuit
+  in
+  let net = resolve_circuit circuit in
+  let digest = Circuit.Netlist.digest net in
+  let key = Protocol.job_cache_key job ~circuit_digest:digest in
+  let compute () =
+    match job with
+    | Protocol.Analyze { flow; standby; _ } ->
+      let cfg = Protocol.platform_config flow in
+      let standby = standby_of_spec net standby in
+      let prepared, _ = prepared_for t cfg net ~digest in
+      let a = Flow.Platform.analyze cfg prepared ~standby in
+      Json.Assoc
+        [
+          ("kind", Json.String "analysis");
+          ("circuit", Json.String net.Circuit.Netlist.name);
+          ("digest", Json.String digest);
+          ("fingerprint", Json.String (Flow.Platform.config_fingerprint cfg));
+          ("analysis", Protocol.json_of_analysis a);
+        ]
+    | Protocol.Ivc_search { flow; seed; pool; tolerance; _ } ->
+      let cfg = Protocol.platform_config flow in
+      let prepared, _ = prepared_for t cfg net ~digest in
+      let result, stats =
+        Flow.Platform.optimize_ivc cfg prepared ~rng:(Physics.Rng.create ~seed) ~pool
+          ?tolerance ()
+      in
+      Json.Assoc
+        [
+          ("kind", Json.String "ivc");
+          ("circuit", Json.String net.Circuit.Netlist.name);
+          ("digest", Json.String digest);
+          ("fingerprint", Json.String (Flow.Platform.config_fingerprint cfg));
+          ("ivc", Protocol.json_of_ivc result stats);
+        ]
+    | Protocol.Sleep_sizing { flow; style; beta; vth_st; nbti_aware; _ } ->
+      let cfg = Protocol.platform_config flow in
+      let prepared, _ = prepared_for t cfg net ~digest in
+      let r = Flow.Platform.optimize_st cfg prepared ~style ~beta ?vth_st ~nbti_aware () in
+      Json.Assoc
+        [
+          ("kind", Json.String "sleep");
+          ("circuit", Json.String net.Circuit.Netlist.name);
+          ("digest", Json.String digest);
+          ("fingerprint", Json.String (Flow.Platform.config_fingerprint cfg));
+          ("sleep", Protocol.json_of_st r);
+        ]
+  in
+  let payload, hit = Cache.find_or_add t.results key compute in
+  match payload with
+  | Json.Assoc fields -> Json.Assoc (fields @ [ ("cached", Json.Bool hit) ])
+  | other -> other
+
+let endpoint_name = function
+  | Protocol.Single (Protocol.Analyze _) -> "analyze"
+  | Protocol.Single (Protocol.Ivc_search _) -> "ivc_search"
+  | Protocol.Single (Protocol.Sleep_sizing _) -> "sleep_sizing"
+  | Protocol.Batch _ -> "batch"
+  | Protocol.Health -> "health"
+  | Protocol.Stats -> "stats"
+
+let cache_stats_json label (s : Cache.stats) =
+  ( label,
+    Json.Assoc
+      [
+        ("hits", Json.Int s.Cache.hits);
+        ("misses", Json.Int s.Cache.misses);
+        ("evictions", Json.Int s.Cache.evictions);
+        ("size", Json.Int s.Cache.size);
+        ("capacity", Json.Int s.Cache.capacity);
+        ("hit_rate", Json.Float (Cache.hit_rate s));
+      ] )
+
+let health_result t =
+  Json.Assoc
+    [
+      ("status", Json.String "ok");
+      ("protocol_version", Json.Int Protocol.version);
+      ("uptime_s", Json.Float (uptime_s t));
+    ]
+
+let stats_result t =
+  Json.Assoc
+    [
+      ("uptime_s", Json.Float (uptime_s t));
+      ("protocol_version", Json.Int Protocol.version);
+      ("endpoints", Metrics.to_json t.metrics);
+      ( "cache",
+        Json.Assoc
+          [
+            cache_stats_json "results" (Cache.stats t.results);
+            cache_stats_json "prepared" (Cache.stats t.prepared);
+          ] );
+    ]
+
+(* Best-effort id extraction so even malformed requests get their
+   correlation id echoed back. *)
+let request_id = function
+  | Json.Assoc kvs -> ( match List.assoc_opt "id" kvs with Some (Json.String s) -> Some s | _ -> None)
+  | _ -> None
+
+let handle t request_json =
+  match Protocol.envelope_of_json request_json with
+  | Error (code, message) -> Protocol.error_response ~id:(request_id request_json) code message
+  | Ok { id; request } ->
+    let endpoint = endpoint_name request in
+    let respond () =
+      match request with
+      | Protocol.Health -> Protocol.ok_response ~id (health_result t)
+      | Protocol.Stats -> Protocol.ok_response ~id (stats_result t)
+      | Protocol.Single job ->
+        admit t;
+        Fun.protect ~finally:(fun () -> release t) (fun () ->
+            Protocol.ok_response ~id (run_job t job))
+      | Protocol.Batch jobs ->
+        admit t;
+        Fun.protect ~finally:(fun () -> release t) (fun () ->
+            let results =
+              List.map
+                (fun job ->
+                  try run_job t job
+                  with Bad_request_error m ->
+                    Json.Assoc
+                      [
+                        ("kind", Json.String "error");
+                        ("code", Json.String (Protocol.error_code_string Protocol.Bad_request));
+                        ("message", Json.String m);
+                      ])
+                jobs
+            in
+            Protocol.ok_response ~id
+              (Json.Assoc [ ("kind", Json.String "batch"); ("results", Json.List results) ]))
+    in
+    (try Metrics.time t.metrics ~endpoint respond with
+    | Bad_request_error m -> Protocol.error_response ~id Protocol.Bad_request m
+    | Overloaded ->
+      Protocol.error_response ~id Protocol.Overloaded
+        (Printf.sprintf "job queue full (%d pending)" t.max_pending)
+    | Json.Type_error m -> Protocol.error_response ~id Protocol.Bad_request m
+    | Invalid_argument m | Failure m -> Protocol.error_response ~id Protocol.Internal_error m
+    | exn -> Protocol.error_response ~id Protocol.Internal_error (Printexc.to_string exn))
+
+let handle_line t line =
+  let response =
+    match Json.of_string line with
+    | exception Json.Parse_error m -> Protocol.error_response ~id:None Protocol.Parse_error m
+    | json -> handle t json
+  in
+  Json.to_string response
+
+(* --- Socket serving --- *)
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+let endpoint_of_string s =
+  let tcp rest =
+    match String.rindex_opt rest ':' with
+    | Some i -> begin
+      let host = String.sub rest 0 i in
+      let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+      | _ -> Error (Printf.sprintf "bad TCP port %S" port)
+    end
+    | None -> Error "tcp endpoint must look like tcp:HOST:PORT"
+  in
+  if String.length s >= 5 && String.sub s 0 5 = "unix:" then
+    Ok (Unix_socket (String.sub s 5 (String.length s - 5)))
+  else if String.length s >= 4 && String.sub s 0 4 = "tcp:" then
+    tcp (String.sub s 4 (String.length s - 4))
+  else if s <> "" then Ok (Unix_socket s)
+  else Error "empty endpoint"
+
+(* Only flips the flag: the accept loop polls it (select with a short
+   timeout), because on Linux closing a listening fd from another thread
+   does not wake a blocked accept(2). Safe from signal handlers. *)
+let stop t =
+  Mutex.lock t.state;
+  t.running <- false;
+  Mutex.unlock t.state
+
+let install_signal_handlers t =
+  let handler = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigint handler;
+  Sys.set_signal Sys.sigterm handler
+
+let connection_loop t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line ->
+      let line =
+        (* tolerate CRLF clients *)
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+      in
+      if String.trim line <> "" then begin
+        output_string oc (handle_line t line);
+        output_char oc '\n';
+        flush oc
+      end;
+      loop ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> try loop () with Unix.Unix_error _ -> ())
+
+let serve t endpoint ?(on_ready = fun () -> ()) () =
+  let domain, addr, path =
+    match endpoint with
+    | Unix_socket path ->
+      if Sys.file_exists path then ( try Unix.unlink path with Unix.Unix_error _ -> ());
+      (Unix.PF_UNIX, Unix.ADDR_UNIX path, Some path)
+    | Tcp (host, port) ->
+      let ip =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (ip, port), None)
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd addr;
+  Unix.listen fd 64;
+  Mutex.lock t.state;
+  t.running <- true;
+  t.listen_fd <- Some fd;
+  t.socket_path <- path;
+  Mutex.unlock t.state;
+  on_ready ();
+  let rec accept_loop () =
+    if t.running then begin
+      match Unix.select [ fd ] [] [] 0.2 with
+      | [], _, _ -> accept_loop ()
+      | _ :: _, _, _ -> begin
+        match Unix.accept fd with
+        | client, _ ->
+          ignore (Thread.create (fun () -> connection_loop t client) ());
+          accept_loop ()
+        | exception
+            Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+          ->
+          accept_loop ()
+      end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.state;
+      t.running <- false;
+      t.listen_fd <- None;
+      t.socket_path <- None;
+      Mutex.unlock t.state;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      match path with
+      | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+      | None -> ())
+    accept_loop

@@ -1,0 +1,67 @@
+(** The aging-analysis daemon: dispatches {!Protocol} requests against
+    the {!Flow.Platform}, backed by content-addressed caches and request
+    metrics, and serves newline-delimited JSON over a Unix-domain or TCP
+    socket.
+
+    Two cache layers sit in front of the platform:
+    - a [prepared] cache keyed on (netlist digest, prepare fingerprint):
+      signal probabilities and leakage tables are reused across every
+      request on the same circuit, including sweeps over lifetime / RAS /
+      temperatures that share the SP and leakage settings;
+    - a result cache keyed on {!Protocol.job_cache_key}: an identical
+      request is answered without touching the platform at all.
+
+    Dispatch is thread-safe; admission to the compute path is bounded
+    ([max_pending]), and requests beyond the bound are rejected with an
+    [overloaded] error rather than queued unboundedly. [health] and
+    [stats] bypass admission so the daemon stays observable under
+    load. *)
+
+type t
+
+val create : ?result_capacity:int -> ?prepared_capacity:int -> ?max_pending:int -> unit -> t
+(** [result_capacity] bounds the result cache (default 256);
+    [prepared_capacity] bounds the prepared-pipeline cache (default 32 —
+    these entries hold whole leakage tables and SP arrays, so the bound
+    is deliberately small); [max_pending] bounds concurrent compute-path
+    requests before [overloaded] (default 64). *)
+
+(** {1 In-process dispatch} *)
+
+val handle : t -> Json.t -> Json.t
+(** One request envelope in, one response envelope out. Never raises:
+    protocol and platform errors come back as structured [error]
+    responses, and unexpected exceptions as [internal_error]. *)
+
+val handle_line : t -> string -> string
+(** {!handle} composed with the codec: one request line (no newline) to
+    one response line. Malformed JSON yields a [parse_error] response. *)
+
+(** {1 Serving} *)
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+val endpoint_of_string : string -> (endpoint, string) result
+(** ["unix:/path/to.sock"] or ["tcp:HOST:PORT"]; a bare path with no
+    scheme is a Unix socket. *)
+
+val serve : t -> endpoint -> ?on_ready:(unit -> unit) -> unit -> unit
+(** Binds, listens and accepts until {!stop}: one thread per connection,
+    one request per line, responses in request order per connection.
+    [on_ready] runs once the socket is listening (used by tests and by
+    the CLI to print the address). A pre-existing Unix socket file is
+    replaced; the file is unlinked on shutdown. Requires the [threads]
+    runtime. *)
+
+val stop : t -> unit
+(** Graceful shutdown: the accept loop (which polls a stop flag — on
+    Linux a close from another thread would not wake a blocked accept)
+    exits within its ~200 ms poll interval, closes the listening socket
+    and unlinks the Unix socket file; in-flight connections finish their
+    current line. Idempotent; safe from signal handlers and other
+    threads. *)
+
+val install_signal_handlers : t -> unit
+(** Routes SIGINT and SIGTERM to {!stop} — daemon mode. *)
+
+val uptime_s : t -> float

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Smoke test for the aging-analysis daemon: serve + request over a Unix
+# socket, assert a well-formed analyze response and working stats.
+set -eu
+
+TOOL=${TOOL:-./_build/default/bin/nbti_tool.exe}
+SOCK=$(mktemp -u /tmp/nbti_smoke.XXXXXX.sock)
+
+fail() {
+    echo "smoke: FAIL: $1" >&2
+    exit 1
+}
+
+[ -x "$TOOL" ] || fail "$TOOL not built (run dune build first)"
+
+"$TOOL" serve -s "$SOCK" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$SOCK"' EXIT
+
+# wait for the socket to appear (up to ~5 s)
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && fail "server did not open $SOCK"
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+    sleep 0.1
+done
+
+RESPONSE=$("$TOOL" request -s "$SOCK" '{"v":1,"id":"smoke","op":"analyze","circuit":"c17"}')
+echo "smoke: response: $RESPONSE"
+case "$RESPONSE" in
+*'"ok":true'*) ;; *) fail "analyze response not ok" ;;
+esac
+case "$RESPONSE" in
+*'"id":"smoke"'*) ;; *) fail "id not echoed" ;;
+esac
+case "$RESPONSE" in
+*'"aged_delay_s":'*) ;; *) fail "no aged delay in response" ;;
+esac
+case "$RESPONSE" in
+*'"n_gates":6'*) ;; *) fail "c17 gate count missing" ;;
+esac
+
+# a repeat must be served from the cache
+REPEAT=$("$TOOL" request -s "$SOCK" '{"v":1,"op":"analyze","circuit":"c17"}')
+case "$REPEAT" in
+*'"cached":true'*) ;; *) fail "repeated request was not cached" ;;
+esac
+
+STATS=$("$TOOL" request -s "$SOCK" '{"v":1,"op":"stats"}')
+case "$STATS" in
+*'"endpoints"'*'"analyze"'*) ;; *) fail "stats missing analyze endpoint" ;;
+esac
+case "$STATS" in
+*'"hit_rate"'*) ;; *) fail "stats missing cache hit rate" ;;
+esac
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero"
+[ ! -S "$SOCK" ] || fail "socket file not cleaned up"
+
+echo "smoke: OK (serve + analyze + cache hit + stats + graceful shutdown)"

@@ -177,6 +177,41 @@ let test_bench_comments_and_spacing () =
   in
   Alcotest.(check int) "one gate" 1 (Circuit.Netlist.n_gates t)
 
+let test_bench_crlf () =
+  (* DOS line endings must parse to the same netlist as LF. *)
+  let lf = "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n" in
+  let crlf = "INPUT(a)\r\nINPUT(b)\r\nOUTPUT(z)\r\nz = NAND(a, b)\r\n" in
+  let cr_only = "INPUT(a)\rINPUT(b)\rOUTPUT(z)\rz = NAND(a, b)\r" in
+  let t_lf = Circuit.Bench_io.parse_string ~name:"t" lf in
+  let t_crlf = Circuit.Bench_io.parse_string ~name:"t" crlf in
+  let t_cr = Circuit.Bench_io.parse_string ~name:"t" cr_only in
+  Alcotest.(check string) "crlf same netlist" (Circuit.Netlist.digest t_lf)
+    (Circuit.Netlist.digest t_crlf);
+  Alcotest.(check string) "lone cr same netlist" (Circuit.Netlist.digest t_lf)
+    (Circuit.Netlist.digest t_cr);
+  (* a CRLF comment line must not swallow the next line *)
+  let commented = "# header\r\nINPUT(a)\r\nOUTPUT(z)\r\nz = NOT(a)\r\n" in
+  Alcotest.(check int) "comment line" 1
+    (Circuit.Netlist.n_gates (Circuit.Bench_io.parse_string ~name:"t" commented))
+
+let test_bench_trailing_whitespace () =
+  let padded = "INPUT(a)   \nINPUT(b)\t\nOUTPUT(z)  \t \nz = NAND(a, b)    \n\t\n" in
+  let t = Circuit.Bench_io.parse_string ~name:"t" padded in
+  Alcotest.(check int) "one gate" 1 (Circuit.Netlist.n_gates t);
+  Alcotest.(check int) "two inputs" 2 (Circuit.Netlist.n_primary_inputs t)
+
+let test_netlist_digest () =
+  (* digest is structural: stable across names, sensitive to structure *)
+  let parse text = Circuit.Bench_io.parse_string ~name:"t" text in
+  let a = parse "INPUT(x)\nINPUT(y)\nOUTPUT(o)\no = NAND(x, y)\n" in
+  let b = parse "INPUT(p)\nINPUT(q)\nOUTPUT(r)\nr = NAND(p, q)\n" in
+  let c = parse "INPUT(x)\nINPUT(y)\nOUTPUT(o)\no = NOR(x, y)\n" in
+  Alcotest.(check string) "names don't matter" (Circuit.Netlist.digest a) (Circuit.Netlist.digest b);
+  Alcotest.(check bool) "cells matter" true (Circuit.Netlist.digest a <> Circuit.Netlist.digest c);
+  let c17 = Circuit.Generators.c17 () in
+  Alcotest.(check string) "deterministic" (Circuit.Netlist.digest c17)
+    (Circuit.Netlist.digest (Circuit.Generators.c17 ()))
+
 let test_bench_errors () =
   let expect_failure text =
     try
@@ -528,6 +563,9 @@ let () =
           Alcotest.test_case "wide gate decomposition" `Quick test_bench_wide_gate_decomposition;
           Alcotest.test_case "xor chain" `Quick test_bench_xor_chain;
           Alcotest.test_case "comments and spacing" `Quick test_bench_comments_and_spacing;
+          Alcotest.test_case "crlf line endings" `Quick test_bench_crlf;
+          Alcotest.test_case "trailing whitespace" `Quick test_bench_trailing_whitespace;
+          Alcotest.test_case "structural digest" `Quick test_netlist_digest;
           Alcotest.test_case "errors" `Quick test_bench_errors;
           Alcotest.test_case "file io" `Quick test_bench_file_io;
         ] );

@@ -58,6 +58,40 @@ let test_internal_node_potential () =
   let p = Flow.Platform.internal_node_potential cfg prepared in
   Alcotest.(check bool) "positive potential" true (p.Ivc.Internal_node.potential > 0.0)
 
+let test_determinism_c432 () =
+  (* Two full runs with the same seed and config must be bit-identical —
+     this is the assumption behind the analysis service's
+     content-addressed result cache. *)
+  let cfg = Flow.Platform.default_config () in
+  let run () =
+    let net = Circuit.Generators.by_name "c432" in
+    let p = Flow.Platform.prepare cfg net in
+    Flow.Platform.analyze cfg p ~standby:Aging.Circuit_aging.Standby_all_stressed
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "bit-identical analysis records" true (a = b);
+  Alcotest.(check (float 0.0)) "aged delay exact" a.Flow.Platform.aged_delay
+    b.Flow.Platform.aged_delay
+
+let test_fingerprints () =
+  let cfg = Flow.Platform.default_config () in
+  Alcotest.(check string) "config fingerprint deterministic"
+    (Flow.Platform.config_fingerprint cfg)
+    (Flow.Platform.config_fingerprint (Flow.Platform.default_config ()));
+  let analytic = { cfg with Flow.Platform.sp_method = Flow.Platform.Sp_analytic } in
+  Alcotest.(check bool) "SP method changes both fingerprints" true
+    (Flow.Platform.config_fingerprint cfg <> Flow.Platform.config_fingerprint analytic
+    && Flow.Platform.prepare_fingerprint cfg <> Flow.Platform.prepare_fingerprint analytic);
+  (* lifetime is an analyze-only field: the full fingerprint moves, the
+     prepare fingerprint (SPs + leakage tables) must not *)
+  let aging = Aging.Circuit_aging.default_config ~time:(Physics.Units.years 3.0) () in
+  let shorter = { cfg with Flow.Platform.aging } in
+  Alcotest.(check bool) "lifetime changes config fingerprint" true
+    (Flow.Platform.config_fingerprint cfg <> Flow.Platform.config_fingerprint shorter);
+  Alcotest.(check string) "lifetime keeps prepare fingerprint"
+    (Flow.Platform.prepare_fingerprint cfg)
+    (Flow.Platform.prepare_fingerprint shorter)
+
 (* --- Report --- *)
 
 let test_table_rendering () =
@@ -116,6 +150,8 @@ let () =
           Alcotest.test_case "IVC optimization" `Quick test_optimize_ivc;
           Alcotest.test_case "ST optimization" `Quick test_optimize_st;
           Alcotest.test_case "internal node potential" `Quick test_internal_node_potential;
+          Alcotest.test_case "determinism on c432" `Quick test_determinism_c432;
+          Alcotest.test_case "fingerprints" `Quick test_fingerprints;
         ] );
       ( "report",
         [

@@ -1,0 +1,536 @@
+(* Tests for the aging-analysis service: JSON codec, wire protocol,
+   LRU cache, metrics, in-process dispatch, and the socket loop. *)
+
+(* --- Json --- *)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      "null";
+      "true";
+      "false";
+      "0";
+      "-17";
+      "[1,2,3]";
+      "{}";
+      "[]";
+      "{\"a\":1,\"b\":[true,null],\"c\":{\"d\":\"x\"}}";
+    ]
+  in
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Server.Json.to_string (Server.Json.of_string s)))
+    samples
+
+let test_json_float_exact () =
+  (* floats must round-trip bit-exactly: the cache-correctness tests
+     below depend on it *)
+  let values = [ 1.4640018001404625e-11; 0.1; 1.0 /. 3.0; 6.02e23; -0.0; 1e-300; 4.5 ] in
+  List.iter
+    (fun f ->
+      let json = Server.Json.to_string (Server.Json.Float f) in
+      match Server.Json.of_string json with
+      | Server.Json.Float f' ->
+        Alcotest.(check bool) (json ^ " exact") true (Int64.bits_of_float f = Int64.bits_of_float f')
+      | Server.Json.Int i -> Alcotest.(check (float 0.0)) json f (float_of_int i)
+      | _ -> Alcotest.fail "not a number")
+    values
+
+let test_json_string_escapes () =
+  let s = "line1\nline2\t\"quoted\" back\\slash \x01" in
+  let json = Server.Json.to_string (Server.Json.String s) in
+  Alcotest.(check bool) "single line" true (not (String.contains json '\n'));
+  (match Server.Json.of_string json with
+  | Server.Json.String s' -> Alcotest.(check string) "escape roundtrip" s s'
+  | _ -> Alcotest.fail "not a string");
+  (* unicode escapes decode to UTF-8 *)
+  match Server.Json.of_string "\"\\u00e9\\ud83d\\ude00\"" with
+  | Server.Json.String s -> Alcotest.(check string) "utf8" "\xc3\xa9\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "not a string"
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{\"a\" 1}"; "nan" ] in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (try
+           ignore (Server.Json.of_string s);
+           false
+         with Server.Json.Parse_error _ -> true))
+    bad
+
+let test_json_accessors () =
+  let v = Server.Json.of_string "{\"i\":3,\"f\":2.5,\"s\":\"x\",\"b\":true,\"l\":[1]}" in
+  Alcotest.(check int) "int" 3 Server.Json.(to_int (member "i" v));
+  Alcotest.(check (float 0.0)) "float" 2.5 Server.Json.(to_float (member "f" v));
+  Alcotest.(check (float 0.0)) "int as float" 3.0 Server.Json.(to_float (member "i" v));
+  Alcotest.(check string) "string" "x" Server.Json.(to_string_exn (member "s" v));
+  Alcotest.(check bool) "bool" true Server.Json.(to_bool (member "b" v));
+  Alcotest.(check int) "list" 1 (List.length Server.Json.(to_list (member "l" v)));
+  Alcotest.(check bool) "absent member is Null" true (Server.Json.member "zz" v = Server.Json.Null);
+  Alcotest.(check bool) "type error raised" true
+    (try
+       ignore Server.Json.(to_int (member "s" v));
+       false
+     with Server.Json.Type_error _ -> true)
+
+(* --- Cache --- *)
+
+let test_cache_lru () =
+  let c = Server.Cache.create ~capacity:2 in
+  Server.Cache.add c "a" 1;
+  Server.Cache.add c "b" 2;
+  (* touch a so that b is the LRU entry *)
+  Alcotest.(check (option int)) "a hit" (Some 1) (Server.Cache.find c "a");
+  Server.Cache.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Server.Cache.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Server.Cache.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Server.Cache.find c "c");
+  let s = Server.Cache.stats c in
+  Alcotest.(check int) "evictions" 1 s.Server.Cache.evictions;
+  Alcotest.(check int) "size" 2 s.Server.Cache.size;
+  Alcotest.(check int) "hits" 3 s.Server.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Server.Cache.misses
+
+let test_cache_find_or_add () =
+  let c = Server.Cache.create ~capacity:4 in
+  let computes = ref 0 in
+  let compute () =
+    incr computes;
+    !computes
+  in
+  let v1, hit1 = Server.Cache.find_or_add c "k" compute in
+  let v2, hit2 = Server.Cache.find_or_add c "k" compute in
+  Alcotest.(check bool) "first is a miss" false hit1;
+  Alcotest.(check bool) "second is a hit" true hit2;
+  Alcotest.(check int) "computed once" 1 !computes;
+  Alcotest.(check int) "same value" v1 v2;
+  Server.Cache.clear c;
+  let _, hit3 = Server.Cache.find_or_add c "k" compute in
+  Alcotest.(check bool) "cleared" false hit3
+
+let test_cache_replace_and_bounds () =
+  Alcotest.(check bool) "capacity >= 1 enforced" true
+    (try
+       ignore (Server.Cache.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true);
+  let c = Server.Cache.create ~capacity:3 in
+  Server.Cache.add c "k" 1;
+  Server.Cache.add c "k" 2;
+  Alcotest.(check (option int)) "replaced" (Some 2) (Server.Cache.find c "k");
+  Alcotest.(check int) "no duplicate entry" 1 (Server.Cache.length c);
+  for i = 0 to 99 do
+    Server.Cache.add c (string_of_int i) i
+  done;
+  Alcotest.(check bool) "bounded" true (Server.Cache.length c <= 3)
+
+(* --- Metrics --- *)
+
+let test_metrics () =
+  let m = Server.Metrics.create () in
+  Server.Metrics.record m ~endpoint:"analyze" ~ok:true ~elapsed_s:0.002;
+  Server.Metrics.record m ~endpoint:"analyze" ~ok:false ~elapsed_s:0.5;
+  Server.Metrics.record m ~endpoint:"health" ~ok:true ~elapsed_s:1e-5;
+  match Server.Metrics.snapshot m with
+  | [ a; h ] ->
+    Alcotest.(check string) "sorted" "analyze" a.Server.Metrics.endpoint;
+    Alcotest.(check string) "sorted2" "health" h.Server.Metrics.endpoint;
+    Alcotest.(check int) "requests" 2 a.Server.Metrics.requests;
+    Alcotest.(check int) "errors" 1 a.Server.Metrics.errors;
+    Alcotest.(check (float 1e-9)) "mean" 0.251 (Server.Metrics.mean_s a);
+    Alcotest.(check (float 1e-9)) "max" 0.5 a.Server.Metrics.max_s;
+    Alcotest.(check bool) "p50 sane" true
+      (Server.Metrics.quantile_s a 0.5 >= 0.002 && Server.Metrics.quantile_s a 0.5 <= 0.01);
+    Alcotest.(check (float 1e-9)) "p99 caps at max" 0.5 (Server.Metrics.quantile_s a 0.99);
+    let total_counts = Array.fold_left ( + ) 0 a.Server.Metrics.histogram.Server.Metrics.counts in
+    Alcotest.(check int) "histogram complete" 2 total_counts
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 endpoints, got %d" (List.length l))
+
+let test_metrics_time () =
+  let m = Server.Metrics.create () in
+  let v = Server.Metrics.time m ~endpoint:"x" (fun () -> 41 + 1) in
+  Alcotest.(check int) "result passed through" 42 v;
+  Alcotest.(check bool) "exception recorded and re-raised" true
+    (try
+       Server.Metrics.time m ~endpoint:"x" (fun () -> failwith "boom")
+     with Failure _ -> true);
+  match Server.Metrics.snapshot m with
+  | [ s ] ->
+    Alcotest.(check int) "two requests" 2 s.Server.Metrics.requests;
+    Alcotest.(check int) "one error" 1 s.Server.Metrics.errors
+  | _ -> Alcotest.fail "one endpoint expected"
+
+(* --- Protocol --- *)
+
+let test_protocol_roundtrip () =
+  let open Server.Protocol in
+  let jobs =
+    [
+      Analyze { circuit = Named "c17"; flow = default_flow_spec; standby = Worst };
+      Analyze
+        {
+          circuit = Bench "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n";
+          flow = { default_flow_spec with years = 3.0; pbti_scale = Some 0.5 };
+          standby = Vector [| true; false |];
+        };
+      Ivc_search
+        { circuit = Named "c432"; flow = default_flow_spec; seed = 9; pool = 32; tolerance = Some 0.1 };
+      Sleep_sizing
+        {
+          circuit = Named "c17";
+          flow = default_flow_spec;
+          style = Sleep.St_insertion.Header;
+          beta = 0.05;
+          vth_st = Some 0.3;
+          nbti_aware = false;
+        };
+    ]
+  in
+  List.iter
+    (fun job ->
+      let e = { id = Some "req-1"; request = Single job } in
+      let json = Server.Json.of_string (Server.Json.to_string (json_of_envelope e)) in
+      match envelope_of_json json with
+      | Ok e' -> Alcotest.(check bool) "roundtrip" true (e = e')
+      | Error (_, m) -> Alcotest.fail m)
+    jobs;
+  let batch = { id = None; request = Batch jobs } in
+  (match envelope_of_json (json_of_envelope batch) with
+  | Ok b -> Alcotest.(check bool) "batch roundtrip" true (b = batch)
+  | Error (_, m) -> Alcotest.fail m);
+  List.iter
+    (fun r ->
+      match envelope_of_json (json_of_envelope { id = None; request = r }) with
+      | Ok e -> Alcotest.(check bool) "introspective roundtrip" true (e.request = r)
+      | Error (_, m) -> Alcotest.fail m)
+    [ Health; Stats ]
+
+let expect_error code json =
+  match Server.Protocol.envelope_of_json json with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error (c, _) ->
+    Alcotest.(check string) "error code"
+      (Server.Protocol.error_code_string code)
+      (Server.Protocol.error_code_string c)
+
+let test_protocol_versioning () =
+  let open Server.Json in
+  expect_error Server.Protocol.Unsupported_version
+    (Assoc [ ("op", String "health") ]);
+  expect_error Server.Protocol.Unsupported_version
+    (Assoc [ ("v", Int 99); ("op", String "health") ]);
+  expect_error Server.Protocol.Bad_request (Assoc [ ("v", Int 1) ]);
+  expect_error Server.Protocol.Bad_request
+    (Assoc [ ("v", Int 1); ("op", String "teleport") ]);
+  expect_error Server.Protocol.Bad_request
+    (Assoc [ ("v", Int 1); ("op", String "analyze") ]);
+  expect_error Server.Protocol.Bad_request
+    (Assoc [ ("v", Int 1); ("op", String "analyze"); ("circuit", String "c17"); ("standby", String "2x") ]);
+  expect_error Server.Protocol.Bad_request (String "not an object")
+
+let test_job_cache_key () =
+  let open Server.Protocol in
+  let job flow = Analyze { circuit = Named "c17"; flow; standby = Worst } in
+  let key flow = job_cache_key (job flow) ~circuit_digest:"d" in
+  Alcotest.(check string) "stable" (key default_flow_spec) (key default_flow_spec);
+  Alcotest.(check bool) "years changes key" true
+    (key default_flow_spec <> key { default_flow_spec with years = 3.0 });
+  Alcotest.(check bool) "standby changes key" true
+    (job_cache_key (job default_flow_spec) ~circuit_digest:"d"
+    <> job_cache_key
+         (Analyze { circuit = Named "c17"; flow = default_flow_spec; standby = Best })
+         ~circuit_digest:"d");
+  Alcotest.(check bool) "digest changes key" true
+    (job_cache_key (job default_flow_spec) ~circuit_digest:"d"
+    <> job_cache_key (job default_flow_spec) ~circuit_digest:"e")
+
+(* --- Service: in-process dispatch --- *)
+
+let analyze_c17_request ?id () =
+  let open Server.Protocol in
+  json_of_envelope
+    {
+      id;
+      request = Single (Analyze { circuit = Named "c17"; flow = default_flow_spec; standby = Worst });
+    }
+
+let result_of_response json =
+  match Server.Protocol.response_result json with
+  | Ok r -> r
+  | Error (code, m) -> Alcotest.fail (code ^ ": " ^ m)
+
+let test_service_roundtrip_exact () =
+  let t = Server.Service.create () in
+  (* direct platform run, same config as the protocol default *)
+  let cfg = Server.Protocol.platform_config Server.Protocol.default_flow_spec in
+  let net = Circuit.Generators.c17 () in
+  let direct =
+    Flow.Platform.analyze cfg (Flow.Platform.prepare cfg net)
+      ~standby:Aging.Circuit_aging.Standby_all_stressed
+  in
+  (* served run, through the full encode -> dispatch -> decode path *)
+  let response =
+    Server.Json.of_string (Server.Service.handle_line t (Server.Json.to_string (analyze_c17_request ())))
+  in
+  let result = result_of_response response in
+  let served = Server.Protocol.analysis_of_json (Server.Json.member "analysis" result) in
+  Alcotest.(check bool) "served analysis = direct analysis, bit-exact" true (served = direct);
+  Alcotest.(check bool) "first answer is uncached" false
+    (Server.Json.to_bool (Server.Json.member "cached" result));
+  Alcotest.(check string) "digest advertised" (Circuit.Netlist.digest net)
+    (Server.Json.to_string_exn (Server.Json.member "digest" result));
+  Alcotest.(check string) "fingerprint advertised" (Flow.Platform.config_fingerprint cfg)
+    (Server.Json.to_string_exn (Server.Json.member "fingerprint" result))
+
+let test_service_cache_hit () =
+  let t = Server.Service.create () in
+  let ask () = result_of_response (Server.Service.handle t (analyze_c17_request ())) in
+  let r1 = ask () in
+  let r2 = ask () in
+  Alcotest.(check bool) "first uncached" false
+    (Server.Json.to_bool (Server.Json.member "cached" r1));
+  Alcotest.(check bool) "second cached" true
+    (Server.Json.to_bool (Server.Json.member "cached" r2));
+  (* identical numbers from the cache *)
+  Alcotest.(check bool) "identical payloads" true
+    (Server.Json.member "analysis" r1 = Server.Json.member "analysis" r2);
+  (* the stats endpoint confirms: one result-cache hit, one miss, and no
+     second prepare *)
+  let stats =
+    result_of_response
+      (Server.Service.handle t
+         (Server.Json.Assoc [ ("v", Server.Json.Int 1); ("op", Server.Json.String "stats") ]))
+  in
+  let cache_field group field =
+    Server.Json.(to_int (member field (member group (member "cache" stats))))
+  in
+  Alcotest.(check int) "result hits" 1 (cache_field "results" "hits");
+  Alcotest.(check int) "result misses" 1 (cache_field "results" "misses");
+  Alcotest.(check int) "prepared computed once" 1 (cache_field "prepared" "misses");
+  let analyze_requests =
+    Server.Json.(to_int (member "requests" (member "analyze" (member "endpoints" stats))))
+  in
+  Alcotest.(check int) "request counter" 2 analyze_requests
+
+let test_service_prepared_shared_across_years () =
+  let open Server.Protocol in
+  let t = Server.Service.create () in
+  let ask years =
+    let flow = { default_flow_spec with years } in
+    let e =
+      { id = None; request = Single (Analyze { circuit = Named "c17"; flow; standby = Worst }) }
+    in
+    ignore (result_of_response (Server.Service.handle t (json_of_envelope e)))
+  in
+  ask 10.0;
+  ask 3.0;
+  ask 1.0;
+  let stats =
+    result_of_response
+      (Server.Service.handle t
+         (Server.Json.Assoc [ ("v", Server.Json.Int 1); ("op", Server.Json.String "stats") ]))
+  in
+  let prepared field =
+    Server.Json.(to_int (member field (member "prepared" (member "cache" stats))))
+  in
+  (* three different lifetimes: three result-cache entries but a single
+     prepared pipeline *)
+  Alcotest.(check int) "prepare ran once" 1 (prepared "misses");
+  Alcotest.(check int) "prepare reused" 2 (prepared "hits")
+
+let test_service_errors () =
+  let t = Server.Service.create () in
+  let expect_code code line =
+    let response = Server.Json.of_string (Server.Service.handle_line t line) in
+    match Server.Protocol.response_result response with
+    | Ok _ -> Alcotest.fail ("expected error for " ^ line)
+    | Error (c, _) -> Alcotest.(check string) ("code for " ^ line) code c
+  in
+  expect_code "parse_error" "{not json";
+  expect_code "unsupported_version" "{\"op\":\"health\"}";
+  expect_code "bad_request" "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c99999\"}";
+  expect_code "bad_request"
+    "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c17\",\"standby\":\"01\"}";
+  expect_code "bad_request"
+    "{\"v\":1,\"op\":\"analyze\",\"circuit\":{\"bench\":\"INPUT a\"}}";
+  (* id is echoed on errors too *)
+  let response =
+    Server.Json.of_string (Server.Service.handle_line t "{\"v\":1,\"id\":\"e1\",\"op\":\"nope\"}")
+  in
+  Alcotest.(check string) "id echoed" "e1"
+    (Server.Json.to_string_exn (Server.Json.member "id" response))
+
+let test_service_batch_and_health () =
+  let t = Server.Service.create () in
+  let line =
+    "{\"v\":1,\"op\":\"batch\",\"jobs\":[{\"op\":\"analyze\",\"circuit\":\"c17\"},{\"op\":\"analyze\",\"circuit\":\"c17\",\"standby\":\"best\"},{\"op\":\"analyze\",\"circuit\":\"zzz\"}]}"
+  in
+  let result = result_of_response (Server.Json.of_string (Server.Service.handle_line t line)) in
+  (match Server.Json.member "results" result with
+  | Server.Json.List [ a; b; err ] ->
+    Alcotest.(check string) "job 1 ok" "analysis"
+      (Server.Json.to_string_exn (Server.Json.member "kind" a));
+    Alcotest.(check string) "job 2 ok" "analysis"
+      (Server.Json.to_string_exn (Server.Json.member "kind" b));
+    Alcotest.(check string) "job 3 error inline" "error"
+      (Server.Json.to_string_exn (Server.Json.member "kind" err));
+    Alcotest.(check bool) "different standby, different numbers" true
+      (Server.Json.member "analysis" a <> Server.Json.member "analysis" b)
+  | _ -> Alcotest.fail "expected 3 batch results");
+  let health =
+    result_of_response
+      (Server.Json.of_string (Server.Service.handle_line t "{\"v\":1,\"op\":\"health\"}"))
+  in
+  Alcotest.(check string) "healthy" "ok"
+    (Server.Json.to_string_exn (Server.Json.member "status" health))
+
+let test_service_ivc_and_sleep () =
+  let t = Server.Service.create () in
+  let ivc =
+    result_of_response
+      (Server.Json.of_string
+         (Server.Service.handle_line t
+            "{\"v\":1,\"op\":\"ivc_search\",\"circuit\":\"c17\",\"seed\":61,\"pool\":16}"))
+  in
+  let best = Server.Json.(member "best" (member "ivc" ivc)) in
+  Alcotest.(check int) "best vector covers the PIs" 5
+    (String.length (Server.Json.to_string_exn (Server.Json.member "vector" best)));
+  Alcotest.(check bool) "positive leakage" true
+    (Server.Json.to_float (Server.Json.member "leakage_a" best) > 0.0);
+  let sleep =
+    result_of_response
+      (Server.Json.of_string
+         (Server.Service.handle_line t
+            "{\"v\":1,\"op\":\"sleep_sizing\",\"circuit\":\"c17\",\"style\":\"footer\",\"beta\":0.03}"))
+  in
+  let s = Server.Json.member "sleep" sleep in
+  Alcotest.(check (float 0.0)) "footer has no ST drift" 0.0
+    (Server.Json.to_float (Server.Json.member "st_dvth_v" s));
+  Alcotest.(check bool) "with-ST slower than without" true
+    (Server.Json.to_float (Server.Json.member "fresh_delay_with_st_s" s)
+    > Server.Json.to_float (Server.Json.member "fresh_delay_s" s));
+  (* a repeated optimization request is served from the result cache *)
+  let ivc2 =
+    result_of_response
+      (Server.Json.of_string
+         (Server.Service.handle_line t
+            "{\"v\":1,\"op\":\"ivc_search\",\"circuit\":\"c17\",\"seed\":61,\"pool\":16}"))
+  in
+  Alcotest.(check bool) "ivc cached on repeat" true
+    (Server.Json.to_bool (Server.Json.member "cached" ivc2));
+  Alcotest.(check bool) "cached ivc identical" true
+    (Server.Json.member "ivc" ivc = Server.Json.member "ivc" ivc2)
+
+(* --- Service: socket round trip --- *)
+
+let test_socket_end_to_end () =
+  let t = Server.Service.create () in
+  let path = Filename.temp_file "nbti_service" ".sock" in
+  Sys.remove path;
+  let ready = Mutex.create () in
+  let ready_cond = Condition.create () in
+  let is_ready = ref false in
+  let on_ready () =
+    Mutex.lock ready;
+    is_ready := true;
+    Condition.signal ready_cond;
+    Mutex.unlock ready
+  in
+  let server_thread =
+    Thread.create (fun () -> Server.Service.serve t (Server.Service.Unix_socket path) ~on_ready ()) ()
+  in
+  Mutex.lock ready;
+  while not !is_ready do
+    Condition.wait ready_cond ready
+  done;
+  Mutex.unlock ready;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let roundtrip line =
+    output_string oc (line ^ "\n");
+    flush oc;
+    Server.Json.of_string (input_line ic)
+  in
+  (* several requests on one connection, answered in order *)
+  let health = result_of_response (roundtrip "{\"v\":1,\"op\":\"health\"}") in
+  Alcotest.(check string) "health over socket" "ok"
+    (Server.Json.to_string_exn (Server.Json.member "status" health));
+  let r1 = result_of_response (roundtrip (Server.Json.to_string (analyze_c17_request ~id:"s1" ()))) in
+  let r2 = result_of_response (roundtrip (Server.Json.to_string (analyze_c17_request ~id:"s2" ()))) in
+  Alcotest.(check bool) "socket: second cached" true
+    (Server.Json.to_bool (Server.Json.member "cached" r2));
+  Alcotest.(check bool) "socket: identical analysis" true
+    (Server.Json.member "analysis" r1 = Server.Json.member "analysis" r2);
+  (* decoded socket response equals the direct platform run *)
+  let cfg = Server.Protocol.platform_config Server.Protocol.default_flow_spec in
+  let direct =
+    Flow.Platform.analyze cfg
+      (Flow.Platform.prepare cfg (Circuit.Generators.c17 ()))
+      ~standby:Aging.Circuit_aging.Standby_all_stressed
+  in
+  let served = Server.Protocol.analysis_of_json (Server.Json.member "analysis" r1) in
+  Alcotest.(check bool) "socket analysis bit-exact" true (served = direct);
+  Unix.close fd;
+  Server.Service.stop t;
+  Thread.join server_thread;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+let test_endpoint_parsing () =
+  let check_ok s expected =
+    match Server.Service.endpoint_of_string s with
+    | Ok e -> Alcotest.(check bool) s true (e = expected)
+    | Error m -> Alcotest.fail m
+  in
+  check_ok "/tmp/x.sock" (Server.Service.Unix_socket "/tmp/x.sock");
+  check_ok "unix:/tmp/x.sock" (Server.Service.Unix_socket "/tmp/x.sock");
+  check_ok "tcp:localhost:9000" (Server.Service.Tcp ("localhost", 9000));
+  check_ok "tcp::9000" (Server.Service.Tcp ("127.0.0.1", 9000));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (match Server.Service.endpoint_of_string s with Error _ -> true | Ok _ -> false))
+    [ ""; "tcp:localhost:notaport"; "tcp:localhost:0"; "tcp:nocolon" ]
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "float exactness" `Quick test_json_float_exact;
+          Alcotest.test_case "string escapes" `Quick test_json_string_escapes;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru;
+          Alcotest.test_case "find_or_add" `Quick test_cache_find_or_add;
+          Alcotest.test_case "replace and bounds" `Quick test_cache_replace_and_bounds;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and histogram" `Quick test_metrics;
+          Alcotest.test_case "time wrapper" `Quick test_metrics_time;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "versioning and errors" `Quick test_protocol_versioning;
+          Alcotest.test_case "cache keys" `Quick test_job_cache_key;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "round trip is bit-exact" `Quick test_service_roundtrip_exact;
+          Alcotest.test_case "cache hit on repeat" `Quick test_service_cache_hit;
+          Alcotest.test_case "prepared shared across lifetimes" `Quick
+            test_service_prepared_shared_across_years;
+          Alcotest.test_case "structured errors" `Quick test_service_errors;
+          Alcotest.test_case "batch and health" `Quick test_service_batch_and_health;
+          Alcotest.test_case "ivc and sleep ops" `Quick test_service_ivc_and_sleep;
+          Alcotest.test_case "endpoint parsing" `Quick test_endpoint_parsing;
+          Alcotest.test_case "socket end to end" `Quick test_socket_end_to_end;
+        ] );
+    ]
