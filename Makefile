@@ -1,4 +1,4 @@
-.PHONY: all build test smoke check clean
+.PHONY: all build test smoke parallel-smoke bench-json check clean
 
 all: build
 
@@ -14,7 +14,17 @@ test:
 smoke: build
 	./scripts/smoke_server.sh
 
-check: build test smoke
+# Parallel-determinism smoke: the c432 variation study must be
+# byte-identical at --jobs 1 and --jobs 4.
+parallel-smoke: build
+	./scripts/parallel_smoke.sh
+
+# Machine-readable benchmark record: Bechamel ns/run for every kernel
+# plus 1/2/4-domain scaling of the parallel hot paths.
+bench-json: build
+	dune exec bench/main.exe -- --perf-json BENCH_PR3.json
+
+check: build test smoke parallel-smoke
 
 clean:
 	dune clean

@@ -6,6 +6,9 @@
    dune exec bench/main.exe -- --extension  -> extension studies (rotation,
                                                control points, dual-Vth, ...)
    dune exec bench/main.exe -- --perf       -> Bechamel wall-clock suite
+   dune exec bench/main.exe -- --perf-json [PATH]
+                                            -> suite + parallel scaling as
+                                               JSON (default BENCH_PR3.json)
    dune exec bench/main.exe -- --list       -> available experiment ids *)
 
 let print_header () =
@@ -34,6 +37,8 @@ let () =
   | [ "--perf" ] ->
     print_header ();
     Perf.run ()
+  | [ "--perf-json" ] -> Perf.run_json ~path:"BENCH_PR3.json"
+  | [ "--perf-json"; path ] -> Perf.run_json ~path
   | [ "--ablation" ] ->
     print_header ();
     List.iter run_entry Ablations.all

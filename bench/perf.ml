@@ -203,3 +203,143 @@ let run () =
           by_test)
     results;
   Format.printf "@."
+
+(* --- machine-readable output (BENCH_PR3.json) --- *)
+
+let ns_estimates () =
+  let results = benchmark () in
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun measure by_test ->
+      if measure = Measure.label Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun name result ->
+            match Bechamel.Analyze.OLS.estimates result with
+            | Some [ est ] -> acc := (name, est) :: !acc
+            | _ -> ())
+          by_test)
+    results;
+  List.sort compare !acc
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let bench_samples () =
+  match Option.bind (Sys.getenv_opt "NBTI_BENCH_SAMPLES") int_of_string_opt with
+  | Some n when n >= 2 -> n
+  | _ -> 500
+
+type parallel_case = {
+  case_domains : int;
+  variation_s : float;
+  signal_prob_s : float;
+  mlv_s : float;
+}
+
+(* The acceptance workload: the 500-sample c432 variation study plus the
+   two other parallel hot paths, each timed at 1, 2 and 4 domains against
+   a dedicated pool, with the results compared structurally across the
+   domain counts — the speedup claim is only meaningful if the outputs
+   are bit-identical. NBTI_BENCH_SAMPLES overrides the sample count for
+   quick runs. *)
+let parallel_cases () =
+  let net = Lazy.force c432 in
+  let sp = Lazy.force c432_sp in
+  let tables = Lazy.force c432_tables in
+  let input_sp = Logic.Signal_prob.uniform_inputs net 0.5 in
+  let n_samples = bench_samples () in
+  let aging = Aging.Circuit_aging.default_config () in
+  let var_config = Variation.Process_var.default_config ~n_samples aging in
+  let one pool =
+    let study, variation_s =
+      time_it (fun () ->
+          Variation.Process_var.run ~pool var_config net ~node_sp:sp
+            ~standby:Aging.Circuit_aging.Standby_all_stressed ~rng:(Physics.Rng.create ~seed:12))
+    in
+    let mc, signal_prob_s =
+      time_it (fun () ->
+          Logic.Signal_prob.monte_carlo ~pool net ~rng:(Physics.Rng.create ~seed:7) ~input_sp
+            ~n_vectors:16384)
+    in
+    let mlv, mlv_s =
+      time_it (fun () ->
+          Ivc.Mlv.probability_based ~par:pool tables net ~rng:(Physics.Rng.create ~seed:4) ())
+    in
+    ( (study.Variation.Process_var.samples, mc, fst mlv),
+      { case_domains = Parallel.Pool.domains pool; variation_s; signal_prob_s; mlv_s } )
+  in
+  let cases = List.map (fun domains -> Parallel.Pool.with_pool ~domains one) [ 1; 2; 4 ] in
+  let bit_identical =
+    match List.map fst cases with [] -> true | r1 :: rest -> List.for_all (( = ) r1) rest
+  in
+  (n_samples, List.map snd cases, bit_identical)
+
+let add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' ->
+        Buffer.add_char b '\\';
+        Buffer.add_char b c
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let run_json ~path =
+  Format.printf "Bechamel estimates (this takes a few seconds per kernel)...@.";
+  let estimates = ns_estimates () in
+  Format.printf "Parallel section: c432 hot paths at 1/2/4 domains...@.";
+  let n_samples, cases, bit_identical = parallel_cases () in
+  let base =
+    match cases with
+    | c :: _ -> c
+    | [] -> assert false
+  in
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\n  \"schema\": \"nbti-bench/pr3\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string b (Printf.sprintf "  \"variation_samples\": %d,\n" n_samples);
+  Buffer.add_string b "  \"ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, est) ->
+      Buffer.add_string b "    ";
+      add_json_string b name;
+      Buffer.add_string b (Printf.sprintf ": %.1f%s\n" est (if i = List.length estimates - 1 then "" else ",")))
+    estimates;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"parallel\": {\n";
+  Buffer.add_string b
+    (Printf.sprintf "    \"bit_identical_across_domain_counts\": %b,\n" bit_identical);
+  Buffer.add_string b "    \"cases\": [\n";
+  List.iteri
+    (fun i c ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "      { \"domains\": %d, \"variation_s\": %.6f, \"signal_prob_s\": %.6f, \
+            \"mlv_s\": %.6f, \"variation_speedup_vs_1\": %.3f }%s\n"
+           c.case_domains c.variation_s c.signal_prob_s c.mlv_s
+           (base.variation_s /. Float.max 1e-12 c.variation_s)
+           (if i = List.length cases - 1 then "" else ",")))
+    cases;
+  Buffer.add_string b "    ]\n  }\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Format.printf "@.%s written:@." path;
+  List.iter
+    (fun c ->
+      Format.printf "  %d domain(s): variation %.3f s (x%.2f), signal-prob %.3f s, mlv %.3f s@."
+        c.case_domains c.variation_s
+        (base.variation_s /. Float.max 1e-12 c.variation_s)
+        c.signal_prob_s c.mlv_s)
+    cases;
+  Format.printf "  results bit-identical across domain counts: %b@." bit_identical;
+  if not bit_identical then begin
+    Format.eprintf "BENCH FAILURE: parallel results differ across domain counts@.";
+    exit 1
+  end

@@ -49,6 +49,20 @@ let years_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel hot paths; 0 picks the machine's recommended count. Results \
+     are bit-identical for any value, including 1."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "NBTI_JOBS") ~doc)
+
+let apply_jobs n =
+  if n < 0 then begin
+    prerr_endline "jobs must be >= 0";
+    exit 1
+  end
+  else if n > 0 then Parallel.Pool.configure_default ~domains:n
+
 let standby_arg =
   let doc =
     "Standby state: 'worst' (all internal nodes 0), 'best' (all 1), or a 0/1 string applied to \
@@ -88,7 +102,8 @@ let stats_cmd =
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run net ras t_active t_standby years standby =
+  let run net ras t_active t_standby years standby jobs =
+    apply_jobs jobs;
     match standby_state net standby with
     | Error m ->
       prerr_endline m;
@@ -117,7 +132,9 @@ let analyze_cmd =
         }
   in
   let term =
-    Term.(const run $ netlist_arg $ ras_arg $ t_active_arg $ t_standby_arg $ years_arg $ standby_arg)
+    Term.(
+      const run $ netlist_arg $ ras_arg $ t_active_arg $ t_standby_arg $ years_arg $ standby_arg
+      $ jobs_arg)
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Fresh vs aged timing and leakage for a standby state.") term
 
@@ -127,7 +144,8 @@ let ivc_cmd =
   let pool_arg =
     Arg.(value & opt int 64 & info [ "pool" ] ~docv:"N" ~doc:"Vectors per search round.")
   in
-  let run net ras t_active t_standby years seed pool =
+  let run net ras t_active t_standby years seed pool jobs =
+    apply_jobs jobs;
     let aging = aging_config ras t_active t_standby years in
     let cfg = Flow.Platform.default_config ~aging () in
     let p = Flow.Platform.prepare cfg net in
@@ -157,7 +175,7 @@ let ivc_cmd =
   let term =
     Term.(
       const run $ netlist_arg $ ras_arg $ t_active_arg $ t_standby_arg $ years_arg $ seed_arg
-      $ pool_arg)
+      $ pool_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "ivc" ~doc:"Search minimum-leakage vectors and co-optimize for NBTI.") term
 
@@ -427,6 +445,70 @@ let thermal_cmd =
     (Cmd.info "thermal" ~doc:"Generate a task-set workload and extract (RAS, T_active, T_standby).")
     term
 
+(* --- variation --- *)
+
+let variation_cmd =
+  let samples_arg =
+    Arg.(value & opt int 500 & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo samples.")
+  in
+  let sigma_arg =
+    Arg.(
+      value & opt float 0.015
+      & info [ "sigma" ] ~docv:"V" ~doc:"Per-gate Vth0 standard deviation [V].")
+  in
+  let run net ras t_active t_standby years seed samples sigma jobs =
+    apply_jobs jobs;
+    let aging = aging_config ras t_active t_standby years in
+    let config = Variation.Process_var.default_config ~sigma_vth:sigma ~n_samples:samples aging in
+    let sp = Logic.Signal_prob.analytic net ~input_sp:(Logic.Signal_prob.uniform_inputs net 0.5) in
+    let t0 = Unix.gettimeofday () in
+    let study =
+      Variation.Process_var.run config net ~node_sp:sp
+        ~standby:Aging.Circuit_aging.Standby_all_stressed ~rng:(Physics.Rng.create ~seed)
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let ps x = Flow.Report.cell_ps x ^ " ps" in
+    let row label f =
+      [ label; ps (f study.Variation.Process_var.fresh); ps (f study.Variation.Process_var.aged) ]
+    in
+    Flow.Report.print
+      {
+        Flow.Report.title =
+          Printf.sprintf "Process variation study of %s (%d samples, sigma %g mV, %g years)"
+            net.Circuit.Netlist.name samples (sigma *. 1e3) years;
+        header = [ "metric"; "fresh"; "aged" ];
+        rows =
+          [
+            row "mean" (fun s -> s.Physics.Stats.mean);
+            row "stddev" (fun s -> s.Physics.Stats.stddev);
+            row "min" (fun s -> s.Physics.Stats.min);
+            row "max" (fun s -> s.Physics.Stats.max);
+            [
+              "3-sigma band";
+              Printf.sprintf "%s .. %s"
+                (ps (fst study.Variation.Process_var.fresh_3sigma))
+                (ps (snd study.Variation.Process_var.fresh_3sigma));
+              Printf.sprintf "%s .. %s"
+                (ps (fst study.Variation.Process_var.aged_3sigma))
+                (ps (snd study.Variation.Process_var.aged_3sigma));
+            ];
+          ];
+      };
+    Format.printf "aged 3-sigma low above fresh 3-sigma high (aging dominates variation): %b@."
+      (Variation.Process_var.crossover study);
+    (* Timing goes to stderr so stdout diffs cleanly across --jobs values. *)
+    Format.eprintf "wall time: %.3f s@." elapsed
+  in
+  let term =
+    Term.(
+      const run $ netlist_arg $ ras_arg $ t_active_arg $ t_standby_arg $ years_arg $ seed_arg
+      $ samples_arg $ sigma_arg $ jobs_arg)
+  in
+  Cmd.v
+    (Cmd.info "variation"
+       ~doc:"Monte-Carlo process-variation study of fresh vs aged delay (Fig. 12).")
+    term
+
 (* --- serve / request: the aging-analysis daemon and its client --- *)
 
 let endpoint_arg =
@@ -451,7 +533,8 @@ let serve_cmd =
   let max_pending_arg =
     Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"N" ~doc:"Concurrent requests before overload.")
   in
-  let run endpoint result_capacity prepared_capacity max_pending =
+  let run endpoint result_capacity prepared_capacity max_pending jobs =
+    apply_jobs jobs;
     let t = Server.Service.create ~result_capacity ~prepared_capacity ~max_pending () in
     Server.Service.install_signal_handlers t;
     let on_ready () =
@@ -467,7 +550,9 @@ let serve_cmd =
     Format.printf "nbti_tool: server stopped@."
   in
   let term =
-    Term.(const run $ endpoint_arg $ result_cache_arg $ prepared_cache_arg $ max_pending_arg)
+    Term.(
+      const run $ endpoint_arg $ result_cache_arg $ prepared_cache_arg $ max_pending_arg
+      $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -566,4 +651,4 @@ let () =
   let info = Cmd.info "nbti_tool" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ stats_cmd; analyze_cmd; ivc_cmd; st_cmd; dvth_cmd; lifetime_cmd; gen_cmd; lib_cmd;
-         verilog_cmd; seq_cmd; sram_cmd; thermal_cmd; serve_cmd; request_cmd ]))
+         verilog_cmd; seq_cmd; sram_cmd; thermal_cmd; variation_cmd; serve_cmd; request_cmd ]))

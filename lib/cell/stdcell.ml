@@ -210,9 +210,11 @@ let library =
   @ Array.to_list or_cells
   @ [ xor2; xnor2; aoi21; oai21 ]
 
-let by_name = lazy (List.map (fun c -> (c.name, c)) library)
+(* Eager, not lazy: [find] is called from pool worker domains, and
+   concurrently forcing a shared lazy raises in OCaml 5. *)
+let by_name = List.map (fun c -> (c.name, c)) library
 
-let find name = List.assoc name (Lazy.force by_name)
+let find name = List.assoc name by_name
 
 (* Drive-strength suffix handling: "NAND2_X2.5" -> ("NAND2", 2.5). *)
 let split_drive name =

@@ -5,21 +5,26 @@ type config = {
   input_sp : float;
   sp_method : sp_method;
   leakage_temp : float;
+  pool : Parallel.Pool.t option;
 }
 
-let default_config ?aging () =
+let default_config ?aging ?pool () =
   let aging = match aging with Some a -> a | None -> Aging.Circuit_aging.default_config () in
   {
     aging;
     input_sp = 0.5;
     sp_method = Sp_monte_carlo { n_vectors = 4096; seed = 7 };
     leakage_temp = 400.0;
+    pool;
   }
 
 (* Canonical fingerprints: every numeric field rendered at full float
    precision into one buffer, then hashed. Two configs with equal
    fingerprints are field-for-field equal on everything the hashed
-   computation reads, so fingerprints are sound cache keys. *)
+   computation reads, so fingerprints are sound cache keys. The [pool]
+   field is deliberately excluded: the domain count never changes any
+   result (see Parallel.Pool), so configs differing only in pool must
+   share cache entries. *)
 
 let add_float buf x = Buffer.add_string buf (Printf.sprintf "%.17g;" x)
 
@@ -91,7 +96,8 @@ let prepare config net =
     match config.sp_method with
     | Sp_analytic -> Logic.Signal_prob.analytic net ~input_sp
     | Sp_monte_carlo { n_vectors; seed } ->
-      Logic.Signal_prob.monte_carlo net ~rng:(Physics.Rng.create ~seed) ~input_sp ~n_vectors
+      Logic.Signal_prob.monte_carlo ?pool:config.pool net ~rng:(Physics.Rng.create ~seed) ~input_sp
+        ~n_vectors
   in
   let tabs =
     Leakage.Circuit_leakage.build_tables config.aging.Aging.Circuit_aging.tech net
@@ -135,7 +141,7 @@ let analyze config p ~standby =
   }
 
 let optimize_ivc config p ~rng ?pool ?tolerance () =
-  Ivc.Co_opt.run config.aging p.tabs p.net ~node_sp:p.sp ~rng ?pool ?tolerance ()
+  Ivc.Co_opt.run ?par:config.pool config.aging p.tabs p.net ~node_sp:p.sp ~rng ?pool ?tolerance ()
 
 let optimize_st config p ~style ~beta ?vth_st ?nbti_aware () =
   Sleep.St_insertion.analyze config.aging p.net ~node_sp:p.sp ~style ~beta ?vth_st ?nbti_aware ()

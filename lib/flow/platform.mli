@@ -12,9 +12,14 @@ type config = {
   input_sp : float;  (** probability of 1 on every primary input (0.5 in the paper) *)
   sp_method : sp_method;
   leakage_temp : float;  (** temperature for leakage tables (400 K in Table 2) *)
+  pool : Parallel.Pool.t option;
+      (** work pool for the Monte-Carlo and search hot paths (default
+          {!Parallel.Pool.default} inside those); results are bit-identical
+          for any domain count, so the pool is excluded from both
+          fingerprints *)
 }
 
-val default_config : ?aging:Aging.Circuit_aging.config -> unit -> config
+val default_config : ?aging:Aging.Circuit_aging.config -> ?pool:Parallel.Pool.t -> unit -> config
 (** The paper's setting: SP 0.5, Monte-Carlo SPs (4096 vectors), leakage
     at 400 K, aging per {!Aging.Circuit_aging.default_config}. *)
 

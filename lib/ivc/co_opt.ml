@@ -2,7 +2,7 @@ type choice = { vector : bool array; leakage : float; degradation : float; aged_
 
 type result = { best : choice; all : choice list; fresh_delay : float; spread : float }
 
-let co_optimize config _tables t ~node_sp ~candidates =
+let co_optimize ?par config _tables t ~node_sp ~candidates =
   if candidates = [] then invalid_arg "Co_opt.co_optimize: no candidates";
   let evaluate (c : Mlv.candidate) =
     let analysis =
@@ -17,13 +17,24 @@ let co_optimize config _tables t ~node_sp ~candidates =
       },
       analysis.Aging.Circuit_aging.fresh.Sta.Timing.max_delay )
   in
-  let evaluated = List.map evaluate candidates in
-  let fresh_delay = snd (List.hd evaluated) in
-  let all = List.sort (fun a b -> compare a.degradation b.degradation) (List.map fst evaluated) in
+  (* One full aging analysis per candidate: the expensive half of Table 3.
+     The map preserves candidate order and the sort below breaks ties on
+     the vector, so the result is independent of the domain count. *)
+  let p = match par with Some p -> p | None -> Parallel.Pool.default () in
+  let evaluated = Parallel.Pool.map p evaluate (Array.of_list candidates) in
+  let fresh_delay = snd evaluated.(0) in
+  let all =
+    List.sort
+      (fun a b ->
+        match compare a.degradation b.degradation with
+        | 0 -> compare (Mlv.vector_key a.vector) (Mlv.vector_key b.vector)
+        | c -> c)
+      (List.map fst (Array.to_list evaluated))
+  in
   let best = List.hd all in
   let worst = List.nth all (List.length all - 1) in
   { best; all; fresh_delay; spread = worst.degradation -. best.degradation }
 
-let run config tables t ~node_sp ~rng ?pool ?tolerance () =
-  let candidates, stats = Mlv.probability_based tables t ~rng ?pool ?tolerance () in
-  (co_optimize config tables t ~node_sp ~candidates, stats)
+let run ?par config tables t ~node_sp ~rng ?pool ?tolerance () =
+  let candidates, stats = Mlv.probability_based ?par tables t ~rng ?pool ?tolerance () in
+  (co_optimize ?par config tables t ~node_sp ~candidates, stats)

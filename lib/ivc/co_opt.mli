@@ -25,15 +25,20 @@ type result = {
 }
 
 val co_optimize :
+  ?par:Parallel.Pool.t ->
   Aging.Circuit_aging.config ->
   Leakage.Circuit_leakage.tables ->
   Circuit.Netlist.t ->
   node_sp:float array ->
   candidates:Mlv.candidate list ->
   result
-(** @raise Invalid_argument on an empty candidate list. *)
+(** Candidate aging analyses fan out over [par] (default
+    {!Parallel.Pool.default}); equal degradations order by
+    {!Mlv.vector_key}, so the result is independent of the domain count.
+    @raise Invalid_argument on an empty candidate list. *)
 
 val run :
+  ?par:Parallel.Pool.t ->
   Aging.Circuit_aging.config ->
   Leakage.Circuit_leakage.tables ->
   Circuit.Netlist.t ->
@@ -43,4 +48,4 @@ val run :
   ?tolerance:float ->
   unit ->
   result * Mlv.search_stats
-(** MLV search + co-optimization in one call. *)
+(** MLV search + co-optimization in one call, both phases on [par]. *)

@@ -3,15 +3,61 @@ type candidate = { vector : bool array; leakage : float }
 let evaluate tables t vector =
   { vector; leakage = Leakage.Circuit_leakage.standby_leakage tables t ~vector }
 
-let exhaustive tables t =
+(* Vectors packed to a little-endian bit string: an O(n/8) immutable key
+   (flat allocation, monomorphic compare) for dedup hashing and for the
+   deterministic tie-break on the vector itself. All keys of one search
+   share the vector length, so fixed-width packing is collision-free. *)
+let vector_key v =
+  let n = Array.length v in
+  let b = Bytes.make ((n + 7) lsr 3) '\000' in
+  for i = 0 to n - 1 do
+    if Array.unsafe_get v i then begin
+      let j = i lsr 3 in
+      Bytes.unsafe_set b j (Char.unsafe_chr (Char.code (Bytes.unsafe_get b j) lor (1 lsl (i land 7))))
+    end
+  done;
+  Bytes.unsafe_to_string b
+
+let pool_of = function Some p -> p | None -> Parallel.Pool.default ()
+
+let exhaustive ?par tables t =
   let n = Circuit.Netlist.n_primary_inputs t in
   if n > 20 then invalid_arg "Mlv.exhaustive: too many primary inputs";
-  let best = ref (evaluate tables t (Array.make n false)) in
-  for idx = 1 to (1 lsl n) - 1 do
-    let c = evaluate tables t (Array.init n (fun i -> (idx lsr i) land 1 = 1)) in
-    if c.leakage < !best.leakage then best := c
-  done;
-  !best
+  let total = 1 lsl n in
+  let vector_of idx = Array.init n (fun i -> (idx lsr i) land 1 = 1) in
+  (* Fixed 4096-index blocks: the block partition (and so every float
+     comparison sequence) depends only on the input count, never on the
+     domain count. Ties break on the lower index — a total order on the
+     vector, not on arrival. *)
+  let block = 4096 in
+  let n_blocks = (total + block - 1) / block in
+  let best_in_block b =
+    let lo = b * block in
+    let hi = min total (lo + block) in
+    let best_idx = ref lo in
+    let best = ref (evaluate tables t (vector_of lo)) in
+    for idx = lo + 1 to hi - 1 do
+      let c = evaluate tables t (vector_of idx) in
+      if c.leakage < !best.leakage then begin
+        best := c;
+        best_idx := idx
+      end
+    done;
+    (!best_idx, !best)
+  in
+  let p = pool_of par in
+  Parallel.Pool.map_reduce p ~map:best_in_block
+    ~reduce:(fun acc (idx, c) ->
+      (* Blocks fold in index order, so keeping the incumbent on equal
+         leakage is exactly lowest-index-wins. *)
+      match acc with
+      | Some (_, best) when best.leakage <= c.leakage -> acc
+      | _ -> Some (idx, c))
+    ~init:None
+    (Array.init n_blocks (fun b -> b))
+  |> function
+  | Some (_, c) -> c
+  | None -> assert false
 
 let random_vector rng n = Array.init n (fun _ -> Physics.Rng.bool rng)
 
@@ -32,7 +78,7 @@ let dedup_sort candidates =
   let uniq =
     List.filter
       (fun c ->
-        let key = Array.to_list c.vector in
+        let key = vector_key c.vector in
         if Hashtbl.mem tbl key then false
         else begin
           Hashtbl.add tbl key ();
@@ -40,20 +86,40 @@ let dedup_sort candidates =
         end)
       candidates
   in
-  List.sort (fun a b -> compare a.leakage b.leakage) uniq
+  (* Sort by leakage; equal leakages order by the packed vector, so the
+     result is a pure function of the candidate *set* — parallel
+     evaluation (whatever completion order) cannot reshuffle it. *)
+  List.sort
+    (fun a b ->
+      match compare a.leakage b.leakage with
+      | 0 -> compare (vector_key a.vector) (vector_key b.vector)
+      | c -> c)
+    uniq
 
-let probability_based tables t ~rng ?(pool = 64) ?(tolerance = 0.04) ?(max_rounds = 50)
+let probability_based ?par tables t ~rng ?(pool = 64) ?(tolerance = 0.04) ?(max_rounds = 50)
     ?(max_set = 16) () =
   if pool < 2 then invalid_arg "Mlv.probability_based: pool must be >= 2";
   if tolerance < 0.0 then invalid_arg "Mlv.probability_based: negative tolerance";
   let n_pi = Circuit.Netlist.n_primary_inputs t in
+  let p = pool_of par in
   let evaluations = ref 0 in
-  let eval v =
-    incr evaluations;
-    evaluate tables t v
+  (* Vectors are drawn from [rng] sequentially (vector 0 first) on the
+     calling domain; only the pure leakage evaluations fan out. The RNG
+     stream and therefore the whole search are identical for any domain
+     count. *)
+  let eval_batch vectors =
+    evaluations := !evaluations + Array.length vectors;
+    Array.to_list (Parallel.Pool.map p (evaluate tables t) vectors)
+  in
+  let draw_batch sample =
+    let vs = Array.make pool [||] in
+    for i = 0 to pool - 1 do
+      vs.(i) <- sample ()
+    done;
+    vs
   in
   (* Line 0: N random vectors. *)
-  let initial = List.init pool (fun _ -> eval (random_vector rng n_pi)) in
+  let initial = eval_batch (draw_batch (fun () -> random_vector rng n_pi)) in
   (* Line 1: the MLV set keeps vectors within [tolerance] of the set min. *)
   let mlv_set cands =
     match dedup_sort cands with
@@ -77,8 +143,9 @@ let probability_based tables t ~rng ?(pool = 64) ?(tolerance = 0.04) ?(max_round
       (* Lines 3-4: sample new vectors from the probabilities, fold them
          into the set. *)
       let fresh =
-        List.init pool (fun _ ->
-            eval (Array.init n_pi (fun i -> Physics.Rng.bernoulli rng ~p:probs.(i))))
+        eval_batch
+          (draw_batch (fun () ->
+               Array.init n_pi (fun i -> Physics.Rng.bernoulli rng ~p:probs.(i))))
       in
       loop (mlv_set (set @ fresh)) (round + 1)
     end

@@ -12,9 +12,17 @@ type candidate = { vector : bool array; leakage : float  (** [A] *) }
 
 val evaluate : Leakage.Circuit_leakage.tables -> Circuit.Netlist.t -> bool array -> candidate
 
-val exhaustive : Leakage.Circuit_leakage.tables -> Circuit.Netlist.t -> candidate
-(** Global optimum by enumeration. @raise Invalid_argument beyond 20
-    primary inputs. *)
+val vector_key : bool array -> string
+(** The vector packed little-endian into a bit string: the dedup hash key
+    and the deterministic tie-break order. Fixed-width per circuit, so
+    equal keys mean equal vectors. *)
+
+val exhaustive : ?par:Parallel.Pool.t -> Leakage.Circuit_leakage.tables -> Circuit.Netlist.t -> candidate
+(** Global optimum by enumeration, fanned over [par] (default
+    {!Parallel.Pool.default}) in fixed 4096-vector blocks; equal-leakage
+    ties break on the lower vector index, so the result is independent of
+    the domain count. @raise Invalid_argument beyond 20 primary
+    inputs. *)
 
 val random_search :
   Leakage.Circuit_leakage.tables ->
@@ -31,6 +39,7 @@ type search_stats = {
 }
 
 val probability_based :
+  ?par:Parallel.Pool.t ->
   Leakage.Circuit_leakage.tables ->
   Circuit.Netlist.t ->
   rng:Physics.Rng.t ->
@@ -40,7 +49,11 @@ val probability_based :
   ?max_set:int ->
   unit ->
   candidate list * search_stats
-(** The Fig. 7 algorithm. [pool] vectors per round (default 64);
+(** The Fig. 7 algorithm. Each round's pool of leakage evaluations fans
+    out over [par] (default {!Parallel.Pool.default}); vectors are drawn
+    from [rng] sequentially on the calling domain and the MLV set orders
+    equal leakages by {!vector_key}, so the search result is bit-identical
+    for any domain count. [pool] vectors per round (default 64);
     [tolerance] is the leakage band that defines the MLV set, as a
     fraction of the set's minimum (default 0.04 — the paper keeps MLVs
     within 4 % of the circuit leakage); [max_rounds] caps the iteration

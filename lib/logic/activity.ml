@@ -1,12 +1,13 @@
 let input_activity ~sp = 2.0 *. sp *. (1.0 -. sp)
 
-let monte_carlo (t : Circuit.Netlist.t) ~rng ~input_sp ~n_pairs =
-  if n_pairs < 1 then invalid_arg "Activity.monte_carlo: n_pairs must be >= 1";
-  let n_pi = Circuit.Netlist.n_primary_inputs t in
-  assert (Array.length input_sp = n_pi);
-  let n_words = (n_pairs + 63) / 64 in
-  let total = n_words * 64 in
-  let toggles = Array.make (Circuit.Netlist.n_nodes t) 0 in
+let popcount x =
+  let rec go x acc = if x = 0L then acc else go (Int64.logand x (Int64.sub x 1L)) (acc + 1) in
+  go x 0
+
+(* One block of 64 vector pairs on a private stream: first vector of the
+   pair drawn input-by-input, then the second, then two bit-parallel
+   sweeps and a per-node XOR popcount. *)
+let pair_block_toggles (t : Circuit.Netlist.t) ~input_sp ~n_pi rng =
   let pack sp =
     let w = ref 0L in
     for bit = 0 to 63 do
@@ -14,17 +15,29 @@ let monte_carlo (t : Circuit.Netlist.t) ~rng ~input_sp ~n_pairs =
     done;
     !w
   in
-  let popcount x =
-    let rec go x acc = if x = 0L then acc else go (Int64.logand x (Int64.sub x 1L)) (acc + 1) in
-    go x 0
+  let draw () =
+    let v = Array.make n_pi 0L in
+    for k = 0 to n_pi - 1 do
+      v.(k) <- pack input_sp.(k)
+    done;
+    v
   in
-  for _ = 1 to n_words do
-    let v1 = Array.map pack input_sp in
-    let v2 = Array.map pack input_sp in
-    let r1 = Eval.eval_packed t ~inputs:v1 in
-    let r2 = Eval.eval_packed t ~inputs:v2 in
-    Array.iteri
-      (fun i w1 -> toggles.(i) <- toggles.(i) + popcount (Int64.logxor w1 r2.(i)))
-      r1
-  done;
+  let v1 = draw () in
+  let v2 = draw () in
+  let r1 = Eval.eval_packed t ~inputs:v1 in
+  let r2 = Eval.eval_packed t ~inputs:v2 in
+  Array.mapi (fun i w1 -> popcount (Int64.logxor w1 r2.(i))) r1
+
+let monte_carlo ?pool (t : Circuit.Netlist.t) ~rng ~input_sp ~n_pairs =
+  if n_pairs < 1 then invalid_arg "Activity.monte_carlo: n_pairs must be >= 1";
+  let n_pi = Circuit.Netlist.n_primary_inputs t in
+  assert (Array.length input_sp = n_pi);
+  let n_words = (n_pairs + 63) / 64 in
+  let total = n_words * 64 in
+  let p = match pool with Some p -> p | None -> Parallel.Pool.default () in
+  let per_block =
+    Parallel.Pool.init_rng p ~rng n_words (fun rng _ -> pair_block_toggles t ~input_sp ~n_pi rng)
+  in
+  let toggles = Array.make (Circuit.Netlist.n_nodes t) 0 in
+  Array.iter (fun block -> Array.iteri (fun i c -> toggles.(i) <- toggles.(i) + c) block) per_block;
   Array.map (fun c -> float_of_int c /. float_of_int total) toggles

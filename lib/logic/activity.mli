@@ -9,13 +9,16 @@
     simulator — 64 pairs per evaluation. *)
 
 val monte_carlo :
+  ?pool:Parallel.Pool.t ->
   Circuit.Netlist.t ->
   rng:Physics.Rng.t ->
   input_sp:float array ->
   n_pairs:int ->
   float array
 (** Per-node toggle probability per cycle, in [0, 1]. [n_pairs] is rounded
-    up to a multiple of 64. *)
+    up to a multiple of 64. Pair blocks run in parallel on [pool] with one
+    split stream per block, so the estimate is independent of the domain
+    count. *)
 
 val input_activity : sp:float -> float
 (** The temporal-independence input activity [2 p (1-p)]. *)

@@ -17,9 +17,17 @@ val analytic : Circuit.Netlist.t -> input_sp:float array -> float array
     [0, 1]. *)
 
 val monte_carlo :
-  Circuit.Netlist.t -> rng:Physics.Rng.t -> input_sp:float array -> n_vectors:int -> float array
+  ?pool:Parallel.Pool.t ->
+  Circuit.Netlist.t ->
+  rng:Physics.Rng.t ->
+  input_sp:float array ->
+  n_vectors:int ->
+  float array
 (** Estimates over [n_vectors] random vectors (rounded up to a multiple of
-    64 lanes). *)
+    64 lanes). 64-vector word blocks are simulated in parallel on [pool]
+    (default {!Parallel.Pool.default}), each on its own stream split from
+    [rng] in block order — the estimate is bit-identical for any domain
+    count, including a sequential pool. *)
 
 val uniform_inputs : Circuit.Netlist.t -> float -> float array
 (** An input SP array with every PI at the given probability (the paper

@@ -141,3 +141,17 @@ let to_json t =
         ] )
   in
   Json.Assoc (List.map endpoint_json (snapshot t))
+
+let pool_json (s : Parallel.Pool.stats) =
+  Json.Assoc
+    [
+      ("domains", Json.Int s.Parallel.Pool.domains);
+      ("jobs", Json.Int s.Parallel.Pool.jobs);
+      ("items", Json.Int s.Parallel.Pool.items);
+      ("worker_items", Json.Int s.Parallel.Pool.worker_items);
+      ("caller_items", Json.Int s.Parallel.Pool.caller_items);
+      ("busy_s", Json.Float s.Parallel.Pool.busy_s);
+      ("wall_s", Json.Float s.Parallel.Pool.wall_s);
+      ("utilization", Json.Float (Parallel.Pool.utilization s));
+      ("speedup_estimate", Json.Float (Parallel.Pool.speedup_estimate s));
+    ]

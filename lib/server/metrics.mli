@@ -40,3 +40,8 @@ val snapshot : t -> endpoint_snapshot list
 val to_json : t -> Json.t
 (** The [stats] wire shape: per-endpoint counts, mean/min/max, p50/p90/p99
     and the raw histogram buckets. *)
+
+val pool_json : Parallel.Pool.stats -> Json.t
+(** Wire shape of a work-pool counter snapshot: domain count, job/item
+    totals, worker vs caller item split, busy and wall seconds, and the
+    derived utilization / parallel-speedup estimates. *)

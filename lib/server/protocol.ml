@@ -38,6 +38,7 @@ let platform_config spec =
     input_sp = spec.input_sp;
     sp_method = spec.sp_method;
     leakage_temp = spec.leakage_temp;
+    pool = None;
   }
 
 type job =

@@ -2,6 +2,7 @@ type t = {
   prepared : Flow.Platform.prepared Cache.t;
   results : Json.t Cache.t;
   metrics : Metrics.t;
+  pool : Parallel.Pool.t;
   started_at : float;
   max_pending : int;
   mutable pending : int;
@@ -12,11 +13,12 @@ type t = {
   state : Mutex.t;
 }
 
-let create ?(result_capacity = 256) ?(prepared_capacity = 32) ?(max_pending = 64) () =
+let create ?(result_capacity = 256) ?(prepared_capacity = 32) ?(max_pending = 64) ?pool () =
   {
     prepared = Cache.create ~capacity:prepared_capacity;
     results = Cache.create ~capacity:result_capacity;
     metrics = Metrics.create ();
+    pool = (match pool with Some p -> p | None -> Parallel.Pool.default ());
     started_at = Unix.gettimeofday ();
     max_pending;
     pending = 0;
@@ -77,6 +79,10 @@ let prepared_for t cfg net ~digest =
   let key = digest ^ "|" ^ Flow.Platform.prepare_fingerprint cfg in
   Cache.find_or_add t.prepared key (fun () -> Flow.Platform.prepare cfg net)
 
+(* Every compute path runs on the service's pool. The pool field is
+   excluded from the config fingerprints, so cache keys are unchanged. *)
+let config_for t flow = { (Protocol.platform_config flow) with Flow.Platform.pool = Some t.pool }
+
 let run_job t job =
   let circuit =
     match job with
@@ -90,7 +96,7 @@ let run_job t job =
   let compute () =
     match job with
     | Protocol.Analyze { flow; standby; _ } ->
-      let cfg = Protocol.platform_config flow in
+      let cfg = config_for t flow in
       let standby = standby_of_spec net standby in
       let prepared, _ = prepared_for t cfg net ~digest in
       let a = Flow.Platform.analyze cfg prepared ~standby in
@@ -103,7 +109,7 @@ let run_job t job =
           ("analysis", Protocol.json_of_analysis a);
         ]
     | Protocol.Ivc_search { flow; seed; pool; tolerance; _ } ->
-      let cfg = Protocol.platform_config flow in
+      let cfg = config_for t flow in
       let prepared, _ = prepared_for t cfg net ~digest in
       let result, stats =
         Flow.Platform.optimize_ivc cfg prepared ~rng:(Physics.Rng.create ~seed) ~pool
@@ -118,7 +124,7 @@ let run_job t job =
           ("ivc", Protocol.json_of_ivc result stats);
         ]
     | Protocol.Sleep_sizing { flow; style; beta; vth_st; nbti_aware; _ } ->
-      let cfg = Protocol.platform_config flow in
+      let cfg = config_for t flow in
       let prepared, _ = prepared_for t cfg net ~digest in
       let r = Flow.Platform.optimize_st cfg prepared ~style ~beta ?vth_st ~nbti_aware () in
       Json.Assoc
@@ -175,6 +181,7 @@ let stats_result t =
             cache_stats_json "results" (Cache.stats t.results);
             cache_stats_json "prepared" (Cache.stats t.prepared);
           ] );
+      ("pool", Metrics.pool_json (Parallel.Pool.stats t.pool));
     ]
 
 (* Best-effort id extraction so even malformed requests get their
@@ -199,19 +206,20 @@ let handle t request_json =
       | Protocol.Batch jobs ->
         admit t;
         Fun.protect ~finally:(fun () -> release t) (fun () ->
-            let results =
-              List.map
-                (fun job ->
-                  try run_job t job
-                  with Bad_request_error m ->
-                    Json.Assoc
-                      [
-                        ("kind", Json.String "error");
-                        ("code", Json.String (Protocol.error_code_string Protocol.Bad_request));
-                        ("message", Json.String m);
-                      ])
-                jobs
+            (* Jobs fan out over the service pool; Pool.map returns
+               results in job order, so the response order matches the
+               request regardless of which domain ran which job. *)
+            let one job =
+              try run_job t job
+              with Bad_request_error m ->
+                Json.Assoc
+                  [
+                    ("kind", Json.String "error");
+                    ("code", Json.String (Protocol.error_code_string Protocol.Bad_request));
+                    ("message", Json.String m);
+                  ]
             in
+            let results = Array.to_list (Parallel.Pool.map t.pool one (Array.of_list jobs)) in
             Protocol.ok_response ~id
               (Json.Assoc [ ("kind", Json.String "batch"); ("results", Json.List results) ]))
     in

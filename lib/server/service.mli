@@ -19,12 +19,21 @@
 
 type t
 
-val create : ?result_capacity:int -> ?prepared_capacity:int -> ?max_pending:int -> unit -> t
+val create :
+  ?result_capacity:int ->
+  ?prepared_capacity:int ->
+  ?max_pending:int ->
+  ?pool:Parallel.Pool.t ->
+  unit ->
+  t
 (** [result_capacity] bounds the result cache (default 256);
     [prepared_capacity] bounds the prepared-pipeline cache (default 32 —
     these entries hold whole leakage tables and SP arrays, so the bound
     is deliberately small); [max_pending] bounds concurrent compute-path
-    requests before [overloaded] (default 64). *)
+    requests before [overloaded] (default 64). [pool] (default
+    {!Parallel.Pool.default}) runs every compute path — Monte-Carlo SPs,
+    IVC search, and [batch] job fan-out; results stay bit-identical for
+    any domain count, and pool counters are reported by [stats]. *)
 
 (** {1 In-process dispatch} *)
 

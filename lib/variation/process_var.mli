@@ -29,12 +29,18 @@ type study = {
 }
 
 val run :
+  ?pool:Parallel.Pool.t ->
   config ->
   Circuit.Netlist.t ->
   node_sp:float array ->
   standby:Aging.Circuit_aging.standby_state ->
   rng:Physics.Rng.t ->
   study
+(** The Fig. 12 study. Samples run in parallel on [pool] (default
+    {!Parallel.Pool.default}), one task per sample, each on an
+    independent stream split from [rng] in sample order — the study is
+    bit-identical across domain counts (including a sequential pool),
+    which the parallel-determinism tests pin. *)
 
 val crossover :
   study -> bool

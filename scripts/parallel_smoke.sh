@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Parallel-determinism smoke: the c432 variation study must print
+# byte-identical results for any --jobs value (the pool's core contract).
+# Timing goes to stderr in the tool, so stdout diffs cleanly.
+set -eu
+cd "$(dirname "$0")/.."
+
+TOOL=_build/default/bin/nbti_tool.exe
+[ -x "$TOOL" ] || { echo "parallel_smoke: build first (dune build)" >&2; exit 1; }
+
+out1=$(mktemp)
+out4=$(mktemp)
+trap 'rm -f "$out1" "$out4"' EXIT
+
+"$TOOL" variation c432 --samples 40 --seed 12 --jobs 1 >"$out1" 2>/dev/null
+"$TOOL" variation c432 --samples 40 --seed 12 --jobs 4 >"$out4" 2>/dev/null
+
+if ! diff -u "$out1" "$out4"; then
+  echo "parallel smoke FAILED: --jobs 1 and --jobs 4 outputs differ" >&2
+  exit 1
+fi
+echo "parallel smoke OK: c432 variation study identical at --jobs 1 and --jobs 4"

@@ -1,0 +1,315 @@
+(* Tests for the deterministic work pool and its hot-path integrations:
+   ordering, exception propagation, RNG stream splitting, bit-exactness
+   across domain counts, reentrancy, and batch fan-out on the server. *)
+
+let with_pool = Parallel.Pool.with_pool
+
+let bits_equal a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+(* --- core pool semantics --- *)
+
+let test_map_order () =
+  with_pool ~domains:4 (fun p ->
+      let xs = Array.init 100 (fun i -> i) in
+      Alcotest.(check (array int)) "map" (Array.map (fun x -> x * x) xs)
+        (Parallel.Pool.map p (fun x -> x * x) xs);
+      Alcotest.(check (array int)) "mapi"
+        (Array.mapi (fun i x -> (i * 1000) + x) xs)
+        (Parallel.Pool.mapi p (fun i x -> (i * 1000) + x) xs);
+      Alcotest.(check (array int)) "init" (Array.init 50 (fun i -> 2 * i))
+        (Parallel.Pool.init p 50 (fun i -> 2 * i));
+      Alcotest.(check (array int)) "empty" [||] (Parallel.Pool.map p (fun x -> x) [||]);
+      Alcotest.(check (array int)) "singleton" [| 9 |] (Parallel.Pool.map p (fun x -> x * 3) [| 3 |]);
+      Alcotest.(check (array int)) "chunked"
+        (Array.init 37 (fun i -> i + 1))
+        (Parallel.Pool.init p ~chunk:5 37 (fun i -> i + 1)))
+
+let test_map_reduce_ordered () =
+  (* The reduce is non-commutative (string concatenation): any
+     completion-order or per-chunk folding would scramble it. *)
+  let expect =
+    String.concat "" (List.map (fun i -> string_of_int i ^ ";") (List.init 64 (fun i -> i)))
+  in
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun p ->
+          let got =
+            Parallel.Pool.map_reduce p ~chunk:3
+              ~map:(fun x -> string_of_int x ^ ";")
+              ~reduce:( ^ ) ~init:""
+              (Array.init 64 (fun i -> i))
+          in
+          Alcotest.(check string) (Printf.sprintf "ordered @ %d domains" domains) expect got))
+    [ 1; 2; 4 ]
+
+exception Boom of int
+
+let test_exception_propagation () =
+  with_pool ~domains:4 (fun p ->
+      (match Parallel.Pool.init p 64 (fun i -> if i = 17 then raise (Boom i) else i) with
+      | _ -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom _ -> ());
+      (* the pool survives a failed region *)
+      Alcotest.(check (array int)) "reuse after failure" (Array.init 32 (fun i -> i + 1))
+        (Parallel.Pool.init p 32 (fun i -> i + 1)))
+
+let test_many_regions_one_pool () =
+  with_pool ~domains:3 (fun p ->
+      for n = 0 to 200 do
+        let ys = Parallel.Pool.init p (n mod 17) (fun i -> i * n) in
+        Alcotest.(check (array int)) "region" (Array.init (n mod 17) (fun i -> i * n)) ys
+      done)
+
+let test_nested_calls_inline () =
+  (* An item that re-enters the pool must run inline, not deadlock. *)
+  with_pool ~domains:4 (fun p ->
+      let ys =
+        Parallel.Pool.init p 8 (fun i ->
+            Array.fold_left ( + ) 0 (Parallel.Pool.init p 10 (fun j -> (i * 10) + j)))
+      in
+      let expect = Array.init 8 (fun i -> Array.fold_left ( + ) 0 (Array.init 10 (fun j -> (i * 10) + j))) in
+      Alcotest.(check (array int)) "nested" expect ys)
+
+let test_shutdown_then_inline () =
+  let p = Parallel.Pool.create ~domains:4 () in
+  Alcotest.(check int) "domains" 4 (Parallel.Pool.domains p);
+  Parallel.Pool.shutdown p;
+  Parallel.Pool.shutdown p;
+  (* idempotent; pool still usable inline *)
+  Alcotest.(check (array int)) "inline after shutdown" (Array.init 5 (fun i -> i))
+    (Parallel.Pool.init p 5 (fun i -> i))
+
+(* --- RNG stream splitting --- *)
+
+let test_split_streams_deterministic () =
+  let draw () =
+    Array.map (fun r -> Physics.Rng.int64 r) (Parallel.Pool.split_streams (Physics.Rng.create ~seed:5) 8)
+  in
+  Alcotest.(check (array int64)) "stable across calls" (draw ()) (draw ());
+  (* parent advances exactly n times: an equal-seed parent split by hand
+     gives the same streams *)
+  let rng = Physics.Rng.create ~seed:5 in
+  let by_hand = Array.init 8 (fun _ -> Physics.Rng.int64 (Physics.Rng.split rng)) in
+  Alcotest.(check (array int64)) "sequential splits" by_hand (draw ())
+
+let test_init_rng_domain_invariant () =
+  let study domains =
+    with_pool ~domains (fun p ->
+        Parallel.Pool.init_rng p ~rng:(Physics.Rng.create ~seed:11) 40 (fun rng i ->
+            Physics.Rng.gaussian rng ~mean:(float_of_int i) ~sigma:1.0))
+  in
+  let base = study 1 in
+  List.iter
+    (fun domains ->
+      let got = study domains in
+      Alcotest.(check int) "length" (Array.length base) (Array.length got);
+      Array.iteri
+        (fun i x ->
+          Alcotest.(check bool) (Printf.sprintf "bit-exact sample %d @ %d domains" i domains) true
+            (bits_equal base.(i) x))
+        got)
+    [ 2; 4 ]
+
+(* --- hot paths: bit-identical across domain counts --- *)
+
+let c17 = lazy (Circuit.Generators.by_name "c17")
+
+let c17_sp =
+  lazy
+    (let net = Lazy.force c17 in
+     Logic.Signal_prob.analytic net ~input_sp:(Logic.Signal_prob.uniform_inputs net 0.5))
+
+let test_process_var_bit_exact () =
+  let net = Lazy.force c17 in
+  let config =
+    Variation.Process_var.default_config ~n_samples:24 (Aging.Circuit_aging.default_config ())
+  in
+  let study domains =
+    with_pool ~domains (fun pool ->
+        Variation.Process_var.run ~pool config net ~node_sp:(Lazy.force c17_sp)
+          ~standby:Aging.Circuit_aging.Standby_all_stressed ~rng:(Physics.Rng.create ~seed:3))
+  in
+  let base = study 1 in
+  List.iter
+    (fun domains ->
+      let got = study domains in
+      Array.iteri
+        (fun i (s : Variation.Process_var.sample) ->
+          let b = base.Variation.Process_var.samples.(i) in
+          Alcotest.(check bool) (Printf.sprintf "fresh %d @ %d domains" i domains) true
+            (bits_equal b.Variation.Process_var.fresh_delay s.Variation.Process_var.fresh_delay);
+          Alcotest.(check bool) (Printf.sprintf "aged %d @ %d domains" i domains) true
+            (bits_equal b.Variation.Process_var.aged_delay s.Variation.Process_var.aged_delay))
+        got.Variation.Process_var.samples;
+      Alcotest.(check bool) "summary equal" true
+        (base.Variation.Process_var.fresh = got.Variation.Process_var.fresh
+        && base.Variation.Process_var.aged = got.Variation.Process_var.aged))
+    [ 2; 4 ]
+
+let test_signal_prob_mc_bit_exact () =
+  let net = Lazy.force c17 in
+  let input_sp = Logic.Signal_prob.uniform_inputs net 0.5 in
+  let mc domains =
+    with_pool ~domains (fun pool ->
+        Logic.Signal_prob.monte_carlo ~pool net ~rng:(Physics.Rng.create ~seed:7) ~input_sp
+          ~n_vectors:1000)
+  in
+  let base = mc 1 in
+  List.iter
+    (fun domains ->
+      let got = mc domains in
+      Array.iteri
+        (fun i x ->
+          Alcotest.(check bool) (Printf.sprintf "sp %d @ %d domains" i domains) true
+            (bits_equal base.(i) x))
+        got)
+    [ 2; 4 ]
+
+let test_activity_mc_bit_exact () =
+  let net = Lazy.force c17 in
+  let input_sp = Logic.Signal_prob.uniform_inputs net 0.5 in
+  let mc domains =
+    with_pool ~domains (fun pool ->
+        Logic.Activity.monte_carlo ~pool net ~rng:(Physics.Rng.create ~seed:9) ~input_sp
+          ~n_pairs:500)
+  in
+  let base = mc 1 in
+  List.iter
+    (fun domains -> Alcotest.(check bool) (Printf.sprintf "@ %d domains" domains) true (base = mc domains))
+    [ 2; 4 ]
+
+let test_mlv_search_domain_invariant () =
+  let net = Lazy.force c17 in
+  let tables =
+    Leakage.Circuit_leakage.build_tables Device.Tech.ptm_90nm net ~temp_k:400.0
+  in
+  let search domains =
+    with_pool ~domains (fun par ->
+        Ivc.Mlv.probability_based ~par tables net ~rng:(Physics.Rng.create ~seed:4) ~pool:16
+          ~max_rounds:5 ())
+  in
+  let base_set, base_stats = search 1 in
+  List.iter
+    (fun domains ->
+      let set, stats = search domains in
+      Alcotest.(check int) "rounds" base_stats.Ivc.Mlv.rounds stats.Ivc.Mlv.rounds;
+      Alcotest.(check int) "evaluations" base_stats.Ivc.Mlv.evaluations stats.Ivc.Mlv.evaluations;
+      Alcotest.(check int) "set size" (List.length base_set) (List.length set);
+      List.iter2
+        (fun (a : Ivc.Mlv.candidate) (b : Ivc.Mlv.candidate) ->
+          Alcotest.(check string)
+            (Printf.sprintf "vector @ %d domains" domains)
+            (Ivc.Mlv.vector_key a.Ivc.Mlv.vector)
+            (Ivc.Mlv.vector_key b.Ivc.Mlv.vector);
+          Alcotest.(check bool) "leakage bits" true (bits_equal a.Ivc.Mlv.leakage b.Ivc.Mlv.leakage))
+        base_set set)
+    [ 2; 4 ]
+
+let test_mlv_exhaustive_domain_invariant () =
+  let net = Lazy.force c17 in
+  let tables = Leakage.Circuit_leakage.build_tables Device.Tech.ptm_90nm net ~temp_k:400.0 in
+  let best domains = with_pool ~domains (fun par -> Ivc.Mlv.exhaustive ~par tables net) in
+  let base = best 1 in
+  List.iter
+    (fun domains ->
+      let got = best domains in
+      Alcotest.(check string)
+        (Printf.sprintf "vector @ %d domains" domains)
+        (Ivc.Mlv.vector_key base.Ivc.Mlv.vector)
+        (Ivc.Mlv.vector_key got.Ivc.Mlv.vector);
+      Alcotest.(check bool) "leakage bits" true (bits_equal base.Ivc.Mlv.leakage got.Ivc.Mlv.leakage))
+    [ 2; 4 ]
+
+let test_vector_key () =
+  Alcotest.(check string) "empty" "" (Ivc.Mlv.vector_key [||]);
+  Alcotest.(check string) "0110 packs to 0x06" "\006" (Ivc.Mlv.vector_key [| false; true; true; false |]);
+  Alcotest.(check string) "9 bits spill" "\255\001" (Ivc.Mlv.vector_key (Array.make 9 true));
+  Alcotest.(check bool) "distinct vectors, distinct keys" true
+    (Ivc.Mlv.vector_key [| true; false |] <> Ivc.Mlv.vector_key [| false; true |])
+
+(* --- server batch fan-out --- *)
+
+let batch_line =
+  {|{"v":1,"id":"b1","op":"batch","jobs":[{"op":"analyze","circuit":"c17","standby":"worst"},{"op":"analyze","circuit":"nope"},{"op":"analyze","circuit":"c17","standby":"best"},{"op":"analyze","circuit":"c432","standby":"worst"}]}|}
+
+let batch_kinds_and_circuits response_line =
+  let json = Server.Json.of_string response_line in
+  Alcotest.(check bool) "ok" true (Server.Json.to_bool (Server.Json.member "ok" json));
+  let results =
+    match Server.Json.member "results" (Server.Json.member "result" json) with
+    | Server.Json.List l -> l
+    | _ -> Alcotest.fail "results not a list"
+  in
+  List.map
+    (fun r ->
+      match Server.Json.member "kind" r with
+      | Server.Json.String "error" -> "error"
+      | Server.Json.String _ -> (
+        match Server.Json.member_opt "circuit" r with
+        | Some (Server.Json.String c) -> c
+        | _ -> Alcotest.fail "missing circuit")
+      | _ -> Alcotest.fail "missing kind")
+    results
+
+let test_batch_order_and_errors () =
+  (* Responses must arrive in request order — including the in-place
+     error for the bad job — whatever the pool's domain count. *)
+  let run domains =
+    with_pool ~domains (fun pool ->
+        let t = Server.Service.create ~pool () in
+        Server.Service.handle_line t batch_line)
+  in
+  let base = run 1 in
+  Alcotest.(check (list string)) "request order" [ "c17"; "error"; "c17"; "c432" ]
+    (batch_kinds_and_circuits base);
+  List.iter
+    (fun domains ->
+      Alcotest.(check string) (Printf.sprintf "identical response @ %d domains" domains) base
+        (run domains))
+    [ 2; 4 ]
+
+let test_stats_reports_pool () =
+  with_pool ~domains:2 (fun pool ->
+      let t = Server.Service.create ~pool () in
+      ignore (Server.Service.handle_line t {|{"v":1,"op":"analyze","circuit":"c17"}|});
+      let stats =
+        Server.Json.of_string (Server.Service.handle_line t {|{"v":1,"op":"stats"}|})
+      in
+      let pool_json = Server.Json.member "pool" (Server.Json.member "result" stats) in
+      Alcotest.(check int) "domains" 2 (Server.Json.to_int (Server.Json.member "domains" pool_json));
+      Alcotest.(check bool) "counted items" true
+        (Server.Json.to_int (Server.Json.member "items" pool_json) > 0))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map/mapi/init order" `Quick test_map_order;
+          Alcotest.test_case "map_reduce is ordered" `Quick test_map_reduce_ordered;
+          Alcotest.test_case "worker exception propagates" `Quick test_exception_propagation;
+          Alcotest.test_case "many regions on one pool" `Quick test_many_regions_one_pool;
+          Alcotest.test_case "nested calls run inline" `Quick test_nested_calls_inline;
+          Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_then_inline;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "split_streams deterministic" `Quick test_split_streams_deterministic;
+          Alcotest.test_case "init_rng domain-invariant" `Quick test_init_rng_domain_invariant;
+        ] );
+      ( "hot paths",
+        [
+          Alcotest.test_case "process variation bit-exact" `Quick test_process_var_bit_exact;
+          Alcotest.test_case "signal-prob MC bit-exact" `Quick test_signal_prob_mc_bit_exact;
+          Alcotest.test_case "activity MC bit-exact" `Quick test_activity_mc_bit_exact;
+          Alcotest.test_case "MLV search domain-invariant" `Quick test_mlv_search_domain_invariant;
+          Alcotest.test_case "MLV exhaustive domain-invariant" `Quick
+            test_mlv_exhaustive_domain_invariant;
+          Alcotest.test_case "vector_key packing" `Quick test_vector_key;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "batch order and errors" `Quick test_batch_order_and_errors;
+          Alcotest.test_case "stats reports pool counters" `Quick test_stats_reports_pool;
+        ] );
+    ]
