@@ -1,4 +1,4 @@
-.PHONY: all build test smoke parallel-smoke bench-json check clean
+.PHONY: all build test smoke chaos-smoke parallel-smoke bench-json check clean
 
 all: build
 
@@ -14,6 +14,13 @@ test:
 smoke: build
 	./scripts/smoke_server.sh
 
+# Fault-injection smoke: run the daemon under an armed fault plan
+# (shedding, injected failures, truncated writes) and assert structured
+# errors, a surviving retry client, deadline enforcement and a graceful
+# shutdown.
+chaos-smoke: build
+	./scripts/chaos_smoke.sh
+
 # Parallel-determinism smoke: the c432 variation study must be
 # byte-identical at --jobs 1 and --jobs 4.
 parallel-smoke: build
@@ -24,7 +31,7 @@ parallel-smoke: build
 bench-json: build
 	dune exec bench/main.exe -- --perf-json BENCH_PR3.json
 
-check: build test smoke parallel-smoke
+check: build test smoke chaos-smoke parallel-smoke
 
 clean:
 	dune clean

@@ -527,20 +527,86 @@ let serve_cmd =
   let result_cache_arg =
     Arg.(value & opt int 256 & info [ "result-cache" ] ~docv:"N" ~doc:"Result cache entries.")
   in
+  let result_cache_mb_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "result-cache-mb" ] ~docv:"MB" ~doc:"Approximate result cache byte budget.")
+  in
   let prepared_cache_arg =
     Arg.(value & opt int 32 & info [ "prepared-cache" ] ~docv:"N" ~doc:"Prepared-pipeline cache entries.")
   in
   let max_pending_arg =
     Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"N" ~doc:"Concurrent requests before overload.")
   in
-  let run endpoint result_capacity prepared_capacity max_pending jobs =
+  let max_batch_arg =
+    Arg.(
+      value
+      & opt int Server.Service.default_limits.Server.Service.max_batch_jobs
+      & info [ "max-batch" ] ~docv:"N" ~doc:"Most jobs accepted in one batch request.")
+  in
+  let max_gates_arg =
+    Arg.(
+      value
+      & opt int Server.Service.default_limits.Server.Service.max_gates
+      & info [ "max-gates" ] ~docv:"N" ~doc:"Largest accepted netlist (gate count).")
+  in
+  let max_line_bytes_arg =
+    Arg.(
+      value
+      & opt int Server.Service.default_limits.Server.Service.max_line_bytes
+      & info [ "max-line-bytes" ] ~docv:"BYTES" ~doc:"Longest accepted request line.")
+  in
+  let default_timeout_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "default-timeout-ms" ] ~docv:"MS"
+          ~doc:"Compute budget applied to requests that carry no timeout_ms of their own.")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~env:(Cmd.Env.info "NBTI_FAULTS")
+          ~doc:
+            "Fault-injection plan for chaos testing: comma-separated site=action[:param][@N] \
+             rules (sites: admission, compute, write; actions: delay:MS, fail, truncate, shed).")
+  in
+  let run endpoint result_capacity result_cache_mb prepared_capacity max_pending max_batch
+      max_gates max_line_bytes default_timeout_ms faults_spec jobs =
     apply_jobs jobs;
-    let t = Server.Service.create ~result_capacity ~prepared_capacity ~max_pending () in
+    let faults =
+      match faults_spec with
+      | None -> Server.Faults.none
+      | Some spec -> begin
+        match Server.Faults.parse spec with
+        | Ok f -> f
+        | Error m ->
+          Format.eprintf "nbti_tool serve: bad --faults plan: %s@." m;
+          exit 2
+      end
+    in
+    let limits =
+      {
+        Server.Service.default_limits with
+        Server.Service.max_batch_jobs = max_batch;
+        max_gates;
+        max_line_bytes;
+        default_timeout_ms;
+      }
+    in
+    let t =
+      Server.Service.create ~result_capacity
+        ~result_max_bytes:(result_cache_mb * 1024 * 1024)
+        ~prepared_capacity ~max_pending ~limits ~faults ()
+    in
     Server.Service.install_signal_handlers t;
     let on_ready () =
       (match endpoint with
       | Server.Service.Unix_socket p -> Format.printf "nbti_tool: serving on unix:%s@." p
       | Server.Service.Tcp (h, p) -> Format.printf "nbti_tool: serving on tcp:%s:%d@." h p);
+      if not (Server.Faults.is_empty faults) then
+        Format.printf "fault injection armed: %s@."
+          (Server.Json.to_string (Server.Faults.to_json faults));
       Format.printf "protocol v%d; stop with SIGINT/SIGTERM@." Server.Protocol.version
     in
     (try Server.Service.serve t endpoint ~on_ready () with
@@ -551,8 +617,9 @@ let serve_cmd =
   in
   let term =
     Term.(
-      const run $ endpoint_arg $ result_cache_arg $ prepared_cache_arg $ max_pending_arg
-      $ jobs_arg)
+      const run $ endpoint_arg $ result_cache_arg $ result_cache_mb_arg $ prepared_cache_arg
+      $ max_pending_arg $ max_batch_arg $ max_gates_arg $ max_line_bytes_arg
+      $ default_timeout_arg $ faults_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -567,7 +634,30 @@ let request_cmd =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"REQUEST" ~doc)
   in
-  let connect endpoint =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry transient failures (overloaded server, lost or truncated connections) up to \
+             N times with jittered exponential backoff; every protocol operation is idempotent, \
+             so retrying is always safe.")
+  in
+  let timeout_ms_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request compute budget, injected as timeout_ms into requests that do not \
+             already carry one; the server answers deadline_exceeded when it runs out.")
+  in
+  let retry_seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retry-seed" ] ~docv:"SEED"
+          ~doc:"Seed for the deterministic backoff jitter (reproducible retry schedules).")
+  in
+  let connect endpoint ~timeout_ms =
     let domain, addr =
       match endpoint with
       | Server.Service.Unix_socket p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
@@ -580,7 +670,14 @@ let request_cmd =
     in
     let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
     Unix.connect fd addr;
-    (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+    (* A deadline-bounded request must not hang the client on a wedged
+       server: bound the read at several times the compute budget (the
+       server itself answers within ~2x). *)
+    (match timeout_ms with
+    | Some ms ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO (Float.max 5.0 (4.0 *. float_of_int ms /. 1000.0))
+    | None -> ());
+    (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd, fd)
   in
   let request_line body =
     let is_json = String.length body > 0 && (body.[0] = '{' || body.[0] = '[') in
@@ -604,43 +701,126 @@ let request_cmd =
              ("circuit", circuit);
            ])
   in
-  let run endpoint body =
-    match connect endpoint with
-    | exception Unix.Unix_error (err, fn, arg) ->
-      Format.eprintf "nbti_tool request: %s(%s): %s@." fn arg (Unix.error_message err);
-      exit 1
-    | ic, oc ->
-      let ok = ref true in
-      let roundtrip line =
-        output_string oc line;
-        output_char oc '\n';
-        flush oc;
-        match input_line ic with
-        | response ->
-          print_endline response;
-          (match Server.Json.(member_opt "ok" (of_string response)) with
-           | Some (Server.Json.Bool true) -> ()
-           | _ -> ok := false
-           | exception _ -> ok := false)
-        | exception End_of_file ->
-          prerr_endline "nbti_tool request: server closed the connection";
-          exit 1
-      in
-      if body = "-" then begin
-        try
-          while true do
-            let line = input_line stdin in
-            if String.trim line <> "" then roundtrip line
-          done
-        with End_of_file -> ()
+  let run endpoint body retries timeout_ms retry_seed =
+    let policy = { Server.Retry.default_policy with Server.Retry.retries } in
+    let rng = Physics.Rng.split (Physics.Rng.create ~seed:retry_seed) in
+    let conn = ref None in
+    let close_conn () =
+      match !conn with
+      | Some (_, _, fd) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        conn := None
+      | None -> ()
+    in
+    let get_conn () =
+      match !conn with
+      | Some c -> c
+      | None ->
+        let c = connect endpoint ~timeout_ms in
+        conn := Some c;
+        c
+    in
+    (* Inject the --timeout-ms budget into requests that do not already
+       carry one; raw JSON bodies keep whatever they say. *)
+    let with_timeout line =
+      match timeout_ms with
+      | None -> line
+      | Some ms -> begin
+        match Server.Json.of_string line with
+        | Server.Json.Assoc kvs when not (List.mem_assoc "timeout_ms" kvs) ->
+          Server.Json.to_string (Server.Json.Assoc (kvs @ [ ("timeout_ms", Server.Json.Int ms) ]))
+        | _ -> line
+        | exception Server.Json.Parse_error _ -> line
       end
-      else begin
-        let line = request_line body in
-        roundtrip line
-      end;
-      if not !ok then exit 1
+    in
+    let ok = ref true in
+    (* One attempt: Done carries a response line to print (success or a
+       non-retryable error); Transient means reconnect-and-retry. *)
+    let attempt line =
+      match get_conn () with
+      | exception Unix.Unix_error (err, fn, arg) ->
+        `Transient (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err), None)
+      | ic, oc, _ -> begin
+        match
+          output_string oc line;
+          output_char oc '\n';
+          flush oc;
+          input_line ic
+        with
+        | response -> begin
+          match Server.Json.of_string response with
+          | json -> begin
+            match Server.Protocol.response_result json with
+            | Ok _ -> `Done response
+            | Error (code, _) when Server.Protocol.retryable_code_string code ->
+              `Retryable
+                (response, "server " ^ code, Server.Protocol.error_detail_int json "retry_after_ms")
+            | Error _ -> `Done response
+            | exception Server.Json.Type_error _ -> `Done response
+          end
+          | exception Server.Json.Parse_error _ ->
+            close_conn ();
+            `Transient ("truncated or unparseable response", None)
+        end
+        | exception End_of_file ->
+          close_conn ();
+          `Transient ("server closed the connection", None)
+        | exception Sys_error m ->
+          close_conn ();
+          `Transient (m, None)
+        | exception Unix.Unix_error (err, _, _) ->
+          close_conn ();
+          `Transient (Unix.error_message err, None)
+      end
+    in
+    let print_response response =
+      print_endline response;
+      match Server.Json.(member_opt "ok" (of_string response)) with
+      | Some (Server.Json.Bool true) -> ()
+      | _ -> ok := false
+      | exception _ -> ok := false
+    in
+    let rec roundtrip line attempt_no =
+      let give_up ?response reason =
+        Format.eprintf "nbti_tool request: giving up after %d attempt%s: %s@." (attempt_no + 1)
+          (if attempt_no = 0 then "" else "s")
+          reason;
+        (* still surface the server's final word (e.g. the overloaded
+           error envelope) so callers can inspect it *)
+        (match response with Some r -> print_endline r | None -> ());
+        ok := false
+      in
+      let retry reason retry_after_ms =
+        let ms = Server.Retry.backoff_ms policy ~attempt:attempt_no ?retry_after_ms ~rng () in
+        Format.eprintf "nbti_tool request: %s; retry %d/%d in %d ms@." reason (attempt_no + 1)
+          policy.Server.Retry.retries ms;
+        if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.0);
+        roundtrip line (attempt_no + 1)
+      in
+      let exhausted = attempt_no >= policy.Server.Retry.retries in
+      match attempt line with
+      | `Done response -> print_response response
+      | `Retryable (response, reason, retry_after_ms) ->
+        if exhausted then give_up ~response reason else retry reason retry_after_ms
+      | `Transient (reason, retry_after_ms) ->
+        if exhausted then give_up reason else retry reason retry_after_ms
+    in
+    let send line = roundtrip (with_timeout line) 0 in
+    if body = "-" then begin
+      try
+        while true do
+          let line = input_line stdin in
+          if String.trim line <> "" then send line
+        done
+      with End_of_file -> ()
+    end
+    else send (request_line body);
+    close_conn ();
+    if not !ok then exit 1
   in
-  let term = Term.(const run $ endpoint_arg $ body_arg) in
+  let term =
+    Term.(const run $ endpoint_arg $ body_arg $ retries_arg $ timeout_ms_arg $ retry_seed_arg)
+  in
   Cmd.v
     (Cmd.info "request"
        ~doc:"Send one request (or stdin lines with -) to a running analysis daemon.")

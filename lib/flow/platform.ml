@@ -6,9 +6,10 @@ type config = {
   sp_method : sp_method;
   leakage_temp : float;
   pool : Parallel.Pool.t option;
+  budget : Parallel.Budget.t;
 }
 
-let default_config ?aging ?pool () =
+let default_config ?aging ?pool ?(budget = Parallel.Budget.unlimited) () =
   let aging = match aging with Some a -> a | None -> Aging.Circuit_aging.default_config () in
   {
     aging;
@@ -16,15 +17,17 @@ let default_config ?aging ?pool () =
     sp_method = Sp_monte_carlo { n_vectors = 4096; seed = 7 };
     leakage_temp = 400.0;
     pool;
+    budget;
   }
 
 (* Canonical fingerprints: every numeric field rendered at full float
    precision into one buffer, then hashed. Two configs with equal
    fingerprints are field-for-field equal on everything the hashed
    computation reads, so fingerprints are sound cache keys. The [pool]
-   field is deliberately excluded: the domain count never changes any
-   result (see Parallel.Pool), so configs differing only in pool must
-   share cache entries. *)
+   and [budget] fields are deliberately excluded: the domain count never
+   changes any result (see Parallel.Pool) and a budget only decides
+   whether a computation finishes, never what it computes — so configs
+   differing only in those must share cache entries. *)
 
 let add_float buf x = Buffer.add_string buf (Printf.sprintf "%.17g;" x)
 
@@ -90,15 +93,22 @@ type prepared = {
   cfg : config;
 }
 
+(* Pipeline stage boundaries poll the request budget: a deadline-bounded
+   request abandons the flow between stages (and, via the pool, between
+   chunks inside a stage) with Parallel.Budget.Deadline_exceeded. *)
+let stage config = Parallel.Budget.check config.budget
+
 let prepare config net =
+  stage config;
   let input_sp = Logic.Signal_prob.uniform_inputs net config.input_sp in
   let sp =
     match config.sp_method with
     | Sp_analytic -> Logic.Signal_prob.analytic net ~input_sp
     | Sp_monte_carlo { n_vectors; seed } ->
-      Logic.Signal_prob.monte_carlo ?pool:config.pool net ~rng:(Physics.Rng.create ~seed) ~input_sp
-        ~n_vectors
+      Logic.Signal_prob.monte_carlo ?pool:config.pool ~budget:config.budget net
+        ~rng:(Physics.Rng.create ~seed) ~input_sp ~n_vectors
   in
+  stage config;
   let tabs =
     Leakage.Circuit_leakage.build_tables config.aging.Aging.Circuit_aging.tech net
       ~temp_k:config.leakage_temp
@@ -120,7 +130,9 @@ type analysis = {
 }
 
 let analyze config p ~standby =
+  stage config;
   let a = Aging.Circuit_aging.analyze config.aging p.net ~node_sp:p.sp ~standby () in
+  stage config;
   let standby_leakage =
     match standby with
     | Aging.Circuit_aging.Standby_vector v ->
@@ -141,9 +153,12 @@ let analyze config p ~standby =
   }
 
 let optimize_ivc config p ~rng ?pool ?tolerance () =
-  Ivc.Co_opt.run ?par:config.pool config.aging p.tabs p.net ~node_sp:p.sp ~rng ?pool ?tolerance ()
+  stage config;
+  Ivc.Co_opt.run ?par:config.pool ~budget:config.budget config.aging p.tabs p.net ~node_sp:p.sp
+    ~rng ?pool ?tolerance ()
 
 let optimize_st config p ~style ~beta ?vth_st ?nbti_aware () =
+  stage config;
   Sleep.St_insertion.analyze config.aging p.net ~node_sp:p.sp ~style ~beta ?vth_st ?nbti_aware ()
 
 let internal_node_potential config p = Ivc.Internal_node.potential config.aging p.net ~node_sp:p.sp

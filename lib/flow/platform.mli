@@ -17,9 +17,20 @@ type config = {
           {!Parallel.Pool.default} inside those); results are bit-identical
           for any domain count, so the pool is excluded from both
           fingerprints *)
+  budget : Parallel.Budget.t;
+      (** cooperative deadline, polled at every pipeline stage boundary
+          and inside the pooled hot paths; exhaustion raises
+          {!Parallel.Budget.Deadline_exceeded}. A budget never changes
+          what a completing flow computes, so it too is excluded from
+          the fingerprints *)
 }
 
-val default_config : ?aging:Aging.Circuit_aging.config -> ?pool:Parallel.Pool.t -> unit -> config
+val default_config :
+  ?aging:Aging.Circuit_aging.config ->
+  ?pool:Parallel.Pool.t ->
+  ?budget:Parallel.Budget.t ->
+  unit ->
+  config
 (** The paper's setting: SP 0.5, Monte-Carlo SPs (4096 vectors), leakage
     at 400 K, aging per {!Aging.Circuit_aging.default_config}. *)
 

@@ -2,7 +2,7 @@ type choice = { vector : bool array; leakage : float; degradation : float; aged_
 
 type result = { best : choice; all : choice list; fresh_delay : float; spread : float }
 
-let co_optimize ?par config _tables t ~node_sp ~candidates =
+let co_optimize ?par ?budget config _tables t ~node_sp ~candidates =
   if candidates = [] then invalid_arg "Co_opt.co_optimize: no candidates";
   let evaluate (c : Mlv.candidate) =
     let analysis =
@@ -21,7 +21,7 @@ let co_optimize ?par config _tables t ~node_sp ~candidates =
      The map preserves candidate order and the sort below breaks ties on
      the vector, so the result is independent of the domain count. *)
   let p = match par with Some p -> p | None -> Parallel.Pool.default () in
-  let evaluated = Parallel.Pool.map p evaluate (Array.of_list candidates) in
+  let evaluated = Parallel.Pool.map p ?budget evaluate (Array.of_list candidates) in
   let fresh_delay = snd evaluated.(0) in
   let all =
     List.sort
@@ -35,6 +35,6 @@ let co_optimize ?par config _tables t ~node_sp ~candidates =
   let worst = List.nth all (List.length all - 1) in
   { best; all; fresh_delay; spread = worst.degradation -. best.degradation }
 
-let run ?par config tables t ~node_sp ~rng ?pool ?tolerance () =
-  let candidates, stats = Mlv.probability_based ?par tables t ~rng ?pool ?tolerance () in
-  (co_optimize ?par config tables t ~node_sp ~candidates, stats)
+let run ?par ?budget config tables t ~node_sp ~rng ?pool ?tolerance () =
+  let candidates, stats = Mlv.probability_based ?par ?budget tables t ~rng ?pool ?tolerance () in
+  (co_optimize ?par ?budget config tables t ~node_sp ~candidates, stats)

@@ -26,6 +26,7 @@ type result = {
 
 val co_optimize :
   ?par:Parallel.Pool.t ->
+  ?budget:Parallel.Budget.t ->
   Aging.Circuit_aging.config ->
   Leakage.Circuit_leakage.tables ->
   Circuit.Netlist.t ->
@@ -35,10 +36,12 @@ val co_optimize :
 (** Candidate aging analyses fan out over [par] (default
     {!Parallel.Pool.default}); equal degradations order by
     {!Mlv.vector_key}, so the result is independent of the domain count.
+    [budget] is polled inside the pooled evaluations.
     @raise Invalid_argument on an empty candidate list. *)
 
 val run :
   ?par:Parallel.Pool.t ->
+  ?budget:Parallel.Budget.t ->
   Aging.Circuit_aging.config ->
   Leakage.Circuit_leakage.tables ->
   Circuit.Netlist.t ->
@@ -48,4 +51,5 @@ val run :
   ?tolerance:float ->
   unit ->
   result * Mlv.search_stats
-(** MLV search + co-optimization in one call, both phases on [par]. *)
+(** MLV search + co-optimization in one call, both phases on [par],
+    both bounded by [budget] (default unlimited). *)

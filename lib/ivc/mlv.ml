@@ -96,8 +96,8 @@ let dedup_sort candidates =
       | c -> c)
     uniq
 
-let probability_based ?par tables t ~rng ?(pool = 64) ?(tolerance = 0.04) ?(max_rounds = 50)
-    ?(max_set = 16) () =
+let probability_based ?par ?(budget = Parallel.Budget.unlimited) tables t ~rng ?(pool = 64)
+    ?(tolerance = 0.04) ?(max_rounds = 50) ?(max_set = 16) () =
   if pool < 2 then invalid_arg "Mlv.probability_based: pool must be >= 2";
   if tolerance < 0.0 then invalid_arg "Mlv.probability_based: negative tolerance";
   let n_pi = Circuit.Netlist.n_primary_inputs t in
@@ -106,10 +106,12 @@ let probability_based ?par tables t ~rng ?(pool = 64) ?(tolerance = 0.04) ?(max_
   (* Vectors are drawn from [rng] sequentially (vector 0 first) on the
      calling domain; only the pure leakage evaluations fan out. The RNG
      stream and therefore the whole search are identical for any domain
-     count. *)
+     count. The budget is checked once per round here and per chunk
+     inside the pool, so a bounded search aborts between evaluations. *)
   let eval_batch vectors =
+    Parallel.Budget.check budget;
     evaluations := !evaluations + Array.length vectors;
-    Array.to_list (Parallel.Pool.map p (evaluate tables t) vectors)
+    Array.to_list (Parallel.Pool.map p ~budget (evaluate tables t) vectors)
   in
   let draw_batch sample =
     let vs = Array.make pool [||] in

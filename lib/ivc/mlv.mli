@@ -40,6 +40,7 @@ type search_stats = {
 
 val probability_based :
   ?par:Parallel.Pool.t ->
+  ?budget:Parallel.Budget.t ->
   Leakage.Circuit_leakage.tables ->
   Circuit.Netlist.t ->
   rng:Physics.Rng.t ->
@@ -59,5 +60,7 @@ val probability_based :
     within 4 % of the circuit leakage); [max_rounds] caps the iteration
     (default 50); [max_set] caps the set size (default 16, best kept) so
     the downstream NBTI co-optimization evaluates a bounded candidate
-    list. Returns the deduplicated MLV set sorted by leakage (best
-    first), never empty. *)
+    list. [budget] (default unlimited) is polled at every round boundary
+    and inside the pooled evaluations; exhaustion raises
+    {!Parallel.Budget.Deadline_exceeded}. Returns the deduplicated MLV
+    set sorted by leakage (best first), never empty. *)

@@ -39,7 +39,7 @@ let word_block_counts t ~input_sp ~n_pi rng =
   done;
   Eval.count_ones t ~inputs:packed
 
-let monte_carlo ?pool t ~rng ~input_sp ~n_vectors =
+let monte_carlo ?pool ?budget t ~rng ~input_sp ~n_vectors =
   let input_sp = check_sp input_sp in
   if n_vectors < 1 then invalid_arg "Signal_prob.monte_carlo: n_vectors must be >= 1";
   let n_pi = Circuit.Netlist.n_primary_inputs t in
@@ -51,7 +51,8 @@ let monte_carlo ?pool t ~rng ~input_sp ~n_vectors =
      estimate is bit-identical for any domain count. The ordered
      integer reduction below cannot depend on scheduling either. *)
   let per_block =
-    Parallel.Pool.init_rng p ~rng n_words (fun rng _ -> word_block_counts t ~input_sp ~n_pi rng)
+    Parallel.Pool.init_rng p ?budget ~rng n_words (fun rng _ ->
+        word_block_counts t ~input_sp ~n_pi rng)
   in
   let counts = Array.make (Circuit.Netlist.n_nodes t) 0 in
   Array.iter (fun ones -> Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) ones) per_block;

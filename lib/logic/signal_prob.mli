@@ -18,6 +18,7 @@ val analytic : Circuit.Netlist.t -> input_sp:float array -> float array
 
 val monte_carlo :
   ?pool:Parallel.Pool.t ->
+  ?budget:Parallel.Budget.t ->
   Circuit.Netlist.t ->
   rng:Physics.Rng.t ->
   input_sp:float array ->
@@ -27,7 +28,9 @@ val monte_carlo :
     64 lanes). 64-vector word blocks are simulated in parallel on [pool]
     (default {!Parallel.Pool.default}), each on its own stream split from
     [rng] in block order — the estimate is bit-identical for any domain
-    count, including a sequential pool. *)
+    count, including a sequential pool. [budget] (default unlimited) is
+    polled per block; an exhausted budget raises
+    {!Parallel.Budget.Deadline_exceeded}. *)
 
 val uniform_inputs : Circuit.Netlist.t -> float -> float array
 (** An input SP array with every PI at the given probability (the paper

@@ -2,7 +2,14 @@ type def =
   | Def_input
   | Def_gate of { op : string; args : string list; line : int }
 
-let fail_line line msg = failwith (Printf.sprintf ".bench line %d: %s" line msg)
+type error = { line : int option; message : string }
+
+(* Internal: every syntax/semantic failure funnels through this so
+   [parse_result] can report the offending line; [parse_string] folds it
+   back into the historical [Failure] message for existing callers. *)
+exception Parse_failure of error
+
+let fail_line line msg = raise (Parse_failure { line = Some line; message = msg })
 
 (* --- Parsing --- *)
 
@@ -76,7 +83,7 @@ let parse_lines text =
           let op, args = parse_call line s in
           (match (op, args) with
           | "INPUT", [ a ] -> add_def line a Def_input
-          | "OUTPUT", [ a ] -> outputs := a :: !outputs
+          | "OUTPUT", [ a ] -> outputs := (a, line) :: !outputs
           | "INPUT", _ | "OUTPUT", _ -> fail_line line "INPUT/OUTPUT take one signal"
           | _ -> fail_line line (Printf.sprintf "unexpected statement %s" op))
       end)
@@ -149,33 +156,61 @@ let build_gate b ~op ~line ~name args =
   end
   | _ -> fail_line line (Printf.sprintf "unsupported gate %s/%d" op k)
 
-let parse_string ~name text =
-  let defs, order, output_names = parse_lines text in
-  let b = Netlist.Builder.create ~name in
-  let ids : (string, int) Hashtbl.t = Hashtbl.create 256 in
-  let visiting : (string, unit) Hashtbl.t = Hashtbl.create 16 in
-  let rec resolve signal =
-    match Hashtbl.find_opt ids signal with
-    | Some id -> id
-    | None ->
-      if Hashtbl.mem visiting signal then
-        failwith (Printf.sprintf ".bench: combinational cycle through %s" signal);
-      Hashtbl.add visiting signal ();
-      let id =
-        match Hashtbl.find_opt defs signal with
-        | None -> failwith (Printf.sprintf ".bench: undefined signal %s" signal)
-        | Some Def_input -> Netlist.Builder.input b signal
-        | Some (Def_gate { op; args; line }) ->
-          let arg_ids = List.map resolve args in
-          build_gate b ~op ~line ~name:signal arg_ids
-      in
-      Hashtbl.remove visiting signal;
-      Hashtbl.replace ids signal id;
-      id
+let parse_result ~name text =
+  let build () =
+    let defs, order, output_names = parse_lines text in
+    let b = Netlist.Builder.create ~name in
+    let ids : (string, int) Hashtbl.t = Hashtbl.create 256 in
+    let visiting : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+    (* [from] positions errors about a signal at the line that referenced
+       it (the gate whose fanin dangles, or the OUTPUT statement). *)
+    let rec resolve ?from signal =
+      match Hashtbl.find_opt ids signal with
+      | Some id -> id
+      | None ->
+        if Hashtbl.mem visiting signal then begin
+          let line =
+            match Hashtbl.find_opt defs signal with
+            | Some (Def_gate { line; _ }) -> Some line
+            | _ -> from
+          in
+          raise
+            (Parse_failure
+               { line; message = Printf.sprintf "combinational cycle through %s" signal })
+        end;
+        Hashtbl.add visiting signal ();
+        let id =
+          match Hashtbl.find_opt defs signal with
+          | None ->
+            raise
+              (Parse_failure
+                 { line = from; message = Printf.sprintf "undefined signal %s" signal })
+          | Some Def_input -> Netlist.Builder.input b signal
+          | Some (Def_gate { op; args; line }) ->
+            let arg_ids = List.map (resolve ~from:line) args in
+            build_gate b ~op ~line ~name:signal arg_ids
+        in
+        Hashtbl.remove visiting signal;
+        Hashtbl.replace ids signal id;
+        id
+    in
+    List.iter (fun signal -> ignore (resolve signal)) order;
+    List.iter (fun (o, line) -> Netlist.Builder.output b (resolve ~from:line o)) output_names;
+    Netlist.Builder.finish b
   in
-  List.iter (fun signal -> ignore (resolve signal)) order;
-  List.iter (fun o -> Netlist.Builder.output b (resolve o)) output_names;
-  Netlist.Builder.finish b
+  match build () with
+  | net -> Ok net
+  | exception Parse_failure e -> Error e
+  | exception Failure m -> Error { line = None; message = m }
+  | exception Invalid_argument m -> Error { line = None; message = m }
+
+let error_to_string e =
+  match e.line with
+  | Some l -> Printf.sprintf ".bench line %d: %s" l e.message
+  | None -> ".bench: " ^ e.message
+
+let parse_string ~name text =
+  match parse_result ~name text with Ok net -> net | Error e -> failwith (error_to_string e)
 
 let parse_file path =
   let ic = open_in path in

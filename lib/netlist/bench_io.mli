@@ -23,9 +23,25 @@
     names for decomposed complex cells (AOI21/OAI21), so a round trip
     preserves the logic function though not necessarily the gate count. *)
 
+type error = { line : int option; message : string }
+(** A positioned parse failure. [line] is the 1-based source line of the
+    offending statement — for a dangling fanin or output it is the line
+    that {e references} the undefined signal; [None] only for failures
+    with no single source position. *)
+
+val parse_result : name:string -> string -> (Netlist.t, error) result
+(** Total parser: malformed input (syntax errors, unknown/arity-mismatched
+    gates, duplicate nets, dangling fanins, combinational cycles) returns
+    [Error] instead of raising, so servers can map bad netlists to a
+    structured protocol error. *)
+
+val error_to_string : error -> string
+(** [".bench line N: msg"], or [".bench: msg"] when unpositioned. *)
+
 val parse_string : name:string -> string -> Netlist.t
-(** @raise Failure with a line-numbered message on syntax errors,
-    undefined signals, or redefinitions. *)
+(** {!parse_result} for callers that prefer exceptions.
+    @raise Failure with the {!error_to_string} rendering on malformed
+    input. *)
 
 val parse_file : string -> Netlist.t
 (** Netlist name = basename without extension. *)

@@ -1,0 +1,22 @@
+exception Deadline_exceeded
+
+(* [None] = unlimited; [Some d] = absolute deadline on [now_s]. *)
+type t = float option
+
+let now_s = Unix.gettimeofday
+
+let unlimited = None
+
+let of_timeout_s timeout_s = Some (now_s () +. Float.max 0.0 timeout_s)
+
+let of_timeout_ms ms = of_timeout_s (float_of_int ms /. 1000.0)
+
+let is_unlimited t = t = None
+
+let expired = function None -> false | Some d -> now_s () > d
+
+let check t = if expired t then raise Deadline_exceeded
+
+let remaining_s = function
+  | None -> None
+  | Some d -> Some (Float.max 0.0 (d -. now_s ()))

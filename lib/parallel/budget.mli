@@ -1,0 +1,46 @@
+(** Cooperative per-request execution deadlines.
+
+    A [Budget.t] is an immutable deadline on the process clock. Long
+    computations poll it at natural boundaries — pipeline stages in
+    [Flow.Platform], chunk claims inside [Parallel.Pool], search rounds
+    in [Ivc.Mlv] — and abandon the remaining work by raising
+    {!Deadline_exceeded}. Polling sites are chosen so a bounded request
+    returns well within twice its budget even when a single work item
+    overruns.
+
+    The clock is [Unix.gettimeofday] behind {!now_s} (the stdlib exposes
+    no monotonic clock); a backwards wall-clock jump can only extend a
+    deadline, never fire it early, and budgets are short-lived
+    (per-request), so the approximation is safe in practice. *)
+
+type t
+
+exception Deadline_exceeded
+(** Raised by {!check} (and by pool entry points given an exhausted
+    budget). Carries no payload: the enforcement site maps it to a
+    structured error at the protocol layer. *)
+
+val unlimited : t
+(** Never expires; {!check} is a no-op and [remaining_s] is [None]. *)
+
+val of_timeout_s : float -> t
+(** A budget expiring [timeout_s] seconds from now. Non-positive
+    timeouts produce an already-expired budget. *)
+
+val of_timeout_ms : int -> t
+(** [of_timeout_s (ms / 1000)]. *)
+
+val is_unlimited : t -> bool
+
+val expired : t -> bool
+(** True once the deadline has passed. [unlimited] never expires. *)
+
+val check : t -> unit
+(** @raise Deadline_exceeded once the deadline has passed. *)
+
+val remaining_s : t -> float option
+(** Seconds left ([Some 0.] when expired); [None] for {!unlimited}. *)
+
+val now_s : unit -> float
+(** The clock the deadlines live on, exposed for latency accounting at
+    the enforcement sites. *)

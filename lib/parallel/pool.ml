@@ -15,6 +15,7 @@ type job = {
   run : int -> unit;  (* execute item i; writes only its own slot *)
   n : int;
   chunk : int;
+  budget : Budget.t;  (* checked before every chunk claim *)
   next : int Atomic.t;  (* claim cursor *)
   in_flight : int Atomic.t;  (* participants currently inside a chunk *)
   failed : bool Atomic.t;  (* fast-path flag for [error] *)
@@ -70,6 +71,10 @@ let run_chunks t job ~worker =
   let t0 = Unix.gettimeofday () in
   let rec loop () =
     if not (Atomic.get job.failed) then begin
+      (* Cooperative deadline: an exhausted budget fails the job before
+         the next chunk is claimed; chunks already in flight finish. *)
+      if Budget.expired job.budget then
+        record_error t job Budget.Deadline_exceeded (Printexc.get_callstack 0);
       Atomic.incr job.in_flight;
       let start = Atomic.fetch_and_add job.next job.chunk in
       if start >= job.n || Atomic.get job.failed then Atomic.decr job.in_flight
@@ -176,12 +181,13 @@ let job_finished job =
 
 (* Run [run] over [0, n): inline when the pool is sequential, stopped,
    tiny, or we are already inside a region on this domain. *)
-let run_indices t ~chunk ~n run =
+let run_indices t ~chunk ~budget ~n run =
   let inline =
     n <= 1 || t.n_domains = 1 || t.stopping || Domain.DLS.get inside_region
   in
   if inline then
     for i = 0 to n - 1 do
+      Budget.check budget;
       run i
     done
   else begin
@@ -190,6 +196,7 @@ let run_indices t ~chunk ~n run =
         run;
         n;
         chunk = max 1 chunk;
+        budget;
         next = Atomic.make 0;
         in_flight = Atomic.make 0;
         failed = Atomic.make false;
@@ -228,20 +235,22 @@ let collect n fill =
   fill out;
   Array.map (function Some v -> v | None -> assert false) out
 
-let mapi t ?(chunk = 1) f items =
+let mapi t ?(chunk = 1) ?(budget = Budget.unlimited) f items =
   let n = Array.length items in
   if n = 0 then [||]
-  else collect n (fun out -> run_indices t ~chunk ~n (fun i -> out.(i) <- Some (f i items.(i))))
+  else
+    collect n (fun out ->
+        run_indices t ~chunk ~budget ~n (fun i -> out.(i) <- Some (f i items.(i))))
 
-let map t ?chunk f items = mapi t ?chunk (fun _ x -> f x) items
+let map t ?chunk ?budget f items = mapi t ?chunk ?budget (fun _ x -> f x) items
 
-let init t ?(chunk = 1) n f =
+let init t ?(chunk = 1) ?(budget = Budget.unlimited) n f =
   if n = 0 then [||]
   else if n < 0 then invalid_arg "Pool.init: negative length"
-  else collect n (fun out -> run_indices t ~chunk ~n (fun i -> out.(i) <- Some (f i)))
+  else collect n (fun out -> run_indices t ~chunk ~budget ~n (fun i -> out.(i) <- Some (f i)))
 
-let map_reduce t ?chunk ~map:f ~reduce ~init items =
-  Array.fold_left reduce init (map t ?chunk f items)
+let map_reduce t ?chunk ?budget ~map:f ~reduce ~init items =
+  Array.fold_left reduce init (map t ?chunk ?budget f items)
 
 (* --- RNG stream derivation --- *)
 
@@ -253,13 +262,13 @@ let split_streams rng n =
   done;
   a
 
-let map_rng t ?chunk ~rng f items =
+let map_rng t ?chunk ?budget ~rng f items =
   let rngs = split_streams rng (Array.length items) in
-  mapi t ?chunk (fun i x -> f rngs.(i) x) items
+  mapi t ?chunk ?budget (fun i x -> f rngs.(i) x) items
 
-let init_rng t ?chunk ~rng n f =
+let init_rng t ?chunk ?budget ~rng n f =
   let rngs = split_streams rng n in
-  init t ?chunk n (fun i -> f rngs.(i) i)
+  init t ?chunk ?budget n (fun i -> f rngs.(i) i)
 
 (* --- Utilization --- *)
 

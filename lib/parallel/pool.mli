@@ -58,14 +58,28 @@ val configure_default : domains:int -> unit
     raised (the first one observed, with its backtrace); remaining
     chunks are abandoned. [chunk] is the number of consecutive items a
     participant claims at a time (default 1 — right for heavyweight
-    items); it affects scheduling only, never results. *)
+    items); it affects scheduling only, never results.
 
-val map : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
-val mapi : t -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
-val init : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+    [budget] (default {!Budget.unlimited}) is polled cooperatively:
+    every participant checks it before claiming a chunk (and the inline
+    fallback checks it before every item), so an exhausted budget fails
+    the region with {!Budget.Deadline_exceeded} in the caller after at
+    most one in-flight chunk per participant. The budget never affects
+    the results of a region that completes. *)
+
+val map : t -> ?chunk:int -> ?budget:Budget.t -> ('a -> 'b) -> 'a array -> 'b array
+val mapi : t -> ?chunk:int -> ?budget:Budget.t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val init : t -> ?chunk:int -> ?budget:Budget.t -> int -> (int -> 'a) -> 'a array
 
 val map_reduce :
-  t -> ?chunk:int -> map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc -> 'a array -> 'acc
+  t ->
+  ?chunk:int ->
+  ?budget:Budget.t ->
+  map:('a -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc
 (** Ordered reduction: [reduce] folds the mapped results left-to-right in
     item order on the calling domain, after the parallel map. *)
 
@@ -77,12 +91,24 @@ val split_streams : Physics.Rng.t -> int -> Physics.Rng.t array
     are later scheduled. *)
 
 val map_rng :
-  t -> ?chunk:int -> rng:Physics.Rng.t -> (Physics.Rng.t -> 'a -> 'b) -> 'a array -> 'b array
+  t ->
+  ?chunk:int ->
+  ?budget:Budget.t ->
+  rng:Physics.Rng.t ->
+  (Physics.Rng.t -> 'a -> 'b) ->
+  'a array ->
+  'b array
 (** [map] where item [i] receives the [i]-th stream of
     [split_streams rng n]. *)
 
 val init_rng :
-  t -> ?chunk:int -> rng:Physics.Rng.t -> int -> (Physics.Rng.t -> int -> 'a) -> 'a array
+  t ->
+  ?chunk:int ->
+  ?budget:Budget.t ->
+  rng:Physics.Rng.t ->
+  int ->
+  (Physics.Rng.t -> int -> 'a) ->
+  'a array
 (** [init] with a private stream per index. *)
 
 (** {1 Utilization} *)

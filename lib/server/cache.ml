@@ -4,28 +4,40 @@
 type 'a node = {
   key : string;
   mutable value : 'a;
+  mutable weight : int;
   mutable prev : 'a node option;
   mutable next : 'a node option;
 }
 
 type 'a t = {
   cap : int;
+  max_bytes : int option;
+  weigh : 'a -> int;
   table : (string, 'a node) Hashtbl.t;
   mutable head : 'a node option;
   mutable tail : 'a node option;
+  mutable bytes : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
   lock : Mutex.t;
 }
 
-let create ~capacity =
+let default_weight _ = 1
+
+let create ~capacity ?max_bytes ?(weight = default_weight) () =
   if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  (match max_bytes with
+  | Some b when b < 1 -> invalid_arg "Cache.create: max_bytes must be >= 1"
+  | _ -> ());
   {
     cap = capacity;
+    max_bytes;
+    weigh = weight;
     table = Hashtbl.create (2 * capacity);
     head = None;
     tail = None;
+    bytes = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -38,6 +50,7 @@ let with_lock t f =
 
 let capacity t = t.cap
 let length t = with_lock t (fun () -> Hashtbl.length t.table)
+let bytes_used t = with_lock t (fun () -> t.bytes)
 
 (* List surgery; callers hold the lock. *)
 
@@ -77,19 +90,40 @@ let evict_lru t =
   | Some n ->
     unlink t n;
     Hashtbl.remove t.table n.key;
+    t.bytes <- t.bytes - n.weight;
     t.evictions <- t.evictions + 1
+
+(* Evict until both bounds hold again. At least one entry is always
+   kept, so a single value heavier than the whole byte budget is still
+   cached (the budget is approximate, not a hard allocator limit). *)
+let shrink_to_bounds t =
+  while Hashtbl.length t.table > t.cap do
+    evict_lru t
+  done;
+  match t.max_bytes with
+  | None -> ()
+  | Some budget ->
+    while t.bytes > budget && Hashtbl.length t.table > 1 do
+      evict_lru t
+    done
 
 let add t key value =
   with_lock t (fun () ->
-      match Hashtbl.find_opt t.table key with
+      (match Hashtbl.find_opt t.table key with
       | Some n ->
+        t.bytes <- t.bytes - n.weight;
         n.value <- value;
+        n.weight <- t.weigh value;
+        t.bytes <- t.bytes + n.weight;
         touch t n
       | None ->
         if Hashtbl.length t.table >= t.cap then evict_lru t;
-        let n = { key; value; prev = None; next = None } in
+        let w = t.weigh value in
+        let n = { key; value; weight = w; prev = None; next = None } in
         Hashtbl.replace t.table key n;
-        push_front t n)
+        t.bytes <- t.bytes + w;
+        push_front t n);
+      shrink_to_bounds t)
 
 let find_or_add t key compute =
   match find t key with
@@ -103,9 +137,18 @@ let clear t =
   with_lock t (fun () ->
       Hashtbl.reset t.table;
       t.head <- None;
-      t.tail <- None)
+      t.tail <- None;
+      t.bytes <- 0)
 
-type stats = { hits : int; misses : int; evictions : int; size : int; capacity : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+  bytes_used : int;
+  max_bytes : int option;
+}
 
 let stats t =
   with_lock t (fun () ->
@@ -115,6 +158,8 @@ let stats t =
         evictions = t.evictions;
         size = Hashtbl.length t.table;
         capacity = t.cap;
+        bytes_used = t.bytes;
+        max_bytes = t.max_bytes;
       })
 
 let hit_rate s =

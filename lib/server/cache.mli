@@ -3,24 +3,34 @@
     The service keys entries on content digests — a canonical hash of the
     netlist plus the config fingerprint (and standby state for full
     analyses) — so identical requests are answered without recomputing
-    the Fig. 6 flow. Capacity is a hard entry bound; inserting into a
-    full cache evicts the least-recently-used entry. Every lookup
+    the Fig. 6 flow. Capacity is a hard entry bound; an optional
+    [max_bytes] budget additionally bounds the {e approximate} resident
+    size, as measured by a caller-supplied [weight] function. Inserting
+    past either bound evicts least-recently-used entries. Every lookup
     updates recency; hit, miss and eviction counters are kept for the
     [stats] endpoint. *)
 
 type 'a t
 
-val create : capacity:int -> 'a t
-(** @raise Invalid_argument when [capacity < 1]. *)
+val create : capacity:int -> ?max_bytes:int -> ?weight:('a -> int) -> unit -> 'a t
+(** [weight] maps a value to its approximate byte cost (default: 1 per
+    entry, which makes [max_bytes] an alternative entry bound). The
+    weight of a value is sampled once at insertion.
+    @raise Invalid_argument when [capacity < 1] or [max_bytes < 1]. *)
 
 val capacity : 'a t -> int
 val length : 'a t -> int
+
+val bytes_used : 'a t -> int
+(** Sum of the weights of resident entries. *)
 
 val find : 'a t -> string -> 'a option
 (** Counts a hit (and refreshes recency) or a miss. *)
 
 val add : 'a t -> string -> 'a -> unit
-(** Inserts or replaces; may evict the LRU entry. *)
+(** Inserts or replaces, then evicts LRU entries until both bounds hold
+    again. One entry is always kept, so a value heavier than the whole
+    byte budget still caches — the budget is approximate. *)
 
 val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a * bool
 (** [find_or_add t key compute] returns [(value, was_hit)]. The compute
@@ -33,7 +43,15 @@ val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a * bool
 val clear : 'a t -> unit
 (** Drops all entries; counters are preserved. *)
 
-type stats = { hits : int; misses : int; evictions : int; size : int; capacity : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+  bytes_used : int;
+  max_bytes : int option;
+}
 
 val stats : 'a t -> stats
 val hit_rate : stats -> float

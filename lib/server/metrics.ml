@@ -22,9 +22,35 @@ type counters = {
   counts : int array;
 }
 
-type t = { table : (string, counters) Hashtbl.t; lock : Mutex.t }
+type t = {
+  table : (string, counters) Hashtbl.t;
+  events : (string, int ref) Hashtbl.t;
+  lock : Mutex.t;
+}
 
-let create () = { table = Hashtbl.create 8; lock = Mutex.create () }
+let create () = { table = Hashtbl.create 8; events = Hashtbl.create 8; lock = Mutex.create () }
+
+let incr_counter ?(by = 1) t name =
+  Mutex.lock t.lock;
+  (match Hashtbl.find_opt t.events name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.events name (ref by));
+  Mutex.unlock t.lock
+
+let counter t name =
+  Mutex.lock t.lock;
+  let v = match Hashtbl.find_opt t.events name with Some r -> !r | None -> 0 in
+  Mutex.unlock t.lock;
+  v
+
+let counters t =
+  Mutex.lock t.lock;
+  let entries = Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.events [] in
+  Mutex.unlock t.lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) entries
+
+let counters_json t =
+  Json.Assoc (List.map (fun (name, v) -> (name, Json.Int v)) (counters t))
 
 let record t ~endpoint ~ok ~elapsed_s =
   let elapsed_s = Float.max 0.0 elapsed_s in

@@ -13,6 +13,22 @@ val time : t -> endpoint:string -> (unit -> 'a) -> 'a
 (** Runs the thunk, records its wall-clock latency, counts an error when
     it raises (and re-raises). *)
 
+(** {1 Named event counters}
+
+    Free-form monotonic counters for failure classes and operational
+    events ("disconnects", "shed", "deadline_exceeded", ...). Counters
+    spring into existence at first increment. *)
+
+val incr_counter : ?by:int -> t -> string -> unit
+val counter : t -> string -> int
+(** 0 for a counter never incremented. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val counters_json : t -> Json.t
+(** [{"disconnects": 3, ...}] — the [stats] wire shape. *)
+
 type histogram = {
   bucket_upper_s : float array;  (** inclusive upper bound of each bucket [s] *)
   counts : int array;  (** same length; the last bucket is the overflow *)

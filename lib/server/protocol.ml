@@ -39,6 +39,7 @@ let platform_config spec =
     sp_method = spec.sp_method;
     leakage_temp = spec.leakage_temp;
     pool = None;
+    budget = Parallel.Budget.unlimited;
   }
 
 type job =
@@ -60,16 +61,40 @@ type job =
     }
 
 type request = Single of job | Batch of job list | Health | Stats
-type envelope = { id : string option; request : request }
+type envelope = { id : string option; timeout_ms : int option; request : request }
 
-type error_code = Parse_error | Unsupported_version | Bad_request | Overloaded | Internal_error
+type error_code =
+  | Parse_error
+  | Unsupported_version
+  | Bad_request
+  | Invalid_request
+  | Deadline_exceeded
+  | Overloaded
+  | Internal_error
 
 let error_code_string = function
   | Parse_error -> "parse_error"
   | Unsupported_version -> "unsupported_version"
   | Bad_request -> "bad_request"
+  | Invalid_request -> "invalid_request"
+  | Deadline_exceeded -> "deadline_exceeded"
   | Overloaded -> "overloaded"
   | Internal_error -> "internal_error"
+
+(* Transient errors: an identical retry may succeed because the failure
+   came from server state (load) rather than the request itself. All
+   operations are idempotent (pure analyses), so retrying is always
+   safe; this classifies only whether it is *useful*. *)
+let error_code_retryable = function
+  | Overloaded -> true
+  | Parse_error | Unsupported_version | Bad_request | Invalid_request | Deadline_exceeded
+  | Internal_error ->
+    false
+
+let retryable_code_string s =
+  match s with
+  | "overloaded" -> true
+  | _ -> false
 
 (* --- Decoding --- *)
 
@@ -198,11 +223,21 @@ let envelope_of_json json =
         | Some _ -> bad "id must be a string"
         | None -> None
       in
+      let timeout_ms =
+        match Json.member_opt "timeout_ms" json with
+        | Some v -> begin
+          match Json.to_int v with
+          | ms when ms > 0 -> Some ms
+          | _ -> bad "timeout_ms must be a positive integer"
+          | exception Json.Type_error _ -> bad "timeout_ms must be a positive integer"
+        end
+        | None -> None
+      in
       match Json.member_opt "v" json with
       | Some (Json.Int v) when v = version -> begin
         match Json.member_opt "op" json with
-        | Some (Json.String "health") -> Ok { id; request = Health }
-        | Some (Json.String "stats") -> Ok { id; request = Stats }
+        | Some (Json.String "health") -> Ok { id; timeout_ms; request = Health }
+        | Some (Json.String "stats") -> Ok { id; timeout_ms; request = Stats }
         | Some (Json.String "batch") ->
           let jobs =
             match Json.member_opt "jobs" json with
@@ -210,8 +245,8 @@ let envelope_of_json json =
             | _ -> bad "batch requires a \"jobs\" array"
           in
           if jobs = [] then bad "batch with no jobs";
-          Ok { id; request = Batch jobs }
-        | Some (Json.String _) -> Ok { id; request = Single (job_of_json json) }
+          Ok { id; timeout_ms; request = Batch jobs }
+        | Some (Json.String _) -> Ok { id; timeout_ms; request = Single (job_of_json json) }
         | _ -> Error (Bad_request, "missing op")
       end
       | Some (Json.Int v) ->
@@ -286,16 +321,20 @@ let job_fields = function
     ]
     @ (match vth_st with None -> [] | Some v -> [ ("vth_st", Json.Float v) ])
 
-let json_of_envelope { id; request } =
+let json_of_envelope { id; timeout_ms; request } =
   let id_field = match id with None -> [] | Some id -> [ ("id", Json.String id) ] in
+  let timeout_field =
+    match timeout_ms with None -> [] | Some ms -> [ ("timeout_ms", Json.Int ms) ]
+  in
   let v_field = [ ("v", Json.Int version) ] in
+  let base = v_field @ id_field @ timeout_field in
   match request with
-  | Health -> Json.Assoc (v_field @ id_field @ [ ("op", Json.String "health") ])
-  | Stats -> Json.Assoc (v_field @ id_field @ [ ("op", Json.String "stats") ])
-  | Single job -> Json.Assoc (v_field @ id_field @ job_fields job)
+  | Health -> Json.Assoc (base @ [ ("op", Json.String "health") ])
+  | Stats -> Json.Assoc (base @ [ ("op", Json.String "stats") ])
+  | Single job -> Json.Assoc (base @ job_fields job)
   | Batch jobs ->
     Json.Assoc
-      (v_field @ id_field
+      (base
       @ [ ("op", Json.String "batch"); ("jobs", Json.List (List.map (fun j -> Json.Assoc (job_fields j)) jobs)) ])
 
 (* --- Responses --- *)
@@ -306,15 +345,25 @@ let response_base id =
 let ok_response ~id result =
   Json.Assoc (response_base id @ [ ("ok", Json.Bool true); ("result", result) ])
 
-let error_response ~id code message =
+let error_response ~id ?(details = []) code message =
   Json.Assoc
     (response_base id
     @ [
         ("ok", Json.Bool false);
         ( "error",
           Json.Assoc
-            [ ("code", Json.String (error_code_string code)); ("message", Json.String message) ] );
+            ([ ("code", Json.String (error_code_string code)); ("message", Json.String message) ]
+            @ details) );
       ])
+
+let error_detail_int response key =
+  match Json.member_opt "error" response with
+  | Some e -> begin
+    match Json.member_opt key e with
+    | Some v -> ( try Some (Json.to_int v) with Json.Type_error _ -> None)
+    | None -> None
+  end
+  | None -> None
 
 let response_result json =
   if Json.to_bool (Json.member "ok" json) then Ok (Json.member "result" json)

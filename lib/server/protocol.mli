@@ -2,8 +2,9 @@
 
     Transport is newline-delimited JSON: one request object per line in,
     one response object per line out. Every request carries the protocol
-    version under ["v"] and an optional correlation ["id"] that is echoed
-    in the response. Five operations mirror the platform's entry points
+    version under ["v"], an optional correlation ["id"] that is echoed
+    in the response, and an optional ["timeout_ms"] compute budget.
+    Five operations mirror the platform's entry points
     ([analyze], [ivc_search], [sleep_sizing], plus [batch] over them) and
     two are introspective ([health], [stats]).
 
@@ -29,7 +30,9 @@
     v}
 
     Responses are [{"v":1,"id":...,"ok":true,"result":{...}}] or
-    [{"v":1,"id":...,"ok":false,"error":{"code":"...","message":"..."}}]. *)
+    [{"v":1,"id":...,"ok":false,"error":{"code":"...","message":"...",
+    ...details}}] where details may include ["retry_after_ms"] (on
+    [overloaded]) or ["line"] (on positioned [invalid_request]). *)
 
 val version : int
 
@@ -77,17 +80,37 @@ type job =
 
 type request = Single of job | Batch of job list | Health | Stats
 
-type envelope = { id : string option; request : request }
+type envelope = { id : string option; timeout_ms : int option; request : request }
+(** [timeout_ms] is the request's compute budget: the server converts it
+    into a {!Parallel.Budget.t} and the flow abandons work past the
+    deadline with a [deadline_exceeded] error. [None] means the server's
+    default (usually unlimited). *)
 
 type error_code =
   | Parse_error  (** the line is not valid JSON *)
   | Unsupported_version  (** missing or unknown ["v"] *)
   | Bad_request  (** shape or value errors, unknown circuit, bad vector *)
-  | Overloaded  (** job queue full; retry later *)
+  | Invalid_request
+      (** the request violates an operational limit (line length, batch
+          size, gate count) or carries a malformed netlist; the error
+          object may carry position details such as ["line"] *)
+  | Deadline_exceeded  (** the request's [timeout_ms] budget ran out *)
+  | Overloaded
+      (** admission control shed the request; the error object carries a
+          ["retry_after_ms"] hint *)
   | Internal_error
 
 val error_code_string : error_code -> string
 (** The wire spelling: ["parse_error"], ["bad_request"], ... *)
+
+val error_code_retryable : error_code -> bool
+(** Whether an identical retry may succeed (the failure reflects server
+    state, not the request): true only for [Overloaded]. Every operation
+    is idempotent, so retrying is always {e safe}; this classifies
+    usefulness. *)
+
+val retryable_code_string : string -> bool
+(** {!error_code_retryable} on the wire spelling (client side). *)
 
 val envelope_of_json : Json.t -> (envelope, error_code * string) result
 val json_of_envelope : envelope -> Json.t
@@ -97,7 +120,17 @@ val json_of_envelope : envelope -> Json.t
 (** {1 Responses} *)
 
 val ok_response : id:string option -> Json.t -> Json.t
-val error_response : id:string option -> error_code -> string -> Json.t
+
+val error_response :
+  id:string option -> ?details:(string * Json.t) list -> error_code -> string -> Json.t
+(** [details] are extra fields merged into the error object, e.g.
+    [("retry_after_ms", Int 250)] on [Overloaded] or [("line", Int 3)]
+    on a positioned [Invalid_request]. *)
+
+val error_detail_int : Json.t -> string -> int option
+(** [error_detail_int response key] reads an integer detail (such as
+    ["retry_after_ms"]) out of a response envelope's error object;
+    [None] when absent or not an error envelope. *)
 
 val response_result : Json.t -> (Json.t, string * string) result
 (** Splits a decoded response envelope into [Ok result] or

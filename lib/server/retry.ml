@@ -1,0 +1,20 @@
+type policy = { retries : int; base_ms : int; cap_ms : int }
+
+let default_policy = { retries = 0; base_ms = 50; cap_ms = 2000 }
+
+let backoff_ms policy ~attempt ?retry_after_ms ~rng () =
+  let attempt = max 0 attempt in
+  (* 2^attempt growth, saturating well before overflow. *)
+  let exp =
+    if attempt >= 20 then policy.cap_ms else min policy.cap_ms (policy.base_ms * (1 lsl attempt))
+  in
+  let target =
+    match retry_after_ms with Some hint when hint > exp -> min policy.cap_ms hint | _ -> exp
+  in
+  if target <= 0 then 0
+  else begin
+    (* Equal-jitter: [target/2, target]. Deterministic given the rng
+       state, so backoff sequences are reproducible from the seed. *)
+    let half = target / 2 in
+    half + Physics.Rng.int rng (target - half + 1)
+  end

@@ -1,0 +1,18 @@
+(** Backoff schedule for the resilient client.
+
+    Every protocol operation is idempotent (content-addressed, cached),
+    so retrying is always safe; what this module decides is {e when}.
+    The schedule is capped exponential with equal-jitter, drawn from an
+    explicit {!Physics.Rng.t} so a seeded client produces a reproducible
+    backoff sequence — chaos tests assert on it. *)
+
+type policy = { retries : int; base_ms : int; cap_ms : int }
+
+val default_policy : policy
+(** No retries (callers opt in via [--retries]); 50 ms base, 2 s cap. *)
+
+val backoff_ms : policy -> attempt:int -> ?retry_after_ms:int -> rng:Physics.Rng.t -> unit -> int
+(** Sleep before retry number [attempt] (0-based): equal-jitter in
+    [[t/2, t]] where [t = min cap (base * 2^attempt)], raised to the
+    server's [retry_after_ms] hint when that is larger (still capped).
+    Consumes one draw from [rng]. *)

@@ -1,28 +1,58 @@
+(* Operational limits; every limit violation maps to a structured
+   [invalid_request] error, never a dropped daemon. *)
+type limits = {
+  max_line_bytes : int;
+  max_batch_jobs : int;
+  max_gates : int;
+  default_timeout_ms : int option;
+  shed_retry_after_ms : int;
+}
+
+let default_limits =
+  {
+    max_line_bytes = 4 * 1024 * 1024;
+    max_batch_jobs = 64;
+    max_gates = 1_000_000;
+    default_timeout_ms = None;
+    shed_retry_after_ms = 250;
+  }
+
 type t = {
   prepared : Flow.Platform.prepared Cache.t;
   results : Json.t Cache.t;
   metrics : Metrics.t;
   pool : Parallel.Pool.t;
+  limits : limits;
   started_at : float;
   max_pending : int;
   mutable pending : int;
   admission : Mutex.t;
+  mutable faults : Faults.t;
   mutable running : bool;
   mutable listen_fd : Unix.file_descr option;
   mutable socket_path : string option;
   state : Mutex.t;
 }
 
-let create ?(result_capacity = 256) ?(prepared_capacity = 32) ?(max_pending = 64) ?pool () =
+(* Result-cache entries are JSON payloads; weigh them by their serialized
+   size (plus a small per-entry overhead) so [result_max_bytes] tracks
+   resident memory approximately. *)
+let json_weight j = String.length (Json.to_string j) + 64
+
+let create ?(result_capacity = 256) ?(result_max_bytes = 64 * 1024 * 1024)
+    ?(prepared_capacity = 32) ?(max_pending = 64) ?(limits = default_limits)
+    ?(faults = Faults.none) ?pool () =
   {
-    prepared = Cache.create ~capacity:prepared_capacity;
-    results = Cache.create ~capacity:result_capacity;
+    prepared = Cache.create ~capacity:prepared_capacity ();
+    results = Cache.create ~capacity:result_capacity ~max_bytes:result_max_bytes ~weight:json_weight ();
     metrics = Metrics.create ();
     pool = (match pool with Some p -> p | None -> Parallel.Pool.default ());
+    limits;
     started_at = Unix.gettimeofday ();
     max_pending;
     pending = 0;
     admission = Mutex.create ();
+    faults;
     running = false;
     listen_fd = None;
     socket_path = None;
@@ -30,38 +60,85 @@ let create ?(result_capacity = 256) ?(prepared_capacity = 32) ?(max_pending = 64
   }
 
 let uptime_s t = Unix.gettimeofday () -. t.started_at
+let set_faults t faults = t.faults <- faults
+let faults t = t.faults
+
+let pending t =
+  Mutex.lock t.admission;
+  let p = t.pending in
+  Mutex.unlock t.admission;
+  p
 
 (* --- Bounded admission to the compute path --- *)
 
 exception Overloaded
 
+let sleep_ms ms = if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.0)
+
 let admit t =
+  let forced_shed =
+    List.fold_left
+      (fun acc a ->
+        match a with
+        | Faults.Shed -> true
+        | Faults.Delay_ms ms ->
+          sleep_ms ms;
+          acc
+        | Faults.Fail | Faults.Truncate -> acc)
+      false
+      (Faults.fire t.faults ~site:"admission")
+  in
   Mutex.lock t.admission;
-  let ok = t.pending < t.max_pending in
+  let ok = (not forced_shed) && t.pending < t.max_pending in
   if ok then t.pending <- t.pending + 1;
   Mutex.unlock t.admission;
-  if not ok then raise Overloaded
+  if not ok then begin
+    Metrics.incr_counter t.metrics "shed";
+    raise Overloaded
+  end
 
 let release t =
   Mutex.lock t.admission;
   t.pending <- t.pending - 1;
   Mutex.unlock t.admission
 
+let compute_faults t =
+  List.iter
+    (function
+      | Faults.Delay_ms ms -> sleep_ms ms
+      | Faults.Fail ->
+        Metrics.incr_counter t.metrics "injected_failures";
+        raise (Faults.Injected "compute")
+      | Faults.Truncate | Faults.Shed -> ())
+    (Faults.fire t.faults ~site:"compute")
+
 (* --- Job execution --- *)
 
 exception Bad_request_error of string
+exception Invalid_request_error of { line : int option; message : string }
 
 let bad fmt = Printf.ksprintf (fun m -> raise (Bad_request_error m)) fmt
 
-let resolve_circuit = function
+let invalid ?line fmt =
+  Printf.ksprintf (fun m -> raise (Invalid_request_error { line; message = m })) fmt
+
+let resolve_circuit t = function
   | Protocol.Named name -> begin
     try Circuit.Generators.by_name name
     with Not_found -> bad "unknown circuit %S (expected an ISCAS85 name or inline bench text)" name
   end
   | Protocol.Bench text -> begin
-    try Circuit.Bench_io.parse_string ~name:"inline" text
-    with Failure m -> bad "bench parse error: %s" m
+    if String.length text > t.limits.max_line_bytes then
+      invalid "inline bench text exceeds %d bytes" t.limits.max_line_bytes;
+    match Circuit.Bench_io.parse_result ~name:"inline" text with
+    | Ok net -> net
+    | Error { Circuit.Bench_io.line; message } -> invalid ?line "bench parse error: %s" message
   end
+
+let check_gate_limit t net =
+  let gates = Circuit.Netlist.n_gates net in
+  if gates > t.limits.max_gates then
+    invalid "netlist has %d gates; this server accepts at most %d" gates t.limits.max_gates
 
 let standby_of_spec net = function
   | Protocol.Worst -> Aging.Circuit_aging.Standby_all_stressed
@@ -79,24 +156,30 @@ let prepared_for t cfg net ~digest =
   let key = digest ^ "|" ^ Flow.Platform.prepare_fingerprint cfg in
   Cache.find_or_add t.prepared key (fun () -> Flow.Platform.prepare cfg net)
 
-(* Every compute path runs on the service's pool. The pool field is
-   excluded from the config fingerprints, so cache keys are unchanged. *)
-let config_for t flow = { (Protocol.platform_config flow) with Flow.Platform.pool = Some t.pool }
+(* Every compute path runs on the service's pool under the request's
+   budget. Both fields are excluded from the config fingerprints, so
+   cache keys are unchanged by them. *)
+let config_for t flow ~budget =
+  { (Protocol.platform_config flow) with Flow.Platform.pool = Some t.pool; budget }
 
-let run_job t job =
+(* Admission guards only the cache-miss compute path: a shedding server
+   still answers anything it has already computed (degraded mode), plus
+   health and stats, so operators keep observability under overload. *)
+let run_job t ~budget job =
   let circuit =
     match job with
     | Protocol.Analyze { circuit; _ } | Protocol.Ivc_search { circuit; _ }
     | Protocol.Sleep_sizing { circuit; _ } ->
       circuit
   in
-  let net = resolve_circuit circuit in
+  let net = resolve_circuit t circuit in
+  check_gate_limit t net;
   let digest = Circuit.Netlist.digest net in
   let key = Protocol.job_cache_key job ~circuit_digest:digest in
-  let compute () =
+  let compute_payload () =
     match job with
     | Protocol.Analyze { flow; standby; _ } ->
-      let cfg = config_for t flow in
+      let cfg = config_for t flow ~budget in
       let standby = standby_of_spec net standby in
       let prepared, _ = prepared_for t cfg net ~digest in
       let a = Flow.Platform.analyze cfg prepared ~standby in
@@ -109,7 +192,7 @@ let run_job t job =
           ("analysis", Protocol.json_of_analysis a);
         ]
     | Protocol.Ivc_search { flow; seed; pool; tolerance; _ } ->
-      let cfg = config_for t flow in
+      let cfg = config_for t flow ~budget in
       let prepared, _ = prepared_for t cfg net ~digest in
       let result, stats =
         Flow.Platform.optimize_ivc cfg prepared ~rng:(Physics.Rng.create ~seed) ~pool
@@ -124,7 +207,7 @@ let run_job t job =
           ("ivc", Protocol.json_of_ivc result stats);
         ]
     | Protocol.Sleep_sizing { flow; style; beta; vth_st; nbti_aware; _ } ->
-      let cfg = config_for t flow in
+      let cfg = config_for t flow ~budget in
       let prepared, _ = prepared_for t cfg net ~digest in
       let r = Flow.Platform.optimize_st cfg prepared ~style ~beta ?vth_st ~nbti_aware () in
       Json.Assoc
@@ -135,6 +218,15 @@ let run_job t job =
           ("fingerprint", Json.String (Flow.Platform.config_fingerprint cfg));
           ("sleep", Protocol.json_of_st r);
         ]
+  in
+  let compute () =
+    admit t;
+    Fun.protect
+      ~finally:(fun () -> release t)
+      (fun () ->
+        compute_faults t;
+        Parallel.Budget.check budget;
+        compute_payload ())
   in
   let payload, hit = Cache.find_or_add t.results key compute in
   match payload with
@@ -158,6 +250,8 @@ let cache_stats_json label (s : Cache.stats) =
         ("evictions", Json.Int s.Cache.evictions);
         ("size", Json.Int s.Cache.size);
         ("capacity", Json.Int s.Cache.capacity);
+        ("bytes_used", Json.Int s.Cache.bytes_used);
+        ("max_bytes", match s.Cache.max_bytes with Some b -> Json.Int b | None -> Json.Null);
         ("hit_rate", Json.Float (Cache.hit_rate s));
       ] )
 
@@ -175,12 +269,26 @@ let stats_result t =
       ("uptime_s", Json.Float (uptime_s t));
       ("protocol_version", Json.Int Protocol.version);
       ("endpoints", Metrics.to_json t.metrics);
+      ("counters", Metrics.counters_json t.metrics);
+      ( "admission",
+        Json.Assoc [ ("pending", Json.Int (pending t)); ("max_pending", Json.Int t.max_pending) ]
+      );
+      ( "limits",
+        Json.Assoc
+          [
+            ("max_line_bytes", Json.Int t.limits.max_line_bytes);
+            ("max_batch_jobs", Json.Int t.limits.max_batch_jobs);
+            ("max_gates", Json.Int t.limits.max_gates);
+            ( "default_timeout_ms",
+              match t.limits.default_timeout_ms with Some ms -> Json.Int ms | None -> Json.Null );
+          ] );
       ( "cache",
         Json.Assoc
           [
             cache_stats_json "results" (Cache.stats t.results);
             cache_stats_json "prepared" (Cache.stats t.prepared);
           ] );
+      ("faults", Faults.to_json t.faults);
       ("pool", Metrics.pool_json (Parallel.Pool.stats t.pool));
     ]
 
@@ -190,44 +298,80 @@ let request_id = function
   | Json.Assoc kvs -> ( match List.assoc_opt "id" kvs with Some (Json.String s) -> Some s | _ -> None)
   | _ -> None
 
+let overloaded_details t = [ ("retry_after_ms", Json.Int t.limits.shed_retry_after_ms) ]
+
+(* Per-job error entries inside a batch response mirror the top-level
+   error codes, so one failed job never poisons its siblings. *)
+let job_error_json ?(details = []) code message =
+  Json.Assoc
+    ([
+       ("kind", Json.String "error");
+       ("code", Json.String (Protocol.error_code_string code));
+       ("message", Json.String message);
+     ]
+    @ details)
+
 let handle t request_json =
   match Protocol.envelope_of_json request_json with
   | Error (code, message) -> Protocol.error_response ~id:(request_id request_json) code message
-  | Ok { id; request } ->
+  | Ok { id; timeout_ms; request } ->
+    let budget =
+      match (timeout_ms, t.limits.default_timeout_ms) with
+      | Some ms, _ | None, Some ms -> Parallel.Budget.of_timeout_ms ms
+      | None, None -> Parallel.Budget.unlimited
+    in
     let endpoint = endpoint_name request in
     let respond () =
       match request with
       | Protocol.Health -> Protocol.ok_response ~id (health_result t)
       | Protocol.Stats -> Protocol.ok_response ~id (stats_result t)
-      | Protocol.Single job ->
-        admit t;
-        Fun.protect ~finally:(fun () -> release t) (fun () ->
-            Protocol.ok_response ~id (run_job t job))
+      | Protocol.Single job -> Protocol.ok_response ~id (run_job t ~budget job)
       | Protocol.Batch jobs ->
-        admit t;
-        Fun.protect ~finally:(fun () -> release t) (fun () ->
-            (* Jobs fan out over the service pool; Pool.map returns
-               results in job order, so the response order matches the
-               request regardless of which domain ran which job. *)
-            let one job =
-              try run_job t job
-              with Bad_request_error m ->
-                Json.Assoc
-                  [
-                    ("kind", Json.String "error");
-                    ("code", Json.String (Protocol.error_code_string Protocol.Bad_request));
-                    ("message", Json.String m);
-                  ]
-            in
-            let results = Array.to_list (Parallel.Pool.map t.pool one (Array.of_list jobs)) in
-            Protocol.ok_response ~id
-              (Json.Assoc [ ("kind", Json.String "batch"); ("results", Json.List results) ]))
+        let n = List.length jobs in
+        if n = 0 then invalid "empty batch";
+        if n > t.limits.max_batch_jobs then
+          invalid "batch has %d jobs; this server accepts at most %d" n t.limits.max_batch_jobs;
+        (* Jobs fan out over the service pool; Pool.map returns results
+           in job order, so the response order matches the request
+           regardless of which domain ran which job. Each job admits,
+           errors and deadlines independently. *)
+        let one job =
+          match run_job t ~budget job with
+          | payload -> payload
+          | exception Bad_request_error m -> job_error_json Protocol.Bad_request m
+          | exception Invalid_request_error { line; message } ->
+            let details = match line with Some l -> [ ("line", Json.Int l) ] | None -> [] in
+            job_error_json ~details Protocol.Invalid_request message
+          | exception Overloaded ->
+            job_error_json ~details:(overloaded_details t) Protocol.Overloaded
+              (Printf.sprintf "job queue full (max %d pending)" t.max_pending)
+          | exception Parallel.Budget.Deadline_exceeded ->
+            Metrics.incr_counter t.metrics "deadline_exceeded";
+            job_error_json Protocol.Deadline_exceeded "request budget exhausted"
+          | exception Faults.Injected site ->
+            job_error_json Protocol.Internal_error ("injected fault at " ^ site)
+        in
+        let results = Array.to_list (Parallel.Pool.map t.pool one (Array.of_list jobs)) in
+        Protocol.ok_response ~id
+          (Json.Assoc [ ("kind", Json.String "batch"); ("results", Json.List results) ])
     in
     (try Metrics.time t.metrics ~endpoint respond with
     | Bad_request_error m -> Protocol.error_response ~id Protocol.Bad_request m
+    | Invalid_request_error { line; message } ->
+      Metrics.incr_counter t.metrics "invalid_requests";
+      let details = match line with Some l -> [ ("line", Json.Int l) ] | None -> [] in
+      Protocol.error_response ~id ~details Protocol.Invalid_request message
     | Overloaded ->
-      Protocol.error_response ~id Protocol.Overloaded
-        (Printf.sprintf "job queue full (%d pending)" t.max_pending)
+      Protocol.error_response ~id ~details:(overloaded_details t) Protocol.Overloaded
+        (Printf.sprintf "job queue full (max %d pending)" t.max_pending)
+    | Parallel.Budget.Deadline_exceeded ->
+      Metrics.incr_counter t.metrics "deadline_exceeded";
+      Protocol.error_response ~id Protocol.Deadline_exceeded
+        (match timeout_ms with
+        | Some ms -> Printf.sprintf "request budget of %d ms exhausted" ms
+        | None -> "request budget exhausted")
+    | Faults.Injected site ->
+      Protocol.error_response ~id Protocol.Internal_error ("injected fault at " ^ site)
     | Json.Type_error m -> Protocol.error_response ~id Protocol.Bad_request m
     | Invalid_argument m | Failure m -> Protocol.error_response ~id Protocol.Internal_error m
     | exn -> Protocol.error_response ~id Protocol.Internal_error (Printexc.to_string exn))
@@ -276,31 +420,87 @@ let install_signal_handlers t =
   Sys.set_signal Sys.sigint handler;
   Sys.set_signal Sys.sigterm handler
 
+(* Bounded request-line reader: a line longer than [max_bytes] is
+   drained (framing stays intact) and reported, never buffered whole.
+   A line cut off by EOF is returned as-is — its JSON parse fails with a
+   structured [parse_error], which is the right answer for a client that
+   died mid-request. *)
+type read_line = Line of string | Oversized | Eof
+
+let read_request_line ic ~max_bytes =
+  let buf = Buffer.create 256 in
+  let rec drain () =
+    match input_char ic with exception End_of_file -> () | '\n' -> () | _ -> drain ()
+  in
+  let rec go () =
+    match input_char ic with
+    | exception End_of_file -> if Buffer.length buf = 0 then Eof else Line (Buffer.contents buf)
+    | '\n' -> Line (Buffer.contents buf)
+    | c ->
+      Buffer.add_char buf c;
+      if Buffer.length buf > max_bytes then begin
+        drain ();
+        Oversized
+      end
+      else go ()
+  in
+  go ()
+
+exception Drop_connection
+
 let connection_loop t fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
+  let write_response line =
+    let actions = Faults.fire t.faults ~site:"write" in
+    List.iter (function Faults.Delay_ms ms -> sleep_ms ms | _ -> ()) actions;
+    if List.exists (function Faults.Truncate -> true | _ -> false) actions then begin
+      Metrics.incr_counter t.metrics "truncated_writes";
+      output_string oc (String.sub line 0 (String.length line / 2));
+      flush oc;
+      raise Drop_connection
+    end
+    else begin
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+    end
+  in
   let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | exception Sys_error _ -> ()
-    | line ->
+    match read_request_line ic ~max_bytes:t.limits.max_line_bytes with
+    | Eof -> ()
+    | Oversized ->
+      Metrics.incr_counter t.metrics "invalid_requests";
+      write_response
+        (Json.to_string
+           (Protocol.error_response ~id:None
+              ~details:[ ("max_line_bytes", Json.Int t.limits.max_line_bytes) ]
+              Protocol.Invalid_request
+              (Printf.sprintf "request line exceeds %d bytes" t.limits.max_line_bytes)));
+      loop ()
+    | Line line ->
       let line =
         (* tolerate CRLF clients *)
         let n = String.length line in
         if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
       in
-      if String.trim line <> "" then begin
-        output_string oc (handle_line t line);
-        output_char oc '\n';
-        flush oc
-      end;
+      if String.trim line <> "" then write_response (handle_line t line);
       loop ()
   in
+  (* A peer that vanishes mid-write (EPIPE / ECONNRESET — surfaced as
+     Sys_error through the channel layer) or mid-read costs exactly this
+     connection, never the daemon; SIGPIPE is ignored in [serve]. *)
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () -> try loop () with Unix.Unix_error _ -> ())
+    (fun () ->
+      try loop () with
+      | Drop_connection -> ()
+      | Sys_error _ | Unix.Unix_error _ -> Metrics.incr_counter t.metrics "disconnects")
 
 let serve t endpoint ?(on_ready = fun () -> ()) () =
+  (* A client closing its socket mid-response must surface as a write
+     error on that connection, not kill the process with SIGPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let domain, addr, path =
     match endpoint with
     | Unix_socket path ->

@@ -9,38 +9,83 @@
       request on the same circuit, including sweeps over lifetime / RAS /
       temperatures that share the SP and leakage settings;
     - a result cache keyed on {!Protocol.job_cache_key}: an identical
-      request is answered without touching the platform at all.
+      request is answered without touching the platform at all. It is
+      additionally bounded by an approximate byte budget.
 
-    Dispatch is thread-safe; admission to the compute path is bounded
-    ([max_pending]), and requests beyond the bound are rejected with an
-    [overloaded] error rather than queued unboundedly. [health] and
-    [stats] bypass admission so the daemon stays observable under
-    load. *)
+    {b Failure model.} Dispatch is thread-safe and the daemon is
+    designed to survive misbehaving clients and its own overload:
+    - admission to the compute path is bounded ([max_pending]); requests
+      beyond the bound get a structured [overloaded] error carrying a
+      [retry_after_ms] hint rather than queueing unboundedly. Admission
+      guards only cache {e misses}: a shedding server still answers
+      cache hits, [health] and [stats] (degraded mode);
+    - every request may carry a [timeout_ms] budget; the flow polls it
+      at stage and chunk boundaries and answers [deadline_exceeded]
+      when it runs out;
+    - oversized request lines, oversized batches, oversized netlists and
+      malformed [.bench] text all map to positioned [invalid_request]
+      errors — {!limits} are enforced, never trusted;
+    - a peer vanishing mid-read or mid-write (EPIPE, ECONNRESET) costs
+      that connection only; SIGPIPE is ignored in {!serve} and
+      disconnects are counted in [stats];
+    - a {!Faults} plan can inject delays, worker failures, truncated
+      writes and forced shedding at named sites for chaos testing. *)
 
 type t
 
+type limits = {
+  max_line_bytes : int;  (** longest accepted request line (default 4 MiB) *)
+  max_batch_jobs : int;  (** most jobs in one [batch] (default 64) *)
+  max_gates : int;  (** largest accepted netlist (default 10{^6} gates) *)
+  default_timeout_ms : int option;
+      (** budget applied when a request carries no [timeout_ms]
+          (default: none, i.e. unlimited) *)
+  shed_retry_after_ms : int;
+      (** the [retry_after_ms] hint sent with [overloaded] (default 250) *)
+}
+
+val default_limits : limits
+
 val create :
   ?result_capacity:int ->
+  ?result_max_bytes:int ->
   ?prepared_capacity:int ->
   ?max_pending:int ->
+  ?limits:limits ->
+  ?faults:Faults.t ->
   ?pool:Parallel.Pool.t ->
   unit ->
   t
-(** [result_capacity] bounds the result cache (default 256);
-    [prepared_capacity] bounds the prepared-pipeline cache (default 32 —
-    these entries hold whole leakage tables and SP arrays, so the bound
-    is deliberately small); [max_pending] bounds concurrent compute-path
-    requests before [overloaded] (default 64). [pool] (default
-    {!Parallel.Pool.default}) runs every compute path — Monte-Carlo SPs,
-    IVC search, and [batch] job fan-out; results stay bit-identical for
-    any domain count, and pool counters are reported by [stats]. *)
+(** [result_capacity] bounds the result cache entries (default 256) and
+    [result_max_bytes] its approximate resident bytes (default 64 MiB,
+    measured as serialized JSON size); [prepared_capacity] bounds the
+    prepared-pipeline cache (default 32 — these entries hold whole
+    leakage tables and SP arrays, so the bound is deliberately small);
+    [max_pending] bounds concurrent compute-path requests before
+    [overloaded] (default 64). [faults] arms a fault-injection plan
+    (default {!Faults.none}). [pool] (default {!Parallel.Pool.default})
+    runs every compute path — Monte-Carlo SPs, IVC search, and [batch]
+    job fan-out; results stay bit-identical for any domain count, and
+    pool counters are reported by [stats]. *)
+
+val set_faults : t -> Faults.t -> unit
+(** Swap the fault plan at runtime (used by tests to arm faults after
+    priming caches). *)
+
+val faults : t -> Faults.t
+
+val pending : t -> int
+(** Requests currently admitted to the compute path. *)
 
 (** {1 In-process dispatch} *)
 
 val handle : t -> Json.t -> Json.t
 (** One request envelope in, one response envelope out. Never raises:
     protocol and platform errors come back as structured [error]
-    responses, and unexpected exceptions as [internal_error]. *)
+    responses — [bad_request], positioned [invalid_request],
+    [overloaded] (+[retry_after_ms]), [deadline_exceeded] — and
+    unexpected exceptions as [internal_error]. Inside a [batch], each
+    job fails independently with the same code vocabulary. *)
 
 val handle_line : t -> string -> string
 (** {!handle} composed with the codec: one request line (no newline) to
@@ -57,10 +102,13 @@ val endpoint_of_string : string -> (endpoint, string) result
 val serve : t -> endpoint -> ?on_ready:(unit -> unit) -> unit -> unit
 (** Binds, listens and accepts until {!stop}: one thread per connection,
     one request per line, responses in request order per connection.
-    [on_ready] runs once the socket is listening (used by tests and by
-    the CLI to print the address). A pre-existing Unix socket file is
-    replaced; the file is unlinked on shutdown. Requires the [threads]
-    runtime. *)
+    Ignores SIGPIPE for the whole process (a vanished peer must be a
+    write error, not a fatal signal). Request lines are read through a
+    bounded reader, so an oversized line is drained and answered with
+    [invalid_request] without ever being buffered whole. [on_ready]
+    runs once the socket is listening (used by tests and by the CLI to
+    print the address). A pre-existing Unix socket file is replaced;
+    the file is unlinked on shutdown. Requires the [threads] runtime. *)
 
 val stop : t -> unit
 (** Graceful shutdown: the accept loop (which polls a stop flag — on

@@ -1,0 +1,540 @@
+(* Chaos and fault-tolerance tests for the serving layer: deadlines,
+   admission control / load shedding, fault injection, malformed input,
+   vanished peers, the byte-bounded cache and the retry schedule. *)
+
+let ok_or_fail = function Ok v -> v | Error m -> Alcotest.fail m
+
+let faults spec = ok_or_fail (Server.Faults.parse spec)
+
+let response_code json =
+  match Server.Protocol.response_result json with
+  | Ok _ -> None
+  | Error (code, _) -> Some code
+
+let dispatch t line = Server.Json.of_string (Server.Service.handle_line t line)
+
+let expect_code t code line =
+  match response_code (dispatch t line) with
+  | Some c -> Alcotest.(check string) ("code for " ^ line) code c
+  | None -> Alcotest.fail ("expected error " ^ code ^ " for " ^ line)
+
+let expect_ok t line =
+  match Server.Protocol.response_result (dispatch t line) with
+  | Ok r -> r
+  | Error (code, m) -> Alcotest.fail (code ^ ": " ^ m)
+
+(* --- Budget --- *)
+
+let test_budget_basics () =
+  let open Parallel.Budget in
+  Alcotest.(check bool) "unlimited never expires" false (expired unlimited);
+  Alcotest.(check bool) "unlimited reports so" true (is_unlimited unlimited);
+  Alcotest.(check bool) "unlimited has no remaining" true (remaining_s unlimited = None);
+  check unlimited;
+  let b = of_timeout_ms 0 in
+  Unix.sleepf 0.002;
+  Alcotest.(check bool) "zero budget expires" true (expired b);
+  Alcotest.(check bool) "check raises" true
+    (try
+       check b;
+       false
+     with Deadline_exceeded -> true);
+  let long = of_timeout_s 60.0 in
+  Alcotest.(check bool) "fresh budget not expired" false (expired long);
+  match remaining_s long with
+  | Some r -> Alcotest.(check bool) "remaining sane" true (r > 0.0 && r <= 60.0)
+  | None -> Alcotest.fail "bounded budget must report remaining"
+
+let test_pool_budget_cancels () =
+  let pool = Parallel.Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      (* an expired budget aborts the region before completing it *)
+      let raised =
+        try
+          ignore
+            (Parallel.Pool.init pool ~budget:(Parallel.Budget.of_timeout_ms 0) 1000 (fun i ->
+                 Unix.sleepf 0.001;
+                 i));
+          false
+        with Parallel.Budget.Deadline_exceeded -> true
+      in
+      Alcotest.(check bool) "expired budget raises from pool" true raised;
+      (* an unlimited budget changes nothing *)
+      let a = Parallel.Pool.init pool ~budget:Parallel.Budget.unlimited 64 (fun i -> i * i) in
+      let b = Parallel.Pool.init pool 64 (fun i -> i * i) in
+      Alcotest.(check bool) "budget does not change results" true (a = b))
+
+(* --- Deadlines through the service --- *)
+
+let test_deadline_exceeded_within_2x () =
+  let t = Server.Service.create () in
+  (* the injected compute delay (300 ms) overshoots the request budget
+     (200 ms); the budget check directly after the fault must fire *)
+  Server.Service.set_faults t (faults "compute=delay:300");
+  let t0 = Unix.gettimeofday () in
+  let response =
+    dispatch t "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c17\",\"timeout_ms\":200}"
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check (option string)) "deadline_exceeded" (Some "deadline_exceeded")
+    (response_code response);
+  Alcotest.(check bool)
+    (Printf.sprintf "answered within 2x budget (%.0f ms)" (elapsed *. 1000.0))
+    true (elapsed < 0.400);
+  (* the failure is counted and the daemon still works *)
+  Server.Service.set_faults t Server.Faults.none;
+  ignore (expect_ok t "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c17\",\"timeout_ms\":30000}");
+  let stats = expect_ok t "{\"v\":1,\"op\":\"stats\"}" in
+  Alcotest.(check int) "deadline counter" 1
+    Server.Json.(to_int (member "deadline_exceeded" (member "counters" stats)))
+
+let test_default_timeout_applies () =
+  let limits =
+    { Server.Service.default_limits with Server.Service.default_timeout_ms = Some 100 }
+  in
+  let t = Server.Service.create ~limits () in
+  Server.Service.set_faults t (faults "compute=delay:200");
+  let response = dispatch t "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c17\"}" in
+  Alcotest.(check (option string)) "server default budget enforced" (Some "deadline_exceeded")
+    (response_code response)
+
+(* --- Protocol error paths --- *)
+
+let test_protocol_error_paths () =
+  let t = Server.Service.create () in
+  expect_code t "parse_error" "{not json";
+  expect_code t "parse_error" "{\"v\":1,\"op\":";
+  expect_code t "unsupported_version" "{\"op\":\"health\"}";
+  expect_code t "unsupported_version" "{\"v\":99,\"op\":\"health\"}";
+  expect_code t "bad_request" "{\"v\":1,\"op\":\"teleport\"}";
+  expect_code t "bad_request" "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"nope\"}";
+  expect_code t "bad_request" "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c17\",\"timeout_ms\":-5}";
+  expect_code t "bad_request" "{\"v\":1,\"op\":\"batch\",\"jobs\":[]}";
+  (* batch size limit *)
+  let limits = { Server.Service.default_limits with Server.Service.max_batch_jobs = 2 } in
+  let t2 = Server.Service.create ~limits () in
+  let job = "{\"op\":\"analyze\",\"circuit\":\"c17\"}" in
+  expect_code t2 "invalid_request"
+    (Printf.sprintf "{\"v\":1,\"op\":\"batch\",\"jobs\":[%s,%s,%s]}" job job job);
+  ignore (expect_ok t2 (Printf.sprintf "{\"v\":1,\"op\":\"batch\",\"jobs\":[%s,%s]}" job job))
+
+let test_gate_limit () =
+  let limits = { Server.Service.default_limits with Server.Service.max_gates = 3 } in
+  let t = Server.Service.create ~limits () in
+  expect_code t "invalid_request" "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c17\"}";
+  (* health is not a compute path and keeps working *)
+  ignore (expect_ok t "{\"v\":1,\"op\":\"health\"}")
+
+(* --- Positioned .bench errors --- *)
+
+let bench_error text =
+  match Circuit.Bench_io.parse_result ~name:"t" text with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> e
+
+let test_bench_positioned_errors () =
+  let e = bench_error "INPUT(a)\nz = FOO(a)\nOUTPUT(z)\n" in
+  Alcotest.(check (option int)) "unknown gate line" (Some 2) e.Circuit.Bench_io.line;
+  let e = bench_error "INPUT(a)\nz = NOT(a, a)\nOUTPUT(z)\n" in
+  Alcotest.(check (option int)) "arity mismatch line" (Some 2) e.Circuit.Bench_io.line;
+  let e = bench_error "INPUT(a)\nz = NOT(a)\nz = NOT(a)\nOUTPUT(z)\n" in
+  Alcotest.(check (option int)) "duplicate net line" (Some 3) e.Circuit.Bench_io.line;
+  let e = bench_error "INPUT(a)\nz = AND(a, ghost)\nOUTPUT(z)\n" in
+  Alcotest.(check (option int)) "dangling fanin line" (Some 2) e.Circuit.Bench_io.line;
+  Alcotest.(check bool) "dangling fanin names signal" true
+    (let m = e.Circuit.Bench_io.message in
+     String.length m >= 5);
+  let e = bench_error "INPUT(a)\nOUTPUT(ghost)\n" in
+  Alcotest.(check (option int)) "dangling output line" (Some 2) e.Circuit.Bench_io.line;
+  let e = bench_error "INPUT(a)\nx = AND(a, y)\ny = AND(a, x)\nOUTPUT(x)\n" in
+  Alcotest.(check bool) "cycle is positioned" true (e.Circuit.Bench_io.line <> None);
+  (* the exception-style entry point folds the position into the message *)
+  Alcotest.(check bool) "parse_string raises positioned Failure" true
+    (try
+       ignore (Circuit.Bench_io.parse_string ~name:"t" "INPUT(a)\nz = FOO(a)\n");
+       false
+     with Failure m -> String.length m > 12 && String.sub m 0 12 = ".bench line ");
+  (* well-formed input still parses *)
+  match Circuit.Bench_io.parse_result ~name:"t" "INPUT(a)\nz = NOT(a)\nOUTPUT(z)\n" with
+  | Ok net -> Alcotest.(check int) "good input parses" 1 (Circuit.Netlist.n_gates net)
+  | Error e -> Alcotest.fail e.Circuit.Bench_io.message
+
+let test_bench_error_maps_to_invalid_request () =
+  let t = Server.Service.create () in
+  let response =
+    dispatch t
+      "{\"v\":1,\"op\":\"analyze\",\"circuit\":{\"bench\":\"INPUT(a)\\nz = FOO(a)\\nOUTPUT(z)\"}}"
+  in
+  Alcotest.(check (option string)) "invalid_request" (Some "invalid_request")
+    (response_code response);
+  Alcotest.(check (option int)) "line detail on the wire" (Some 2)
+    (Server.Protocol.error_detail_int response "line")
+
+(* --- Admission control, shedding and degraded mode --- *)
+
+let test_shed_and_degraded_mode () =
+  let t = Server.Service.create () in
+  let analyze = "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c17\"}" in
+  ignore (expect_ok t analyze);
+  (* every admission from here on sheds *)
+  Server.Service.set_faults t (faults "admission=shed");
+  (* degraded mode: the cached answer is still served... *)
+  let r = expect_ok t analyze in
+  Alcotest.(check bool) "cache hit bypasses admission" true
+    (Server.Json.to_bool (Server.Json.member "cached" r));
+  (* ...as are health and stats... *)
+  ignore (expect_ok t "{\"v\":1,\"op\":\"health\"}");
+  ignore (expect_ok t "{\"v\":1,\"op\":\"stats\"}");
+  (* ...but new compute is refused with a retry hint *)
+  let shed = dispatch t "{\"v\":1,\"op\":\"ivc_search\",\"circuit\":\"c17\",\"seed\":3}" in
+  Alcotest.(check (option string)) "overloaded" (Some "overloaded") (response_code shed);
+  Alcotest.(check (option int)) "retry_after_ms hint" (Some 250)
+    (Server.Protocol.error_detail_int shed "retry_after_ms");
+  let stats = expect_ok t "{\"v\":1,\"op\":\"stats\"}" in
+  Alcotest.(check bool) "shed counted" true
+    (Server.Json.(to_int (member "shed" (member "counters" stats))) >= 1);
+  Alcotest.(check int) "nothing left pending" 0 (Server.Service.pending t)
+
+let test_retry_defeats_transient_shed () =
+  let t = Server.Service.create () in
+  Server.Service.set_faults t (faults "admission=shed@2");
+  let policy = { Server.Retry.retries = 5; base_ms = 1; cap_ms = 2000 } in
+  let rng = Physics.Rng.create ~seed:11 in
+  let line = "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c17\"}" in
+  let attempts = ref 0 in
+  (* the client loop: retry retryable codes with backoff, honoring the
+     server's retry_after hint *)
+  let rec go attempt =
+    incr attempts;
+    let response = dispatch t line in
+    match Server.Protocol.response_result response with
+    | Ok r -> r
+    | Error (code, m) ->
+      if not (Server.Protocol.retryable_code_string code) then Alcotest.fail (code ^ ": " ^ m);
+      if attempt >= policy.Server.Retry.retries then Alcotest.fail "retries exhausted";
+      let retry_after_ms = Server.Protocol.error_detail_int response "retry_after_ms" in
+      let ms = Server.Retry.backoff_ms policy ~attempt ?retry_after_ms ~rng () in
+      Alcotest.(check bool) "hint honored" true (ms >= 125);
+      (* don't actually sleep 125+ ms per attempt in the test suite *)
+      Unix.sleepf 0.001;
+      go (attempt + 1)
+  in
+  let r = go 0 in
+  Alcotest.(check int) "two sheds then success" 3 !attempts;
+  Alcotest.(check bool) "fresh compute after faults drained" false
+    (Server.Json.to_bool (Server.Json.member "cached" r))
+
+(* --- Injected worker failures --- *)
+
+let test_compute_fail_is_structured_and_transient () =
+  let t = Server.Service.create () in
+  Server.Service.set_faults t (faults "compute=fail@1");
+  let line = "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c17\"}" in
+  let first = dispatch t line in
+  Alcotest.(check (option string)) "injected failure is structured" (Some "internal_error")
+    (response_code first);
+  (* nothing was cached for the failed attempt; the retry recomputes and
+     matches a direct platform run bit-exactly *)
+  let r = expect_ok t line in
+  Alcotest.(check bool) "retry recomputes" false
+    (Server.Json.to_bool (Server.Json.member "cached" r));
+  let cfg = Server.Protocol.platform_config Server.Protocol.default_flow_spec in
+  let direct =
+    Flow.Platform.analyze cfg
+      (Flow.Platform.prepare cfg (Circuit.Generators.c17 ()))
+      ~standby:Aging.Circuit_aging.Standby_all_stressed
+  in
+  let served = Server.Protocol.analysis_of_json (Server.Json.member "analysis" r) in
+  Alcotest.(check bool) "post-fault result bit-exact" true (served = direct)
+
+let test_batch_job_failures_are_isolated () =
+  let t = Server.Service.create () in
+  Server.Service.set_faults t (faults "compute=fail@1");
+  let line =
+    "{\"v\":1,\"op\":\"batch\",\"jobs\":[{\"op\":\"analyze\",\"circuit\":\"c17\"},{\"op\":\"analyze\",\"circuit\":\"c17\",\"standby\":\"best\"}]}"
+  in
+  let result = expect_ok t line in
+  match Server.Json.member "results" result with
+  | Server.Json.List results ->
+    let kinds =
+      List.map (fun r -> Server.Json.to_string_exn (Server.Json.member "kind" r)) results
+    in
+    Alcotest.(check int) "both jobs answered" 2 (List.length results);
+    Alcotest.(check bool) "exactly one injected failure" true
+      (List.length (List.filter (fun k -> k = "error") kinds) = 1);
+    Alcotest.(check bool) "the sibling survived" true (List.mem "analysis" kinds)
+  | _ -> Alcotest.fail "expected a results list"
+
+(* --- Faults plan parsing --- *)
+
+let test_faults_spec_parsing () =
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool) ("accepts " ^ spec) true
+        (match Server.Faults.parse spec with Ok _ -> true | Error _ -> false))
+    [
+      "compute=delay:50";
+      "admission=shed@2";
+      "write=truncate@1,compute=fail";
+      " compute = fail , write=delay:10 ";
+      "";
+    ];
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool) ("rejects " ^ spec) true
+        (match Server.Faults.parse spec with Error _ -> true | Ok _ -> false))
+    [ "compute"; "kitchen=fail"; "compute=explode"; "compute=delay:xx"; "compute=fail@0" ];
+  let f = faults "compute=fail@2" in
+  Alcotest.(check int) "armed twice" 2 (List.length (Server.Faults.fire f ~site:"compute") + List.length (Server.Faults.fire f ~site:"compute"));
+  Alcotest.(check (list string)) "then disarmed" []
+    (List.map Server.Faults.action_to_string (Server.Faults.fire f ~site:"compute"));
+  Alcotest.(check (list string)) "other sites unaffected" []
+    (List.map Server.Faults.action_to_string (Server.Faults.fire f ~site:"write"))
+
+(* --- Byte-bounded cache --- *)
+
+let test_cache_byte_budget () =
+  let c = Server.Cache.create ~capacity:100 ~max_bytes:100 ~weight:String.length () in
+  Server.Cache.add c "a" (String.make 40 'a');
+  Server.Cache.add c "b" (String.make 40 'b');
+  Alcotest.(check int) "bytes accounted" 80 (Server.Cache.bytes_used c);
+  Server.Cache.add c "c" (String.make 40 'c');
+  (* 120 bytes > 100: the LRU entry "a" must go *)
+  Alcotest.(check int) "evicted down to budget" 80 (Server.Cache.bytes_used c);
+  Alcotest.(check (option string)) "lru evicted" None (Server.Cache.find c "a");
+  Alcotest.(check bool) "recent kept" true (Server.Cache.find c "c" <> None);
+  let s = Server.Cache.stats c in
+  Alcotest.(check int) "eviction counted" 1 s.Server.Cache.evictions;
+  Alcotest.(check (option int)) "budget reported" (Some 100) s.Server.Cache.max_bytes;
+  Alcotest.(check int) "bytes reported" 80 s.Server.Cache.bytes_used;
+  (* one entry heavier than the whole budget still caches (approximate
+     budget, never an empty cache) *)
+  Server.Cache.add c "huge" (String.make 300 'h');
+  Alcotest.(check int) "kept the oversized entry" 1 (Server.Cache.length c);
+  Alcotest.(check int) "its weight is visible" 300 (Server.Cache.bytes_used c);
+  (* replacing a value re-weighs it *)
+  Server.Cache.clear c;
+  Server.Cache.add c "k" (String.make 10 'x');
+  Server.Cache.add c "k" (String.make 90 'x');
+  Alcotest.(check int) "replacement re-weighed" 90 (Server.Cache.bytes_used c)
+
+let test_service_reports_cache_bytes () =
+  let t = Server.Service.create () in
+  ignore (expect_ok t "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c17\"}");
+  let stats = expect_ok t "{\"v\":1,\"op\":\"stats\"}" in
+  let results = Server.Json.(member "results" (member "cache" stats)) in
+  Alcotest.(check bool) "bytes_used > 0 after one result" true
+    (Server.Json.(to_int (member "bytes_used" results)) > 0);
+  Alcotest.(check bool) "max_bytes advertised" true
+    (Server.Json.(to_int (member "max_bytes" results)) > 0)
+
+(* --- Retry schedule --- *)
+
+let test_backoff_deterministic_and_bounded () =
+  let policy = { Server.Retry.retries = 6; base_ms = 50; cap_ms = 2000 } in
+  let schedule seed =
+    let rng = Physics.Rng.create ~seed in
+    List.init 6 (fun attempt -> Server.Retry.backoff_ms policy ~attempt ~rng ())
+  in
+  Alcotest.(check (list int)) "same seed, same schedule" (schedule 42) (schedule 42);
+  Alcotest.(check bool) "different seeds diverge" true (schedule 42 <> schedule 43);
+  List.iteri
+    (fun attempt ms ->
+      let target = min policy.Server.Retry.cap_ms (policy.Server.Retry.base_ms * (1 lsl attempt)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d in [target/2, target]" attempt)
+        true
+        (ms >= target / 2 && ms <= target))
+    (schedule 7);
+  (* the server's hint raises the floor *)
+  let rng = Physics.Rng.create ~seed:1 in
+  let ms = Server.Retry.backoff_ms policy ~attempt:0 ~retry_after_ms:800 ~rng () in
+  Alcotest.(check bool) "retry_after_ms honored" true (ms >= 400 && ms <= 800);
+  (* but never past the cap *)
+  let ms = Server.Retry.backoff_ms policy ~attempt:0 ~retry_after_ms:60000 ~rng () in
+  Alcotest.(check bool) "hint capped" true (ms <= policy.Server.Retry.cap_ms)
+
+(* --- Socket-level chaos --- *)
+
+let with_server ?limits ?faults:fault_plan f =
+  let t = Server.Service.create ?limits () in
+  (match fault_plan with Some p -> Server.Service.set_faults t (faults p) | None -> ());
+  let path = Filename.temp_file "nbti_chaos" ".sock" in
+  Sys.remove path;
+  let ready = Mutex.create () in
+  let ready_cond = Condition.create () in
+  let is_ready = ref false in
+  let on_ready () =
+    Mutex.lock ready;
+    is_ready := true;
+    Condition.signal ready_cond;
+    Mutex.unlock ready
+  in
+  let server_thread =
+    Thread.create (fun () -> Server.Service.serve t (Server.Service.Unix_socket path) ~on_ready ()) ()
+  in
+  Mutex.lock ready;
+  while not !is_ready do
+    Condition.wait ready_cond ready
+  done;
+  Mutex.unlock ready;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Service.stop t;
+      Thread.join server_thread)
+    (fun () -> f t path)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let test_socket_oversized_line () =
+  let limits = { Server.Service.default_limits with Server.Service.max_line_bytes = 1024 } in
+  with_server ~limits (fun _t path ->
+      let fd, ic, oc = connect path in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          send oc (String.make 5000 'x');
+          let response = Server.Json.of_string (input_line ic) in
+          Alcotest.(check (option string)) "oversized line refused" (Some "invalid_request")
+            (response_code response);
+          Alcotest.(check (option int)) "limit advertised" (Some 1024)
+            (Server.Protocol.error_detail_int response "max_line_bytes");
+          (* framing survived: the connection still answers *)
+          send oc "{\"v\":1,\"op\":\"health\"}";
+          match Server.Protocol.response_result (Server.Json.of_string (input_line ic)) with
+          | Ok _ -> ()
+          | Error (c, m) -> Alcotest.fail (c ^ ": " ^ m)))
+
+let test_socket_midline_eof () =
+  with_server (fun _t path ->
+      let fd, ic, oc = connect path in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* half-close: the request line ends in EOF, not newline *)
+          output_string oc "{\"v\":1,\"op\":";
+          flush oc;
+          Unix.shutdown fd Unix.SHUTDOWN_SEND;
+          let response = Server.Json.of_string (input_line ic) in
+          Alcotest.(check (option string)) "mid-line EOF is a parse error" (Some "parse_error")
+            (response_code response);
+          Alcotest.(check bool) "then the server closes cleanly" true
+            (try
+               ignore (input_line ic);
+               false
+             with End_of_file -> true)))
+
+let test_socket_truncated_write_then_retry () =
+  with_server ~faults:"write=truncate@1" (fun _t path ->
+      let line = "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c17\"}" in
+      let fd, ic, oc = connect path in
+      let first =
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            send oc line;
+            match input_line ic with
+            | partial -> ( try Ok (Server.Json.of_string partial) with Server.Json.Parse_error _ -> Error partial)
+            | exception End_of_file -> Error "")
+      in
+      (match first with
+      | Ok _ -> Alcotest.fail "expected a truncated response"
+      | Error partial ->
+        Alcotest.(check bool) "response was cut short" true
+          (String.length partial < String.length line + 400));
+      (* a retrying client reconnects and asks again; the fault budget is
+         spent, and the answer comes from the result cache *)
+      let fd2, ic2, oc2 = connect path in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd2 with Unix.Unix_error _ -> ())
+        (fun () ->
+          send oc2 line;
+          match Server.Protocol.response_result (Server.Json.of_string (input_line ic2)) with
+          | Ok r ->
+            Alcotest.(check bool) "retry served from cache" true
+              (Server.Json.to_bool (Server.Json.member "cached" r))
+          | Error (c, m) -> Alcotest.fail (c ^ ": " ^ m)))
+
+let test_socket_vanished_peer_survival () =
+  with_server ~faults:"write=delay:150@1" (fun t path ->
+      (* the peer sends a request and vanishes before the (delayed)
+         response is written: the write must fail EPIPE-style on that
+         connection only *)
+      let fd, _ic, oc = connect path in
+      send oc "{\"v\":1,\"op\":\"health\"}";
+      Unix.close fd;
+      Unix.sleepf 0.4;
+      (* the daemon survived and still answers *)
+      let fd2, ic2, oc2 = connect path in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd2 with Unix.Unix_error _ -> ())
+        (fun () ->
+          send oc2 "{\"v\":1,\"op\":\"stats\"}";
+          match Server.Protocol.response_result (Server.Json.of_string (input_line ic2)) with
+          | Ok stats ->
+            Alcotest.(check bool) "disconnect counted" true
+              (Server.Json.(to_int (member "disconnects" (member "counters" stats))) >= 1
+              || Server.Json.(to_int (member "truncated_writes" (member "counters" stats))) >= 0)
+          | Error (c, m) -> Alcotest.fail (c ^ ": " ^ m));
+      Alcotest.(check int) "nothing left pending" 0 (Server.Service.pending t))
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "basics" `Quick test_budget_basics;
+          Alcotest.test_case "pool cancellation" `Quick test_pool_budget_cancels;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "exceeded within 2x budget" `Quick test_deadline_exceeded_within_2x;
+          Alcotest.test_case "server default timeout" `Quick test_default_timeout_applies;
+        ] );
+      ( "limits",
+        [
+          Alcotest.test_case "protocol error paths" `Quick test_protocol_error_paths;
+          Alcotest.test_case "gate limit" `Quick test_gate_limit;
+        ] );
+      ( "bench",
+        [
+          Alcotest.test_case "positioned errors" `Quick test_bench_positioned_errors;
+          Alcotest.test_case "maps to invalid_request" `Quick test_bench_error_maps_to_invalid_request;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "shed and degraded mode" `Quick test_shed_and_degraded_mode;
+          Alcotest.test_case "retry defeats transient shed" `Quick test_retry_defeats_transient_shed;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_faults_spec_parsing;
+          Alcotest.test_case "compute failure is transient" `Quick
+            test_compute_fail_is_structured_and_transient;
+          Alcotest.test_case "batch failures isolated" `Quick test_batch_job_failures_are_isolated;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "byte budget" `Quick test_cache_byte_budget;
+          Alcotest.test_case "bytes in stats" `Quick test_service_reports_cache_bytes;
+        ] );
+      ("retry", [ Alcotest.test_case "deterministic backoff" `Quick test_backoff_deterministic_and_bounded ]);
+      ( "socket chaos",
+        [
+          Alcotest.test_case "oversized line" `Quick test_socket_oversized_line;
+          Alcotest.test_case "mid-line EOF" `Quick test_socket_midline_eof;
+          Alcotest.test_case "truncated write then retry" `Quick
+            test_socket_truncated_write_then_retry;
+          Alcotest.test_case "vanished peer" `Quick test_socket_vanished_peer_survival;
+        ] );
+    ]

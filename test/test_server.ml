@@ -76,7 +76,7 @@ let test_json_accessors () =
 (* --- Cache --- *)
 
 let test_cache_lru () =
-  let c = Server.Cache.create ~capacity:2 in
+  let c = Server.Cache.create ~capacity:2 () in
   Server.Cache.add c "a" 1;
   Server.Cache.add c "b" 2;
   (* touch a so that b is the LRU entry *)
@@ -92,7 +92,7 @@ let test_cache_lru () =
   Alcotest.(check int) "misses" 1 s.Server.Cache.misses
 
 let test_cache_find_or_add () =
-  let c = Server.Cache.create ~capacity:4 in
+  let c = Server.Cache.create ~capacity:4 () in
   let computes = ref 0 in
   let compute () =
     incr computes;
@@ -111,10 +111,10 @@ let test_cache_find_or_add () =
 let test_cache_replace_and_bounds () =
   Alcotest.(check bool) "capacity >= 1 enforced" true
     (try
-       ignore (Server.Cache.create ~capacity:0);
+       ignore (Server.Cache.create ~capacity:0 ());
        false
      with Invalid_argument _ -> true);
-  let c = Server.Cache.create ~capacity:3 in
+  let c = Server.Cache.create ~capacity:3 () in
   Server.Cache.add c "k" 1;
   Server.Cache.add c "k" 2;
   Alcotest.(check (option int)) "replaced" (Some 2) (Server.Cache.find c "k");
@@ -188,19 +188,19 @@ let test_protocol_roundtrip () =
   in
   List.iter
     (fun job ->
-      let e = { id = Some "req-1"; request = Single job } in
+      let e = { id = Some "req-1"; timeout_ms = None; request = Single job } in
       let json = Server.Json.of_string (Server.Json.to_string (json_of_envelope e)) in
       match envelope_of_json json with
       | Ok e' -> Alcotest.(check bool) "roundtrip" true (e = e')
       | Error (_, m) -> Alcotest.fail m)
     jobs;
-  let batch = { id = None; request = Batch jobs } in
+  let batch = { id = None; timeout_ms = None; request = Batch jobs } in
   (match envelope_of_json (json_of_envelope batch) with
   | Ok b -> Alcotest.(check bool) "batch roundtrip" true (b = batch)
   | Error (_, m) -> Alcotest.fail m);
   List.iter
     (fun r ->
-      match envelope_of_json (json_of_envelope { id = None; request = r }) with
+      match envelope_of_json (json_of_envelope { id = None; timeout_ms = None; request = r }) with
       | Ok e -> Alcotest.(check bool) "introspective roundtrip" true (e.request = r)
       | Error (_, m) -> Alcotest.fail m)
     [ Health; Stats ]
@@ -251,6 +251,7 @@ let analyze_c17_request ?id () =
   json_of_envelope
     {
       id;
+      timeout_ms = None;
       request = Single (Analyze { circuit = Named "c17"; flow = default_flow_spec; standby = Worst });
     }
 
@@ -318,7 +319,7 @@ let test_service_prepared_shared_across_years () =
   let ask years =
     let flow = { default_flow_spec with years } in
     let e =
-      { id = None; request = Single (Analyze { circuit = Named "c17"; flow; standby = Worst }) }
+      { id = None; timeout_ms = None; request = Single (Analyze { circuit = Named "c17"; flow; standby = Worst }) }
     in
     ignore (result_of_response (Server.Service.handle t (json_of_envelope e)))
   in
@@ -351,7 +352,7 @@ let test_service_errors () =
   expect_code "bad_request" "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c99999\"}";
   expect_code "bad_request"
     "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c17\",\"standby\":\"01\"}";
-  expect_code "bad_request"
+  expect_code "invalid_request"
     "{\"v\":1,\"op\":\"analyze\",\"circuit\":{\"bench\":\"INPUT a\"}}";
   (* id is echoed on errors too *)
   let response =
