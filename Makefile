@@ -1,4 +1,4 @@
-.PHONY: all build test smoke chaos-smoke parallel-smoke bench-json check clean
+.PHONY: all build test smoke chaos-smoke parallel-smoke obs-smoke bench-json check clean
 
 all: build
 
@@ -26,12 +26,19 @@ chaos-smoke: build
 parallel-smoke: build
 	./scripts/parallel_smoke.sh
 
-# Machine-readable benchmark record: Bechamel ns/run for every kernel
-# plus 1/2/4-domain scaling of the parallel hot paths.
-bench-json: build
-	dune exec bench/main.exe -- --perf-json BENCH_PR3.json
+# Observability smoke: capture a Chrome trace from a CLI analyze run and
+# validate it with `nbti_tool trace`, then serve with an access log and
+# assert Prometheus metrics plus non-empty JSONL access records.
+obs-smoke: build
+	./scripts/obs_smoke.sh
 
-check: build test smoke chaos-smoke parallel-smoke
+# Machine-readable benchmark record: Bechamel ns/run for every kernel,
+# 1/2/4-domain scaling of the parallel hot paths, and the tracing
+# overhead of the analyze hot path (must stay under 3%).
+bench-json: build
+	dune exec bench/main.exe -- --perf-json BENCH_PR5.json
+
+check: build test smoke chaos-smoke parallel-smoke obs-smoke
 
 clean:
 	dune clean

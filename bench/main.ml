@@ -7,8 +7,9 @@
                                                control points, dual-Vth, ...)
    dune exec bench/main.exe -- --perf       -> Bechamel wall-clock suite
    dune exec bench/main.exe -- --perf-json [PATH]
-                                            -> suite + parallel scaling as
-                                               JSON (default BENCH_PR3.json)
+                                            -> suite + parallel scaling +
+                                               tracing overhead as JSON
+                                               (default BENCH_PR5.json)
    dune exec bench/main.exe -- --list       -> available experiment ids *)
 
 let print_header () =
@@ -37,7 +38,7 @@ let () =
   | [ "--perf" ] ->
     print_header ();
     Perf.run ()
-  | [ "--perf-json" ] -> Perf.run_json ~path:"BENCH_PR3.json"
+  | [ "--perf-json" ] -> Perf.run_json ~path:"BENCH_PR5.json"
   | [ "--perf-json"; path ] -> Perf.run_json ~path
   | [ "--ablation" ] ->
     print_header ();

@@ -84,6 +84,56 @@ let standby_state net = function
       Error "standby vector must be a 0/1 string"
     else Ok (Aging.Circuit_aging.Standby_vector (Array.init n (fun i -> bits.[i] = '1')))
 
+(* --- observability: --trace / --log-level / --log-json --- *)
+
+let log_level_arg =
+  let doc = "Log verbosity: debug, info, warn, error or quiet." in
+  Arg.(value & opt string "warn" & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let log_json_arg =
+  Arg.(value & flag & info [ "log-json" ] ~doc:"Emit log records as JSONL instead of text.")
+
+let trace_arg =
+  let doc =
+    "Record the run as Chrome trace_event JSON to $(docv) (open in chrome://tracing or Perfetto; \
+     summarize with 'nbti_tool trace $(docv)'). A flame summary is printed to stderr."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let net_name (n : Circuit.Netlist.t) = n.Circuit.Netlist.name
+
+let apply_logging level json =
+  (match Obs.Log.level_of_string level with
+  | Ok l -> Obs.Log.set_level l
+  | Error m ->
+    prerr_endline m;
+    exit 2);
+  Obs.Log.set_json json
+
+(* Wraps a subcommand body: installs the log level, a correlation id for
+   every span / log record / pool chunk the run produces, and — when
+   --trace is given — a span collector whose contents are written out
+   (and summarized to stderr) even if the body raises. *)
+let with_observability ~cid ~level ~json ~trace f =
+  apply_logging level json;
+  Obs.Ctx.with_id cid @@ fun () ->
+  match trace with
+  | None -> f ()
+  | Some path ->
+    let collector = Obs.Trace.create () in
+    Obs.Trace.install collector;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.uninstall ();
+        try
+          Obs.Trace.write_chrome_json collector ~path;
+          Format.eprintf "%s@." (Obs.Trace.flame_summary collector);
+          Format.eprintf "trace: %d spans written to %s@."
+            (List.length (Obs.Trace.spans collector))
+            path
+        with Sys_error m -> Format.eprintf "trace: cannot write %s: %s@." path m)
+      f
+
 (* --- stats --- *)
 
 let stats_cmd =
@@ -102,13 +152,17 @@ let stats_cmd =
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run net ras t_active t_standby years standby jobs =
+  let run net ras t_active t_standby years standby jobs trace level json =
     apply_jobs jobs;
     match standby_state net standby with
     | Error m ->
       prerr_endline m;
       exit 1
     | Ok standby ->
+      with_observability
+        ~cid:("cli:analyze:" ^ net_name net)
+        ~level ~json ~trace
+      @@ fun () ->
       let aging = aging_config ras t_active t_standby years in
       let cfg = Flow.Platform.default_config ~aging () in
       let p = Flow.Platform.prepare cfg net in
@@ -134,7 +188,7 @@ let analyze_cmd =
   let term =
     Term.(
       const run $ netlist_arg $ ras_arg $ t_active_arg $ t_standby_arg $ years_arg $ standby_arg
-      $ jobs_arg)
+      $ jobs_arg $ trace_arg $ log_level_arg $ log_json_arg)
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Fresh vs aged timing and leakage for a standby state.") term
 
@@ -144,8 +198,10 @@ let ivc_cmd =
   let pool_arg =
     Arg.(value & opt int 64 & info [ "pool" ] ~docv:"N" ~doc:"Vectors per search round.")
   in
-  let run net ras t_active t_standby years seed pool jobs =
+  let run net ras t_active t_standby years seed pool jobs trace level json =
     apply_jobs jobs;
+    with_observability ~cid:("cli:ivc:" ^ net_name net) ~level ~json ~trace
+    @@ fun () ->
     let aging = aging_config ras t_active t_standby years in
     let cfg = Flow.Platform.default_config ~aging () in
     let p = Flow.Platform.prepare cfg net in
@@ -175,7 +231,7 @@ let ivc_cmd =
   let term =
     Term.(
       const run $ netlist_arg $ ras_arg $ t_active_arg $ t_standby_arg $ years_arg $ seed_arg
-      $ pool_arg $ jobs_arg)
+      $ pool_arg $ jobs_arg $ trace_arg $ log_level_arg $ log_json_arg)
   in
   Cmd.v (Cmd.info "ivc" ~doc:"Search minimum-leakage vectors and co-optimize for NBTI.") term
 
@@ -456,8 +512,10 @@ let variation_cmd =
       value & opt float 0.015
       & info [ "sigma" ] ~docv:"V" ~doc:"Per-gate Vth0 standard deviation [V].")
   in
-  let run net ras t_active t_standby years seed samples sigma jobs =
+  let run net ras t_active t_standby years seed samples sigma jobs trace level json =
     apply_jobs jobs;
+    with_observability ~cid:("cli:variation:" ^ net_name net) ~level ~json ~trace
+    @@ fun () ->
     let aging = aging_config ras t_active t_standby years in
     let config = Variation.Process_var.default_config ~sigma_vth:sigma ~n_samples:samples aging in
     let sp = Logic.Signal_prob.analytic net ~input_sp:(Logic.Signal_prob.uniform_inputs net 0.5) in
@@ -502,11 +560,169 @@ let variation_cmd =
   let term =
     Term.(
       const run $ netlist_arg $ ras_arg $ t_active_arg $ t_standby_arg $ years_arg $ seed_arg
-      $ samples_arg $ sigma_arg $ jobs_arg)
+      $ samples_arg $ sigma_arg $ jobs_arg $ trace_arg $ log_level_arg $ log_json_arg)
   in
   Cmd.v
     (Cmd.info "variation"
        ~doc:"Monte-Carlo process-variation study of fresh vs aged delay (Fig. 12).")
+    term
+
+(* --- profile: per-stage time/alloc table --- *)
+
+let profile_cmd =
+  let runs_arg =
+    Arg.(value & opt int 5 & info [ "runs" ] ~docv:"N" ~doc:"Repetitions of every stage.")
+  in
+  let run net ras t_active t_standby years runs jobs =
+    apply_jobs jobs;
+    if runs < 1 then begin
+      prerr_endline "runs must be >= 1";
+      exit 1
+    end;
+    let aging = aging_config ras t_active t_standby years in
+    let tech = aging.Aging.Circuit_aging.tech in
+    let temp_k = aging.Aging.Circuit_aging.schedule.Nbti.Schedule.t_ref in
+    let standby = Aging.Circuit_aging.Standby_all_stressed in
+    let input_sp = Logic.Signal_prob.uniform_inputs net 0.5 in
+    (* Inputs each stage needs are computed once up front, so the timed
+       region of a stage covers that stage only. *)
+    let sp =
+      Logic.Signal_prob.monte_carlo net ~rng:(Physics.Rng.create ~seed:7) ~input_sp ~n_vectors:4096
+    in
+    let stage_dvth = Aging.Circuit_aging.stage_dvth_map aging net ~node_sp:sp ~standby in
+    let stages =
+      [
+        ( "signal-prob (MC, 4096 vectors)",
+          fun () ->
+            ignore
+              (Logic.Signal_prob.monte_carlo net ~rng:(Physics.Rng.create ~seed:7) ~input_sp
+                 ~n_vectors:4096) );
+        ( "thermal (workload -> RAS, T)",
+          fun () ->
+            let rng = Physics.Rng.create ~seed:42 in
+            let tasks = Thermal.Workload.random_tasks ~rng ~n:12 () in
+            let mixed = Thermal.Workload.with_idle ~rng ~idle_power:8.0 ~idle_fraction:0.5 tasks in
+            ignore (Thermal.Workload.summarize Thermal.Rc_model.default ~active_threshold:20.0 mixed)
+        );
+        ( "aging (R-D dVth table)",
+          fun () ->
+            let (_ : gate:int -> stage:int -> float) =
+              Aging.Circuit_aging.stage_dvth_map aging net ~node_sp:sp ~standby
+            in
+            () );
+        ( "STA (fresh + aged)",
+          fun () ->
+            ignore (Sta.Timing.fresh tech net ~temp_k ());
+            ignore (Sta.Timing.analyze tech net ~temp_k ~stage_dvth ()) );
+        ( "leakage (tables + expectation)",
+          fun () ->
+            let tabs = Leakage.Circuit_leakage.build_tables tech net ~temp_k:400.0 in
+            ignore (Leakage.Circuit_leakage.expected_leakage tabs net ~node_sp:sp) );
+      ]
+    in
+    let measure (label, f) =
+      let samples =
+        Array.init runs (fun _ ->
+            let a0 = Gc.allocated_bytes () in
+            let t0 = Unix.gettimeofday () in
+            f ();
+            let dt = Unix.gettimeofday () -. t0 in
+            (dt, Gc.allocated_bytes () -. a0))
+      in
+      let times = Array.map fst samples in
+      let min_s = Array.fold_left Float.min Float.infinity times in
+      let mean_s = Array.fold_left ( +. ) 0.0 times /. float_of_int runs in
+      (* Allocation is deterministic per run; the first sample is the
+         per-run figure (later samples would only echo it). *)
+      let alloc_mb = snd samples.(0) /. (1024.0 *. 1024.0) in
+      [
+        label;
+        Printf.sprintf "%.3f" (min_s *. 1e3);
+        Printf.sprintf "%.3f" (mean_s *. 1e3);
+        Printf.sprintf "%.2f" alloc_mb;
+      ]
+    in
+    Flow.Report.print
+      {
+        Flow.Report.title =
+          Printf.sprintf "Pipeline profile of %s (%d gates, %d runs per stage)"
+            net.Circuit.Netlist.name (Circuit.Netlist.n_gates net) runs;
+        header = [ "stage"; "min [ms]"; "mean [ms]"; "alloc/run [MB]" ];
+        rows = List.map measure stages;
+      }
+  in
+  let term =
+    Term.(
+      const run $ netlist_arg $ ras_arg $ t_active_arg $ t_standby_arg $ years_arg $ runs_arg
+      $ jobs_arg)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run each pipeline stage N times and print a per-stage time/allocation table.")
+    term
+
+(* --- trace: summarize a recorded Chrome trace --- *)
+
+let trace_cmd =
+  let file_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace_event JSON written by --trace.")
+  in
+  let run path =
+    let text =
+      match open_in path with
+      | ic ->
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      | exception Sys_error m ->
+        prerr_endline m;
+        exit 1
+    in
+    match Server.Json.of_string text with
+    | exception Server.Json.Parse_error m ->
+      Format.eprintf "%s: not valid JSON: %s@." path m;
+      exit 1
+    | json ->
+      let events =
+        match Server.Json.member_opt "traceEvents" json with
+        | Some (Server.Json.List l) -> l
+        | _ ->
+          Format.eprintf "%s: not a Chrome trace (no traceEvents array)@." path;
+          exit 1
+      in
+      let dropped =
+        match Server.Json.member_opt "droppedSpans" json with
+        | Some v -> ( try Server.Json.to_int v with Server.Json.Type_error _ -> 0)
+        | None -> 0
+      in
+      (* Complete ("X") events carry their ancestry under args.path;
+         instant markers have no duration and are only counted. *)
+      let pairs =
+        List.filter_map
+          (fun e ->
+            match (Server.Json.member_opt "args" e, Server.Json.member_opt "dur" e) with
+            | Some args, Some dur -> begin
+              match Server.Json.member_opt "path" args with
+              | Some (Server.Json.String p) -> begin
+                match Server.Json.to_float dur with
+                | d when d > 0.0 -> Some (p, d)
+                | _ -> None
+                | exception Server.Json.Type_error _ -> None
+              end
+              | _ -> None
+            end
+            | _ -> None)
+          events
+      in
+      Format.printf "%d events (%d spans with duration) in %s@." (List.length events)
+        (List.length pairs) path;
+      print_string (Obs.Trace.flame_of_paths pairs ~dropped)
+  in
+  let term = Term.(const run $ file_arg) in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Validate a recorded Chrome trace and print its flame summary.")
     term
 
 (* --- serve / request: the aging-analysis daemon and its client --- *)
@@ -571,9 +787,18 @@ let serve_cmd =
             "Fault-injection plan for chaos testing: comma-separated site=action[:param][@N] \
              rules (sites: admission, compute, write; actions: delay:MS, fail, truncate, shed).")
   in
+  let access_log_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSONL record per handled request (ts, correlation id, endpoint, ok, \
+             elapsed_s, error code) to $(docv).")
+  in
   let run endpoint result_capacity result_cache_mb prepared_capacity max_pending max_batch
-      max_gates max_line_bytes default_timeout_ms faults_spec jobs =
+      max_gates max_line_bytes default_timeout_ms faults_spec access_log level json jobs =
     apply_jobs jobs;
+    apply_logging level json;
     let faults =
       match faults_spec with
       | None -> Server.Faults.none
@@ -599,6 +824,19 @@ let serve_cmd =
         ~result_max_bytes:(result_cache_mb * 1024 * 1024)
         ~prepared_capacity ~max_pending ~limits ~faults ()
     in
+    let access_oc =
+      match access_log with
+      | None -> None
+      | Some path -> begin
+        match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+        | oc ->
+          Server.Service.set_access_log t oc;
+          Some oc
+        | exception Sys_error m ->
+          Format.eprintf "nbti_tool serve: cannot open access log: %s@." m;
+          exit 1
+      end
+    in
     Server.Service.install_signal_handlers t;
     let on_ready () =
       (match endpoint with
@@ -613,13 +851,15 @@ let serve_cmd =
     | Unix.Unix_error (err, fn, arg) ->
       Format.eprintf "nbti_tool serve: %s(%s): %s@." fn arg (Unix.error_message err);
       exit 1);
+    (match access_oc with Some oc -> close_out_noerr oc | None -> ());
     Format.printf "nbti_tool: server stopped@."
   in
   let term =
     Term.(
       const run $ endpoint_arg $ result_cache_arg $ result_cache_mb_arg $ prepared_cache_arg
       $ max_pending_arg $ max_batch_arg $ max_gates_arg $ max_line_bytes_arg
-      $ default_timeout_arg $ faults_arg $ jobs_arg)
+      $ default_timeout_arg $ faults_arg $ access_log_arg $ log_level_arg $ log_json_arg
+      $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -831,4 +1071,5 @@ let () =
   let info = Cmd.info "nbti_tool" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ stats_cmd; analyze_cmd; ivc_cmd; st_cmd; dvth_cmd; lifetime_cmd; gen_cmd; lib_cmd;
-         verilog_cmd; seq_cmd; sram_cmd; thermal_cmd; variation_cmd; serve_cmd; request_cmd ]))
+         verilog_cmd; seq_cmd; sram_cmd; thermal_cmd; variation_cmd; profile_cmd; trace_cmd;
+         serve_cmd; request_cmd ]))

@@ -62,8 +62,15 @@ let duty_table ?(polarity = `Pmos) (t : Circuit.Netlist.t) ~node_sp ~standby =
             (active, standby_duty)))
     t.Circuit.Netlist.nodes
 
+(* The per-stage R-D model evaluation (schedule -> c_eq -> dVth for every
+   gate stage) is the aging chain's analytical core; it gets its own span
+   so traces attribute time to it separately from the STA passes. *)
 let stage_dvth_general config ~cond ~scale ~duties =
   let table =
+    Obs.Trace.with_span ~cat:"aging"
+      ~args:[ ("gates", Obs.Fields.Int (Array.length duties)) ]
+      "aging.dvth_table"
+    @@ fun () ->
     Array.map
       (Array.map (fun (active, standby) ->
            let sched = Nbti.Schedule.with_stress_duties config.schedule ~active ~standby in
@@ -87,8 +94,14 @@ type analysis = {
 
 let analyze_dvth config t ?po_load ?stage_dvth_n ~stage_dvth () =
   let temp_k = config.schedule.Nbti.Schedule.t_ref in
-  let fresh = Sta.Timing.fresh config.tech t ?po_load ~temp_k () in
-  let aged = Sta.Timing.analyze config.tech t ?po_load ?stage_dvth_n ~temp_k ~stage_dvth () in
+  let fresh =
+    Obs.Trace.with_span ~cat:"sta" "sta.fresh" @@ fun () ->
+    Sta.Timing.fresh config.tech t ?po_load ~temp_k ()
+  in
+  let aged =
+    Obs.Trace.with_span ~cat:"sta" "sta.aged" @@ fun () ->
+    Sta.Timing.analyze config.tech t ?po_load ?stage_dvth_n ~temp_k ~stage_dvth ()
+  in
   let max_dvth = ref 0.0 in
   Array.iteri
     (fun i node ->

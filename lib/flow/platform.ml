@@ -98,10 +98,23 @@ type prepared = {
    chunks inside a stage) with Parallel.Budget.Deadline_exceeded. *)
 let stage config = Parallel.Budget.check config.budget
 
+(* Stage spans: every pipeline stage of the Fig. 6 flow is a nested
+   span, so a Chrome trace (or the flame summary) attributes wall time
+   to signal-probability estimation, leakage-table construction, the
+   R-D aging chain + STA, and leakage evaluation separately. With no
+   collector installed, [Obs.Trace.with_span] is one atomic load. *)
+let net_args (net : Circuit.Netlist.t) =
+  [
+    ("circuit", Obs.Fields.Str net.Circuit.Netlist.name);
+    ("gates", Obs.Fields.Int (Circuit.Netlist.n_gates net));
+  ]
+
 let prepare config net =
+  Obs.Trace.with_span ~args:(net_args net) "flow.prepare" @@ fun () ->
   stage config;
   let input_sp = Logic.Signal_prob.uniform_inputs net config.input_sp in
   let sp =
+    Obs.Trace.with_span "flow.signal_prob" @@ fun () ->
     match config.sp_method with
     | Sp_analytic -> Logic.Signal_prob.analytic net ~input_sp
     | Sp_monte_carlo { n_vectors; seed } ->
@@ -110,6 +123,7 @@ let prepare config net =
   in
   stage config;
   let tabs =
+    Obs.Trace.with_span "flow.leakage_tables" @@ fun () ->
     Leakage.Circuit_leakage.build_tables config.aging.Aging.Circuit_aging.tech net
       ~temp_k:config.leakage_temp
   in
@@ -130,9 +144,14 @@ type analysis = {
 }
 
 let analyze config p ~standby =
+  Obs.Trace.with_span ~args:(net_args p.net) "flow.analyze" @@ fun () ->
   stage config;
-  let a = Aging.Circuit_aging.analyze config.aging p.net ~node_sp:p.sp ~standby () in
+  let a =
+    Obs.Trace.with_span "flow.aging" @@ fun () ->
+    Aging.Circuit_aging.analyze config.aging p.net ~node_sp:p.sp ~standby ()
+  in
   stage config;
+  Obs.Trace.with_span "flow.leakage" @@ fun () ->
   let standby_leakage =
     match standby with
     | Aging.Circuit_aging.Standby_vector v ->
@@ -153,11 +172,13 @@ let analyze config p ~standby =
   }
 
 let optimize_ivc config p ~rng ?pool ?tolerance () =
+  Obs.Trace.with_span ~args:(net_args p.net) "flow.ivc" @@ fun () ->
   stage config;
   Ivc.Co_opt.run ?par:config.pool ~budget:config.budget config.aging p.tabs p.net ~node_sp:p.sp
     ~rng ?pool ?tolerance ()
 
 let optimize_st config p ~style ~beta ?vth_st ?nbti_aware () =
+  Obs.Trace.with_span ~args:(net_args p.net) "flow.sleep" @@ fun () ->
   stage config;
   Sleep.St_insertion.analyze config.aging p.net ~node_sp:p.sp ~style ~beta ?vth_st ?nbti_aware ()
 

@@ -1,0 +1,34 @@
+(* (domain, thread) -> innermost correlation id. One global table keeps
+   the common case (no context installed) to a single lock + lookup, and
+   entries are removed on scope exit so the table never outgrows the
+   number of live threads. *)
+
+let lock = Mutex.create ()
+let table : (int * int, string list) Hashtbl.t = Hashtbl.create 32
+
+let key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+let current () =
+  let k = key () in
+  Mutex.lock lock;
+  let id = match Hashtbl.find_opt table k with Some (id :: _) -> Some id | _ -> None in
+  Mutex.unlock lock;
+  id
+
+let push k id =
+  Mutex.lock lock;
+  let stack = match Hashtbl.find_opt table k with Some s -> s | None -> [] in
+  Hashtbl.replace table k (id :: stack);
+  Mutex.unlock lock
+
+let pop k =
+  Mutex.lock lock;
+  (match Hashtbl.find_opt table k with
+  | Some (_ :: (_ :: _ as rest)) -> Hashtbl.replace table k rest
+  | Some _ | None -> Hashtbl.remove table k);
+  Mutex.unlock lock
+
+let with_id id f =
+  let k = key () in
+  push k id;
+  Fun.protect ~finally:(fun () -> pop k) f

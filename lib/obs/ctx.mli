@@ -1,0 +1,18 @@
+(** Per-thread request context: the correlation id that ties together
+    every span, log record and access-log line produced while handling
+    one request.
+
+    The context is keyed on (domain, thread), so it is correct under
+    both the server's thread-per-connection model and the work pool's
+    domain-per-worker model. It does not flow across [Thread.create] or
+    [Domain.spawn] automatically — a layer that fans work out (such as
+    {!Parallel.Pool}) captures {!current} at submission and re-installs
+    it with {!with_id} on the executing side. *)
+
+val with_id : string -> (unit -> 'a) -> 'a
+(** Runs the thunk with the given correlation id installed on the
+    calling thread; restores the previous context (nesting is allowed,
+    the innermost id wins) even when the thunk raises. *)
+
+val current : unit -> string option
+(** The calling thread's innermost correlation id, if any. *)

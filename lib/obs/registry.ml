@@ -1,0 +1,157 @@
+type value =
+  | Counter of float
+  | Gauge of float
+  | Histogram of { upper_bounds : float array; counts : int array; sum : float; count : int }
+
+type sample = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  value : value;
+}
+
+type t = { mutable collectors : (unit -> sample list) list; lock : Mutex.t }
+
+let create () = { collectors = []; lock = Mutex.create () }
+
+let register t collector =
+  Mutex.lock t.lock;
+  t.collectors <- t.collectors @ [ collector ];
+  Mutex.unlock t.lock
+
+let register_gauge t ~name ?(help = "") ?(labels = []) read =
+  register t (fun () -> [ { name; help; labels; value = Gauge (read ()) } ])
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let collectors = t.collectors in
+  Mutex.unlock t.lock;
+  List.concat_map (fun c -> try c () with _ -> []) collectors
+
+(* --- text exposition --- *)
+
+let valid_first c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+let valid_rest c = valid_first c || (c >= '0' && c <= '9')
+
+let sanitize_name s =
+  if s = "" then "_"
+  else begin
+    let mapped = String.mapi (fun i c -> if (if i = 0 then valid_first c else valid_rest c) then c else '_') s in
+    (* a leading digit is information worth keeping: prefix instead of replacing *)
+    if String.length s > 0 && s.[0] >= '0' && s.[0] <= '9' then "_" ^ String.map (fun c -> if valid_rest c then c else '_') s
+    else mapped
+  end
+
+let escape_with_newlines extra s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when extra c -> Buffer.add_char b '\\'; Buffer.add_char b c
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_label_value = escape_with_newlines (fun c -> c = '"')
+let escape_help = escape_with_newlines (fun _ -> false)
+
+let add_number b x =
+  if Float.is_nan x then Buffer.add_string b "NaN"
+  else if x = Float.infinity then Buffer.add_string b "+Inf"
+  else if x = Float.neg_infinity then Buffer.add_string b "-Inf"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" x)
+  else Buffer.add_string b (Printf.sprintf "%.17g" x)
+
+let add_labels b labels =
+  match labels with
+  | [] -> ()
+  | _ ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (sanitize_name k);
+        Buffer.add_string b "=\"";
+        Buffer.add_string b (escape_label_value v);
+        Buffer.add_char b '"')
+      labels;
+    Buffer.add_char b '}'
+
+let type_string = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+(* The exposition format requires every line of one metric family to be
+   consecutive, but collectors are free to interleave families (one
+   collector per endpoint, say). Regroup by sanitized family name,
+   keeping first-appearance family order and within-family sample
+   order. *)
+let group_by_family samples =
+  let order = ref [] in
+  let groups : (string, sample list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let name = sanitize_name s.name in
+      match Hashtbl.find_opt groups name with
+      | Some l -> l := s :: !l
+      | None ->
+        Hashtbl.add groups name (ref [ s ]);
+        order := name :: !order)
+    samples;
+  List.rev_map (fun name -> (name, List.rev !(Hashtbl.find groups name))) !order
+
+let to_prometheus t =
+  let samples = snapshot t in
+  let b = Buffer.create 4096 in
+  let header s name =
+    if s.help <> "" then
+      Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name (escape_help s.help));
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name (type_string s.value))
+  in
+  let emit name s =
+    match s.value with
+      | Counter x | Gauge x ->
+        Buffer.add_string b name;
+        add_labels b s.labels;
+        Buffer.add_char b ' ';
+        add_number b x;
+        Buffer.add_char b '\n'
+      | Histogram { upper_bounds; counts; sum; count } ->
+        let cumulative = ref 0 in
+        let bucket le c =
+          Buffer.add_string b name;
+          Buffer.add_string b "_bucket";
+          add_labels b (s.labels @ [ ("le", le) ]);
+          Buffer.add_char b ' ';
+          Buffer.add_string b (string_of_int c);
+          Buffer.add_char b '\n'
+        in
+        Array.iteri
+          (fun i ub ->
+            cumulative := !cumulative + counts.(i);
+            bucket (Printf.sprintf "%.6g" ub) !cumulative)
+          upper_bounds;
+        (* overflow bucket: +Inf must equal the total observation count *)
+        (if Array.length counts > Array.length upper_bounds then
+           cumulative := !cumulative + counts.(Array.length counts - 1));
+        bucket "+Inf" !cumulative;
+        Buffer.add_string b name;
+        Buffer.add_string b "_sum";
+        add_labels b s.labels;
+        Buffer.add_char b ' ';
+        add_number b sum;
+        Buffer.add_char b '\n';
+        Buffer.add_string b name;
+        Buffer.add_string b "_count";
+        add_labels b s.labels;
+        Buffer.add_char b ' ';
+        Buffer.add_string b (string_of_int count);
+        Buffer.add_char b '\n'
+  in
+  List.iter
+    (fun (name, group) ->
+      header (List.hd group) name;
+      List.iter (emit name) group)
+    (group_by_family samples);
+  Buffer.contents b

@@ -1,0 +1,63 @@
+(** A pull-model metrics registry: collectors are registered once and
+    sampled at scrape time, so gauges (pending requests, cache bytes,
+    pool utilization) always report the live value and counter sources
+    keep their own locking. One {!snapshot} unifies every registered
+    source; {!to_prometheus} renders it in the Prometheus text
+    exposition format (version 0.0.4) served by the daemon's [metrics]
+    endpoint. *)
+
+type value =
+  | Counter of float  (** monotonic total *)
+  | Gauge of float
+  | Histogram of {
+      upper_bounds : float array;  (** inclusive bucket upper bounds, ascending *)
+      counts : int array;
+          (** per-bucket (NOT cumulative) observation counts; one longer
+              than [upper_bounds] — the last entry is the overflow bucket
+              rendered as [le="+Inf"] *)
+      sum : float;
+      count : int;
+    }
+
+type sample = {
+  name : string;  (** metric family name; sanitized at render time *)
+  help : string;
+  labels : (string * string) list;  (** values are escaped at render time *)
+  value : value;
+}
+
+type t
+
+val create : unit -> t
+
+val register : t -> (unit -> sample list) -> unit
+(** Adds a collector; collectors run in registration order at every
+    {!snapshot}. A collector that raises contributes no samples for that
+    scrape (the exception is swallowed — scraping must never take the
+    daemon down). *)
+
+val register_gauge :
+  t -> name:string -> ?help:string -> ?labels:(string * string) list -> (unit -> float) -> unit
+(** Convenience for a single-gauge collector. *)
+
+val snapshot : t -> sample list
+
+val to_prometheus : t -> string
+(** Text exposition: [# HELP] / [# TYPE] once per family (at its first
+    sample, in collector order), then one line per sample. Histograms
+    expand to cumulative [_bucket{le="..."}] series plus [_sum] and
+    [_count]. Ends with a newline. *)
+
+(** {1 Escaping} (exposed for tests) *)
+
+val sanitize_name : string -> string
+(** Maps any string onto the metric-name alphabet
+    [[a-zA-Z_:][a-zA-Z0-9_:]*] by replacing invalid characters with
+    ['_'] (prefixing one if the first character is a digit). *)
+
+val escape_label_value : string -> string
+(** Backslash-escapes ['\\'], ['"'] and newlines per the exposition
+    format. *)
+
+val escape_help : string -> string
+(** Backslash-escapes ['\\'] and newlines. *)

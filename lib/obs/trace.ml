@@ -1,0 +1,221 @@
+type span = {
+  name : string;
+  cat : string;
+  path : string;
+  cid : string option;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  ok : bool;
+  args : (string * Fields.t) list;
+}
+
+type t = {
+  capacity : int;
+  buf : span option array;
+  mutable total : int;  (* spans ever recorded; buf index = total mod capacity *)
+  lock : Mutex.t;
+  t0_us : float;
+}
+
+(* The process-wide sink. A single atomic load is the entire disabled
+   cost of every instrumentation point. *)
+let sink : t option Atomic.t = Atomic.make None
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { capacity; buf = Array.make capacity None; total = 0; lock = Mutex.create (); t0_us = now_us () }
+
+let install t = Atomic.set sink (Some t)
+let uninstall () = Atomic.set sink None
+let installed () = Atomic.get sink
+let enabled () = Atomic.get sink <> None
+
+let push t span =
+  Mutex.lock t.lock;
+  t.buf.(t.total mod t.capacity) <- Some span;
+  t.total <- t.total + 1;
+  Mutex.unlock t.lock
+
+let spans t =
+  Mutex.lock t.lock;
+  let total = t.total in
+  let n = min total t.capacity in
+  let out =
+    List.init n (fun i ->
+        match t.buf.((total - n + i) mod t.capacity) with Some s -> s | None -> assert false)
+  in
+  Mutex.unlock t.lock;
+  out
+
+let dropped t =
+  Mutex.lock t.lock;
+  let d = max 0 (t.total - t.capacity) in
+  Mutex.unlock t.lock;
+  d
+
+let clear t =
+  Mutex.lock t.lock;
+  Array.fill t.buf 0 t.capacity None;
+  t.total <- 0;
+  Mutex.unlock t.lock
+
+(* --- per-thread ancestry --- *)
+
+let path_lock = Mutex.create ()
+let paths : (int * int, string) Hashtbl.t = Hashtbl.create 32
+
+let thread_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+let tid_of_key (d, th) = (d lsl 16) lor (th land 0xffff)
+
+let current_path k =
+  Mutex.lock path_lock;
+  let p = match Hashtbl.find_opt paths k with Some p -> p | None -> "" in
+  Mutex.unlock path_lock;
+  p
+
+let set_path k p =
+  Mutex.lock path_lock;
+  if p = "" then Hashtbl.remove paths k else Hashtbl.replace paths k p;
+  Mutex.unlock path_lock
+
+let join parent name = if parent = "" then name else parent ^ ";" ^ name
+
+let with_span ?(cat = "flow") ?(args = []) name f =
+  match Atomic.get sink with
+  | None -> f ()
+  | Some t ->
+    let k = thread_key () in
+    let parent = current_path k in
+    let path = join parent name in
+    set_path k path;
+    let ts = now_us () in
+    let finish ok =
+      let dur_us = now_us () -. ts in
+      set_path k parent;
+      push t
+        {
+          name;
+          cat;
+          path;
+          cid = Ctx.current ();
+          ts_us = ts -. t.t0_us;
+          dur_us;
+          tid = tid_of_key k;
+          ok;
+          args;
+        }
+    in
+    (match f () with
+    | v ->
+      finish true;
+      v
+    | exception exn ->
+      finish false;
+      raise exn)
+
+let instant ?(cat = "event") ?(args = []) name =
+  match Atomic.get sink with
+  | None -> ()
+  | Some t ->
+    let k = thread_key () in
+    push t
+      {
+        name;
+        cat;
+        path = join (current_path k) name;
+        cid = Ctx.current ();
+        ts_us = now_us () -. t.t0_us;
+        dur_us = 0.0;
+        tid = tid_of_key k;
+        ok = true;
+        args;
+      }
+
+(* --- export --- *)
+
+let to_chrome_json t =
+  let pid = Unix.getpid () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i (s : span) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"name\":";
+      Fields.add_json_string b s.name;
+      Buffer.add_string b ",\"cat\":";
+      Fields.add_json_string b s.cat;
+      Buffer.add_string b ",\"ph\":\"X\",\"ts\":";
+      Fields.add_float b s.ts_us;
+      Buffer.add_string b ",\"dur\":";
+      Fields.add_float b s.dur_us;
+      Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d,\"args\":" pid s.tid);
+      let args =
+        (("path", Fields.Str s.path)
+        :: (match s.cid with Some id -> [ ("cid", Fields.Str id) ] | None -> []))
+        @ (if s.ok then [] else [ ("error", Fields.Bool true) ])
+        @ s.args
+      in
+      Fields.add_assoc b args;
+      Buffer.add_char b '}')
+    (spans t);
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"";
+  Buffer.add_string b (Printf.sprintf ",\"droppedSpans\":%d}" (dropped t));
+  Buffer.contents b
+
+let write_chrome_json t ~path =
+  let oc = open_out path in
+  output_string oc (to_chrome_json t);
+  output_char oc '\n';
+  close_out oc
+
+(* --- flame summary --- *)
+
+type agg = { mutable count : int; mutable total_us : float }
+
+let flame_of_aggregates entries ~dropped:dropped_count =
+  (* self = total minus the sum over direct children. *)
+  let child_sum = Hashtbl.create 64 in
+  List.iter
+    (fun (path, a) ->
+      match String.rindex_opt path ';' with
+      | None -> ()
+      | Some i ->
+        let parent = String.sub path 0 i in
+        let prev = match Hashtbl.find_opt child_sum parent with Some x -> x | None -> 0.0 in
+        Hashtbl.replace child_sum parent (prev +. a.total_us))
+    entries;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "%-60s %8s %12s %12s\n" "span" "count" "total_ms" "self_ms");
+  List.iter
+    (fun (path, a) ->
+      let children = match Hashtbl.find_opt child_sum path with Some x -> x | None -> 0.0 in
+      let self_us = Float.max 0.0 (a.total_us -. children) in
+      Buffer.add_string b
+        (Printf.sprintf "%-60s %8d %12.3f %12.3f\n" path a.count (a.total_us /. 1e3)
+           (self_us /. 1e3)))
+    entries;
+  if dropped_count > 0 then
+    Buffer.add_string b (Printf.sprintf "(%d spans dropped by the ring buffer)\n" dropped_count);
+  Buffer.contents b
+
+let aggregate_paths pairs =
+  let table : (string, agg) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (path, dur_us) ->
+      match Hashtbl.find_opt table path with
+      | Some a ->
+        a.count <- a.count + 1;
+        a.total_us <- a.total_us +. dur_us
+      | None -> Hashtbl.add table path { count = 1; total_us = dur_us })
+    pairs;
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+
+let flame_of_paths pairs ~dropped = flame_of_aggregates (aggregate_paths pairs) ~dropped
+
+let flame_summary t =
+  flame_of_paths (List.map (fun s -> (s.path, s.dur_us)) (spans t)) ~dropped:(dropped t)

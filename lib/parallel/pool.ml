@@ -16,6 +16,7 @@ type job = {
   n : int;
   chunk : int;
   budget : Budget.t;  (* checked before every chunk claim *)
+  ctx : string option;  (* submitter's correlation id, for worker-side spans *)
   next : int Atomic.t;  (* claim cursor *)
   in_flight : int Atomic.t;  (* participants currently inside a chunk *)
   failed : bool Atomic.t;  (* fast-path flag for [error] *)
@@ -80,14 +81,34 @@ let run_chunks t job ~worker =
       if start >= job.n || Atomic.get job.failed then Atomic.decr job.in_flight
       else begin
         let stop = min job.n (start + job.chunk) in
+        let exec () =
+          Domain.DLS.set inside_region true;
+          Fun.protect
+            ~finally:(fun () -> Domain.DLS.set inside_region false)
+            (fun () ->
+              for i = start to stop - 1 do
+                job.run i
+              done)
+        in
+        (* Each chunk is a span; on worker domains the submitter's
+           correlation id is re-installed first so the span (and any
+           logging inside the work item) carries the request id. *)
+        let exec =
+          if not (Obs.Trace.enabled ()) then exec
+          else begin
+            let traced () =
+              Obs.Trace.with_span ~cat:"pool"
+                ~args:
+                  [ ("start", Obs.Fields.Int start); ("len", Obs.Fields.Int (stop - start)) ]
+                "pool.chunk" exec
+            in
+            match job.ctx with
+            | Some id when worker -> fun () -> Obs.Ctx.with_id id traced
+            | _ -> traced
+          end
+        in
         (try
-           Domain.DLS.set inside_region true;
-           Fun.protect
-             ~finally:(fun () -> Domain.DLS.set inside_region false)
-             (fun () ->
-               for i = start to stop - 1 do
-                 job.run i
-               done);
+           exec ();
            items := !items + (stop - start)
          with exn -> record_error t job exn (Printexc.get_raw_backtrace ()));
         Atomic.decr job.in_flight;
@@ -197,37 +218,50 @@ let run_indices t ~chunk ~budget ~n run =
         n;
         chunk = max 1 chunk;
         budget;
+        ctx = (if Obs.Trace.enabled () then Obs.Ctx.current () else None);
         next = Atomic.make 0;
         in_flight = Atomic.make 0;
         failed = Atomic.make false;
         error = None;
       }
     in
-    Mutex.lock t.submit;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.submit)
-      (fun () ->
-        let t0 = Unix.gettimeofday () in
-        Mutex.lock t.m;
-        t.job <- Some job;
-        t.generation <- t.generation + 1;
-        Condition.broadcast t.work_cv;
-        Mutex.unlock t.m;
-        run_chunks t job ~worker:false;
-        Mutex.lock t.m;
-        while not (job_finished job) do
-          Condition.wait t.done_cv t.m
-        done;
-        t.job <- None;
-        let error = job.error in
-        Mutex.unlock t.m;
-        Mutex.lock t.stats_m;
-        t.jobs_count <- t.jobs_count + 1;
-        t.wall_s <- t.wall_s +. (Unix.gettimeofday () -. t0);
-        Mutex.unlock t.stats_m;
-        match error with
-        | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
-        | None -> ())
+    let submit () =
+      Mutex.lock t.submit;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.submit)
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          Mutex.lock t.m;
+          t.job <- Some job;
+          t.generation <- t.generation + 1;
+          Condition.broadcast t.work_cv;
+          Mutex.unlock t.m;
+          run_chunks t job ~worker:false;
+          Mutex.lock t.m;
+          while not (job_finished job) do
+            Condition.wait t.done_cv t.m
+          done;
+          t.job <- None;
+          let error = job.error in
+          Mutex.unlock t.m;
+          Mutex.lock t.stats_m;
+          t.jobs_count <- t.jobs_count + 1;
+          t.wall_s <- t.wall_s +. (Unix.gettimeofday () -. t0);
+          Mutex.unlock t.stats_m;
+          match error with
+          | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+          | None -> ())
+    in
+    if Obs.Trace.enabled () then
+      Obs.Trace.with_span ~cat:"pool"
+        ~args:
+          [
+            ("items", Obs.Fields.Int n);
+            ("chunk", Obs.Fields.Int (max 1 chunk));
+            ("domains", Obs.Fields.Int t.n_domains);
+          ]
+        "pool.job" submit
+    else submit ()
   end
 
 let collect n fill =

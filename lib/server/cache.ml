@@ -9,6 +9,8 @@ type 'a node = {
   mutable next : 'a node option;
 }
 
+type event = Hit | Miss | Evict
+
 type 'a t = {
   cap : int;
   max_bytes : int option;
@@ -20,6 +22,7 @@ type 'a t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable listener : (event -> string -> unit) option;
   lock : Mutex.t;
 }
 
@@ -41,12 +44,21 @@ let create ~capacity ?max_bytes ?(weight = default_weight) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    listener = None;
     lock = Mutex.create ();
   }
 
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Listeners fire while the cache lock is held, so they must not call
+   back into the cache; a raising listener never breaks cache
+   semantics. *)
+let fire t event key =
+  match t.listener with Some f -> ( try f event key with _ -> ()) | None -> ()
+
+let on_event t f = with_lock t (fun () -> t.listener <- Some f)
 
 let capacity t = t.cap
 let length t = with_lock t (fun () -> Hashtbl.length t.table)
@@ -79,9 +91,11 @@ let find t key =
       | Some n ->
         t.hits <- t.hits + 1;
         touch t n;
+        fire t Hit key;
         Some n.value
       | None ->
         t.misses <- t.misses + 1;
+        fire t Miss key;
         None)
 
 let evict_lru t =
@@ -91,7 +105,8 @@ let evict_lru t =
     unlink t n;
     Hashtbl.remove t.table n.key;
     t.bytes <- t.bytes - n.weight;
-    t.evictions <- t.evictions + 1
+    t.evictions <- t.evictions + 1;
+    fire t Evict n.key
 
 (* Evict until both bounds hold again. At least one entry is always
    kept, so a single value heavier than the whole byte budget is still

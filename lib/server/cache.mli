@@ -32,6 +32,17 @@ val add : 'a t -> string -> 'a -> unit
     again. One entry is always kept, so a value heavier than the whole
     byte budget still caches — the budget is approximate. *)
 
+type event = Hit | Miss | Evict
+
+val on_event : 'a t -> (event -> string -> unit) -> unit
+(** Installs an observation listener, called with the event and the
+    affected key on every lookup hit, lookup miss and eviction. The
+    listener runs {e while the cache lock is held}: it must not call
+    back into the cache, and it should be fast (the service wires it to
+    trace markers and debug logging). A raising listener is silenced —
+    observability never changes cache semantics. One listener at a time;
+    a second call replaces the first. *)
+
 val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a * bool
 (** [find_or_add t key compute] returns [(value, was_hit)]. The compute
     function runs outside any internal lock only logically — the whole

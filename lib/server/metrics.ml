@@ -114,7 +114,11 @@ let quantile_s s q =
         let seen = seen + s.histogram.counts.(i) in
         if float_of_int seen >= rank then
           if i < Array.length s.histogram.bucket_upper_s then
-            Float.min s.histogram.bucket_upper_s.(i) s.max_s
+            (* A bucket upper bound can sit outside the observed range
+               (one sample of 2 ms lands in the 3.16 ms bucket), so clamp
+               the estimate to [min_s, max_s]: no reported quantile may
+               undercut the fastest or exceed the slowest observation. *)
+            Float.min (Float.max s.histogram.bucket_upper_s.(i) s.min_s) s.max_s
           else s.max_s
         else go (i + 1) seen
       end
@@ -167,6 +171,55 @@ let to_json t =
         ] )
   in
   Json.Assoc (List.map endpoint_json (snapshot t))
+
+(* Registry bridge: the same per-endpoint counters and histograms, as
+   Prometheus families. Counts are cumulative since process start, which
+   is exactly what Counter means; the latency histogram reuses the
+   half-decade buckets (non-cumulative counts — the registry renders the
+   cumulative [le] series itself). *)
+let registry_samples t =
+  let endpoint_samples s =
+    let labels = [ ("endpoint", s.endpoint) ] in
+    [
+      {
+        Obs.Registry.name = "nbti_requests_total";
+        help = "Requests handled, by endpoint.";
+        labels;
+        value = Obs.Registry.Counter (float_of_int s.requests);
+      };
+      {
+        Obs.Registry.name = "nbti_request_errors_total";
+        help = "Requests answered with an error, by endpoint.";
+        labels;
+        value = Obs.Registry.Counter (float_of_int s.errors);
+      };
+      {
+        Obs.Registry.name = "nbti_request_latency_seconds";
+        help = "Request wall-clock latency, by endpoint.";
+        labels;
+        value =
+          Obs.Registry.Histogram
+            {
+              upper_bounds = s.histogram.bucket_upper_s;
+              counts = s.histogram.counts;
+              sum = s.total_s;
+              count = s.requests;
+            };
+      };
+    ]
+  in
+  let event_samples =
+    List.map
+      (fun (name, v) ->
+        {
+          Obs.Registry.name = "nbti_events_total";
+          help = "Named operational events (shed, disconnects, deadline_exceeded, ...).";
+          labels = [ ("event", name) ];
+          value = Obs.Registry.Counter (float_of_int v);
+        })
+      (counters t)
+  in
+  List.concat_map endpoint_samples (snapshot t) @ event_samples
 
 let pool_json (s : Parallel.Pool.stats) =
   Json.Assoc

@@ -48,7 +48,9 @@ val mean_s : endpoint_snapshot -> float
 val quantile_s : endpoint_snapshot -> float -> float
 (** Histogram-estimated latency quantile (e.g. [0.5], [0.99]): the upper
     bound of the bucket holding that rank — an upper estimate, exact to
-    bucket resolution. 0 when the endpoint has no requests. *)
+    bucket resolution, clamped to the observed [[min_s, max_s]] range so
+    no quantile undercuts the fastest or exceeds the slowest request.
+    0 when the endpoint has no requests. *)
 
 val snapshot : t -> endpoint_snapshot list
 (** Sorted by endpoint name. *)
@@ -56,6 +58,13 @@ val snapshot : t -> endpoint_snapshot list
 val to_json : t -> Json.t
 (** The [stats] wire shape: per-endpoint counts, mean/min/max, p50/p90/p99
     and the raw histogram buckets. *)
+
+val registry_samples : t -> Obs.Registry.sample list
+(** The same data as Prometheus families, for an {!Obs.Registry}
+    collector: [nbti_requests_total{endpoint}],
+    [nbti_request_errors_total{endpoint}], the
+    [nbti_request_latency_seconds{endpoint}] histogram and one
+    [nbti_events_total{event}] counter per named event. *)
 
 val pool_json : Parallel.Pool.stats -> Json.t
 (** Wire shape of a work-pool counter snapshot: domain count, job/item

@@ -60,7 +60,7 @@ type job =
       nbti_aware : bool;
     }
 
-type request = Single of job | Batch of job list | Health | Stats
+type request = Single of job | Batch of job list | Health | Stats | Metrics
 type envelope = { id : string option; timeout_ms : int option; request : request }
 
 type error_code =
@@ -238,6 +238,7 @@ let envelope_of_json json =
         match Json.member_opt "op" json with
         | Some (Json.String "health") -> Ok { id; timeout_ms; request = Health }
         | Some (Json.String "stats") -> Ok { id; timeout_ms; request = Stats }
+        | Some (Json.String "metrics") -> Ok { id; timeout_ms; request = Metrics }
         | Some (Json.String "batch") ->
           let jobs =
             match Json.member_opt "jobs" json with
@@ -331,6 +332,7 @@ let json_of_envelope { id; timeout_ms; request } =
   match request with
   | Health -> Json.Assoc (base @ [ ("op", Json.String "health") ])
   | Stats -> Json.Assoc (base @ [ ("op", Json.String "stats") ])
+  | Metrics -> Json.Assoc (base @ [ ("op", Json.String "metrics") ])
   | Single job -> Json.Assoc (base @ job_fields job)
   | Batch jobs ->
     Json.Assoc

@@ -6,7 +6,8 @@
     in the response, and an optional ["timeout_ms"] compute budget.
     Five operations mirror the platform's entry points
     ([analyze], [ivc_search], [sleep_sizing], plus [batch] over them) and
-    two are introspective ([health], [stats]).
+    three are introspective ([health], [stats], and [metrics], which
+    returns a Prometheus text-exposition snapshot).
 
     Request shapes (fields marked ? are optional and default):
 
@@ -27,6 +28,7 @@
     {"v":1, "op":"batch", "jobs":[{"op":"analyze",...}, ...]}
     {"v":1, "op":"health"}
     {"v":1, "op":"stats"}
+    {"v":1, "op":"metrics"}
     v}
 
     Responses are [{"v":1,"id":...,"ok":true,"result":{...}}] or
@@ -78,7 +80,7 @@ type job =
       nbti_aware : bool;
     }
 
-type request = Single of job | Batch of job list | Health | Stats
+type request = Single of job | Batch of job list | Health | Stats | Metrics
 
 type envelope = { id : string option; timeout_ms : int option; request : request }
 (** [timeout_ms] is the request's compute budget: the server converts it

@@ -21,6 +21,7 @@ type t = {
   prepared : Flow.Platform.prepared Cache.t;
   results : Json.t Cache.t;
   metrics : Metrics.t;
+  registry : Obs.Registry.t;
   pool : Parallel.Pool.t;
   limits : limits;
   started_at : float;
@@ -32,32 +33,16 @@ type t = {
   mutable listen_fd : Unix.file_descr option;
   mutable socket_path : string option;
   state : Mutex.t;
+  (* correlation ids for requests that carry no "id" field *)
+  seq : int Atomic.t;
+  mutable access_log : out_channel option;
+  access_lock : Mutex.t;
 }
 
 (* Result-cache entries are JSON payloads; weigh them by their serialized
    size (plus a small per-entry overhead) so [result_max_bytes] tracks
    resident memory approximately. *)
 let json_weight j = String.length (Json.to_string j) + 64
-
-let create ?(result_capacity = 256) ?(result_max_bytes = 64 * 1024 * 1024)
-    ?(prepared_capacity = 32) ?(max_pending = 64) ?(limits = default_limits)
-    ?(faults = Faults.none) ?pool () =
-  {
-    prepared = Cache.create ~capacity:prepared_capacity ();
-    results = Cache.create ~capacity:result_capacity ~max_bytes:result_max_bytes ~weight:json_weight ();
-    metrics = Metrics.create ();
-    pool = (match pool with Some p -> p | None -> Parallel.Pool.default ());
-    limits;
-    started_at = Unix.gettimeofday ();
-    max_pending;
-    pending = 0;
-    admission = Mutex.create ();
-    faults;
-    running = false;
-    listen_fd = None;
-    socket_path = None;
-    state = Mutex.create ();
-  }
 
 let uptime_s t = Unix.gettimeofday () -. t.started_at
 let set_faults t faults = t.faults <- faults
@@ -68,6 +53,147 @@ let pending t =
   let p = t.pending in
   Mutex.unlock t.admission;
   p
+
+(* --- Metrics registry and cache observation --- *)
+
+let cache_samples label (s : Cache.stats) =
+  let labels = [ ("cache", label) ] in
+  let gauge name help v =
+    { Obs.Registry.name; help; labels; value = Obs.Registry.Gauge (float_of_int v) }
+  in
+  let counter name help v =
+    { Obs.Registry.name; help; labels; value = Obs.Registry.Counter (float_of_int v) }
+  in
+  [
+    gauge "nbti_cache_entries" "Resident cache entries." s.Cache.size;
+    gauge "nbti_cache_bytes" "Approximate resident cache bytes." s.Cache.bytes_used;
+    counter "nbti_cache_hits_total" "Cache lookup hits." s.Cache.hits;
+    counter "nbti_cache_misses_total" "Cache lookup misses." s.Cache.misses;
+    counter "nbti_cache_evictions_total" "Cache evictions." s.Cache.evictions;
+  ]
+
+let register_collectors t =
+  let r = t.registry in
+  Obs.Registry.register r (fun () -> Metrics.registry_samples t.metrics);
+  Obs.Registry.register_gauge r ~name:"nbti_uptime_seconds"
+    ~help:"Seconds since the service was created." (fun () -> uptime_s t);
+  Obs.Registry.register_gauge r ~name:"nbti_pending_requests"
+    ~help:"Requests currently admitted to the compute path." (fun () -> float_of_int (pending t));
+  Obs.Registry.register_gauge r ~name:"nbti_max_pending"
+    ~help:"Admission bound on concurrent compute-path requests." (fun () ->
+      float_of_int t.max_pending);
+  Obs.Registry.register r (fun () ->
+      cache_samples "results" (Cache.stats t.results)
+      @ cache_samples "prepared" (Cache.stats t.prepared));
+  Obs.Registry.register r (fun () ->
+      let s = Parallel.Pool.stats t.pool in
+      [
+        {
+          Obs.Registry.name = "nbti_pool_domains";
+          help = "Worker domains in the compute pool.";
+          labels = [];
+          value = Obs.Registry.Gauge (float_of_int s.Parallel.Pool.domains);
+        };
+        {
+          Obs.Registry.name = "nbti_pool_utilization";
+          help = "Fraction of pool wall time the workers were busy.";
+          labels = [];
+          value = Obs.Registry.Gauge (Parallel.Pool.utilization s);
+        };
+      ]);
+  Obs.Registry.register_gauge r ~name:"nbti_build_info"
+    ~help:"Constant 1; build facts are the labels."
+    ~labels:
+      [
+        ("ocaml_version", Sys.ocaml_version);
+        ("os_type", Sys.os_type);
+        ("word_size", string_of_int Sys.word_size);
+        ("protocol_version", string_of_int Protocol.version);
+      ]
+    (fun () -> 1.0)
+
+(* Cache hits, misses and evictions become trace markers and debug log
+   records. The listener runs under the cache lock (see Cache.on_event),
+   so it only emits — it never calls back into the cache. *)
+let observe_cache label cache =
+  Cache.on_event cache (fun event key ->
+      let name = match event with Cache.Hit -> "hit" | Cache.Miss -> "miss" | Cache.Evict -> "evict" in
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant ~cat:"cache"
+          ~args:[ ("cache", Obs.Fields.Str label); ("key", Obs.Fields.Str key) ]
+          ("cache." ^ name);
+      if Obs.Log.would_log Obs.Log.Debug then
+        Obs.Log.debug
+          ~fields:
+            [
+              ("cache", Obs.Fields.Str label);
+              ("event", Obs.Fields.Str name);
+              ("key", Obs.Fields.Str key);
+            ]
+          "cache event")
+
+let create ?(result_capacity = 256) ?(result_max_bytes = 64 * 1024 * 1024)
+    ?(prepared_capacity = 32) ?(max_pending = 64) ?(limits = default_limits)
+    ?(faults = Faults.none) ?pool () =
+  let t =
+    {
+      prepared = Cache.create ~capacity:prepared_capacity ();
+      results =
+        Cache.create ~capacity:result_capacity ~max_bytes:result_max_bytes ~weight:json_weight ();
+      metrics = Metrics.create ();
+      registry = Obs.Registry.create ();
+      pool = (match pool with Some p -> p | None -> Parallel.Pool.default ());
+      limits;
+      started_at = Unix.gettimeofday ();
+      max_pending;
+      pending = 0;
+      admission = Mutex.create ();
+      faults;
+      running = false;
+      listen_fd = None;
+      socket_path = None;
+      state = Mutex.create ();
+      seq = Atomic.make 0;
+      access_log = None;
+      access_lock = Mutex.create ();
+    }
+  in
+  register_collectors t;
+  observe_cache "results" t.results;
+  observe_cache "prepared" t.prepared;
+  t
+
+let registry t = t.registry
+
+let set_access_log t oc =
+  Mutex.lock t.access_lock;
+  t.access_log <- Some oc;
+  Mutex.unlock t.access_lock
+
+(* One JSONL record per handled request. The channel is written under a
+   mutex so concurrent connection threads never interleave records. *)
+let access_log_write t ~cid ~endpoint ~ok ~elapsed_s ~error =
+  Mutex.lock t.access_lock;
+  (match t.access_log with
+  | None -> ()
+  | Some oc ->
+    let fields =
+      [
+        ("ts", Json.Float (Unix.gettimeofday ()));
+        ("cid", Json.String cid);
+        ("endpoint", Json.String endpoint);
+        ("ok", Json.Bool ok);
+        ("elapsed_s", Json.Float elapsed_s);
+      ]
+      @ match error with None -> [] | Some code -> [ ("error", Json.String code) ]
+    in
+    (* A failing access-log disk never fails the request being logged. *)
+    (try
+       output_string oc (Json.to_string (Json.Assoc fields));
+       output_char oc '\n';
+       flush oc
+     with Sys_error _ -> ()));
+  Mutex.unlock t.access_lock
 
 (* --- Bounded admission to the compute path --- *)
 
@@ -240,6 +366,7 @@ let endpoint_name = function
   | Protocol.Batch _ -> "batch"
   | Protocol.Health -> "health"
   | Protocol.Stats -> "stats"
+  | Protocol.Metrics -> "metrics"
 
 let cache_stats_json label (s : Cache.stats) =
   ( label,
@@ -263,11 +390,34 @@ let health_result t =
       ("uptime_s", Json.Float (uptime_s t));
     ]
 
+let metrics_result t =
+  Json.Assoc
+    [
+      ("kind", Json.String "metrics");
+      ("content_type", Json.String "text/plain; version=0.0.4");
+      ("prometheus", Json.String (Obs.Registry.to_prometheus t.registry));
+    ]
+
+let build_json =
+  Json.Assoc
+    [
+      ("ocaml_version", Json.String Sys.ocaml_version);
+      ("word_size", Json.Int Sys.word_size);
+      ("os_type", Json.String Sys.os_type);
+      ( "backend",
+        Json.String
+          (match Sys.backend_type with
+          | Sys.Native -> "native"
+          | Sys.Bytecode -> "bytecode"
+          | Sys.Other s -> s) );
+    ]
+
 let stats_result t =
   Json.Assoc
     [
       ("uptime_s", Json.Float (uptime_s t));
       ("protocol_version", Json.Int Protocol.version);
+      ("build", build_json);
       ("endpoints", Metrics.to_json t.metrics);
       ("counters", Metrics.counters_json t.metrics);
       ( "admission",
@@ -311,9 +461,58 @@ let job_error_json ?(details = []) code message =
      ]
     @ details)
 
+(* Response introspection for the access log and request-completion log
+   records: whether the envelope says ok, and the error code if not. *)
+let response_ok response =
+  match Json.member_opt "ok" response with Some (Json.Bool b) -> b | _ -> false
+
+let response_error_code response =
+  match Json.member_opt "error" response with
+  | Some e -> ( match Json.member_opt "code" e with Some (Json.String c) -> Some c | _ -> None)
+  | None -> None
+
+(* Wraps one dispatched request in its observability envelope: the
+   correlation id (echoed or generated) is installed on the handling
+   thread so every span, log record and pool chunk produced below
+   carries it; the dispatch itself is a "server" span; completion goes
+   to the structured log and the access log. All of it collapses to
+   a couple of branches when no collector / log level / access log is
+   armed. *)
+let observed t ~cid ~endpoint run =
+  Obs.Ctx.with_id cid @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let response =
+    Obs.Trace.with_span ~cat:"server"
+      ~args:[ ("endpoint", Obs.Fields.Str endpoint) ]
+      "request" run
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let ok = response_ok response in
+  let error = response_error_code response in
+  let level = if ok then Obs.Log.Info else Obs.Log.Warn in
+  if Obs.Log.would_log level then
+    Obs.Log.log level
+      ~fields:
+        ([
+           ("endpoint", Obs.Fields.Str endpoint);
+           ("ok", Obs.Fields.Bool ok);
+           ("elapsed_s", Obs.Fields.Float elapsed_s);
+         ]
+        @ match error with None -> [] | Some c -> [ ("error", Obs.Fields.Str c) ])
+      "request handled";
+  access_log_write t ~cid ~endpoint ~ok ~elapsed_s ~error;
+  response
+
+let fresh_cid t = function
+  | Some id -> id
+  | None -> Printf.sprintf "req-%d" (Atomic.fetch_and_add t.seq 1)
+
 let handle t request_json =
   match Protocol.envelope_of_json request_json with
-  | Error (code, message) -> Protocol.error_response ~id:(request_id request_json) code message
+  | Error (code, message) ->
+    let id = request_id request_json in
+    observed t ~cid:(fresh_cid t id) ~endpoint:"invalid" (fun () ->
+        Protocol.error_response ~id code message)
   | Ok { id; timeout_ms; request } ->
     let budget =
       match (timeout_ms, t.limits.default_timeout_ms) with
@@ -325,6 +524,7 @@ let handle t request_json =
       match request with
       | Protocol.Health -> Protocol.ok_response ~id (health_result t)
       | Protocol.Stats -> Protocol.ok_response ~id (stats_result t)
+      | Protocol.Metrics -> Protocol.ok_response ~id (metrics_result t)
       | Protocol.Single job -> Protocol.ok_response ~id (run_job t ~budget job)
       | Protocol.Batch jobs ->
         let n = List.length jobs in
@@ -355,6 +555,7 @@ let handle t request_json =
         Protocol.ok_response ~id
           (Json.Assoc [ ("kind", Json.String "batch"); ("results", Json.List results) ])
     in
+    observed t ~cid:(fresh_cid t id) ~endpoint @@ fun () ->
     (try Metrics.time t.metrics ~endpoint respond with
     | Bad_request_error m -> Protocol.error_response ~id Protocol.Bad_request m
     | Invalid_request_error { line; message } ->

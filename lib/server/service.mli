@@ -77,6 +77,28 @@ val faults : t -> Faults.t
 val pending : t -> int
 (** Requests currently admitted to the compute path. *)
 
+(** {1 Observability}
+
+    Every handled request runs under a correlation id — the envelope's
+    ["id"] when present, a generated ["req-N"] otherwise — installed via
+    {!Obs.Ctx} so spans, log records, pool chunks and cache events
+    produced while handling it all carry the same id. Dispatch is a
+    ["server"]-category span; cache hits / misses / evictions surface as
+    trace markers and debug log records. *)
+
+val registry : t -> Obs.Registry.t
+(** The service's metrics registry: request counts / errors / latency
+    histograms per endpoint, named event counters, cache and pool and
+    admission gauges, uptime, and an [nbti_build_info] constant. Served
+    in Prometheus text form by the [metrics] endpoint; exposed here for
+    embedding and tests. *)
+
+val set_access_log : t -> out_channel -> unit
+(** Arms a JSONL access log: one record per handled request —
+    [{"ts":...,"cid":...,"endpoint":...,"ok":...,"elapsed_s":...}] plus
+    ["error"] (the error code) on failures. Writes are mutex-serialized
+    and flushed per record; the channel stays owned by the caller. *)
+
 (** {1 In-process dispatch} *)
 
 val handle : t -> Json.t -> Json.t

@@ -1,0 +1,106 @@
+#!/bin/sh
+# Observability smoke test: capture a Chrome trace from a CLI analyze
+# run and validate it with `nbti_tool trace`, then run the daemon with
+# an access log and assert traced requests, Prometheus metrics and
+# non-empty JSONL access records.
+set -eu
+
+TOOL=${TOOL:-./_build/default/bin/nbti_tool.exe}
+SOCK=$(mktemp -u /tmp/nbti_obs.XXXXXX.sock)
+TRACE=$(mktemp /tmp/nbti_obs.XXXXXX.trace.json)
+ACCESS=$(mktemp /tmp/nbti_obs.XXXXXX.access.jsonl)
+
+fail() {
+    echo "obs-smoke: FAIL: $1" >&2
+    exit 1
+}
+
+cleanup() {
+    [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -f "$SOCK" "$TRACE" "$ACCESS"
+}
+trap cleanup EXIT
+
+[ -x "$TOOL" ] || fail "$TOOL not built (run dune build first)"
+
+# --- CLI trace capture ---
+
+# --jobs 2 arms a 2-domain pool so the trace exercises the pool.chunk
+# spans (and their correlation-id propagation onto worker domains).
+"$TOOL" analyze c432 --jobs 2 --trace "$TRACE" --log-level quiet >/dev/null 2>&1 \
+    || fail "traced analyze run failed"
+[ -s "$TRACE" ] || fail "trace file empty"
+case "$(cat "$TRACE")" in
+*'"traceEvents"'*) ;; *) fail "trace file is not Chrome trace_event JSON" ;;
+esac
+case "$(cat "$TRACE")" in
+*'"flow.signal_prob"'*) ;; *) fail "trace missing flow stage spans" ;;
+esac
+case "$(cat "$TRACE")" in
+*'"cid":"cli:analyze:c432"'*) ;; *) fail "trace spans missing correlation id" ;;
+esac
+
+# `trace` re-parses the JSON and rebuilds the flame summary — this is
+# the structural validation (it exits non-zero on malformed traces).
+SUMMARY=$("$TOOL" trace "$TRACE") || fail "trace file failed validation"
+echo "$SUMMARY" | head -4
+case "$SUMMARY" in
+*'flow.prepare'*) ;; *) fail "flame summary missing flow.prepare" ;;
+esac
+case "$SUMMARY" in
+*'pool.chunk'*) ;; *) fail "flame summary missing pool chunks" ;;
+esac
+
+# --- daemon: access log + metrics endpoint ---
+
+"$TOOL" serve -s "$SOCK" --access-log "$ACCESS" --log-level quiet &
+SERVER_PID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && fail "server did not open $SOCK"
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+    sleep 0.1
+done
+
+RESPONSE=$("$TOOL" request -s "$SOCK" '{"v":1,"id":"obs-1","op":"analyze","circuit":"c17"}')
+case "$RESPONSE" in
+*'"ok":true'*) ;; *) fail "analyze response not ok" ;;
+esac
+
+METRICS=$("$TOOL" request -s "$SOCK" '{"v":1,"id":"obs-2","op":"metrics"}')
+case "$METRICS" in
+*'# TYPE nbti_requests_total counter'*) ;; *) fail "metrics missing requests family" ;;
+esac
+case "$METRICS" in
+*'nbti_requests_total{endpoint=\"analyze\"}'*) ;; *) fail "metrics missing analyze endpoint" ;;
+esac
+case "$METRICS" in
+*'nbti_request_latency_seconds_bucket'*) ;; *) fail "metrics missing latency histogram" ;;
+esac
+case "$METRICS" in
+*'nbti_build_info'*) ;; *) fail "metrics missing build info" ;;
+esac
+case "$METRICS" in
+*'nbti_cache_entries'*) ;; *) fail "metrics missing cache gauges" ;;
+esac
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero"
+SERVER_PID=
+
+[ -s "$ACCESS" ] || fail "access log empty"
+LINES=$(wc -l < "$ACCESS")
+[ "$LINES" -ge 2 ] || fail "access log has $LINES records, expected >= 2"
+case "$(cat "$ACCESS")" in
+*'"cid":"obs-1"'*) ;; *) fail "access log missing analyze correlation id" ;;
+esac
+case "$(cat "$ACCESS")" in
+*'"endpoint":"metrics"'*) ;; *) fail "access log missing metrics request" ;;
+esac
+case "$(head -1 "$ACCESS")" in
+*'"ts":'*'"ok":'*'"elapsed_s":'*) ;; *) fail "access record missing fields" ;;
+esac
+
+echo "obs-smoke: OK (traced analyze + flame summary + metrics endpoint + access log)"

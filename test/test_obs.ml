@@ -1,0 +1,383 @@
+(* Tests for the observability layer: Metrics bucket boundaries and
+   quantile clamping (including under concurrent domains), the Registry's
+   Prometheus text exposition (escaping, family grouping, histogram
+   series), Trace span nesting / capacity / Chrome export, and Log level
+   filtering / JSONL shape. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_contains what haystack needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %S in output" what needle)
+    true (contains haystack needle)
+
+(* --- Metrics: histogram bucket boundaries --- *)
+
+let bucket_counts m endpoint =
+  let s = List.find (fun s -> s.Server.Metrics.endpoint = endpoint) (Server.Metrics.snapshot m) in
+  (s, s.Server.Metrics.histogram.Server.Metrics.counts)
+
+let test_bucket_boundaries () =
+  let m = Server.Metrics.create () in
+  (* Bucket upper bounds are 1e-6 * sqrt(10)^i, inclusive: exactly 1 us
+     lands in bucket 0, just above it in bucket 1, and anything past
+     100 s in the overflow bucket. *)
+  Server.Metrics.record m ~endpoint:"e" ~ok:true ~elapsed_s:1e-6;
+  Server.Metrics.record m ~endpoint:"e" ~ok:true ~elapsed_s:1.0001e-6;
+  Server.Metrics.record m ~endpoint:"e" ~ok:true ~elapsed_s:150.0;
+  let s, counts = bucket_counts m "e" in
+  Alcotest.(check int) "bucket 0 holds the exact bound" 1 counts.(0);
+  Alcotest.(check int) "bucket 1 holds just-above" 1 counts.(1);
+  Alcotest.(check int) "overflow bucket" 1 counts.(Array.length counts - 1);
+  Alcotest.(check int) "18 buckets (17 bounds + overflow)" 18 (Array.length counts);
+  Alcotest.(check int) "requests" 3 s.Server.Metrics.requests;
+  (* Negative elapsed is clamped to 0 and lands in bucket 0. *)
+  Server.Metrics.record m ~endpoint:"neg" ~ok:true ~elapsed_s:(-1.0);
+  let s', counts' = bucket_counts m "neg" in
+  Alcotest.(check int) "negative clamps to bucket 0" 1 counts'.(0);
+  Alcotest.(check (float 0.0)) "negative clamps min to 0" 0.0 s'.Server.Metrics.min_s
+
+let test_quantile_clamping () =
+  let m = Server.Metrics.create () in
+  (* One 2 ms sample falls in the 3.16 ms bucket: without clamping the
+     p50 estimate would exceed the slowest observation. *)
+  Server.Metrics.record m ~endpoint:"one" ~ok:true ~elapsed_s:0.002;
+  let s, _ = bucket_counts m "one" in
+  Alcotest.(check (float 1e-12)) "single sample: p50 = the sample" 0.002
+    (Server.Metrics.quantile_s s 0.5);
+  let m2 = Server.Metrics.create () in
+  Server.Metrics.record m2 ~endpoint:"two" ~ok:true ~elapsed_s:0.0005;
+  Server.Metrics.record m2 ~endpoint:"two" ~ok:true ~elapsed_s:0.002;
+  let s2, _ = bucket_counts m2 "two" in
+  List.iter
+    (fun q ->
+      let v = Server.Metrics.quantile_s s2 q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.2f >= min" q)
+        true
+        (v >= s2.Server.Metrics.min_s);
+      Alcotest.(check bool) (Printf.sprintf "q=%.2f <= max" q) true (v <= s2.Server.Metrics.max_s))
+    [ 0.01; 0.5; 0.9; 0.99 ];
+  let empty = Server.Metrics.create () in
+  Server.Metrics.record empty ~endpoint:"z" ~ok:true ~elapsed_s:0.001;
+  let sz, _ = bucket_counts empty "z" in
+  Alcotest.(check bool) "p99 bounded by max" true
+    (Server.Metrics.quantile_s sz 0.99 <= sz.Server.Metrics.max_s)
+
+let test_concurrent_record () =
+  let m = Server.Metrics.create () in
+  let per_domain = 1000 in
+  let worker () =
+    for i = 1 to per_domain do
+      Server.Metrics.record m ~endpoint:"hot" ~ok:(i mod 10 <> 0)
+        ~elapsed_s:(1e-6 *. float_of_int i);
+      Server.Metrics.incr_counter m "events"
+    done
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  let s, counts = bucket_counts m "hot" in
+  Alcotest.(check int) "no lost requests" (4 * per_domain) s.Server.Metrics.requests;
+  Alcotest.(check int) "no lost errors" (4 * per_domain / 10) s.Server.Metrics.errors;
+  Alcotest.(check int) "no lost counter increments" (4 * per_domain)
+    (Server.Metrics.counter m "events");
+  Alcotest.(check int) "histogram mass = requests" (4 * per_domain)
+    (Array.fold_left ( + ) 0 counts)
+
+(* --- Registry: Prometheus exposition --- *)
+
+let test_prometheus_escaping () =
+  let r = Obs.Registry.create () in
+  Obs.Registry.register r (fun () ->
+      [
+        {
+          Obs.Registry.name = "weird-name.total";
+          help = "a\\b\nhelp";
+          labels = [ ("path", "a\\b\"c\nd") ];
+          value = Obs.Registry.Counter 3.0;
+        };
+      ]);
+  let text = Obs.Registry.to_prometheus r in
+  check_contains "sanitized family" text "weird_name_total";
+  check_contains "escaped help" text "# HELP weird_name_total a\\\\b\\nhelp";
+  check_contains "escaped label" text "{path=\"a\\\\b\\\"c\\nd\"} 3";
+  Alcotest.(check string) "sanitize_name" "weird_name_total"
+    (Obs.Registry.sanitize_name "weird-name.total");
+  Alcotest.(check string) "leading digit prefixed" "_9lives"
+    (Obs.Registry.sanitize_name "9lives");
+  Alcotest.(check string) "escape_label_value" "a\\\\b\\\"c\\nd"
+    (Obs.Registry.escape_label_value "a\\b\"c\nd")
+
+let test_prometheus_histogram_and_grouping () =
+  let r = Obs.Registry.create () in
+  (* Two collectors interleave families: the exposition must regroup so
+     each family's lines are consecutive with one HELP/TYPE header. *)
+  let counter label v =
+    {
+      Obs.Registry.name = "nbti_requests_total";
+      help = "Requests.";
+      labels = [ ("endpoint", label) ];
+      value = Obs.Registry.Counter v;
+    }
+  in
+  Obs.Registry.register r (fun () ->
+      [
+        counter "a" 1.0;
+        {
+          Obs.Registry.name = "nbti_latency_seconds";
+          help = "Latency.";
+          labels = [];
+          value =
+            Obs.Registry.Histogram
+              { upper_bounds = [| 0.1; 1.0 |]; counts = [| 1; 2; 3 |]; sum = 4.5; count = 6 };
+        };
+      ]);
+  Obs.Registry.register r (fun () -> [ counter "b" 2.0 ]);
+  let text = Obs.Registry.to_prometheus r in
+  check_contains "cumulative first bucket" text "nbti_latency_seconds_bucket{le=\"0.1\"} 1";
+  check_contains "cumulative second bucket" text "nbti_latency_seconds_bucket{le=\"1\"} 3";
+  check_contains "+Inf bucket = count" text "nbti_latency_seconds_bucket{le=\"+Inf\"} 6";
+  check_contains "sum" text "nbti_latency_seconds_sum 4.5";
+  check_contains "count" text "nbti_latency_seconds_count 6";
+  check_contains "histogram TYPE" text "# TYPE nbti_latency_seconds histogram";
+  (* One header per family, and both endpoint samples adjacent. *)
+  let lines = String.split_on_char '\n' text in
+  let type_lines = List.filter (contains "# TYPE nbti_requests_total") lines in
+  Alcotest.(check int) "one TYPE line for the family" 1 (List.length type_lines);
+  let family_lines =
+    List.filter (fun l -> contains l "nbti_requests_total{" ) lines
+  in
+  Alcotest.(check int) "both samples rendered" 2 (List.length family_lines);
+  let rec adjacent = function
+    | a :: b :: _ when contains a "nbti_requests_total{endpoint=\"a\"}" ->
+      contains b "nbti_requests_total{endpoint=\"b\"}"
+    | _ :: rest -> adjacent rest
+    | [] -> false
+  in
+  Alcotest.(check bool) "family lines consecutive" true (adjacent lines)
+
+let test_prometheus_roundtrip_from_metrics () =
+  let m = Server.Metrics.create () in
+  Server.Metrics.record m ~endpoint:"analyze" ~ok:true ~elapsed_s:0.01;
+  Server.Metrics.record m ~endpoint:"analyze" ~ok:false ~elapsed_s:0.02;
+  Server.Metrics.incr_counter m "shed";
+  let r = Obs.Registry.create () in
+  Obs.Registry.register r (fun () -> Server.Metrics.registry_samples m);
+  Obs.Registry.register_gauge r ~name:"nbti_pending_requests" (fun () -> 5.0);
+  let text = Obs.Registry.to_prometheus r in
+  check_contains "requests family" text "nbti_requests_total{endpoint=\"analyze\"} 2";
+  check_contains "errors family" text "nbti_request_errors_total{endpoint=\"analyze\"} 1";
+  check_contains "events family" text "nbti_events_total{event=\"shed\"} 1";
+  check_contains "latency count" text
+    "nbti_request_latency_seconds_count{endpoint=\"analyze\"} 2";
+  check_contains "latency +Inf" text
+    "nbti_request_latency_seconds_bucket{endpoint=\"analyze\",le=\"+Inf\"} 2";
+  check_contains "gauge" text "nbti_pending_requests 5";
+  (* A raising collector contributes nothing and does not break the scrape. *)
+  Obs.Registry.register r (fun () -> failwith "scrape bomb");
+  let text' = Obs.Registry.to_prometheus r in
+  check_contains "scrape survives a raising collector" text' "nbti_pending_requests 5"
+
+(* --- Trace --- *)
+
+let with_collector ?capacity f =
+  let c = Obs.Trace.create ?capacity () in
+  Obs.Trace.install c;
+  Fun.protect ~finally:Obs.Trace.uninstall (fun () -> f c)
+
+let test_trace_nesting () =
+  with_collector @@ fun c ->
+  Obs.Ctx.with_id "req-42" (fun () ->
+      Obs.Trace.with_span ~cat:"flow" "outer" (fun () ->
+          Obs.Trace.with_span "inner" (fun () -> ())));
+  match Obs.Trace.spans c with
+  | [ inner; outer ] ->
+    Alcotest.(check string) "inner path" "outer;inner" inner.Obs.Trace.path;
+    Alcotest.(check string) "outer path" "outer" outer.Obs.Trace.path;
+    Alcotest.(check string) "category" "flow" outer.Obs.Trace.cat;
+    Alcotest.(check (option string)) "inner cid" (Some "req-42") inner.Obs.Trace.cid;
+    Alcotest.(check (option string)) "outer cid" (Some "req-42") outer.Obs.Trace.cid;
+    Alcotest.(check bool) "ok" true (inner.Obs.Trace.ok && outer.Obs.Trace.ok);
+    Alcotest.(check bool) "inner nested in time" true
+      (inner.Obs.Trace.ts_us >= outer.Obs.Trace.ts_us
+      && inner.Obs.Trace.dur_us <= outer.Obs.Trace.dur_us)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_trace_capacity_drop () =
+  with_collector ~capacity:2 @@ fun c ->
+  for i = 1 to 5 do
+    Obs.Trace.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  let names = List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.spans c) in
+  Alcotest.(check (list string)) "newest spans retained, oldest first" [ "s4"; "s5" ] names;
+  Alcotest.(check int) "dropped counts overwrites" 3 (Obs.Trace.dropped c);
+  Obs.Trace.clear c;
+  Alcotest.(check int) "clear empties" 0 (List.length (Obs.Trace.spans c))
+
+let test_trace_exception_and_disabled () =
+  (* Disabled: with_span is transparent — value through, no recording. *)
+  Obs.Trace.uninstall ();
+  Alcotest.(check bool) "disabled" false (Obs.Trace.enabled ());
+  Alcotest.(check int) "thunk still runs" 7 (Obs.Trace.with_span "ghost" (fun () -> 7));
+  with_collector @@ fun c ->
+  (match Obs.Trace.with_span "boom" (fun () -> failwith "kaput") with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure m -> Alcotest.(check string) "exception re-raised" "kaput" m);
+  match Obs.Trace.spans c with
+  | [ s ] -> Alcotest.(check bool) "span marked not ok" false s.Obs.Trace.ok
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+let test_trace_chrome_json () =
+  let json =
+    with_collector @@ fun c ->
+    Obs.Ctx.with_id "cid-1" (fun () ->
+        Obs.Trace.with_span ~args:[ ("gates", Obs.Fields.Int 160) ] "analyze" (fun () ->
+            Obs.Trace.instant ~cat:"cache" "cache.hit"));
+    Obs.Trace.to_chrome_json c
+  in
+  match Server.Json.of_string json with
+  | Server.Json.Assoc fields ->
+    (match List.assoc_opt "traceEvents" fields with
+    | Some (Server.Json.List events) ->
+      Alcotest.(check int) "span + instant" 2 (List.length events);
+      let has_path =
+        List.exists
+          (function
+            | Server.Json.Assoc ev -> (
+              match List.assoc_opt "args" ev with
+              | Some (Server.Json.Assoc args) ->
+                List.assoc_opt "path" args = Some (Server.Json.String "analyze")
+                && List.assoc_opt "cid" args = Some (Server.Json.String "cid-1")
+              | _ -> false)
+            | _ -> false)
+          events
+      in
+      Alcotest.(check bool) "span event carries path and cid" true has_path
+    | _ -> Alcotest.fail "traceEvents missing");
+    Alcotest.(check bool) "droppedSpans present" true
+      (List.mem_assoc "droppedSpans" fields)
+  | _ -> Alcotest.fail "chrome export is not a JSON object"
+
+let test_flame_summary () =
+  with_collector @@ fun c ->
+  Obs.Trace.with_span "a" (fun () ->
+      Obs.Trace.with_span "b" (fun () -> ());
+      Obs.Trace.with_span "b" (fun () -> ()));
+  let flame = Obs.Trace.flame_summary c in
+  check_contains "parent line" flame "a";
+  check_contains "child line counts calls" flame "a;b"
+
+(* --- Log --- *)
+
+let with_log_capture f =
+  let path = Filename.temp_file "obs_log" ".jsonl" in
+  let oc = open_out path in
+  Obs.Log.set_channel oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.set_channel stderr;
+      Obs.Log.set_json false;
+      Obs.Log.set_level (Some Obs.Log.Warn);
+      close_out_noerr oc;
+      Sys.remove path)
+    (fun () ->
+      f ();
+      flush oc;
+      let ic = open_in path in
+      let lines = In_channel.input_lines ic in
+      close_in ic;
+      lines)
+
+let test_log_level_filtering () =
+  let lines =
+    with_log_capture (fun () ->
+        Obs.Log.set_json true;
+        Obs.Log.set_level (Some Obs.Log.Warn);
+        Alcotest.(check bool) "debug filtered" false (Obs.Log.would_log Obs.Log.Debug);
+        Alcotest.(check bool) "error passes" true (Obs.Log.would_log Obs.Log.Error);
+        Obs.Log.debug "invisible";
+        Obs.Log.info "also invisible";
+        Obs.Log.warn "visible";
+        Obs.Log.set_level None;
+        Alcotest.(check bool) "quiet filters everything" false (Obs.Log.would_log Obs.Log.Error);
+        Obs.Log.error "swallowed")
+  in
+  Alcotest.(check int) "only the warn record emitted" 1 (List.length lines);
+  check_contains "warn record" (List.hd lines) "\"msg\":\"visible\""
+
+let test_log_jsonl_shape () =
+  let lines =
+    with_log_capture (fun () ->
+        Obs.Log.set_json true;
+        Obs.Log.set_level (Some Obs.Log.Debug);
+        Obs.Ctx.with_id "req-7" (fun () ->
+            Obs.Log.info
+              ~fields:[ ("gates", Obs.Fields.Int 160); ("circuit", Obs.Fields.Str "c432") ]
+              "analyze done"))
+  in
+  match lines with
+  | [ line ] -> (
+    match Server.Json.of_string line with
+    | Server.Json.Assoc fields ->
+      Alcotest.(check bool) "ts present" true (List.mem_assoc "ts" fields);
+      Alcotest.(check bool) "level=info" true
+        (List.assoc_opt "level" fields = Some (Server.Json.String "info"));
+      Alcotest.(check bool) "msg" true
+        (List.assoc_opt "msg" fields = Some (Server.Json.String "analyze done"));
+      Alcotest.(check bool) "cid" true
+        (List.assoc_opt "cid" fields = Some (Server.Json.String "req-7"));
+      Alcotest.(check bool) "int field" true
+        (match List.assoc_opt "gates" fields with
+        | Some (Server.Json.Int 160) -> true
+        | Some (Server.Json.Float f) -> f = 160.0
+        | _ -> false);
+      Alcotest.(check bool) "string field" true
+        (List.assoc_opt "circuit" fields = Some (Server.Json.String "c432"))
+    | _ -> Alcotest.fail "record is not a JSON object")
+  | lines -> Alcotest.failf "expected 1 record, got %d" (List.length lines)
+
+let test_log_level_of_string () =
+  (match Obs.Log.level_of_string "DEBUG" with
+  | Ok (Some Obs.Log.Debug) -> ()
+  | _ -> Alcotest.fail "DEBUG should parse");
+  (match Obs.Log.level_of_string "quiet" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "quiet should parse to None");
+  match Obs.Log.level_of_string "loud" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus level should be rejected"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "quantile clamping" `Quick test_quantile_clamping;
+          Alcotest.test_case "concurrent domains" `Quick test_concurrent_record;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "prometheus escaping" `Quick test_prometheus_escaping;
+          Alcotest.test_case "histogram + family grouping" `Quick
+            test_prometheus_histogram_and_grouping;
+          Alcotest.test_case "metrics round-trip" `Quick test_prometheus_roundtrip_from_metrics;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting, paths, cids" `Quick test_trace_nesting;
+          Alcotest.test_case "ring capacity + dropped" `Quick test_trace_capacity_drop;
+          Alcotest.test_case "exceptions + disabled" `Quick test_trace_exception_and_disabled;
+          Alcotest.test_case "chrome export" `Quick test_trace_chrome_json;
+          Alcotest.test_case "flame summary" `Quick test_flame_summary;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "level filtering" `Quick test_log_level_filtering;
+          Alcotest.test_case "jsonl shape" `Quick test_log_jsonl_shape;
+          Alcotest.test_case "level parsing" `Quick test_log_level_of_string;
+        ] );
+    ]
