@@ -1,4 +1,4 @@
-.PHONY: all build test smoke chaos-smoke parallel-smoke obs-smoke bench-json check clean
+.PHONY: all build test smoke chaos-smoke parallel-smoke obs-smoke scaling-gate bench-json bench-txt check clean
 
 all: build
 
@@ -21,8 +21,10 @@ smoke: build
 chaos-smoke: build
 	./scripts/chaos_smoke.sh
 
-# Parallel-determinism smoke: the c432 variation study must be
-# byte-identical at --jobs 1 and --jobs 4.
+# Parallel smoke: the c432 variation study must be byte-identical at
+# --jobs 1 and --jobs 4, and multi-domain wall time must not be
+# pathological (a real speedup on multicore hosts, a bounded
+# oversubscription slowdown on single-core ones).
 parallel-smoke: build
 	./scripts/parallel_smoke.sh
 
@@ -32,13 +34,29 @@ parallel-smoke: build
 obs-smoke: build
 	./scripts/obs_smoke.sh
 
-# Machine-readable benchmark record: Bechamel ns/run for every kernel,
-# 1/2/4-domain scaling of the parallel hot paths, and the tracing
-# overhead of the analyze hot path (must stay under 3%).
-bench-json: build
-	dune exec bench/main.exe -- --perf-json BENCH_PR5.json
+# Parallel-scaling gate: times the c432 hot paths at 1/2/4 domains,
+# checks bit-identity, the scaling verdict (strict >= 1.5x at 2 domains
+# on multicore hosts, an oversubscription floor on single-core ones) and
+# the >= 3x compiled-vs-PR3 single-thread speedups. Non-zero exit on any
+# failure.
+scaling-gate: build
+	dune exec bench/main.exe -- --scaling-gate
 
-check: build test smoke chaos-smoke parallel-smoke obs-smoke
+# Machine-readable benchmark record: Bechamel ns/run for every kernel,
+# 1/2/4-domain scaling of the parallel hot paths, compiled-core speedups
+# vs the PR3 boxed baselines, recommended_domains for this host, and the
+# tracing overhead of the analyze hot path (must stay under 3%).
+bench-json: build
+	dune exec bench/main.exe -- --perf-json BENCH_PR6.json
+
+# Human-readable benchmark transcripts (untracked; see .gitignore).
+bench-txt: build
+	dune exec bench/main.exe -- --perf > bench_perf_output.txt
+	dune exec bench/main.exe -- --ablation > bench_ablation_output.txt
+	dune exec bench/main.exe -- --extension > bench_extension_output.txt
+	@echo "wrote bench_perf_output.txt bench_ablation_output.txt bench_extension_output.txt"
+
+check: build test smoke chaos-smoke parallel-smoke obs-smoke scaling-gate
 
 clean:
 	dune clean

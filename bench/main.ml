@@ -8,8 +8,13 @@
    dune exec bench/main.exe -- --perf       -> Bechamel wall-clock suite
    dune exec bench/main.exe -- --perf-json [PATH]
                                             -> suite + parallel scaling +
+                                               compiled-core speedups +
                                                tracing overhead as JSON
-                                               (default BENCH_PR5.json)
+                                               (default BENCH_PR6.json)
+   dune exec bench/main.exe -- --scaling-gate
+                                            -> just the parallel-scaling and
+                                               compiled-speedup gates (fast;
+                                               non-zero exit on failure)
    dune exec bench/main.exe -- --list       -> available experiment ids *)
 
 let print_header () =
@@ -38,8 +43,9 @@ let () =
   | [ "--perf" ] ->
     print_header ();
     Perf.run ()
-  | [ "--perf-json" ] -> Perf.run_json ~path:"BENCH_PR5.json"
+  | [ "--perf-json" ] -> Perf.run_json ~path:"BENCH_PR6.json"
   | [ "--perf-json"; path ] -> Perf.run_json ~path
+  | [ "--scaling-gate" ] -> Perf.run_scaling_gate ()
   | [ "--ablation" ] ->
     print_header ();
     List.iter run_entry Ablations.all

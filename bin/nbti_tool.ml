@@ -838,6 +838,33 @@ let serve_cmd =
       end
     in
     Server.Service.install_signal_handlers t;
+    (* Surface the bench-measured scaling advice next to what this host
+       actually runs with, so an operator can spot a mis-sized pool
+       (e.g. NBTI_JOBS from a stale deployment) at startup. *)
+    let pool_domains = Parallel.Pool.domains (Parallel.Pool.default ()) in
+    (match
+       (try
+          if Sys.file_exists "BENCH_PR6.json" then begin
+            let ic = open_in_bin "BENCH_PR6.json" in
+            let len = in_channel_length ic in
+            let body = really_input_string ic len in
+            close_in_noerr ic;
+            Server.Json.member_opt "recommended_domains" (Server.Json.of_string body)
+            |> Option.map Server.Json.to_int
+          end
+          else None
+        with _ -> None)
+     with
+    | Some rec_domains ->
+      Obs.Log.info
+        ~fields:
+          [
+            ("domains", Obs.Fields.Int pool_domains);
+            ("recommended_domains", Obs.Fields.Int rec_domains);
+          ]
+        "serve: worker pool"
+    | None ->
+      Obs.Log.info ~fields:[ ("domains", Obs.Fields.Int pool_domains) ] "serve: worker pool");
     let on_ready () =
       (match endpoint with
       | Server.Service.Unix_socket p -> Format.printf "nbti_tool: serving on unix:%s@." p

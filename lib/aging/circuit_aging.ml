@@ -119,7 +119,7 @@ let analyze_dvth config t ?po_load ?stage_dvth_n ~stage_dvth () =
     max_dvth = !max_dvth;
   }
 
-let analyze config t ?po_load ~node_sp ~standby () =
+let analyze_boxed config t ?po_load ~node_sp ~standby () =
   let stage_dvth_n =
     match config.pbti_scale with
     | None -> None
@@ -133,8 +133,112 @@ let analyze config t ?po_load ~node_sp ~standby () =
   analyze_dvth config t ?po_load ?stage_dvth_n
     ~stage_dvth:(stage_dvth_map config t ~node_sp ~standby) ()
 
+(* --- Compiled backend ---
+
+   The dvth table + two STA passes re-expressed over [Compiled]: the
+   per-stage shifts become a flat [Compiled.Aging] shape (memoized on
+   everything it depends on, so repeated analyses of one workload skip
+   the duty/equivalent-schedule work entirely) and the timing passes run
+   on the flat arena. Results are bit-identical to [analyze_boxed] —
+   the shape evaluates the same [Vth_shift.dvth] per stage, and the
+   compiled STA preserves the boxed float association. *)
+
+let fp_config buf config =
+  Compiled.Memo.Fp.params buf config.params;
+  Compiled.Memo.Fp.tech buf config.tech;
+  Compiled.Memo.Fp.schedule buf config.schedule;
+  Compiled.Memo.Fp.f buf config.time
+
+let fp_standby buf = function
+  | Standby_vector v ->
+    Compiled.Memo.Fp.s buf "v";
+    Compiled.Memo.Fp.bools buf v
+  | Standby_all_stressed -> Compiled.Memo.Fp.s buf "s"
+  | Standby_all_relaxed -> Compiled.Memo.Fp.s buf "r"
+
+let shape_memo : Compiled.Aging.t Compiled.Memo.t = Compiled.Memo.create ~capacity:16 ()
+
+let pmos_shape config t (a : Compiled.Arena.t) ~node_sp ~standby =
+  let buf = Buffer.create 512 in
+  Compiled.Memo.Fp.s buf a.Compiled.Arena.digest;
+  Compiled.Memo.Fp.s buf "pmos";
+  fp_config buf config;
+  Compiled.Memo.Fp.floats buf node_sp;
+  fp_standby buf standby;
+  Compiled.Memo.find_or_add shape_memo (Compiled.Memo.Fp.digest buf) (fun () ->
+      Compiled.Aging.build a ~params:config.params ~tech:config.tech
+        ~schedule:config.schedule ~time:config.time
+        ~cond:(Nbti.Vth_shift.nominal_pmos config.tech) ~scale:1.0
+        ~duties:(duty_table t ~node_sp ~standby))
+
+let nmos_shape config t (a : Compiled.Arena.t) ~node_sp ~standby ~scale =
+  let buf = Buffer.create 512 in
+  Compiled.Memo.Fp.s buf a.Compiled.Arena.digest;
+  Compiled.Memo.Fp.s buf "nmos";
+  Compiled.Memo.Fp.f buf scale;
+  fp_config buf config;
+  Compiled.Memo.Fp.floats buf node_sp;
+  fp_standby buf standby;
+  Compiled.Memo.find_or_add shape_memo (Compiled.Memo.Fp.digest buf) (fun () ->
+      let cond =
+        { Nbti.Vth_shift.vgs = config.tech.Device.Tech.vdd; vth0 = config.tech.Device.Tech.vth_n }
+      in
+      Compiled.Aging.build a ~params:config.params ~tech:config.tech
+        ~schedule:config.schedule ~time:config.time ~cond ~scale
+        ~duties:(duty_table ~polarity:`Nmos t ~node_sp ~standby))
+
+let duties_shape config (a : Compiled.Arena.t) ~duties =
+  let buf = Buffer.create 512 in
+  Compiled.Memo.Fp.s buf a.Compiled.Arena.digest;
+  Compiled.Memo.Fp.s buf "duties";
+  fp_config buf config;
+  Array.iter
+    (fun row ->
+      Compiled.Memo.Fp.i buf (Array.length row);
+      Array.iter
+        (fun (act, stb) ->
+          Compiled.Memo.Fp.f buf act;
+          Compiled.Memo.Fp.f buf stb)
+        row)
+    duties;
+  Compiled.Memo.find_or_add shape_memo (Compiled.Memo.Fp.digest buf) (fun () ->
+      Compiled.Aging.build a ~params:config.params ~tech:config.tech
+        ~schedule:config.schedule ~time:config.time
+        ~cond:(Nbti.Vth_shift.nominal_pmos config.tech) ~scale:1.0 ~duties)
+
+let analyze_shapes config ?po_load ~(shape : Compiled.Aging.t) ?shape_n () =
+  let temp_k = config.schedule.Nbti.Schedule.t_ref in
+  let a = shape.Compiled.Aging.a in
+  let tm = Compiled.Timing.get a ~tech:config.tech ~temp_k ?po_load () in
+  let fresh =
+    Obs.Trace.with_span ~cat:"sta" "sta.fresh" @@ fun () -> Compiled.Timing.fresh_result tm
+  in
+  let aged =
+    Obs.Trace.with_span ~cat:"sta" "sta.aged" @@ fun () ->
+    Compiled.Timing.aged_result tm ~dvth:shape.Compiled.Aging.dvth
+      ?dvth_n:(Option.map (fun (s : Compiled.Aging.t) -> s.Compiled.Aging.dvth) shape_n)
+      ()
+  in
+  {
+    fresh;
+    aged;
+    degradation = Sta.Timing.degradation ~fresh ~aged;
+    max_dvth = shape.Compiled.Aging.max_dvth;
+  }
+
+let analyze config t ?po_load ~node_sp ~standby () =
+  let a = Compiled.Arena.get t in
+  let shape = pmos_shape config t a ~node_sp ~standby in
+  let shape_n =
+    match config.pbti_scale with
+    | None -> None
+    | Some scale -> Some (nmos_shape config t a ~node_sp ~standby ~scale)
+  in
+  analyze_shapes config ?po_load ~shape ?shape_n ()
+
 let analyze_with_duties config t ?po_load ~duties () =
-  analyze_dvth config t ?po_load ~stage_dvth:(stage_dvth_of_duties config ~duties) ()
+  let a = Compiled.Arena.get t in
+  analyze_shapes config ?po_load ~shape:(duties_shape config a ~duties) ()
 
 let worst_case_config config =
   { config with schedule = Nbti.Schedule.worst_case_temperature config.schedule }

@@ -89,7 +89,32 @@ val analyze :
   standby:standby_state ->
   unit ->
   analysis
-(** Fresh and aged STA at the active temperature. *)
+(** Fresh and aged STA at the active temperature. Runs on the compiled
+    arena ({!Compiled.Arena}) with the threshold-shift table memoized per
+    (netlist, config, signal probabilities, standby state) — repeated
+    analyses of one workload skip straight to the timing passes. *)
+
+val analyze_boxed :
+  config ->
+  Circuit.Netlist.t ->
+  ?po_load:float ->
+  node_sp:float array ->
+  standby:standby_state ->
+  unit ->
+  analysis
+(** The boxed-DAG reference implementation of {!analyze}; bit-identical
+    results. Kept as the equivalence-test oracle. *)
+
+val pmos_shape :
+  config ->
+  Circuit.Netlist.t ->
+  Compiled.Arena.t ->
+  node_sp:float array ->
+  standby:standby_state ->
+  Compiled.Aging.t
+(** The memoized compiled NBTI shape for the PMOS duty table — shared
+    with the process-variation sampler so its per-sample threshold
+    shifts reuse the duty/equivalent-schedule work. *)
 
 val analyze_with_duties :
   config ->

@@ -24,6 +24,11 @@ val worst_strength : Network.t -> on_polarity:Device.Mosfet.polarity -> float
     that make the network conduct. This is the drive used for worst-case
     delay. @raise Invalid_argument if the network can never conduct. *)
 
+val stage_deps : Stdcell.stage -> int list
+(** Indices of the internal stages whose outputs feed this stage's
+    inputs, in pull-down pin order — the intra-cell dependency edges the
+    stage DAG longest path follows. *)
+
 val stage_delay :
   Device.Tech.t ->
   Stdcell.stage ->

@@ -1,0 +1,97 @@
+(* Bounded, thread-safe memo tables for compiled artifacts, plus the
+   fingerprint helpers that build their keys.
+
+   Keys are digests of canonical byte encodings: floats are written as
+   their IEEE bit patterns (exact, no formatting round-trip), so two
+   configurations hash equal exactly when every field the keyed
+   computation reads is bit-for-bit equal. Values are retained
+   most-recently-used-first and evicted beyond [capacity], which bounds
+   memory for long-lived processes (the server) while keeping steady
+   workloads (benches, repeated requests on one netlist) always warm. *)
+
+type 'v t = { m : Mutex.t; capacity : int; mutable entries : (string * 'v) list }
+
+let create ?(capacity = 16) () = { m = Mutex.create (); capacity; entries = [] }
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let find_or_add t key build =
+  Mutex.lock t.m;
+  let hit = List.assoc_opt key t.entries in
+  (match hit with
+  | Some v -> t.entries <- (key, v) :: List.filter (fun (k, _) -> k <> key) t.entries
+  | None -> ());
+  Mutex.unlock t.m;
+  match hit with
+  | Some v -> v
+  | None ->
+    (* Build outside the lock: concurrent misses may build twice, but
+       the value is a pure function of the key, so either copy serves. *)
+    let v = build () in
+    Mutex.lock t.m;
+    let v =
+      match List.assoc_opt key t.entries with
+      | Some v' -> v'
+      | None ->
+        t.entries <- take t.capacity ((key, v) :: t.entries);
+        v
+    in
+    Mutex.unlock t.m;
+    v
+
+module Fp = struct
+  let f buf x = Buffer.add_int64_ne buf (Int64.bits_of_float x)
+
+  let i buf n =
+    Buffer.add_string buf (string_of_int n);
+    Buffer.add_char buf ';'
+
+  let s buf str =
+    Buffer.add_string buf str;
+    Buffer.add_char buf ';'
+
+  let floats buf a =
+    i buf (Array.length a);
+    Array.iter (f buf) a
+
+  let bools buf a =
+    i buf (Array.length a);
+    Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) a
+
+  let tech buf (t : Device.Tech.t) =
+    s buf t.Device.Tech.name;
+    List.iter (f buf)
+      [
+        t.Device.Tech.vdd; t.Device.Tech.vth_p; t.Device.Tech.vth_n; t.Device.Tech.tox;
+        t.Device.Tech.lmin; t.Device.Tech.alpha; t.Device.Tech.k_sat_n; t.Device.Tech.k_sat_p;
+        t.Device.Tech.i0_sub; t.Device.Tech.n_swing; t.Device.Tech.dvth_dt; t.Device.Tech.jg0;
+        t.Device.Tech.vg0; t.Device.Tech.cg_per_wl; t.Device.Tech.ea_sub_ev;
+      ]
+
+  let params buf (p : Nbti.Rd_model.params) =
+    List.iter (f buf)
+      [
+        p.Nbti.Rd_model.kv_ref; p.Nbti.Rd_model.ref_temp_k; p.Nbti.Rd_model.ref_overdrive;
+        p.Nbti.Rd_model.ref_vth0; p.Nbti.Rd_model.ea_ev; p.Nbti.Rd_model.e0_field;
+        p.Nbti.Rd_model.time_exponent; p.Nbti.Rd_model.permanent_fraction;
+      ]
+
+  let schedule buf (sc : Nbti.Schedule.t) =
+    f buf sc.Nbti.Schedule.period;
+    f buf sc.Nbti.Schedule.t_ref;
+    List.iter
+      (fun (ph : Nbti.Schedule.phase) ->
+        f buf ph.Nbti.Schedule.duration;
+        f buf ph.Nbti.Schedule.temp_k;
+        f buf ph.Nbti.Schedule.stress_duty;
+        s buf
+          (match ph.Nbti.Schedule.mode with
+          | Nbti.Schedule.Active -> "A"
+          | Nbti.Schedule.Standby -> "S"))
+      sc.Nbti.Schedule.phases
+
+  let digest buf = Digest.to_hex (Digest.bytes (Buffer.to_bytes buf))
+end

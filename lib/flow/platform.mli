@@ -53,9 +53,18 @@ type prepared
 (** A netlist with its signal probabilities and leakage tables computed. *)
 
 val prepare : config -> Circuit.Netlist.t -> prepared
+(** Besides signal probabilities and leakage tables, compiles the
+    netlist into its flat arena ({!Compiled.Arena}) and warms the
+    timing constants at the active temperature, both keyed on
+    {!Circuit.Netlist.digest} — analyses on the prepared pipeline hit
+    the compiled caches directly. *)
+
 val netlist : prepared -> Circuit.Netlist.t
 val node_sp : prepared -> float array
 val tables : prepared -> Leakage.Circuit_leakage.tables
+
+val arena : prepared -> Compiled.Arena.t
+(** The warm compiled form of {!netlist}. *)
 
 type analysis = {
   stats : Circuit.Netlist.stats;

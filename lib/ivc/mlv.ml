@@ -3,6 +3,21 @@ type candidate = { vector : bool array; leakage : float }
 let evaluate tables t vector =
   { vector; leakage = Leakage.Circuit_leakage.standby_leakage tables t ~vector }
 
+(* Compiled evaluator: one arena + LUT-row extraction per (tables, t)
+   call site, one [leak_scratch] per worker chunk, no allocation per
+   vector. The per-vector leakage is bit-identical to [evaluate] (same
+   node-order sum; skipping the primary inputs' +. 0.0 terms is exact),
+   so every comparison the searches make is unchanged. *)
+type ceval = { a : Compiled.Arena.t; currents : float array array }
+
+let compiled_eval tables t =
+  let a = Compiled.Arena.get t in
+  let rows = Leakage.Circuit_leakage.node_currents tables t in
+  { a; currents = rows }
+
+let ceval_one ce scratch vector =
+  { vector; leakage = Compiled.Logic.standby_leakage ce.a ~currents:ce.currents scratch ~vector }
+
 (* Vectors packed to a little-endian bit string: an O(n/8) immutable key
    (flat allocation, monomorphic compare) for dedup hashing and for the
    deterministic tie-break on the vector itself. All keys of one search
@@ -31,13 +46,15 @@ let exhaustive ?par tables t =
      vector, not on arrival. *)
   let block = 4096 in
   let n_blocks = (total + block - 1) / block in
+  let ce = compiled_eval tables t in
   let best_in_block b =
+    let scratch = Compiled.Logic.leak_scratch ce.a in
     let lo = b * block in
     let hi = min total (lo + block) in
     let best_idx = ref lo in
-    let best = ref (evaluate tables t (vector_of lo)) in
+    let best = ref (ceval_one ce scratch (vector_of lo)) in
     for idx = lo + 1 to hi - 1 do
-      let c = evaluate tables t (vector_of idx) in
+      let c = ceval_one ce scratch (vector_of idx) in
       if c.leakage < !best.leakage then begin
         best := c;
         best_idx := idx
@@ -64,9 +81,11 @@ let random_vector rng n = Array.init n (fun _ -> Physics.Rng.bool rng)
 let random_search tables t ~rng ~n =
   assert (n >= 1);
   let n_pi = Circuit.Netlist.n_primary_inputs t in
-  let best = ref (evaluate tables t (random_vector rng n_pi)) in
+  let ce = compiled_eval tables t in
+  let scratch = Compiled.Logic.leak_scratch ce.a in
+  let best = ref (ceval_one ce scratch (random_vector rng n_pi)) in
   for _ = 2 to n do
-    let c = evaluate tables t (random_vector rng n_pi) in
+    let c = ceval_one ce scratch (random_vector rng n_pi) in
     if c.leakage < !best.leakage then best := c
   done;
   !best
@@ -108,10 +127,18 @@ let probability_based ?par ?(budget = Parallel.Budget.unlimited) tables t ~rng ?
      stream and therefore the whole search are identical for any domain
      count. The budget is checked once per round here and per chunk
      inside the pool, so a bounded search aborts between evaluations. *)
+  let ce = compiled_eval tables t in
   let eval_batch vectors =
     Parallel.Budget.check budget;
     evaluations := !evaluations + Array.length vectors;
-    Array.to_list (Parallel.Pool.map p ~budget (evaluate tables t) vectors)
+    let out = Array.make (Array.length vectors) { vector = [||]; leakage = 0.0 } in
+    Parallel.Pool.iter_ranges p ~budget (Array.length vectors) (fun lo hi ->
+        let scratch = Compiled.Logic.leak_scratch ce.a in
+        for i = lo to hi - 1 do
+          Parallel.Budget.check budget;
+          out.(i) <- ceval_one ce scratch vectors.(i)
+        done);
+    Array.to_list out
   in
   let draw_batch sample =
     let vs = Array.make pool [||] in

@@ -29,6 +29,13 @@ let per_gate_standby tables (t : Circuit.Netlist.t) ~vector =
 let standby_leakage tables t ~vector =
   Array.fold_left ( +. ) 0.0 (per_gate_standby tables t ~vector)
 
+let node_currents tables (t : Circuit.Netlist.t) =
+  Array.map
+    (function
+      | Circuit.Netlist.Primary_input _ -> [||]
+      | Circuit.Netlist.Gate { cell; _ } -> (lut tables cell).Cell.Cell_leakage.currents)
+    t.Circuit.Netlist.nodes
+
 let per_gate_expected tables (t : Circuit.Netlist.t) ~node_sp =
   Array.map
     (fun node ->

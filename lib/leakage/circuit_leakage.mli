@@ -23,6 +23,12 @@ val expected_leakage : tables -> Circuit.Netlist.t -> node_sp:float array -> flo
 val per_gate_standby : tables -> Circuit.Netlist.t -> vector:bool array -> float array
 (** Per-node leakage breakdown (0 for primary inputs). *)
 
+val node_currents : tables -> Circuit.Netlist.t -> float array array
+(** Per-node leakage LUT rows ([[||]] for primary inputs), indexed by
+    {!Cell.Stdcell.index_of_vector} of the gate's input state — the raw
+    material for the compiled standby evaluator
+    ({!Compiled.Logic.standby_leakage}). *)
+
 val per_gate_expected : tables -> Circuit.Netlist.t -> node_sp:float array -> float array
 (** Per-node expected active leakage (0 for primary inputs); sums to
     {!expected_leakage}. Used by techniques with per-gate technology

@@ -28,7 +28,7 @@ let pair_block_toggles (t : Circuit.Netlist.t) ~input_sp ~n_pi rng =
   let r2 = Eval.eval_packed t ~inputs:v2 in
   Array.mapi (fun i w1 -> popcount (Int64.logxor w1 r2.(i))) r1
 
-let monte_carlo ?pool (t : Circuit.Netlist.t) ~rng ~input_sp ~n_pairs =
+let monte_carlo_boxed ?pool (t : Circuit.Netlist.t) ~rng ~input_sp ~n_pairs =
   if n_pairs < 1 then invalid_arg "Activity.monte_carlo: n_pairs must be >= 1";
   let n_pi = Circuit.Netlist.n_primary_inputs t in
   assert (Array.length input_sp = n_pi);
@@ -40,4 +40,19 @@ let monte_carlo ?pool (t : Circuit.Netlist.t) ~rng ~input_sp ~n_pairs =
   in
   let toggles = Array.make (Circuit.Netlist.n_nodes t) 0 in
   Array.iter (fun block -> Array.iteri (fun i c -> toggles.(i) <- toggles.(i) + c) block) per_block;
+  Array.map (fun c -> float_of_int c /. float_of_int total) toggles
+
+(* Compiled-arena backend: same per-block streams, same v1-then-v2 draw
+   order, same XOR popcounts as integers — bit-identical to the boxed
+   estimator at any domain count. *)
+let monte_carlo ?pool (t : Circuit.Netlist.t) ~rng ~input_sp ~n_pairs =
+  if n_pairs < 1 then invalid_arg "Activity.monte_carlo: n_pairs must be >= 1";
+  assert (Array.length input_sp = Circuit.Netlist.n_primary_inputs t);
+  let n_words = (n_pairs + 63) / 64 in
+  let total = n_words * 64 in
+  let p = match pool with Some p -> p | None -> Parallel.Pool.default () in
+  let a = Compiled.Arena.get t in
+  let rngs = Parallel.Pool.split_streams rng n_words in
+  let toggles = Array.make (Circuit.Netlist.n_nodes t) 0 in
+  Compiled.Logic.activity_counts p a ~rngs ~input_sp ~toggles;
   Array.map (fun c -> float_of_int c /. float_of_int total) toggles

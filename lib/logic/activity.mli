@@ -18,7 +18,17 @@ val monte_carlo :
 (** Per-node toggle probability per cycle, in [0, 1]. [n_pairs] is rounded
     up to a multiple of 64. Pair blocks run in parallel on [pool] with one
     split stream per block, so the estimate is independent of the domain
-    count. *)
+    count. Runs on the compiled arena ({!Compiled.Arena}). *)
+
+val monte_carlo_boxed :
+  ?pool:Parallel.Pool.t ->
+  Circuit.Netlist.t ->
+  rng:Physics.Rng.t ->
+  input_sp:float array ->
+  n_pairs:int ->
+  float array
+(** The boxed-DAG reference implementation of [monte_carlo]; same streams,
+    bit-identical results. Kept as the equivalence-test oracle. *)
 
 val input_activity : sp:float -> float
 (** The temporal-independence input activity [2 p (1-p)]. *)

@@ -39,7 +39,7 @@ let word_block_counts t ~input_sp ~n_pi rng =
   done;
   Eval.count_ones t ~inputs:packed
 
-let monte_carlo ?pool ?budget t ~rng ~input_sp ~n_vectors =
+let monte_carlo_boxed ?pool ?budget t ~rng ~input_sp ~n_vectors =
   let input_sp = check_sp input_sp in
   if n_vectors < 1 then invalid_arg "Signal_prob.monte_carlo: n_vectors must be >= 1";
   let n_pi = Circuit.Netlist.n_primary_inputs t in
@@ -56,6 +56,24 @@ let monte_carlo ?pool ?budget t ~rng ~input_sp ~n_vectors =
   in
   let counts = Array.make (Circuit.Netlist.n_nodes t) 0 in
   Array.iter (fun ones -> Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) ones) per_block;
+  Array.map (fun c -> float_of_int c /. float_of_int total) counts
+
+(* Same estimator on the compiled arena: identical streams (one per word
+   block, split in block order), identical per-PI draw order within a
+   block, and per-node integer ones counts whose merge order cannot
+   change the totals — bit-identical to [monte_carlo_boxed] at any
+   domain count. *)
+let monte_carlo ?pool ?budget t ~rng ~input_sp ~n_vectors =
+  let input_sp = check_sp input_sp in
+  if n_vectors < 1 then invalid_arg "Signal_prob.monte_carlo: n_vectors must be >= 1";
+  assert (Array.length input_sp = Circuit.Netlist.n_primary_inputs t);
+  let n_words = (n_vectors + 63) / 64 in
+  let total = n_words * 64 in
+  let p = match pool with Some p -> p | None -> Parallel.Pool.default () in
+  let a = Compiled.Arena.get t in
+  let rngs = Parallel.Pool.split_streams rng n_words in
+  let counts = Array.make (Circuit.Netlist.n_nodes t) 0 in
+  Compiled.Logic.sp_counts p ?budget a ~rngs ~input_sp ~counts;
   Array.map (fun c -> float_of_int c /. float_of_int total) counts
 
 let uniform_inputs t p = Array.make (Circuit.Netlist.n_primary_inputs t) p

@@ -57,8 +57,10 @@ val configure_default : domains:int -> unit
     All functions raise in the caller whatever exception a work item
     raised (the first one observed, with its backtrace); remaining
     chunks are abandoned. [chunk] is the number of consecutive items a
-    participant claims at a time (default 1 — right for heavyweight
-    items); it affects scheduling only, never results.
+    participant claims at a time; when unspecified it defaults to
+    [max 1 (n / (8 * domains))] — 8 chunks per participant, so per-item
+    dispatch overhead amortizes over the chunk while imbalance can
+    still be absorbed. It affects scheduling only, never results.
 
     [budget] (default {!Budget.unlimited}) is polled cooperatively:
     every participant checks it before claiming a chunk (and the inline
@@ -70,6 +72,17 @@ val configure_default : domains:int -> unit
 val map : t -> ?chunk:int -> ?budget:Budget.t -> ('a -> 'b) -> 'a array -> 'b array
 val mapi : t -> ?chunk:int -> ?budget:Budget.t -> (int -> 'a -> 'b) -> 'a array -> 'b array
 val init : t -> ?chunk:int -> ?budget:Budget.t -> int -> (int -> 'a) -> 'a array
+
+val iter_ranges : t -> ?chunk:int -> ?budget:Budget.t -> int -> (int -> int -> unit) -> unit
+(** [iter_ranges t n f] partitions [0, n) into chunks and calls
+    [f lo hi] once per claimed chunk (half-open range). This is the
+    chunk-grained primitive under all per-item entry points: use it to
+    allocate scratch once per chunk instead of once per item. [f] must
+    confine its writes to state owned by indices in [lo, hi); the
+    budget is polled before every chunk claim. Bit-identity across
+    domain counts is the caller's obligation here — it holds whenever
+    [f lo hi] computes exactly what items [lo..hi-1] would compute
+    independently (per-index result slots, per-index RNG streams). *)
 
 val map_reduce :
   t ->
@@ -113,14 +126,26 @@ val init_rng :
 
 (** {1 Utilization} *)
 
+type job_stats = {
+  job_items : int;  (** items executed by the job *)
+  job_chunk : int;  (** chunk size the job ran with (after auto-sizing) *)
+  job_chunks : int;  (** chunks executed *)
+  job_wall_s : float;  (** caller-side region wall time *)
+  job_busy_s : float;  (** summed per-participant in-region time *)
+  job_utilization : float;  (** busy / (wall * domains) for this job *)
+}
+(** Per-job utilization snapshot, for chunk tuning. *)
+
 type stats = {
   domains : int;  (** configured participants *)
   jobs : int;  (** parallel regions executed *)
   items : int;  (** work items executed *)
+  chunks : int;  (** chunks executed (dispatch grain actually used) *)
   worker_items : int;  (** items that ran on worker domains *)
   caller_items : int;  (** items that ran on the submitting domain *)
   busy_s : float;  (** summed per-participant in-region wall time *)
   wall_s : float;  (** summed caller-side region wall time *)
+  last_job : job_stats option;  (** most recent parallel (non-inline) region *)
 }
 
 val stats : t -> stats

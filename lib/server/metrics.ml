@@ -222,15 +222,31 @@ let registry_samples t =
   List.concat_map endpoint_samples (snapshot t) @ event_samples
 
 let pool_json (s : Parallel.Pool.stats) =
+  let last_job =
+    match s.Parallel.Pool.last_job with
+    | None -> Json.Null
+    | Some j ->
+      Json.Assoc
+        [
+          ("items", Json.Int j.Parallel.Pool.job_items);
+          ("chunk", Json.Int j.Parallel.Pool.job_chunk);
+          ("chunks", Json.Int j.Parallel.Pool.job_chunks);
+          ("wall_s", Json.Float j.Parallel.Pool.job_wall_s);
+          ("busy_s", Json.Float j.Parallel.Pool.job_busy_s);
+          ("utilization", Json.Float j.Parallel.Pool.job_utilization);
+        ]
+  in
   Json.Assoc
     [
       ("domains", Json.Int s.Parallel.Pool.domains);
       ("jobs", Json.Int s.Parallel.Pool.jobs);
       ("items", Json.Int s.Parallel.Pool.items);
+      ("chunks", Json.Int s.Parallel.Pool.chunks);
       ("worker_items", Json.Int s.Parallel.Pool.worker_items);
       ("caller_items", Json.Int s.Parallel.Pool.caller_items);
       ("busy_s", Json.Float s.Parallel.Pool.busy_s);
       ("wall_s", Json.Float s.Parallel.Pool.wall_s);
       ("utilization", Json.Float (Parallel.Pool.utilization s));
       ("speedup_estimate", Json.Float (Parallel.Pool.speedup_estimate s));
+      ("last_job", last_job);
     ]

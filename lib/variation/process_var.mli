@@ -40,7 +40,20 @@ val run :
     {!Parallel.Pool.default}), one task per sample, each on an
     independent stream split from [rng] in sample order — the study is
     bit-identical across domain counts (including a sequential pool),
-    which the parallel-determinism tests pin. *)
+    which the parallel-determinism tests pin. Runs on the compiled arena
+    with the duty table and equivalent schedules hoisted out of the
+    sample loop ({!Compiled.Variation}). *)
+
+val run_boxed :
+  ?pool:Parallel.Pool.t ->
+  config ->
+  Circuit.Netlist.t ->
+  node_sp:float array ->
+  standby:Aging.Circuit_aging.standby_state ->
+  rng:Physics.Rng.t ->
+  study
+(** The boxed-DAG reference implementation of {!run}; bit-identical
+    results. Kept as the equivalence-test oracle. *)
 
 val crossover :
   study -> bool

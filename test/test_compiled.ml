@@ -1,0 +1,331 @@
+(* Equivalence suite for the compiled struct-of-arrays netlist core:
+   every compiled hot path must be bit-identical to its boxed-DAG
+   reference (the `_boxed` oracles kept for exactly this purpose) — on
+   logic evaluation (scalar and 64-lane packed), Monte-Carlo signal
+   probabilities and activity, fresh/aged STA, the process-variation
+   study and the MLV leakage search — across the ISCAS85 unit-test
+   suite plus a >= 10^4-gate generated DAG, at 1, 2 and 4 domains. *)
+
+let with_pool = Parallel.Pool.with_pool
+
+let bits_equal a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let check_floats_exact name a b =
+  Alcotest.(check int) (name ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check bool) (Printf.sprintf "%s [%d]" name i) true (bits_equal x b.(i)))
+    a
+
+(* The circuits under test: the fast ISCAS85 subset plus a generated DAG
+   an order of magnitude past the largest structural bench, to exercise
+   the arena's CSR layout well beyond hand-sized circuits. *)
+let big_profile =
+  {
+    Circuit.Generators.name = "dag10k";
+    n_pi = 64;
+    n_po = 32;
+    n_gates = 10_000;
+    seed = 42;
+  }
+
+let big = lazy (Circuit.Generators.random_dag big_profile)
+
+let small = lazy (Circuit.Generators.small_suite ())
+let all_nets = lazy (Lazy.force small @ [ Lazy.force big ])
+
+let net_name (net : Circuit.Netlist.t) = net.Circuit.Netlist.name
+
+(* --- logic evaluation: scalar and packed --- *)
+
+let random_inputs rng n = Array.init n (fun _ -> Physics.Rng.bool rng)
+
+let test_eval_scalar () =
+  let rng = Physics.Rng.create ~seed:17 in
+  List.iter
+    (fun net ->
+      let a = Compiled.Arena.get net in
+      let n_pi = Array.length (Circuit.Netlist.primary_inputs net) in
+      let vals = Array.make a.Compiled.Arena.n_nodes 0 in
+      let idxs = Array.make a.Compiled.Arena.n_nodes 0 in
+      for trial = 1 to 16 do
+        let inputs = random_inputs rng n_pi in
+        let expect = Logic.Eval.eval net ~inputs in
+        Compiled.Arena.eval_bool a ~inputs ~vals ~idxs;
+        Array.iteri
+          (fun id v ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s trial %d node %d" (net_name net) trial id)
+              v
+              (vals.(id) = 1))
+          expect
+      done)
+    (Lazy.force all_nets)
+
+let split_word w =
+  ( Int64.to_int (Int64.logand w 0xFFFFFFFFL),
+    Int64.to_int (Int64.shift_right_logical w 32) )
+
+let join_word lo hi =
+  Int64.logor (Int64.of_int (lo land 0xFFFFFFFF)) (Int64.shift_left (Int64.of_int hi) 32)
+
+let test_eval_packed () =
+  let rng = Physics.Rng.create ~seed:23 in
+  List.iter
+    (fun net ->
+      let a = Compiled.Arena.get net in
+      let n = a.Compiled.Arena.n_nodes in
+      let words =
+        Array.init (Array.length a.Compiled.Arena.pis) (fun _ -> Physics.Rng.int64 rng)
+      in
+      let expect = Logic.Eval.eval_packed net ~inputs:words in
+      let lo = Array.make n 0 and hi = Array.make n 0 in
+      Array.iteri
+        (fun k id ->
+          let l, h = split_word words.(k) in
+          lo.(id) <- l;
+          hi.(id) <- h)
+        a.Compiled.Arena.pis;
+      Compiled.Arena.eval_packed a ~lo ~hi;
+      for id = 0 to n - 1 do
+        Alcotest.(check int64)
+          (Printf.sprintf "%s packed node %d" (net_name net) id)
+          expect.(id)
+          (join_word lo.(id) hi.(id))
+      done)
+    (Lazy.force all_nets)
+
+(* --- Monte-Carlo signal probability and activity --- *)
+
+let test_signal_prob_mc () =
+  List.iter
+    (fun net ->
+      let input_sp = Logic.Signal_prob.uniform_inputs net 0.4 in
+      let boxed =
+        Logic.Signal_prob.monte_carlo_boxed net ~rng:(Physics.Rng.create ~seed:7) ~input_sp
+          ~n_vectors:4096
+      in
+      List.iter
+        (fun domains ->
+          with_pool ~domains (fun pool ->
+              let compiled =
+                Logic.Signal_prob.monte_carlo ~pool net ~rng:(Physics.Rng.create ~seed:7)
+                  ~input_sp ~n_vectors:4096
+              in
+              check_floats_exact
+                (Printf.sprintf "%s sp @ %d domains" (net_name net) domains)
+                boxed compiled))
+        [ 1; 2; 4 ])
+    (Lazy.force all_nets)
+
+let test_activity_mc () =
+  List.iter
+    (fun net ->
+      let input_sp = Logic.Signal_prob.uniform_inputs net 0.5 in
+      let boxed =
+        Logic.Activity.monte_carlo_boxed net ~rng:(Physics.Rng.create ~seed:9) ~input_sp
+          ~n_pairs:2048
+      in
+      List.iter
+        (fun domains ->
+          with_pool ~domains (fun pool ->
+              let compiled =
+                Logic.Activity.monte_carlo ~pool net ~rng:(Physics.Rng.create ~seed:9)
+                  ~input_sp ~n_pairs:2048
+              in
+              check_floats_exact
+                (Printf.sprintf "%s activity @ %d domains" (net_name net) domains)
+                boxed compiled))
+        [ 1; 2; 4 ])
+    (Lazy.force all_nets)
+
+(* --- fresh/aged STA through the aging analysis --- *)
+
+let check_timing_result name (a : Sta.Timing.result) (b : Sta.Timing.result) =
+  check_floats_exact (name ^ " arrival") a.Sta.Timing.arrival b.Sta.Timing.arrival;
+  check_floats_exact (name ^ " gate_delay") a.Sta.Timing.gate_delay b.Sta.Timing.gate_delay;
+  Alcotest.(check bool) (name ^ " max_delay") true
+    (bits_equal a.Sta.Timing.max_delay b.Sta.Timing.max_delay);
+  Alcotest.(check (list int)) (name ^ " critical_path") a.Sta.Timing.critical_path
+    b.Sta.Timing.critical_path;
+  Alcotest.(check int) (name ^ " critical_output") a.Sta.Timing.critical_output
+    b.Sta.Timing.critical_output
+
+let check_analysis name (a : Aging.Circuit_aging.analysis) (b : Aging.Circuit_aging.analysis) =
+  check_timing_result (name ^ " fresh") a.Aging.Circuit_aging.fresh b.Aging.Circuit_aging.fresh;
+  check_timing_result (name ^ " aged") a.Aging.Circuit_aging.aged b.Aging.Circuit_aging.aged;
+  Alcotest.(check bool) (name ^ " degradation") true
+    (bits_equal a.Aging.Circuit_aging.degradation b.Aging.Circuit_aging.degradation);
+  Alcotest.(check bool) (name ^ " max_dvth") true
+    (bits_equal a.Aging.Circuit_aging.max_dvth b.Aging.Circuit_aging.max_dvth)
+
+let standby_states net =
+  let n_pi = Array.length (Circuit.Netlist.primary_inputs net) in
+  [
+    ("worst", Aging.Circuit_aging.Standby_all_stressed);
+    ("best", Aging.Circuit_aging.Standby_all_relaxed);
+    ( "vector",
+      Aging.Circuit_aging.Standby_vector (Array.init n_pi (fun i -> i land 1 = 0)) );
+  ]
+
+let test_aging_analysis () =
+  List.iter
+    (fun net ->
+      let node_sp =
+        Logic.Signal_prob.analytic net ~input_sp:(Logic.Signal_prob.uniform_inputs net 0.5)
+      in
+      let config = Aging.Circuit_aging.default_config () in
+      List.iter
+        (fun (sname, standby) ->
+          let name = Printf.sprintf "%s/%s" (net_name net) sname in
+          let boxed = Aging.Circuit_aging.analyze_boxed config net ~node_sp ~standby () in
+          let compiled = Aging.Circuit_aging.analyze config net ~node_sp ~standby () in
+          check_analysis name boxed compiled)
+        (standby_states net))
+    (Lazy.force all_nets)
+
+let test_aging_analysis_pbti_and_load () =
+  (* PBTI (NMOS aging) on, plus a non-default primary-output load:
+     exercises the NMOS shape path and the po_load-keyed timing memo. *)
+  let net = Circuit.Generators.by_name "c432" in
+  let node_sp =
+    Logic.Signal_prob.analytic net ~input_sp:(Logic.Signal_prob.uniform_inputs net 0.5)
+  in
+  let config = Aging.Circuit_aging.default_config ~pbti_scale:0.5 () in
+  let standby = Aging.Circuit_aging.Standby_all_relaxed in
+  let boxed =
+    Aging.Circuit_aging.analyze_boxed config net ~po_load:5e-15 ~node_sp ~standby ()
+  in
+  let compiled =
+    Aging.Circuit_aging.analyze config net ~po_load:5e-15 ~node_sp ~standby ()
+  in
+  check_analysis "c432 pbti+load" boxed compiled
+
+(* --- process-variation Monte-Carlo --- *)
+
+let check_study name (a : Variation.Process_var.study) (b : Variation.Process_var.study) =
+  Alcotest.(check int) (name ^ " samples") (Array.length a.Variation.Process_var.samples)
+    (Array.length b.Variation.Process_var.samples);
+  Array.iteri
+    (fun i (s : Variation.Process_var.sample) ->
+      let t = b.Variation.Process_var.samples.(i) in
+      Alcotest.(check bool) (Printf.sprintf "%s fresh %d" name i) true
+        (bits_equal s.Variation.Process_var.fresh_delay t.Variation.Process_var.fresh_delay);
+      Alcotest.(check bool) (Printf.sprintf "%s aged %d" name i) true
+        (bits_equal s.Variation.Process_var.aged_delay t.Variation.Process_var.aged_delay))
+    a.Variation.Process_var.samples;
+  Alcotest.(check bool) (name ^ " summaries") true
+    (a.Variation.Process_var.fresh = b.Variation.Process_var.fresh
+    && a.Variation.Process_var.aged = b.Variation.Process_var.aged
+    && a.Variation.Process_var.fresh_3sigma = b.Variation.Process_var.fresh_3sigma
+    && a.Variation.Process_var.aged_3sigma = b.Variation.Process_var.aged_3sigma)
+
+let test_process_var () =
+  List.iter
+    (fun net ->
+      let node_sp =
+        Logic.Signal_prob.analytic net ~input_sp:(Logic.Signal_prob.uniform_inputs net 0.5)
+      in
+      let n_samples = if Circuit.Netlist.n_gates net > 1000 then 6 else 24 in
+      let config =
+        Variation.Process_var.default_config ~n_samples (Aging.Circuit_aging.default_config ())
+      in
+      let standby = Aging.Circuit_aging.Standby_all_stressed in
+      let boxed =
+        Variation.Process_var.run_boxed config net ~node_sp ~standby
+          ~rng:(Physics.Rng.create ~seed:3)
+      in
+      List.iter
+        (fun domains ->
+          with_pool ~domains (fun pool ->
+              let compiled =
+                Variation.Process_var.run ~pool config net ~node_sp ~standby
+                  ~rng:(Physics.Rng.create ~seed:3)
+              in
+              check_study
+                (Printf.sprintf "%s @ %d domains" (net_name net) domains)
+                boxed compiled))
+        [ 1; 2; 4 ])
+    (Lazy.force all_nets)
+
+(* --- MLV leakage search --- *)
+
+let test_mlv_exhaustive_vs_evaluate () =
+  (* The compiled exhaustive sweep must land on the same vector and the
+     same leakage bits as a brute-force fold over the boxed evaluator. *)
+  let net = Circuit.Generators.by_name "c17" in
+  let tables = Leakage.Circuit_leakage.build_tables Device.Tech.ptm_90nm net ~temp_k:400.0 in
+  let n_pi = Array.length (Circuit.Netlist.primary_inputs net) in
+  let best = ref None in
+  for v = 0 to (1 lsl n_pi) - 1 do
+    let c = Ivc.Mlv.evaluate tables net (Logic.Eval.input_vector_of_int net v) in
+    match !best with
+    | Some (b : Ivc.Mlv.candidate) when b.Ivc.Mlv.leakage <= c.Ivc.Mlv.leakage -> ()
+    | _ -> best := Some c
+  done;
+  let brute = Option.get !best in
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun par ->
+          let got = Ivc.Mlv.exhaustive ~par tables net in
+          Alcotest.(check string)
+            (Printf.sprintf "vector @ %d domains" domains)
+            (Ivc.Mlv.vector_key brute.Ivc.Mlv.vector)
+            (Ivc.Mlv.vector_key got.Ivc.Mlv.vector);
+          Alcotest.(check bool) "leakage bits" true
+            (bits_equal brute.Ivc.Mlv.leakage got.Ivc.Mlv.leakage)))
+    [ 1; 2; 4 ]
+
+let test_mlv_candidates_match_boxed_evaluate () =
+  (* Every candidate a compiled search reports must re-evaluate to the
+     same leakage bits through the boxed [evaluate] — the compiled
+     leakage sum is the boxed sum, term for term. *)
+  List.iter
+    (fun net ->
+      let tables =
+        Leakage.Circuit_leakage.build_tables Device.Tech.ptm_90nm net ~temp_k:400.0
+      in
+      let set, _stats =
+        Ivc.Mlv.probability_based tables net ~rng:(Physics.Rng.create ~seed:4) ~pool:16
+          ~max_rounds:4 ()
+      in
+      Alcotest.(check bool) (net_name net ^ " found candidates") true (set <> []);
+      List.iter
+        (fun (c : Ivc.Mlv.candidate) ->
+          let again = Ivc.Mlv.evaluate tables net c.Ivc.Mlv.vector in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s candidate leakage bits" (net_name net))
+            true
+            (bits_equal c.Ivc.Mlv.leakage again.Ivc.Mlv.leakage))
+        set)
+    (Lazy.force small)
+
+let () =
+  Alcotest.run "compiled"
+    [
+      ( "logic",
+        [
+          Alcotest.test_case "scalar eval = boxed eval" `Quick test_eval_scalar;
+          Alcotest.test_case "packed eval = boxed packed eval" `Quick test_eval_packed;
+        ] );
+      ( "monte-carlo",
+        [
+          Alcotest.test_case "signal-prob MC = boxed, 1/2/4 domains" `Quick test_signal_prob_mc;
+          Alcotest.test_case "activity MC = boxed, 1/2/4 domains" `Quick test_activity_mc;
+        ] );
+      ( "sta",
+        [
+          Alcotest.test_case "aging analysis = boxed" `Quick test_aging_analysis;
+          Alcotest.test_case "pbti + po_load analysis = boxed" `Quick
+            test_aging_analysis_pbti_and_load;
+        ] );
+      ( "variation",
+        [ Alcotest.test_case "process-var study = boxed, 1/2/4 domains" `Quick test_process_var ] );
+      ( "mlv",
+        [
+          Alcotest.test_case "exhaustive = brute-force boxed" `Quick
+            test_mlv_exhaustive_vs_evaluate;
+          Alcotest.test_case "search candidates re-evaluate bit-equal" `Quick
+            test_mlv_candidates_match_boxed_evaluate;
+        ] );
+    ]
