@@ -1,4 +1,4 @@
-.PHONY: all build test smoke chaos-smoke parallel-smoke obs-smoke scaling-gate bench-json bench-txt check clean
+.PHONY: all build test smoke chaos-smoke parallel-smoke obs-smoke calibrate-smoke scaling-gate bench-json bench-txt check clean
 
 all: build
 
@@ -34,6 +34,13 @@ parallel-smoke: build
 obs-smoke: build
 	./scripts/obs_smoke.sh
 
+# Calibration smoke: gen-measurements -> calibrate CLI -> the calibrate
+# wire op through a daemon with one injected truncated write (the
+# retrying client must ride it out), a cache hit on repeat, and the op
+# visible in stats.
+calibrate-smoke: build
+	./scripts/calibrate_smoke.sh
+
 # Parallel-scaling gate: times the c432 hot paths at 1/2/4 domains,
 # checks bit-identity, the scaling verdict (strict >= 1.5x at 2 domains
 # on multicore hosts, an oversubscription floor on single-core ones) and
@@ -47,7 +54,7 @@ scaling-gate: build
 # vs the PR3 boxed baselines, recommended_domains for this host, and the
 # tracing overhead of the analyze hot path (must stay under 3%).
 bench-json: build
-	dune exec bench/main.exe -- --perf-json BENCH_PR6.json
+	dune exec bench/main.exe -- --perf-json BENCH_PR7.json
 
 # Human-readable benchmark transcripts (untracked; see .gitignore).
 bench-txt: build
@@ -56,7 +63,7 @@ bench-txt: build
 	dune exec bench/main.exe -- --extension > bench_extension_output.txt
 	@echo "wrote bench_perf_output.txt bench_ablation_output.txt bench_extension_output.txt"
 
-check: build test smoke chaos-smoke parallel-smoke obs-smoke scaling-gate
+check: build test smoke chaos-smoke parallel-smoke obs-smoke calibrate-smoke scaling-gate
 
 clean:
 	dune clean

@@ -43,7 +43,7 @@ let () =
   | [ "--perf" ] ->
     print_header ();
     Perf.run ()
-  | [ "--perf-json" ] -> Perf.run_json ~path:"BENCH_PR6.json"
+  | [ "--perf-json" ] -> Perf.run_json ~path:"BENCH_PR7.json"
   | [ "--perf-json"; path ] -> Perf.run_json ~path
   | [ "--scaling-gate" ] -> Perf.run_scaling_gate ()
   | [ "--ablation" ] ->

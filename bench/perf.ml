@@ -416,6 +416,49 @@ let speedups_vs_pr3 () =
     case "table4: fresh STA pass on c432" pr3_fresh_sta_ns fresh_sta_ns;
   ]
 
+(* --- PR7: calibration throughput --- *)
+
+type calibration_case = {
+  cal_domains : int;
+  cal_wall_s : float;
+  cal_samples_per_s : float;  (* retained posterior draws per second *)
+}
+
+(* The calibrate wire op's compute kernel: 4 adaptive MH chains over the
+   standard 54-point synthetic campaign. Chains are the unit of
+   parallelism (chunk 1), so 4 domains is the saturation point and the
+   posterior must be bit-identical at every domain count. *)
+let calibration_cases () =
+  let data = Calibrate.Synth.generate ~seed:7 () in
+  let config = Calibrate.Engine.default_config in
+  let total = config.Calibrate.Engine.n_chains * config.Calibrate.Engine.samples in
+  let run domains =
+    Parallel.Pool.with_pool ~domains @@ fun pool ->
+    ignore (Calibrate.Engine.run ~pool config data);
+    let best = ref infinity and posterior = ref None in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      let p = Calibrate.Engine.run ~pool config data in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      if !posterior = None then posterior := Some p
+    done;
+    (!best, Option.get !posterior)
+  in
+  let raw = List.map (fun d -> (d, run d)) [ 1; 2; 4 ] in
+  let draws (_, (_, p)) = p.Calibrate.Posterior.draws in
+  let head = List.hd raw in
+  let bit_identical = List.for_all (fun c -> draws c = draws head) raw in
+  ( List.map
+      (fun (d, (wall, _)) ->
+        {
+          cal_domains = d;
+          cal_wall_s = wall;
+          cal_samples_per_s = float_of_int total /. Float.max 1e-12 wall;
+        })
+      raw,
+    bit_identical )
+
 type tracing_overhead = { off_s : float; on_s : float; overhead_pct : float; overhead_s : float }
 
 (* Minimum over repeated batched runs. "off" is the instrumented build
@@ -526,6 +569,8 @@ let run_json ~path =
   let verdict = scaling_verdict cases in
   Format.printf "Compiled-core section: single-thread kernels vs PR3 baselines...@.";
   let speedups = speedups_vs_pr3 () in
+  Format.printf "Calibration section: 4-chain posterior at 1/2/4 domains...@.";
+  let cal_cases, cal_bit_identical = calibration_cases () in
   Format.printf "Tracing section: analyze hot path with collector off vs. on...@.";
   let tr = tracing_overhead () in
   let base =
@@ -534,7 +579,7 @@ let run_json ~path =
     | [] -> assert false
   in
   let b = Buffer.create 8192 in
-  Buffer.add_string b "{\n  \"schema\": \"nbti-bench/pr6\",\n";
+  Buffer.add_string b "{\n  \"schema\": \"nbti-bench/pr7\",\n";
   Buffer.add_string b (Printf.sprintf "  \"host_cores\": %d,\n" verdict.host_cores);
   Buffer.add_string b
     (Printf.sprintf "  \"recommended_domains\": %d,\n" verdict.measured_recommended_domains);
@@ -578,6 +623,22 @@ let run_json ~path =
            (if i = List.length cases - 1 then "" else ",")))
     cases;
   Buffer.add_string b "    ]\n  },\n";
+  Buffer.add_string b "  \"calibration\": {\n";
+  Buffer.add_string b
+    (Printf.sprintf "    \"bit_identical_across_domain_counts\": %b,\n" cal_bit_identical);
+  Buffer.add_string b "    \"cases\": [\n";
+  (let cal_base = List.hd cal_cases in
+   List.iteri
+     (fun i c ->
+       Buffer.add_string b
+         (Printf.sprintf
+            "      { \"domains\": %d, \"wall_s\": %.6f, \"posterior_samples_per_s\": %.1f, \
+             \"speedup_vs_1\": %.3f }%s\n"
+            c.cal_domains c.cal_wall_s c.cal_samples_per_s
+            (cal_base.cal_wall_s /. Float.max 1e-12 c.cal_wall_s)
+            (if i = List.length cal_cases - 1 then "" else ",")))
+     cal_cases);
+  Buffer.add_string b "    ]\n  },\n";
   Buffer.add_string b "  \"tracing\": {\n";
   Buffer.add_string b
     (Printf.sprintf
@@ -591,7 +652,20 @@ let run_json ~path =
   Format.printf "@.%s written:@." path;
   print_cases cases base;
   Format.printf "  results bit-identical across domain counts: %b@." bit_identical;
+  List.iter
+    (fun c ->
+      Format.printf "  calibration at %d domain(s): %.3f s, %.0f posterior samples/s@."
+        c.cal_domains c.cal_wall_s c.cal_samples_per_s)
+    cal_cases;
+  Format.printf "  calibration bit-identical across domain counts: %b@." cal_bit_identical;
   let gates_ok = check_gates ~bit_identical ~verdict ~speedups in
+  let gates_ok =
+    if cal_bit_identical then gates_ok
+    else begin
+      Format.eprintf "BENCH FAILURE: calibration posteriors differ across domain counts@.";
+      false
+    end
+  in
   Format.printf "  tracing: analyze %.3f ms off, %.3f ms on (%+.2f%%, %+.1f us)@."
     (tr.off_s *. 1e3) (tr.on_s *. 1e3) tr.overhead_pct (tr.overhead_s *. 1e6);
   if not gates_ok then exit 1;

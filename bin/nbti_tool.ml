@@ -725,6 +725,254 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Validate a recorded Chrome trace and print its flame summary.")
     term
 
+(* --- calibrate / gen-measurements: Bayesian R-D parameter inference --- *)
+
+let float_list_conv ~what =
+  let parse s =
+    let parts = String.split_on_char ',' (String.trim s) in
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | p :: rest -> begin
+        match float_of_string_opt (String.trim p) with
+        | Some v when Float.is_finite v && v > 0.0 -> go (v :: acc) rest
+        | _ -> Error (`Msg (Printf.sprintf "%s: expected positive numbers, got %S" what p))
+      end
+    in
+    go [] parts
+  in
+  let print fmt a =
+    Format.fprintf fmt "%s"
+      (String.concat "," (Array.to_list (Array.map (Printf.sprintf "%g") a)))
+  in
+  Arg.conv (parse, print)
+
+let calibrate_cmd =
+  let csv_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"CSV"
+          ~doc:"Measurement CSV: time_s,temp_k,vdd_v,dvth_v rows (header and # comments ok).")
+  in
+  let sampler_arg =
+    Arg.(
+      value & opt string "mh"
+      & info [ "sampler" ] ~docv:"S"
+          ~doc:"Posterior sampler: 'mh' (adaptive Metropolis-Hastings) or 'importance'.")
+  in
+  let particles_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "particles" ] ~docv:"N" ~doc:"Importance-sampling particle count.")
+  in
+  let chains_arg =
+    Arg.(value & opt int 4 & info [ "chains" ] ~docv:"N" ~doc:"Independent MH chains.")
+  in
+  let warmup_arg =
+    Arg.(value & opt int 1000 & info [ "warmup" ] ~docv:"N" ~doc:"Adaptation iterations per chain (discarded).")
+  in
+  let samples_arg =
+    Arg.(value & opt int 1000 & info [ "samples" ] ~docv:"N" ~doc:"Kept posterior draws per chain.")
+  in
+  let thin_arg =
+    Arg.(value & opt int 1 & info [ "thin" ] ~docv:"K" ~doc:"Keep every K-th post-warmup draw.")
+  in
+  let ci_level_arg =
+    Arg.(value & opt float 0.95 & info [ "ci-level" ] ~docv:"P" ~doc:"Credible-interval mass in (0,1).")
+  in
+  let predict_arg =
+    let triple_conv =
+      let parse s =
+        match String.split_on_char ',' (String.trim s) with
+        | [ t; temp; v ] -> begin
+          match
+            (float_of_string_opt (String.trim t), float_of_string_opt (String.trim temp),
+             float_of_string_opt (String.trim v))
+          with
+          | Some t, Some temp, Some v when t > 0.0 && temp > 0.0 && v > 0.0 -> Ok (t, temp, v)
+          | _ -> Error (`Msg "predict point must be three positive numbers t_s,T_K,V")
+        end
+        | _ -> Error (`Msg "predict point must look like 3.1e8,400,1.0")
+      in
+      Arg.conv (parse, fun fmt (t, temp, v) -> Format.fprintf fmt "%g,%g,%g" t temp v)
+    in
+    Arg.(
+      value & opt_all triple_conv []
+      & info [ "predict" ] ~docv:"T,K,V"
+          ~doc:"Posterior-predictive degradation point 'time_s,temp_k,vdd_v' (repeatable).")
+  in
+  let output_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the JSON posterior here instead of stdout.")
+  in
+  let run csv sampler particles chains warmup samples thin seed ci_level predict output jobs
+      trace level json =
+    apply_jobs jobs;
+    with_observability ~cid:("cli:calibrate:" ^ Filename.basename csv) ~level ~json ~trace
+    @@ fun () ->
+    let dataset =
+      match Calibrate.Dataset.of_csv_file csv with
+      | Ok d -> d
+      | Error { Calibrate.Dataset.line; message } ->
+        (match line with
+        | Some l -> Format.eprintf "nbti_tool calibrate: %s:%d: %s@." csv l message
+        | None -> Format.eprintf "nbti_tool calibrate: %s: %s@." csv message);
+        exit 1
+    in
+    let sampler =
+      match sampler with
+      | "mh" -> Calibrate.Engine.Mh
+      | "importance" -> Calibrate.Engine.Importance { particles }
+      | s ->
+        Format.eprintf "nbti_tool calibrate: unknown sampler %S (mh or importance)@." s;
+        exit 1
+    in
+    let config =
+      {
+        Calibrate.Engine.default_config with
+        sampler;
+        n_chains = chains;
+        warmup;
+        samples;
+        thin;
+        seed;
+        ci_level;
+        predict = Array.of_list predict;
+      }
+    in
+    (match Calibrate.Engine.validate config with
+    | Ok () -> ()
+    | Error m ->
+      Format.eprintf "nbti_tool calibrate: %s@." m;
+      exit 1);
+    let t0 = Unix.gettimeofday () in
+    let posterior = Calibrate.Engine.run config dataset in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let body = Server.Json.to_string (Server.Protocol.json_of_posterior ~dataset posterior) in
+    (match output with
+    | None -> print_endline body
+    | Some path ->
+      let oc = open_out path in
+      output_string oc body;
+      output_char oc '\n';
+      close_out oc);
+    Format.eprintf "calibrate: %d points, %d draws, wall time %.3f s@."
+      (Calibrate.Dataset.length dataset)
+      (Array.length posterior.Calibrate.Posterior.draws)
+      elapsed
+  in
+  let term =
+    Term.(
+      const run $ csv_arg $ sampler_arg $ particles_arg $ chains_arg $ warmup_arg $ samples_arg
+      $ thin_arg $ seed_arg $ ci_level_arg $ predict_arg $ output_arg $ jobs_arg $ trace_arg
+      $ log_level_arg $ log_json_arg)
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "Fit the JEP122H NBTI law to measured dVth data by Bayesian inference: posterior \
+          credible intervals, predictive degradation bands and an R-D parameter bridge.")
+    term
+
+let gen_measurements_cmd =
+  let output_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the CSV here instead of stdout.")
+  in
+  let replicates_arg =
+    Arg.(value & opt int 1 & info [ "replicates" ] ~docv:"N" ~doc:"Noisy observations per grid cell.")
+  in
+  let times_arg =
+    Arg.(
+      value & opt (some (float_list_conv ~what:"times")) None
+      & info [ "times" ] ~docv:"S,S,..." ~doc:"Stress times [s] (default: 6 log-spaced 1e3..1e8).")
+  in
+  let temps_arg =
+    Arg.(
+      value & opt (some (float_list_conv ~what:"temps")) None
+      & info [ "temps" ] ~docv:"K,K,..." ~doc:"Stress temperatures [K] (default: 330,365,400).")
+  in
+  let vdds_arg =
+    Arg.(
+      value & opt (some (float_list_conv ~what:"vdds")) None
+      & info [ "vdds" ] ~docv:"V,V,..." ~doc:"Stress gate drives [V] (default: 0.9,1.0,1.1).")
+  in
+  let truth = Calibrate.Synth.default_truth in
+  let log_a0_arg =
+    Arg.(
+      value & opt float truth.Calibrate.Model.log_a0
+      & info [ "log-a0" ] ~docv:"X" ~doc:"Ground-truth ln A0.")
+  in
+  let eaa_arg =
+    Arg.(
+      value & opt float truth.Calibrate.Model.eaa_ev
+      & info [ "eaa" ] ~docv:"EV" ~doc:"Ground-truth apparent activation energy [eV].")
+  in
+  let alpha_arg =
+    Arg.(
+      value & opt float truth.Calibrate.Model.alpha_v
+      & info [ "alpha" ] ~docv:"A" ~doc:"Ground-truth voltage exponent.")
+  in
+  let n_arg =
+    Arg.(
+      value & opt float truth.Calibrate.Model.n_t
+      & info [ "n" ] ~docv:"N" ~doc:"Ground-truth time exponent.")
+  in
+  let noise_arg =
+    Arg.(
+      value & opt float (Float.exp truth.Calibrate.Model.log_sigma)
+      & info [ "noise" ] ~docv:"V" ~doc:"Measurement noise sigma [V].")
+  in
+  let run output seed replicates times temps vdds log_a0 eaa alpha n noise =
+    if not (Float.is_finite noise && noise > 0.0) then begin
+      prerr_endline "nbti_tool gen-measurements: noise must be positive";
+      exit 1
+    end;
+    if replicates < 1 then begin
+      prerr_endline "nbti_tool gen-measurements: replicates must be >= 1";
+      exit 1
+    end;
+    let truth =
+      {
+        Calibrate.Model.log_a0;
+        eaa_ev = eaa;
+        alpha_v = alpha;
+        n_t = n;
+        log_sigma = Float.log noise;
+      }
+    in
+    let data = Calibrate.Synth.generate ?times ?temps ?vdds ~replicates ~truth ~seed () in
+    let buf = Buffer.create 4096 in
+    (* Ground truth rides along as comment lines the CSV parser skips, so a
+       generated file is self-documenting and still feeds calibrate as-is. *)
+    Buffer.add_string buf
+      (Printf.sprintf "# synthetic JEP122H measurements (seed %d, %d points)\n" seed
+         (Calibrate.Dataset.length data));
+    Buffer.add_string buf
+      (Printf.sprintf "# truth: log_a0=%.17g eaa_ev=%.17g alpha_v=%.17g n_t=%.17g sigma_v=%.17g\n"
+         truth.Calibrate.Model.log_a0 truth.Calibrate.Model.eaa_ev truth.Calibrate.Model.alpha_v
+         truth.Calibrate.Model.n_t noise);
+    Buffer.add_string buf (Calibrate.Dataset.to_csv data);
+    (match output with
+    | None -> print_string (Buffer.contents buf)
+    | Some path ->
+      let oc = open_out path in
+      Buffer.output_buffer oc buf;
+      close_out oc;
+      Format.eprintf "gen-measurements: %d points written to %s@."
+        (Calibrate.Dataset.length data) path)
+  in
+  let term =
+    Term.(
+      const run $ output_arg $ seed_arg $ replicates_arg $ times_arg $ temps_arg $ vdds_arg
+      $ log_a0_arg $ eaa_arg $ alpha_arg $ n_arg $ noise_arg)
+  in
+  Cmd.v
+    (Cmd.info "gen-measurements"
+       ~doc:"Generate a synthetic noisy NBTI measurement CSV from known ground truth.")
+    term
+
 (* --- serve / request: the aging-analysis daemon and its client --- *)
 
 let endpoint_arg =
@@ -844,15 +1092,17 @@ let serve_cmd =
     let pool_domains = Parallel.Pool.domains (Parallel.Pool.default ()) in
     (match
        (try
-          if Sys.file_exists "BENCH_PR6.json" then begin
-            let ic = open_in_bin "BENCH_PR6.json" in
+          match
+            List.find_opt Sys.file_exists [ "BENCH_PR7.json"; "BENCH_PR6.json" ]
+          with
+          | Some bench_file ->
+            let ic = open_in_bin bench_file in
             let len = in_channel_length ic in
             let body = really_input_string ic len in
             close_in_noerr ic;
             Server.Json.member_opt "recommended_domains" (Server.Json.of_string body)
             |> Option.map Server.Json.to_int
-          end
-          else None
+          | None -> None
         with _ -> None)
      with
     | Some rec_domains ->
@@ -1099,4 +1349,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [ stats_cmd; analyze_cmd; ivc_cmd; st_cmd; dvth_cmd; lifetime_cmd; gen_cmd; lib_cmd;
          verilog_cmd; seq_cmd; sram_cmd; thermal_cmd; variation_cmd; profile_cmd; trace_cmd;
-         serve_cmd; request_cmd ]))
+         calibrate_cmd; gen_measurements_cmd; serve_cmd; request_cmd ]))

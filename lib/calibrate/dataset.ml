@@ -1,0 +1,95 @@
+type point = { time_s : float; temp_k : float; vdd_v : float; dvth_v : float }
+type t = { points : point array }
+type error = { line : int option; message : string }
+
+let err ?line fmt = Format.kasprintf (fun message -> Error { line; message }) fmt
+
+let validate_point ?line i p =
+  let bad fmt = err ?line ("point %d: " ^^ fmt) i in
+  if not (Float.is_finite p.time_s && Float.is_finite p.temp_k
+          && Float.is_finite p.vdd_v && Float.is_finite p.dvth_v)
+  then bad "non-finite field"
+  else if p.time_s <= 0.0 then bad "time_s must be > 0 (got %g)" p.time_s
+  else if p.temp_k <= 0.0 then bad "temp_k must be > 0 (got %g)" p.temp_k
+  else if p.vdd_v <= 0.0 then bad "vdd_v must be > 0 (got %g)" p.vdd_v
+  else Ok ()
+
+let v points =
+  if Array.length points = 0 then err "dataset has no measurement points"
+  else begin
+    let rec check i =
+      if i >= Array.length points then Ok { points }
+      else
+        match validate_point i points.(i) with
+        | Ok () -> check (i + 1)
+        | Error e -> Error e
+    in
+    check 0
+  end
+
+let header = "time_s,temp_k,vdd_v,dvth_v"
+
+let split_csv_line line = String.split_on_char ',' line |> List.map String.trim
+
+let is_header fields =
+  match fields with
+  | [ a; b; c; d ] ->
+      let l = String.lowercase_ascii in
+      l a = "time_s" && l b = "temp_k" && l c = "vdd_v" && l d = "dvth_v"
+  | _ -> false
+
+let of_csv text =
+  let lines = String.split_on_char '\n' text in
+  let rec parse lineno acc seen_header = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then
+          parse (lineno + 1) acc seen_header rest
+        else
+          let fields = split_csv_line trimmed in
+          if (not seen_header) && is_header fields then
+            parse (lineno + 1) acc true rest
+          else
+            match fields with
+            | [ a; b; c; d ] -> (
+                match
+                  ( float_of_string_opt a, float_of_string_opt b,
+                    float_of_string_opt c, float_of_string_opt d )
+                with
+                | Some time_s, Some temp_k, Some vdd_v, Some dvth_v -> (
+                    let p = { time_s; temp_k; vdd_v; dvth_v } in
+                    match validate_point ~line:lineno (List.length acc) p with
+                    | Ok () -> parse (lineno + 1) (p :: acc) true rest
+                    | Error e -> Error e)
+                | _ ->
+                    err ~line:lineno "expected 4 numeric fields (%s), got %S"
+                      header trimmed)
+            | fs ->
+                err ~line:lineno "expected 4 comma-separated fields (%s), got %d"
+                  header (List.length fs))
+  in
+  match parse 1 [] false lines with
+  | Error e -> Error e
+  | Ok [] -> err "dataset has no measurement points"
+  | Ok pts -> Ok { points = Array.of_list pts }
+
+let of_csv_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_csv text
+  | exception Sys_error m -> err "%s" m
+
+let to_csv t =
+  let buf = Buffer.create (64 * (1 + Array.length t.points)) in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.17g,%.17g,%.17g,%.17g\n" p.time_s p.temp_k p.vdd_v
+           p.dvth_v))
+    t.points;
+  Buffer.contents buf
+
+let digest t = Digest.to_hex (Digest.string (to_csv t))
+let length t = Array.length t.points

@@ -1,0 +1,45 @@
+(** Measurement datasets for NBTI parameter calibration.
+
+    A dataset is a flat list of stress observations: after [time_s] seconds
+    of DC stress at [temp_k] kelvin and [vdd_v] volts of gate drive, a
+    threshold shift of [dvth_v] volts was measured. This is the common
+    denominator of JEDEC-style qualification data (JEP122H) and the
+    synthetic measurements produced by {!Synth}. *)
+
+type point = {
+  time_s : float;  (** cumulative stress time, > 0 *)
+  temp_k : float;  (** stress temperature, > 0 *)
+  vdd_v : float;  (** stress gate drive |V_gs|, > 0 *)
+  dvth_v : float;  (** measured |ΔV_th| [V]; may be slightly negative (noise) *)
+}
+
+type t = { points : point array }
+
+type error = { line : int option; message : string }
+(** [line] is the 1-based offending line for CSV parse errors, [None] for
+    dataset-level problems (e.g. no data rows). *)
+
+val v : point array -> (t, error) result
+(** Validates finiteness and positivity of the stress conditions. *)
+
+val of_csv : string -> (t, error) result
+(** Parses CSV text. The expected column order is
+    [time_s,temp_k,vdd_v,dvth_v]; a header row repeating those names is
+    accepted and skipped, as are blank lines and [#] comment lines.
+    Errors carry the 1-based line number of the offending line. *)
+
+val of_csv_file : string -> (t, error) result
+(** [of_csv] over a file's contents; I/O failures become an [error] with
+    [line = None]. *)
+
+val to_csv : t -> string
+(** Canonical CSV rendering: the header row then one row per point with
+    floats printed as [%.17g] — round-trips bit-exactly through
+    {!of_csv}. *)
+
+val digest : t -> string
+(** Content address: MD5 hex of {!to_csv}. Equal datasets (bitwise equal
+    points, same order) have equal digests; used as the server-side cache
+    key component. *)
+
+val length : t -> int

@@ -1,0 +1,60 @@
+type result = {
+  draws : float array array;
+  log_weights : float array;
+  weights : float array;
+  weight_ess : float;
+}
+
+let log_normal_pdf ~mu ~sd x =
+  let z = (x -. mu) /. sd in
+  -.(0.5 *. z *. z) -. Float.log sd -. (0.5 *. Float.log (2.0 *. Float.pi))
+
+let run ?pool ?(budget = Parallel.Budget.unlimited) ~log_post ~proposal_mu
+    ~proposal_sd ~particles ~rng () =
+  assert (particles >= 1);
+  let k = Array.length proposal_mu in
+  assert (Array.length proposal_sd = k);
+  Array.iter (fun sd -> assert (sd > 0.0)) proposal_sd;
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
+  let weighted =
+    Obs.Trace.with_span ~cat:"calibrate"
+      ~args:[ ("particles", Obs.Fields.Int particles) ]
+      "calibrate.importance"
+    @@ fun () ->
+    Parallel.Pool.init_rng pool ~budget ~rng particles (fun rng _i ->
+        let theta =
+          Array.init k (fun j ->
+              proposal_mu.(j)
+              +. (proposal_sd.(j) *. Physics.Rng.gaussian rng ~mean:0.0 ~sigma:1.0))
+        in
+        let log_q = ref 0.0 in
+        for j = 0 to k - 1 do
+          log_q :=
+            !log_q +. log_normal_pdf ~mu:proposal_mu.(j) ~sd:proposal_sd.(j) theta.(j)
+        done;
+        (theta, log_post theta -. !log_q))
+  in
+  let draws = Array.map fst weighted in
+  let raw = Array.map snd weighted in
+  (* Sequential log-sum-exp in particle order: deterministic reduction. *)
+  let m = Array.fold_left Float.max Float.neg_infinity raw in
+  if m = Float.neg_infinity then
+    (* Every particle landed at -inf posterior; report uniform weights so
+       downstream summaries stay finite, with the degenerate ESS = n. *)
+    let n = float_of_int particles in
+    {
+      draws;
+      log_weights = Array.map (fun _ -> -.Float.log n) raw;
+      weights = Array.map (fun _ -> 1.0 /. n) raw;
+      weight_ess = n;
+    }
+  else begin
+    let sum = ref 0.0 in
+    Array.iter (fun lw -> sum := !sum +. Float.exp (lw -. m)) raw;
+    let log_z = m +. Float.log !sum in
+    let log_weights = Array.map (fun lw -> lw -. log_z) raw in
+    let weights = Array.map Float.exp log_weights in
+    let sum_sq = ref 0.0 in
+    Array.iter (fun w -> sum_sq := !sum_sq +. (w *. w)) weights;
+    { draws; log_weights; weights; weight_ess = 1.0 /. !sum_sq }
+  end

@@ -1,0 +1,174 @@
+let target_acceptance = 0.3
+let poll_interval = 64
+let adapt_window = 50
+
+type chain = {
+  draws : float array array;
+  accept_rate : float;
+  final_scale : float;
+}
+
+(* Lower-triangular Cholesky factor of a symmetric positive-definite
+   matrix; None when the matrix is not PD (degenerate warmup sample). *)
+let cholesky a k =
+  let l = Array.make_matrix k k 0.0 in
+  try
+    for i = 0 to k - 1 do
+      for j = 0 to i do
+        let s = ref a.(i).(j) in
+        for p = 0 to j - 1 do
+          s := !s -. (l.(i).(p) *. l.(j).(p))
+        done;
+        if i = j then begin
+          if !s <= 0.0 then raise Exit;
+          l.(i).(i) <- Float.sqrt !s
+        end
+        else l.(i).(j) <- !s /. l.(j).(j)
+      done
+    done;
+    Some l
+  with Exit -> None
+
+let run_chain ~log_post ~init_mu ~init_sd ~warmup ~samples ~thin ~budget
+    ~chain_index ~rng =
+  assert (warmup >= 0 && samples >= 1 && thin >= 1);
+  let k = Array.length init_mu in
+  assert (Array.length init_sd = k);
+  Obs.Trace.with_span ~cat:"calibrate"
+    ~args:
+      [
+        ("chain", Obs.Fields.Int chain_index);
+        ("warmup", Obs.Fields.Int warmup);
+        ("samples", Obs.Fields.Int samples);
+      ]
+    "calibrate.chain"
+  @@ fun () ->
+  let theta =
+    Array.init k (fun j ->
+        init_mu.(j) +. (0.5 *. init_sd.(j) *. Physics.Rng.gaussian rng ~mean:0.0 ~sigma:1.0))
+  in
+  let lp = ref (log_post theta) in
+  (* Proposal: theta' = theta + scale * L z with z standard normal. L
+     starts diagonal at 0.2 * prior sd and is preconditioned with the
+     Cholesky factor of the empirical warmup covariance (Haario-style
+     adaptive Metropolis) — the JEP posterior is strongly correlated
+     (log_A0 trades off against E_aa, alpha and n), so a diagonal kernel
+     mixes pathologically. The Robbins-Monro global [scale] then only has
+     to find the right step length, not the shape. *)
+  let shape = Array.make_matrix k k 0.0 in
+  for j = 0 to k - 1 do
+    shape.(j).(j) <- 0.2 *. Float.max init_sd.(j) 1e-12
+  done;
+  let scale = ref (2.38 /. Float.sqrt (float_of_int k)) in
+  let z = Array.make k 0.0 in
+  let proposal = Array.make k 0.0 in
+  (* Welford accumulators (mean + outer-product M2) over warmup draws. *)
+  let w_n = ref 0 in
+  let w_mean = Array.make k 0.0 in
+  let w_m2 = Array.make_matrix k k 0.0 in
+  let d_old = Array.make k 0.0 in
+  let window_accepts = ref 0 and windows = ref 0 in
+  let preconditioned = ref false in
+  let post_accepts = ref 0 in
+  let total = warmup + (samples * thin) in
+  let draws = Array.make samples [||] in
+  let kept = ref 0 in
+  for iter = 0 to total - 1 do
+    if iter mod poll_interval = 0 then Parallel.Budget.check budget;
+    for j = 0 to k - 1 do
+      z.(j) <- Physics.Rng.gaussian rng ~mean:0.0 ~sigma:1.0
+    done;
+    for i = 0 to k - 1 do
+      let step = ref 0.0 in
+      for j = 0 to i do
+        step := !step +. (shape.(i).(j) *. z.(j))
+      done;
+      proposal.(i) <- theta.(i) +. (!scale *. !step)
+    done;
+    let lp' = log_post proposal in
+    let accept =
+      lp' > Float.neg_infinity
+      && (lp' >= !lp || Float.log (Physics.Rng.uniform rng +. 1e-300) < lp' -. !lp)
+    in
+    if accept then begin
+      Array.blit proposal 0 theta 0 k;
+      lp := lp';
+      if iter >= warmup then incr post_accepts else incr window_accepts
+    end;
+    if iter < warmup then begin
+      (* Covariance accumulation skips the first quarter of warmup: those
+         draws trace the burn-in transient from the overdispersed start
+         and would wreck the shape estimate. *)
+      if iter >= warmup / 4 then begin
+        incr w_n;
+        for j = 0 to k - 1 do
+          d_old.(j) <- theta.(j) -. w_mean.(j);
+          w_mean.(j) <- w_mean.(j) +. (d_old.(j) /. float_of_int !w_n)
+        done;
+        for i = 0 to k - 1 do
+          for j = 0 to k - 1 do
+            w_m2.(i).(j) <- w_m2.(i).(j) +. (d_old.(i) *. (theta.(j) -. w_mean.(j)))
+          done
+        done
+      end;
+      if (iter + 1) mod adapt_window = 0 then begin
+        incr windows;
+        let rate = float_of_int !window_accepts /. float_of_int adapt_window in
+        window_accepts := 0;
+        (* Robbins-Monro on the log scale: diminishing steps keep late
+           warmup stable while early windows can move fast. *)
+        let step = (rate -. target_acceptance) /. Float.sqrt (float_of_int !windows) in
+        scale := !scale *. Float.exp step;
+        scale := Float.max 1e-6 (Float.min 1e6 !scale);
+        (* Halfway through warmup, precondition with the empirical
+           covariance (ridge-regularized so a stuck coordinate cannot
+           degenerate the factor); the first time the shape changes, the
+           adaptation clock restarts so the scale can re-tune to the new
+           kernel instead of being stuck on the 1/sqrt(w) floor. *)
+        if !w_n >= Stdlib.max (warmup / 4) (2 * adapt_window) then begin
+          let denom = float_of_int (Stdlib.max 1 (!w_n - 1)) in
+          let cov =
+            Array.init k (fun i ->
+                Array.init k (fun j ->
+                    let c = (w_m2.(i).(j) +. w_m2.(j).(i)) /. (2.0 *. denom) in
+                    if i = j then
+                      c +. Float.max 1e-12 (1e-4 *. init_sd.(i) *. init_sd.(i))
+                    else c))
+          in
+          match cholesky cov k with
+          | Some l ->
+              if not !preconditioned then begin
+                preconditioned := true;
+                windows := 0;
+                scale := 2.38 /. Float.sqrt (float_of_int k)
+              end;
+              for i = 0 to k - 1 do
+                Array.blit l.(i) 0 shape.(i) 0 k
+              done
+          | None -> ()
+        end
+      end
+    end
+    else begin
+      let s = iter - warmup in
+      if s mod thin = thin - 1 then begin
+        draws.(!kept) <- Array.copy theta;
+        incr kept
+      end
+    end
+  done;
+  assert (!kept = samples);
+  let post_iters = samples * thin in
+  {
+    draws;
+    accept_rate = float_of_int !post_accepts /. float_of_int post_iters;
+    final_scale = !scale;
+  }
+
+let run ?pool ?(budget = Parallel.Budget.unlimited) ~log_post ~init_mu ~init_sd
+    ~n_chains ~warmup ~samples ~thin ~rng () =
+  assert (n_chains >= 1);
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
+  Parallel.Pool.init_rng pool ~chunk:1 ~budget ~rng n_chains (fun rng i ->
+      run_chain ~log_post ~init_mu ~init_sd ~warmup ~samples ~thin ~budget
+        ~chain_index:i ~rng)

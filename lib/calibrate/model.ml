@@ -1,0 +1,102 @@
+type theta = {
+  log_a0 : float;
+  eaa_ev : float;
+  alpha_v : float;
+  n_t : float;
+  log_sigma : float;
+}
+
+let n_params = 5
+let param_names = [| "log_a0"; "eaa_ev"; "alpha_v"; "n_t"; "log_sigma" |]
+let to_array t = [| t.log_a0; t.eaa_ev; t.alpha_v; t.n_t; t.log_sigma |]
+
+let of_array a =
+  assert (Array.length a = n_params);
+  { log_a0 = a.(0); eaa_ev = a.(1); alpha_v = a.(2); n_t = a.(3); log_sigma = a.(4) }
+
+let predict t ~time_s ~temp_k ~vdd_v =
+  assert (time_s > 0.0 && temp_k > 0.0 && vdd_v > 0.0);
+  Float.exp
+    (t.log_a0
+    -. (t.eaa_ev /. (Physics.Const.boltzmann_ev *. temp_k))
+    +. (t.alpha_v *. Float.log vdd_v)
+    +. (t.n_t *. Float.log time_s))
+
+type prior = { mu : theta; sd : theta }
+
+(* Center A0 on the repo's R-D anchor: 46 mV after ten years of DC stress at
+   400 K and 1 V (see Nbti.Rd_model.default_params). *)
+let anchor_log_a0 =
+  Float.log 0.046
+  +. (0.12 /. (Physics.Const.boltzmann_ev *. 400.0))
+  -. (0.25 *. Float.log Physics.Units.ten_years)
+
+let default_prior =
+  {
+    mu =
+      {
+        log_a0 = anchor_log_a0;
+        eaa_ev = 0.12;
+        alpha_v = 2.0;
+        n_t = 0.25;
+        log_sigma = Float.log 2e-3;
+      };
+    sd =
+      { log_a0 = 3.0; eaa_ev = 0.15; alpha_v = 2.0; n_t = 0.15; log_sigma = 2.0 };
+  }
+
+let log_prior prior th =
+  let mu = to_array prior.mu and sd = to_array prior.sd in
+  let acc = ref 0.0 in
+  for i = 0 to n_params - 1 do
+    let z = (th.(i) -. mu.(i)) /. sd.(i) in
+    acc := !acc -. (0.5 *. z *. z) -. Float.log sd.(i)
+  done;
+  !acc
+
+let log_likelihood th (data : Dataset.t) =
+  let t = of_array th in
+  let sigma = Float.exp t.log_sigma in
+  if not (Float.is_finite sigma) || sigma <= 0.0 then Float.neg_infinity
+  else begin
+    let acc = ref 0.0 in
+    let n = Array.length data.points in
+    (try
+       for i = 0 to n - 1 do
+         let p = data.points.(i) in
+         let mu =
+           predict t ~time_s:p.Dataset.time_s ~temp_k:p.Dataset.temp_k
+             ~vdd_v:p.Dataset.vdd_v
+         in
+         if not (Float.is_finite mu) then begin
+           acc := Float.neg_infinity;
+           raise Exit
+         end;
+         let z = (p.Dataset.dvth_v -. mu) /. sigma in
+         acc := !acc -. (0.5 *. z *. z)
+       done
+     with Exit -> ());
+    if !acc = Float.neg_infinity then Float.neg_infinity
+    else !acc -. (float_of_int n *. (t.log_sigma +. (0.5 *. Float.log (2.0 *. Float.pi))))
+  end
+
+let log_post prior data th =
+  let lp = log_prior prior th in
+  if lp = Float.neg_infinity then lp else lp +. log_likelihood th data
+
+let to_tech_params ?(tech = Device.Tech.ptm_90nm) t =
+  let d = Nbti.Rd_model.default_params in
+  (* Anchor the R-D reference condition at the JEP prediction: with
+     ref_overdrive and ref_vth0 taken from the nominal device, the carrier
+     and field factors are exactly 1 at (V_gs = vdd, T = 400 K), so
+     dvth_dc time = kv_ref * time^n = predict t ~temp_k:400 ~vdd_v:vdd. *)
+  {
+    d with
+    Nbti.Rd_model.kv_ref =
+      predict t ~time_s:1.0 ~temp_k:d.Nbti.Rd_model.ref_temp_k
+        ~vdd_v:tech.Device.Tech.vdd;
+    ref_overdrive = tech.Device.Tech.vdd -. tech.Device.Tech.vth_p;
+    ref_vth0 = tech.Device.Tech.vth_p;
+    ea_ev = t.eaa_ev;
+    time_exponent = t.n_t;
+  }

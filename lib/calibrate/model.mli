@@ -1,0 +1,59 @@
+(** The calibration target: the JEDEC JEP122H empirical NBTI law
+
+    {[ ΔV_th(t, T, V) = A0 · exp(-E_aa / kB T) · V^α · t^n ]}
+
+    parameterized for inference as θ = (log_A0, E_aa, α, n, log_σ) with a
+    Gaussian measurement-noise model of standard deviation σ volts. The
+    log-scale positivity parameters keep the posterior support unbounded so
+    a random-walk sampler needs no reflection or rejection bookkeeping.
+
+    {!to_tech_params} bridges a fitted θ back into the repo's R–D
+    {!Nbti.Rd_model.params}: both laws share the Arrhenius temperature
+    factor and the power-law time dependence, so anchoring the R–D
+    reference condition at the JEP prediction makes the two agree exactly
+    in (t, T) at the reference drive; only the voltage-acceleration
+    functional form (V^α vs. carrier·field terms) differs between the
+    families, which is the documented model-bridge approximation. *)
+
+type theta = {
+  log_a0 : float;  (** ln of the prefactor A0 [V / (V^α · s^n)] *)
+  eaa_ev : float;  (** apparent activation energy E_aa [eV] *)
+  alpha_v : float;  (** voltage acceleration exponent α *)
+  n_t : float;  (** time exponent n *)
+  log_sigma : float;  (** ln of the observation noise σ [V] *)
+}
+
+val n_params : int
+val param_names : string array
+val to_array : theta -> float array
+val of_array : float array -> theta
+
+val predict : theta -> time_s:float -> temp_k:float -> vdd_v:float -> float
+(** Model-predicted |ΔV_th| [V]; requires positive stress conditions. *)
+
+type prior = { mu : theta; sd : theta }
+(** Independent Gaussians on each coordinate of θ (in its sampling
+    parameterization, i.e. on log_A0 and log_σ, not A0 and σ). *)
+
+val default_prior : prior
+(** Weakly informative, centered on the repo's R–D anchors: A0 such that
+    ten years at 400 K / 1 V gives ~46 mV, E_aa = 0.12 eV, α = 2, n = 0.25,
+    σ ≈ 2 mV — with generous spreads so the data dominates. *)
+
+val log_prior : prior -> float array -> float
+(** Log-density of θ (as {!to_array} order) under [prior], up to the
+    normalizing constant shared by all θ. *)
+
+val log_likelihood : float array -> Dataset.t -> float
+(** Gaussian log-likelihood of the dataset under θ, including the
+    -n·log σ term so σ is identified. -inf when σ overflows. *)
+
+val log_post : prior -> Dataset.t -> float array -> float
+(** [log_prior + log_likelihood]. *)
+
+val to_tech_params : ?tech:Device.Tech.t -> theta -> Nbti.Rd_model.params
+(** R–D parameters anchored so that for a nominal PMOS of [tech]
+    (default {!Device.Tech.ptm_90nm}) at V_gs = V_dd and T = 400 K, the
+    R–D [dvth_dc] equals {!predict} at every time — kv_ref is the JEP
+    prediction at t = 1 s, and E_a and the time exponent carry over
+    unchanged. *)

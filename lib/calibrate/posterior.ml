@@ -1,0 +1,152 @@
+type param_summary = {
+  name : string;
+  mean : float;
+  sd : float;
+  ci_lo : float;
+  ci_hi : float;
+  rhat : float option;
+  ess : float;
+}
+
+type predictive_point = {
+  time_s : float;
+  temp_k : float;
+  vdd_v : float;
+  mean : float;
+  ci_lo : float;
+  ci_hi : float;
+}
+
+type t = {
+  sampler : string;
+  n_chains : int;
+  samples_per_chain : int;
+  ci_level : float;
+  params : param_summary array;
+  draws : float array array;
+  weights : float array;
+  accept_rates : float array;
+  weight_ess : float option;
+  predictive : predictive_point array;
+}
+
+let split_rhat seqs =
+  let halves =
+    Array.to_list seqs
+    |> List.concat_map (fun (s : float array) ->
+           let n = Array.length s in
+           if n < 4 then []
+           else
+             let h = n / 2 in
+             [ Array.sub s 0 h; Array.sub s (n - h) h ])
+    |> Array.of_list
+  in
+  let m = Array.length halves in
+  if m < 2 then 1.0
+  else begin
+    let n = float_of_int (Array.length halves.(0)) in
+    let means = Array.map Physics.Stats.mean halves in
+    let w = Physics.Stats.mean (Array.map Physics.Stats.variance halves) in
+    let b = n *. Physics.Stats.variance means in
+    if w <= 0.0 then 1.0
+    else
+      let var_plus = (((n -. 1.0) /. n) *. w) +. (b /. n) in
+      Float.sqrt (var_plus /. w)
+  end
+
+let weighted_mean_sd xs ~weights =
+  let n = Array.length xs in
+  let m = ref 0.0 and sum_w2 = ref 0.0 in
+  for i = 0 to n - 1 do
+    m := !m +. (weights.(i) *. xs.(i));
+    sum_w2 := !sum_w2 +. (weights.(i) *. weights.(i))
+  done;
+  let var = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = xs.(i) -. !m in
+    var := !var +. (weights.(i) *. d *. d)
+  done;
+  (* Bessel-style correction 1 - sum w^2 (reduces to (n-1)/n scaling for
+     uniform weights); guard the degenerate one-effective-sample case. *)
+  let denom = 1.0 -. !sum_w2 in
+  let sd = if denom > 0.0 then Float.sqrt (!var /. denom) else 0.0 in
+  (!m, sd)
+
+let ci xs ~weights ~level =
+  let tail = (1.0 -. level) /. 2.0 in
+  ( Physics.Stats.weighted_quantile xs ~weights ~q:tail,
+    Physics.Stats.weighted_quantile xs ~weights ~q:(1.0 -. tail) )
+
+let column draws j = Array.map (fun (d : float array) -> d.(j)) draws
+
+let predictive_points ~draws ~weights ~level points =
+  Array.map
+    (fun (time_s, temp_k, vdd_v) ->
+      let preds =
+        Array.map
+          (fun d -> Model.predict (Model.of_array d) ~time_s ~temp_k ~vdd_v)
+          draws
+      in
+      let mean, _ = weighted_mean_sd preds ~weights in
+      let ci_lo, ci_hi = ci preds ~weights ~level in
+      { time_s; temp_k; vdd_v; mean; ci_lo; ci_hi })
+    points
+
+let summarize ~rhat_of ~ess_of ~draws ~weights ~level =
+  Array.mapi
+    (fun j name ->
+      let xs = column draws j in
+      let mean, sd = weighted_mean_sd xs ~weights in
+      let ci_lo, ci_hi = ci xs ~weights ~level in
+      { name; mean; sd; ci_lo; ci_hi; rhat = rhat_of j; ess = ess_of j })
+    Model.param_names
+
+let of_chains ~ci_level ~predict chains =
+  assert (Array.length chains >= 1);
+  let samples_per_chain = Array.length chains.(0).Mh.draws in
+  let draws = Array.concat (Array.to_list (Array.map (fun c -> c.Mh.draws) chains)) in
+  let n = Array.length draws in
+  let weights = Array.make n (1.0 /. float_of_int n) in
+  let per_chain_cols j =
+    Array.map (fun c -> column c.Mh.draws j) chains
+  in
+  let rhat_of j = Some (split_rhat (per_chain_cols j)) in
+  let ess_of j =
+    Array.fold_left
+      (fun acc col -> acc +. Physics.Stats.ess col)
+      0.0 (per_chain_cols j)
+  in
+  {
+    sampler = "mh";
+    n_chains = Array.length chains;
+    samples_per_chain;
+    ci_level;
+    params = summarize ~rhat_of ~ess_of ~draws ~weights ~level:ci_level;
+    draws;
+    weights;
+    accept_rates = Array.map (fun c -> c.Mh.accept_rate) chains;
+    weight_ess = None;
+    predictive = predictive_points ~draws ~weights ~level:ci_level predict;
+  }
+
+let of_importance ~ci_level ~predict (r : Importance.result) =
+  let rhat_of _ = None and ess_of _ = r.Importance.weight_ess in
+  {
+    sampler = "importance";
+    n_chains = 1;
+    samples_per_chain = Array.length r.Importance.draws;
+    ci_level;
+    params =
+      summarize ~rhat_of ~ess_of ~draws:r.Importance.draws
+        ~weights:r.Importance.weights ~level:ci_level;
+    draws = r.Importance.draws;
+    weights = r.Importance.weights;
+    accept_rates = [||];
+    weight_ess = Some r.Importance.weight_ess;
+    predictive =
+      predictive_points ~draws:r.Importance.draws ~weights:r.Importance.weights
+        ~level:ci_level predict;
+  }
+
+let mean_theta t =
+  Model.of_array (Array.map (fun (p : param_summary) -> p.mean) t.params)

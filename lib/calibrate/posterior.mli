@@ -1,0 +1,56 @@
+(** Posterior summaries: parameter credible intervals, convergence
+    diagnostics, and posterior-predictive degradation intervals. *)
+
+type param_summary = {
+  name : string;
+  mean : float;  (** weighted posterior mean *)
+  sd : float;  (** weighted posterior standard deviation *)
+  ci_lo : float;  (** equal-tailed credible interval at the posterior's level *)
+  ci_hi : float;
+  rhat : float option;  (** split-R̂ across chains; [None] for SNIS *)
+  ess : float;
+      (** effective sample size: autocorrelation-based (summed over
+          chains) for MH, the weight ESS for SNIS *)
+}
+
+type predictive_point = {
+  time_s : float;
+  temp_k : float;
+  vdd_v : float;
+  mean : float;  (** posterior-mean predicted |ΔV_th| [V] *)
+  ci_lo : float;  (** equal-tailed credible interval of the prediction *)
+  ci_hi : float;
+}
+
+type t = {
+  sampler : string;  (** ["mh"] or ["importance"] *)
+  n_chains : int;
+  samples_per_chain : int;
+  ci_level : float;
+  params : param_summary array;  (** in {!Model.param_names} order *)
+  draws : float array array;  (** pooled retained draws / particles *)
+  weights : float array;  (** normalized; uniform for MH *)
+  accept_rates : float array;  (** per MH chain; empty for SNIS *)
+  weight_ess : float option;  (** SNIS only *)
+  predictive : predictive_point array;
+}
+
+val split_rhat : float array array -> float
+(** [split_rhat seqs] where each row is one chain's draws of a single
+    scalar parameter: the split-R̂ statistic (each chain halved, so
+    within-chain drift also registers). 1.0 for perfectly mixed chains;
+    values above ~1.05 signal non-convergence. Rows shorter than 4 or a
+    zero within-variance return 1.0. *)
+
+val of_chains :
+  ci_level:float -> predict:(float * float * float) array -> Mh.chain array -> t
+(** Pool the retained draws of the chains (chain order, then draw order)
+    and summarize. [predict] lists (time_s, temp_k, vdd_v) points for
+    posterior-predictive degradation intervals of the latent (noise-free)
+    |ΔV_th|. *)
+
+val of_importance :
+  ci_level:float -> predict:(float * float * float) array -> Importance.result -> t
+
+val mean_theta : t -> Model.theta
+(** The weighted posterior mean parameter vector. *)

@@ -1,0 +1,38 @@
+let default_truth =
+  {
+    Model.log_a0 = Model.default_prior.Model.mu.Model.log_a0;
+    eaa_ev = 0.12;
+    alpha_v = 2.0;
+    n_t = 0.25;
+    log_sigma = Float.log 1e-3;
+  }
+
+let default_times = Physics.Numerics.logspace ~lo:1e3 ~hi:1e8 ~n:6
+let default_temps = [| 330.0; 365.0; 400.0 |]
+let default_vdds = [| 0.9; 1.0; 1.1 |]
+
+let generate ?(times = default_times) ?(temps = default_temps)
+    ?(vdds = default_vdds) ?(replicates = 1) ?(truth = default_truth) ~seed () =
+  assert (replicates >= 1);
+  assert (Array.length times > 0 && Array.length temps > 0 && Array.length vdds > 0);
+  let rng = Physics.Rng.create ~seed in
+  let sigma = Float.exp truth.Model.log_sigma in
+  let points = ref [] in
+  Array.iter
+    (fun time_s ->
+      Array.iter
+        (fun temp_k ->
+          Array.iter
+            (fun vdd_v ->
+              for _ = 1 to replicates do
+                let mu = Model.predict truth ~time_s ~temp_k ~vdd_v in
+                let dvth_v = Physics.Rng.gaussian rng ~mean:mu ~sigma in
+                points :=
+                  { Dataset.time_s; temp_k; vdd_v; dvth_v } :: !points
+              done)
+            vdds)
+        temps)
+    times;
+  match Dataset.v (Array.of_list (List.rev !points)) with
+  | Ok d -> d
+  | Error e -> failwith ("Calibrate.Synth.generate: " ^ e.Dataset.message)

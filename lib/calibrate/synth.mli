@@ -1,0 +1,30 @@
+(** Synthetic measurement generator: noisy JEP122H observations from known
+    ground-truth parameters, for tests, demos and `nbti_tool
+    gen-measurements`. *)
+
+val default_truth : Model.theta
+(** The repo's R–D anchors restated as JEP parameters: 46 mV after ten
+    years at 400 K / 1 V, E_aa = 0.12 eV, α = 2, n = 0.25, σ = 1 mV. *)
+
+val default_times : float array
+(** Six log-spaced stress times from 10³ s to 10⁸ s. *)
+
+val default_temps : float array
+(** 330, 365 and 400 K. *)
+
+val default_vdds : float array
+(** 0.9, 1.0 and 1.1 V. *)
+
+val generate :
+  ?times:float array ->
+  ?temps:float array ->
+  ?vdds:float array ->
+  ?replicates:int ->
+  ?truth:Model.theta ->
+  seed:int ->
+  unit ->
+  Dataset.t
+(** The full (times × temps × vdds) grid, [replicates] (default 1) noisy
+    observations per grid cell: truth prediction plus Gaussian noise of
+    [exp truth.log_sigma] volts, all streams derived from [seed].
+    Deterministic: equal arguments give bitwise-equal datasets. *)

@@ -49,3 +49,26 @@ val erf : float -> float
 val correlation : float array -> float array -> float
 (** Pearson correlation of two equal-length arrays (length >= 2). Returns 0
     when either variance is 0. *)
+
+val weighted_quantile : float array -> weights:float array -> q:float -> float
+(** [weighted_quantile xs ~weights ~q] with [q] in [0, 1]: the inverse of the
+    weighted empirical CDF, linearly interpolated between adjacent order
+    statistics. Weights must be non-negative with a positive sum; equal
+    weights reduce to [percentile xs ~p:(100 q)] up to interpolation
+    convention. Sorts a copy; inputs are not modified. *)
+
+val hdi : float array -> level:float -> float * float
+(** [hdi xs ~level] is the narrowest interval containing at least
+    [level] (in (0, 1]) of the samples — the highest-density interval for a
+    unimodal sample. Sorts a copy; ties broken toward the leftmost window. *)
+
+val autocorrelation : float array -> lag:int -> float
+(** Sample autocorrelation at [lag] (biased n-denominator estimator, the
+    standard choice for ESS). 1 at lag 0; 0 when the variance is 0 or
+    [lag >= length]. *)
+
+val ess : float array -> float
+(** Effective sample size of a correlated (e.g. MCMC) series via Geyer's
+    initial-positive-sequence truncation of the autocorrelation sum:
+    [n / (2 * sum of positive adjacent-pair rho sums - 1)], clamped to
+    [1, n]. Returns [n] for n < 4 or a constant series. *)

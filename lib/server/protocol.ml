@@ -60,8 +60,37 @@ type job =
       nbti_aware : bool;
     }
 
-type request = Single of job | Batch of job list | Health | Stats | Metrics
+type calibrate_spec = {
+  dataset : Calibrate.Dataset.t;
+  config : Calibrate.Engine.config;
+}
+
+type request =
+  | Single of job
+  | Batch of job list
+  | Calibrate of calibrate_spec
+  | Health
+  | Stats
+  | Metrics
+
 type envelope = { id : string option; timeout_ms : int option; request : request }
+
+(* The single authoritative operation table: the decoder's unknown-op
+   error and the [stats] endpoint both render it, so adding a wire op
+   here is what makes it show up in both places. *)
+let ops =
+  [
+    ("analyze", "full aging analysis of one circuit");
+    ("ivc_search", "input-vector-control co-optimization search");
+    ("sleep_sizing", "sleep-transistor insertion and sizing");
+    ("calibrate", "Bayesian NBTI parameter calibration from measurements");
+    ("batch", "several analyze/ivc_search/sleep_sizing jobs in one request");
+    ("health", "liveness probe");
+    ("stats", "service statistics snapshot");
+    ("metrics", "Prometheus text-exposition snapshot");
+  ]
+
+let supported_ops = List.map fst ops
 
 type error_code =
   | Parse_error
@@ -98,9 +127,31 @@ let retryable_code_string s =
 
 (* --- Decoding --- *)
 
+type decode_error = {
+  code : error_code;
+  message : string;
+  details : (string * Json.t) list;
+}
+
 exception Bad of string
+exception Bad_structured of decode_error
 
 let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let unknown_op op =
+  raise
+    (Bad_structured
+       {
+         code = Invalid_request;
+         message =
+           Printf.sprintf "unknown op %S; supported ops: %s" op
+             (String.concat ", " supported_ops);
+         details =
+           [
+             ( "supported_ops",
+               Json.List (List.map (fun o -> Json.String o) supported_ops) );
+           ];
+       })
 
 let circuit_of_json = function
   | Json.String name -> Named name
@@ -211,9 +262,102 @@ let job_of_json o =
       match Json.member_opt "nbti_aware" o with Some v -> Json.to_bool v | None -> true
     in
     Sleep_sizing { circuit = circuit (); flow = flow_of_envelope o; style; beta; vth_st; nbti_aware }
-  | op -> bad "unknown op %S" op
+  | op -> unknown_op op
+
+(* --- Calibrate decoding --- *)
+
+let invalid_dataset (e : Calibrate.Dataset.error) =
+  raise
+    (Bad_structured
+       {
+         code = Invalid_request;
+         message = "dataset: " ^ e.Calibrate.Dataset.message;
+         details =
+           (match e.Calibrate.Dataset.line with
+           | Some l -> [ ("line", Json.Int l) ]
+           | None -> []);
+       })
+
+let point_of_json = function
+  | Json.Assoc _ as o ->
+    let f key =
+      match Json.member_opt key o with
+      | Some v -> Json.to_float v
+      | None -> bad "measurement missing %S" key
+    in
+    {
+      Calibrate.Dataset.time_s = f "time_s";
+      temp_k = f "temp_k";
+      vdd_v = f "vdd_v";
+      dvth_v = f "dvth_v";
+    }
+  | _ -> bad "measurements must be objects with time_s/temp_k/vdd_v/dvth_v"
+
+let calibrate_of_json o =
+  let dataset =
+    match (Json.member_opt "measurements" o, Json.member_opt "csv" o) with
+    | Some (Json.List items), None -> begin
+      match Calibrate.Dataset.v (Array.of_list (List.map point_of_json items)) with
+      | Ok d -> d
+      | Error e -> invalid_dataset e
+    end
+    | Some _, None -> bad "measurements must be an array"
+    | None, Some (Json.String csv) -> begin
+      match Calibrate.Dataset.of_csv csv with
+      | Ok d -> d
+      | Error e -> invalid_dataset e
+    end
+    | None, Some _ -> bad "csv must be a string"
+    | Some _, Some _ -> bad "provide either \"measurements\" or \"csv\", not both"
+    | None, None -> bad "calibrate requires \"measurements\" or \"csv\""
+  in
+  let d = Calibrate.Engine.default_config in
+  let iopt key dflt =
+    match Json.member_opt key o with Some v -> Json.to_int v | None -> dflt
+  in
+  let fopt key dflt =
+    match Json.member_opt key o with Some v -> Json.to_float v | None -> dflt
+  in
+  let sampler =
+    match Json.member_opt "sampler" o with
+    | None | Some (Json.String "mh") -> Calibrate.Engine.Mh
+    | Some (Json.String "importance") ->
+      Calibrate.Engine.Importance { particles = iopt "particles" 2000 }
+    | Some _ -> bad "sampler must be \"mh\" or \"importance\""
+  in
+  let predict =
+    match Json.member_opt "predict" o with
+    | None -> d.Calibrate.Engine.predict
+    | Some (Json.List pts) ->
+      Array.of_list
+        (List.map
+           (function
+             | Json.List [ t; temp; v ] ->
+               (Json.to_float t, Json.to_float temp, Json.to_float v)
+             | _ -> bad "predict entries must be [time_s, temp_k, vdd_v] triples")
+           pts)
+    | Some _ -> bad "predict must be an array of [time_s, temp_k, vdd_v] triples"
+  in
+  let config =
+    {
+      d with
+      Calibrate.Engine.sampler;
+      n_chains = iopt "chains" d.Calibrate.Engine.n_chains;
+      warmup = iopt "warmup" d.Calibrate.Engine.warmup;
+      samples = iopt "samples" d.Calibrate.Engine.samples;
+      thin = iopt "thin" d.Calibrate.Engine.thin;
+      seed = iopt "seed" d.Calibrate.Engine.seed;
+      ci_level = fopt "ci_level" d.Calibrate.Engine.ci_level;
+      predict;
+    }
+  in
+  (match Calibrate.Engine.validate config with
+  | Ok () -> ()
+  | Error m -> bad "%s" m);
+  { dataset; config }
 
 let envelope_of_json json =
+  let fail code message = Error { code; message; details = [] } in
   try
     match json with
     | Json.Assoc _ -> begin
@@ -239,6 +383,8 @@ let envelope_of_json json =
         | Some (Json.String "health") -> Ok { id; timeout_ms; request = Health }
         | Some (Json.String "stats") -> Ok { id; timeout_ms; request = Stats }
         | Some (Json.String "metrics") -> Ok { id; timeout_ms; request = Metrics }
+        | Some (Json.String "calibrate") ->
+          Ok { id; timeout_ms; request = Calibrate (calibrate_of_json json) }
         | Some (Json.String "batch") ->
           let jobs =
             match Json.member_opt "jobs" json with
@@ -248,16 +394,18 @@ let envelope_of_json json =
           if jobs = [] then bad "batch with no jobs";
           Ok { id; timeout_ms; request = Batch jobs }
         | Some (Json.String _) -> Ok { id; timeout_ms; request = Single (job_of_json json) }
-        | _ -> Error (Bad_request, "missing op")
+        | _ -> fail Bad_request "missing op"
       end
       | Some (Json.Int v) ->
-        Error (Unsupported_version, Printf.sprintf "protocol version %d not supported (want %d)" v version)
-      | _ -> Error (Unsupported_version, "missing protocol version field \"v\"")
+        fail Unsupported_version
+          (Printf.sprintf "protocol version %d not supported (want %d)" v version)
+      | _ -> fail Unsupported_version "missing protocol version field \"v\""
     end
-    | _ -> Error (Bad_request, "request must be a JSON object")
+    | _ -> fail Bad_request "request must be a JSON object"
   with
-  | Bad m -> Error (Bad_request, m)
-  | Json.Type_error m -> Error (Bad_request, m)
+  | Bad m -> fail Bad_request m
+  | Bad_structured e -> Error e
+  | Json.Type_error m -> fail Bad_request m
 
 (* --- Encoding (client side) --- *)
 
@@ -322,6 +470,42 @@ let job_fields = function
     ]
     @ (match vth_st with None -> [] | Some v -> [ ("vth_st", Json.Float v) ])
 
+let calibrate_fields { dataset; config } =
+  let sampler_fields =
+    match config.Calibrate.Engine.sampler with
+    | Calibrate.Engine.Mh -> [ ("sampler", Json.String "mh") ]
+    | Calibrate.Engine.Importance { particles } ->
+      [ ("sampler", Json.String "importance"); ("particles", Json.Int particles) ]
+  in
+  let predict_field =
+    match config.Calibrate.Engine.predict with
+    | [||] -> []
+    | pts ->
+      [
+        ( "predict",
+          Json.List
+            (Array.to_list
+               (Array.map
+                  (fun (t, temp, v) ->
+                    Json.List [ Json.Float t; Json.Float temp; Json.Float v ])
+                  pts)) );
+      ]
+  in
+  [
+    ("op", Json.String "calibrate");
+    ("csv", Json.String (Calibrate.Dataset.to_csv dataset));
+  ]
+  @ sampler_fields
+  @ [
+      ("chains", Json.Int config.Calibrate.Engine.n_chains);
+      ("warmup", Json.Int config.Calibrate.Engine.warmup);
+      ("samples", Json.Int config.Calibrate.Engine.samples);
+      ("thin", Json.Int config.Calibrate.Engine.thin);
+      ("seed", Json.Int config.Calibrate.Engine.seed);
+      ("ci_level", Json.Float config.Calibrate.Engine.ci_level);
+    ]
+  @ predict_field
+
 let json_of_envelope { id; timeout_ms; request } =
   let id_field = match id with None -> [] | Some id -> [ ("id", Json.String id) ] in
   let timeout_field =
@@ -334,6 +518,7 @@ let json_of_envelope { id; timeout_ms; request } =
   | Stats -> Json.Assoc (base @ [ ("op", Json.String "stats") ])
   | Metrics -> Json.Assoc (base @ [ ("op", Json.String "metrics") ])
   | Single job -> Json.Assoc (base @ job_fields job)
+  | Calibrate spec -> Json.Assoc (base @ calibrate_fields spec)
   | Batch jobs ->
     Json.Assoc
       (base
@@ -459,7 +644,91 @@ let json_of_st (r : Sleep.St_insertion.result) =
       ("st_dvth_v", Json.Float r.Sleep.St_insertion.st_dvth);
     ]
 
+let json_of_posterior ~dataset (p : Calibrate.Posterior.t) =
+  let param (s : Calibrate.Posterior.param_summary) =
+    ( s.Calibrate.Posterior.name,
+      Json.Assoc
+        ([
+           ("mean", Json.Float s.Calibrate.Posterior.mean);
+           ("sd", Json.Float s.Calibrate.Posterior.sd);
+           ( "ci",
+             Json.List
+               [
+                 Json.Float s.Calibrate.Posterior.ci_lo;
+                 Json.Float s.Calibrate.Posterior.ci_hi;
+               ] );
+           ("ess", Json.Float s.Calibrate.Posterior.ess);
+         ]
+        @
+        match s.Calibrate.Posterior.rhat with
+        | Some r -> [ ("rhat", Json.Float r) ]
+        | None -> []) )
+  in
+  let predictive (pp : Calibrate.Posterior.predictive_point) =
+    Json.Assoc
+      [
+        ("time_s", Json.Float pp.Calibrate.Posterior.time_s);
+        ("temp_k", Json.Float pp.Calibrate.Posterior.temp_k);
+        ("vdd_v", Json.Float pp.Calibrate.Posterior.vdd_v);
+        ("mean", Json.Float pp.Calibrate.Posterior.mean);
+        ( "ci",
+          Json.List
+            [
+              Json.Float pp.Calibrate.Posterior.ci_lo;
+              Json.Float pp.Calibrate.Posterior.ci_hi;
+            ] );
+      ]
+  in
+  let rd = Calibrate.Model.to_tech_params (Calibrate.Posterior.mean_theta p) in
+  Json.Assoc
+    ([
+       ("kind", Json.String "calibration");
+       ("sampler", Json.String p.Calibrate.Posterior.sampler);
+       ("n_chains", Json.Int p.Calibrate.Posterior.n_chains);
+       ("samples_per_chain", Json.Int p.Calibrate.Posterior.samples_per_chain);
+       ("ci_level", Json.Float p.Calibrate.Posterior.ci_level);
+       ( "dataset",
+         Json.Assoc
+           [
+             ("points", Json.Int (Calibrate.Dataset.length dataset));
+             ("digest", Json.String (Calibrate.Dataset.digest dataset));
+           ] );
+       ( "params",
+         Json.Assoc (Array.to_list (Array.map param p.Calibrate.Posterior.params))
+       );
+       ( "accept_rates",
+         Json.List
+           (Array.to_list
+              (Array.map (fun a -> Json.Float a) p.Calibrate.Posterior.accept_rates))
+       );
+       ( "predictive",
+         Json.List
+           (Array.to_list (Array.map predictive p.Calibrate.Posterior.predictive))
+       );
+       ( "rd_params",
+         Json.Assoc
+           [
+             ("kv_ref", Json.Float rd.Nbti.Rd_model.kv_ref);
+             ("ref_temp_k", Json.Float rd.Nbti.Rd_model.ref_temp_k);
+             ("ref_overdrive", Json.Float rd.Nbti.Rd_model.ref_overdrive);
+             ("ref_vth0", Json.Float rd.Nbti.Rd_model.ref_vth0);
+             ("ea_ev", Json.Float rd.Nbti.Rd_model.ea_ev);
+             ("e0_field", Json.Float rd.Nbti.Rd_model.e0_field);
+             ("time_exponent", Json.Float rd.Nbti.Rd_model.time_exponent);
+             ("permanent_fraction", Json.Float rd.Nbti.Rd_model.permanent_fraction);
+           ] );
+     ]
+    @
+    match p.Calibrate.Posterior.weight_ess with
+    | Some e -> [ ("weight_ess", Json.Float e) ]
+    | None -> [])
+
 (* --- Cache keys --- *)
+
+let calibrate_cache_key { dataset; config } =
+  Printf.sprintf "calibrate|%s|%s"
+    (Calibrate.Dataset.digest dataset)
+    (Calibrate.Engine.fingerprint config)
 
 let job_cache_key job ~circuit_digest =
   let flow_fp flow = Flow.Platform.config_fingerprint (platform_config flow) in

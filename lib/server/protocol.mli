@@ -4,10 +4,11 @@
     one response object per line out. Every request carries the protocol
     version under ["v"], an optional correlation ["id"] that is echoed
     in the response, and an optional ["timeout_ms"] compute budget.
-    Five operations mirror the platform's entry points
-    ([analyze], [ivc_search], [sleep_sizing], plus [batch] over them) and
-    three are introspective ([health], [stats], and [metrics], which
-    returns a Prometheus text-exposition snapshot).
+    The operations (see {!ops} for the authoritative table) mirror the
+    platform's entry points ([analyze], [ivc_search], [sleep_sizing],
+    plus [batch] over them), the long-running [calibrate] inference
+    workload, and three introspective ops ([health], [stats], and
+    [metrics], which returns a Prometheus text-exposition snapshot).
 
     Request shapes (fields marked ? are optional and default):
 
@@ -26,6 +27,12 @@
      "style"?:"footer"|"header"|"both", "beta"?:0.03,
      "vth_st"?:0.3, "nbti_aware"?:true}
     {"v":1, "op":"batch", "jobs":[{"op":"analyze",...}, ...]}
+    {"v":1, "op":"calibrate",
+     "measurements":[{"time_s":3.1e7,"temp_k":400,"vdd_v":1.0,
+                      "dvth_v":0.031}, ...] | "csv":"time_s,temp_k,...",
+     "sampler"?:"mh"|"importance", "particles"?:2000, "chains"?:4,
+     "warmup"?:1000, "samples"?:1000, "thin"?:1, "seed"?:42,
+     "ci_level"?:0.95, "predict"?:[[3.1e8,400,1.0], ...]}
     {"v":1, "op":"health"}
     {"v":1, "op":"stats"}
     {"v":1, "op":"metrics"}
@@ -80,7 +87,34 @@ type job =
       nbti_aware : bool;
     }
 
-type request = Single of job | Batch of job list | Health | Stats | Metrics
+type calibrate_spec = {
+  dataset : Calibrate.Dataset.t;
+  config : Calibrate.Engine.config;
+}
+(** The [calibrate] wire op: measurements arrive inline (a
+    ["measurements"] array of point objects or a ["csv"] string in the
+    {!Calibrate.Dataset} column order), sampler knobs as
+    ["sampler"]("mh"|"importance"), ["particles"], ["chains"],
+    ["warmup"], ["samples"], ["thin"], ["seed"], ["ci_level"] and
+    ["predict"] ([[time_s, temp_k, vdd_v], ...] triples). The prior is
+    the server's {!Calibrate.Model.default_prior}. *)
+
+type request =
+  | Single of job
+  | Batch of job list
+  | Calibrate of calibrate_spec
+  | Health
+  | Stats
+  | Metrics
+
+val ops : (string * string) list
+(** The authoritative wire-operation table, [(name, description)]: the
+    decoder's unknown-op [invalid_request] details and the [stats]
+    endpoint's ["ops"] section are both rendered from it, so a new op
+    registered here appears in both automatically. *)
+
+val supported_ops : string list
+(** [List.map fst ops]. *)
 
 type envelope = { id : string option; timeout_ms : int option; request : request }
 (** [timeout_ms] is the request's compute budget: the server converts it
@@ -114,7 +148,15 @@ val error_code_retryable : error_code -> bool
 val retryable_code_string : string -> bool
 (** {!error_code_retryable} on the wire spelling (client side). *)
 
-val envelope_of_json : Json.t -> (envelope, error_code * string) result
+type decode_error = {
+  code : error_code;
+  message : string;
+  details : (string * Json.t) list;
+      (** extra error-object fields, e.g. ["supported_ops"] on an
+          unknown op or ["line"] on a positioned CSV error *)
+}
+
+val envelope_of_json : Json.t -> (envelope, decode_error) result
 val json_of_envelope : envelope -> Json.t
 (** Client-side encoder; [envelope_of_json (json_of_envelope e)] gives
     back [e] up to defaulted fields being materialized. *)
@@ -147,6 +189,13 @@ val analysis_of_json : Json.t -> Flow.Platform.analysis
 val json_of_ivc : Ivc.Co_opt.result -> Ivc.Mlv.search_stats -> Json.t
 val json_of_st : Sleep.St_insertion.result -> Json.t
 
+val json_of_posterior : dataset:Calibrate.Dataset.t -> Calibrate.Posterior.t -> Json.t
+(** The [calibrate] result payload: per-parameter posterior summaries
+    (mean, sd, credible interval, R̂, ESS), per-chain acceptance rates,
+    posterior-predictive degradation intervals, the dataset's size and
+    digest, and the posterior-mean R–D parameter bridge under
+    ["rd_params"] (feedable to [analyze]-style configs). *)
+
 (** {1 Cache keys} *)
 
 val job_cache_key : job -> circuit_digest:string -> string
@@ -154,3 +203,8 @@ val job_cache_key : job -> circuit_digest:string -> string
     result-relevant parameter (config fingerprint included), with the
     circuit replaced by its {!Circuit.Netlist.digest}. Jobs with equal
     keys compute identical results. *)
+
+val calibrate_cache_key : calibrate_spec -> string
+(** [calibrate|<dataset digest>|<engine config fingerprint>] — equal keys
+    compute bitwise-identical posteriors (the engine is deterministic in
+    its seed at any domain count). *)

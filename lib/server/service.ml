@@ -359,11 +359,37 @@ let run_job t ~budget job =
   | Json.Assoc fields -> Json.Assoc (fields @ [ ("cached", Json.Bool hit) ])
   | other -> other
 
+(* Calibration runs mirror run_job's economics: admission guards only
+   the cache-miss compute path, the budget is polled inside every
+   sampler chain (Mh.poll_interval) and before every pool chunk claim,
+   and the posterior is cached by dataset digest + config fingerprint —
+   legitimate because the engine is deterministic in its seed. *)
+let run_calibrate t ~budget (spec : Protocol.calibrate_spec) =
+  let key = Protocol.calibrate_cache_key spec in
+  let compute () =
+    admit t;
+    Fun.protect
+      ~finally:(fun () -> release t)
+      (fun () ->
+        compute_faults t;
+        Parallel.Budget.check budget;
+        let posterior =
+          Calibrate.Engine.run ~pool:t.pool ~budget
+            spec.Protocol.config spec.Protocol.dataset
+        in
+        Protocol.json_of_posterior ~dataset:spec.Protocol.dataset posterior)
+  in
+  let payload, hit = Cache.find_or_add t.results key compute in
+  match payload with
+  | Json.Assoc fields -> Json.Assoc (fields @ [ ("cached", Json.Bool hit) ])
+  | other -> other
+
 let endpoint_name = function
   | Protocol.Single (Protocol.Analyze _) -> "analyze"
   | Protocol.Single (Protocol.Ivc_search _) -> "ivc_search"
   | Protocol.Single (Protocol.Sleep_sizing _) -> "sleep_sizing"
   | Protocol.Batch _ -> "batch"
+  | Protocol.Calibrate _ -> "calibrate"
   | Protocol.Health -> "health"
   | Protocol.Stats -> "stats"
   | Protocol.Metrics -> "metrics"
@@ -418,6 +444,10 @@ let stats_result t =
       ("uptime_s", Json.Float (uptime_s t));
       ("protocol_version", Json.Int Protocol.version);
       ("build", build_json);
+      (* Rendered from Protocol.ops — the same table the decoder's
+         unknown-op error lists, so the two can never drift apart. *)
+      ( "ops",
+        Json.Assoc (List.map (fun (name, desc) -> (name, Json.String desc)) Protocol.ops) );
       ("endpoints", Metrics.to_json t.metrics);
       ("counters", Metrics.counters_json t.metrics);
       ( "admission",
@@ -509,10 +539,11 @@ let fresh_cid t = function
 
 let handle t request_json =
   match Protocol.envelope_of_json request_json with
-  | Error (code, message) ->
+  | Error { Protocol.code; message; details } ->
+    if code = Protocol.Invalid_request then Metrics.incr_counter t.metrics "invalid_requests";
     let id = request_id request_json in
     observed t ~cid:(fresh_cid t id) ~endpoint:"invalid" (fun () ->
-        Protocol.error_response ~id code message)
+        Protocol.error_response ~id ~details code message)
   | Ok { id; timeout_ms; request } ->
     let budget =
       match (timeout_ms, t.limits.default_timeout_ms) with
@@ -526,6 +557,7 @@ let handle t request_json =
       | Protocol.Stats -> Protocol.ok_response ~id (stats_result t)
       | Protocol.Metrics -> Protocol.ok_response ~id (metrics_result t)
       | Protocol.Single job -> Protocol.ok_response ~id (run_job t ~budget job)
+      | Protocol.Calibrate spec -> Protocol.ok_response ~id (run_calibrate t ~budget spec)
       | Protocol.Batch jobs ->
         let n = List.length jobs in
         if n = 0 then invalid "empty batch";

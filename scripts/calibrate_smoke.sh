@@ -1,0 +1,105 @@
+#!/bin/sh
+# Calibration smoke: the full measurement-to-posterior loop, end to end.
+# gen-measurements writes a synthetic ground-truth CSV; the calibrate CLI
+# fits it and must report a finite posterior with the R-D bridge; the
+# same dataset then goes through a running daemon's calibrate wire op —
+# behind one injected truncated write, so the retrying client has to
+# ride a transport fault out — and the result must be served, cached on
+# repeat, and visible in stats.
+set -eu
+
+TOOL=${TOOL:-./_build/default/bin/nbti_tool.exe}
+SOCK=$(mktemp -u /tmp/nbti_cal.XXXXXX.sock)
+CSV=$(mktemp /tmp/nbti_cal.XXXXXX.csv)
+POST=$(mktemp /tmp/nbti_cal.XXXXXX.json)
+
+fail() {
+    echo "calibrate-smoke: FAIL: $1" >&2
+    exit 1
+}
+
+[ -x "$TOOL" ] || fail "$TOOL not built (run dune build first)"
+
+# 1. Synthesize a measurement campaign from known ground truth.
+"$TOOL" gen-measurements --seed 7 -o "$CSV" 2>/dev/null || fail "gen-measurements failed"
+grep -q '^time_s,temp_k,vdd_v,dvth_v$' "$CSV" || fail "CSV header missing"
+grep -q '^# truth:' "$CSV" || fail "ground-truth comment missing"
+
+# 2. Fit it offline with the CLI (short but convergent settings).
+"$TOOL" calibrate "$CSV" --chains 2 --warmup 500 --samples 400 --seed 42 \
+    --predict 3.1536e8,400,1.0 -o "$POST" 2>/dev/null || fail "calibrate CLI failed"
+case "$(cat "$POST")" in
+*'"kind":"calibration"'*) ;; *) fail "posterior JSON missing kind" ;;
+esac
+case "$(cat "$POST")" in
+*'"rd_params"'*) ;; *) fail "posterior JSON missing the R-D bridge" ;;
+esac
+case "$(cat "$POST")" in
+*'"predictive"'*) ;; *) fail "posterior JSON missing predictive points" ;;
+esac
+
+# 3. Serve with one injected truncated write: the first calibrate answer
+#    is cut mid-transport and the retrying client must recover.
+"$TOOL" serve -s "$SOCK" --faults 'write=truncate@1' &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$SOCK" "$CSV" "$POST"' EXIT
+
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && fail "server did not open $SOCK"
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+    sleep 0.1
+done
+
+# Embed the CSV into a calibrate request (JSON-escape the newlines).
+CSV_JSON=$(awk '{printf "%s\\n", $0}' "$CSV")
+REQ="{\"v\":1,\"id\":\"cal\",\"op\":\"calibrate\",\"csv\":\"$CSV_JSON\",\"chains\":2,\"warmup\":300,\"samples\":200}"
+
+ANSWER=$(printf '%s\n' "$REQ" | "$TOOL" request -s "$SOCK" --retries 4 --retry-seed 7 - 2>/dev/null) \
+    || fail "calibrate wire op failed despite retries"
+case "$ANSWER" in
+*'"ok":true'*) ;; *) fail "wire response not ok: $ANSWER" ;;
+esac
+case "$ANSWER" in
+*'"id":"cal"'*) ;; *) fail "id not echoed through the retry" ;;
+esac
+case "$ANSWER" in
+*'"params"'*) ;; *) fail "wire posterior missing params: $ANSWER" ;;
+esac
+# The truncated first answer was computed and cached before the write was
+# cut, so the retry is served from the cache — idempotent ops make the
+# retry free.
+case "$ANSWER" in
+*'"cached":true'*) ;; *) fail "retried calibration should hit the result cache" ;;
+esac
+kill -0 "$SERVER_PID" 2>/dev/null || fail "daemon died on the truncated write"
+
+# 4. The identical request again: served from the result cache.
+AGAIN=$(printf '%s\n' "$REQ" | "$TOOL" request -s "$SOCK" - 2>/dev/null) \
+    || fail "repeat calibrate request failed"
+case "$AGAIN" in
+*'"cached":true'*) ;; *) fail "repeat calibration not served from cache: $AGAIN" ;;
+esac
+
+# 5. Stats must list the op table and the calibrate endpoint's latency.
+STATS=$("$TOOL" request -s "$SOCK" '{"v":1,"op":"stats"}' 2>/dev/null) || fail "stats failed"
+case "$STATS" in
+*'"ops":'*'"calibrate"'*) ;; *) fail "stats ops table missing calibrate" ;;
+esac
+case "$STATS" in
+*'"endpoints":'*'"calibrate"'*) ;; *) fail "stats missing calibrate endpoint metrics" ;;
+esac
+
+# 6. An unknown op must advertise calibrate among the supported ops.
+UNKNOWN=$("$TOOL" request -s "$SOCK" '{"v":1,"op":"teleport"}' 2>/dev/null) \
+    && fail "unknown op should fail"
+case "$UNKNOWN" in
+*'"code":"invalid_request"'*'"supported_ops"'*'"calibrate"'*) ;;
+*) fail "unknown-op error does not list calibrate: $UNKNOWN" ;;
+esac
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero"
+
+echo "calibrate-smoke: OK (CSV -> posterior -> wire op with retry, cache hit, stats)"

@@ -108,7 +108,7 @@ let test_protocol_error_paths () =
   expect_code t "parse_error" "{\"v\":1,\"op\":";
   expect_code t "unsupported_version" "{\"op\":\"health\"}";
   expect_code t "unsupported_version" "{\"v\":99,\"op\":\"health\"}";
-  expect_code t "bad_request" "{\"v\":1,\"op\":\"teleport\"}";
+  expect_code t "invalid_request" "{\"v\":1,\"op\":\"teleport\"}";
   expect_code t "bad_request" "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"nope\"}";
   expect_code t "bad_request" "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c17\",\"timeout_ms\":-5}";
   expect_code t "bad_request" "{\"v\":1,\"op\":\"batch\",\"jobs\":[]}";

@@ -192,23 +192,23 @@ let test_protocol_roundtrip () =
       let json = Server.Json.of_string (Server.Json.to_string (json_of_envelope e)) in
       match envelope_of_json json with
       | Ok e' -> Alcotest.(check bool) "roundtrip" true (e = e')
-      | Error (_, m) -> Alcotest.fail m)
+      | Error { message = m; _ } -> Alcotest.fail m)
     jobs;
   let batch = { id = None; timeout_ms = None; request = Batch jobs } in
   (match envelope_of_json (json_of_envelope batch) with
   | Ok b -> Alcotest.(check bool) "batch roundtrip" true (b = batch)
-  | Error (_, m) -> Alcotest.fail m);
+  | Error { message = m; _ } -> Alcotest.fail m);
   List.iter
     (fun r ->
       match envelope_of_json (json_of_envelope { id = None; timeout_ms = None; request = r }) with
       | Ok e -> Alcotest.(check bool) "introspective roundtrip" true (e.request = r)
-      | Error (_, m) -> Alcotest.fail m)
+      | Error { message = m; _ } -> Alcotest.fail m)
     [ Health; Stats ]
 
 let expect_error code json =
   match Server.Protocol.envelope_of_json json with
   | Ok _ -> Alcotest.fail "expected an error"
-  | Error (c, _) ->
+  | Error { Server.Protocol.code = c; _ } ->
     Alcotest.(check string) "error code"
       (Server.Protocol.error_code_string code)
       (Server.Protocol.error_code_string c)
@@ -220,7 +220,8 @@ let test_protocol_versioning () =
   expect_error Server.Protocol.Unsupported_version
     (Assoc [ ("v", Int 99); ("op", String "health") ]);
   expect_error Server.Protocol.Bad_request (Assoc [ ("v", Int 1) ]);
-  expect_error Server.Protocol.Bad_request
+  (* unknown ops are structured invalid_request (with supported_ops) *)
+  expect_error Server.Protocol.Invalid_request
     (Assoc [ ("v", Int 1); ("op", String "teleport") ]);
   expect_error Server.Protocol.Bad_request
     (Assoc [ ("v", Int 1); ("op", String "analyze") ]);
