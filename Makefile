@@ -1,4 +1,4 @@
-.PHONY: all build test smoke chaos-smoke parallel-smoke obs-smoke calibrate-smoke scaling-gate bench-json bench-txt check clean
+.PHONY: all build test smoke chaos-smoke parallel-smoke obs-smoke calibrate-smoke scaling-gate incremental-gate bench-json bench-txt check clean
 
 all: build
 
@@ -49,12 +49,21 @@ calibrate-smoke: build
 scaling-gate: build
 	dune exec bench/main.exe -- --scaling-gate
 
+# Incremental re-analysis gate: single-PI-flip session re-analysis on
+# c7552 and the 10^4-gate DAG must be >= 10x faster than a full
+# compiled aging pass, and bit-identical to the full recompute at
+# 1/2/4 domains. Non-zero exit on any failure.
+incremental-gate: build
+	dune exec bench/main.exe -- --incremental-gate
+
 # Machine-readable benchmark record: Bechamel ns/run for every kernel,
 # 1/2/4-domain scaling of the parallel hot paths, compiled-core speedups
-# vs the PR3 boxed baselines, recommended_domains for this host, and the
-# tracing overhead of the analyze hot path (must stay under 3%).
+# vs the PR3 boxed baselines, the incremental single-PI-flip re-analysis
+# gate, GC pressure of the variation hot path, recommended_domains for
+# this host, and the tracing overhead of the analyze hot path (must stay
+# under 3%).
 bench-json: build
-	dune exec bench/main.exe -- --perf-json BENCH_PR7.json
+	dune exec bench/main.exe -- --perf-json BENCH_PR8.json
 
 # Human-readable benchmark transcripts (untracked; see .gitignore).
 bench-txt: build
@@ -63,7 +72,7 @@ bench-txt: build
 	dune exec bench/main.exe -- --extension > bench_extension_output.txt
 	@echo "wrote bench_perf_output.txt bench_ablation_output.txt bench_extension_output.txt"
 
-check: build test smoke chaos-smoke parallel-smoke obs-smoke calibrate-smoke scaling-gate
+check: build test smoke chaos-smoke parallel-smoke obs-smoke calibrate-smoke scaling-gate incremental-gate
 
 clean:
 	dune clean

@@ -9,11 +9,18 @@
    dune exec bench/main.exe -- --perf-json [PATH]
                                             -> suite + parallel scaling +
                                                compiled-core speedups +
-                                               tracing overhead as JSON
-                                               (default BENCH_PR6.json)
+                                               incremental re-analysis +
+                                               GC pressure + tracing
+                                               overhead as JSON
+                                               (default BENCH_PR8.json)
    dune exec bench/main.exe -- --scaling-gate
                                             -> just the parallel-scaling and
                                                compiled-speedup gates (fast;
+                                               non-zero exit on failure)
+   dune exec bench/main.exe -- --incremental-gate
+                                            -> just the single-PI-flip
+                                               re-analysis speedup and
+                                               bit-identity gates (fast;
                                                non-zero exit on failure)
    dune exec bench/main.exe -- --list       -> available experiment ids *)
 
@@ -43,9 +50,10 @@ let () =
   | [ "--perf" ] ->
     print_header ();
     Perf.run ()
-  | [ "--perf-json" ] -> Perf.run_json ~path:"BENCH_PR7.json"
+  | [ "--perf-json" ] -> Perf.run_json ~path:"BENCH_PR8.json"
   | [ "--perf-json"; path ] -> Perf.run_json ~path
   | [ "--scaling-gate" ] -> Perf.run_scaling_gate ()
+  | [ "--incremental-gate" ] -> Perf.run_incremental_gate ()
   | [ "--ablation" ] ->
     print_header ();
     List.iter run_entry Ablations.all

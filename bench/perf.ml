@@ -204,7 +204,7 @@ let run () =
     results;
   Format.printf "@."
 
-(* --- machine-readable output (BENCH_PR6.json) --- *)
+(* --- machine-readable output (BENCH_PR8.json) --- *)
 
 let ns_estimates () =
   let results = benchmark () in
@@ -505,6 +505,203 @@ let tracing_overhead () =
   let overhead_pct = (on_s -. off_s) /. Float.max 1e-12 off_s *. 100.0 in
   { off_s; on_s; overhead_pct; overhead_s = on_s -. off_s }
 
+(* --- PR8: GC pressure on the Monte-Carlo variation hot path --- *)
+
+type gc_pressure = { gc_samples : int; minor_words_per_sample : float }
+
+(* Gc.minor_words around the variation study at 1 domain: the pool runs
+   all work on the calling domain there (workers = domains - 1), so the
+   counter sees every allocation of the hot path. The measured run is
+   the exact acceptance workload — same seed, same sample count — so
+   the measurement cannot perturb any RNG stream; a warm-up run first
+   keeps lazy/cache initialization off the bill. *)
+let variation_gc_pressure () =
+  Parallel.Pool.with_pool ~domains:1 @@ fun pool ->
+  let net = Lazy.force c432 in
+  let sp = Lazy.force c432_sp in
+  let n_samples = bench_samples () in
+  let aging = Aging.Circuit_aging.default_config () in
+  let var_config = Variation.Process_var.default_config ~n_samples aging in
+  let run () =
+    ignore
+      (Variation.Process_var.run ~pool var_config net ~node_sp:sp
+         ~standby:Aging.Circuit_aging.Standby_all_stressed ~rng:(Physics.Rng.create ~seed:12))
+  in
+  run ();
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  run ();
+  let w1 = Gc.minor_words () in
+  { gc_samples = n_samples; minor_words_per_sample = (w1 -. w0) /. float_of_int n_samples }
+
+(* --- PR8: incremental single-PI-flip re-analysis gate --- *)
+
+type incremental_case = {
+  inc_circuit : string;
+  inc_gates : int;
+  full_pass_s : float;  (* one full compiled aging analysis, memo defeated *)
+  flip_s : float;  (* mean per single-PI-flip session re-analysis *)
+  inc_speedup : float;
+  inc_cone_frac : float;  (* mean visited cone as a fraction of the arena *)
+  inc_bit_identical : bool;  (* vs full recompute, at 1/2/4 domains *)
+}
+
+let net_name (net : Circuit.Netlist.t) = net.Circuit.Netlist.name
+
+(* The 10^4-gate generated DAG from the compiled-core acceptance suite. *)
+let dag10k =
+  lazy
+    (Circuit.Generators.random_dag
+       { Circuit.Generators.name = "dag10k"; n_pi = 64; n_po = 32; n_gates = 10_000; seed = 42 })
+
+let incremental_ctx_of net =
+  let config = Aging.Circuit_aging.default_config () in
+  let tables =
+    Leakage.Circuit_leakage.build_tables config.Aging.Circuit_aging.tech net ~temp_k:400.0
+  in
+  let node_sp =
+    Logic.Signal_prob.analytic net ~input_sp:(Logic.Signal_prob.uniform_inputs net 0.5)
+  in
+  let ctx =
+    Compiled.Incremental.Analysis.ctx (Compiled.Arena.get net)
+      ~currents:(Leakage.Circuit_leakage.node_currents tables net)
+      ~node_sp ~params:config.Aging.Circuit_aging.params ~tech:config.Aging.Circuit_aging.tech
+      ~schedule:config.Aging.Circuit_aging.schedule ~time:config.Aging.Circuit_aging.time ()
+  in
+  (ctx, tables, config, node_sp)
+
+(* One incremental case. [full_pass_s] is the per-call minimum of the
+   full compiled aging analysis over a rotation of 20 distinct standby
+   vectors — more than the 16-entry shape memo holds, so every call
+   recomputes every gate's duty, R-D shift and aged delay from scratch:
+   exactly what an edit-heavy caller pays without sessions. [flip_s] is
+   the mean cost of one single-PI-flip re-analysis (flip + cone
+   propagation + leakage/aged/max-dvth folds) in a resident session,
+   over rounds that flip each probed PI twice so every round ends where
+   it started; best round wins. Bit-identity is checked separately at
+   1/2/4 domains: the same edited vectors, pushed through per-chunk
+   sessions exactly as Ivc.Co_opt does, must reproduce the full
+   Circuit_aging.analyze + standby_leakage oracle bit-for-bit at every
+   domain count. *)
+let incremental_case net =
+  let name = net_name net in
+  let n_pi = Array.length (Circuit.Netlist.primary_inputs net) in
+  let ctx, tables, config, node_sp = incremental_ctx_of net in
+  let rng = Physics.Rng.create ~seed:88 in
+  let full_vectors =
+    Array.init 20 (fun _ -> Array.init n_pi (fun _ -> Physics.Rng.bool rng))
+  in
+  let full_pass_s = ref infinity in
+  for _round = 1 to 3 do
+    Array.iter
+      (fun v ->
+        let t0 = Unix.gettimeofday () in
+        ignore
+          (Aging.Circuit_aging.analyze config net ~node_sp
+             ~standby:(Aging.Circuit_aging.Standby_vector v) ());
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !full_pass_s then full_pass_s := dt)
+      full_vectors
+  done;
+  let s = Compiled.Incremental.Analysis.session ctx in
+  Compiled.Incremental.Analysis.set_vector s (Array.make n_pi false);
+  let flips = min n_pi 50 in
+  let flip_s = ref infinity in
+  for _round = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    for _pass = 1 to 2 do
+      for k = 0 to flips - 1 do
+        Compiled.Incremental.Analysis.flip_pi s k
+      done
+    done;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int (2 * flips) in
+    if dt < !flip_s then flip_s := dt
+  done;
+  let st = Compiled.Incremental.Analysis.stats s in
+  let inc_cone_frac =
+    Compiled.Incremental.cone_size st
+    /. float_of_int (Compiled.Incremental.Analysis.n_nodes s)
+  in
+  (* Bit-identity workload: a dozen standby vectors, each one flip from
+     the previous, evaluated through chunked sessions at each domain
+     count and against the full-pass oracle. *)
+  let rng = Physics.Rng.create ~seed:89 in
+  let cur = Array.make n_pi false in
+  let vectors =
+    Array.init 12 (fun _ ->
+        let k = Physics.Rng.int rng n_pi in
+        cur.(k) <- not cur.(k);
+        Array.copy cur)
+  in
+  let bits = Int64.bits_of_float in
+  let oracle =
+    Array.map
+      (fun v ->
+        let r =
+          Aging.Circuit_aging.analyze config net ~node_sp
+            ~standby:(Aging.Circuit_aging.Standby_vector v) ()
+        in
+        ( bits r.Aging.Circuit_aging.aged.Sta.Timing.max_delay,
+          bits r.Aging.Circuit_aging.degradation,
+          bits r.Aging.Circuit_aging.max_dvth,
+          bits (Leakage.Circuit_leakage.standby_leakage tables net ~vector:v) ))
+      vectors
+  in
+  let at_domains domains =
+    Parallel.Pool.with_pool ~domains @@ fun p ->
+    let n = Array.length vectors in
+    let out = Array.make n (0L, 0L, 0L, 0L) in
+    let chunk = max 1 ((n + Parallel.Pool.domains p - 1) / Parallel.Pool.domains p) in
+    Parallel.Pool.iter_ranges p ~chunk n (fun lo hi ->
+        let s = Compiled.Incremental.Analysis.session ctx in
+        for i = lo to hi - 1 do
+          Compiled.Incremental.Analysis.set_vector s vectors.(i);
+          out.(i) <-
+            ( bits (Compiled.Incremental.Analysis.aged_delay s),
+              bits (Compiled.Incremental.Analysis.degradation s),
+              bits (Compiled.Incremental.Analysis.max_dvth s),
+              bits (Compiled.Incremental.Analysis.leakage s) )
+        done);
+    out
+  in
+  let inc_bit_identical = List.for_all (fun d -> at_domains d = oracle) [ 1; 2; 4 ] in
+  {
+    inc_circuit = name;
+    inc_gates = Circuit.Netlist.n_gates net;
+    full_pass_s = !full_pass_s;
+    flip_s = !flip_s;
+    inc_speedup = !full_pass_s /. Float.max 1e-12 !flip_s;
+    inc_cone_frac;
+    inc_bit_identical;
+  }
+
+let incremental_cases () =
+  List.map incremental_case [ Circuit.Generators.by_name "c7552"; Lazy.force dag10k ]
+
+let check_incremental_gates cases =
+  let ok = ref true in
+  List.iter
+    (fun c ->
+      Format.printf
+        "  incremental %-8s (%d gates): full pass %8.3f ms, single-PI flip %8.1f us (x%.0f, \
+         cone %.2f%%), bit-identical at 1/2/4 domains: %b%s@."
+        c.inc_circuit c.inc_gates (c.full_pass_s *. 1e3) (c.flip_s *. 1e6) c.inc_speedup
+        (c.inc_cone_frac *. 100.0) c.inc_bit_identical
+        (if c.inc_speedup >= 10.0 && c.inc_bit_identical then "" else "  FAIL");
+      if c.inc_speedup < 10.0 then begin
+        Format.eprintf "BENCH FAILURE: incremental %s only x%.1f vs full pass (need >= 10x)@."
+          c.inc_circuit c.inc_speedup;
+        ok := false
+      end;
+      if not c.inc_bit_identical then begin
+        Format.eprintf
+          "BENCH FAILURE: incremental %s differs from full recompute across domain counts@."
+          c.inc_circuit;
+        ok := false
+      end)
+    cases;
+  !ok
+
 let add_json_string b s =
   Buffer.add_char b '"';
   String.iter
@@ -571,6 +768,10 @@ let run_json ~path =
   let speedups = speedups_vs_pr3 () in
   Format.printf "Calibration section: 4-chain posterior at 1/2/4 domains...@.";
   let cal_cases, cal_bit_identical = calibration_cases () in
+  Format.printf "Incremental section: single-PI-flip re-analysis on c7552 and dag10k...@.";
+  let inc_cases = incremental_cases () in
+  Format.printf "GC section: minor words per Monte-Carlo variation sample...@.";
+  let gc = variation_gc_pressure () in
   Format.printf "Tracing section: analyze hot path with collector off vs. on...@.";
   let tr = tracing_overhead () in
   let base =
@@ -579,7 +780,7 @@ let run_json ~path =
     | [] -> assert false
   in
   let b = Buffer.create 8192 in
-  Buffer.add_string b "{\n  \"schema\": \"nbti-bench/pr7\",\n";
+  Buffer.add_string b "{\n  \"schema\": \"nbti-bench/pr8\",\n";
   Buffer.add_string b (Printf.sprintf "  \"host_cores\": %d,\n" verdict.host_cores);
   Buffer.add_string b
     (Printf.sprintf "  \"recommended_domains\": %d,\n" verdict.measured_recommended_domains);
@@ -639,6 +840,25 @@ let run_json ~path =
             (if i = List.length cal_cases - 1 then "" else ",")))
      cal_cases);
   Buffer.add_string b "    ]\n  },\n";
+  Buffer.add_string b "  \"incremental\": {\n";
+  Buffer.add_string b
+    (Printf.sprintf "    \"enabled\": %b,\n    \"cases\": [\n" (Compiled.Incremental.enabled ()));
+  List.iteri
+    (fun i c ->
+      Buffer.add_string b "      { \"circuit\": ";
+      add_json_string b c.inc_circuit;
+      Buffer.add_string b
+        (Printf.sprintf
+           ", \"gates\": %d, \"full_pass_s\": %.9f, \"flip_s\": %.9f, \"speedup\": %.1f, \
+            \"cone_frac\": %.5f, \"bit_identical_at_1_2_4_domains\": %b }%s\n"
+           c.inc_gates c.full_pass_s c.flip_s c.inc_speedup c.inc_cone_frac c.inc_bit_identical
+           (if i = List.length inc_cases - 1 then "" else ",")))
+    inc_cases;
+  Buffer.add_string b "    ]\n  },\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"variation_gc\": { \"samples\": %d, \"minor_words_per_sample\": %.1f },\n"
+       gc.gc_samples gc.minor_words_per_sample);
   Buffer.add_string b "  \"tracing\": {\n";
   Buffer.add_string b
     (Printf.sprintf
@@ -666,6 +886,9 @@ let run_json ~path =
       false
     end
   in
+  let gates_ok = check_incremental_gates inc_cases && gates_ok in
+  Format.printf "  variation GC: %.0f minor words per sample (%d samples)@."
+    gc.minor_words_per_sample gc.gc_samples;
   Format.printf "  tracing: analyze %.3f ms off, %.3f ms on (%+.2f%%, %+.1f us)@."
     (tr.off_s *. 1e3) (tr.on_s *. 1e3) tr.overhead_pct (tr.overhead_s *. 1e6);
   if not gates_ok then exit 1;
@@ -689,3 +912,17 @@ let run_scaling_gate () =
   Format.printf "  results bit-identical across domain counts: %b@." bit_identical;
   if not (check_gates ~bit_identical ~verdict ~speedups) then exit 1;
   Format.printf "scaling gate: OK@."
+
+(* The fast subset for `make incremental-gate`: just the single-PI-flip
+   speedup and 1/2/4-domain bit-identity section; non-zero exit on any
+   failure. A deployment that disabled sessions via NBTI_INCREMENTAL is
+   caught here rather than silently benching the full-pass path. *)
+let run_incremental_gate () =
+  if not (Compiled.Incremental.enabled ()) then begin
+    Format.eprintf "BENCH FAILURE: incremental sessions disabled (NBTI_INCREMENTAL)@.";
+    exit 1
+  end;
+  Format.printf "Incremental gate: single-PI-flip re-analysis on c7552 and dag10k...@.";
+  let cases = incremental_cases () in
+  if not (check_incremental_gates cases) then exit 1;
+  Format.printf "incremental gate: OK@."

@@ -1090,10 +1090,18 @@ let serve_cmd =
        actually runs with, so an operator can spot a mis-sized pool
        (e.g. NBTI_JOBS from a stale deployment) at startup. *)
     let pool_domains = Parallel.Pool.domains (Parallel.Pool.default ()) in
+    (* Whether the edit-heavy request paths (IVC search, co-optimization,
+       gate sizing) run on resident incremental sessions or fall back to
+       full passes — an operator toggling NBTI_INCREMENTAL should see
+       the effect at startup, not infer it from latency. *)
+    Obs.Log.info
+      ~fields:[ ("enabled", Obs.Fields.Bool (Compiled.Incremental.enabled ())) ]
+      "serve: incremental sessions";
     (match
        (try
           match
-            List.find_opt Sys.file_exists [ "BENCH_PR7.json"; "BENCH_PR6.json" ]
+            List.find_opt Sys.file_exists
+              [ "BENCH_PR8.json"; "BENCH_PR7.json"; "BENCH_PR6.json" ]
           with
           | Some bench_file ->
             let ic = open_in_bin bench_file in

@@ -1,0 +1,930 @@
+(* Incremental cone-limited re-analysis over the compiled arena.
+
+   The optimization loops this repo cares about — MLV/IVC search,
+   NBTI-aware gate sizing, the future gate-merging pass — evaluate
+   thousands of candidates that each differ from the previous one by a
+   PI flip or a single-gate tweak, yet every evaluation used to re-run
+   logic, duty extraction, the R-D dvth chain and STA over the whole
+   circuit. A session keeps the last run's arrays resident (values,
+   per-gate leakage terms, per-stage duty pairs and threshold shifts,
+   aged gate delays and arrivals) and an edit re-evaluates only the
+   transitive-fanout cone of the change, in topological order, splicing
+   results back into the resident state.
+
+   Cone ordering. Node ids ARE the topological order (an [Arena]
+   invariant), so a binary min-heap of dirty node ids pops the cone in
+   dependency order without any precomputed level structure: a
+   processed node only ever pushes its fanouts, whose ids are strictly
+   larger than the current heap minimum, so every node processed sees
+   final fanin values and arrivals. Membership is deduplicated with
+   epoch-stamped mark arrays — nothing is cleared between edits.
+
+   Determinism / bit-identity. Two rules make every session read
+   bit-identical to a from-scratch pass:
+   - per-element recomputation calls the exact expressions of the full
+     pass ([Arena.eval_scalar]'s body, [Cell_nbti.worst_stage_duties],
+     [Nbti.Vth_shift.dvth], [Timing.aged_delay_into]), and a node's
+     outputs propagate to its fanouts only when the new bits differ
+     from the resident bits — unchanged bits leave the downstream
+     state untouched and therefore identical;
+   - order-dependent float *folds* (the leakage sum, the max-dvth fold,
+     the critical-output scan) are never updated in place: the per-term
+     arrays are resident and the fold re-runs over them in the full
+     pass's order after each edit. Re-folding is O(n) cheap float ops;
+     the expensive work (gate eval, duty extraction, pow/exp in the R-D
+     model, stage recursions) stays cone-limited.
+
+   Edits whose support is too large (a nearly-uncorrelated vector) fall
+   back to a full recompute into the same resident arrays — exactly the
+   code path a fresh session runs — so the state after any edit
+   sequence is a pure function of the last input. That is what the
+   edit->edit->revert digest tests pin down.
+
+   Ownership: a [ctx] is immutable and shareable across domains; a
+   [session] is single-owner mutable state (one per worker chunk in the
+   parallel searches — never shared between domains). *)
+
+let bits_eq a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+(* Global enable knob: NBTI_INCREMENTAL=0|false|off|no disables the
+   incremental paths everywhere (searches, co-optimization, sizing,
+   platform ownership), forcing the full-pass pipelines. [set_enabled]
+   overrides the environment for tests and benches. *)
+let env_enabled =
+  lazy
+    (match Sys.getenv_opt "NBTI_INCREMENTAL" with
+    | Some ("0" | "false" | "off" | "no") -> false
+    | _ -> true)
+
+let override : bool option ref = ref None
+let set_enabled b = override := b
+let enabled () = match !override with Some b -> b | None -> Lazy.force env_enabled
+
+(* --- Min-heap of node ids (pop ascending = topological order) --- *)
+
+module Heap = struct
+  type t = { mutable data : int array; mutable size : int }
+
+  let create n = { data = Array.make (max 16 n) 0; size = 0 }
+
+  let push h x =
+    if h.size = Array.length h.data then begin
+      let d = Array.make (2 * h.size) 0 in
+      Array.blit h.data 0 d 0 h.size;
+      h.data <- d
+    end;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    h.data.(!i) <- x;
+    while !i > 0 && h.data.((!i - 1) / 2) > h.data.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.data.(p) in
+      h.data.(p) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue = ref (h.size > 1) in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < h.size && h.data.(l) < h.data.(!m) then m := l;
+      if r < h.size && h.data.(r) < h.data.(!m) then m := r;
+      if !m = !i then continue := false
+      else begin
+        let tmp = h.data.(!m) in
+        h.data.(!m) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := !m
+      end
+    done;
+    top
+end
+
+(* --- Per-session statistics (the incr.* trace attributes) --- *)
+
+type stats = { mutable edits : int; mutable visited : int; mutable fallbacks : int }
+
+let fresh_stats () = { edits = 0; visited = 0; fallbacks = 0 }
+
+(* Average cone size per edit, and the fraction of per-node work an
+   edit reused from the resident state (1.0 = nothing revisited). *)
+let cone_size st = if st.edits = 0 then 0.0 else float_of_int st.visited /. float_of_int st.edits
+
+let reuse_frac st ~n_nodes =
+  if st.edits = 0 || n_nodes = 0 then 1.0
+  else 1.0 -. (cone_size st /. float_of_int n_nodes)
+
+let stats_args st ~n_nodes =
+  [
+    ("incr.edits", Obs.Fields.Int st.edits);
+    ("incr.fallbacks", Obs.Fields.Int st.fallbacks);
+    ("incr.cone_size", Obs.Fields.Float (cone_size st));
+    ("incr.reuse_frac", Obs.Fields.Float (reuse_frac st ~n_nodes));
+  ]
+
+let emit_stats name st ~n_nodes =
+  if Obs.Trace.enabled () then Obs.Trace.instant ~cat:"incr" ~args:(stats_args st ~n_nodes) name
+
+(* --- Shared cone scaffolding --- *)
+
+type cone = {
+  heap : Heap.t;
+  hmark : int array;  (* epoch when the node entered the heap this edit *)
+  vmark : int array;  (* epoch when the node was marked value-dirty *)
+  mutable epoch : int;
+}
+
+let make_cone n = { heap = Heap.create 64; hmark = Array.make n 0; vmark = Array.make n 0; epoch = 0 }
+
+(* Recompute one gate's little-endian fanin index and value — the body
+   of [Arena.eval_scalar] for a single node. *)
+let recompute_val (a : Arena.t) ~vals ~idxs i =
+  let b = a.Arena.fanin_off.(i) in
+  let k = a.Arena.fanin_off.(i + 1) - b in
+  let idx = ref 0 in
+  for j = 0 to k - 1 do
+    idx := !idx lor (vals.(a.Arena.fanin.(b + j)) lsl j)
+  done;
+  idxs.(i) <- !idx;
+  vals.(i) <-
+    (if k <= 6 then (a.Arena.mask.(i) lsr !idx) land 1
+     else if a.Arena.cells.(a.Arena.cell_of.(i)).Arena.tt.(!idx) then 1
+     else 0)
+
+(* Incremental edits pay O(cone); a vector differing in many PIs is
+   cheaper as one full sweep. Both sides are bit-identical, so the
+   threshold only trades time, never results. *)
+let fallback_threshold n_pi = max 4 (n_pi / 8)
+
+let count_flips ~inputs v =
+  let nflips = ref 0 in
+  for k = 0 to Array.length inputs - 1 do
+    if v.(k) <> inputs.(k) then incr nflips
+  done;
+  !nflips
+
+(* ================================================================== *)
+(* Leakage-only sessions: resident logic values + per-gate LUT terms.  *)
+(* ================================================================== *)
+
+module Leak = struct
+  type ctx = { a : Arena.t; currents : float array array }
+
+  let ctx a ~currents = { a; currents }
+
+  type session = {
+    c : ctx;
+    inputs : bool array;  (* per PI position, [Arena.pis] order *)
+    vals : int array;
+    idxs : int array;
+    terms : float array;  (* per node; 0.0 on PI rows, never summed *)
+    cone : cone;
+    mutable leakage : float;
+    st : stats;
+  }
+
+  (* The [Circuit_leakage.standby_leakage] fold: node order, gate terms
+     only (skipping the PI rows' 0.0 terms is exact — see
+     [Logic.standby_leakage]). *)
+  let fold_leakage s =
+    let a = s.c.a in
+    let acc = ref 0.0 in
+    for i = 0 to a.Arena.n_nodes - 1 do
+      if a.Arena.op.(i) <> Arena.op_pi then acc := !acc +. s.terms.(i)
+    done;
+    s.leakage <- !acc
+
+  let recompute_all s v =
+    if v != s.inputs then Array.blit v 0 s.inputs 0 (Array.length s.inputs);
+    Arena.eval_bool s.c.a ~inputs:s.inputs ~vals:s.vals ~idxs:s.idxs;
+    let a = s.c.a in
+    for i = 0 to a.Arena.n_nodes - 1 do
+      if a.Arena.op.(i) <> Arena.op_pi then s.terms.(i) <- s.c.currents.(i).(s.idxs.(i))
+    done;
+    fold_leakage s
+
+  let session c =
+    let n = c.a.Arena.n_nodes in
+    let s =
+      {
+        c;
+        inputs = Array.make (Array.length c.a.Arena.pis) false;
+        vals = Array.make n 0;
+        idxs = Array.make n 0;
+        terms = Array.make n 0.0;
+        cone = make_cone n;
+        leakage = 0.0;
+        st = fresh_stats ();
+      }
+    in
+    recompute_all s s.inputs;
+    s
+
+  let set_vector s v =
+    let a = s.c.a in
+    let pis = a.Arena.pis in
+    if Array.length v <> Array.length pis then invalid_arg "Incremental.Leak.set_vector: vector length";
+    s.st.edits <- s.st.edits + 1;
+    let nflips = count_flips ~inputs:s.inputs v in
+    if nflips = 0 then s.leakage
+    else if nflips > fallback_threshold (Array.length pis) then begin
+      s.st.fallbacks <- s.st.fallbacks + 1;
+      s.st.visited <- s.st.visited + a.Arena.n_nodes;
+      recompute_all s v;
+      s.leakage
+    end
+    else begin
+      let co = s.cone in
+      co.epoch <- co.epoch + 1;
+      let e = co.epoch in
+      for k = 0 to Array.length pis - 1 do
+        if v.(k) <> s.inputs.(k) then begin
+          s.inputs.(k) <- v.(k);
+          let p = pis.(k) in
+          s.vals.(p) <- (if v.(k) then 1 else 0);
+          for j = a.Arena.fanout_off.(p) to a.Arena.fanout_off.(p + 1) - 1 do
+            let g = a.Arena.fanout.(j) in
+            if co.hmark.(g) <> e then begin
+              co.hmark.(g) <- e;
+              Heap.push co.heap g
+            end
+          done
+        end
+      done;
+      while co.heap.Heap.size > 0 do
+        let i = Heap.pop co.heap in
+        s.st.visited <- s.st.visited + 1;
+        let old = s.vals.(i) in
+        recompute_val a ~vals:s.vals ~idxs:s.idxs i;
+        s.terms.(i) <- s.c.currents.(i).(s.idxs.(i));
+        if s.vals.(i) <> old then
+          for j = a.Arena.fanout_off.(i) to a.Arena.fanout_off.(i + 1) - 1 do
+            let g = a.Arena.fanout.(j) in
+            if co.hmark.(g) <> e then begin
+              co.hmark.(g) <- e;
+              Heap.push co.heap g
+            end
+          done
+      done;
+      fold_leakage s;
+      s.leakage
+    end
+
+  let leakage s = s.leakage
+  let stats s = s.st
+  let n_nodes s = s.c.a.Arena.n_nodes
+
+  (* Order-independent fingerprint of the resident state, for the
+     edit->edit->revert pinning tests. *)
+  let digest s =
+    let buf = Buffer.create 1024 in
+    Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) s.inputs;
+    Array.iter (fun v -> Buffer.add_char buf (Char.chr (v land 0xff))) s.vals;
+    Array.iter (fun v -> Buffer.add_string buf (string_of_int v)) s.idxs;
+    Array.iter (fun t -> Buffer.add_int64_le buf (Int64.bits_of_float t)) s.terms;
+    Buffer.add_int64_le buf (Int64.bits_of_float s.leakage);
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+end
+
+(* ================================================================== *)
+(* Full-analysis sessions: logic + leakage + duty/dvth + aged STA.     *)
+(* One session answers the IVC co-optimization query — leakage,        *)
+(* degradation, aged delay for a standby vector — from one PI edit.    *)
+(* ================================================================== *)
+
+module Analysis = struct
+  type ctx = {
+    a : Arena.t;
+    currents : float array array;
+    node_sp : float array;
+    params : Nbti.Rd_model.params;
+    tech : Device.Tech.t;
+    schedule : Nbti.Schedule.t;
+    time : float;
+    cond : Nbti.Vth_shift.device_cond;
+    tm : Timing.t;
+    fresh : Sta.Timing.result;
+  }
+
+  (* PMOS-only (no PBTI): the same shape [Circuit_aging.pmos_shape]
+     builds — cond = nominal PMOS, scale = 1. Callers with a
+     [pbti_scale] must stay on the full-pass path. *)
+  let ctx (a : Arena.t) ~currents ~node_sp ~params ~tech ~(schedule : Nbti.Schedule.t) ~time
+      ?po_load () =
+    let temp_k = schedule.Nbti.Schedule.t_ref in
+    let tm = Timing.get a ~tech ~temp_k ?po_load () in
+    {
+      a;
+      currents;
+      node_sp;
+      params;
+      tech;
+      schedule;
+      time;
+      cond = Nbti.Vth_shift.nominal_pmos tech;
+      tm;
+      fresh = Timing.fresh_result tm;
+    }
+
+  let fresh_result c = c.fresh
+
+  type session = {
+    c : ctx;
+    inputs : bool array;
+    vals : int array;
+    idxs : int array;
+    terms : float array;  (* per node *)
+    duty_a : float array;  (* per flat stage: active duty *)
+    duty_s : float array;  (* per flat stage: standby duty *)
+    dvth : float array;  (* per flat stage *)
+    gd : float array;  (* per node: aged gate delay *)
+    arr : float array;  (* per node: aged arrival *)
+    stage_scratch : float array;  (* per flat stage, [Timing.aged_delay_into] scratch *)
+    cone : cone;
+    mutable leakage : float;
+    mutable aged_max : float;
+    mutable max_dvth : float;
+    mutable dvth_dirty : bool;  (* some dvth bits changed since the last max fold *)
+    st : stats;
+  }
+
+  let fold_leakage s =
+    let a = s.c.a in
+    let acc = ref 0.0 in
+    for i = 0 to a.Arena.n_nodes - 1 do
+      if a.Arena.op.(i) <> Arena.op_pi then acc := !acc +. s.terms.(i)
+    done;
+    s.leakage <- !acc
+
+  (* The boxed critical-output scan (strict [>], first output wins ties)
+     over the resident arrivals. *)
+  let fold_aged s =
+    let outputs = s.c.a.Arena.outputs in
+    let best = ref outputs.(0) in
+    Array.iter (fun o -> if s.arr.(o) > s.arr.(!best) then best := o) outputs;
+    s.aged_max <- s.arr.(!best)
+
+  (* The shape builder's fold: Float.max over flat stages of gates in
+     node order, from 0.0 — see [Aging.build]. *)
+  let fold_max_dvth s =
+    if s.dvth_dirty then begin
+      let a = s.c.a in
+      let acc = ref 0.0 in
+      for i = 0 to a.Arena.n_nodes - 1 do
+        if a.Arena.op.(i) <> Arena.op_pi then
+          for flat = a.Arena.stage_off.(i) to a.Arena.stage_off.(i + 1) - 1 do
+            acc := Float.max !acc s.dvth.(flat)
+          done
+      done;
+      s.max_dvth <- !acc;
+      s.dvth_dirty <- false
+    end
+
+  (* Recompute one gate's per-stage duty pairs from the resident fanin
+     values (the standby vector) and [node_sp], and — only where the
+     pair's bits changed — the R-D threshold shift. Exactly the work
+     [Circuit_aging.duty_table] + [Aging.build] do for this gate.
+     Returns whether any dvth bits changed. *)
+  let recompute_gate_dvth s i =
+    let a = s.c.a in
+    let b = a.Arena.fanin_off.(i) in
+    let k = a.Arena.fanin_off.(i + 1) - b in
+    let cell = a.Arena.cells.(a.Arena.cell_of.(i)).Arena.cell in
+    let sp = Array.init k (fun j -> s.c.node_sp.(a.Arena.fanin.(b + j))) in
+    let standby_vector = Array.init k (fun j -> s.vals.(a.Arena.fanin.(b + j)) = 1) in
+    let sb = a.Arena.stage_off.(i) in
+    let n_st = a.Arena.stage_off.(i + 1) - sb in
+    let changed = ref false in
+    for stage = 0 to n_st - 1 do
+      let active, standby = Cell.Cell_nbti.worst_stage_duties cell ~sp ~standby_vector ~stage in
+      let flat = sb + stage in
+      if not (bits_eq active s.duty_a.(flat) && bits_eq standby s.duty_s.(flat)) then begin
+        s.duty_a.(flat) <- active;
+        s.duty_s.(flat) <- standby;
+        let sched = Nbti.Schedule.with_stress_duties s.c.schedule ~active ~standby in
+        let d = 1.0 *. Nbti.Vth_shift.dvth s.c.params s.c.tech s.c.cond ~schedule:sched ~time:s.c.time in
+        if not (bits_eq d s.dvth.(flat)) then begin
+          s.dvth.(flat) <- d;
+          s.dvth_dirty <- true;
+          changed := true
+        end
+      end
+    done;
+    !changed
+
+  let recompute_all s v =
+    if v != s.inputs then Array.blit v 0 s.inputs 0 (Array.length s.inputs);
+    let a = s.c.a in
+    Arena.eval_bool a ~inputs:s.inputs ~vals:s.vals ~idxs:s.idxs;
+    s.dvth_dirty <- true;
+    for i = 0 to a.Arena.n_nodes - 1 do
+      if a.Arena.op.(i) <> Arena.op_pi then begin
+        s.terms.(i) <- s.c.currents.(i).(s.idxs.(i));
+        ignore (recompute_gate_dvth s i);
+        let d =
+          Timing.aged_delay_into s.c.tm ~dvth:s.dvth ~dvth_n:None ~scratch:s.stage_scratch i
+        in
+        s.gd.(i) <- d;
+        s.arr.(i) <- Timing.fanin_arrival a s.arr i +. d
+      end
+    done;
+    fold_leakage s;
+    fold_aged s;
+    s.dvth_dirty <- true;
+    fold_max_dvth s
+
+  let session c =
+    let a = c.a in
+    let n = a.Arena.n_nodes in
+    let ns = a.Arena.n_stages in
+    let s =
+      {
+        c;
+        inputs = Array.make (Array.length a.Arena.pis) false;
+        vals = Array.make n 0;
+        idxs = Array.make n 0;
+        terms = Array.make n 0.0;
+        duty_a = Array.make ns nan;
+        duty_s = Array.make ns nan;
+        dvth = Array.make ns 0.0;
+        gd = Array.make n 0.0;
+        arr = Array.make n 0.0;
+        stage_scratch = Array.make ns 0.0;
+        cone = make_cone n;
+        leakage = 0.0;
+        aged_max = 0.0;
+        max_dvth = 0.0;
+        dvth_dirty = true;
+        st = fresh_stats ();
+      }
+    in
+    recompute_all s s.inputs;
+    s
+
+  let propagate s =
+    let a = s.c.a in
+    let co = s.cone in
+    let e = co.epoch in
+    while co.heap.Heap.size > 0 do
+      let i = Heap.pop co.heap in
+      s.st.visited <- s.st.visited + 1;
+      let delay_dirty = ref false in
+      if co.vmark.(i) = e then begin
+        let old = s.vals.(i) in
+        recompute_val a ~vals:s.vals ~idxs:s.idxs i;
+        s.terms.(i) <- s.c.currents.(i).(s.idxs.(i));
+        (* The duty pairs read the fanin values (the gate's standby
+           vector), so any fanin value change can move this gate's dvth
+           even if its own output value is unchanged. *)
+        if recompute_gate_dvth s i then delay_dirty := true;
+        if s.vals.(i) <> old then
+          for j = a.Arena.fanout_off.(i) to a.Arena.fanout_off.(i + 1) - 1 do
+            let g = a.Arena.fanout.(j) in
+            co.vmark.(g) <- e;
+            if co.hmark.(g) <> e then begin
+              co.hmark.(g) <- e;
+              Heap.push co.heap g
+            end
+          done
+      end;
+      if !delay_dirty then
+        s.gd.(i) <- Timing.aged_delay_into s.c.tm ~dvth:s.dvth ~dvth_n:None ~scratch:s.stage_scratch i;
+      let na = Timing.fanin_arrival a s.arr i +. s.gd.(i) in
+      if not (bits_eq na s.arr.(i)) then begin
+        s.arr.(i) <- na;
+        for j = a.Arena.fanout_off.(i) to a.Arena.fanout_off.(i + 1) - 1 do
+          let g = a.Arena.fanout.(j) in
+          if co.hmark.(g) <> e then begin
+            co.hmark.(g) <- e;
+            Heap.push co.heap g
+          end
+        done
+      end
+    done
+
+  let set_vector s v =
+    let a = s.c.a in
+    let pis = a.Arena.pis in
+    if Array.length v <> Array.length pis then
+      invalid_arg "Incremental.Analysis.set_vector: vector length";
+    s.st.edits <- s.st.edits + 1;
+    let nflips = count_flips ~inputs:s.inputs v in
+    if nflips = 0 then ()
+    else if nflips > fallback_threshold (Array.length pis) then begin
+      s.st.fallbacks <- s.st.fallbacks + 1;
+      s.st.visited <- s.st.visited + a.Arena.n_nodes;
+      recompute_all s v
+    end
+    else begin
+      let co = s.cone in
+      co.epoch <- co.epoch + 1;
+      let e = co.epoch in
+      for k = 0 to Array.length pis - 1 do
+        if v.(k) <> s.inputs.(k) then begin
+          s.inputs.(k) <- v.(k);
+          let p = pis.(k) in
+          s.vals.(p) <- (if v.(k) then 1 else 0);
+          for j = a.Arena.fanout_off.(p) to a.Arena.fanout_off.(p + 1) - 1 do
+            let g = a.Arena.fanout.(j) in
+            co.vmark.(g) <- e;
+            if co.hmark.(g) <> e then begin
+              co.hmark.(g) <- e;
+              Heap.push co.heap g
+            end
+          done
+        end
+      done;
+      propagate s;
+      fold_leakage s;
+      fold_aged s;
+      fold_max_dvth s
+    end
+
+  let flip_pi s k =
+    let v = Array.copy s.inputs in
+    v.(k) <- not v.(k);
+    set_vector s v
+
+  (* What-if duty override on one gate stage (the probe the gate-merging
+     pass needs): forces the duty pair, recomputes the R-D shift and
+     propagates the arrival cone. Valid until a later edit re-dirties
+     this gate's values, which recomputes duties from the resident
+     standby vector again. *)
+  let set_gate_duty s i ~stage ~active ~standby =
+    let a = s.c.a in
+    if a.Arena.op.(i) = Arena.op_pi then invalid_arg "Incremental.Analysis.set_gate_duty: not a gate";
+    let flat = a.Arena.stage_off.(i) + stage in
+    if flat >= a.Arena.stage_off.(i + 1) then invalid_arg "Incremental.Analysis.set_gate_duty: stage";
+    s.st.edits <- s.st.edits + 1;
+    s.duty_a.(flat) <- active;
+    s.duty_s.(flat) <- standby;
+    let sched = Nbti.Schedule.with_stress_duties s.c.schedule ~active ~standby in
+    let d = 1.0 *. Nbti.Vth_shift.dvth s.c.params s.c.tech s.c.cond ~schedule:sched ~time:s.c.time in
+    if not (bits_eq d s.dvth.(flat)) then begin
+      s.dvth.(flat) <- d;
+      s.dvth_dirty <- true
+    end;
+    s.gd.(i) <- Timing.aged_delay_into s.c.tm ~dvth:s.dvth ~dvth_n:None ~scratch:s.stage_scratch i;
+    let co = s.cone in
+    co.epoch <- co.epoch + 1;
+    let e = co.epoch in
+    co.hmark.(i) <- e;
+    Heap.push co.heap i;
+    propagate s;
+    fold_aged s;
+    fold_max_dvth s
+
+  let leakage s = s.leakage
+  let aged_delay s = s.aged_max
+  let max_dvth s = s.max_dvth
+
+  let degradation s =
+    let fresh = s.c.fresh.Sta.Timing.max_delay in
+    assert (fresh > 0.0);
+    (s.aged_max -. fresh) /. fresh
+
+  (* Materialized results on copies of the resident arrays, for oracle
+     comparison tests; the boxed assembly fold (critical output and
+     backtrack) is [Timing.result_of]. *)
+  let aged_result s =
+    Timing.result_of s.c.a ~arrival:(Array.copy s.arr) ~gate_delay:(Array.copy s.gd)
+
+  let stats s = s.st
+  let n_nodes s = s.c.a.Arena.n_nodes
+
+  let digest s =
+    let buf = Buffer.create 4096 in
+    Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) s.inputs;
+    Array.iter (fun v -> Buffer.add_char buf (Char.chr (v land 0xff))) s.vals;
+    let f x = Buffer.add_int64_le buf (Int64.bits_of_float x) in
+    Array.iter f s.terms;
+    Array.iter f s.duty_a;
+    Array.iter f s.duty_s;
+    Array.iter f s.dvth;
+    Array.iter f s.gd;
+    Array.iter f s.arr;
+    f s.leakage;
+    f s.aged_max;
+    f s.max_dvth;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+end
+
+(* ================================================================== *)
+(* Sizing sessions: frozen duties, editable per-gate drives/cells.     *)
+(* The gate-sizing loop upsizes a handful of critical-path gates per   *)
+(* iteration; only those gates' timing constants (and their fanin      *)
+(* drivers' loads) change, then the arrival cone re-propagates.        *)
+(* ================================================================== *)
+
+module Sizing = struct
+  type session = {
+    a : Arena.t;
+    tech : Device.Tech.t;
+    po_load : float;
+    vdd : float;
+    alpha : float;
+    vt_p : float;
+    vt_n : float;
+    od_up0 : float;
+    od_down0 : float;
+    pow_up0 : float;
+    pow_down0 : float;
+    dvth : float array;  (* per flat stage, frozen (duties survive scaling) *)
+    doff : float array;  (* per node: extra dvth probe offset (variation) *)
+    base_cells : Cell.Stdcell.t array;  (* per node; the unscaled cell *)
+    cells_now : Cell.Stdcell.t array;
+    drives : float array;
+    node_load : float array;
+    fanout_pin : int array;  (* pin index parallel to [Arena.fanout] *)
+    is_out : bool array;
+    lv : float array;  (* per flat stage, tracking [cells_now] *)
+    kw_up : float array;
+    kw_down : float array;
+    fall0 : float array;
+    gd : float array;
+    arr : float array;
+    stage_scratch : float array;
+    cone : cone;
+    mutable aged_max : float;
+    st : stats;
+  }
+
+  (* [Sta.Timing.loads] for one node, over the arena CSR fanout (same
+     (consumer, pin) order as [Netlist.fanout_pins]) and the session's
+     current cells. PIs never need their load (no stages). *)
+  let node_load_of s i =
+    let a = s.a in
+    let cap = ref 0.0 in
+    for j = a.Arena.fanout_off.(i) to a.Arena.fanout_off.(i + 1) - 1 do
+      let g = a.Arena.fanout.(j) in
+      cap := !cap +. Cell.Cell_delay.input_capacitance s.tech s.cells_now.(g) ~pin_index:s.fanout_pin.(j)
+    done;
+    let cap =
+      if a.Arena.op.(i) = Arena.op_pi then !cap
+      else begin
+        let cell = s.cells_now.(i) in
+        let stages = cell.Cell.Stdcell.stages in
+        let out = stages.(Array.length stages - 1) in
+        let width net =
+          List.fold_left
+            (fun acc (_, m) -> acc +. m.Device.Mosfet.wl)
+            0.0
+            (Cell.Network.devices net)
+        in
+        !cap
+        +. 0.5 *. s.tech.Device.Tech.cg_per_wl
+           *. (width out.Cell.Stdcell.pull_up +. width out.Cell.Stdcell.pull_down)
+      end
+    in
+    cap +. if s.is_out.(i) then s.po_load else 0.0
+
+  (* [Timing.build]'s per-stage constants for one gate, against the
+     session's current cell and load. *)
+  let recompute_constants s i =
+    let a = s.a in
+    let cell = s.cells_now.(i) in
+    let n_st = a.Arena.stage_off.(i + 1) - a.Arena.stage_off.(i) in
+    for st = 0 to n_st - 1 do
+      let flat = a.Arena.stage_off.(i) + st in
+      let sl = Cell.Cell_delay.stage_load s.tech cell ~stage:st ~external_load:s.node_load.(i) in
+      let stg = cell.Cell.Stdcell.stages.(st) in
+      let wl_up = Cell.Cell_delay.worst_strength stg.Cell.Stdcell.pull_up ~on_polarity:Device.Mosfet.P in
+      let wl_down =
+        Cell.Cell_delay.worst_strength stg.Cell.Stdcell.pull_down ~on_polarity:Device.Mosfet.N
+      in
+      s.lv.(flat) <- sl *. s.vdd;
+      s.kw_up.(flat) <- s.tech.Device.Tech.k_sat_p *. wl_up;
+      s.kw_down.(flat) <- s.tech.Device.Tech.k_sat_n *. wl_down;
+      s.fall0.(flat) <-
+        s.lv.(flat) /. (if s.od_down0 <= 0.0 then 0.0 else s.kw_down.(flat) *. s.pow_down0)
+    done
+
+  (* [Timing.aged_delay_into] over the session's constant arrays, with
+     the per-gate probe offset folded into the PMOS shift. *)
+  let aged_delay s i =
+    let a = s.a in
+    let b = a.Arena.stage_off.(i) in
+    let n_st = a.Arena.stage_off.(i + 1) - b in
+    let off = s.doff.(i) in
+    for st = b to b + n_st - 1 do
+      let dv = if off = 0.0 then s.dvth.(st) else s.dvth.(st) +. off in
+      let rise = s.lv.(st) /. Timing.drive s.kw_up.(st) (s.vdd -. (s.vt_p +. dv)) s.alpha in
+      let fall = s.fall0.(st) in
+      let input =
+        let acc = ref 0.0 in
+        for d = a.Arena.dep_off.(st) to a.Arena.dep_off.(st + 1) - 1 do
+          acc := Float.max !acc s.stage_scratch.(a.Arena.deps.(d))
+        done;
+        !acc
+      in
+      s.stage_scratch.(st) <- input +. Float.max rise fall
+    done;
+    s.stage_scratch.(b + n_st - 1)
+
+  let fold_aged s =
+    let outputs = s.a.Arena.outputs in
+    let best = ref outputs.(0) in
+    Array.iter (fun o -> if s.arr.(o) > s.arr.(!best) then best := o) outputs;
+    s.aged_max <- s.arr.(!best)
+
+  let full_timing_pass s =
+    let a = s.a in
+    for i = 0 to a.Arena.n_nodes - 1 do
+      if a.Arena.op.(i) <> Arena.op_pi then begin
+        let d = aged_delay s i in
+        s.gd.(i) <- d;
+        s.arr.(i) <- Timing.fanin_arrival a s.arr i +. d
+      end
+    done;
+    fold_aged s
+
+  (* [dvth] is the frozen per-flat-stage PMOS shift (duty pairs survive
+     scaling: the pin structure is unchanged — see Gate_sizing). *)
+  let session (a : Arena.t) ~tech ~temp_k ?po_load ~dvth () =
+    let po_load =
+      match po_load with
+      | Some l -> l
+      | None -> 4.0 *. Cell.Cell_delay.input_capacitance tech Cell.Stdcell.inv ~pin_index:0
+    in
+    let n = a.Arena.n_nodes in
+    let ns = a.Arena.n_stages in
+    let vdd = tech.Device.Tech.vdd in
+    let vt_p = Device.Tech.vth_at tech `P ~temp_k in
+    let vt_n = Device.Tech.vth_at tech `N ~temp_k in
+    let od_up0 = vdd -. vt_p and od_down0 = vdd -. vt_n in
+    let dummy = Cell.Stdcell.inv in
+    let base_cells =
+      Array.init n (fun i ->
+          if a.Arena.op.(i) = Arena.op_pi then dummy else a.Arena.cells.(a.Arena.cell_of.(i)).Arena.cell)
+    in
+    let fanout_pin = Array.make (Array.length a.Arena.fanout) 0 in
+    (let cursor = Array.copy a.Arena.fanout_off in
+     for i = 0 to n - 1 do
+       if a.Arena.op.(i) <> Arena.op_pi then
+         for j = a.Arena.fanin_off.(i) to a.Arena.fanin_off.(i + 1) - 1 do
+           let f = a.Arena.fanin.(j) in
+           fanout_pin.(cursor.(f)) <- j - a.Arena.fanin_off.(i);
+           cursor.(f) <- cursor.(f) + 1
+         done
+     done);
+    let is_out = Array.make n false in
+    Array.iter (fun o -> is_out.(o) <- true) a.Arena.outputs;
+    let s =
+      {
+        a;
+        tech;
+        po_load;
+        vdd;
+        alpha = tech.Device.Tech.alpha;
+        vt_p;
+        vt_n;
+        od_up0;
+        od_down0;
+        pow_up0 = Float.pow od_up0 tech.Device.Tech.alpha;
+        pow_down0 = Float.pow od_down0 tech.Device.Tech.alpha;
+        dvth = Array.copy dvth;
+        doff = Array.make n 0.0;
+        base_cells;
+        cells_now = Array.copy base_cells;
+        drives = Array.make n 1.0;
+        node_load = Array.make n 0.0;
+        fanout_pin;
+        is_out;
+        lv = Array.make ns 0.0;
+        kw_up = Array.make ns 0.0;
+        kw_down = Array.make ns 0.0;
+        fall0 = Array.make ns 0.0;
+        gd = Array.make n 0.0;
+        arr = Array.make n 0.0;
+        stage_scratch = Array.make ns 0.0;
+        cone = make_cone n;
+        aged_max = 0.0;
+        st = fresh_stats ();
+      }
+    in
+    for i = 0 to n - 1 do
+      s.node_load.(i) <- node_load_of s i
+    done;
+    for i = 0 to n - 1 do
+      if a.Arena.op.(i) <> Arena.op_pi then recompute_constants s i
+    done;
+    full_timing_pass s;
+    s
+
+  (* Arrival-only cone propagation from the given seed gates. *)
+  let propagate_arrivals s seeds =
+    let a = s.a in
+    let co = s.cone in
+    co.epoch <- co.epoch + 1;
+    let e = co.epoch in
+    List.iter
+      (fun i ->
+        if co.hmark.(i) <> e then begin
+          co.hmark.(i) <- e;
+          Heap.push co.heap i
+        end)
+      seeds;
+    while co.heap.Heap.size > 0 do
+      let i = Heap.pop co.heap in
+      s.st.visited <- s.st.visited + 1;
+      let na = Timing.fanin_arrival a s.arr i +. s.gd.(i) in
+      if not (bits_eq na s.arr.(i)) then begin
+        s.arr.(i) <- na;
+        for j = a.Arena.fanout_off.(i) to a.Arena.fanout_off.(i + 1) - 1 do
+          let g = a.Arena.fanout.(j) in
+          if co.hmark.(g) <> e then begin
+            co.hmark.(g) <- e;
+            Heap.push co.heap g
+          end
+        done
+      end
+    done;
+    fold_aged s
+
+  (* After gate [i]'s widths changed: its own load (drain cap) and its
+     fanin drivers' loads (input caps) move, so the stage constants of
+     [i] and of its gate fanins are rebuilt, then delays re-derived.
+     Returns the seed list for arrival propagation. *)
+  let refresh_after_cell_change s i =
+    let a = s.a in
+    let affected = ref [ i ] in
+    for j = a.Arena.fanin_off.(i) to a.Arena.fanin_off.(i + 1) - 1 do
+      let f = a.Arena.fanin.(j) in
+      if a.Arena.op.(f) <> Arena.op_pi && not (List.mem f !affected) then affected := f :: !affected
+    done;
+    List.iter (fun g -> s.node_load.(g) <- node_load_of s g) !affected;
+    let seeds = ref [] in
+    List.iter
+      (fun g ->
+        recompute_constants s g;
+        let d = aged_delay s g in
+        if not (bits_eq d s.gd.(g)) then begin
+          s.gd.(g) <- d;
+          seeds := g :: !seeds
+        end)
+      !affected;
+    !seeds
+
+  let set_drive s i drive =
+    let a = s.a in
+    if a.Arena.op.(i) = Arena.op_pi then invalid_arg "Incremental.Sizing.set_drive: not a gate";
+    if drive <= 0.0 then invalid_arg "Incremental.Sizing.set_drive: drive must be positive";
+    s.st.edits <- s.st.edits + 1;
+    s.drives.(i) <- drive;
+    (* [Gate_sizing.materialize] keeps the original cell at drive 1.0
+       and scales the *base* cell once otherwise — mirror it exactly. *)
+    s.cells_now.(i) <-
+      (if drive = 1.0 then s.base_cells.(i) else Cell.Stdcell.scaled s.base_cells.(i) ~drive);
+    propagate_arrivals s (refresh_after_cell_change s i)
+
+  (* Swap gate [i]'s cell. The arena's stage/dep structure is fixed, so
+     the replacement must match the old cell's pin count and stage DAG;
+     this is a timing-only session, so the caller is responsible for
+     the swap being function-compatible if it also tracks logic. *)
+  let set_cell s i cell =
+    let a = s.a in
+    if a.Arena.op.(i) = Arena.op_pi then invalid_arg "Incremental.Sizing.set_cell: not a gate";
+    let old = s.base_cells.(i) in
+    if cell.Cell.Stdcell.n_inputs <> old.Cell.Stdcell.n_inputs then
+      invalid_arg "Incremental.Sizing.set_cell: pin count mismatch";
+    if Array.length cell.Cell.Stdcell.stages <> Array.length old.Cell.Stdcell.stages then
+      invalid_arg "Incremental.Sizing.set_cell: stage count mismatch";
+    Array.iteri
+      (fun st (stage : Cell.Stdcell.stage) ->
+        if Cell.Cell_delay.stage_deps stage <> Cell.Cell_delay.stage_deps old.Cell.Stdcell.stages.(st)
+        then invalid_arg "Incremental.Sizing.set_cell: stage dependency mismatch")
+      cell.Cell.Stdcell.stages;
+    s.st.edits <- s.st.edits + 1;
+    s.base_cells.(i) <- cell;
+    s.cells_now.(i) <- cell;
+    s.drives.(i) <- 1.0;
+    propagate_arrivals s (refresh_after_cell_change s i)
+
+  (* Per-gate threshold probe (the variation-style perturbation): adds
+     [off] to every stage's PMOS shift of gate [i]. [off = 0.0] restores
+     the unperturbed delay bit-exactly. *)
+  let set_gate_dvth s i off =
+    let a = s.a in
+    if a.Arena.op.(i) = Arena.op_pi then invalid_arg "Incremental.Sizing.set_gate_dvth: not a gate";
+    s.st.edits <- s.st.edits + 1;
+    s.doff.(i) <- off;
+    let d = aged_delay s i in
+    if not (bits_eq d s.gd.(i)) then begin
+      s.gd.(i) <- d;
+      propagate_arrivals s [ i ]
+    end
+
+  let aged_max s = s.aged_max
+  let drives s = s.drives
+
+  let aged_result s = Timing.result_of s.a ~arrival:(Array.copy s.arr) ~gate_delay:(Array.copy s.gd)
+
+  let stats s = s.st
+  let n_nodes s = s.a.Arena.n_nodes
+end

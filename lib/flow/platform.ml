@@ -95,6 +95,15 @@ type prepared = {
       (* Warm compiled netlist core: holding it here keeps it alive for
          the lifetime of the prepared pipeline (the server's prepared
          cache), beyond the bounded rings inside [Compiled]. *)
+  ictx : Compiled.Incremental.Analysis.ctx option;
+      (* Shared immutable context for incremental full-analysis
+         sessions (IVC co-optimization): per-gate leakage LUT rows,
+         signal probabilities, timing constants and the fresh STA
+         result, built once per prepared pipeline. [None] when
+         incremental sessions are disabled or the config carries a PBTI
+         scale (which the incremental path does not model). Sessions
+         themselves are per-worker mutable state, created per request
+         chunk — only this context is shared. *)
 }
 
 (* Pipeline stage boundaries poll the request budget: a deadline-bounded
@@ -144,12 +153,24 @@ let prepare config net =
     ignore (Compiled.Timing.get a ~tech ~temp_k ());
     a
   in
-  { net; sp; tabs; cfg = config; arena }
+  let ictx =
+    let aging = config.aging in
+    if Compiled.Incremental.enabled () && aging.Aging.Circuit_aging.pbti_scale = None then
+      Some
+        (Compiled.Incremental.Analysis.ctx arena
+           ~currents:(Leakage.Circuit_leakage.node_currents tabs net)
+           ~node_sp:sp ~params:aging.Aging.Circuit_aging.params
+           ~tech:aging.Aging.Circuit_aging.tech ~schedule:aging.Aging.Circuit_aging.schedule
+           ~time:aging.Aging.Circuit_aging.time ())
+    else None
+  in
+  { net; sp; tabs; cfg = config; arena; ictx }
 
 let netlist p = p.net
 let node_sp p = p.sp
 let tables p = p.tabs
 let arena p = p.arena
+let incremental_ctx p = p.ictx
 
 type analysis = {
   stats : Circuit.Netlist.stats;
@@ -192,8 +213,8 @@ let analyze config p ~standby =
 let optimize_ivc config p ~rng ?pool ?tolerance () =
   Obs.Trace.with_span ~args:(net_args p.net) "flow.ivc" @@ fun () ->
   stage config;
-  Ivc.Co_opt.run ?par:config.pool ~budget:config.budget config.aging p.tabs p.net ~node_sp:p.sp
-    ~rng ?pool ?tolerance ()
+  Ivc.Co_opt.run ?par:config.pool ~budget:config.budget ?ictx:p.ictx config.aging p.tabs p.net
+    ~node_sp:p.sp ~rng ?pool ?tolerance ()
 
 let optimize_st config p ~style ~beta ?vth_st ?nbti_aware () =
   Obs.Trace.with_span ~args:(net_args p.net) "flow.sleep" @@ fun () ->

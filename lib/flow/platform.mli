@@ -66,6 +66,12 @@ val tables : prepared -> Leakage.Circuit_leakage.tables
 val arena : prepared -> Compiled.Arena.t
 (** The warm compiled form of {!netlist}. *)
 
+val incremental_ctx : prepared -> Compiled.Incremental.Analysis.ctx option
+(** The shared context for incremental full-analysis sessions, owned by
+    the prepared pipeline and reused across requests; [None] when
+    incremental sessions are disabled ({!Compiled.Incremental.enabled})
+    or the aging config carries a PBTI scale. *)
+
 type analysis = {
   stats : Circuit.Netlist.stats;
   fresh_delay : float;  (** [s] *)

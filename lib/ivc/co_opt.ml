@@ -2,39 +2,92 @@ type choice = { vector : bool array; leakage : float; degradation : float; aged_
 
 type result = { best : choice; all : choice list; fresh_delay : float; spread : float }
 
-let co_optimize ?par ?budget config _tables t ~node_sp ~candidates =
+let co_optimize ?par ?budget ?ictx config tables t ~node_sp ~candidates =
   if candidates = [] then invalid_arg "Co_opt.co_optimize: no candidates";
-  let evaluate (c : Mlv.candidate) =
-    let analysis =
-      Aging.Circuit_aging.analyze config t ~node_sp
-        ~standby:(Aging.Circuit_aging.Standby_vector c.Mlv.vector) ()
-    in
-    ( {
-        vector = c.Mlv.vector;
-        leakage = c.Mlv.leakage;
-        degradation = analysis.Aging.Circuit_aging.degradation;
-        aged_delay = analysis.Aging.Circuit_aging.aged.Sta.Timing.max_delay;
-      },
-      analysis.Aging.Circuit_aging.fresh.Sta.Timing.max_delay )
-  in
-  (* One full aging analysis per candidate: the expensive half of Table 3.
-     The map preserves candidate order and the sort below breaks ties on
-     the vector, so the result is independent of the domain count. *)
   let p = match par with Some p -> p | None -> Parallel.Pool.default () in
-  let evaluated = Parallel.Pool.map p ?budget evaluate (Array.of_list candidates) in
-  let fresh_delay = snd evaluated.(0) in
+  let cands = Array.of_list candidates in
+  let n = Array.length cands in
+  (* Incremental path (PR 8): the MLV set is a cluster of highly
+     correlated vectors, so one full-analysis session per worker chunk
+     answers each candidate from the previous one's resident state
+     (logic, duties, dvth, aged arrivals) over the dirty cone only.
+     Results are bit-identical to [Circuit_aging.analyze] (pinned by
+     test_incremental); PBTI-scaled configs stay on the full pass. *)
+  let use_incr =
+    config.Aging.Circuit_aging.pbti_scale = None && Compiled.Incremental.enabled ()
+  in
+  let evaluated, fresh_delay =
+    if use_incr then begin
+      (* The prepared pipeline ([Flow.Platform.prepare]) owns a shared
+         context across requests; standalone callers build one here. *)
+      let ictx =
+        match ictx with
+        | Some c -> c
+        | None ->
+          let a = Compiled.Arena.get t in
+          let currents = Leakage.Circuit_leakage.node_currents tables t in
+          Compiled.Incremental.Analysis.ctx a ~currents ~node_sp
+            ~params:config.Aging.Circuit_aging.params ~tech:config.Aging.Circuit_aging.tech
+            ~schedule:config.Aging.Circuit_aging.schedule ~time:config.Aging.Circuit_aging.time
+            ()
+      in
+      let out =
+        Array.make n { vector = [||]; leakage = 0.0; degradation = 0.0; aged_delay = 0.0 }
+      in
+      let chunk = max 1 ((n + Parallel.Pool.domains p - 1) / Parallel.Pool.domains p) in
+      Parallel.Pool.iter_ranges p ~chunk ?budget n (fun lo hi ->
+          let s = Compiled.Incremental.Analysis.session ictx in
+          for i = lo to hi - 1 do
+            Option.iter Parallel.Budget.check budget;
+            let c = cands.(i) in
+            Compiled.Incremental.Analysis.set_vector s c.Mlv.vector;
+            out.(i) <-
+              {
+                vector = c.Mlv.vector;
+                leakage = c.Mlv.leakage;
+                degradation = Compiled.Incremental.Analysis.degradation s;
+                aged_delay = Compiled.Incremental.Analysis.aged_delay s;
+              }
+          done;
+          Compiled.Incremental.emit_stats "co_opt.chunk"
+            (Compiled.Incremental.Analysis.stats s)
+            ~n_nodes:(Compiled.Incremental.Analysis.n_nodes s));
+      (out, (Compiled.Incremental.Analysis.fresh_result ictx).Sta.Timing.max_delay)
+    end
+    else begin
+      let evaluate (c : Mlv.candidate) =
+        let analysis =
+          Aging.Circuit_aging.analyze config t ~node_sp
+            ~standby:(Aging.Circuit_aging.Standby_vector c.Mlv.vector) ()
+        in
+        ( {
+            vector = c.Mlv.vector;
+            leakage = c.Mlv.leakage;
+            degradation = analysis.Aging.Circuit_aging.degradation;
+            aged_delay = analysis.Aging.Circuit_aging.aged.Sta.Timing.max_delay;
+          },
+          analysis.Aging.Circuit_aging.fresh.Sta.Timing.max_delay )
+      in
+      (* One full aging analysis per candidate: the expensive half of
+         Table 3. The map preserves candidate order and the sort below
+         breaks ties on the vector, so the result is independent of the
+         domain count. *)
+      let pairs = Parallel.Pool.map p ?budget evaluate cands in
+      (Array.map fst pairs, snd pairs.(0))
+    end
+  in
   let all =
     List.sort
       (fun a b ->
         match compare a.degradation b.degradation with
         | 0 -> compare (Mlv.vector_key a.vector) (Mlv.vector_key b.vector)
         | c -> c)
-      (List.map fst (Array.to_list evaluated))
+      (Array.to_list evaluated)
   in
   let best = List.hd all in
   let worst = List.nth all (List.length all - 1) in
   { best; all; fresh_delay; spread = worst.degradation -. best.degradation }
 
-let run ?par ?budget config tables t ~node_sp ~rng ?pool ?tolerance () =
+let run ?par ?budget ?ictx config tables t ~node_sp ~rng ?pool ?tolerance () =
   let candidates, stats = Mlv.probability_based ?par ?budget tables t ~rng ?pool ?tolerance () in
-  (co_optimize ?par ?budget config tables t ~node_sp ~candidates, stats)
+  (co_optimize ?par ?budget ?ictx config tables t ~node_sp ~candidates, stats)

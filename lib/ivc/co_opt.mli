@@ -27,6 +27,7 @@ type result = {
 val co_optimize :
   ?par:Parallel.Pool.t ->
   ?budget:Parallel.Budget.t ->
+  ?ictx:Compiled.Incremental.Analysis.ctx ->
   Aging.Circuit_aging.config ->
   Leakage.Circuit_leakage.tables ->
   Circuit.Netlist.t ->
@@ -37,11 +38,20 @@ val co_optimize :
     {!Parallel.Pool.default}); equal degradations order by
     {!Mlv.vector_key}, so the result is independent of the domain count.
     [budget] is polled inside the pooled evaluations.
-    @raise Invalid_argument on an empty candidate list. *)
+
+    When {!Compiled.Incremental.enabled} and the config has no PBTI
+    scale, candidates are answered by per-worker
+    {!Compiled.Incremental.Analysis} sessions that re-evaluate only the
+    dirty cone between the (highly correlated) MLV vectors —
+    bit-identical to the full per-candidate analyses. [ictx] supplies a
+    shared prepared context (see [Flow.Platform.prepare]); without it
+    one is built on the fly. @raise Invalid_argument on an empty
+    candidate list. *)
 
 val run :
   ?par:Parallel.Pool.t ->
   ?budget:Parallel.Budget.t ->
+  ?ictx:Compiled.Incremental.Analysis.ctx ->
   Aging.Circuit_aging.config ->
   Leakage.Circuit_leakage.tables ->
   Circuit.Netlist.t ->

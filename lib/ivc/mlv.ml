@@ -35,6 +35,20 @@ let vector_key v =
 
 let pool_of = function Some p -> p | None -> Parallel.Pool.default ()
 
+(* Incremental leakage sessions (PR 8): resident logic values + LUT
+   terms re-evaluated only over the dirty cone of the flipped inputs.
+   One session per worker chunk — session state is single-owner. The
+   per-vector leakage is bit-identical to [ceval_one] (pinned by
+   test_incremental), so search results are unchanged. *)
+let leak_ctx ce = Compiled.Incremental.Leak.ctx ce.a ~currents:ce.currents
+
+let incr_eval s v = { vector = v; leakage = Compiled.Incremental.Leak.set_vector s v }
+
+let emit_leak_stats name s =
+  Compiled.Incremental.emit_stats name
+    (Compiled.Incremental.Leak.stats s)
+    ~n_nodes:(Compiled.Incremental.Leak.n_nodes s)
+
 let exhaustive ?par tables t =
   let n = Circuit.Netlist.n_primary_inputs t in
   if n > 20 then invalid_arg "Mlv.exhaustive: too many primary inputs";
@@ -47,19 +61,32 @@ let exhaustive ?par tables t =
   let block = 4096 in
   let n_blocks = (total + block - 1) / block in
   let ce = compiled_eval tables t in
+  let use_incr = Compiled.Incremental.enabled () in
   let best_in_block b =
-    let scratch = Compiled.Logic.leak_scratch ce.a in
     let lo = b * block in
     let hi = min total (lo + block) in
+    let eval, finish =
+      if use_incr then begin
+        (* Consecutive enumeration indices differ in ~2 trailing bits,
+           so each step's cone is tiny. *)
+        let s = Compiled.Incremental.Leak.session (leak_ctx ce) in
+        (incr_eval s, fun () -> emit_leak_stats "mlv.exhaustive.block" s)
+      end
+      else begin
+        let scratch = Compiled.Logic.leak_scratch ce.a in
+        (ceval_one ce scratch, ignore)
+      end
+    in
     let best_idx = ref lo in
-    let best = ref (ceval_one ce scratch (vector_of lo)) in
+    let best = ref (eval (vector_of lo)) in
     for idx = lo + 1 to hi - 1 do
-      let c = ceval_one ce scratch (vector_of idx) in
+      let c = eval (vector_of idx) in
       if c.leakage < !best.leakage then begin
         best := c;
         best_idx := idx
       end
     done;
+    finish ();
     (!best_idx, !best)
   in
   let p = pool_of par in
@@ -78,16 +105,32 @@ let exhaustive ?par tables t =
 
 let random_vector rng n = Array.init n (fun _ -> Physics.Rng.bool rng)
 
-let random_search tables t ~rng ~n =
+let random_search ?(budget = Parallel.Budget.unlimited) tables t ~rng ~n =
   assert (n >= 1);
   let n_pi = Circuit.Netlist.n_primary_inputs t in
   let ce = compiled_eval tables t in
-  let scratch = Compiled.Logic.leak_scratch ce.a in
-  let best = ref (ceval_one ce scratch (random_vector rng n_pi)) in
-  for _ = 2 to n do
-    let c = ceval_one ce scratch (random_vector rng n_pi) in
-    if c.leakage < !best.leakage then best := c
-  done;
+  let eval, finish =
+    if Compiled.Incremental.enabled () then begin
+      let s = Compiled.Incremental.Leak.session (leak_ctx ce) in
+      (incr_eval s, fun () -> emit_leak_stats "mlv.random_search" s)
+    end
+    else begin
+      let scratch = Compiled.Logic.leak_scratch ce.a in
+      (ceval_one ce scratch, ignore)
+    end
+  in
+  let best = ref (eval (random_vector rng n_pi)) in
+  (* Deadline polled between candidates, *before* the next RNG draw, so
+     an expired budget returns the best-so-far without perturbing the
+     stream an unbounded run would consume. *)
+  (try
+     for _ = 2 to n do
+       if Parallel.Budget.expired budget then raise Exit;
+       let c = eval (random_vector rng n_pi) in
+       if c.leakage < !best.leakage then best := c
+     done
+   with Exit -> ());
+  finish ();
   !best
 
 type search_stats = { rounds : int; evaluations : int; converged : bool }
@@ -128,16 +171,34 @@ let probability_based ?par ?(budget = Parallel.Budget.unlimited) tables t ~rng ?
      count. The budget is checked once per round here and per chunk
      inside the pool, so a bounded search aborts between evaluations. *)
   let ce = compiled_eval tables t in
+  let use_incr = Compiled.Incremental.enabled () in
   let eval_batch vectors =
     Parallel.Budget.check budget;
     evaluations := !evaluations + Array.length vectors;
-    let out = Array.make (Array.length vectors) { vector = [||]; leakage = 0.0 } in
-    Parallel.Pool.iter_ranges p ~budget (Array.length vectors) (fun lo hi ->
-        let scratch = Compiled.Logic.leak_scratch ce.a in
-        for i = lo to hi - 1 do
-          Parallel.Budget.check budget;
-          out.(i) <- ceval_one ce scratch vectors.(i)
-        done);
+    let len = Array.length vectors in
+    let out = Array.make len { vector = [||]; leakage = 0.0 } in
+    if use_incr then begin
+      (* One maximal chunk per domain: each worker pays one full session
+         init, then every later vector in its range reuses the resident
+         state (late refinement rounds draw highly correlated vectors).
+         Chunking only partitions order-preserved writes into [out], so
+         it cannot affect results at any domain count. *)
+      let chunk = max 1 ((len + Parallel.Pool.domains p - 1) / Parallel.Pool.domains p) in
+      Parallel.Pool.iter_ranges p ~chunk ~budget len (fun lo hi ->
+          let s = Compiled.Incremental.Leak.session (leak_ctx ce) in
+          for i = lo to hi - 1 do
+            Parallel.Budget.check budget;
+            out.(i) <- incr_eval s vectors.(i)
+          done;
+          emit_leak_stats "mlv.probability_based.chunk" s)
+    end
+    else
+      Parallel.Pool.iter_ranges p ~budget len (fun lo hi ->
+          let scratch = Compiled.Logic.leak_scratch ce.a in
+          for i = lo to hi - 1 do
+            Parallel.Budget.check budget;
+            out.(i) <- ceval_one ce scratch vectors.(i)
+          done);
     Array.to_list out
   in
   let draw_batch sample =

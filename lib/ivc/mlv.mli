@@ -25,12 +25,16 @@ val exhaustive : ?par:Parallel.Pool.t -> Leakage.Circuit_leakage.tables -> Circu
     inputs. *)
 
 val random_search :
+  ?budget:Parallel.Budget.t ->
   Leakage.Circuit_leakage.tables ->
   Circuit.Netlist.t ->
   rng:Physics.Rng.t ->
   n:int ->
   candidate
-(** Best of [n] uniform random vectors. *)
+(** Best of [n] uniform random vectors. [budget] (default unlimited) is
+    polled between candidates, before each RNG draw: on expiry the
+    best-so-far is returned (never raises), and the prefix of the RNG
+    stream consumed matches what an unbounded run would have drawn. *)
 
 type search_stats = {
   rounds : int;

@@ -32,10 +32,30 @@ let area (t : Circuit.Netlist.t) =
       | Circuit.Netlist.Gate { cell; _ } -> acc +. Cell.Stdcell.area cell)
     0.0 t.Circuit.Netlist.nodes
 
-let optimize config (t : Circuit.Netlist.t) ~node_sp ~standby ?(margin = 0.01) ?(step = 1.2)
-    ?(max_drive = 4.0) ?(max_iterations = 40) () =
+let check_args ~margin ~step =
   if margin < 0.0 then invalid_arg "Gate_sizing.optimize: negative margin";
-  if step <= 1.0 then invalid_arg "Gate_sizing.optimize: step must exceed 1";
+  if step <= 1.0 then invalid_arg "Gate_sizing.optimize: step must exceed 1"
+
+(* One upsizing step: multiply the drive of every unsaturated gate on
+   the aged critical path by [step]. Returns the gates that actually
+   grew (empty = the whole path is saturated, stop). *)
+let grow_path (t : Circuit.Netlist.t) ~drives ~critical_path ~step ~max_drive =
+  let grown = ref [] in
+  List.iter
+    (fun i ->
+      match t.Circuit.Netlist.nodes.(i) with
+      | Circuit.Netlist.Primary_input _ -> ()
+      | Circuit.Netlist.Gate _ ->
+        if drives.(i) < max_drive then begin
+          drives.(i) <- Float.min max_drive (drives.(i) *. step);
+          grown := i :: !grown
+        end)
+    critical_path;
+  List.rev !grown
+
+let optimize_boxed ?(budget = Parallel.Budget.unlimited) config (t : Circuit.Netlist.t) ~node_sp
+    ~standby ?(margin = 0.01) ?(step = 1.2) ?(max_drive = 4.0) ?(max_iterations = 40) () =
+  check_args ~margin ~step;
   let tech = config.Aging.Circuit_aging.tech in
   let temp_k = config.Aging.Circuit_aging.schedule.Nbti.Schedule.t_ref in
   (* Duty pairs survive scaling (pin structure is unchanged), so extract
@@ -52,20 +72,11 @@ let optimize config (t : Circuit.Netlist.t) ~node_sp ~standby ?(margin = 0.01) ?
     if aged.Sta.Timing.max_delay <= target || iterations >= max_iterations then
       (net, aged, iterations)
     else begin
-      (* Upsize the aged critical path (PIs excluded); saturated gates
-         cannot grow further — if the whole path is saturated, stop. *)
-      let grew = ref false in
-      List.iter
-        (fun i ->
-          match t.Circuit.Netlist.nodes.(i) with
-          | Circuit.Netlist.Primary_input _ -> ()
-          | Circuit.Netlist.Gate _ ->
-            if drives.(i) < max_drive then begin
-              drives.(i) <- Float.min max_drive (drives.(i) *. step);
-              grew := true
-            end)
-        aged.Sta.Timing.critical_path;
-      if not !grew then (net, aged, iterations)
+      Parallel.Budget.check budget;
+      let grown =
+        grow_path t ~drives ~critical_path:aged.Sta.Timing.critical_path ~step ~max_drive
+      in
+      if grown = [] then (net, aged, iterations)
       else begin
         let net' = materialize t ~drives in
         loop net' (aged_sta net') (iterations + 1)
@@ -86,3 +97,79 @@ let optimize config (t : Circuit.Netlist.t) ~node_sp ~standby ?(margin = 0.01) ?
     area_overhead = (area sized -. area t) /. area t;
     iterations;
   }
+
+(* Incremental path (PR 8): each iteration upsizes a handful of
+   critical-path gates; a [Compiled.Incremental.Sizing] session keeps
+   the per-stage timing constants and aged arrivals resident and a
+   drive edit recomputes only the touched gates' constants (plus their
+   fanin drivers' loads) and the downstream arrival cone. The final
+   netlist is materialized once. Delays are bit-identical to
+   [optimize_boxed] (pinned by test_incremental), so the sizing
+   trajectory — critical paths, drive vector, iteration count — is
+   identical. *)
+let optimize_incremental ~budget config (t : Circuit.Netlist.t) ~node_sp ~standby ~margin ~step
+    ~max_drive ~max_iterations () =
+  check_args ~margin ~step;
+  let tech = config.Aging.Circuit_aging.tech in
+  let temp_k = config.Aging.Circuit_aging.schedule.Nbti.Schedule.t_ref in
+  let duties = Aging.Circuit_aging.duty_table t ~node_sp ~standby in
+  let stage_dvth = Aging.Circuit_aging.stage_dvth_of_duties config ~duties in
+  let a = Compiled.Arena.get t in
+  (* Flatten the frozen dvth closure onto the arena's flat stage ids
+     (node ids are netlist ids, so the mapping is direct). *)
+  let dvth = Array.make a.Compiled.Arena.n_stages 0.0 in
+  for i = 0 to a.Compiled.Arena.n_nodes - 1 do
+    if a.Compiled.Arena.op.(i) <> Compiled.Arena.op_pi then
+      for s = 0 to a.Compiled.Arena.stage_off.(i + 1) - a.Compiled.Arena.stage_off.(i) - 1 do
+        dvth.(a.Compiled.Arena.stage_off.(i) + s) <- stage_dvth ~gate:i ~stage:s
+      done
+  done;
+  let session = Compiled.Incremental.Sizing.session a ~tech ~temp_k ~dvth () in
+  let fresh0 = Sta.Timing.fresh tech t ~temp_k () in
+  let target = fresh0.Sta.Timing.max_delay *. (1.0 +. margin) in
+  let aged_before = Compiled.Incremental.Sizing.aged_max session in
+  let n = Circuit.Netlist.n_nodes t in
+  let drives = Array.make n 1.0 in
+  let rec loop iterations =
+    if Compiled.Incremental.Sizing.aged_max session <= target || iterations >= max_iterations
+    then iterations
+    else begin
+      Parallel.Budget.check budget;
+      let aged = Compiled.Incremental.Sizing.aged_result session in
+      let grown =
+        grow_path t ~drives ~critical_path:aged.Sta.Timing.critical_path ~step ~max_drive
+      in
+      if grown = [] then iterations
+      else begin
+        List.iter (fun i -> Compiled.Incremental.Sizing.set_drive session i drives.(i)) grown;
+        loop (iterations + 1)
+      end
+    end
+  in
+  let iterations = loop 0 in
+  let aged_after = Compiled.Incremental.Sizing.aged_max session in
+  Compiled.Incremental.emit_stats "gate_sizing"
+    (Compiled.Incremental.Sizing.stats session)
+    ~n_nodes:(Compiled.Incremental.Sizing.n_nodes session);
+  let sized = materialize t ~drives in
+  let fresh_final = Sta.Timing.fresh tech sized ~temp_k () in
+  {
+    drives;
+    sized;
+    fresh_before = fresh0.Sta.Timing.max_delay;
+    aged_before;
+    fresh_after = fresh_final.Sta.Timing.max_delay;
+    aged_after;
+    target;
+    met = aged_after <= target;
+    area_overhead = (area sized -. area t) /. area t;
+    iterations;
+  }
+
+let optimize ?(budget = Parallel.Budget.unlimited) config (t : Circuit.Netlist.t) ~node_sp
+    ~standby ?(margin = 0.01) ?(step = 1.2) ?(max_drive = 4.0) ?(max_iterations = 40) () =
+  if Compiled.Incremental.enabled () then
+    optimize_incremental ~budget config t ~node_sp ~standby ~margin ~step ~max_drive
+      ~max_iterations ()
+  else
+    optimize_boxed ~budget config t ~node_sp ~standby ~margin ~step ~max_drive ~max_iterations ()

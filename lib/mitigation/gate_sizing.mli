@@ -24,7 +24,12 @@ type result = {
   iterations : int;
 }
 
+val materialize : Circuit.Netlist.t -> drives:float array -> Circuit.Netlist.t
+(** The netlist with each gate's cell scaled by its per-node drive
+    factor (1.0 leaves the node untouched). *)
+
 val optimize :
+  ?budget:Parallel.Budget.t ->
   Aging.Circuit_aging.config ->
   Circuit.Netlist.t ->
   node_sp:float array ->
@@ -40,4 +45,25 @@ val optimize :
     slower than the original fresh one). Each iteration multiplies the
     drive of every aged-critical-path gate by [step] (default 1.2),
     saturating at [max_drive] (default 4.0); stops on success, saturation
-    or [max_iterations] (default 40). *)
+    or [max_iterations] (default 40). [budget] (default unlimited) is
+    polled at every iteration boundary.
+
+    When {!Compiled.Incremental.enabled}, each iteration re-times only
+    the upsized gates' affected cone through a resident
+    {!Compiled.Incremental.Sizing} session instead of re-running a full
+    STA on a re-materialized netlist; results are bit-identical. *)
+
+val optimize_boxed :
+  ?budget:Parallel.Budget.t ->
+  Aging.Circuit_aging.config ->
+  Circuit.Netlist.t ->
+  node_sp:float array ->
+  standby:Aging.Circuit_aging.standby_state ->
+  ?margin:float ->
+  ?step:float ->
+  ?max_drive:float ->
+  ?max_iterations:int ->
+  unit ->
+  result
+(** The full-STA-per-iteration reference implementation {!optimize}
+    must match bit-for-bit; kept as the oracle for tests and benches. *)
