@@ -1,4 +1,4 @@
-.PHONY: all build test smoke chaos-smoke parallel-smoke obs-smoke calibrate-smoke scaling-gate incremental-gate bench-json bench-txt check clean
+.PHONY: all build test smoke chaos-smoke fleet-smoke parallel-smoke obs-smoke calibrate-smoke scaling-gate incremental-gate bench-json bench-txt check clean
 
 all: build
 
@@ -20,6 +20,14 @@ smoke: build
 # shutdown.
 chaos-smoke: build
 	./scripts/chaos_smoke.sh
+
+# Fleet smoke: a router consistent-hash-routing over three backends;
+# asserts singleflight coalescing, zero failed requests while one
+# backend is SIGKILLed mid-batch (with a recorded failover), a
+# warm-cache handoff to the resurrected backend, and byte-identity of
+# routed answers against a single-backend run.
+fleet-smoke: build
+	./scripts/fleet_smoke.sh
 
 # Parallel smoke: the c432 variation study must be byte-identical at
 # --jobs 1 and --jobs 4, and multi-domain wall time must not be
@@ -72,7 +80,7 @@ bench-txt: build
 	dune exec bench/main.exe -- --extension > bench_extension_output.txt
 	@echo "wrote bench_perf_output.txt bench_ablation_output.txt bench_extension_output.txt"
 
-check: build test smoke chaos-smoke parallel-smoke obs-smoke calibrate-smoke scaling-gate incremental-gate
+check: build test smoke chaos-smoke fleet-smoke parallel-smoke obs-smoke calibrate-smoke scaling-gate incremental-gate
 
 clean:
 	dune clean

@@ -975,17 +975,36 @@ let gen_measurements_cmd =
 
 (* --- serve / request: the aging-analysis daemon and its client --- *)
 
+let endpoint_conv =
+  let parse s = match Server.Service.endpoint_of_string s with Ok e -> Ok e | Error m -> Error (`Msg m) in
+  let print fmt e = Format.pp_print_string fmt (Server.Netline.endpoint_to_string e) in
+  Arg.conv (parse, print)
+
 let endpoint_arg =
   let doc =
     "Service endpoint: a Unix socket path (optionally prefixed unix:) or tcp:HOST:PORT."
   in
-  let parse s = match Server.Service.endpoint_of_string s with Ok e -> Ok e | Error m -> Error (`Msg m) in
-  let print fmt = function
-    | Server.Service.Unix_socket p -> Format.fprintf fmt "unix:%s" p
-    | Server.Service.Tcp (h, p) -> Format.fprintf fmt "tcp:%s:%d" h p
-  in
-  let endpoint_conv = Arg.conv (parse, print) in
   Arg.(required & opt (some endpoint_conv) None & info [ "s"; "socket" ] ~docv:"ENDPOINT" ~doc)
+
+let faults_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~env:(Cmd.Env.info "NBTI_FAULTS")
+        ~doc:
+          "Fault-injection plan for chaos testing: comma-separated site=action[:param][@N] \
+           rules (sites: admission, compute, write on serve; connect, probe, handoff on \
+           route; actions: delay:MS, fail, truncate, shed).")
+
+let parse_faults ~cmd = function
+  | None -> Server.Faults.none
+  | Some spec -> begin
+    match Server.Faults.parse spec with
+    | Ok f -> f
+    | Error m ->
+      Format.eprintf "nbti_tool %s: bad --faults plan: %s@." cmd m;
+      exit 2
+  end
 
 let serve_cmd =
   let result_cache_arg =
@@ -1026,14 +1045,13 @@ let serve_cmd =
       & info [ "default-timeout-ms" ] ~docv:"MS"
           ~doc:"Compute budget applied to requests that carry no timeout_ms of their own.")
   in
-  let faults_arg =
+  let drain_timeout_arg =
     Arg.(
-      value & opt (some string) None
-      & info [ "faults" ] ~docv:"SPEC"
-          ~env:(Cmd.Env.info "NBTI_FAULTS")
+      value & opt int 5000
+      & info [ "drain-timeout-ms" ] ~docv:"MS"
           ~doc:
-            "Fault-injection plan for chaos testing: comma-separated site=action[:param][@N] \
-             rules (sites: admission, compute, write; actions: delay:MS, fail, truncate, shed).")
+            "On SIGTERM, stop accepting and wait up to $(docv) for in-flight requests to \
+             finish before the socket closes (graceful drain; SIGINT stops immediately).")
   in
   let access_log_arg =
     Arg.(
@@ -1044,20 +1062,11 @@ let serve_cmd =
              elapsed_s, error code) to $(docv).")
   in
   let run endpoint result_capacity result_cache_mb prepared_capacity max_pending max_batch
-      max_gates max_line_bytes default_timeout_ms faults_spec access_log level json jobs =
+      max_gates max_line_bytes default_timeout_ms drain_timeout_ms faults_spec access_log level
+      json jobs =
     apply_jobs jobs;
     apply_logging level json;
-    let faults =
-      match faults_spec with
-      | None -> Server.Faults.none
-      | Some spec -> begin
-        match Server.Faults.parse spec with
-        | Ok f -> f
-        | Error m ->
-          Format.eprintf "nbti_tool serve: bad --faults plan: %s@." m;
-          exit 2
-      end
-    in
+    let faults = parse_faults ~cmd:"serve" faults_spec in
     let limits =
       {
         Server.Service.default_limits with
@@ -1070,7 +1079,7 @@ let serve_cmd =
     let t =
       Server.Service.create ~result_capacity
         ~result_max_bytes:(result_cache_mb * 1024 * 1024)
-        ~prepared_capacity ~max_pending ~limits ~faults ()
+        ~prepared_capacity ~max_pending ~drain_timeout_ms ~limits ~faults ()
     in
     let access_oc =
       match access_log with
@@ -1130,7 +1139,8 @@ let serve_cmd =
       if not (Server.Faults.is_empty faults) then
         Format.printf "fault injection armed: %s@."
           (Server.Json.to_string (Server.Faults.to_json faults));
-      Format.printf "protocol v%d; stop with SIGINT/SIGTERM@." Server.Protocol.version
+      Format.printf "protocol v%d; SIGINT stops, SIGTERM drains (up to %d ms)@."
+        Server.Protocol.version drain_timeout_ms
     in
     (try Server.Service.serve t endpoint ~on_ready () with
     | Unix.Unix_error (err, fn, arg) ->
@@ -1143,8 +1153,8 @@ let serve_cmd =
     Term.(
       const run $ endpoint_arg $ result_cache_arg $ result_cache_mb_arg $ prepared_cache_arg
       $ max_pending_arg $ max_batch_arg $ max_gates_arg $ max_line_bytes_arg
-      $ default_timeout_arg $ faults_arg $ access_log_arg $ log_level_arg $ log_json_arg
-      $ jobs_arg)
+      $ default_timeout_arg $ drain_timeout_arg $ faults_arg $ access_log_arg $ log_level_arg
+      $ log_json_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1182,28 +1192,6 @@ let request_cmd =
       & info [ "retry-seed" ] ~docv:"SEED"
           ~doc:"Seed for the deterministic backoff jitter (reproducible retry schedules).")
   in
-  let connect endpoint ~timeout_ms =
-    let domain, addr =
-      match endpoint with
-      | Server.Service.Unix_socket p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
-      | Server.Service.Tcp (h, p) ->
-        let ip =
-          try (Unix.gethostbyname h).Unix.h_addr_list.(0)
-          with Not_found -> Unix.inet_addr_of_string h
-        in
-        (Unix.PF_INET, Unix.ADDR_INET (ip, p))
-    in
-    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-    Unix.connect fd addr;
-    (* A deadline-bounded request must not hang the client on a wedged
-       server: bound the read at several times the compute budget (the
-       server itself answers within ~2x). *)
-    (match timeout_ms with
-    | Some ms ->
-      Unix.setsockopt_float fd Unix.SO_RCVTIMEO (Float.max 5.0 (4.0 *. float_of_int ms /. 1000.0))
-    | None -> ());
-    (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd, fd)
-  in
   let request_line body =
     let is_json = String.length body > 0 && (body.[0] = '{' || body.[0] = '[') in
     if is_json then body
@@ -1229,22 +1217,13 @@ let request_cmd =
   let run endpoint body retries timeout_ms retry_seed =
     let policy = { Server.Retry.default_policy with Server.Retry.retries } in
     let rng = Physics.Rng.split (Physics.Rng.create ~seed:retry_seed) in
-    let conn = ref None in
-    let close_conn () =
-      match !conn with
-      | Some (_, _, fd) ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        conn := None
-      | None -> ()
+    (* A deadline-bounded request must not hang the client on a wedged
+       server: bound the read at several times the compute budget (the
+       server itself answers within ~2x). *)
+    let read_timeout_s =
+      Option.map (fun ms -> Float.max 5.0 (4.0 *. float_of_int ms /. 1000.0)) timeout_ms
     in
-    let get_conn () =
-      match !conn with
-      | Some c -> c
-      | None ->
-        let c = connect endpoint ~timeout_ms in
-        conn := Some c;
-        c
-    in
+    let client = Server.Client.create ?read_timeout_s endpoint in
     (* Inject the --timeout-ms budget into requests that do not already
        carry one; raw JSON bodies keep whatever they say. *)
     let with_timeout line =
@@ -1259,45 +1238,6 @@ let request_cmd =
       end
     in
     let ok = ref true in
-    (* One attempt: Done carries a response line to print (success or a
-       non-retryable error); Transient means reconnect-and-retry. *)
-    let attempt line =
-      match get_conn () with
-      | exception Unix.Unix_error (err, fn, arg) ->
-        `Transient (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err), None)
-      | ic, oc, _ -> begin
-        match
-          output_string oc line;
-          output_char oc '\n';
-          flush oc;
-          input_line ic
-        with
-        | response -> begin
-          match Server.Json.of_string response with
-          | json -> begin
-            match Server.Protocol.response_result json with
-            | Ok _ -> `Done response
-            | Error (code, _) when Server.Protocol.retryable_code_string code ->
-              `Retryable
-                (response, "server " ^ code, Server.Protocol.error_detail_int json "retry_after_ms")
-            | Error _ -> `Done response
-            | exception Server.Json.Type_error _ -> `Done response
-          end
-          | exception Server.Json.Parse_error _ ->
-            close_conn ();
-            `Transient ("truncated or unparseable response", None)
-        end
-        | exception End_of_file ->
-          close_conn ();
-          `Transient ("server closed the connection", None)
-        | exception Sys_error m ->
-          close_conn ();
-          `Transient (m, None)
-        | exception Unix.Unix_error (err, _, _) ->
-          close_conn ();
-          `Transient (Unix.error_message err, None)
-      end
-    in
     let print_response response =
       print_endline response;
       match Server.Json.(member_opt "ok" (of_string response)) with
@@ -1305,32 +1245,22 @@ let request_cmd =
       | _ -> ok := false
       | exception _ -> ok := false
     in
-    let rec roundtrip line attempt_no =
-      let give_up ?response reason =
-        Format.eprintf "nbti_tool request: giving up after %d attempt%s: %s@." (attempt_no + 1)
-          (if attempt_no = 0 then "" else "s")
+    let on_retry ~attempt ~reason ~sleep_ms =
+      Format.eprintf "nbti_tool request: %s; retry %d/%d in %d ms@." reason (attempt + 1)
+        policy.Server.Retry.retries sleep_ms
+    in
+    let send line =
+      match Server.Client.call client ~policy ~rng ~on_retry (with_timeout line) with
+      | Ok response -> print_response response
+      | Error { Server.Client.attempts; reason; last_response } ->
+        Format.eprintf "nbti_tool request: giving up after %d attempt%s: %s@." attempts
+          (if attempts = 1 then "" else "s")
           reason;
         (* still surface the server's final word (e.g. the overloaded
            error envelope) so callers can inspect it *)
-        (match response with Some r -> print_endline r | None -> ());
+        (match last_response with Some r -> print_endline r | None -> ());
         ok := false
-      in
-      let retry reason retry_after_ms =
-        let ms = Server.Retry.backoff_ms policy ~attempt:attempt_no ?retry_after_ms ~rng () in
-        Format.eprintf "nbti_tool request: %s; retry %d/%d in %d ms@." reason (attempt_no + 1)
-          policy.Server.Retry.retries ms;
-        if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.0);
-        roundtrip line (attempt_no + 1)
-      in
-      let exhausted = attempt_no >= policy.Server.Retry.retries in
-      match attempt line with
-      | `Done response -> print_response response
-      | `Retryable (response, reason, retry_after_ms) ->
-        if exhausted then give_up ~response reason else retry reason retry_after_ms
-      | `Transient (reason, retry_after_ms) ->
-        if exhausted then give_up reason else retry reason retry_after_ms
     in
-    let send line = roundtrip (with_timeout line) 0 in
     if body = "-" then begin
       try
         while true do
@@ -1340,7 +1270,7 @@ let request_cmd =
       with End_of_file -> ()
     end
     else send (request_line body);
-    close_conn ();
+    Server.Client.close client;
     if not !ok then exit 1
   in
   let term =
@@ -1351,10 +1281,109 @@ let request_cmd =
        ~doc:"Send one request (or stdin lines with -) to a running analysis daemon.")
     term
 
+let route_cmd =
+  let backends_arg =
+    let doc =
+      "Backend daemon endpoint (repeatable). Requests are consistent-hash routed across all \
+       backends by netlist digest + platform fingerprint."
+    in
+    Arg.(non_empty & opt_all endpoint_conv [] & info [ "b"; "backend" ] ~docv:"ENDPOINT" ~doc)
+  in
+  let vnodes_arg =
+    Arg.(
+      value & opt int Fleet.Router.default_config.Fleet.Router.vnodes
+      & info [ "vnodes" ] ~docv:"N" ~doc:"Virtual nodes per backend on the hash ring.")
+  in
+  let failover_arg =
+    Arg.(
+      value & opt int Fleet.Router.default_config.Fleet.Router.failover_attempts
+      & info [ "failover-attempts" ] ~docv:"N"
+          ~doc:
+            "Most backends tried per request before answering fleet_degraded (every routed op \
+             is idempotent, so rehash-and-retry is safe).")
+  in
+  let probe_interval_arg =
+    Arg.(
+      value & opt int Fleet.Router.default_config.Fleet.Router.probe_interval_ms
+      & info [ "probe-interval-ms" ] ~docv:"MS"
+          ~doc:
+            "Health-probe cadence for healthy backends; failing ones back off exponentially \
+             with jitter up to --probe-backoff-cap-ms.")
+  in
+  let probe_cap_arg =
+    Arg.(
+      value & opt int Fleet.Router.default_config.Fleet.Router.probe_backoff_cap_ms
+      & info [ "probe-backoff-cap-ms" ] ~docv:"MS" ~doc:"Probe backoff ceiling.")
+  in
+  let probe_timeout_arg =
+    Arg.(
+      value & opt int Fleet.Router.default_config.Fleet.Router.probe_timeout_ms
+      & info [ "probe-timeout-ms" ] ~docv:"MS" ~doc:"Per-probe read timeout.")
+  in
+  let handoff_entries_arg =
+    Arg.(
+      value & opt int Fleet.Router.default_config.Fleet.Router.handoff_max_entries
+      & info [ "handoff-entries" ] ~docv:"N"
+          ~doc:"Hottest result-cache entries moved per warm-cache handoff export.")
+  in
+  let run endpoint backends vnodes failover_attempts probe_interval_ms probe_backoff_cap_ms
+      probe_timeout_ms handoff_max_entries faults_spec level json =
+    apply_logging level json;
+    let faults = parse_faults ~cmd:"route" faults_spec in
+    let config =
+      {
+        Fleet.Router.default_config with
+        Fleet.Router.vnodes;
+        failover_attempts;
+        probe_interval_ms;
+        probe_backoff_cap_ms;
+        probe_timeout_ms;
+        handoff_max_entries;
+      }
+    in
+    let t =
+      try Fleet.Router.create ~config ~faults backends
+      with Invalid_argument m ->
+        Format.eprintf "nbti_tool route: %s@." m;
+        exit 2
+    in
+    Fleet.Router.install_signal_handlers t;
+    let on_ready () =
+      Format.printf "nbti_tool: routing on %s across %d backend%s@."
+        (Server.Netline.endpoint_to_string endpoint)
+        (List.length backends)
+        (if List.length backends = 1 then "" else "s");
+      List.iter
+        (fun b -> Format.printf "  backend %s@." (Server.Netline.endpoint_to_string b))
+        backends;
+      if not (Server.Faults.is_empty faults) then
+        Format.printf "fault injection armed: %s@."
+          (Server.Json.to_string (Server.Faults.to_json faults));
+      Format.printf "protocol v%d; stop with SIGINT/SIGTERM@." Server.Protocol.version
+    in
+    (try Fleet.Router.serve t endpoint ~on_ready () with
+    | Unix.Unix_error (err, fn, arg) ->
+      Format.eprintf "nbti_tool route: %s(%s): %s@." fn arg (Unix.error_message err);
+      exit 1);
+    Format.printf "nbti_tool: router stopped@."
+  in
+  let term =
+    Term.(
+      const run $ endpoint_arg $ backends_arg $ vnodes_arg $ failover_arg $ probe_interval_arg
+      $ probe_cap_arg $ probe_timeout_arg $ handoff_entries_arg $ faults_arg $ log_level_arg
+      $ log_json_arg)
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Run the fleet router: consistent-hash route requests across backend daemons with \
+          singleflight coalescing, health-probe failover and warm-cache handoff.")
+    term
+
 let () =
   let doc = "Temperature-aware NBTI modeling and standby leakage co-optimization." in
   let info = Cmd.info "nbti_tool" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ stats_cmd; analyze_cmd; ivc_cmd; st_cmd; dvth_cmd; lifetime_cmd; gen_cmd; lib_cmd;
          verilog_cmd; seq_cmd; sram_cmd; thermal_cmd; variation_cmd; profile_cmd; trace_cmd;
-         calibrate_cmd; gen_measurements_cmd; serve_cmd; request_cmd ]))
+         calibrate_cmd; gen_measurements_cmd; serve_cmd; request_cmd; route_cmd ]))

@@ -1,0 +1,96 @@
+(* One routed-to backend as the router sees it: its stable ring
+   identity (the canonical endpoint string), a health state machine
+   driven by probes and request failures, and the probe schedule. All
+   fields are guarded by one mutex; transitions themselves are decided
+   by the router (it owns the policy), this module owns the record. *)
+
+type state = Up | Suspect | Down | Recovering | Draining
+
+let state_string = function
+  | Up -> "up"
+  | Suspect -> "suspect"
+  | Down -> "down"
+  | Recovering -> "recovering"
+  | Draining -> "draining"
+
+(* Routable states: Up is the normal case; Recovering backends are
+   alive (they answered the probe that started their handoff) and may
+   take traffic while their cache warms. Suspect is deliberately not
+   routable-by-default — the router uses Suspect backends only as a
+   last resort when no Up/Recovering owner exists. *)
+let routable = function Up | Recovering -> true | Suspect | Down | Draining -> false
+
+type t = {
+  name : string;
+  endpoint : Server.Netline.endpoint;
+  lock : Mutex.t;
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable next_probe_at : float; (* absolute Unix time; 0 = due now *)
+  mutable probes : int;
+  mutable probe_failures : int;
+  mutable last_change : float;
+}
+
+let create endpoint =
+  {
+    name = Server.Netline.endpoint_to_string endpoint;
+    endpoint;
+    lock = Mutex.create ();
+    state = Up;
+    consecutive_failures = 0;
+    next_probe_at = 0.0;
+    probes = 0;
+    probe_failures = 0;
+    last_change = Unix.gettimeofday ();
+  }
+
+let name t = t.name
+let endpoint t = t.endpoint
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let state t = with_lock t (fun () -> t.state)
+
+let set_state t s =
+  with_lock t (fun () ->
+      if t.state <> s then begin
+        t.state <- s;
+        t.last_change <- Unix.gettimeofday ()
+      end)
+
+let record_probe t ~ok =
+  with_lock t (fun () ->
+      t.probes <- t.probes + 1;
+      if ok then t.consecutive_failures <- 0
+      else begin
+        t.probe_failures <- t.probe_failures + 1;
+        t.consecutive_failures <- t.consecutive_failures + 1
+      end)
+
+(* A request-path failure also counts against the probe streak so the
+   backoff schedule sees it, and pulls the next probe forward — the
+   router wants confirmation quickly, not at the leisurely healthy
+   cadence. *)
+let record_request_failure t =
+  with_lock t (fun () ->
+      t.consecutive_failures <- t.consecutive_failures + 1;
+      t.next_probe_at <- 0.0)
+
+let consecutive_failures t = with_lock t (fun () -> t.consecutive_failures)
+let schedule_probe t ~at = with_lock t (fun () -> t.next_probe_at <- at)
+let probe_due t ~now = with_lock t (fun () -> now >= t.next_probe_at)
+
+let to_json t =
+  with_lock t (fun () ->
+      Server.Json.Assoc
+        [
+          ("endpoint", Server.Json.String t.name);
+          ("state", Server.Json.String (state_string t.state));
+          ("probes", Server.Json.Int t.probes);
+          ("probe_failures", Server.Json.Int t.probe_failures);
+          ("consecutive_failures", Server.Json.Int t.consecutive_failures);
+          ("since_change_s", Server.Json.Float (Unix.gettimeofday () -. t.last_change));
+        ])

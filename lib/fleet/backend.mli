@@ -1,0 +1,46 @@
+(** Router-side view of one backend: ring identity, health state
+    machine, probe schedule. Thread-safe record; the transition
+    {e policy} lives in {!Router}.
+
+    States: [Up] (routable) → [Suspect] (a probe or forwarded request
+    failed; last-resort routing only) → [Down] (another failure;
+    excluded, probed with capped-jitter backoff) → [Recovering] (a
+    probe succeeded again; warm-cache handoff in progress, routable) →
+    [Up]. [Draining] is entered when the backend's own [health] reports
+    it (SIGTERM received): excluded from routing, its hot keys are
+    handed to their new owners, and the expected death then takes it to
+    [Down]. *)
+
+type state = Up | Suspect | Down | Recovering | Draining
+
+val state_string : state -> string
+val routable : state -> bool
+(** [Up] or [Recovering]. *)
+
+type t
+
+val create : Server.Netline.endpoint -> t
+(** Starts [Up] with a probe due immediately: optimistic routing from
+    the first request, but a dead backend is discovered within one
+    probe tick. *)
+
+val name : t -> string
+(** Canonical endpoint string — the backend's stable ring identity. *)
+
+val endpoint : t -> Server.Netline.endpoint
+val state : t -> state
+val set_state : t -> state -> unit
+
+val record_probe : t -> ok:bool -> unit
+(** Accounts one probe; failure extends the consecutive-failure streak,
+    success resets it. *)
+
+val record_request_failure : t -> unit
+(** A forwarded request failed on transport: extends the failure streak
+    and pulls the next probe forward to now. *)
+
+val consecutive_failures : t -> int
+val schedule_probe : t -> at:float -> unit
+val probe_due : t -> now:float -> bool
+val to_json : t -> Server.Json.t
+(** The router-[stats] shape: endpoint, state, probe counters. *)

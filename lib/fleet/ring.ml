@@ -1,0 +1,72 @@
+(* Consistent-hash ring with virtual nodes.
+
+   Every backend contributes [vnodes] hash points ("name#i"); a key is
+   owned by the first point clockwise from its own hash. The ring is
+   built over the *configured* backend set and never rebuilt on health
+   transitions — liveness is a routing-time filter over the preference
+   sequence. That is what makes placement stable: a backend going down
+   moves only the keys it owned (to their next-preference owner), and
+   its recovery moves exactly those keys back. *)
+
+type t = {
+  points : (int * string) array; (* sorted by (hash, name) *)
+  names : string array;
+  vnodes : int;
+}
+
+(* First 56 bits of MD5: plenty of spread, always a non-negative OCaml
+   int. Deterministic across processes (unlike Hashtbl.hash no-seed
+   guarantees we'd rather not rely on): router and tests must agree on
+   placement. *)
+let hash_key s =
+  let d = Digest.string s in
+  let rec go acc i = if i > 6 then acc else go ((acc lsl 8) lor Char.code d.[i]) (i + 1) in
+  go 0 0
+
+let create ?(vnodes = 64) names =
+  if names = [] then invalid_arg "Ring.create: no backends";
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be >= 1";
+  let uniq = List.sort_uniq compare names in
+  if List.length uniq <> List.length names then invalid_arg "Ring.create: duplicate backend name";
+  if List.exists (fun n -> n = "") names then invalid_arg "Ring.create: empty backend name";
+  let points =
+    List.concat_map
+      (fun name ->
+        List.init vnodes (fun i -> (hash_key (Printf.sprintf "%s#%d" name i), name)))
+      names
+  in
+  let points = Array.of_list points in
+  Array.sort compare points;
+  { points; names = Array.of_list names; vnodes }
+
+let backends t = Array.to_list t.names
+let vnodes t = t.vnodes
+
+(* Index of the first point strictly clockwise of [h], wrapping. *)
+let successor t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) <= h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let owners t key =
+  let n = Array.length t.points in
+  let total = Array.length t.names in
+  let seen = Hashtbl.create total in
+  let acc = ref [] in
+  let start = successor t (hash_key key) in
+  let steps = ref 0 in
+  while Hashtbl.length seen < total && !steps < n do
+    let _, name = t.points.((start + !steps) mod n) in
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      acc := name :: !acc
+    end;
+    incr steps
+  done;
+  List.rev !acc
+
+let owner t ~live key = List.find_opt live (owners t key)

@@ -1,0 +1,778 @@
+(* The fleet front end: consistent-hash routing of protocol requests
+   across N backend daemons, with singleflight coalescing, probe-driven
+   health, bounded rehash-and-retry failover and warm-cache handoff.
+
+   The router speaks the same wire protocol on both sides: clients talk
+   to it exactly as they would to a single backend, and it forwards
+   single jobs over Server.Client (the same retrying connector the CLI
+   uses). Forwarding is safe to retry anywhere because every routed op
+   is idempotent — analyses are pure and content-addressed. *)
+
+module Json = Server.Json
+module Protocol = Server.Protocol
+
+type config = {
+  vnodes : int;
+  failover_attempts : int;
+  probe_interval_ms : int;
+  probe_backoff_cap_ms : int;
+  probe_timeout_ms : int;
+  handoff_max_entries : int;
+  degraded_retry_after_ms : int;
+  max_line_bytes : int;
+}
+
+let default_config =
+  {
+    vnodes = 64;
+    failover_attempts = 3;
+    probe_interval_ms = 500;
+    probe_backoff_cap_ms = 5000;
+    probe_timeout_ms = 2000;
+    handoff_max_entries = 256;
+    degraded_retry_after_ms = 500;
+    max_line_bytes = 4 * 1024 * 1024;
+  }
+
+(* A forwarded request either yields the backend's result payload or a
+   structured error object; both are plain values so singleflight
+   followers share them without exception plumbing. *)
+type forwarded = Payload of Json.t | Failed of Json.t
+
+type t = {
+  config : config;
+  ring : Ring.t;
+  backends : Backend.t list;
+  by_name : (string, Backend.t) Hashtbl.t;
+  flight : forwarded Singleflight.t;
+  metrics : Server.Metrics.t;
+  registry : Obs.Registry.t;
+  faults : Server.Faults.t;
+  (* circuit-name -> netlist digest memo: routing needs the digest of
+     every request, and regenerating c7552 per request would be silly *)
+  digests : (string, string) Hashtbl.t;
+  digest_lock : Mutex.t;
+  rng : Physics.Rng.t;
+  rng_lock : Mutex.t;
+  mutable running : bool;
+  state : Mutex.t;
+  seq : int Atomic.t;
+  started_at : float;
+}
+
+let backend t name = Hashtbl.find t.by_name name
+let metrics t = t.metrics
+let registry t = t.registry
+let ring t = t.ring
+let backend_list t = t.backends
+let uptime_s t = Unix.gettimeofday () -. t.started_at
+
+let running t =
+  Mutex.lock t.state;
+  let r = t.running in
+  Mutex.unlock t.state;
+  r
+
+let register_collectors t =
+  let r = t.registry in
+  Obs.Registry.register r (fun () -> Server.Metrics.registry_samples t.metrics);
+  Obs.Registry.register_gauge r ~name:"nbti_fleet_uptime_seconds"
+    ~help:"Seconds since the router was created." (fun () -> uptime_s t);
+  Obs.Registry.register r (fun () ->
+      List.concat_map
+        (fun b ->
+          let s = Backend.state b in
+          let labels = [ ("backend", Backend.name b) ] in
+          [
+            {
+              Obs.Registry.name = "nbti_fleet_backend_up";
+              help = "1 when the backend is routable (up or recovering).";
+              labels;
+              value = Obs.Registry.Gauge (if Backend.routable s then 1.0 else 0.0);
+            };
+            {
+              Obs.Registry.name = "nbti_fleet_backend_state";
+              help = "Constant 1; the backend's current state is the label.";
+              labels = labels @ [ ("state", Backend.state_string s) ];
+              value = Obs.Registry.Gauge 1.0;
+            };
+          ])
+        t.backends)
+
+let create ?(config = default_config) ?(faults = Server.Faults.none) endpoints =
+  if endpoints = [] then invalid_arg "Router.create: no backends";
+  let backends = List.map Backend.create endpoints in
+  let ring = Ring.create ~vnodes:config.vnodes (List.map Backend.name backends) in
+  let by_name = Hashtbl.create 8 in
+  List.iter (fun b -> Hashtbl.replace by_name (Backend.name b) b) backends;
+  let t =
+    {
+      config;
+      ring;
+      backends;
+      by_name;
+      flight = Singleflight.create ();
+      metrics = Server.Metrics.create ();
+      registry = Obs.Registry.create ();
+      faults;
+      digests = Hashtbl.create 16;
+      digest_lock = Mutex.create ();
+      rng = Physics.Rng.split (Physics.Rng.create ~seed:11);
+      rng_lock = Mutex.create ();
+      running = false;
+      state = Mutex.create ();
+      seq = Atomic.make 0;
+      started_at = Unix.gettimeofday ();
+    }
+  in
+  register_collectors t;
+  t
+
+(* --- fault injection at router sites --- *)
+
+let sleep_ms ms = if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.0)
+
+(* Applies delays inline; returns whether a [fail] action fired. *)
+let injected_failure t ~site =
+  List.fold_left
+    (fun acc a ->
+      match a with
+      | Server.Faults.Delay_ms ms ->
+        sleep_ms ms;
+        acc
+      | Server.Faults.Fail -> true
+      | Server.Faults.Truncate | Server.Faults.Shed -> acc)
+    false
+    (Server.Faults.fire t.faults ~site)
+
+let backoff t policy ~attempt ?retry_after_ms () =
+  Mutex.lock t.rng_lock;
+  let ms = Server.Retry.backoff_ms policy ~attempt ?retry_after_ms ~rng:t.rng () in
+  Mutex.unlock t.rng_lock;
+  ms
+
+(* --- routing --- *)
+
+exception Reject of Protocol.error_code * string * (string * Json.t) list
+
+let circuit_digest t = function
+  | Protocol.Named name -> begin
+    Mutex.lock t.digest_lock;
+    let memo = Hashtbl.find_opt t.digests name in
+    Mutex.unlock t.digest_lock;
+    match memo with
+    | Some d -> d
+    | None -> begin
+      match Circuit.Generators.by_name name with
+      | net ->
+        let d = Circuit.Netlist.digest net in
+        Mutex.lock t.digest_lock;
+        Hashtbl.replace t.digests name d;
+        Mutex.unlock t.digest_lock;
+        d
+      | exception Not_found ->
+        raise
+          (Reject
+             ( Protocol.Bad_request,
+               Printf.sprintf "unknown circuit %S (expected an ISCAS85 name or inline bench text)"
+                 name,
+               [] ))
+    end
+  end
+  | Protocol.Bench text -> begin
+    match Circuit.Bench_io.parse_result ~name:"inline" text with
+    | Ok net -> Circuit.Netlist.digest net
+    | Error { Circuit.Bench_io.line; message } ->
+      raise
+        (Reject
+           ( Protocol.Invalid_request,
+             "bench parse error: " ^ message,
+             match line with Some l -> [ ("line", Json.Int l) ] | None -> [] ))
+  end
+
+(* The routing key IS the backend's cache key: requests that would hit
+   the same cache entry land on the same backend, which is the whole
+   point of hashing by digest + config fingerprint. *)
+let job_key t job =
+  let circuit =
+    match job with
+    | Protocol.Analyze { circuit; _ }
+    | Protocol.Ivc_search { circuit; _ }
+    | Protocol.Sleep_sizing { circuit; _ } ->
+      circuit
+  in
+  Protocol.job_cache_key job ~circuit_digest:(circuit_digest t circuit)
+
+(* Failover candidates: the ring's preference order filtered to
+   routable backends, then Suspect ones as a last resort (a Suspect
+   backend may just have had one unlucky probe). Down and Draining are
+   never candidates. *)
+let candidates t key =
+  let pref = Ring.owners t.ring key in
+  let routable, rest =
+    List.partition (fun n -> Backend.routable (Backend.state (backend t n))) pref
+  in
+  let suspects = List.filter (fun n -> Backend.state (backend t n) = Backend.Suspect) rest in
+  routable @ suspects
+
+let forward_read_timeout = function
+  | Some ms -> Some (Float.max 5.0 (4.0 *. float_of_int ms /. 1000.0))
+  | None -> None
+
+type attempt_outcome =
+  | Answered of Json.t (* the result payload *)
+  | Refused of Json.t (* a structured, non-retryable error object: final *)
+  | Unavailable of string (* transport failure / retryable exhausted: fail over *)
+
+let try_backend t b ~timeout_ms line =
+  Server.Metrics.incr_counter t.metrics "forward_attempts";
+  if injected_failure t ~site:"connect" then begin
+    Server.Metrics.incr_counter t.metrics "injected_connect_faults";
+    Unavailable "injected connect fault"
+  end
+  else begin
+    let client =
+      Server.Client.create ?read_timeout_s:(forward_read_timeout timeout_ms) (Backend.endpoint b)
+    in
+    Fun.protect
+      ~finally:(fun () -> Server.Client.close client)
+      (fun () ->
+        (* One in-place retry smooths a single dropped connection; real
+           failover (rehashing to the next owner) is the router loop's
+           job, so the per-backend policy stays tight. *)
+        let policy = { Server.Retry.retries = 1; base_ms = 20; cap_ms = 200 } in
+        match Server.Client.call client ~policy line with
+        | Ok response -> begin
+          match Json.of_string response with
+          | json -> begin
+            match (Json.member_opt "ok" json, Json.member_opt "error" json) with
+            | Some (Json.Bool true), _ -> Answered (Json.member "result" json)
+            | _, Some e -> Refused e
+            | _, None -> Unavailable "malformed backend response"
+          end
+          | exception Json.Parse_error _ -> Unavailable "unparseable backend response"
+        end
+        | Error { Server.Client.reason; _ } -> Unavailable reason)
+  end
+
+let degraded_error t ~tried =
+  Json.Assoc
+    [
+      ("code", Json.String (Protocol.error_code_string Protocol.Fleet_degraded));
+      ( "message",
+        Json.String
+          (Printf.sprintf "no live backend owns this hash range (%d backend%s tried)" tried
+             (if tried = 1 then "" else "s")) );
+      ("retry_after_ms", Json.Int t.config.degraded_retry_after_ms);
+      ("backends_tried", Json.Int tried);
+    ]
+
+(* Bounded rehash-and-retry: walk the preference sequence, marking each
+   failed backend Suspect (and pulling its probe forward) before moving
+   on. Safe because every routed op is idempotent; the bound keeps a
+   fully-dark fleet from turning one request into an unbounded scan. *)
+let route t ~key ~timeout_ms line =
+  let cands = List.filteri (fun i _ -> i < t.config.failover_attempts) (candidates t key) in
+  let rec go tried = function
+    | [] ->
+      Server.Metrics.incr_counter t.metrics "fleet_degraded";
+      Failed (degraded_error t ~tried)
+    | name :: rest -> begin
+      let b = backend t name in
+      match try_backend t b ~timeout_ms line with
+      | Answered payload -> Payload payload
+      | Refused e -> Failed e
+      | Unavailable reason ->
+        Server.Metrics.incr_counter t.metrics "backend_failures";
+        Backend.record_request_failure b;
+        (match Backend.state b with
+        | Backend.Up | Backend.Recovering -> Backend.set_state b Backend.Suspect
+        | Backend.Suspect | Backend.Down | Backend.Draining -> ());
+        if Obs.Log.would_log Obs.Log.Warn then
+          Obs.Log.warn
+            ~fields:
+              [
+                ("backend", Obs.Fields.Str name);
+                ("reason", Obs.Fields.Str reason);
+                ("remaining", Obs.Fields.Int (List.length rest));
+              ]
+            "fleet: backend unavailable";
+        if rest <> [] then Server.Metrics.incr_counter t.metrics "failovers";
+        go (tried + 1) rest
+    end
+  in
+  go 0 cands
+
+(* Identical concurrent requests collapse to one backend flight; the
+   singleflight key is the routing key, so followers are exactly the
+   requests that would have computed the same payload. *)
+let forward t ~key ~timeout_ms ~line =
+  let outcome, follower = Singleflight.run t.flight key (fun () -> route t ~key ~timeout_ms line) in
+  if follower then Server.Metrics.incr_counter t.metrics "coalesced";
+  outcome
+
+let encode_line ~timeout_ms request =
+  Json.to_string (Protocol.json_of_envelope { Protocol.id = None; timeout_ms; request })
+
+let forward_job t ~timeout_ms job =
+  let key = job_key t job in
+  forward t ~key ~timeout_ms ~line:(encode_line ~timeout_ms (Protocol.Single job))
+
+(* --- warm-cache handoff --- *)
+
+let handoff_policy = { Server.Retry.retries = 1; base_ms = 20; cap_ms = 200 }
+
+let export_from t src =
+  let line =
+    encode_line ~timeout_ms:None
+      (Protocol.Cache_export { max_entries = t.config.handoff_max_entries })
+  in
+  let client =
+    Server.Client.create
+      ~read_timeout_s:(float_of_int t.config.probe_timeout_ms /. 1000.0)
+      (Backend.endpoint src)
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.Client.close client)
+    (fun () ->
+      match Server.Client.call client ~policy:handoff_policy line with
+      | Ok response -> begin
+        match Json.of_string response with
+        | json -> begin
+          match Json.member_opt "result" json with
+          | Some result -> begin
+            match Json.member_opt "entries" result with
+            | Some (Json.List items) ->
+              List.filter_map
+                (fun item ->
+                  match (Json.member_opt "key" item, Json.member_opt "payload" item) with
+                  | Some (Json.String k), Some payload -> Some (k, payload)
+                  | _ -> None)
+                items
+            | _ -> []
+          end
+          | None -> []
+        end
+        | exception Json.Parse_error _ -> []
+      end
+      | Error _ -> [])
+
+let import_into t dst entries =
+  if entries <> [] then begin
+    let line = encode_line ~timeout_ms:None (Protocol.Cache_import { entries }) in
+    let client =
+      Server.Client.create
+        ~read_timeout_s:(float_of_int t.config.probe_timeout_ms /. 1000.0)
+        (Backend.endpoint dst)
+    in
+    Fun.protect
+      ~finally:(fun () -> Server.Client.close client)
+      (fun () ->
+        match Server.Client.call client ~policy:handoff_policy line with
+        | Ok _ ->
+          let bytes =
+            List.fold_left
+              (fun acc (_, payload) -> acc + String.length (Json.to_string payload))
+              0 entries
+          in
+          Server.Metrics.incr_counter ~by:(List.length entries) t.metrics "handoff_keys";
+          Server.Metrics.incr_counter ~by:bytes t.metrics "handoff_bytes"
+        | Error _ -> Server.Metrics.incr_counter t.metrics "handoff_failures")
+  end
+
+let log_handoff ~kind b n =
+  if Obs.Log.would_log Obs.Log.Info then
+    Obs.Log.info
+      ~fields:
+        [
+          ("backend", Obs.Fields.Str (Backend.name b));
+          ("kind", Obs.Fields.Str kind);
+          ("keys", Obs.Fields.Int n);
+        ]
+      "fleet: warm-cache handoff"
+
+(* A recovered backend reclaims its hash ranges, so replay the hot keys
+   it now owns from the peers that answered for it while it was down.
+   Ownership is evaluated with the recovered backend counted live —
+   exactly the filter routing will use once it is Up. *)
+let recovery_handoff t b =
+  if injected_failure t ~site:"handoff" then
+    Server.Metrics.incr_counter t.metrics "handoff_aborted"
+  else begin
+    Server.Metrics.incr_counter t.metrics "handoffs";
+    let mine = Backend.name b in
+    let live name = name = mine || Backend.routable (Backend.state (backend t name)) in
+    let moved = ref 0 in
+    List.iter
+      (fun peer ->
+        if Backend.name peer <> mine && Backend.state peer = Backend.Up then begin
+          let entries = export_from t peer in
+          let claimed =
+            List.filter (fun (key, _) -> Ring.owner t.ring ~live key = Some mine) entries
+          in
+          moved := !moved + List.length claimed;
+          import_into t b claimed
+        end)
+      t.backends;
+    log_handoff ~kind:"recovery" b !moved
+  end
+
+(* A draining backend hands its heat to each key's next-preference live
+   owner before it exits, so its shutdown does not cost the fleet the
+   warm cache it spent its lifetime building. *)
+let departing_handoff t b =
+  if injected_failure t ~site:"handoff" then
+    Server.Metrics.incr_counter t.metrics "handoff_aborted"
+  else begin
+    Server.Metrics.incr_counter t.metrics "handoffs";
+    let departing = Backend.name b in
+    let live name = name <> departing && Backend.routable (Backend.state (backend t name)) in
+    let entries = export_from t b in
+    let groups = Hashtbl.create 8 in
+    List.iter
+      (fun (key, payload) ->
+        match Ring.owner t.ring ~live key with
+        | Some owner ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt groups owner) in
+          Hashtbl.replace groups owner ((key, payload) :: prev)
+        | None -> ())
+      entries;
+    let moved = ref 0 in
+    Hashtbl.iter
+      (fun owner group ->
+        moved := !moved + List.length group;
+        import_into t (backend t owner) (List.rev group))
+      groups;
+    log_handoff ~kind:"departing" b !moved
+  end
+
+(* --- health probing --- *)
+
+let probe_line = encode_line ~timeout_ms:None Protocol.Health
+
+(* The backend's structured health state ("ok" / "degraded" /
+   "draining"); None when the response is not a well-formed ok. *)
+let probe_backend_state response =
+  match Json.of_string response with
+  | json -> begin
+    match (Json.member_opt "ok" json, Json.member_opt "result" json) with
+    | Some (Json.Bool true), Some result -> begin
+      match Json.member_opt "state" result with
+      | Some (Json.String s) -> Some s
+      | _ -> Some "ok" (* pre-fleet backend: liveness is all it reports *)
+    end
+    | _ -> None
+  end
+  | exception Json.Parse_error _ -> None
+
+let log_transition b ~to_ =
+  if Obs.Log.would_log Obs.Log.Info then
+    Obs.Log.info
+      ~fields:[ ("backend", Obs.Fields.Str (Backend.name b)); ("state", Obs.Fields.Str to_) ]
+      "fleet: backend state"
+
+let on_probe_success t b ~backend_state =
+  Backend.record_probe b ~ok:true;
+  if backend_state = "draining" then begin
+    match Backend.state b with
+    | Backend.Draining -> ()
+    | _ ->
+      Backend.set_state b Backend.Draining;
+      log_transition b ~to_:"draining";
+      departing_handoff t b
+  end
+  else begin
+    match Backend.state b with
+    | Backend.Up -> ()
+    | Backend.Suspect | Backend.Recovering ->
+      Backend.set_state b Backend.Up;
+      log_transition b ~to_:"up"
+    | Backend.Down | Backend.Draining ->
+      (* Back from the dead (or restarted after a drain): warm it up
+         before declaring it fully routable. Recovering is routable, so
+         traffic resumes immediately while the handoff replays. *)
+      Backend.set_state b Backend.Recovering;
+      log_transition b ~to_:"recovering";
+      Server.Metrics.incr_counter t.metrics "recoveries";
+      recovery_handoff t b;
+      Backend.set_state b Backend.Up;
+      log_transition b ~to_:"up"
+  end
+
+let on_probe_failure t b =
+  Backend.record_probe b ~ok:false;
+  Server.Metrics.incr_counter t.metrics "probe_failures";
+  match Backend.state b with
+  | Backend.Up | Backend.Recovering ->
+    Backend.set_state b Backend.Suspect;
+    log_transition b ~to_:"suspect"
+  | Backend.Suspect | Backend.Draining ->
+    Backend.set_state b Backend.Down;
+    log_transition b ~to_:"down"
+  | Backend.Down -> ()
+
+let probe_backend t b =
+  let ok_state =
+    if injected_failure t ~site:"probe" then begin
+      Server.Metrics.incr_counter t.metrics "injected_probe_faults";
+      None
+    end
+    else begin
+      let client =
+        Server.Client.create
+          ~read_timeout_s:(float_of_int t.config.probe_timeout_ms /. 1000.0)
+          (Backend.endpoint b)
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close client)
+        (fun () ->
+          match Server.Client.call client probe_line with
+          | Ok response -> probe_backend_state response
+          | Error _ -> None)
+    end
+  in
+  (match ok_state with
+  | Some backend_state -> on_probe_success t b ~backend_state
+  | None -> on_probe_failure t b);
+  (* Healthy backends are probed at the configured cadence; failing
+     ones back off exponentially with jitter up to the cap, so a dead
+     backend is not hammered and recovering fleets do not probe in
+     lockstep. *)
+  let delay_ms =
+    match ok_state with
+    | Some _ -> t.config.probe_interval_ms
+    | None ->
+      let policy =
+        {
+          Server.Retry.retries = 0;
+          base_ms = t.config.probe_interval_ms;
+          cap_ms = t.config.probe_backoff_cap_ms;
+        }
+      in
+      backoff t policy ~attempt:(max 0 (Backend.consecutive_failures b - 1)) ()
+  in
+  Backend.schedule_probe b ~at:(Unix.gettimeofday () +. (float_of_int delay_ms /. 1000.0))
+
+let probe_due_backends t =
+  let now = Unix.gettimeofday () in
+  List.iter (fun b -> if Backend.probe_due b ~now then probe_backend t b) t.backends
+
+let probe_loop t =
+  while running t do
+    probe_due_backends t;
+    Unix.sleepf 0.05
+  done
+
+(* --- request handling --- *)
+
+let endpoint_name = function
+  | Protocol.Single (Protocol.Analyze _) -> "analyze"
+  | Protocol.Single (Protocol.Ivc_search _) -> "ivc_search"
+  | Protocol.Single (Protocol.Sleep_sizing _) -> "sleep_sizing"
+  | Protocol.Batch _ -> "batch"
+  | Protocol.Calibrate _ -> "calibrate"
+  | Protocol.Health -> "health"
+  | Protocol.Stats -> "stats"
+  | Protocol.Metrics -> "metrics"
+  | Protocol.Cache_export _ -> "cache_export"
+  | Protocol.Cache_import _ -> "cache_import"
+
+let health_result t =
+  let live =
+    List.length (List.filter (fun b -> Backend.routable (Backend.state b)) t.backends)
+  in
+  Json.Assoc
+    [
+      ("status", Json.String "ok");
+      ("state", Json.String (if live = 0 then "degraded" else "ok"));
+      ("role", Json.String "router");
+      ("backends_live", Json.Int live);
+      ("backends_total", Json.Int (List.length t.backends));
+      ("protocol_version", Json.Int Protocol.version);
+      ("uptime_s", Json.Float (uptime_s t));
+    ]
+
+let stats_result t =
+  Json.Assoc
+    [
+      ("role", Json.String "router");
+      ("uptime_s", Json.Float (uptime_s t));
+      ("protocol_version", Json.Int Protocol.version);
+      ( "ring",
+        Json.Assoc
+          [
+            ("vnodes", Json.Int (Ring.vnodes t.ring));
+            ( "backends",
+              Json.List (List.map (fun n -> Json.String n) (Ring.backends t.ring)) );
+          ] );
+      ("backends", Json.List (List.map Backend.to_json t.backends));
+      ( "singleflight",
+        Json.Assoc
+          [
+            ("flights", Json.Int (Singleflight.flights_total t.flight));
+            ("coalesced", Json.Int (Singleflight.coalesced_total t.flight));
+          ] );
+      ("counters", Server.Metrics.counters_json t.metrics);
+      ("endpoints", Server.Metrics.to_json t.metrics);
+      ("faults", Server.Faults.to_json t.faults);
+    ]
+
+let metrics_result t =
+  Json.Assoc
+    [
+      ("kind", Json.String "metrics");
+      ("content_type", Json.String "text/plain; version=0.0.4");
+      ("prometheus", Json.String (Obs.Registry.to_prometheus t.registry));
+    ]
+
+(* Rebuild the client-facing envelope around a backend's error object
+   verbatim — codes, messages and details (retry_after_ms, line, ...)
+   pass through untouched. *)
+let error_envelope ~id e =
+  Json.Assoc
+    ([ ("v", Json.Int Protocol.version) ]
+    @ (match id with None -> [] | Some id -> [ ("id", Json.String id) ])
+    @ [ ("ok", Json.Bool false); ("error", e) ])
+
+(* Per-job error entries inside a batch mirror the backend's own shape:
+   {"kind":"error", ...error object fields}. *)
+let job_error_of = function
+  | Json.Assoc fields -> Json.Assoc (("kind", Json.String "error") :: fields)
+  | other ->
+    Json.Assoc
+      [
+        ("kind", Json.String "error");
+        ("code", Json.String (Protocol.error_code_string Protocol.Internal_error));
+        ("message", Json.String (Json.to_string other));
+      ]
+
+let reject_details code message details =
+  Json.Assoc
+    ([ ("code", Json.String (Protocol.error_code_string code)); ("message", Json.String message) ]
+    @ details)
+
+let dispatch t ~id ~timeout_ms request =
+  match request with
+  | Protocol.Health -> Protocol.ok_response ~id (health_result t)
+  | Protocol.Stats -> Protocol.ok_response ~id (stats_result t)
+  | Protocol.Metrics -> Protocol.ok_response ~id (metrics_result t)
+  | Protocol.Cache_export _ | Protocol.Cache_import _ ->
+    Protocol.error_response ~id Protocol.Invalid_request
+      "cache_export/cache_import are backend-local ops; address a backend directly"
+  | Protocol.Single job -> begin
+    match forward_job t ~timeout_ms job with
+    | Payload payload -> Protocol.ok_response ~id payload
+    | Failed e -> error_envelope ~id e
+  end
+  | Protocol.Calibrate spec -> begin
+    let key = Protocol.calibrate_cache_key spec in
+    let line = encode_line ~timeout_ms (Protocol.Calibrate spec) in
+    match forward t ~key ~timeout_ms ~line with
+    | Payload payload -> Protocol.ok_response ~id payload
+    | Failed e -> error_envelope ~id e
+  end
+  | Protocol.Batch jobs ->
+    (* Jobs are split and routed independently — each to its own owner,
+       each with its own failover — and reassembled in request order.
+       One dead backend therefore fails no sibling jobs. *)
+    let one job =
+      match forward_job t ~timeout_ms job with
+      | Payload payload -> payload
+      | Failed e -> job_error_of e
+      | exception Reject (code, message, details) ->
+        job_error_of (reject_details code message details)
+    in
+    let results = List.map one jobs in
+    Protocol.ok_response ~id
+      (Json.Assoc [ ("kind", Json.String "batch"); ("results", Json.List results) ])
+
+let request_id = function
+  | Json.Assoc kvs -> (
+    match List.assoc_opt "id" kvs with Some (Json.String s) -> Some s | _ -> None)
+  | _ -> None
+
+let fresh_cid t = function
+  | Some id -> id
+  | None -> Printf.sprintf "fleet-%d" (Atomic.fetch_and_add t.seq 1)
+
+let handle t request_json =
+  match Protocol.envelope_of_json request_json with
+  | Error { Protocol.code; message; details } ->
+    let id = request_id request_json in
+    Protocol.error_response ~id ~details code message
+  | Ok { Protocol.id; timeout_ms; request } ->
+    let endpoint = endpoint_name request in
+    Obs.Ctx.with_id (fresh_cid t id) @@ fun () ->
+    (try Server.Metrics.time t.metrics ~endpoint (fun () -> dispatch t ~id ~timeout_ms request)
+     with
+    | Reject (code, message, details) -> Protocol.error_response ~id ~details code message
+    | Json.Type_error m -> Protocol.error_response ~id Protocol.Bad_request m
+    | exn -> Protocol.error_response ~id Protocol.Internal_error (Printexc.to_string exn))
+
+let handle_line t line =
+  let response =
+    match Json.of_string line with
+    | exception Json.Parse_error m -> Protocol.error_response ~id:None Protocol.Parse_error m
+    | json -> handle t json
+  in
+  Json.to_string response
+
+(* --- serving --- *)
+
+let connection_loop t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let write_response line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match Server.Netline.read_request_line ic ~max_bytes:t.config.max_line_bytes with
+    | Server.Netline.Eof -> ()
+    | Server.Netline.Oversized ->
+      write_response
+        (Json.to_string
+           (Protocol.error_response ~id:None
+              ~details:[ ("max_line_bytes", Json.Int t.config.max_line_bytes) ]
+              Protocol.Invalid_request
+              (Printf.sprintf "request line exceeds %d bytes" t.config.max_line_bytes)));
+      loop ()
+    | Server.Netline.Line line ->
+      let line =
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+      in
+      if String.trim line <> "" then write_response (handle_line t line);
+      loop ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try loop () with
+      | Sys_error _ | Unix.Unix_error _ -> Server.Metrics.incr_counter t.metrics "disconnects")
+
+let stop t =
+  Mutex.lock t.state;
+  t.running <- false;
+  Mutex.unlock t.state
+
+let install_signal_handlers t =
+  let handler = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigint handler;
+  Sys.set_signal Sys.sigterm handler
+
+let serve t endpoint ?(on_ready = fun () -> ()) () =
+  Mutex.lock t.state;
+  t.running <- true;
+  Mutex.unlock t.state;
+  let prober = Thread.create (fun () -> probe_loop t) () in
+  Fun.protect
+    ~finally:(fun () ->
+      stop t;
+      Thread.join prober)
+    (fun () ->
+      Server.Netline.serve endpoint ~on_ready
+        ~running:(fun () -> running t)
+        ~on_connection:(fun fd -> connection_loop t fd)
+        ())

@@ -1,0 +1,68 @@
+(** The fleet front end: one router process speaking the standard wire
+    protocol, consistent-hash routing every job to a backend keyed by
+    netlist digest + platform fingerprint (= the backend's cache key),
+    with:
+
+    - {e singleflight coalescing}: identical concurrent requests
+      collapse to one backend flight; followers share the leader's
+      payload or error.
+    - {e probe-driven health}: each backend walks
+      Up → Suspect → Down → Recovering → Up (plus Draining when the
+      backend's own [health] reports a drain), probed with
+      capped-jitter backoff while failing.
+    - {e bounded failover}: a request whose owner dies is rehashed to
+      the next live owner (safe — every routed op is idempotent), at
+      most [failover_attempts] times, then fails with [fleet_degraded]
+      (retryable, carries [retry_after_ms]).
+    - {e warm-cache handoff}: [cache_export]/[cache_import] move hot
+      entries to a recovered backend (from its peers) or from a
+      draining one (to each key's next owner).
+    - {e per-shard observability}: router-side counters
+      (coalesced, failovers, handoff_keys/bytes, ...) and per-backend
+      state gauges, surfaced through the router's own [stats] and
+      [metrics] ops. *)
+
+type config = {
+  vnodes : int;  (** virtual nodes per backend on the hash ring *)
+  failover_attempts : int;  (** max backends tried per request *)
+  probe_interval_ms : int;  (** healthy-backend probe cadence *)
+  probe_backoff_cap_ms : int;  (** ceiling for failing-backend probe backoff *)
+  probe_timeout_ms : int;  (** per-probe read timeout *)
+  handoff_max_entries : int;  (** cache entries moved per handoff export *)
+  degraded_retry_after_ms : int;  (** hint attached to [fleet_degraded] *)
+  max_line_bytes : int;  (** client request line bound *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> ?faults:Server.Faults.t -> Server.Netline.endpoint list -> t
+(** Fleet over the given backends (their canonical endpoint strings are
+    the ring identities — raises [Invalid_argument] on duplicates or an
+    empty list). Fault sites honored router-side: [connect] (forwarding
+    connections), [probe], [handoff]. *)
+
+val handle_line : t -> string -> string
+(** One request line in, one response line out (no trailing newline) —
+    the protocol entry point, also used directly by tests. *)
+
+val serve : t -> Server.Netline.endpoint -> ?on_ready:(unit -> unit) -> unit -> unit
+(** Listens and serves until {!stop}; runs the probe thread for the
+    duration. Blocks the calling thread. *)
+
+val stop : t -> unit
+val install_signal_handlers : t -> unit
+(** SIGINT and SIGTERM both {!stop} the router — it holds no state
+    worth draining; in-flight forwards finish on their own threads. *)
+
+val probe_due_backends : t -> unit
+(** One probe pass over the backends whose probes are due (the probe
+    thread's tick); exposed for deterministic tests. *)
+
+val health_result : t -> Server.Json.t
+val stats_result : t -> Server.Json.t
+val metrics : t -> Server.Metrics.t
+val registry : t -> Obs.Registry.t
+val ring : t -> Ring.t
+val backend_list : t -> Backend.t list

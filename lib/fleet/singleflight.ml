@@ -1,0 +1,63 @@
+(* Duplicate-suppression for identical in-flight work: the first caller
+   of a key becomes its leader and computes; callers arriving while the
+   leader is in flight become followers and share the leader's outcome —
+   value or exception. The entry is removed before followers wake, so a
+   caller arriving after completion starts a fresh flight (results are
+   not cached here; that is the backend cache's job). *)
+
+type 'a entry = {
+  mutable outcome : ('a, exn) result option;
+  cond : Condition.t;
+}
+
+type 'a t = {
+  lock : Mutex.t;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable coalesced : int;
+  mutable flights : int;
+}
+
+let create () =
+  { lock = Mutex.create (); table = Hashtbl.create 64; coalesced = 0; flights = 0 }
+
+let coalesced_total t =
+  Mutex.lock t.lock;
+  let n = t.coalesced in
+  Mutex.unlock t.lock;
+  n
+
+let flights_total t =
+  Mutex.lock t.lock;
+  let n = t.flights in
+  Mutex.unlock t.lock;
+  n
+
+let run t key f =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.table key with
+  | Some entry ->
+    t.coalesced <- t.coalesced + 1;
+    let rec wait () =
+      match entry.outcome with
+      | None ->
+        Condition.wait entry.cond t.lock;
+        wait ()
+      | Some outcome -> outcome
+    in
+    let outcome = wait () in
+    Mutex.unlock t.lock;
+    (match outcome with Ok v -> (v, true) | Error exn -> raise exn)
+  | None ->
+    let entry = { outcome = None; cond = Condition.create () } in
+    Hashtbl.replace t.table key entry;
+    t.flights <- t.flights + 1;
+    Mutex.unlock t.lock;
+    let outcome = try Ok (f ()) with exn -> Error exn in
+    Mutex.lock t.lock;
+    entry.outcome <- Some outcome;
+    (* Remove before broadcasting: late arrivals must lead a fresh
+       flight, not read a stale outcome. *)
+    Hashtbl.remove t.table key;
+    Condition.broadcast entry.cond;
+    Mutex.unlock t.lock;
+    (match outcome with Ok v -> (v, false) | Error exn -> raise exn)

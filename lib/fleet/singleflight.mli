@@ -1,0 +1,28 @@
+(** Singleflight: coalescing of identical in-flight work.
+
+    Concurrent calls with the same key collapse to one execution — the
+    first caller (the {e leader}) runs the thunk; callers that arrive
+    while it is in flight (the {e followers}) block and share the
+    leader's outcome, value or exception alike. Sharing errors is
+    deliberate: if the leader's backend died, every follower sees the
+    same structured error and retries through its own client policy,
+    rather than stampeding the fleet with the very request that is
+    failing.
+
+    Completion removes the key {e before} followers wake, so a call
+    arriving after completion leads a fresh flight — this is in-flight
+    deduplication only, never a cache. Thread-safe. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val run : 'a t -> string -> (unit -> 'a) -> 'a * bool
+(** [run t key f] returns [(outcome, was_follower)]. The leader's
+    exception, if any, is re-raised in the leader and every follower. *)
+
+val coalesced_total : 'a t -> int
+(** Calls that became followers since creation. *)
+
+val flights_total : 'a t -> int
+(** Calls that became leaders since creation. *)

@@ -148,6 +148,21 @@ let find_or_add t key compute =
     add t key v;
     (v, false)
 
+(* Pure snapshot in recency order (head = MRU): no counter updates, no
+   recency churn — exporting a cache for warm handoff must not look
+   like traffic. *)
+let entries ?max t =
+  with_lock t (fun () ->
+      let cap = match max with Some m -> m | None -> max_int in
+      let rec go acc n node =
+        if n >= cap then List.rev acc
+        else
+          match node with
+          | None -> List.rev acc
+          | Some nd -> go ((nd.key, nd.value) :: acc) (n + 1) nd.next
+      in
+      go [] 0 t.head)
+
 let clear t =
   with_lock t (fun () ->
       Hashtbl.reset t.table;

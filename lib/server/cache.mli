@@ -51,6 +51,12 @@ val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a * bool
     (last insert wins); results are content-addressed so both are
     identical. *)
 
+val entries : ?max:int -> 'a t -> (string * 'a) list
+(** Snapshot of resident entries in recency order, most recent first,
+    truncated to [max] when given. Pure observation: touches no
+    counters and no recency state — the fleet's warm-cache handoff
+    must not masquerade as traffic. *)
+
 val clear : 'a t -> unit
 (** Drops all entries; counters are preserved. *)
 

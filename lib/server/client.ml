@@ -1,0 +1,114 @@
+(* Resilient protocol client: one endpoint, a lazily (re)established
+   connection, and a retry loop shared by the CLI `request` command and
+   the fleet router's backend connector. *)
+
+type t = {
+  endpoint : Netline.endpoint;
+  read_timeout_s : float option;
+  mutable conn : (in_channel * out_channel * Unix.file_descr) option;
+}
+
+let create ?read_timeout_s endpoint = { endpoint; read_timeout_s; conn = None }
+let endpoint t = t.endpoint
+
+let close t =
+  match t.conn with
+  | Some (_, _, fd) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    t.conn <- None
+  | None -> ()
+
+(* The descriptor is closed on a failed connect: a refused or missing
+   endpoint must cost nothing but the attempt, no matter how many
+   retries a rolling restart makes the caller burn. *)
+let connect t =
+  let domain, addr = Netline.sockaddr_of_endpoint t.endpoint in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd addr;
+    match t.read_timeout_s with
+    | Some s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+    | None -> ()
+  with
+  | () -> (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd, fd)
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let get_conn t =
+  match t.conn with
+  | Some c -> c
+  | None ->
+    let c = connect t in
+    t.conn <- Some c;
+    c
+
+type attempt =
+  | Done of string
+  | Retryable of { response : string option; reason : string; retry_after_ms : int option }
+
+(* One attempt: [Done] carries a response line (success or a
+   non-retryable error — the caller inspects it); [Retryable] means the
+   failure reflects server state, not the request. Connection refusal
+   (ECONNREFUSED, or ENOENT on a not-yet-bound Unix socket) is
+   classified exactly like an [overloaded] response: a backend mid-
+   restart is a transient condition, so rolling restarts stay invisible
+   to callers that opted into retries. *)
+let attempt t line =
+  let transient ?response reason retry_after_ms = Retryable { response; reason; retry_after_ms } in
+  match get_conn t with
+  | exception Unix.Unix_error (err, fn, arg) ->
+    transient (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err)) None
+  | ic, oc, _ -> begin
+    match
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      input_line ic
+    with
+    | response -> begin
+      match Json.of_string response with
+      | json -> begin
+        match Protocol.response_result json with
+        | Ok _ -> Done response
+        | Error (code, _) when Protocol.retryable_code_string code ->
+          transient ~response ("server " ^ code) (Protocol.error_detail_int json "retry_after_ms")
+        | Error _ -> Done response
+        | exception Json.Type_error _ -> Done response
+      end
+      | exception Json.Parse_error _ ->
+        close t;
+        transient "truncated or unparseable response" None
+    end
+    | exception End_of_file ->
+      close t;
+      transient "server closed the connection" None
+    | exception Sys_error m ->
+      close t;
+      transient m None
+    | exception Unix.Unix_error (err, _, _) ->
+      close t;
+      transient (Unix.error_message err) None
+  end
+
+type failure = { attempts : int; reason : string; last_response : string option }
+
+let call t ?(policy = Retry.default_policy) ?rng
+    ?(on_retry = fun ~attempt:_ ~reason:_ ~sleep_ms:_ -> ()) line =
+  let rng =
+    match rng with Some r -> r | None -> Physics.Rng.split (Physics.Rng.create ~seed:0)
+  in
+  let rec go attempt_no =
+    match attempt t line with
+    | Done response -> Ok response
+    | Retryable { response; reason; retry_after_ms } ->
+      if attempt_no >= policy.Retry.retries then
+        Error { attempts = attempt_no + 1; reason; last_response = response }
+      else begin
+        let sleep_ms = Retry.backoff_ms policy ~attempt:attempt_no ?retry_after_ms ~rng () in
+        on_retry ~attempt:attempt_no ~reason ~sleep_ms;
+        if sleep_ms > 0 then Unix.sleepf (float_of_int sleep_ms /. 1000.0);
+        go (attempt_no + 1)
+      end
+  in
+  go 0

@@ -1,0 +1,57 @@
+(** Resilient wire-protocol client.
+
+    One request line out, one response line in, over a lazily
+    (re)established connection to a single {!Netline.endpoint}. The
+    retry loop and its failure classification live here so the CLI
+    [request] command and the fleet router's backend connector behave
+    identically; every protocol operation is idempotent
+    (content-addressed, cached), so retrying is always {e safe} — the
+    policy only decides when it is useful.
+
+    Classified as retryable: connection refusal (ECONNREFUSED, or
+    ENOENT on a not-yet-bound Unix socket — a backend mid-restart looks
+    exactly like an overloaded one), lost / truncated / unparseable
+    responses, and responses whose error code is retryable per
+    {!Protocol.retryable_code_string} (honoring their [retry_after_ms]
+    hint). Everything else — including structured non-retryable errors —
+    is a final answer. A failed connect closes its descriptor, so
+    endless retries against a dead endpoint leak nothing. *)
+
+type t
+
+val create : ?read_timeout_s:float -> Netline.endpoint -> t
+(** [read_timeout_s] arms SO_RCVTIMEO on each established connection so
+    a deadline-bounded request cannot hang the caller on a wedged
+    server. No connection is opened until the first attempt. *)
+
+val endpoint : t -> Netline.endpoint
+
+val close : t -> unit
+(** Drops the current connection, if any. Idempotent; {!attempt} and
+    {!call} transparently reconnect afterwards. *)
+
+type attempt =
+  | Done of string  (** a response line: success {e or} a non-retryable error *)
+  | Retryable of { response : string option; reason : string; retry_after_ms : int option }
+      (** transient failure; [response] carries the server's last word
+          when there was one (e.g. the [overloaded] envelope) *)
+
+val attempt : t -> string -> attempt
+(** One send/receive round trip of a single request line (no newline).
+    Never raises on transport failure — broken connections are closed
+    and reported as [Retryable]. *)
+
+type failure = { attempts : int; reason : string; last_response : string option }
+
+val call :
+  t ->
+  ?policy:Retry.policy ->
+  ?rng:Physics.Rng.t ->
+  ?on_retry:(attempt:int -> reason:string -> sleep_ms:int -> unit) ->
+  string ->
+  (string, failure) result
+(** {!attempt} under a {!Retry} policy: transient failures back off
+    (capped exponential, equal jitter, honoring [retry_after_ms]) and
+    retry up to [policy.retries] times. [on_retry] fires before each
+    backoff sleep. [rng] defaults to a fixed-seed stream; pass one for
+    reproducible schedules across calls. *)

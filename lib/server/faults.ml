@@ -15,7 +15,10 @@ type t = { rules : rule list; lock : Mutex.t }
 let none = { rules = []; lock = Mutex.create () }
 let is_empty t = t.rules = []
 
-let known_sites = [ "admission"; "compute"; "write" ]
+(* The first three sites fire inside the backend daemon; connect /
+   probe / handoff fire inside the fleet router, so one grammar chaos-
+   tests the whole fleet. *)
+let known_sites = [ "admission"; "compute"; "write"; "connect"; "probe"; "handoff" ]
 
 let action_to_string = function
   | Delay_ms ms -> Printf.sprintf "delay:%d" ms

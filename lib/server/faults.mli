@@ -5,7 +5,9 @@
 
     - {b sites} — ["admission"] (request admission), ["compute"] (job
       execution inside a worker), ["write"] (response serialization onto
-      the socket);
+      the socket); and, inside the fleet router, ["connect"] (dialing a
+      backend for a forwarded request), ["probe"] (a health probe) and
+      ["handoff"] (a warm-cache handoff transfer);
     - {b actions} — [delay:MS] (sleep before proceeding), [fail] (raise
       {!Injected} as if the worker crashed), [truncate] (cut the response
       line short and drop the connection), [shed] (force admission

@@ -1,0 +1,109 @@
+(* Shared newline-delimited socket plumbing: endpoint addressing, the
+   bounded request-line reader and the polling accept loop. Both the
+   backend daemon (Service) and the fleet router serve through this
+   module, so their connection semantics cannot drift apart. *)
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+let endpoint_of_string s =
+  let tcp rest =
+    match String.rindex_opt rest ':' with
+    | Some i -> begin
+      let host = String.sub rest 0 i in
+      let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+      | _ -> Error (Printf.sprintf "bad TCP port %S" port)
+    end
+    | None -> Error "tcp endpoint must look like tcp:HOST:PORT"
+  in
+  if String.length s >= 5 && String.sub s 0 5 = "unix:" then
+    Ok (Unix_socket (String.sub s 5 (String.length s - 5)))
+  else if String.length s >= 4 && String.sub s 0 4 = "tcp:" then
+    tcp (String.sub s 4 (String.length s - 4))
+  else if s <> "" then Ok (Unix_socket s)
+  else Error "empty endpoint"
+
+let endpoint_to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let sockaddr_of_endpoint = function
+  | Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Tcp (host, port) ->
+    let ip =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_of_string host
+    in
+    (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+
+(* Bounded request-line reader: a line longer than [max_bytes] is
+   drained (framing stays intact) and reported, never buffered whole.
+   A line cut off by EOF is returned as-is — its JSON parse fails with a
+   structured [parse_error], which is the right answer for a client that
+   died mid-request. *)
+type read_line = Line of string | Oversized | Eof
+
+let read_request_line ic ~max_bytes =
+  let buf = Buffer.create 256 in
+  let rec drain () =
+    match input_char ic with exception End_of_file -> () | '\n' -> () | _ -> drain ()
+  in
+  let rec go () =
+    match input_char ic with
+    | exception End_of_file -> if Buffer.length buf = 0 then Eof else Line (Buffer.contents buf)
+    | '\n' -> Line (Buffer.contents buf)
+    | c ->
+      Buffer.add_char buf c;
+      if Buffer.length buf > max_bytes then begin
+        drain ();
+        Oversized
+      end
+      else go ()
+  in
+  go ()
+
+let serve endpoint ?(backlog = 64) ?(on_ready = fun () -> ()) ~running ~on_connection () =
+  (* A client closing its socket mid-response must surface as a write
+     error on that connection, not kill the process with SIGPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let path =
+    match endpoint with
+    | Unix_socket p ->
+      if Sys.file_exists p then ( try Unix.unlink p with Unix.Unix_error _ -> ());
+      Some p
+    | Tcp _ -> None
+  in
+  let domain, addr = sockaddr_of_endpoint endpoint in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd addr;
+  Unix.listen fd backlog;
+  on_ready ();
+  (* The accept loop polls the stop flag (select with a short timeout)
+     because on Linux closing a listening fd from another thread does
+     not wake a blocked accept(2). *)
+  let rec accept_loop () =
+    if running () then begin
+      match Unix.select [ fd ] [] [] 0.2 with
+      | [], _, _ -> accept_loop ()
+      | _ :: _, _, _ -> begin
+        match Unix.accept fd with
+        | client, _ ->
+          ignore (Thread.create (fun () -> on_connection client) ());
+          accept_loop ()
+        | exception
+            Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+          ->
+          accept_loop ()
+      end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      match path with
+      | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+      | None -> ())
+    accept_loop

@@ -1,0 +1,44 @@
+(** Shared plumbing for newline-delimited-JSON socket servers.
+
+    {!Service} (the backend daemon) and the fleet router both serve one
+    request per line over a Unix-domain or TCP socket; this module holds
+    the pieces they must agree on — endpoint addressing, the bounded
+    request-line reader, and the polling accept loop — so the two
+    serving paths cannot drift apart. *)
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+val endpoint_of_string : string -> (endpoint, string) result
+(** ["unix:/path/to.sock"] or ["tcp:HOST:PORT"]; a bare path with no
+    scheme is a Unix socket. *)
+
+val endpoint_to_string : endpoint -> string
+(** Canonical spelling, re-parsable by {!endpoint_of_string}; the fleet
+    uses it as the backend's stable ring identity. *)
+
+val sockaddr_of_endpoint : endpoint -> Unix.socket_domain * Unix.sockaddr
+(** Resolves a TCP host via [gethostbyname], falling back to a literal
+    address. @raise Failure on an unresolvable host. *)
+
+(** Bounded request-line reader: a line longer than [max_bytes] is
+    drained (framing stays intact) and reported as [Oversized], never
+    buffered whole; a line cut off by EOF is returned as-is so its JSON
+    parse fails with a structured error. *)
+type read_line = Line of string | Oversized | Eof
+
+val read_request_line : in_channel -> max_bytes:int -> read_line
+
+val serve :
+  endpoint ->
+  ?backlog:int ->
+  ?on_ready:(unit -> unit) ->
+  running:(unit -> bool) ->
+  on_connection:(Unix.file_descr -> unit) ->
+  unit ->
+  unit
+(** Binds, listens and accepts until [running ()] goes false (polled at
+    ~200 ms): each accepted connection runs [on_connection] on its own
+    thread, which owns (and must close) the descriptor. Ignores SIGPIPE
+    for the whole process. [on_ready] runs once the socket is listening.
+    A pre-existing Unix socket file is replaced; the file is unlinked on
+    shutdown. Requires the [threads] runtime. *)

@@ -72,6 +72,8 @@ type request =
   | Health
   | Stats
   | Metrics
+  | Cache_export of { max_entries : int }
+  | Cache_import of { entries : (string * Json.t) list }
 
 type envelope = { id : string option; timeout_ms : int option; request : request }
 
@@ -88,6 +90,8 @@ let ops =
     ("health", "liveness probe");
     ("stats", "service statistics snapshot");
     ("metrics", "Prometheus text-exposition snapshot");
+    ("cache_export", "snapshot of the hottest result-cache entries (warm handoff)");
+    ("cache_import", "seed the result cache from exported entries (warm handoff)");
   ]
 
 let supported_ops = List.map fst ops
@@ -99,6 +103,7 @@ type error_code =
   | Invalid_request
   | Deadline_exceeded
   | Overloaded
+  | Fleet_degraded
   | Internal_error
 
 let error_code_string = function
@@ -108,21 +113,24 @@ let error_code_string = function
   | Invalid_request -> "invalid_request"
   | Deadline_exceeded -> "deadline_exceeded"
   | Overloaded -> "overloaded"
+  | Fleet_degraded -> "fleet_degraded"
   | Internal_error -> "internal_error"
 
 (* Transient errors: an identical retry may succeed because the failure
    came from server state (load) rather than the request itself. All
    operations are idempotent (pure analyses), so retrying is always
-   safe; this classifies only whether it is *useful*. *)
+   safe; this classifies only whether it is *useful*. [Fleet_degraded]
+   is the router's "no live owner for this hash range right now" — a
+   probe cycle later the range usually has one again. *)
 let error_code_retryable = function
-  | Overloaded -> true
+  | Overloaded | Fleet_degraded -> true
   | Parse_error | Unsupported_version | Bad_request | Invalid_request | Deadline_exceeded
   | Internal_error ->
     false
 
 let retryable_code_string s =
   match s with
-  | "overloaded" -> true
+  | "overloaded" | "fleet_degraded" -> true
   | _ -> false
 
 (* --- Decoding --- *)
@@ -383,6 +391,27 @@ let envelope_of_json json =
         | Some (Json.String "health") -> Ok { id; timeout_ms; request = Health }
         | Some (Json.String "stats") -> Ok { id; timeout_ms; request = Stats }
         | Some (Json.String "metrics") -> Ok { id; timeout_ms; request = Metrics }
+        | Some (Json.String "cache_export") ->
+          let max_entries =
+            match Json.member_opt "max_entries" json with
+            | Some v -> Json.to_int v
+            | None -> 64
+          in
+          if max_entries < 1 then bad "max_entries must be >= 1";
+          Ok { id; timeout_ms; request = Cache_export { max_entries } }
+        | Some (Json.String "cache_import") ->
+          let entries =
+            match Json.member_opt "entries" json with
+            | Some (Json.List items) ->
+              List.map
+                (fun item ->
+                  match (Json.member_opt "key" item, Json.member_opt "payload" item) with
+                  | Some (Json.String k), Some payload -> (k, payload)
+                  | _ -> bad "cache_import entries must be {\"key\":...,\"payload\":...} objects")
+                items
+            | _ -> bad "cache_import requires an \"entries\" array"
+          in
+          Ok { id; timeout_ms; request = Cache_import { entries } }
         | Some (Json.String "calibrate") ->
           Ok { id; timeout_ms; request = Calibrate (calibrate_of_json json) }
         | Some (Json.String "batch") ->
@@ -517,6 +546,21 @@ let json_of_envelope { id; timeout_ms; request } =
   | Health -> Json.Assoc (base @ [ ("op", Json.String "health") ])
   | Stats -> Json.Assoc (base @ [ ("op", Json.String "stats") ])
   | Metrics -> Json.Assoc (base @ [ ("op", Json.String "metrics") ])
+  | Cache_export { max_entries } ->
+    Json.Assoc
+      (base @ [ ("op", Json.String "cache_export"); ("max_entries", Json.Int max_entries) ])
+  | Cache_import { entries } ->
+    Json.Assoc
+      (base
+      @ [
+          ("op", Json.String "cache_import");
+          ( "entries",
+            Json.List
+              (List.map
+                 (fun (k, payload) ->
+                   Json.Assoc [ ("key", Json.String k); ("payload", payload) ])
+                 entries) );
+        ])
   | Single job -> Json.Assoc (base @ job_fields job)
   | Calibrate spec -> Json.Assoc (base @ calibrate_fields spec)
   | Batch jobs ->

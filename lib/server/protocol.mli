@@ -36,6 +36,9 @@
     {"v":1, "op":"health"}
     {"v":1, "op":"stats"}
     {"v":1, "op":"metrics"}
+    {"v":1, "op":"cache_export", "max_entries"?:64}
+    {"v":1, "op":"cache_import",
+     "entries":[{"key":"analyze|...","payload":{...}}, ...]}
     v}
 
     Responses are [{"v":1,"id":...,"ok":true,"result":{...}}] or
@@ -106,6 +109,15 @@ type request =
   | Health
   | Stats
   | Metrics
+  | Cache_export of { max_entries : int }
+      (** snapshot of the [max_entries] most-recently-used result-cache
+          entries, [{"v":1,"op":"cache_export","max_entries"?:64}] —
+          the fleet's warm-handoff source *)
+  | Cache_import of { entries : (string * Json.t) list }
+      (** seed the result cache with [(key, payload)] pairs,
+          [{"v":1,"op":"cache_import","entries":[{"key":...,
+          "payload":{...}}, ...]}] — the warm-handoff sink; payloads are
+          trusted opaquely because keys are content-addressed *)
 
 val ops : (string * string) list
 (** The authoritative wire-operation table, [(name, description)]: the
@@ -134,6 +146,10 @@ type error_code =
   | Overloaded
       (** admission control shed the request; the error object carries a
           ["retry_after_ms"] hint *)
+  | Fleet_degraded
+      (** the fleet router found no live backend owning the request's
+          hash range within its failover bound; the error object carries
+          a ["retry_after_ms"] hint and ["backends_tried"] *)
   | Internal_error
 
 val error_code_string : error_code -> string
@@ -141,9 +157,9 @@ val error_code_string : error_code -> string
 
 val error_code_retryable : error_code -> bool
 (** Whether an identical retry may succeed (the failure reflects server
-    state, not the request): true only for [Overloaded]. Every operation
-    is idempotent, so retrying is always {e safe}; this classifies
-    usefulness. *)
+    state, not the request): true only for [Overloaded] and
+    [Fleet_degraded]. Every operation is idempotent, so retrying is
+    always {e safe}; this classifies usefulness. *)
 
 val retryable_code_string : string -> bool
 (** {!error_code_retryable} on the wire spelling (client side). *)

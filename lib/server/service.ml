@@ -30,8 +30,10 @@ type t = {
   admission : Mutex.t;
   mutable faults : Faults.t;
   mutable running : bool;
-  mutable listen_fd : Unix.file_descr option;
-  mutable socket_path : string option;
+  mutable draining : bool;
+  drain_timeout_ms : int;
+  (* open connection threads; drain waits for this to reach zero *)
+  mutable connections : int;
   state : Mutex.t;
   (* correlation ids for requests that carry no "id" field *)
   seq : int Atomic.t;
@@ -53,6 +55,18 @@ let pending t =
   let p = t.pending in
   Mutex.unlock t.admission;
   p
+
+let draining t =
+  Mutex.lock t.state;
+  let d = t.draining in
+  Mutex.unlock t.state;
+  d
+
+let connections t =
+  Mutex.lock t.state;
+  let c = t.connections in
+  Mutex.unlock t.state;
+  c
 
 (* --- Metrics registry and cache observation --- *)
 
@@ -134,7 +148,7 @@ let observe_cache label cache =
 
 let create ?(result_capacity = 256) ?(result_max_bytes = 64 * 1024 * 1024)
     ?(prepared_capacity = 32) ?(max_pending = 64) ?(limits = default_limits)
-    ?(faults = Faults.none) ?pool () =
+    ?(faults = Faults.none) ?(drain_timeout_ms = 5000) ?pool () =
   let t =
     {
       prepared = Cache.create ~capacity:prepared_capacity ();
@@ -150,8 +164,9 @@ let create ?(result_capacity = 256) ?(result_max_bytes = 64 * 1024 * 1024)
       admission = Mutex.create ();
       faults;
       running = false;
-      listen_fd = None;
-      socket_path = None;
+      draining = false;
+      drain_timeout_ms;
+      connections = 0;
       state = Mutex.create ();
       seq = Atomic.make 0;
       access_log = None;
@@ -393,6 +408,8 @@ let endpoint_name = function
   | Protocol.Health -> "health"
   | Protocol.Stats -> "stats"
   | Protocol.Metrics -> "metrics"
+  | Protocol.Cache_export _ -> "cache_export"
+  | Protocol.Cache_import _ -> "cache_import"
 
 let cache_stats_json label (s : Cache.stats) =
   ( label,
@@ -408,10 +425,20 @@ let cache_stats_json label (s : Cache.stats) =
         ("hit_rate", Json.Float (Cache.hit_rate s));
       ] )
 
+(* Structured health: [state] is what router probes and drain-aware
+   tooling branch on; the bare [status:"ok"] liveness field predates it
+   and is kept for wire compatibility ("did a well-formed daemon
+   answer", not "is it accepting work"). *)
+let health_state t =
+  if draining t then "draining" else if pending t >= t.max_pending then "degraded" else "ok"
+
 let health_result t =
   Json.Assoc
     [
       ("status", Json.String "ok");
+      ("state", Json.String (health_state t));
+      ("pending", Json.Int (pending t));
+      ("max_pending", Json.Int t.max_pending);
       ("protocol_version", Json.Int Protocol.version);
       ("uptime_s", Json.Float (uptime_s t));
     ]
@@ -556,6 +583,35 @@ let handle t request_json =
       | Protocol.Health -> Protocol.ok_response ~id (health_result t)
       | Protocol.Stats -> Protocol.ok_response ~id (stats_result t)
       | Protocol.Metrics -> Protocol.ok_response ~id (metrics_result t)
+      (* Warm-handoff ops bypass admission like health/stats: they move
+         already-computed payloads, never compute, so a draining or shed
+         server can still hand its heat away. Keys are content-addressed
+         (job kind + digest + fingerprint), so imported payloads are
+         exactly what this server would have computed. *)
+      | Protocol.Cache_export { max_entries } ->
+        Metrics.incr_counter t.metrics "cache_exports";
+        let entries = Cache.entries ~max:max_entries t.results in
+        Protocol.ok_response ~id
+          (Json.Assoc
+             [
+               ("kind", Json.String "cache_export");
+               ("total", Json.Int (Cache.length t.results));
+               ( "entries",
+                 Json.List
+                   (List.map
+                      (fun (k, payload) ->
+                        Json.Assoc [ ("key", Json.String k); ("payload", payload) ])
+                      entries) );
+             ])
+      | Protocol.Cache_import { entries } ->
+        Metrics.incr_counter t.metrics "cache_imports";
+        List.iter (fun (k, payload) -> Cache.add t.results k payload) entries;
+        Protocol.ok_response ~id
+          (Json.Assoc
+             [
+               ("kind", Json.String "cache_import");
+               ("imported", Json.Int (List.length entries));
+             ])
       | Protocol.Single job -> Protocol.ok_response ~id (run_job t ~budget job)
       | Protocol.Calibrate spec -> Protocol.ok_response ~id (run_calibrate t ~budget spec)
       | Protocol.Batch jobs ->
@@ -619,26 +675,9 @@ let handle_line t line =
 
 (* --- Socket serving --- *)
 
-type endpoint = Unix_socket of string | Tcp of string * int
+type endpoint = Netline.endpoint = Unix_socket of string | Tcp of string * int
 
-let endpoint_of_string s =
-  let tcp rest =
-    match String.rindex_opt rest ':' with
-    | Some i -> begin
-      let host = String.sub rest 0 i in
-      let port = String.sub rest (i + 1) (String.length rest - i - 1) in
-      match int_of_string_opt port with
-      | Some p when p > 0 && p < 65536 -> Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
-      | _ -> Error (Printf.sprintf "bad TCP port %S" port)
-    end
-    | None -> Error "tcp endpoint must look like tcp:HOST:PORT"
-  in
-  if String.length s >= 5 && String.sub s 0 5 = "unix:" then
-    Ok (Unix_socket (String.sub s 5 (String.length s - 5)))
-  else if String.length s >= 4 && String.sub s 0 4 = "tcp:" then
-    tcp (String.sub s 4 (String.length s - 4))
-  else if s <> "" then Ok (Unix_socket s)
-  else Error "empty endpoint"
+let endpoint_of_string = Netline.endpoint_of_string
 
 (* Only flips the flag: the accept loop polls it (select with a short
    timeout), because on Linux closing a listening fd from another thread
@@ -648,36 +687,20 @@ let stop t =
   t.running <- false;
   Mutex.unlock t.state
 
+(* Graceful shutdown: health flips to "draining" immediately (so a
+   router probe stops routing here before the socket closes), the
+   accept loop exits within its poll interval, and [serve] then waits —
+   bounded by [drain_timeout_ms] — for open connections to finish their
+   in-flight requests. Safe from signal handlers. *)
+let drain t =
+  Mutex.lock t.state;
+  t.draining <- true;
+  t.running <- false;
+  Mutex.unlock t.state
+
 let install_signal_handlers t =
-  let handler = Sys.Signal_handle (fun _ -> stop t) in
-  Sys.set_signal Sys.sigint handler;
-  Sys.set_signal Sys.sigterm handler
-
-(* Bounded request-line reader: a line longer than [max_bytes] is
-   drained (framing stays intact) and reported, never buffered whole.
-   A line cut off by EOF is returned as-is — its JSON parse fails with a
-   structured [parse_error], which is the right answer for a client that
-   died mid-request. *)
-type read_line = Line of string | Oversized | Eof
-
-let read_request_line ic ~max_bytes =
-  let buf = Buffer.create 256 in
-  let rec drain () =
-    match input_char ic with exception End_of_file -> () | '\n' -> () | _ -> drain ()
-  in
-  let rec go () =
-    match input_char ic with
-    | exception End_of_file -> if Buffer.length buf = 0 then Eof else Line (Buffer.contents buf)
-    | '\n' -> Line (Buffer.contents buf)
-    | c ->
-      Buffer.add_char buf c;
-      if Buffer.length buf > max_bytes then begin
-        drain ();
-        Oversized
-      end
-      else go ()
-  in
-  go ()
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop t));
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> drain t))
 
 exception Drop_connection
 
@@ -700,9 +723,9 @@ let connection_loop t fd =
     end
   in
   let rec loop () =
-    match read_request_line ic ~max_bytes:t.limits.max_line_bytes with
-    | Eof -> ()
-    | Oversized ->
+    match Netline.read_request_line ic ~max_bytes:t.limits.max_line_bytes with
+    | Netline.Eof -> ()
+    | Netline.Oversized ->
       Metrics.incr_counter t.metrics "invalid_requests";
       write_response
         (Json.to_string
@@ -711,7 +734,7 @@ let connection_loop t fd =
               Protocol.Invalid_request
               (Printf.sprintf "request line exceeds %d bytes" t.limits.max_line_bytes)));
       loop ()
-    | Line line ->
+    | Netline.Line line ->
       let line =
         (* tolerate CRLF clients *)
         let n = String.length line in
@@ -723,65 +746,41 @@ let connection_loop t fd =
   (* A peer that vanishes mid-write (EPIPE / ECONNRESET — surfaced as
      Sys_error through the channel layer) or mid-read costs exactly this
      connection, never the daemon; SIGPIPE is ignored in [serve]. *)
+  Mutex.lock t.state;
+  t.connections <- t.connections + 1;
+  Mutex.unlock t.state;
   Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Mutex.lock t.state;
+      t.connections <- t.connections - 1;
+      Mutex.unlock t.state)
     (fun () ->
       try loop () with
       | Drop_connection -> ()
       | Sys_error _ | Unix.Unix_error _ -> Metrics.incr_counter t.metrics "disconnects")
 
 let serve t endpoint ?(on_ready = fun () -> ()) () =
-  (* A client closing its socket mid-response must surface as a write
-     error on that connection, not kill the process with SIGPIPE. *)
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let domain, addr, path =
-    match endpoint with
-    | Unix_socket path ->
-      if Sys.file_exists path then ( try Unix.unlink path with Unix.Unix_error _ -> ());
-      (Unix.PF_UNIX, Unix.ADDR_UNIX path, Some path)
-    | Tcp (host, port) ->
-      let ip =
-        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-        with Not_found -> Unix.inet_addr_of_string host
-      in
-      (Unix.PF_INET, Unix.ADDR_INET (ip, port), None)
-  in
-  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-  Unix.setsockopt fd Unix.SO_REUSEADDR true;
-  Unix.bind fd addr;
-  Unix.listen fd 64;
   Mutex.lock t.state;
   t.running <- true;
-  t.listen_fd <- Some fd;
-  t.socket_path <- path;
   Mutex.unlock t.state;
-  on_ready ();
-  let rec accept_loop () =
-    if t.running then begin
-      match Unix.select [ fd ] [] [] 0.2 with
-      | [], _, _ -> accept_loop ()
-      | _ :: _, _, _ -> begin
-        match Unix.accept fd with
-        | client, _ ->
-          ignore (Thread.create (fun () -> connection_loop t client) ());
-          accept_loop ()
-        | exception
-            Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
-          ->
-          accept_loop ()
-      end
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-    end
-  in
   Fun.protect
     ~finally:(fun () ->
       Mutex.lock t.state;
       t.running <- false;
-      t.listen_fd <- None;
-      t.socket_path <- None;
+      let draining = t.draining in
       Mutex.unlock t.state;
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      match path with
-      | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
-      | None -> ())
-    accept_loop
+      (* Drain: the listening socket is already closed (Netline's own
+         cleanup ran first), so no new work can arrive; wait — bounded —
+         for connection threads to finish their in-flight requests. *)
+      if draining then begin
+        let deadline = Unix.gettimeofday () +. (float_of_int t.drain_timeout_ms /. 1000.0) in
+        while connections t > 0 && Unix.gettimeofday () < deadline do
+          Unix.sleepf 0.01
+        done
+      end)
+    (fun () ->
+      Netline.serve endpoint ~on_ready
+        ~running:(fun () -> t.running)
+        ~on_connection:(fun fd -> connection_loop t fd)
+        ())

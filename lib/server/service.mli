@@ -53,6 +53,7 @@ val create :
   ?max_pending:int ->
   ?limits:limits ->
   ?faults:Faults.t ->
+  ?drain_timeout_ms:int ->
   ?pool:Parallel.Pool.t ->
   unit ->
   t
@@ -63,7 +64,9 @@ val create :
     leakage tables and SP arrays, so the bound is deliberately small);
     [max_pending] bounds concurrent compute-path requests before
     [overloaded] (default 64). [faults] arms a fault-injection plan
-    (default {!Faults.none}). [pool] (default {!Parallel.Pool.default})
+    (default {!Faults.none}). [drain_timeout_ms] bounds how long
+    {!drain} waits for in-flight connections (default 5000).
+    [pool] (default {!Parallel.Pool.default})
     runs every compute path — Monte-Carlo SPs, IVC search, and [batch]
     job fan-out; results stay bit-identical for any domain count, and
     pool counters are reported by [stats]. *)
@@ -76,6 +79,13 @@ val faults : t -> Faults.t
 
 val pending : t -> int
 (** Requests currently admitted to the compute path. *)
+
+val draining : t -> bool
+(** Whether {!drain} has been requested; the [health] op reports
+    [state:"draining"] from the same flag. *)
+
+val connections : t -> int
+(** Connection threads currently open. *)
 
 (** {1 Observability}
 
@@ -115,11 +125,11 @@ val handle_line : t -> string -> string
 
 (** {1 Serving} *)
 
-type endpoint = Unix_socket of string | Tcp of string * int
+type endpoint = Netline.endpoint = Unix_socket of string | Tcp of string * int
 
 val endpoint_of_string : string -> (endpoint, string) result
 (** ["unix:/path/to.sock"] or ["tcp:HOST:PORT"]; a bare path with no
-    scheme is a Unix socket. *)
+    scheme is a Unix socket. (Shared spelling: {!Netline.endpoint_of_string}.) *)
 
 val serve : t -> endpoint -> ?on_ready:(unit -> unit) -> unit -> unit
 (** Binds, listens and accepts until {!stop}: one thread per connection,
@@ -133,14 +143,23 @@ val serve : t -> endpoint -> ?on_ready:(unit -> unit) -> unit -> unit
     the file is unlinked on shutdown. Requires the [threads] runtime. *)
 
 val stop : t -> unit
-(** Graceful shutdown: the accept loop (which polls a stop flag — on
+(** Immediate shutdown: the accept loop (which polls a stop flag — on
     Linux a close from another thread would not wake a blocked accept)
     exits within its ~200 ms poll interval, closes the listening socket
     and unlinks the Unix socket file; in-flight connections finish their
-    current line. Idempotent; safe from signal handlers and other
-    threads. *)
+    current line but {!serve} does not wait for them. Idempotent; safe
+    from signal handlers and other threads. *)
+
+val drain : t -> unit
+(** Graceful shutdown: {!stop} plus a bounded wait. The [health] op
+    reports [state:"draining"] immediately (so a fleet router's probe
+    stops routing here before the socket closes), the accept loop stops
+    taking new connections, and {!serve} waits up to [drain_timeout_ms]
+    for open connections to finish their in-flight requests before
+    returning. Idempotent; safe from signal handlers. *)
 
 val install_signal_handlers : t -> unit
-(** Routes SIGINT and SIGTERM to {!stop} — daemon mode. *)
+(** Daemon mode: SIGINT routes to {!stop} (immediate), SIGTERM to
+    {!drain} (graceful — the rolling-restart signal). *)
 
 val uptime_s : t -> float

@@ -1,0 +1,160 @@
+#!/bin/sh
+# Fleet smoke: a router in front of three backend daemons, driven over
+# real sockets. Asserts that (1) identical concurrent requests coalesce
+# to one backend flight, (2) a batch keeps succeeding — zero failed
+# requests — while one backend is SIGKILLed mid-stream, with the
+# failover recorded, (3) the killed backend comes back, receives a
+# warm-cache handoff, and then answers its keys from cache, and
+# (4) every routed answer is byte-identical to a single-backend run
+# (modulo the cached flag).
+set -eu
+
+TOOL=${TOOL:-./_build/default/bin/nbti_tool.exe}
+WORK=$(mktemp -d /tmp/nbti_fleet.XXXXXX)
+B1="$WORK/b1.sock"
+B2="$WORK/b2.sock"
+B3="$WORK/b3.sock"
+ROUTER="$WORK/router.sock"
+SINGLE="$WORK/single.sock"
+
+fail() {
+    echo "fleet-smoke: FAIL: $1" >&2
+    exit 1
+}
+
+[ -x "$TOOL" ] || fail "$TOOL not built (run dune build first)"
+
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_sock() {
+    i=0
+    while [ ! -S "$1" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && fail "no listener appeared on $1"
+        sleep 0.1
+    done
+}
+
+start_backend() {
+    "$TOOL" serve -s "$1" --log-level error &
+    eval "$2=\$!"
+    PIDS="$PIDS $!"
+    wait_sock "$1"
+}
+
+start_backend "$B1" B1_PID
+start_backend "$B2" B2_PID
+start_backend "$B3" B3_PID
+
+# Fast probes so the router notices the kill and the resurrection
+# within a couple of seconds rather than the production cadence.
+"$TOOL" route -s "$ROUTER" -b "$B1" -b "$B2" -b "$B3" \
+    --probe-interval-ms 200 --probe-backoff-cap-ms 800 --log-level error &
+ROUTER_PID=$!
+PIDS="$PIDS $ROUTER_PID"
+wait_sock "$ROUTER"
+
+stat_counter() {
+    # first "name":N occurrence in the router's stats response
+    "$TOOL" request -s "$ROUTER" '{"v":1,"op":"stats"}' 2>/dev/null \
+        | sed -n "s/.*\"$1\":\([0-9]*\).*/\1/p"
+}
+
+# --- 1. singleflight: two identical concurrent requests, one compute ---
+# A fresh key, slowed by an artificial 1.5 year horizon? No: slow it by
+# asking for the larger c1355 so the leader's flight is open when the
+# follower arrives.
+COALESCE_REQ='{"v":1,"op":"analyze","circuit":"c1355","config":{"years":4.5}}'
+"$TOOL" request -s "$ROUTER" "$COALESCE_REQ" > "$WORK/co1.out" 2>/dev/null &
+CO1=$!
+"$TOOL" request -s "$ROUTER" "$COALESCE_REQ" > "$WORK/co2.out" 2>/dev/null &
+CO2=$!
+wait "$CO1" || fail "first coalesced request failed"
+wait "$CO2" || fail "second coalesced request failed"
+cmp -s "$WORK/co1.out" "$WORK/co2.out" || fail "coalesced requests returned different bytes"
+COALESCED=$(stat_counter coalesced)
+[ "${COALESCED:-0}" -ge 1 ] || fail "no coalesced request recorded (got '${COALESCED:-}')"
+
+# --- 2. batch with a mid-stream backend kill: zero failed requests ---
+REQS="$WORK/reqs.jsonl"
+: > "$REQS"
+for y in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28 29 30; do
+    echo "{\"v\":1,\"op\":\"analyze\",\"circuit\":\"c17\",\"config\":{\"years\":$y}}" >> "$REQS"
+done
+
+PIPE="$WORK/pipe"
+mkfifo "$PIPE"
+"$TOOL" request -s "$ROUTER" - --retries 8 --retry-seed 11 \
+    < "$PIPE" > "$WORK/batch.out" 2> "$WORK/batch.err" &
+CLIENT_PID=$!
+exec 3> "$PIPE"
+head -n 15 "$REQS" >&3
+# let the first half land, then crash a backend hard (no drain, no
+# goodbye): its keys must fail over with no failed client request
+sleep 1
+kill -9 "$B2_PID"
+tail -n 15 "$REQS" >&3
+exec 3>&-
+wait "$CLIENT_PID" || fail "batch client exited non-zero (a request failed despite failover)"
+OK_COUNT=$(grep -c '"ok":true' "$WORK/batch.out" || true)
+[ "$OK_COUNT" -eq 30 ] || fail "expected 30 ok responses, got $OK_COUNT"
+grep -q '"ok":false' "$WORK/batch.out" && fail "batch contains a failed response"
+
+# the router must have noticed: at least one failover, backend marked dead
+FAILOVERS=$(stat_counter failovers)
+[ "${FAILOVERS:-0}" -ge 1 ] || fail "no failover recorded (got '${FAILOVERS:-}')"
+
+# --- 3. resurrection + warm-cache handoff ---
+"$TOOL" serve -s "$B2" --log-level error &
+B2_PID=$!
+PIDS="$PIDS $B2_PID"
+wait_sock "$B2"
+# wait for the router to probe it back up and run the handoff
+i=0
+while :; do
+    HANDOFF_KEYS=$(stat_counter handoff_keys)
+    [ "${HANDOFF_KEYS:-0}" -ge 1 ] && break
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "no warm-cache handoff after backend resurrection"
+    sleep 0.1
+done
+
+# Every post-kill key is now cached at its owner: keys the resurrected
+# backend owns were computed on its peers during failover and can only
+# be warm on it via the handoff; the rest sit where they were computed.
+# (Keys owned by the killed backend from BEFORE the kill died with its
+# cache — that loss is expected, so only the post-kill half asserts.)
+tail -n 15 "$REQS" > "$WORK/tail.jsonl"
+"$TOOL" request -s "$ROUTER" - --retries 8 < "$WORK/tail.jsonl" > "$WORK/tailrun.out" 2>/dev/null \
+    || fail "re-run through the healed fleet failed"
+CACHED=$(grep -c '"cached":true' "$WORK/tailrun.out" || true)
+[ "$CACHED" -eq 15 ] || fail "expected all 15 post-kill keys cached after handoff, got $CACHED"
+
+# --- 4. byte-identity vs a single-backend run ---
+"$TOOL" request -s "$ROUTER" - --retries 8 < "$REQS" > "$WORK/rerun.out" 2>/dev/null \
+    || fail "full re-run through the healed fleet failed"
+"$TOOL" serve -s "$SINGLE" --log-level error &
+SINGLE_PID=$!
+PIDS="$PIDS $SINGLE_PID"
+wait_sock "$SINGLE"
+"$TOOL" request -s "$SINGLE" - < "$REQS" > "$WORK/direct.out" 2>/dev/null \
+    || fail "single-backend reference run failed"
+sed 's/,"cached":true//g; s/,"cached":false//g' "$WORK/rerun.out" > "$WORK/rerun.norm"
+sed 's/,"cached":true//g; s/,"cached":false//g' "$WORK/direct.out" > "$WORK/direct.norm"
+cmp -s "$WORK/rerun.norm" "$WORK/direct.norm" \
+    || fail "routed answers differ from the single-backend run"
+
+# --- 5. graceful shutdown end to end ---
+kill -TERM "$ROUTER_PID"
+wait "$ROUTER_PID" || fail "router exited non-zero"
+for pid in "$B1_PID" "$B2_PID" "$B3_PID" "$SINGLE_PID"; do
+    kill -TERM "$pid"
+    wait "$pid" || fail "a backend exited non-zero on SIGTERM drain"
+done
+
+echo "fleet-smoke: OK (coalesced=$COALESCED failovers=$FAILOVERS handoff_keys=$HANDOFF_KEYS; 30/30 ok through a mid-batch kill; byte-identical to single backend)"

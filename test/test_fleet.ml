@@ -1,0 +1,548 @@
+(* Tests for the fleet layer: consistent-hash ring stability under
+   membership change, singleflight coalescing, the backend state
+   machine driven through the router, failover, fleet_degraded, warm
+   cache handoff, graceful drain, and the retrying client against a
+   refused endpoint. Backends are real Server.Service instances on
+   temp Unix sockets; the router is exercised through handle_line. *)
+
+let json_str = Server.Json.to_string
+
+(* --- helpers: in-process backends on temp sockets --- *)
+
+let fresh_socket_path () =
+  let path = Filename.temp_file "nbti_fleet" ".sock" in
+  Sys.remove path;
+  path
+
+let start_service_at t path =
+  let ready = Mutex.create () in
+  let cond = Condition.create () in
+  let is_ready = ref false in
+  let on_ready () =
+    Mutex.lock ready;
+    is_ready := true;
+    Condition.signal cond;
+    Mutex.unlock ready
+  in
+  let thread =
+    Thread.create (fun () -> Server.Service.serve t (Server.Service.Unix_socket path) ~on_ready ()) ()
+  in
+  Mutex.lock ready;
+  while not !is_ready do
+    Condition.wait cond ready
+  done;
+  Mutex.unlock ready;
+  thread
+
+type backend_handle = {
+  mutable service : Server.Service.t;
+  path : string;
+  mutable thread : Thread.t;
+}
+
+let start_backend ?faults () =
+  let service = Server.Service.create ?faults () in
+  let path = fresh_socket_path () in
+  { service; path; thread = start_service_at service path }
+
+let stop_backend b =
+  Server.Service.stop b.service;
+  Thread.join b.thread
+
+let restart_backend b =
+  b.service <- Server.Service.create ();
+  b.thread <- start_service_at b.service b.path
+
+let endpoint_of b = Server.Netline.Unix_socket b.path
+let name_of b = Server.Netline.endpoint_to_string (endpoint_of b)
+
+(* --- helpers: requests and responses --- *)
+
+let analyze_line ?(circuit = "c17") years =
+  let open Server.Protocol in
+  json_str
+    (json_of_envelope
+       {
+         id = None;
+         timeout_ms = None;
+         request =
+           Single
+             (Analyze
+                {
+                  circuit = Named circuit;
+                  flow = { default_flow_spec with years };
+                  standby = Worst;
+                });
+       })
+
+let job_key_of line =
+  match Server.Protocol.envelope_of_json (Server.Json.of_string line) with
+  | Ok { Server.Protocol.request = Server.Protocol.Single job; _ } ->
+    let digest = Circuit.Netlist.digest (Circuit.Generators.c17 ()) in
+    Server.Protocol.job_cache_key job ~circuit_digest:digest
+  | _ -> Alcotest.fail "not a single-job request"
+
+let response_ok response =
+  match Server.Json.member_opt "ok" (Server.Json.of_string response) with
+  | Some (Server.Json.Bool b) -> b
+  | _ -> false
+
+let response_error_code response =
+  Server.Json.(to_string_exn (member "code" (member "error" (of_string response))))
+
+let result_member key response =
+  Server.Json.(member key (member "result" (of_string response)))
+
+(* Normalize the one field the router path legitimately changes: which
+   cache answered. Everything else must be byte-identical. *)
+let strip_cached response =
+  match Server.Json.of_string response with
+  | Server.Json.Assoc kvs ->
+    json_str
+      (Server.Json.Assoc
+         (List.map
+            (fun (k, v) ->
+              match (k, v) with
+              | "result", Server.Json.Assoc rs ->
+                (k, Server.Json.Assoc (List.filter (fun (k', _) -> k' <> "cached") rs))
+              | _ -> (k, v))
+            kvs))
+  | other -> json_str other
+
+(* Find a [years] value whose analyze job lands on the given backend —
+   socket paths are random per run, so the ownership split is too. *)
+let years_owned_by ring name =
+  let rec go y =
+    if y > 64.0 then Alcotest.fail "no key landed on backend (improbable)"
+    else
+      let key = job_key_of (analyze_line y) in
+      if Fleet.Ring.owner ring ~live:(fun _ -> true) key = Some name then y else go (y +. 1.0)
+  in
+  go 1.0
+
+(* --- Ring --- *)
+
+let prop_remove_one_backend_is_stable =
+  QCheck.Test.make ~name:"removing one of N backends remaps only its own keys" ~count:30
+    (QCheck.make QCheck.Gen.(pair (int_range 3 8) (int_bound 10_000)))
+    (fun (n, salt) ->
+      let names = List.init n (Printf.sprintf "unix:/tmp/fleet-%d.sock") in
+      let keys = List.init 300 (Printf.sprintf "key-%d-%d" salt) in
+      let removed = List.nth names (salt mod n) in
+      let full = Fleet.Ring.create names in
+      let reduced = Fleet.Ring.create (List.filter (fun m -> m <> removed) names) in
+      let all_live _ = true in
+      let moved = ref 0 in
+      List.iter
+        (fun k ->
+          let before = Fleet.Ring.owner full ~live:all_live k in
+          let after = Fleet.Ring.owner reduced ~live:all_live k in
+          (* a key moves iff the removed backend owned it ... *)
+          if before <> after && before <> Some removed then
+            QCheck.Test.fail_reportf "key %s moved from %s" k (Option.get before);
+          if before = Some removed then incr moved;
+          (* ... and routing-time liveness filtering behaves exactly
+             like rebuilding the ring without the dead backend *)
+          if Fleet.Ring.owner full ~live:(fun m -> m <> removed) k <> after then
+            QCheck.Test.fail_reportf "live-filter and rebuilt ring disagree on %s" k)
+        keys;
+      (* the removed backend owned ~1/N of the keys; allow generous
+         vnode-variance slack *)
+      float_of_int !moved /. 300.0 <= 2.5 /. float_of_int n)
+
+let prop_add_one_backend_only_captures =
+  QCheck.Test.make ~name:"adding a backend captures ~1/(N+1); nothing moves between old ones"
+    ~count:30
+    (QCheck.make QCheck.Gen.(pair (int_range 3 8) (int_bound 10_000)))
+    (fun (n, salt) ->
+      let names = List.init n (Printf.sprintf "unix:/tmp/fleet-%d.sock") in
+      let added = "unix:/tmp/fleet-new.sock" in
+      let keys = List.init 300 (Printf.sprintf "key-%d-%d" salt) in
+      let before_ring = Fleet.Ring.create names in
+      let after_ring = Fleet.Ring.create (names @ [ added ]) in
+      let all_live _ = true in
+      let captured = ref 0 in
+      List.iter
+        (fun k ->
+          let before = Fleet.Ring.owner before_ring ~live:all_live k in
+          let after = Fleet.Ring.owner after_ring ~live:all_live k in
+          if before <> after then begin
+            if after <> Some added then
+              QCheck.Test.fail_reportf "key %s moved between old backends" k;
+            incr captured
+          end)
+        keys;
+      float_of_int !captured /. 300.0 <= 2.5 /. float_of_int (n + 1))
+
+let test_ring_validation () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty" true (raises (fun () -> Fleet.Ring.create []));
+  Alcotest.(check bool) "duplicate" true (raises (fun () -> Fleet.Ring.create [ "a"; "a" ]));
+  Alcotest.(check bool) "empty name" true (raises (fun () -> Fleet.Ring.create [ "" ]));
+  Alcotest.(check bool) "vnodes < 1" true
+    (raises (fun () -> Fleet.Ring.create ~vnodes:0 [ "a" ]));
+  let ring = Fleet.Ring.create [ "a"; "b"; "c" ] in
+  let owners = Fleet.Ring.owners ring "some-key" in
+  Alcotest.(check int) "preference covers every backend" 3 (List.length owners);
+  Alcotest.(check bool) "preference is a permutation" true
+    (List.sort compare owners = [ "a"; "b"; "c" ]);
+  Alcotest.(check (option string)) "no live backend" None
+    (Fleet.Ring.owner ring ~live:(fun _ -> false) "some-key")
+
+(* --- Singleflight --- *)
+
+let test_singleflight_coalesces () =
+  let sf = Fleet.Singleflight.create () in
+  let computes = ref 0 in
+  let f () =
+    incr computes;
+    Unix.sleepf 0.3;
+    42
+  in
+  let results = Array.make 4 None in
+  let threads =
+    Array.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            (* stagger so thread 0 leads and 1-3 arrive mid-flight *)
+            if i > 0 then Unix.sleepf 0.05;
+            results.(i) <- Some (Fleet.Singleflight.run sf "k" f))
+          ())
+  in
+  Array.iter Thread.join threads;
+  Alcotest.(check int) "computed once" 1 !computes;
+  Alcotest.(check int) "three coalesced" 3 (Fleet.Singleflight.coalesced_total sf);
+  Alcotest.(check int) "one flight" 1 (Fleet.Singleflight.flights_total sf);
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some (v, follower) ->
+        Alcotest.(check int) "shared value" 42 v;
+        Alcotest.(check bool) "leader vs follower" (i > 0) follower
+      | None -> Alcotest.fail "thread produced no result")
+    results;
+  (* completion removes the key: the next call leads a fresh flight *)
+  let v, follower = Fleet.Singleflight.run sf "k" f in
+  Alcotest.(check int) "fresh flight recomputes" 2 !computes;
+  Alcotest.(check bool) "fresh flight leads" false follower;
+  Alcotest.(check int) "value" 42 v;
+  Alcotest.(check int) "two flights total" 2 (Fleet.Singleflight.flights_total sf)
+
+exception Boom
+
+let test_singleflight_shares_errors () =
+  let sf = Fleet.Singleflight.create () in
+  let f () =
+    Unix.sleepf 0.2;
+    raise Boom
+  in
+  let outcomes = Array.make 2 `Pending in
+  let threads =
+    Array.init 2 (fun i ->
+        Thread.create
+          (fun () ->
+            if i > 0 then Unix.sleepf 0.05;
+            outcomes.(i) <- (try ignore (Fleet.Singleflight.run sf "k" f); `Value
+                             with Boom -> `Boom))
+          ())
+  in
+  Array.iter Thread.join threads;
+  Array.iter
+    (fun o -> Alcotest.(check bool) "leader and follower both see the exception" true (o = `Boom))
+    outcomes
+
+(* --- Router: routing, failover, state machine, handoff --- *)
+
+let counter router name = Server.Metrics.counter (Fleet.Router.metrics router) name
+
+(* Pull every probe forward so a single pass is deterministic — the
+   real probe thread spaces them out with capped-jitter backoff. *)
+let force_probe router =
+  List.iter
+    (fun b -> Fleet.Backend.schedule_probe b ~at:0.0)
+    (Fleet.Router.backend_list router);
+  Fleet.Router.probe_due_backends router
+
+let backend_state router name =
+  match
+    List.find_opt (fun b -> Fleet.Backend.name b = name) (Fleet.Router.backend_list router)
+  with
+  | Some b -> Fleet.Backend.state b
+  | None -> Alcotest.fail ("unknown backend " ^ name)
+
+let test_router_end_to_end () =
+  let b0 = start_backend () in
+  let b1 = start_backend () in
+  let router = Fleet.Router.create [ endpoint_of b0; endpoint_of b1 ] in
+  let ring = Fleet.Router.ring router in
+  (* one request owned by each backend *)
+  let line_a = analyze_line (years_owned_by ring (name_of b0)) in
+  let line_b = analyze_line (years_owned_by ring (name_of b1)) in
+
+  (* routed answers are byte-identical to a direct single-backend run
+     (modulo the cached flag) *)
+  let direct_service = Server.Service.create () in
+  let direct = Server.Service.handle_line direct_service line_a in
+  let routed = Fleet.Router.handle_line router line_a in
+  Alcotest.(check bool) "routed ok" true (response_ok routed);
+  Alcotest.(check string) "byte-identical to direct run" (strip_cached direct)
+    (strip_cached routed);
+
+  (* same key again: same owner, served from its cache *)
+  let again = Fleet.Router.handle_line router line_a in
+  Alcotest.(check bool) "repeat hits the owner's cache" true
+    (result_member "cached" again = Server.Json.Bool true);
+
+  (* warm b1 too *)
+  Alcotest.(check bool) "b1-owned request ok" true
+    (response_ok (Fleet.Router.handle_line router line_b));
+
+  (* kill b0 mid-fleet: its requests fail over to b1 and still succeed *)
+  stop_backend b0;
+  let after_death = Fleet.Router.handle_line router line_a in
+  Alcotest.(check bool) "failover answer ok" true (response_ok after_death);
+  Alcotest.(check string) "failover answer still byte-identical" (strip_cached direct)
+    (strip_cached after_death);
+  Alcotest.(check bool) "failover recorded" true (counter router "failovers" >= 1);
+  Alcotest.(check bool) "b0 suspected after request failure" true
+    (backend_state router (name_of b0) = Fleet.Backend.Suspect);
+
+  (* a probe pass confirms the death: Suspect -> Down *)
+  force_probe router;
+  Alcotest.(check bool) "b0 down after failed probe" true
+    (backend_state router (name_of b0) = Fleet.Backend.Down);
+  Alcotest.(check bool) "b1 still up" true
+    (backend_state router (name_of b1) = Fleet.Backend.Up);
+
+  (* the whole fleet dark: structured, retryable fleet_degraded *)
+  stop_backend b1;
+  let degraded = Fleet.Router.handle_line router line_b in
+  Alcotest.(check bool) "degraded is an error" false (response_ok degraded);
+  Alcotest.(check string) "degraded code" "fleet_degraded" (response_error_code degraded);
+  Alcotest.(check bool) "degraded is retryable" true
+    (Server.Protocol.retryable_code_string (response_error_code degraded));
+  Alcotest.(check bool) "degraded carries retry hint" true
+    (Server.Json.member_opt "retry_after_ms"
+       (Server.Json.member "error" (Server.Json.of_string degraded))
+    <> None);
+
+  (* confirm b1's death too: Suspect -> Down *)
+  force_probe router;
+  Alcotest.(check bool) "b1 down after failed probe" true
+    (backend_state router (name_of b1) = Fleet.Backend.Down);
+
+  (* resurrection: a fresh process on b1's socket. Down -> Recovering ->
+     (warm-cache handoff) -> Up. Nothing to pull (no Up peer), but the
+     state machine must come back. *)
+  restart_backend b1;
+  force_probe router;
+  Alcotest.(check bool) "b1 back up" true (backend_state router (name_of b1) = Fleet.Backend.Up);
+  Alcotest.(check bool) "recovery recorded" true (counter router "recoveries" >= 1);
+
+  (* warm b1 with the failover key again (it now owns line_a's answer
+     in cache terms only if handed over -- recompute warms it) *)
+  Alcotest.(check bool) "post-recovery request ok" true
+    (response_ok (Fleet.Router.handle_line router line_a));
+
+  (* resurrect b0 while b1 is Up and holds line_a (owned by b0): the
+     recovery handoff must move that key to b0, so b0 answers it from
+     cache without ever having computed it *)
+  restart_backend b0;
+  force_probe router;
+  Alcotest.(check bool) "b0 back up" true (backend_state router (name_of b0) = Fleet.Backend.Up);
+  Alcotest.(check bool) "handoff ran" true (counter router "handoffs" >= 1);
+  Alcotest.(check bool) "handoff moved keys" true (counter router "handoff_keys" >= 1);
+  let after_recovery = Fleet.Router.handle_line router line_a in
+  Alcotest.(check bool) "recovered owner answers" true (response_ok after_recovery);
+  Alcotest.(check bool) "answer came from the handed-over cache" true
+    (result_member "cached" after_recovery = Server.Json.Bool true);
+  Alcotest.(check string) "handed-over answer byte-identical" (strip_cached direct)
+    (strip_cached after_recovery);
+
+  stop_backend b0;
+  stop_backend b1
+
+let test_router_coalesces_identical_requests () =
+  (* the one-shot compute delay holds the leader's flight open long
+     enough that the second identical request must coalesce *)
+  let faults =
+    match Server.Faults.parse "compute=delay:400@1" with
+    | Ok f -> f
+    | Error m -> Alcotest.fail m
+  in
+  let b = start_backend ~faults () in
+  let router = Fleet.Router.create [ endpoint_of b ] in
+  let line = analyze_line 3.5 in
+  let responses = Array.make 2 "" in
+  let threads =
+    Array.init 2 (fun i ->
+        Thread.create
+          (fun () ->
+            if i > 0 then Unix.sleepf 0.1;
+            responses.(i) <- Fleet.Router.handle_line router line)
+          ())
+  in
+  Array.iter Thread.join threads;
+  Alcotest.(check bool) "both ok" true (Array.for_all response_ok responses);
+  Alcotest.(check string) "follower got the leader's bytes" responses.(0) responses.(1);
+  Alcotest.(check bool) "coalescing recorded" true (counter router "coalesced" >= 1);
+  (* the backend computed once: a third request is a cache hit, and the
+     service saw exactly one analyze before it *)
+  let third = Fleet.Router.handle_line router line in
+  Alcotest.(check bool) "one compute for two requests" true
+    (result_member "cached" third = Server.Json.Bool true);
+  stop_backend b
+
+(* --- structured health and graceful drain --- *)
+
+let test_health_states_and_drain () =
+  let t = Server.Service.create () in
+  let health () =
+    Server.Json.member "result"
+      (Server.Json.of_string (Server.Service.handle_line t {|{"v":1,"op":"health"}|}))
+  in
+  let h = health () in
+  Alcotest.(check string) "wire-compat status field" "ok"
+    Server.Json.(to_string_exn (member "status" h));
+  Alcotest.(check string) "structured state" "ok" Server.Json.(to_string_exn (member "state" h));
+  Alcotest.(check int) "pending" 0 Server.Json.(to_int (member "pending" h));
+  Alcotest.(check bool) "max_pending present" true
+    (Server.Json.member_opt "max_pending" h <> None);
+  Server.Service.drain t;
+  let h = health () in
+  Alcotest.(check string) "draining state" "draining"
+    Server.Json.(to_string_exn (member "state" h));
+  Alcotest.(check string) "status stays ok for old probes" "ok"
+    Server.Json.(to_string_exn (member "status" h))
+
+let test_cache_export_import_roundtrip () =
+  let src = Server.Service.create () in
+  let line = analyze_line 7.25 in
+  Alcotest.(check bool) "computed on source" true
+    (response_ok (Server.Service.handle_line src line));
+  let exported =
+    Server.Json.member "result"
+      (Server.Json.of_string
+         (Server.Service.handle_line src {|{"v":1,"op":"cache_export","max_entries":8}|}))
+  in
+  let entries = Server.Json.member "entries" exported in
+  Alcotest.(check bool) "export has entries" true
+    (match entries with Server.Json.List (_ :: _) -> true | _ -> false);
+  (* import the snapshot into a fresh service: the same request is now
+     a cache hit there, payload byte-identical *)
+  let dst = Server.Service.create () in
+  let import_line =
+    json_str
+      (Server.Json.Assoc
+         [
+           ("v", Server.Json.Int Server.Protocol.version);
+           ("op", Server.Json.String "cache_import");
+           ("entries", entries);
+         ])
+  in
+  let imported = Server.Service.handle_line dst import_line in
+  Alcotest.(check bool) "import ok" true (response_ok imported);
+  Alcotest.(check bool) "imported count positive" true
+    (Server.Json.(to_int (member "imported" (member "result" (of_string imported)))) >= 1);
+  let served = Server.Service.handle_line dst line in
+  Alcotest.(check bool) "import produces a cache hit" true
+    (result_member "cached" served = Server.Json.Bool true);
+  Alcotest.(check string) "imported payload byte-identical"
+    (strip_cached (Server.Service.handle_line src line))
+    (strip_cached served)
+
+(* --- client: connection refusal is retryable --- *)
+
+let test_client_retries_refused_connection () =
+  let path = fresh_socket_path () in
+  let client = Server.Client.create (Server.Netline.Unix_socket path) in
+  let sleeps = ref 0 in
+  let policy = { Server.Retry.retries = 2; base_ms = 1; cap_ms = 2 } in
+  (match
+     Server.Client.call client ~policy
+       ~on_retry:(fun ~attempt:_ ~reason:_ ~sleep_ms:_ -> incr sleeps)
+       {|{"v":1,"op":"health"}|}
+   with
+  | Ok _ -> Alcotest.fail "connected to nothing"
+  | Error { Server.Client.attempts; last_response; _ } ->
+    Alcotest.(check int) "every configured retry consumed" 3 attempts;
+    Alcotest.(check int) "backed off between attempts" 2 !sleeps;
+    Alcotest.(check bool) "no response to surface" true (last_response = None));
+  Server.Client.close client;
+  (* a server that comes up mid-retry turns the same call into a
+     success: refused connections behave exactly like overload *)
+  let service = Server.Service.create () in
+  let starter =
+    Thread.create
+      (fun () ->
+        Unix.sleepf 0.15;
+        ignore (start_service_at service path))
+      ()
+  in
+  let client = Server.Client.create (Server.Netline.Unix_socket path) in
+  let policy = { Server.Retry.retries = 10; base_ms = 50; cap_ms = 100 } in
+  (match Server.Client.call client ~policy {|{"v":1,"op":"health"}|} with
+  | Ok response -> Alcotest.(check bool) "healthy once up" true (response_ok response)
+  | Error { Server.Client.reason; _ } -> Alcotest.fail ("still failing: " ^ reason));
+  Server.Client.close client;
+  Thread.join starter;
+  Server.Service.stop service
+
+(* --- router rejects backend-local ops --- *)
+
+let test_router_rejects_cache_ops () =
+  let b = start_backend () in
+  let router = Fleet.Router.create [ endpoint_of b ] in
+  let r = Fleet.Router.handle_line router {|{"v":1,"op":"cache_export"}|} in
+  Alcotest.(check bool) "cache_export rejected at router" false (response_ok r);
+  Alcotest.(check string) "invalid_request" "invalid_request" (response_error_code r);
+  (* health/stats answer locally with fleet shape *)
+  let h = Server.Json.member "result"
+      (Server.Json.of_string (Fleet.Router.handle_line router {|{"v":1,"op":"health"}|}))
+  in
+  Alcotest.(check string) "router role" "router"
+    Server.Json.(to_string_exn (member "role" h));
+  let s = Server.Json.member "result"
+      (Server.Json.of_string (Fleet.Router.handle_line router {|{"v":1,"op":"stats"}|}))
+  in
+  Alcotest.(check bool) "stats lists backends" true
+    (match Server.Json.member "backends" s with
+    | Server.Json.List [ _ ] -> true
+    | _ -> false);
+  stop_backend b
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_remove_one_backend_is_stable; prop_add_one_backend_only_captures ]
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "ring",
+        Alcotest.test_case "validation and preference" `Quick test_ring_validation :: props );
+      ( "singleflight",
+        [
+          Alcotest.test_case "coalesces concurrent callers" `Quick test_singleflight_coalesces;
+          Alcotest.test_case "shares errors" `Quick test_singleflight_shares_errors;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "route, failover, degrade, recover, handoff" `Quick
+            test_router_end_to_end;
+          Alcotest.test_case "coalesces identical requests" `Quick
+            test_router_coalesces_identical_requests;
+          Alcotest.test_case "rejects backend-local cache ops" `Quick
+            test_router_rejects_cache_ops;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "structured health and drain" `Quick test_health_states_and_drain;
+          Alcotest.test_case "cache export/import round trip" `Quick
+            test_cache_export_import_roundtrip;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "refused connection retries like overload" `Quick
+            test_client_retries_refused_connection;
+        ] );
+    ]
