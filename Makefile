@@ -1,4 +1,4 @@
-.PHONY: all build test smoke chaos-smoke fleet-smoke parallel-smoke obs-smoke calibrate-smoke scaling-gate incremental-gate bench-json bench-txt check clean
+.PHONY: all build test smoke chaos-smoke fleet-smoke parallel-smoke obs-smoke calibrate-smoke scaling-gate incremental-gate obs-gate bench-json bench-txt check clean
 
 all: build
 
@@ -64,6 +64,13 @@ scaling-gate: build
 incremental-gate: build
 	dune exec bench/main.exe -- --incremental-gate
 
+# Observability gate: tracing overhead on the memoized analyze hot path
+# must stay under 3% relative or 5 us absolute, both with a bare
+# collector and with a distributed-trace propagation context installed
+# (the fleet configuration). Non-zero exit on failure.
+obs-gate: build
+	dune exec bench/main.exe -- --obs-gate
+
 # Machine-readable benchmark record: Bechamel ns/run for every kernel,
 # 1/2/4-domain scaling of the parallel hot paths, compiled-core speedups
 # vs the PR3 boxed baselines, the incremental single-PI-flip re-analysis
@@ -80,7 +87,7 @@ bench-txt: build
 	dune exec bench/main.exe -- --extension > bench_extension_output.txt
 	@echo "wrote bench_perf_output.txt bench_ablation_output.txt bench_extension_output.txt"
 
-check: build test smoke chaos-smoke fleet-smoke parallel-smoke obs-smoke calibrate-smoke scaling-gate incremental-gate
+check: build test smoke chaos-smoke fleet-smoke parallel-smoke obs-smoke calibrate-smoke scaling-gate incremental-gate obs-gate
 
 clean:
 	dune clean

@@ -22,6 +22,11 @@
                                                re-analysis speedup and
                                                bit-identity gates (fast;
                                                non-zero exit on failure)
+   dune exec bench/main.exe -- --obs-gate   -> just the tracing-overhead
+                                               bound, collector off / on /
+                                               with propagation context
+                                               (fast; non-zero exit on
+                                               failure)
    dune exec bench/main.exe -- --list       -> available experiment ids *)
 
 let print_header () =
@@ -54,6 +59,7 @@ let () =
   | [ "--perf-json"; path ] -> Perf.run_json ~path
   | [ "--scaling-gate" ] -> Perf.run_scaling_gate ()
   | [ "--incremental-gate" ] -> Perf.run_incremental_gate ()
+  | [ "--obs-gate" ] -> Perf.run_obs_gate ()
   | [ "--ablation" ] ->
     print_header ();
     List.iter run_entry Ablations.all

@@ -459,7 +459,15 @@ let calibration_cases () =
       raw,
     bit_identical )
 
-type tracing_overhead = { off_s : float; on_s : float; overhead_pct : float; overhead_s : float }
+type tracing_overhead = {
+  off_s : float;
+  on_s : float;
+  overhead_pct : float;
+  overhead_s : float;
+  prop_s : float;  (* collector installed AND a distributed-trace context active *)
+  prop_pct : float;
+  prop_overhead_s : float;
+}
 
 (* Minimum over repeated batched runs. "off" is the instrumented build
    with no collector installed (the state every non-traced run pays
@@ -502,8 +510,52 @@ let tracing_overhead () =
   let on_s =
     Fun.protect ~finally:Obs.Trace.uninstall (fun () -> min_time ~repeats ~batch)
   in
-  let overhead_pct = (on_s -. off_s) /. Float.max 1e-12 off_s *. 100.0 in
-  { off_s; on_s; overhead_pct; overhead_s = on_s -. off_s }
+  (* Propagation on: same collector, plus an installed trace context —
+     the state a request handled by the server/router runs under. Root
+     spans now parent onto the remote span and carry the trace id, which
+     is the extra cost context propagation adds per span. *)
+  Obs.Trace.install collector;
+  let prop_s =
+    Fun.protect ~finally:Obs.Trace.uninstall (fun () ->
+        Obs.Ctx.with_trace
+          { Obs.Ctx.trace_id = Obs.Trace.new_trace_id (); parent_span = Some "deadbeefcafe0123" }
+          (fun () -> min_time ~repeats ~batch))
+  in
+  let pct v = (v -. off_s) /. Float.max 1e-12 off_s *. 100.0 in
+  {
+    off_s;
+    on_s;
+    overhead_pct = pct on_s;
+    overhead_s = on_s -. off_s;
+    prop_s;
+    prop_pct = pct prop_s;
+    prop_overhead_s = prop_s -. off_s;
+  }
+
+(* The 3%-or-5us acceptance bound, applied both to a bare collector and
+   to collector-plus-propagation-context (the fleet configuration).
+   Returns false on failure (caller exits). *)
+let check_tracing_gate tr =
+  Format.printf "  tracing: analyze %.3f ms off, %.3f ms on (%+.2f%%, %+.1f us)@."
+    (tr.off_s *. 1e3) (tr.on_s *. 1e3) tr.overhead_pct (tr.overhead_s *. 1e6);
+  Format.printf "  tracing: analyze %.3f ms with propagation context (%+.2f%%, %+.1f us)@."
+    (tr.prop_s *. 1e3) tr.prop_pct (tr.prop_overhead_s *. 1e6);
+  let ok = ref true in
+  if tr.overhead_pct >= 3.0 && tr.overhead_s >= 5e-6 then begin
+    Format.eprintf
+      "BENCH FAILURE: tracing overhead %.2f%% >= 3%% and %.1f us >= 5 us on the analyze hot \
+       path@."
+      tr.overhead_pct (tr.overhead_s *. 1e6);
+    ok := false
+  end;
+  if tr.prop_pct >= 3.0 && tr.prop_overhead_s >= 5e-6 then begin
+    Format.eprintf
+      "BENCH FAILURE: propagation overhead %.2f%% >= 3%% and %.1f us >= 5 us on the analyze \
+       hot path@."
+      tr.prop_pct (tr.prop_overhead_s *. 1e6);
+    ok := false
+  end;
+  !ok
 
 (* --- PR8: GC pressure on the Monte-Carlo variation hot path --- *)
 
@@ -863,8 +915,9 @@ let run_json ~path =
   Buffer.add_string b
     (Printf.sprintf
        "    \"analyze_off_s\": %.9f,\n    \"analyze_on_s\": %.9f,\n    \"overhead_pct\": %.3f,\n\
-       \    \"overhead_s\": %.9f\n"
-       tr.off_s tr.on_s tr.overhead_pct tr.overhead_s);
+       \    \"overhead_s\": %.9f,\n    \"analyze_propagation_s\": %.9f,\n\
+       \    \"propagation_pct\": %.3f,\n    \"propagation_s\": %.9f\n"
+       tr.off_s tr.on_s tr.overhead_pct tr.overhead_s tr.prop_s tr.prop_pct tr.prop_overhead_s);
   Buffer.add_string b "  }\n}\n";
   let oc = open_out path in
   Buffer.output_buffer oc b;
@@ -889,16 +942,8 @@ let run_json ~path =
   let gates_ok = check_incremental_gates inc_cases && gates_ok in
   Format.printf "  variation GC: %.0f minor words per sample (%d samples)@."
     gc.minor_words_per_sample gc.gc_samples;
-  Format.printf "  tracing: analyze %.3f ms off, %.3f ms on (%+.2f%%, %+.1f us)@."
-    (tr.off_s *. 1e3) (tr.on_s *. 1e3) tr.overhead_pct (tr.overhead_s *. 1e6);
-  if not gates_ok then exit 1;
-  if tr.overhead_pct >= 3.0 && tr.overhead_s >= 5e-6 then begin
-    Format.eprintf
-      "BENCH FAILURE: tracing overhead %.2f%% >= 3%% and %.1f us >= 5 us on the analyze hot \
-       path@."
-      tr.overhead_pct (tr.overhead_s *. 1e6);
-    exit 1
-  end
+  let tracing_ok = check_tracing_gate tr in
+  if not (gates_ok && tracing_ok) then exit 1
 
 (* The fast subset for `make scaling-gate`: parallel cases + the compiled
    speedup kernels, no bechamel estimates, no tracing section. *)
@@ -926,3 +971,11 @@ let run_incremental_gate () =
   let cases = incremental_cases () in
   if not (check_incremental_gates cases) then exit 1;
   Format.printf "incremental gate: OK@."
+
+(* The fast subset for `make obs-gate`: just the tracing-overhead bound,
+   with and without a propagation context installed. *)
+let run_obs_gate () =
+  Format.printf "Observability gate: analyze hot path, collector off / on / propagating...@.";
+  let tr = tracing_overhead () in
+  if not (check_tracing_gate tr) then exit 1;
+  Format.printf "observability gate: OK@."

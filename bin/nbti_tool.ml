@@ -113,7 +113,9 @@ let apply_logging level json =
 (* Wraps a subcommand body: installs the log level, a correlation id for
    every span / log record / pool chunk the run produces, and — when
    --trace is given — a span collector whose contents are written out
-   (and summarized to stderr) even if the body raises. *)
+   (and summarized to stderr) even if the body raises. A traced run also
+   originates a distributed-trace context, so spans carry a trace id and
+   any server hop the body makes (via Client) joins the same trace. *)
 let with_observability ~cid ~level ~json ~trace f =
   apply_logging level json;
   Obs.Ctx.with_id cid @@ fun () ->
@@ -126,13 +128,45 @@ let with_observability ~cid ~level ~json ~trace f =
       ~finally:(fun () ->
         Obs.Trace.uninstall ();
         try
-          Obs.Trace.write_chrome_json collector ~path;
+          Obs.Trace.write_chrome_json ~process_name:cid collector ~path;
           Format.eprintf "%s@." (Obs.Trace.flame_summary collector);
           Format.eprintf "trace: %d spans written to %s@."
             (List.length (Obs.Trace.spans collector))
             path
         with Sys_error m -> Format.eprintf "trace: cannot write %s: %s@." path m)
-      f
+      (fun () ->
+        Obs.Ctx.with_trace
+          { Obs.Ctx.trace_id = Obs.Trace.new_trace_id (); parent_span = None }
+          f)
+
+(* --- SLO objectives (--slo, shared by serve and route) --- *)
+
+let slo_spec_arg =
+  let doc =
+    "Per-op latency objectives, e.g. 'analyze=50ms:99,batch=2s:95': a request slower than its \
+     op's threshold (or failing) counts against the target percentage. Multi-window (5m/1h) \
+     burn rates surface under stats.slo, as nbti_slo_* metrics, and in 'nbti_tool top'."
+  in
+  Arg.(value & opt (some string) None & info [ "slo" ] ~docv:"SPEC" ~doc)
+
+let parse_slo ~cmd spec =
+  match spec with
+  | None -> None
+  | Some s -> begin
+    match Obs.Slo.parse_spec s with
+    | Ok objectives -> Some (Obs.Slo.create objectives)
+    | Error m ->
+      Format.eprintf "nbti_tool %s: --slo: %s@." cmd m;
+      exit 2
+  end
+
+let trace_spans_arg =
+  let doc =
+    "Keep the last $(docv) completed spans in an in-process ring served by the trace_export \
+     op (0 disables). This is what lets a fleet router collect this process's spans into a \
+     merged trace."
+  in
+  Arg.(value & opt int 0 & info [ "trace-spans" ] ~docv:"N" ~doc)
 
 (* --- stats --- *)
 
@@ -664,12 +698,20 @@ let profile_cmd =
 (* --- trace: summarize a recorded Chrome trace --- *)
 
 let trace_cmd =
-  let file_arg =
+  let files_arg =
     Arg.(
-      required & pos 0 (some string) None
-      & info [] ~docv:"FILE" ~doc:"Chrome trace_event JSON written by --trace.")
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Chrome trace_event JSON written by --trace or trace_export.")
   in
-  let run path =
+  let merge_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "merge" ] ~docv:"OUT"
+          ~doc:
+            "Merge the input traces (pid-remapped, ts-rebased onto the earliest origin) into \
+             one Chrome trace at $(docv), then summarize the result.")
+  in
+  let read_json path =
     let text =
       match open_in path with
       | ic ->
@@ -681,48 +723,81 @@ let trace_cmd =
         exit 1
     in
     match Server.Json.of_string text with
+    | json -> json
     | exception Server.Json.Parse_error m ->
       Format.eprintf "%s: not valid JSON: %s@." path m;
       exit 1
-    | json ->
-      let events =
-        match Server.Json.member_opt "traceEvents" json with
-        | Some (Server.Json.List l) -> l
-        | _ ->
-          Format.eprintf "%s: not a Chrome trace (no traceEvents array)@." path;
+  in
+  (* Complete ("X") events carry their ancestry under args.path;
+     instant markers have no duration and are only counted. *)
+  let flame_pairs events =
+    List.filter_map
+      (fun e ->
+        match (Server.Json.member_opt "args" e, Server.Json.member_opt "dur" e) with
+        | Some args, Some dur -> begin
+          match Server.Json.member_opt "path" args with
+          | Some (Server.Json.String p) -> begin
+            match Server.Json.to_float dur with
+            | d when d > 0.0 -> Some (p, d)
+            | _ -> None
+            | exception Server.Json.Type_error _ -> None
+          end
+          | _ -> None
+        end
+        | _ -> None)
+      events
+  in
+  let summarize label json =
+    match Server.Tracefile.parse json with
+    | Error m ->
+      Format.eprintf "%s: %s@." label m;
+      exit 1
+    | Ok parsed ->
+      let s = Server.Tracefile.summarize parsed in
+      let ids = Server.Tracefile.trace_ids parsed in
+      Format.printf "%d events (%d spans) in %s@." s.Server.Tracefile.events
+        s.Server.Tracefile.spans label;
+      List.iter
+        (fun (pid, name) -> Format.printf "  pid %d: %s@." pid name)
+        (List.sort compare s.Server.Tracefile.processes);
+      if ids <> [] then
+        Format.printf "  trace ids: %s@." (String.concat ", " ids);
+      print_string
+        (Obs.Trace.flame_of_paths (flame_pairs parsed.Server.Tracefile.events)
+           ~dropped:s.Server.Tracefile.dropped)
+  in
+  let run paths merge_out =
+    let inputs = List.map (fun p -> (p, read_json p)) paths in
+    match merge_out with
+    | None -> List.iter (fun (path, json) -> summarize path json) inputs
+    | Some out ->
+      let merged =
+        try
+          Server.Tracefile.merge
+            (List.map
+               (fun (path, json) ->
+                 (Some (Filename.remove_extension (Filename.basename path)), json))
+               inputs)
+        with Server.Json.Type_error m ->
+          Format.eprintf "merge failed: %s@." m;
           exit 1
       in
-      let dropped =
-        match Server.Json.member_opt "droppedSpans" json with
-        | Some v -> ( try Server.Json.to_int v with Server.Json.Type_error _ -> 0)
-        | None -> 0
-      in
-      (* Complete ("X") events carry their ancestry under args.path;
-         instant markers have no duration and are only counted. *)
-      let pairs =
-        List.filter_map
-          (fun e ->
-            match (Server.Json.member_opt "args" e, Server.Json.member_opt "dur" e) with
-            | Some args, Some dur -> begin
-              match Server.Json.member_opt "path" args with
-              | Some (Server.Json.String p) -> begin
-                match Server.Json.to_float dur with
-                | d when d > 0.0 -> Some (p, d)
-                | _ -> None
-                | exception Server.Json.Type_error _ -> None
-              end
-              | _ -> None
-            end
-            | _ -> None)
-          events
-      in
-      Format.printf "%d events (%d spans with duration) in %s@." (List.length events)
-        (List.length pairs) path;
-      print_string (Obs.Trace.flame_of_paths pairs ~dropped)
+      (try
+         let oc = open_out out in
+         output_string oc (Server.Json.to_string merged);
+         output_char oc '\n';
+         close_out oc
+       with Sys_error m ->
+         Format.eprintf "cannot write %s: %s@." out m;
+         exit 1);
+      summarize out merged
   in
-  let term = Term.(const run $ file_arg) in
+  let term = Term.(const run $ files_arg $ merge_arg) in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Validate a recorded Chrome trace and print its flame summary.")
+    (Cmd.info "trace"
+       ~doc:
+         "Validate recorded Chrome traces, print their flame summaries, and optionally merge \
+          several processes' traces into one timeline.")
     term
 
 (* --- calibrate / gen-measurements: Bayesian R-D parameter inference --- *)
@@ -1062,11 +1137,13 @@ let serve_cmd =
              elapsed_s, error code) to $(docv).")
   in
   let run endpoint result_capacity result_cache_mb prepared_capacity max_pending max_batch
-      max_gates max_line_bytes default_timeout_ms drain_timeout_ms faults_spec access_log level
-      json jobs =
+      max_gates max_line_bytes default_timeout_ms drain_timeout_ms faults_spec access_log
+      slo_spec trace_spans level json jobs =
     apply_jobs jobs;
     apply_logging level json;
     let faults = parse_faults ~cmd:"serve" faults_spec in
+    let slo = parse_slo ~cmd:"serve" slo_spec in
+    if trace_spans > 0 then Obs.Trace.install (Obs.Trace.create ~capacity:trace_spans ());
     let limits =
       {
         Server.Service.default_limits with
@@ -1079,7 +1156,7 @@ let serve_cmd =
     let t =
       Server.Service.create ~result_capacity
         ~result_max_bytes:(result_cache_mb * 1024 * 1024)
-        ~prepared_capacity ~max_pending ~drain_timeout_ms ~limits ~faults ()
+        ~prepared_capacity ~max_pending ~drain_timeout_ms ~limits ~faults ?slo ()
     in
     let access_oc =
       match access_log with
@@ -1153,8 +1230,8 @@ let serve_cmd =
     Term.(
       const run $ endpoint_arg $ result_cache_arg $ result_cache_mb_arg $ prepared_cache_arg
       $ max_pending_arg $ max_batch_arg $ max_gates_arg $ max_line_bytes_arg
-      $ default_timeout_arg $ drain_timeout_arg $ faults_arg $ access_log_arg $ log_level_arg
-      $ log_json_arg $ jobs_arg)
+      $ default_timeout_arg $ drain_timeout_arg $ faults_arg $ access_log_arg $ slo_spec_arg
+      $ trace_spans_arg $ log_level_arg $ log_json_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1214,9 +1291,17 @@ let request_cmd =
              ("circuit", circuit);
            ])
   in
-  let run endpoint body retries timeout_ms retry_seed =
+  let run endpoint body retries timeout_ms retry_seed trace =
     let policy = { Server.Retry.default_policy with Server.Retry.retries } in
     let rng = Physics.Rng.split (Physics.Rng.create ~seed:retry_seed) in
+    let collector =
+      match trace with
+      | None -> None
+      | Some _ ->
+        let c = Obs.Trace.create () in
+        Obs.Trace.install c;
+        Some c
+    in
     (* A deadline-bounded request must not hang the client on a wedged
        server: bound the read at several times the compute budget (the
        server itself answers within ~2x). *)
@@ -1250,16 +1335,27 @@ let request_cmd =
         policy.Server.Retry.retries sleep_ms
     in
     let send line =
-      match Server.Client.call client ~policy ~rng ~on_retry (with_timeout line) with
-      | Ok response -> print_response response
-      | Error { Server.Client.attempts; reason; last_response } ->
-        Format.eprintf "nbti_tool request: giving up after %d attempt%s: %s@." attempts
-          (if attempts = 1 then "" else "s")
-          reason;
-        (* still surface the server's final word (e.g. the overloaded
-           error envelope) so callers can inspect it *)
-        (match last_response with Some r -> print_endline r | None -> ());
-        ok := false
+      let go () =
+        match Server.Client.call client ~policy ~rng ~on_retry (with_timeout line) with
+        | Ok response -> print_response response
+        | Error { Server.Client.attempts; reason; last_response } ->
+          Format.eprintf "nbti_tool request: giving up after %d attempt%s: %s@." attempts
+            (if attempts = 1 then "" else "s")
+            reason;
+          (* still surface the server's final word (e.g. the overloaded
+             error envelope) so callers can inspect it *)
+          (match last_response with Some r -> print_endline r | None -> ());
+          ok := false
+      in
+      (* A traced request originates the distributed trace here, at the
+         client edge: the cli.request span is the trace root, and
+         Client.call stamps the context onto the wire so router and
+         backend spans nest under it in a merged view. *)
+      if Obs.Trace.enabled () then
+        Obs.Ctx.with_trace
+          { Obs.Ctx.trace_id = Obs.Trace.new_trace_id (); parent_span = None }
+          (fun () -> Obs.Trace.with_span ~cat:"client" "cli.request" go)
+      else go ()
     in
     if body = "-" then begin
       try
@@ -1271,10 +1367,28 @@ let request_cmd =
     end
     else send (request_line body);
     Server.Client.close client;
+    (match (trace, collector) with
+    | Some path, Some c ->
+      Obs.Trace.uninstall ();
+      (try
+         Obs.Trace.write_chrome_json ~process_name:"client" c ~path;
+         Format.eprintf "trace: %d spans written to %s@." (List.length (Obs.Trace.spans c)) path
+       with Sys_error m -> Format.eprintf "trace: cannot write %s: %s@." path m)
+    | _ -> ());
     if not !ok then exit 1
   in
+  let request_trace_arg =
+    let doc =
+      "Record this client's spans (one cli.request root per request, carrying a fresh trace \
+       id that the server side joins) as Chrome trace_event JSON to $(docv); merge with the \
+       server's trace via 'nbti_tool trace --merge'."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
   let term =
-    Term.(const run $ endpoint_arg $ body_arg $ retries_arg $ timeout_ms_arg $ retry_seed_arg)
+    Term.(
+      const run $ endpoint_arg $ body_arg $ retries_arg $ timeout_ms_arg $ retry_seed_arg
+      $ request_trace_arg)
   in
   Cmd.v
     (Cmd.info "request"
@@ -1327,9 +1441,24 @@ let route_cmd =
           ~doc:"Hottest result-cache entries moved per warm-cache handoff export.")
   in
   let run endpoint backends vnodes failover_attempts probe_interval_ms probe_backoff_cap_ms
-      probe_timeout_ms handoff_max_entries faults_spec level json =
+      probe_timeout_ms handoff_max_entries faults_spec access_log slo_spec trace trace_spans
+      level json =
     apply_logging level json;
     let faults = parse_faults ~cmd:"route" faults_spec in
+    let slo = parse_slo ~cmd:"route" slo_spec in
+    (* --trace implies a collector; --trace-spans sizes it (and enables
+       trace_export without a shutdown file when given alone). *)
+    let collector =
+      if trace <> None || trace_spans > 0 then begin
+        let c =
+          if trace_spans > 0 then Obs.Trace.create ~capacity:trace_spans ()
+          else Obs.Trace.create ()
+        in
+        Obs.Trace.install c;
+        Some c
+      end
+      else None
+    in
     let config =
       {
         Fleet.Router.default_config with
@@ -1342,10 +1471,23 @@ let route_cmd =
       }
     in
     let t =
-      try Fleet.Router.create ~config ~faults backends
+      try Fleet.Router.create ~config ~faults ?slo backends
       with Invalid_argument m ->
         Format.eprintf "nbti_tool route: %s@." m;
         exit 2
+    in
+    let access_oc =
+      match access_log with
+      | None -> None
+      | Some path -> begin
+        match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+        | oc ->
+          Fleet.Router.set_access_log t oc;
+          Some oc
+        | exception Sys_error m ->
+          Format.eprintf "nbti_tool route: cannot open access log: %s@." m;
+          exit 1
+      end
     in
     Fleet.Router.install_signal_handlers t;
     let on_ready () =
@@ -1365,12 +1507,55 @@ let route_cmd =
     | Unix.Unix_error (err, fn, arg) ->
       Format.eprintf "nbti_tool route: %s(%s): %s@." fn arg (Unix.error_message err);
       exit 1);
+    (* Shutdown-time trace collection: the backends are still serving
+       (the router stops first in a rolling shutdown), so drain their
+       span rings and write the whole fleet as one merged trace. *)
+    (match (trace, collector) with
+    | Some path, Some c ->
+      Obs.Trace.uninstall ();
+      let own = Server.Json.of_string (Obs.Trace.to_chrome_json ~process_name:"router" c) in
+      let backend_traces = Fleet.Router.collect_backend_traces t in
+      let inputs =
+        (None, own) :: List.map (fun (name, tr) -> (Some name, tr)) backend_traces
+      in
+      (try
+         let merged = Server.Tracefile.merge inputs in
+         let oc = open_out path in
+         output_string oc (Server.Json.to_string merged);
+         output_char oc '\n';
+         close_out oc;
+         Format.eprintf "trace: merged router + %d backend trace%s to %s@."
+           (List.length backend_traces)
+           (if List.length backend_traces = 1 then "" else "s")
+           path
+       with
+      | Server.Json.Type_error m -> Format.eprintf "trace: merge failed: %s@." m
+      | Sys_error m -> Format.eprintf "trace: cannot write %s: %s@." path m)
+    | _ -> ());
+    (match access_oc with Some oc -> close_out_noerr oc | None -> ());
     Format.printf "nbti_tool: router stopped@."
+  in
+  let route_trace_arg =
+    let doc =
+      "Record router spans and, at shutdown, drain every backend's span ring (trace_export) \
+       and write the whole fleet as one merged Chrome trace to $(docv). Backends must run \
+       with --trace-spans to participate."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let route_access_log_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSONL record per routed request (ts, correlation id, endpoint, ok, \
+             elapsed_s, error code, plus backend, failover_count and coalesced) to $(docv).")
   in
   let term =
     Term.(
       const run $ endpoint_arg $ backends_arg $ vnodes_arg $ failover_arg $ probe_interval_arg
-      $ probe_cap_arg $ probe_timeout_arg $ handoff_entries_arg $ faults_arg $ log_level_arg
+      $ probe_cap_arg $ probe_timeout_arg $ handoff_entries_arg $ faults_arg
+      $ route_access_log_arg $ slo_spec_arg $ route_trace_arg $ trace_spans_arg $ log_level_arg
       $ log_json_arg)
   in
   Cmd.v
@@ -1380,10 +1565,170 @@ let route_cmd =
           singleflight coalescing, health-probe failover and warm-cache handoff.")
     term
 
+(* --- top: one-shot / interval text dashboard over a daemon's stats --- *)
+
+let top_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "interval" ] ~docv:"S"
+          ~doc:"Refresh every $(docv) seconds (clearing the screen) instead of one-shot.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"With --interval, stop after $(docv) refreshes (0 = until interrupted).")
+  in
+  let str name j =
+    match Server.Json.member_opt name j with Some (Server.Json.String s) -> Some s | _ -> None
+  in
+  let num name j =
+    match Server.Json.member_opt name j with
+    | Some v -> ( try Some (Server.Json.to_float v) with Server.Json.Type_error _ -> None)
+    | None -> None
+  in
+  let ms name j = match num name j with Some s -> s *. 1e3 | None -> Float.nan in
+  let fmt v = if Float.is_nan v then "-" else Printf.sprintf "%.2f" v in
+  let fmt_int v = if Float.is_nan v then "-" else Printf.sprintf "%.0f" v in
+  let render endpoint result =
+    let role = Option.value ~default:"backend" (str "role" result) in
+    let uptime = Option.value ~default:Float.nan (num "uptime_s" result) in
+    Format.printf "%s — %s, up %.1f s@.@."
+      (Server.Netline.endpoint_to_string endpoint)
+      role uptime;
+    (match Server.Json.member_opt "backends" result with
+    | Some (Server.Json.List backends) when backends <> [] ->
+      Flow.Report.print
+        {
+          Flow.Report.title = "backends";
+          header =
+            [ "endpoint"; "state"; "probes"; "failures"; "rtt p50 [ms]"; "rtt p95 [ms]" ];
+          rows =
+            List.map
+              (fun b ->
+                let rtt = Server.Json.member_opt "probe_rtt" b in
+                (* probe_rtt fields are already in milliseconds *)
+                let rtt_ms name =
+                  match rtt with
+                  | Some r -> fmt (Option.value ~default:Float.nan (num name r))
+                  | None -> "-"
+                in
+                [
+                  Option.value ~default:"?" (str "endpoint" b);
+                  Option.value ~default:"?" (str "state" b);
+                  fmt_int (Option.value ~default:Float.nan (num "probes" b));
+                  fmt_int (Option.value ~default:Float.nan (num "probe_failures" b));
+                  rtt_ms "p50_ms";
+                  rtt_ms "p95_ms";
+                ])
+              backends;
+        };
+      Format.printf "@."
+    | _ -> ());
+    (match Server.Json.member_opt "endpoints" result with
+    | Some (Server.Json.Assoc endpoints) when endpoints <> [] ->
+      Flow.Report.print
+        {
+          Flow.Report.title = "per-op latency";
+          header = [ "op"; "requests"; "errors"; "p50 [ms]"; "p95 [ms]"; "p99 [ms]" ];
+          rows =
+            List.map
+              (fun (op, s) ->
+                [
+                  op;
+                  fmt_int (Option.value ~default:Float.nan (num "requests" s));
+                  fmt_int (Option.value ~default:Float.nan (num "errors" s));
+                  fmt (ms "p50_s" s);
+                  fmt (ms "p95_s" s);
+                  fmt (ms "p99_s" s);
+                ])
+              endpoints;
+        };
+      Format.printf "@."
+    | _ -> ());
+    match Server.Json.member_opt "slo" result with
+    | Some (Server.Json.List objectives) when objectives <> [] ->
+      let window_burn label o =
+        match Server.Json.member_opt "windows" o with
+        | Some (Server.Json.List ws) -> begin
+          match List.find_opt (fun w -> str "window" w = Some label) ws with
+          | Some w -> fmt (Option.value ~default:Float.nan (num "burn_rate" w))
+          | None -> "-"
+        end
+        | _ -> "-"
+      in
+      Flow.Report.print
+        {
+          Flow.Report.title = "SLO burn rates (1.0 = burning the whole error budget)";
+          header = [ "op"; "threshold [ms]"; "target [%]"; "5m burn"; "1h burn" ];
+          rows =
+            List.map
+              (fun o ->
+                [
+                  Option.value ~default:"?" (str "op" o);
+                  fmt (Option.value ~default:Float.nan (num "threshold_ms" o));
+                  fmt (Option.value ~default:Float.nan (num "target_pct" o));
+                  window_burn "5m" o;
+                  window_burn "1h" o;
+                ])
+              objectives;
+        }
+    | _ -> ()
+  in
+  let run endpoint interval count =
+    let client = Server.Client.create ~read_timeout_s:10.0 endpoint in
+    let stats_line =
+      Server.Json.to_string
+        (Server.Json.Assoc
+           [
+             ("v", Server.Json.Int Server.Protocol.version);
+             ("op", Server.Json.String "stats");
+           ])
+    in
+    let fetch () =
+      match Server.Client.call client stats_line with
+      | Ok response -> begin
+        match Server.Json.of_string response with
+        | json -> begin
+          match (Server.Json.member_opt "ok" json, Server.Json.member_opt "result" json) with
+          | Some (Server.Json.Bool true), Some result -> Ok result
+          | _ -> Error response
+        end
+        | exception Server.Json.Parse_error m -> Error ("unparseable response: " ^ m)
+      end
+      | Error { Server.Client.reason; _ } -> Error reason
+    in
+    let rec loop i =
+      if interval > 0.0 then print_string "\027[2J\027[H";
+      (match fetch () with
+      | Ok result -> render endpoint result
+      | Error m ->
+        Format.eprintf "nbti_tool top: %s@." m;
+        if interval <= 0.0 then begin
+          Server.Client.close client;
+          exit 1
+        end);
+      if interval > 0.0 && (count = 0 || i + 1 < count) then begin
+        Thread.delay interval;
+        loop (i + 1)
+      end
+    in
+    loop 0;
+    Server.Client.close client
+  in
+  let term = Term.(const run $ endpoint_arg $ interval_arg $ count_arg) in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Text dashboard over a daemon or router's stats: backend health, per-op latency \
+          percentiles and SLO burn rates, one-shot or refreshing with --interval.")
+    term
+
 let () =
   let doc = "Temperature-aware NBTI modeling and standby leakage co-optimization." in
   let info = Cmd.info "nbti_tool" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ stats_cmd; analyze_cmd; ivc_cmd; st_cmd; dvth_cmd; lifetime_cmd; gen_cmd; lib_cmd;
          verilog_cmd; seq_cmd; sram_cmd; thermal_cmd; variation_cmd; profile_cmd; trace_cmd;
-         calibrate_cmd; gen_measurements_cmd; serve_cmd; request_cmd; route_cmd ]))
+         calibrate_cmd; gen_measurements_cmd; serve_cmd; request_cmd; route_cmd; top_cmd ]))

@@ -20,6 +20,10 @@ let state_string = function
    last resort when no Up/Recovering owner exists. *)
 let routable = function Up | Recovering -> true | Suspect | Down | Draining -> false
 
+(* Enough RTT history for quantiles over the last few minutes of
+   healthy probing without unbounded growth. *)
+let rtt_capacity = 128
+
 type t = {
   name : string;
   endpoint : Server.Netline.endpoint;
@@ -30,6 +34,11 @@ type t = {
   mutable probes : int;
   mutable probe_failures : int;
   mutable last_change : float;
+  rtts : float array; (* ring of successful-probe RTTs, seconds *)
+  mutable rtt_count : int; (* total recorded; min with capacity = filled *)
+  mutable last_rtt_s : float;
+  mutable scraped : Obs.Registry.sample list; (* last metrics scrape *)
+  mutable scraped_at : float; (* 0 = never scraped *)
 }
 
 let create endpoint =
@@ -43,6 +52,11 @@ let create endpoint =
     probes = 0;
     probe_failures = 0;
     last_change = Unix.gettimeofday ();
+    rtts = Array.make rtt_capacity 0.0;
+    rtt_count = 0;
+    last_rtt_s = 0.0;
+    scraped = [];
+    scraped_at = 0.0;
   }
 
 let name t = t.name
@@ -61,14 +75,48 @@ let set_state t s =
         t.last_change <- Unix.gettimeofday ()
       end)
 
-let record_probe t ~ok =
+let record_probe ?rtt_s t ~ok =
   with_lock t (fun () ->
       t.probes <- t.probes + 1;
-      if ok then t.consecutive_failures <- 0
+      if ok then begin
+        t.consecutive_failures <- 0;
+        match rtt_s with
+        | Some r when r >= 0.0 ->
+          t.rtts.(t.rtt_count mod rtt_capacity) <- r;
+          t.rtt_count <- t.rtt_count + 1;
+          t.last_rtt_s <- r
+        | _ -> ()
+      end
       else begin
         t.probe_failures <- t.probe_failures + 1;
         t.consecutive_failures <- t.consecutive_failures + 1
       end)
+
+type rtt_stats = { count : int; last_s : float; p50_s : float; p95_s : float }
+
+(* Quantiles over the retained ring (nearest-rank on a sorted copy);
+   the ring is small enough that sorting per scrape is nothing. *)
+let rtt_stats t =
+  with_lock t (fun () ->
+      if t.rtt_count = 0 then None
+      else begin
+        let n = min t.rtt_count rtt_capacity in
+        let sorted = Array.sub t.rtts 0 n in
+        Array.sort compare sorted;
+        let q p = sorted.(min (n - 1) (int_of_float (Float.of_int n *. p))) in
+        Some { count = t.rtt_count; last_s = t.last_rtt_s; p50_s = q 0.5; p95_s = q 0.95 }
+      end)
+
+let set_scraped t samples =
+  with_lock t (fun () ->
+      t.scraped <- samples;
+      t.scraped_at <- Unix.gettimeofday ())
+
+let scraped t = with_lock t (fun () -> t.scraped)
+
+let scraped_age_s t =
+  with_lock t (fun () ->
+      if t.scraped_at = 0.0 then None else Some (Unix.gettimeofday () -. t.scraped_at))
 
 (* A request-path failure also counts against the probe streak so the
    backoff schedule sees it, and pulls the next probe forward — the
@@ -84,13 +132,28 @@ let schedule_probe t ~at = with_lock t (fun () -> t.next_probe_at <- at)
 let probe_due t ~now = with_lock t (fun () -> now >= t.next_probe_at)
 
 let to_json t =
+  let rtt = rtt_stats t in
   with_lock t (fun () ->
       Server.Json.Assoc
-        [
-          ("endpoint", Server.Json.String t.name);
-          ("state", Server.Json.String (state_string t.state));
-          ("probes", Server.Json.Int t.probes);
-          ("probe_failures", Server.Json.Int t.probe_failures);
-          ("consecutive_failures", Server.Json.Int t.consecutive_failures);
-          ("since_change_s", Server.Json.Float (Unix.gettimeofday () -. t.last_change));
-        ])
+        ([
+           ("endpoint", Server.Json.String t.name);
+           ("state", Server.Json.String (state_string t.state));
+           ("probes", Server.Json.Int t.probes);
+           ("probe_failures", Server.Json.Int t.probe_failures);
+           ("consecutive_failures", Server.Json.Int t.consecutive_failures);
+           ("since_change_s", Server.Json.Float (Unix.gettimeofday () -. t.last_change));
+         ]
+        @
+        match rtt with
+        | None -> []
+        | Some r ->
+          [
+            ( "probe_rtt",
+              Server.Json.Assoc
+                [
+                  ("count", Server.Json.Int r.count);
+                  ("last_ms", Server.Json.Float (r.last_s *. 1e3));
+                  ("p50_ms", Server.Json.Float (r.p50_s *. 1e3));
+                  ("p95_ms", Server.Json.Float (r.p95_s *. 1e3));
+                ] );
+          ]))

@@ -31,9 +31,26 @@ val endpoint : t -> Server.Netline.endpoint
 val state : t -> state
 val set_state : t -> state -> unit
 
-val record_probe : t -> ok:bool -> unit
+val record_probe : ?rtt_s:float -> t -> ok:bool -> unit
 (** Accounts one probe; failure extends the consecutive-failure streak,
-    success resets it. *)
+    success resets it and (when [rtt_s] is given) records the probe's
+    round-trip time into a bounded ring. *)
+
+type rtt_stats = { count : int; last_s : float; p50_s : float; p95_s : float }
+
+val rtt_stats : t -> rtt_stats option
+(** Quantiles over the retained probe-RTT ring (last 128 successful
+    probes); [None] before the first success. *)
+
+val set_scraped : t -> Obs.Registry.sample list -> unit
+(** Stores the backend's latest [metrics] scrape (parsed back into
+    registry samples) for the router's [cluster_metrics] federation. *)
+
+val scraped : t -> Obs.Registry.sample list
+(** The last stored scrape; [[]] when the backend was never scraped. *)
+
+val scraped_age_s : t -> float option
+(** Seconds since the last successful scrape; [None] when never. *)
 
 val record_request_failure : t -> unit
 (** A forwarded request failed on transport: extends the failure streak

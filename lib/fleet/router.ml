@@ -39,12 +39,26 @@ let default_config =
    followers share them without exception plumbing. *)
 type forwarded = Payload of Json.t | Failed of Json.t
 
+(* How a forward was served, for the access log and the coalescing
+   trace link: which backend answered, how many failover hops it took,
+   the leader's trace id (followers link to it), and whether this
+   caller was a coalesced follower. *)
+type route_meta = {
+  meta_backend : string option;
+  failovers : int;
+  leader_trace_id : string option;
+  coalesced : bool;
+}
+
 type t = {
   config : config;
   ring : Ring.t;
   backends : Backend.t list;
   by_name : (string, Backend.t) Hashtbl.t;
-  flight : forwarded Singleflight.t;
+  flight : (forwarded * route_meta) Singleflight.t;
+  slo : Obs.Slo.t option;
+  mutable access_log : out_channel option;
+  access_lock : Mutex.t;
   metrics : Server.Metrics.t;
   registry : Obs.Registry.t;
   faults : Server.Faults.t;
@@ -76,8 +90,37 @@ let running t =
 let register_collectors t =
   let r = t.registry in
   Obs.Registry.register r (fun () -> Server.Metrics.registry_samples t.metrics);
+  Obs.Registry.register r (fun () -> Obs.Trace.registry_samples ());
+  (match t.slo with
+  | None -> ()
+  | Some slo -> Obs.Registry.register r (fun () -> Obs.Slo.registry_samples slo));
   Obs.Registry.register_gauge r ~name:"nbti_fleet_uptime_seconds"
     ~help:"Seconds since the router was created." (fun () -> uptime_s t);
+  Obs.Registry.register r (fun () ->
+      List.concat_map
+        (fun b ->
+          match Backend.rtt_stats b with
+          | None -> []
+          | Some { Backend.count = _; last_s; p50_s; p95_s } ->
+            let quantile q v =
+              {
+                Obs.Registry.name = "nbti_fleet_probe_rtt_seconds";
+                help = "Probe round-trip time quantiles over the last 128 successful probes.";
+                labels = [ ("backend", Backend.name b); ("quantile", q) ];
+                value = Obs.Registry.Gauge v;
+              }
+            in
+            [
+              quantile "0.5" p50_s;
+              quantile "0.95" p95_s;
+              {
+                Obs.Registry.name = "nbti_fleet_probe_rtt_last_seconds";
+                help = "Most recent successful probe round-trip time.";
+                labels = [ ("backend", Backend.name b) ];
+                value = Obs.Registry.Gauge last_s;
+              };
+            ])
+        t.backends);
   Obs.Registry.register r (fun () ->
       List.concat_map
         (fun b ->
@@ -99,7 +142,7 @@ let register_collectors t =
           ])
         t.backends)
 
-let create ?(config = default_config) ?(faults = Server.Faults.none) endpoints =
+let create ?(config = default_config) ?(faults = Server.Faults.none) ?slo endpoints =
   if endpoints = [] then invalid_arg "Router.create: no backends";
   let backends = List.map Backend.create endpoints in
   let ring = Ring.create ~vnodes:config.vnodes (List.map Backend.name backends) in
@@ -112,6 +155,9 @@ let create ?(config = default_config) ?(faults = Server.Faults.none) endpoints =
       backends;
       by_name;
       flight = Singleflight.create ();
+      slo;
+      access_log = None;
+      access_lock = Mutex.create ();
       metrics = Server.Metrics.create ();
       registry = Obs.Registry.create ();
       faults;
@@ -224,6 +270,10 @@ type attempt_outcome =
   | Refused of Json.t (* a structured, non-retryable error object: final *)
   | Unavailable of string (* transport failure / retryable exhausted: fail over *)
 
+(* Local control flow only: lets a failed forward attempt close its
+   span with ok = false (with_span marks raising thunks failed). *)
+exception Unavailable_backend of string
+
 let try_backend t b ~timeout_ms line =
   Server.Metrics.incr_counter t.metrics "forward_attempts";
   if injected_failure t ~site:"connect" then begin
@@ -272,16 +322,38 @@ let degraded_error t ~tried =
    on. Safe because every routed op is idempotent; the bound keeps a
    fully-dark fleet from turning one request into an unbounded scan. *)
 let route t ~key ~timeout_ms line =
+  let leader_trace_id =
+    match Obs.Ctx.current_trace () with Some tr -> Some tr.Obs.Ctx.trace_id | None -> None
+  in
+  let meta backend failovers = { meta_backend = backend; failovers; leader_trace_id; coalesced = false } in
   let cands = List.filteri (fun i _ -> i < t.config.failover_attempts) (candidates t key) in
   let rec go tried = function
     | [] ->
       Server.Metrics.incr_counter t.metrics "fleet_degraded";
-      Failed (degraded_error t ~tried)
+      (Failed (degraded_error t ~tried), meta None (max 0 (tried - 1)))
     | name :: rest -> begin
       let b = backend t name in
-      match try_backend t b ~timeout_ms line with
-      | Answered payload -> Payload payload
-      | Refused e -> Failed e
+      (* Each attempt is its own span: a failover walk shows up in the
+         merged trace as a failed fleet.forward followed by the hop that
+         answered, and the backend's spans parent onto the attempt that
+         actually reached it (Client.call stamps the open span). *)
+      let attempt () =
+        match try_backend t b ~timeout_ms line with
+        | Answered _ | Refused _ as outcome -> outcome
+        | Unavailable reason -> raise (Unavailable_backend reason)
+      in
+      let outcome =
+        match
+          Obs.Trace.with_span ~cat:"fleet"
+            ~args:[ ("backend", Obs.Fields.Str name); ("attempt", Obs.Fields.Int tried) ]
+            "fleet.forward" attempt
+        with
+        | o -> o
+        | exception Unavailable_backend reason -> Unavailable reason
+      in
+      match outcome with
+      | Answered payload -> (Payload payload, meta (Some name) tried)
+      | Refused e -> (Failed e, meta (Some name) tried)
       | Unavailable reason ->
         Server.Metrics.incr_counter t.metrics "backend_failures";
         Backend.record_request_failure b;
@@ -305,14 +377,32 @@ let route t ~key ~timeout_ms line =
 
 (* Identical concurrent requests collapse to one backend flight; the
    singleflight key is the routing key, so followers are exactly the
-   requests that would have computed the same payload. *)
+   requests that would have computed the same payload. A coalesced
+   follower drops an instant marker carrying the leader's trace id, so
+   the follower's trace links to the flight that actually ran. *)
 let forward t ~key ~timeout_ms ~line =
-  let outcome, follower = Singleflight.run t.flight key (fun () -> route t ~key ~timeout_ms line) in
-  if follower then Server.Metrics.incr_counter t.metrics "coalesced";
-  outcome
+  let (outcome, meta), follower =
+    Singleflight.run t.flight key (fun () -> route t ~key ~timeout_ms line)
+  in
+  if follower then begin
+    Server.Metrics.incr_counter t.metrics "coalesced";
+    (match meta.leader_trace_id with
+    | Some leader when Obs.Trace.enabled () ->
+      let own = match Obs.Ctx.current_trace () with Some tr -> Some tr.Obs.Ctx.trace_id | None -> None in
+      if own <> Some leader then
+        Obs.Trace.instant ~cat:"fleet"
+          ~args:[ ("leader_trace_id", Obs.Fields.Str leader) ]
+          "fleet.coalesced"
+    | _ -> ())
+  end;
+  (outcome, { meta with coalesced = follower })
 
 let encode_line ~timeout_ms request =
-  Json.to_string (Protocol.json_of_envelope { Protocol.id = None; timeout_ms; request })
+  (* Router-originated lines (batch fan-out, handoff) carry the active
+     trace context so backend spans join the request's trace. *)
+  Json.to_string
+    (Protocol.json_of_envelope
+       { Protocol.id = None; timeout_ms; trace = Obs.Trace.propagation_context (); request })
 
 let forward_job t ~timeout_ms job =
   let key = job_key t job in
@@ -449,6 +539,32 @@ let departing_handoff t b =
 (* --- health probing --- *)
 
 let probe_line = encode_line ~timeout_ms:None Protocol.Health
+let metrics_line = encode_line ~timeout_ms:None Protocol.Metrics
+
+(* Metrics federation rides the probe: after a successful health probe,
+   the same connection scrapes the backend's [metrics] op and the
+   parsed samples are stored on the backend record for
+   [cluster_metrics]. A failed scrape costs a counter, never health. *)
+let scrape_backend_metrics t b client =
+  let scrape_failed () = Server.Metrics.incr_counter t.metrics "metrics_scrape_failures" in
+  let policy = { Server.Retry.retries = 0; base_ms = 0; cap_ms = 0 } in
+  match Server.Client.call client ~policy metrics_line with
+  | Ok response -> begin
+    match Json.of_string response with
+    | json -> begin
+      match Json.member_opt "result" json with
+      | Some result -> begin
+        match Json.member_opt "prometheus" result with
+        | Some (Json.String text) ->
+          Backend.set_scraped b (Obs.Registry.of_prometheus text);
+          Server.Metrics.incr_counter t.metrics "metrics_scrapes"
+        | _ -> scrape_failed ()
+      end
+      | None -> scrape_failed ()
+    end
+    | exception Json.Parse_error _ -> scrape_failed ()
+  end
+  | Error _ -> scrape_failed ()
 
 (* The backend's structured health state ("ok" / "degraded" /
    "draining"); None when the response is not a well-formed ok. *)
@@ -471,8 +587,8 @@ let log_transition b ~to_ =
       ~fields:[ ("backend", Obs.Fields.Str (Backend.name b)); ("state", Obs.Fields.Str to_) ]
       "fleet: backend state"
 
-let on_probe_success t b ~backend_state =
-  Backend.record_probe b ~ok:true;
+let on_probe_success t b ~rtt_s ~backend_state =
+  Backend.record_probe ~rtt_s b ~ok:true;
   if backend_state = "draining" then begin
     match Backend.state b with
     | Backend.Draining -> ()
@@ -526,13 +642,21 @@ let probe_backend t b =
       Fun.protect
         ~finally:(fun () -> Server.Client.close client)
         (fun () ->
+          let t0 = Unix.gettimeofday () in
           match Server.Client.call client probe_line with
-          | Ok response -> probe_backend_state response
+          | Ok response -> begin
+            match probe_backend_state response with
+            | Some backend_state ->
+              let rtt_s = Unix.gettimeofday () -. t0 in
+              scrape_backend_metrics t b client;
+              Some (backend_state, rtt_s)
+            | None -> None
+          end
           | Error _ -> None)
     end
   in
   (match ok_state with
-  | Some backend_state -> on_probe_success t b ~backend_state
+  | Some (backend_state, rtt_s) -> on_probe_success t b ~rtt_s ~backend_state
   | None -> on_probe_failure t b);
   (* Healthy backends are probed at the configured cadence; failing
      ones back off exponentially with jitter up to the cap, so a dead
@@ -576,6 +700,8 @@ let endpoint_name = function
   | Protocol.Metrics -> "metrics"
   | Protocol.Cache_export _ -> "cache_export"
   | Protocol.Cache_import _ -> "cache_import"
+  | Protocol.Trace_export _ -> "trace_export"
+  | Protocol.Cluster_metrics -> "cluster_metrics"
 
 let health_result t =
   let live =
@@ -594,8 +720,8 @@ let health_result t =
 
 let stats_result t =
   Json.Assoc
-    [
-      ("role", Json.String "router");
+    ([
+       ("role", Json.String "router");
       ("uptime_s", Json.Float (uptime_s t));
       ("protocol_version", Json.Int Protocol.version);
       ( "ring",
@@ -616,6 +742,7 @@ let stats_result t =
       ("endpoints", Server.Metrics.to_json t.metrics);
       ("faults", Server.Faults.to_json t.faults);
     ]
+    @ match t.slo with None -> [] | Some slo -> [ ("slo", Server.Metrics.slo_json slo) ])
 
 let metrics_result t =
   Json.Assoc
@@ -623,6 +750,75 @@ let metrics_result t =
       ("kind", Json.String "metrics");
       ("content_type", Json.String "text/plain; version=0.0.4");
       ("prometheus", Json.String (Obs.Registry.to_prometheus t.registry));
+    ]
+
+(* --- metrics federation --- *)
+
+(* Sum the per-backend request-latency scrapes into one fleet-wide
+   histogram family per endpoint. Merging is exact because every
+   backend uses the same Metrics bucket layout; a scrape with a
+   different layout (version skew) is skipped rather than mis-summed. *)
+let merged_latency per_backend =
+  let acc = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Obs.Registry.sample) ->
+      if s.name = "nbti_request_latency_seconds" then
+        match s.value with
+        | Obs.Registry.Histogram h -> begin
+          let endpoint = Option.value ~default:"unknown" (List.assoc_opt "endpoint" s.labels) in
+          match Hashtbl.find_opt acc endpoint with
+          | None ->
+            order := endpoint :: !order;
+            Hashtbl.add acc endpoint
+              (h.upper_bounds, Array.copy h.counts, ref h.sum, ref h.count)
+          | Some (bounds, counts, sum, count)
+            when bounds = h.upper_bounds && Array.length counts = Array.length h.counts ->
+            Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) h.counts;
+            sum := !sum +. h.sum;
+            count := !count + h.count
+          | Some _ -> ()
+        end
+        | _ -> ())
+    per_backend;
+  List.rev_map
+    (fun endpoint ->
+      let bounds, counts, sum, count = Hashtbl.find acc endpoint in
+      {
+        Obs.Registry.name = "nbti_fleet_request_latency_seconds";
+        help = "Request latency summed across every backend's last scrape, by endpoint.";
+        labels = [ ("endpoint", endpoint) ];
+        value =
+          Obs.Registry.Histogram { upper_bounds = bounds; counts; sum = !sum; count = !count };
+      })
+    !order
+
+(* The federated exposition: the router's own registry (request
+   counters, backend up/state gauges, probe RTT quantiles, SLO burn
+   rates), fleet aggregates, then every backend's last scrape with a
+   [backend="..."] label prepended to each sample. *)
+let cluster_metrics_text t =
+  let own = Obs.Registry.snapshot t.registry in
+  let per_backend =
+    List.concat_map
+      (fun b ->
+        List.map
+          (fun (s : Obs.Registry.sample) ->
+            { s with Obs.Registry.labels = ("backend", Backend.name b) :: s.labels })
+          (Backend.scraped b))
+      t.backends
+  in
+  Obs.Registry.render (own @ merged_latency per_backend @ per_backend)
+
+let cluster_metrics_result t =
+  let scraped = List.filter (fun b -> Backend.scraped b <> []) t.backends in
+  Json.Assoc
+    [
+      ("kind", Json.String "cluster_metrics");
+      ("content_type", Json.String "text/plain; version=0.0.4");
+      ("backends_scraped", Json.Int (List.length scraped));
+      ("backends_total", Json.Int (List.length t.backends));
+      ("prometheus", Json.String (cluster_metrics_text t));
     ]
 
 (* Rebuild the client-facing envelope around a backend's error object
@@ -651,40 +847,82 @@ let reject_details code message details =
     ([ ("code", Json.String (Protocol.error_code_string code)); ("message", Json.String message) ]
     @ details)
 
+(* Dispatch answers with the response envelope plus, for forwarded
+   requests, the routing metadata the access log reports. *)
 let dispatch t ~id ~timeout_ms request =
   match request with
-  | Protocol.Health -> Protocol.ok_response ~id (health_result t)
-  | Protocol.Stats -> Protocol.ok_response ~id (stats_result t)
-  | Protocol.Metrics -> Protocol.ok_response ~id (metrics_result t)
+  | Protocol.Health -> (Protocol.ok_response ~id (health_result t), None)
+  | Protocol.Stats -> (Protocol.ok_response ~id (stats_result t), None)
+  | Protocol.Metrics -> (Protocol.ok_response ~id (metrics_result t), None)
+  | Protocol.Cluster_metrics -> (Protocol.ok_response ~id (cluster_metrics_result t), None)
+  | Protocol.Trace_export { clear } -> begin
+    match Obs.Trace.installed () with
+    | None ->
+      ( Protocol.error_response ~id Protocol.Invalid_request
+          "tracing is not enabled on this process (no span collector installed)",
+        None )
+    | Some c ->
+      Server.Metrics.incr_counter t.metrics "trace_exports";
+      let span_count = List.length (Obs.Trace.spans c) in
+      let dropped = Obs.Trace.dropped c in
+      let trace_json = Json.of_string (Obs.Trace.to_chrome_json ~process_name:"router" c) in
+      if clear then Obs.Trace.clear c;
+      ( Protocol.ok_response ~id
+          (Json.Assoc
+             [
+               ("kind", Json.String "trace_export");
+               ("spans", Json.Int span_count);
+               ("dropped", Json.Int dropped);
+               ("trace", trace_json);
+             ]),
+        None )
+  end
   | Protocol.Cache_export _ | Protocol.Cache_import _ ->
-    Protocol.error_response ~id Protocol.Invalid_request
-      "cache_export/cache_import are backend-local ops; address a backend directly"
+    ( Protocol.error_response ~id Protocol.Invalid_request
+        "cache_export/cache_import are backend-local ops; address a backend directly",
+      None )
   | Protocol.Single job -> begin
     match forward_job t ~timeout_ms job with
-    | Payload payload -> Protocol.ok_response ~id payload
-    | Failed e -> error_envelope ~id e
+    | Payload payload, meta -> (Protocol.ok_response ~id payload, Some meta)
+    | Failed e, meta -> (error_envelope ~id e, Some meta)
   end
   | Protocol.Calibrate spec -> begin
     let key = Protocol.calibrate_cache_key spec in
     let line = encode_line ~timeout_ms (Protocol.Calibrate spec) in
     match forward t ~key ~timeout_ms ~line with
-    | Payload payload -> Protocol.ok_response ~id payload
-    | Failed e -> error_envelope ~id e
+    | Payload payload, meta -> (Protocol.ok_response ~id payload, Some meta)
+    | Failed e, meta -> (error_envelope ~id e, Some meta)
   end
   | Protocol.Batch jobs ->
     (* Jobs are split and routed independently — each to its own owner,
        each with its own failover — and reassembled in request order.
-       One dead backend therefore fails no sibling jobs. *)
+       One dead backend therefore fails no sibling jobs. The batch's
+       access-log record aggregates the per-job hops. *)
+    let failovers = ref 0 in
+    let coalesced = ref false in
     let one job =
       match forward_job t ~timeout_ms job with
-      | Payload payload -> payload
-      | Failed e -> job_error_of e
+      | Payload payload, meta ->
+        failovers := !failovers + meta.failovers;
+        coalesced := !coalesced || meta.coalesced;
+        payload
+      | Failed e, meta ->
+        failovers := !failovers + meta.failovers;
+        coalesced := !coalesced || meta.coalesced;
+        job_error_of e
       | exception Reject (code, message, details) ->
         job_error_of (reject_details code message details)
     in
     let results = List.map one jobs in
-    Protocol.ok_response ~id
-      (Json.Assoc [ ("kind", Json.String "batch"); ("results", Json.List results) ])
+    ( Protocol.ok_response ~id
+        (Json.Assoc [ ("kind", Json.String "batch"); ("results", Json.List results) ]),
+      Some
+        {
+          meta_backend = None;
+          failovers = !failovers;
+          leader_trace_id = None;
+          coalesced = !coalesced;
+        } )
 
 let request_id = function
   | Json.Assoc kvs -> (
@@ -695,19 +933,109 @@ let fresh_cid t = function
   | Some id -> id
   | None -> Printf.sprintf "fleet-%d" (Atomic.fetch_and_add t.seq 1)
 
+(* --- access log and the per-request observability envelope --- *)
+
+let set_access_log t oc =
+  Mutex.lock t.access_lock;
+  t.access_log <- Some oc;
+  Mutex.unlock t.access_lock
+
+let response_ok response =
+  match Json.member_opt "ok" response with Some (Json.Bool b) -> b | _ -> false
+
+let response_error_code response =
+  match Json.member_opt "error" response with
+  | Some e -> ( match Json.member_opt "code" e with Some (Json.String c) -> Some c | _ -> None)
+  | None -> None
+
+(* One JSONL record per handled request, written under a mutex so
+   connection threads never interleave. Same base shape as a backend's
+   access log plus the routing fields: which backend served it, how
+   many failover hops it took, and whether it was coalesced onto
+   another flight. *)
+let access_log_write t ~cid ~endpoint ~ok ~elapsed_s ~error ~meta =
+  Mutex.lock t.access_lock;
+  (match t.access_log with
+  | None -> ()
+  | Some oc ->
+    let routing =
+      match meta with
+      | None ->
+        [ ("backend", Json.Null); ("failover_count", Json.Int 0); ("coalesced", Json.Bool false) ]
+      | Some m ->
+        [
+          ( "backend",
+            match m.meta_backend with Some b -> Json.String b | None -> Json.Null );
+          ("failover_count", Json.Int m.failovers);
+          ("coalesced", Json.Bool m.coalesced);
+        ]
+    in
+    let fields =
+      [
+        ("ts", Json.Float (Unix.gettimeofday ()));
+        ("cid", Json.String cid);
+        ("endpoint", Json.String endpoint);
+        ("ok", Json.Bool ok);
+        ("elapsed_s", Json.Float elapsed_s);
+      ]
+      @ routing
+      @ match error with None -> [] | Some code -> [ ("error", Json.String code) ]
+    in
+    (* A failing access-log disk never fails the request being logged. *)
+    (try
+       output_string oc (Json.to_string (Json.Assoc fields));
+       output_char oc '\n';
+       flush oc
+     with Sys_error _ -> ()));
+  Mutex.unlock t.access_lock
+
+(* The envelope's trace context is adopted when the client sent one;
+   otherwise, when tracing is on, the router originates a trace here —
+   the client edge of the fleet — so untraced clients still produce
+   linkable multi-process traces. *)
+let with_trace_opt trace f =
+  match trace with
+  | Some tr -> Obs.Ctx.with_trace tr f
+  | None ->
+    if Obs.Trace.enabled () then
+      Obs.Ctx.with_trace { Obs.Ctx.trace_id = Obs.Trace.new_trace_id (); parent_span = None } f
+    else f ()
+
 let handle t request_json =
   match Protocol.envelope_of_json request_json with
   | Error { Protocol.code; message; details } ->
     let id = request_id request_json in
     Protocol.error_response ~id ~details code message
-  | Ok { Protocol.id; timeout_ms; request } ->
+  | Ok { Protocol.id; timeout_ms; trace; request } ->
     let endpoint = endpoint_name request in
-    Obs.Ctx.with_id (fresh_cid t id) @@ fun () ->
-    (try Server.Metrics.time t.metrics ~endpoint (fun () -> dispatch t ~id ~timeout_ms request)
-     with
-    | Reject (code, message, details) -> Protocol.error_response ~id ~details code message
-    | Json.Type_error m -> Protocol.error_response ~id Protocol.Bad_request m
-    | exn -> Protocol.error_response ~id Protocol.Internal_error (Printexc.to_string exn))
+    let cid = fresh_cid t id in
+    Obs.Ctx.with_id cid @@ fun () ->
+    with_trace_opt trace @@ fun () ->
+    let t0 = Unix.gettimeofday () in
+    let meta = ref None in
+    let response =
+      try
+        Server.Metrics.time t.metrics ~endpoint (fun () ->
+            Obs.Trace.with_span ~cat:"fleet"
+              ~args:[ ("endpoint", Obs.Fields.Str endpoint) ]
+              "request"
+              (fun () ->
+                let response, m = dispatch t ~id ~timeout_ms request in
+                meta := m;
+                response))
+      with
+      | Reject (code, message, details) -> Protocol.error_response ~id ~details code message
+      | Json.Type_error m -> Protocol.error_response ~id Protocol.Bad_request m
+      | exn -> Protocol.error_response ~id Protocol.Internal_error (Printexc.to_string exn)
+    in
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    let ok = response_ok response in
+    (match t.slo with
+    | None -> ()
+    | Some slo -> Obs.Slo.observe slo ~op:endpoint ~ok ~elapsed_s);
+    access_log_write t ~cid ~endpoint ~ok ~elapsed_s ~error:(response_error_code response)
+      ~meta:!meta;
+    response
 
 let handle_line t line =
   let response =
@@ -716,6 +1044,41 @@ let handle_line t line =
     | json -> handle t json
   in
   Json.to_string response
+
+(* --- fleet trace collection --- *)
+
+let trace_export_line = encode_line ~timeout_ms:None (Protocol.Trace_export { clear = false })
+
+(* Drain every reachable backend's span ring, for the shutdown-time
+   merge of a --trace'd fleet run. Unreachable or untraced backends are
+   skipped — a partial fleet trace is still a trace. *)
+let collect_backend_traces t =
+  List.filter_map
+    (fun b ->
+      let client =
+        Server.Client.create
+          ~read_timeout_s:(float_of_int t.config.probe_timeout_ms /. 1000.0)
+          (Backend.endpoint b)
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close client)
+        (fun () ->
+          match Server.Client.call client ~policy:handoff_policy trace_export_line with
+          | Ok response -> begin
+            match Json.of_string response with
+            | json -> begin
+              match Json.member_opt "result" json with
+              | Some result -> begin
+                match Json.member_opt "trace" result with
+                | Some trace -> Some (Backend.name b, trace)
+                | None -> None
+              end
+              | None -> None
+            end
+            | exception Json.Parse_error _ -> None
+          end
+          | Error _ -> None))
+    t.backends
 
 (* --- serving --- *)
 

@@ -20,7 +20,19 @@
     - {e per-shard observability}: router-side counters
       (coalesced, failovers, handoff_keys/bytes, ...) and per-backend
       state gauges, surfaced through the router's own [stats] and
-      [metrics] ops. *)
+      [metrics] ops.
+    - {e metrics federation}: every successful probe also scrapes the
+      backend's [metrics] op; the [cluster_metrics] op renders the
+      router's own registry, fleet-aggregated latency histograms and
+      every backend's last scrape (relabelled [backend="..."]) as one
+      Prometheus exposition.
+    - {e distributed tracing}: the router adopts the client's ["trace"]
+      context (or originates one when a collector is installed), spans
+      every request and forward attempt, restamps the context onto
+      backend hops, serves [trace_export], and {!collect_backend_traces}
+      drains backend span rings for a {!Server.Tracefile.merge}.
+    - {e SLOs}: with [?slo], every request is scored against its op's
+      objective; burn rates surface in [stats] and [metrics]. *)
 
 type config = {
   vnodes : int;  (** virtual nodes per backend on the hash ring *)
@@ -37,11 +49,28 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> ?faults:Server.Faults.t -> Server.Netline.endpoint list -> t
+val create :
+  ?config:config -> ?faults:Server.Faults.t -> ?slo:Obs.Slo.t -> Server.Netline.endpoint list -> t
 (** Fleet over the given backends (their canonical endpoint strings are
     the ring identities — raises [Invalid_argument] on duplicates or an
     empty list). Fault sites honored router-side: [connect] (forwarding
-    connections), [probe], [handoff]. *)
+    connections), [probe], [handoff]. [slo] arms per-op objectives
+    scored on every handled request. *)
+
+val set_access_log : t -> out_channel -> unit
+(** Arms a JSONL access log: the backend access-log shape
+    ([ts]/[cid]/[endpoint]/[ok]/[elapsed_s] plus [error]) extended with
+    routing fields — ["backend"] (the endpoint that served the forward,
+    null for local/degraded answers), ["failover_count"] (extra hops
+    beyond the first owner; summed across a batch) and ["coalesced"]
+    (this request rode another request's flight). *)
+
+val collect_backend_traces : t -> (string * Server.Json.t) list
+(** Drains each reachable backend's span ring via [trace_export]
+    ([clear:false]) and returns [(backend name, Chrome trace object)]
+    pairs — the inputs, together with the router's own export, of a
+    {!Server.Tracefile.merge}. Unreachable or untraced backends are
+    skipped. *)
 
 val handle_line : t -> string -> string
 (** One request line in, one response line out (no trailing newline) —

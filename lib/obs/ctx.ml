@@ -1,7 +1,7 @@
-(* (domain, thread) -> innermost correlation id. One global table keeps
-   the common case (no context installed) to a single lock + lookup, and
-   entries are removed on scope exit so the table never outgrows the
-   number of live threads. *)
+(* (domain, thread) -> innermost correlation id and trace context. One
+   global table keeps the common case (no context installed) to a single
+   lock + lookup, and entries are removed on scope exit so the table
+   never outgrows the number of live threads. *)
 
 let lock = Mutex.create ()
 let table : (int * int, string list) Hashtbl.t = Hashtbl.create 32
@@ -32,3 +32,34 @@ let with_id id f =
   let k = key () in
   push k id;
   Fun.protect ~finally:(fun () -> pop k) f
+
+(* --- distributed trace context --- *)
+
+type trace = { trace_id : string; parent_span : string option }
+
+let traces : (int * int, trace list) Hashtbl.t = Hashtbl.create 32
+
+let current_trace () =
+  let k = key () in
+  Mutex.lock lock;
+  let tr = match Hashtbl.find_opt traces k with Some (t :: _) -> Some t | _ -> None in
+  Mutex.unlock lock;
+  tr
+
+let push_trace k tr =
+  Mutex.lock lock;
+  let stack = match Hashtbl.find_opt traces k with Some s -> s | None -> [] in
+  Hashtbl.replace traces k (tr :: stack);
+  Mutex.unlock lock
+
+let pop_trace k =
+  Mutex.lock lock;
+  (match Hashtbl.find_opt traces k with
+  | Some (_ :: (_ :: _ as rest)) -> Hashtbl.replace traces k rest
+  | Some _ | None -> Hashtbl.remove traces k);
+  Mutex.unlock lock
+
+let with_trace tr f =
+  let k = key () in
+  push_trace k tr;
+  Fun.protect ~finally:(fun () -> pop_trace k) f

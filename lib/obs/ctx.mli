@@ -1,13 +1,14 @@
 (** Per-thread request context: the correlation id that ties together
     every span, log record and access-log line produced while handling
-    one request.
+    one request, plus the distributed trace context that ties spans
+    together {e across} processes.
 
     The context is keyed on (domain, thread), so it is correct under
     both the server's thread-per-connection model and the work pool's
     domain-per-worker model. It does not flow across [Thread.create] or
     [Domain.spawn] automatically — a layer that fans work out (such as
-    {!Parallel.Pool}) captures {!current} at submission and re-installs
-    it with {!with_id} on the executing side. *)
+    {!Parallel.Pool}) captures {!current} / the propagation context at
+    submission and re-installs them on the executing side. *)
 
 val with_id : string -> (unit -> 'a) -> 'a
 (** Runs the thunk with the given correlation id installed on the
@@ -16,3 +17,21 @@ val with_id : string -> (unit -> 'a) -> 'a
 
 val current : unit -> string option
 (** The calling thread's innermost correlation id, if any. *)
+
+(** {1 Distributed trace context}
+
+    W3C-traceparent-shaped: [trace_id] is a request-global hex id minted
+    once at the client edge, [parent_span] is the hex id of the span on
+    the {e remote} side of the hop this process is serving. Spans
+    recorded while a trace context is installed carry [trace_id], and a
+    root span (no local parent) parents onto [parent_span] — that is
+    what keeps client, router and backend spans linkable after a merge. *)
+
+type trace = { trace_id : string; parent_span : string option }
+
+val with_trace : trace -> (unit -> 'a) -> 'a
+(** Runs the thunk with the given trace context installed on the calling
+    thread; restores the previous one even when the thunk raises. *)
+
+val current_trace : unit -> trace option
+(** The calling thread's innermost trace context, if any. *)

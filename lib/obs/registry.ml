@@ -101,8 +101,7 @@ let group_by_family samples =
     samples;
   List.rev_map (fun name -> (name, List.rev !(Hashtbl.find groups name))) !order
 
-let to_prometheus t =
-  let samples = snapshot t in
+let render samples =
   let b = Buffer.create 4096 in
   let header s name =
     if s.help <> "" then
@@ -155,3 +154,196 @@ let to_prometheus t =
       List.iter (emit name) group)
     (group_by_family samples);
   Buffer.contents b
+
+let to_prometheus t = render (snapshot t)
+
+(* --- text parsing (metrics federation) ---
+
+   The inverse of {!render}, for the router's backend scrapes: parse the
+   0.0.4 text exposition back into samples, reassembling each histogram
+   family's cumulative [_bucket]/[_sum]/[_count] series into one
+   {!Histogram} value per label set (with the stored counts de-cumulated
+   again). Lines that do not parse are skipped — a scrape must never
+   take the router down. *)
+
+exception Skip_line
+
+let parse_number s =
+  match String.lowercase_ascii s with
+  | "nan" -> Float.nan
+  | "+inf" | "inf" -> Float.infinity
+  | "-inf" -> Float.neg_infinity
+  | _ -> ( match float_of_string_opt s with Some v -> v | None -> raise Skip_line)
+
+(* name{k="v",...} value  -> (name, labels, value) *)
+let parse_sample_line line =
+  let n = String.length line in
+  let rec name_end i = if i < n && valid_rest line.[i] then name_end (i + 1) else i in
+  let ne = name_end 0 in
+  if ne = 0 then raise Skip_line;
+  let name = String.sub line 0 ne in
+  let labels = ref [] in
+  let i = ref ne in
+  if !i < n && line.[!i] = '{' then begin
+    incr i;
+    let rec labels_loop () =
+      if !i >= n then raise Skip_line
+      else if line.[!i] = '}' then incr i
+      else begin
+        (if line.[!i] = ',' then incr i);
+        let ks = !i in
+        while !i < n && line.[!i] <> '=' do incr i done;
+        if !i >= n then raise Skip_line;
+        let k = String.sub line ks (!i - ks) in
+        incr i;
+        if !i >= n || line.[!i] <> '"' then raise Skip_line;
+        incr i;
+        let b = Buffer.create 16 in
+        let rec value_loop () =
+          if !i >= n then raise Skip_line
+          else
+            match line.[!i] with
+            | '"' -> incr i
+            | '\\' when !i + 1 < n ->
+              (match line.[!i + 1] with
+              | 'n' -> Buffer.add_char b '\n'
+              | c -> Buffer.add_char b c);
+              i := !i + 2;
+              value_loop ()
+            | c ->
+              Buffer.add_char b c;
+              incr i;
+              value_loop ()
+        in
+        value_loop ();
+        labels := (k, Buffer.contents b) :: !labels;
+        labels_loop ()
+      end
+    in
+    labels_loop ()
+  end;
+  while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do incr i done;
+  let vs = !i in
+  while !i < n && line.[!i] <> ' ' && line.[!i] <> '\t' do incr i done;
+  if !i = vs then raise Skip_line;
+  (name, List.rev !labels, parse_number (String.sub line vs (!i - vs)))
+
+let strip_suffix name suffix =
+  let nl = String.length name and sl = String.length suffix in
+  if nl > sl && String.sub name (nl - sl) sl = suffix then Some (String.sub name 0 (nl - sl))
+  else None
+
+(* Accumulating histogram state per (family, labels-minus-le). *)
+type hist_acc = {
+  mutable buckets : (float * float) list;  (* (le, cumulative count), reverse order *)
+  mutable h_sum : float;
+  mutable h_count : int;
+  mutable seen : bool;  (* emitted yet? keeps first-appearance order *)
+}
+
+let of_prometheus text =
+  let types : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let helps : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let hists : (string * (string * string) list, hist_acc) Hashtbl.t = Hashtbl.create 16 in
+  let out = ref [] in
+  let help_of name = match Hashtbl.find_opt helps name with Some h -> h | None -> "" in
+  let hist_family name =
+    (* family of a histogram series line, when the TYPE says histogram *)
+    let base suffix =
+      match strip_suffix name suffix with
+      | Some f when Hashtbl.find_opt types f = Some "histogram" -> Some f
+      | _ -> None
+    in
+    match base "_bucket" with
+    | Some f -> Some (f, `Bucket)
+    | None -> (
+      match base "_sum" with
+      | Some f -> Some (f, `Sum)
+      | None -> ( match base "_count" with Some f -> Some (f, `Count) | None -> None))
+  in
+  let hist_entry family labels =
+    match Hashtbl.find_opt hists (family, labels) with
+    | Some h -> h
+    | None ->
+      let h = { buckets = []; h_sum = 0.0; h_count = 0; seen = false } in
+      Hashtbl.add hists (family, labels) h;
+      h
+  in
+  let emit_placeholder family labels h =
+    (* first line of a histogram label set: reserve its position in the
+       output order; the value is finalized after the whole text is read *)
+    if not h.seen then begin
+      h.seen <- true;
+      out := `Hist (family, labels) :: !out
+    end
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         try
+           if line = "" then ()
+           else if String.length line > 0 && line.[0] = '#' then begin
+             match String.split_on_char ' ' line with
+             | "#" :: "TYPE" :: name :: ty :: _ -> Hashtbl.replace types name ty
+             | "#" :: "HELP" :: name :: rest ->
+               Hashtbl.replace helps name (String.concat " " rest)
+             | _ -> ()
+           end
+           else begin
+             let name, labels, value = parse_sample_line line in
+             match hist_family name with
+             | Some (family, `Bucket) ->
+               let le =
+                 match List.assoc_opt "le" labels with
+                 | Some le -> parse_number le
+                 | None -> raise Skip_line
+               in
+               let labels = List.filter (fun (k, _) -> k <> "le") labels in
+               let h = hist_entry family labels in
+               emit_placeholder family labels h;
+               h.buckets <- (le, value) :: h.buckets
+             | Some (family, `Sum) ->
+               let h = hist_entry family labels in
+               emit_placeholder family labels h;
+               h.h_sum <- value
+             | Some (family, `Count) ->
+               let h = hist_entry family labels in
+               emit_placeholder family labels h;
+               h.h_count <- int_of_float value
+             | None ->
+               let v =
+                 if Hashtbl.find_opt types name = Some "gauge" then Gauge value else Counter value
+               in
+               out := `Plain { name; help = help_of name; labels; value = v } :: !out
+           end
+         with Skip_line | Failure _ -> ());
+  List.rev_map
+    (function
+      | `Plain s -> s
+      | `Hist (family, labels) ->
+        let h = Hashtbl.find hists (family, labels) in
+        let sorted = List.sort (fun (a, _) (b, _) -> compare a b) h.buckets in
+        let finite = List.filter (fun (le, _) -> Float.is_finite le) sorted in
+        let upper_bounds = Array.of_list (List.map fst finite) in
+        (* de-cumulate the finite buckets, then derive the overflow bucket
+           from the total count *)
+        let counts = Array.make (Array.length upper_bounds + 1) 0 in
+        let prev = ref 0.0 in
+        List.iteri
+          (fun i (_, cum) ->
+            counts.(i) <- int_of_float (cum -. !prev);
+            prev := cum)
+          finite;
+        let total =
+          match List.find_opt (fun (le, _) -> le = Float.infinity) sorted with
+          | Some (_, cum) -> int_of_float cum
+          | None -> h.h_count
+        in
+        counts.(Array.length upper_bounds) <- max 0 (total - int_of_float !prev);
+        {
+          name = family;
+          help = help_of family;
+          labels;
+          value = Histogram { upper_bounds; counts; sum = h.h_sum; count = h.h_count };
+        })
+    !out

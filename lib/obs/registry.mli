@@ -48,6 +48,19 @@ val to_prometheus : t -> string
     expand to cumulative [_bucket{le="..."}] series plus [_sum] and
     [_count]. Ends with a newline. *)
 
+val render : sample list -> string
+(** {!to_prometheus} over an explicit sample list — used by the fleet
+    router to render federated (relabelled + aggregated) samples that
+    did not come from one registry. *)
+
+val of_prometheus : string -> sample list
+(** The inverse of {!render}: parses 0.0.4 text exposition back into
+    samples, reassembling each histogram family's cumulative
+    [_bucket]/[_sum]/[_count] series into one {!Histogram} value per
+    label set (counts de-cumulated, [le="+Inf"] folded into the overflow
+    bucket). Unparseable lines are skipped, never raised — this is what
+    the router runs on every backend scrape. *)
+
 (** {1 Escaping} (exposed for tests) *)
 
 val sanitize_name : string -> string

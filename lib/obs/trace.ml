@@ -1,8 +1,13 @@
+type parent = Root | Span of int | Remote of string
+
 type span = {
   name : string;
   cat : string;
   path : string;
   cid : string option;
+  trace_id : string option;
+  seq : int;
+  parent : parent;
   ts_us : float;
   dur_us : float;
   tid : int;
@@ -62,45 +67,94 @@ let clear t =
   t.total <- 0;
   Mutex.unlock t.lock
 
+(* --- span identity --- *)
+
+(* Span ids are a process-local sequence; the wire/export form prefixes
+   the pid so ids stay unique across a merged multi-process trace. The
+   hot path only pays an atomic increment — formatting happens at
+   export / propagation time. *)
+let seq_counter = Atomic.make 0
+let next_seq () = Atomic.fetch_and_add seq_counter 1 + 1
+let pid = lazy (Unix.getpid ())
+let span_hex seq = Printf.sprintf "%08x%08x" (Lazy.force pid land 0xffffffff) (seq land 0xffffffff)
+
+let trace_counter = Atomic.make 0
+
+let new_trace_id () =
+  (* 32 hex chars, unique across processes and calls: digest of pid,
+     wall clock and a process-local counter. *)
+  let c = Atomic.fetch_and_add trace_counter 1 in
+  Digest.to_hex
+    (Digest.string (Printf.sprintf "%d-%.9f-%d" (Lazy.force pid) (Unix.gettimeofday ()) c))
+
 (* --- per-thread ancestry --- *)
 
 let path_lock = Mutex.create ()
-let paths : (int * int, string) Hashtbl.t = Hashtbl.create 32
+
+(* (domain, thread) -> innermost open frame: semicolon path + span seq. *)
+let frames : (int * int, string * int) Hashtbl.t = Hashtbl.create 32
 
 let thread_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
 let tid_of_key (d, th) = (d lsl 16) lor (th land 0xffff)
 
-let current_path k =
+let current_frame k =
   Mutex.lock path_lock;
-  let p = match Hashtbl.find_opt paths k with Some p -> p | None -> "" in
+  let f = Hashtbl.find_opt frames k in
   Mutex.unlock path_lock;
-  p
+  f
 
-let set_path k p =
+let set_frame k f =
   Mutex.lock path_lock;
-  if p = "" then Hashtbl.remove paths k else Hashtbl.replace paths k p;
+  (match f with None -> Hashtbl.remove frames k | Some f -> Hashtbl.replace frames k f);
   Mutex.unlock path_lock
 
 let join parent name = if parent = "" then name else parent ^ ";" ^ name
+
+(* Parent resolution: an enclosing span on this thread wins; a root span
+   parents onto the remote span carried by the installed trace context,
+   which is how a backend's request span nests under the router's. *)
+let parent_of frame =
+  match frame with
+  | Some (_, seq) -> Span seq
+  | None -> (
+    match Ctx.current_trace () with
+    | Some { Ctx.parent_span = Some p; _ } -> Remote p
+    | _ -> Root)
+
+let current_trace_id () =
+  match Ctx.current_trace () with Some tr -> Some tr.Ctx.trace_id | None -> None
+
+let propagation_context () =
+  match Ctx.current_trace () with
+  | None -> None
+  | Some tr -> (
+    match current_frame (thread_key ()) with
+    | Some (_, seq) -> Some { Ctx.trace_id = tr.Ctx.trace_id; parent_span = Some (span_hex seq) }
+    | None -> Some tr)
 
 let with_span ?(cat = "flow") ?(args = []) name f =
   match Atomic.get sink with
   | None -> f ()
   | Some t ->
     let k = thread_key () in
-    let parent = current_path k in
-    let path = join parent name in
-    set_path k path;
+    let parent_frame = current_frame k in
+    let parent_path = match parent_frame with Some (p, _) -> p | None -> "" in
+    let path = join parent_path name in
+    let seq = next_seq () in
+    set_frame k (Some (path, seq));
     let ts = now_us () in
     let finish ok =
       let dur_us = now_us () -. ts in
-      set_path k parent;
+      set_frame k parent_frame;
       push t
         {
           name;
           cat;
           path;
           cid = Ctx.current ();
+          trace_id = current_trace_id ();
+          seq;
+          parent = parent_of parent_frame;
           ts_us = ts -. t.t0_us;
           dur_us;
           tid = tid_of_key k;
@@ -121,12 +175,17 @@ let instant ?(cat = "event") ?(args = []) name =
   | None -> ()
   | Some t ->
     let k = thread_key () in
+    let frame = current_frame k in
+    let parent_path = match frame with Some (p, _) -> p | None -> "" in
     push t
       {
         name;
         cat;
-        path = join (current_path k) name;
+        path = join parent_path name;
         cid = Ctx.current ();
+        trace_id = current_trace_id ();
+        seq = next_seq ();
+        parent = parent_of frame;
         ts_us = now_us () -. t.t0_us;
         dur_us = 0.0;
         tid = tid_of_key k;
@@ -136,13 +195,23 @@ let instant ?(cat = "event") ?(args = []) name =
 
 (* --- export --- *)
 
-let to_chrome_json t =
+let to_chrome_json ?process_name t =
   let pid = Unix.getpid () in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\":[";
-  List.iteri
-    (fun i (s : span) ->
-      if i > 0 then Buffer.add_char b ',';
+  let first = ref true in
+  let comma () = if !first then first := false else Buffer.add_char b ',' in
+  (match process_name with
+  | None -> ()
+  | Some pname ->
+    comma ();
+    Buffer.add_string b
+      (Printf.sprintf "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":" pid);
+    Fields.add_assoc b [ ("name", Fields.Str pname) ];
+    Buffer.add_char b '}');
+  List.iter
+    (fun (s : span) ->
+      comma ();
       Buffer.add_string b "{\"name\":";
       Fields.add_json_string b s.name;
       Buffer.add_string b ",\"cat\":";
@@ -152,9 +221,24 @@ let to_chrome_json t =
       Buffer.add_string b ",\"dur\":";
       Fields.add_float b s.dur_us;
       Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d,\"args\":" pid s.tid);
+      let link =
+        (* trace linkage: only rendered for spans recorded under a trace
+           context, so single-process traces stay as small as before. *)
+        match s.trace_id with
+        | None -> []
+        | Some tr ->
+          ("trace_id", Fields.Str tr)
+          :: ("span_id", Fields.Str (span_hex s.seq))
+          ::
+          (match s.parent with
+          | Root -> []
+          | Span p -> [ ("parent_span", Fields.Str (span_hex p)) ]
+          | Remote p -> [ ("parent_span", Fields.Str p); ("remote_parent", Fields.Bool true) ])
+      in
       let args =
         (("path", Fields.Str s.path)
         :: (match s.cid with Some id -> [ ("cid", Fields.Str id) ] | None -> []))
+        @ link
         @ (if s.ok then [] else [ ("error", Fields.Bool true) ])
         @ s.args
       in
@@ -162,14 +246,32 @@ let to_chrome_json t =
       Buffer.add_char b '}')
     (spans t);
   Buffer.add_string b "],\"displayTimeUnit\":\"ms\"";
+  (* absolute origin of the relative ts values, for multi-process merge *)
+  Buffer.add_string b (Printf.sprintf ",\"t0_us\":%.3f" t.t0_us);
   Buffer.add_string b (Printf.sprintf ",\"droppedSpans\":%d}" (dropped t));
   Buffer.contents b
 
-let write_chrome_json t ~path =
+let write_chrome_json ?process_name t ~path =
   let oc = open_out path in
-  output_string oc (to_chrome_json t);
+  output_string oc (to_chrome_json ?process_name t);
   output_char oc '\n';
   close_out oc
+
+(* Satellite: the ring-buffer drop counter as a registry family, so a
+   saturated ring is visible in `metrics`, not only in the export
+   summary. *)
+let registry_samples () =
+  match Atomic.get sink with
+  | None -> []
+  | Some t ->
+    [
+      {
+        Registry.name = "nbti_trace_dropped_spans_total";
+        help = "Spans overwritten because the trace ring buffer was full.";
+        labels = [];
+        value = Registry.Counter (float_of_int (dropped t));
+      };
+    ]
 
 (* --- flame summary --- *)
 

@@ -14,16 +14,31 @@
     ["request;flow.prepare;flow.signal_prob"]), which is what both the
     flame summary and the Chrome export's [args.path] report. Spans also
     capture the correlation id installed via {!Ctx} at completion time,
-    so every span of one request carries that request's id. *)
+    so every span of one request carries that request's id.
+
+    For {e distributed} traces, every span additionally carries a
+    process-local id ({!field-span.seq}) and a parent reference: an
+    enclosing span on the same thread when there is one, otherwise the
+    remote parent span carried by the installed {!Ctx.trace} context.
+    That is what lets a backend's [request] span nest under the router's
+    forwarding span after a merge. *)
 
 type t
 (** A span collector: a bounded ring buffer of completed spans. *)
+
+type parent =
+  | Root  (** no enclosing span and no trace context with a remote parent *)
+  | Span of int  (** sequence id of the enclosing span on this thread *)
+  | Remote of string  (** wire-format span id of the parent in another process *)
 
 type span = {
   name : string;
   cat : string;  (** coarse grouping: ["flow"], ["pool"], ["server"], ... *)
   path : string;  (** semicolon-joined ancestry, innermost last *)
   cid : string option;  (** correlation id, from {!Ctx} *)
+  trace_id : string option;  (** distributed trace id, from {!Ctx.current_trace} *)
+  seq : int;  (** process-local span id; {!span_hex} is the wire/export form *)
+  parent : parent;
   ts_us : float;  (** start, microseconds since the collector was created *)
   dur_us : float;
   tid : int;  (** (domain id shl 16) lor thread id *)
@@ -62,16 +77,41 @@ val dropped : t -> int
 
 val clear : t -> unit
 
+(** {1 Trace identity and propagation} *)
+
+val new_trace_id : unit -> string
+(** A fresh 32-hex-character trace id, unique across processes — minted
+    once at the client edge of a request. *)
+
+val span_hex : int -> string
+(** The 16-hex-character wire/export form of a span's [seq]: pid-prefixed
+    so ids stay unique across a merged multi-process trace. *)
+
+val propagation_context : unit -> Ctx.trace option
+(** The context to put on an {e outgoing} hop: the installed trace id
+    with [parent_span] pointing at the innermost open span on the
+    calling thread (falling back to the inherited remote parent). [None]
+    when no trace context is installed — nothing is propagated. *)
+
+val registry_samples : unit -> Registry.sample list
+(** The installed collector's ring-buffer drop counter as a
+    [nbti_trace_dropped_spans_total] registry family (empty when no
+    collector is installed). *)
+
 (** {1 Export} *)
 
-val to_chrome_json : t -> string
+val to_chrome_json : ?process_name:string -> t -> string
 (** The Chrome [trace_event] JSON object: [{"traceEvents":[...]}] with
     one phase-["X"] (complete) event per span — [ts]/[dur] in
-    microseconds, [pid]/[tid], and the span's path, correlation id and
-    attributes under [args]. Loadable in [chrome://tracing] and
-    Perfetto. *)
+    microseconds, [pid]/[tid], and the span's path, correlation id,
+    trace linkage ([trace_id]/[span_id]/[parent_span], when recorded
+    under a trace context) and attributes under [args]. A top-level
+    [t0_us] records the absolute origin of the relative timestamps so a
+    multi-process merge can align timelines; [process_name] adds a
+    phase-["M"] metadata event naming this process. Loadable in
+    [chrome://tracing] and Perfetto. *)
 
-val write_chrome_json : t -> path:string -> unit
+val write_chrome_json : ?process_name:string -> t -> path:string -> unit
 
 val flame_summary : t -> string
 (** Plain-text flame view: one line per distinct span path with call

@@ -27,6 +27,7 @@ type job = {
   chunk : int;
   budget : Budget.t;  (* checked before every chunk claim *)
   ctx : string option;  (* submitter's correlation id, for worker-side spans *)
+  trace_ctx : Obs.Ctx.trace option;  (* submitter's trace context + open span *)
   next : int Atomic.t;  (* claim cursor *)
   in_flight : int Atomic.t;  (* participants currently inside a chunk *)
   failed : bool Atomic.t;  (* fast-path flag for [error] *)
@@ -127,6 +128,14 @@ let run_chunks t job ~worker =
                 ~args:
                   [ ("start", Obs.Fields.Int start); ("len", Obs.Fields.Int (stop - start)) ]
                 "pool.chunk" exec
+            in
+            let traced =
+              (* the submitter's trace context (with its open span as the
+                 remote parent) makes worker-side chunk spans land in the
+                 same distributed trace as the request that spawned them *)
+              match job.trace_ctx with
+              | Some tr when worker -> fun () -> Obs.Ctx.with_trace tr traced
+              | _ -> traced
             in
             match job.ctx with
             | Some id when worker -> fun () -> Obs.Ctx.with_id id traced
@@ -261,6 +270,7 @@ let run_ranges t ~chunk ~budget ~n run =
           chunk;
           budget;
           ctx = (if Obs.Trace.enabled () then Obs.Ctx.current () else None);
+          trace_ctx = (if Obs.Trace.enabled () then Obs.Trace.propagation_context () else None);
           next = Atomic.make 0;
           in_flight = Atomic.make 0;
           failed = Atomic.make false;

@@ -93,8 +93,34 @@ let attempt t line =
 
 type failure = { attempts : int; reason : string; last_response : string option }
 
+(* Outgoing requests inherit the calling thread's distributed-trace
+   context: when one is installed, the request object's "trace" member
+   is (re)stamped from Obs.Trace.propagation_context, so the receiving
+   process parents its spans onto the span this call is made under.
+   Costs nothing when no trace context is installed; lines that do not
+   parse as objects pass through untouched. *)
+let stamp_trace line =
+  match Obs.Trace.propagation_context () with
+  | None -> line
+  | Some tr -> begin
+    match Json.of_string line with
+    | Json.Assoc kvs ->
+      let trace_json =
+        Json.Assoc
+          (("trace_id", Json.String tr.Obs.Ctx.trace_id)
+          ::
+          (match tr.Obs.Ctx.parent_span with
+          | None -> []
+          | Some p -> [ ("parent_span", Json.String p) ]))
+      in
+      Json.to_string (Json.Assoc (List.remove_assoc "trace" kvs @ [ ("trace", trace_json) ]))
+    | _ -> line
+    | exception Json.Parse_error _ -> line
+  end
+
 let call t ?(policy = Retry.default_policy) ?rng
     ?(on_retry = fun ~attempt:_ ~reason:_ ~sleep_ms:_ -> ()) line =
+  let line = stamp_trace line in
   let rng =
     match rng with Some r -> r | None -> Physics.Rng.split (Physics.Rng.create ~seed:0)
   in

@@ -54,4 +54,10 @@ val call :
     (capped exponential, equal jitter, honoring [retry_after_ms]) and
     retry up to [policy.retries] times. [on_retry] fires before each
     backoff sleep. [rng] defaults to a fixed-seed stream; pass one for
-    reproducible schedules across calls. *)
+    reproducible schedules across calls.
+
+    When the calling thread has a distributed-trace context installed
+    (see {!Obs.Ctx.with_trace}), the request object's ["trace"] member
+    is (re)stamped from {!Obs.Trace.propagation_context} before
+    sending, so the receiving process parents its spans onto the span
+    this call runs under. {!attempt} sends its line verbatim. *)

@@ -74,8 +74,15 @@ type request =
   | Metrics
   | Cache_export of { max_entries : int }
   | Cache_import of { entries : (string * Json.t) list }
+  | Trace_export of { clear : bool }
+  | Cluster_metrics
 
-type envelope = { id : string option; timeout_ms : int option; request : request }
+type envelope = {
+  id : string option;
+  timeout_ms : int option;
+  trace : Obs.Ctx.trace option;
+  request : request;
+}
 
 (* The single authoritative operation table: the decoder's unknown-op
    error and the [stats] endpoint both render it, so adding a wire op
@@ -92,6 +99,8 @@ let ops =
     ("metrics", "Prometheus text-exposition snapshot");
     ("cache_export", "snapshot of the hottest result-cache entries (warm handoff)");
     ("cache_import", "seed the result cache from exported entries (warm handoff)");
+    ("trace_export", "drain the in-process span ring as Chrome trace JSON");
+    ("cluster_metrics", "router-only: federated Prometheus metrics across the fleet");
   ]
 
 let supported_ops = List.map fst ops
@@ -385,12 +394,41 @@ let envelope_of_json json =
         end
         | None -> None
       in
+      let trace =
+        (* W3C-traceparent-shaped: hex trace_id minted at the client
+           edge, parent_span the sender's open span. Malformed objects
+           are a bad_request, a missing one simply starts no trace. *)
+        match Json.member_opt "trace" json with
+        | None -> None
+        | Some tj -> begin
+          match Json.member_opt "trace_id" tj with
+          | Some (Json.String tid) when tid <> "" ->
+            let parent_span =
+              match Json.member_opt "parent_span" tj with
+              | Some (Json.String p) when p <> "" -> Some p
+              | Some _ -> bad "trace.parent_span must be a non-empty string"
+              | None -> None
+            in
+            Some { Obs.Ctx.trace_id = tid; parent_span }
+          | Some _ | None -> bad "trace requires a non-empty string \"trace_id\""
+          | exception Json.Type_error _ -> bad "trace must be an object"
+        end
+      in
       match Json.member_opt "v" json with
       | Some (Json.Int v) when v = version -> begin
         match Json.member_opt "op" json with
-        | Some (Json.String "health") -> Ok { id; timeout_ms; request = Health }
-        | Some (Json.String "stats") -> Ok { id; timeout_ms; request = Stats }
-        | Some (Json.String "metrics") -> Ok { id; timeout_ms; request = Metrics }
+        | Some (Json.String "health") -> Ok { id; timeout_ms; trace; request = Health }
+        | Some (Json.String "stats") -> Ok { id; timeout_ms; trace; request = Stats }
+        | Some (Json.String "metrics") -> Ok { id; timeout_ms; trace; request = Metrics }
+        | Some (Json.String "cluster_metrics") ->
+          Ok { id; timeout_ms; trace; request = Cluster_metrics }
+        | Some (Json.String "trace_export") ->
+          let clear =
+            match Json.member_opt "clear" json with
+            | Some v -> ( try Json.to_bool v with Json.Type_error _ -> bad "clear must be a boolean")
+            | None -> false
+          in
+          Ok { id; timeout_ms; trace; request = Trace_export { clear } }
         | Some (Json.String "cache_export") ->
           let max_entries =
             match Json.member_opt "max_entries" json with
@@ -398,7 +436,7 @@ let envelope_of_json json =
             | None -> 64
           in
           if max_entries < 1 then bad "max_entries must be >= 1";
-          Ok { id; timeout_ms; request = Cache_export { max_entries } }
+          Ok { id; timeout_ms; trace; request = Cache_export { max_entries } }
         | Some (Json.String "cache_import") ->
           let entries =
             match Json.member_opt "entries" json with
@@ -411,9 +449,9 @@ let envelope_of_json json =
                 items
             | _ -> bad "cache_import requires an \"entries\" array"
           in
-          Ok { id; timeout_ms; request = Cache_import { entries } }
+          Ok { id; timeout_ms; trace; request = Cache_import { entries } }
         | Some (Json.String "calibrate") ->
-          Ok { id; timeout_ms; request = Calibrate (calibrate_of_json json) }
+          Ok { id; timeout_ms; trace; request = Calibrate (calibrate_of_json json) }
         | Some (Json.String "batch") ->
           let jobs =
             match Json.member_opt "jobs" json with
@@ -421,8 +459,8 @@ let envelope_of_json json =
             | _ -> bad "batch requires a \"jobs\" array"
           in
           if jobs = [] then bad "batch with no jobs";
-          Ok { id; timeout_ms; request = Batch jobs }
-        | Some (Json.String _) -> Ok { id; timeout_ms; request = Single (job_of_json json) }
+          Ok { id; timeout_ms; trace; request = Batch jobs }
+        | Some (Json.String _) -> Ok { id; timeout_ms; trace; request = Single (job_of_json json) }
         | _ -> fail Bad_request "missing op"
       end
       | Some (Json.Int v) ->
@@ -535,17 +573,34 @@ let calibrate_fields { dataset; config } =
     ]
   @ predict_field
 
-let json_of_envelope { id; timeout_ms; request } =
+let trace_field trace =
+  match trace with
+  | None -> []
+  | Some { Obs.Ctx.trace_id; parent_span } ->
+    [
+      ( "trace",
+        Json.Assoc
+          (("trace_id", Json.String trace_id)
+          ::
+          (match parent_span with
+          | None -> []
+          | Some p -> [ ("parent_span", Json.String p) ])) );
+    ]
+
+let json_of_envelope { id; timeout_ms; trace; request } =
   let id_field = match id with None -> [] | Some id -> [ ("id", Json.String id) ] in
   let timeout_field =
     match timeout_ms with None -> [] | Some ms -> [ ("timeout_ms", Json.Int ms) ]
   in
   let v_field = [ ("v", Json.Int version) ] in
-  let base = v_field @ id_field @ timeout_field in
+  let base = v_field @ id_field @ timeout_field @ trace_field trace in
   match request with
   | Health -> Json.Assoc (base @ [ ("op", Json.String "health") ])
   | Stats -> Json.Assoc (base @ [ ("op", Json.String "stats") ])
   | Metrics -> Json.Assoc (base @ [ ("op", Json.String "metrics") ])
+  | Cluster_metrics -> Json.Assoc (base @ [ ("op", Json.String "cluster_metrics") ])
+  | Trace_export { clear } ->
+    Json.Assoc (base @ [ ("op", Json.String "trace_export"); ("clear", Json.Bool clear) ])
   | Cache_export { max_entries } ->
     Json.Assoc
       (base @ [ ("op", Json.String "cache_export"); ("max_entries", Json.Int max_entries) ])

@@ -39,7 +39,12 @@
     {"v":1, "op":"cache_export", "max_entries"?:64}
     {"v":1, "op":"cache_import",
      "entries":[{"key":"analyze|...","payload":{...}}, ...]}
+    {"v":1, "op":"trace_export", "clear"?:false}
+    {"v":1, "op":"cluster_metrics"}
     v}
+
+    Any request may additionally carry a distributed-trace context,
+    ["trace":{"trace_id":"<hex>","parent_span"?:"<hex>"}].
 
     Responses are [{"v":1,"id":...,"ok":true,"result":{...}}] or
     [{"v":1,"id":...,"ok":false,"error":{"code":"...","message":"...",
@@ -118,6 +123,15 @@ type request =
           [{"v":1,"op":"cache_import","entries":[{"key":...,
           "payload":{...}}, ...]}] — the warm-handoff sink; payloads are
           trusted opaquely because keys are content-addressed *)
+  | Trace_export of { clear : bool }
+      (** drain the process's installed span ring as a Chrome trace
+          object, [{"v":1,"op":"trace_export","clear"?:false}] — the
+          fleet's trace-collection source; [clear] empties the ring
+          after the snapshot *)
+  | Cluster_metrics
+      (** router-only: Prometheus text federating the router's own
+          registry with every backend's last scrape (per-backend
+          [backend="..."] labels) plus fleet aggregates *)
 
 val ops : (string * string) list
 (** The authoritative wire-operation table, [(name, description)]: the
@@ -128,11 +142,22 @@ val ops : (string * string) list
 val supported_ops : string list
 (** [List.map fst ops]. *)
 
-type envelope = { id : string option; timeout_ms : int option; request : request }
+type envelope = {
+  id : string option;
+  timeout_ms : int option;
+  trace : Obs.Ctx.trace option;
+  request : request;
+}
 (** [timeout_ms] is the request's compute budget: the server converts it
     into a {!Parallel.Budget.t} and the flow abandons work past the
     deadline with a [deadline_exceeded] error. [None] means the server's
-    default (usually unlimited). *)
+    default (usually unlimited).
+
+    [trace] is the optional distributed-trace context,
+    [{"trace":{"trace_id":"<hex>","parent_span"?:"<hex>"}}]: the
+    receiving process installs it via {!Obs.Ctx.with_trace} so its spans
+    join the sender's trace, and {!Client} stamps it onto outgoing
+    requests from the calling thread's {!Obs.Trace.propagation_context}. *)
 
 type error_code =
   | Parse_error  (** the line is not valid JSON *)

@@ -39,6 +39,7 @@ type t = {
   seq : int Atomic.t;
   mutable access_log : out_channel option;
   access_lock : Mutex.t;
+  slo : Obs.Slo.t option;
 }
 
 (* Result-cache entries are JSON payloads; weigh them by their serialized
@@ -115,6 +116,10 @@ let register_collectors t =
           value = Obs.Registry.Gauge (Parallel.Pool.utilization s);
         };
       ]);
+  Obs.Registry.register r (fun () -> Obs.Trace.registry_samples ());
+  (match t.slo with
+  | None -> ()
+  | Some slo -> Obs.Registry.register r (fun () -> Obs.Slo.registry_samples slo));
   Obs.Registry.register_gauge r ~name:"nbti_build_info"
     ~help:"Constant 1; build facts are the labels."
     ~labels:
@@ -148,7 +153,7 @@ let observe_cache label cache =
 
 let create ?(result_capacity = 256) ?(result_max_bytes = 64 * 1024 * 1024)
     ?(prepared_capacity = 32) ?(max_pending = 64) ?(limits = default_limits)
-    ?(faults = Faults.none) ?(drain_timeout_ms = 5000) ?pool () =
+    ?(faults = Faults.none) ?(drain_timeout_ms = 5000) ?pool ?slo () =
   let t =
     {
       prepared = Cache.create ~capacity:prepared_capacity ();
@@ -171,6 +176,7 @@ let create ?(result_capacity = 256) ?(result_max_bytes = 64 * 1024 * 1024)
       seq = Atomic.make 0;
       access_log = None;
       access_lock = Mutex.create ();
+      slo;
     }
   in
   register_collectors t;
@@ -410,6 +416,8 @@ let endpoint_name = function
   | Protocol.Metrics -> "metrics"
   | Protocol.Cache_export _ -> "cache_export"
   | Protocol.Cache_import _ -> "cache_import"
+  | Protocol.Trace_export _ -> "trace_export"
+  | Protocol.Cluster_metrics -> "cluster_metrics"
 
 let cache_stats_json label (s : Cache.stats) =
   ( label,
@@ -467,7 +475,7 @@ let build_json =
 
 let stats_result t =
   Json.Assoc
-    [
+    ([
       ("uptime_s", Json.Float (uptime_s t));
       ("protocol_version", Json.Int Protocol.version);
       ("build", build_json);
@@ -498,6 +506,7 @@ let stats_result t =
       ("faults", Faults.to_json t.faults);
       ("pool", Metrics.pool_json (Parallel.Pool.stats t.pool));
     ]
+    @ match t.slo with None -> [] | Some slo -> [ ("slo", Metrics.slo_json slo) ])
 
 (* Best-effort id extraction so even malformed requests get their
    correlation id echoed back. *)
@@ -535,8 +544,16 @@ let response_error_code response =
    to the structured log and the access log. All of it collapses to
    a couple of branches when no collector / log level / access log is
    armed. *)
-let observed t ~cid ~endpoint run =
+let with_trace_opt trace f =
+  match trace with None -> f () | Some tr -> Obs.Ctx.with_trace tr f
+
+let observed t ~cid ?trace ~endpoint run =
   Obs.Ctx.with_id cid @@ fun () ->
+  (* The envelope's trace context is installed around the dispatch, so
+     the "request" span (a root on this thread) parents onto the
+     sender's span and every flow/pool/cache span below inherits the
+     trace id. *)
+  with_trace_opt trace @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let response =
     Obs.Trace.with_span ~cat:"server"
@@ -546,6 +563,9 @@ let observed t ~cid ~endpoint run =
   let elapsed_s = Unix.gettimeofday () -. t0 in
   let ok = response_ok response in
   let error = response_error_code response in
+  (match t.slo with
+  | None -> ()
+  | Some slo -> Obs.Slo.observe slo ~op:endpoint ~ok ~elapsed_s);
   let level = if ok then Obs.Log.Info else Obs.Log.Warn in
   if Obs.Log.would_log level then
     Obs.Log.log level
@@ -571,7 +591,7 @@ let handle t request_json =
     let id = request_id request_json in
     observed t ~cid:(fresh_cid t id) ~endpoint:"invalid" (fun () ->
         Protocol.error_response ~id ~details code message)
-  | Ok { id; timeout_ms; request } ->
+  | Ok { id; timeout_ms; trace; request } ->
     let budget =
       match (timeout_ms, t.limits.default_timeout_ms) with
       | Some ms, _ | None, Some ms -> Parallel.Budget.of_timeout_ms ms
@@ -583,6 +603,31 @@ let handle t request_json =
       | Protocol.Health -> Protocol.ok_response ~id (health_result t)
       | Protocol.Stats -> Protocol.ok_response ~id (stats_result t)
       | Protocol.Metrics -> Protocol.ok_response ~id (metrics_result t)
+      | Protocol.Cluster_metrics ->
+        Protocol.error_response ~id Protocol.Invalid_request
+          "cluster_metrics is a fleet-router op; a single backend serves \"metrics\""
+      (* Trace drain bypasses admission like the other introspective ops:
+         it moves already-recorded spans, never computes. *)
+      | Protocol.Trace_export { clear } -> begin
+        match Obs.Trace.installed () with
+        | None ->
+          Protocol.error_response ~id Protocol.Invalid_request
+            "tracing is not enabled on this process (no span collector installed)"
+        | Some c ->
+          Metrics.incr_counter t.metrics "trace_exports";
+          let span_count = List.length (Obs.Trace.spans c) in
+          let dropped = Obs.Trace.dropped c in
+          let trace_json = Json.of_string (Obs.Trace.to_chrome_json c) in
+          if clear then Obs.Trace.clear c;
+          Protocol.ok_response ~id
+            (Json.Assoc
+               [
+                 ("kind", Json.String "trace_export");
+                 ("spans", Json.Int span_count);
+                 ("dropped", Json.Int dropped);
+                 ("trace", trace_json);
+               ])
+      end
       (* Warm-handoff ops bypass admission like health/stats: they move
          already-computed payloads, never compute, so a draining or shed
          server can still hand its heat away. Keys are content-addressed
@@ -643,7 +688,7 @@ let handle t request_json =
         Protocol.ok_response ~id
           (Json.Assoc [ ("kind", Json.String "batch"); ("results", Json.List results) ])
     in
-    observed t ~cid:(fresh_cid t id) ~endpoint @@ fun () ->
+    observed t ~cid:(fresh_cid t id) ?trace ~endpoint @@ fun () ->
     (try Metrics.time t.metrics ~endpoint respond with
     | Bad_request_error m -> Protocol.error_response ~id Protocol.Bad_request m
     | Invalid_request_error { line; message } ->

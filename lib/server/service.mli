@@ -55,6 +55,7 @@ val create :
   ?faults:Faults.t ->
   ?drain_timeout_ms:int ->
   ?pool:Parallel.Pool.t ->
+  ?slo:Obs.Slo.t ->
   unit ->
   t
 (** [result_capacity] bounds the result cache entries (default 256) and
@@ -69,7 +70,11 @@ val create :
     [pool] (default {!Parallel.Pool.default})
     runs every compute path — Monte-Carlo SPs, IVC search, and [batch]
     job fan-out; results stay bit-identical for any domain count, and
-    pool counters are reported by [stats]. *)
+    pool counters are reported by [stats]. [slo] arms per-op service
+    objectives: every handled request is scored against its op's
+    objective (error or over-threshold latency counts as bad) and the
+    multi-window burn rates surface in [stats] under ["slo"] and in
+    [metrics] as [nbti_slo_*] gauges. *)
 
 val set_faults : t -> Faults.t -> unit
 (** Swap the fault plan at runtime (used by tests to arm faults after

@@ -1,0 +1,189 @@
+(* Chrome trace_event files as data: parse/validate one process's
+   export, and merge several processes' exports — router plus backends —
+   into one timeline.
+
+   The merge has three jobs. (1) Pid disambiguation: every export uses
+   its OS pid, and two files can collide (or one backend can appear
+   twice after a restart), so each input file gets its pids remapped
+   onto a dense, unique output range. (2) Timeline alignment: each
+   export's ts values are relative to its collector's creation, with
+   the absolute origin recorded top-level as t0_us; merged events are
+   rebased onto the earliest origin so cross-process ordering is real.
+   This assumes the processes share a clock — the fleet runs on one
+   host (see DESIGN notes on clock skew). (3) Identity preservation:
+   process_name metadata is carried through (or synthesized from the
+   caller-provided name), droppedSpans are summed, and the merged file
+   keeps a t0_us of its own so merges compose. *)
+
+type parsed = {
+  events : Json.t list;  (** traceEvents, file order *)
+  t0_us : float;  (** absolute origin of the relative [ts] values; 0 when absent *)
+  dropped : int;
+}
+
+type summary = { events : int; spans : int; processes : (int * string) list; dropped : int }
+
+let float_member name e =
+  match Json.member_opt name e with
+  | Some v -> ( try Some (Json.to_float v) with Json.Type_error _ -> None)
+  | None -> None
+
+let int_member name e =
+  match Json.member_opt name e with
+  | Some v -> ( try Some (Json.to_int v) with Json.Type_error _ -> None)
+  | None -> None
+
+let string_member name e =
+  match Json.member_opt name e with Some (Json.String s) -> Some s | _ -> None
+
+let parse json =
+  match Json.member_opt "traceEvents" json with
+  | Some (Json.List events) ->
+    let bad =
+      List.exists
+        (fun e ->
+          match e with
+          | Json.Assoc _ -> string_member "ph" e = None
+          | _ -> true)
+        events
+    in
+    if bad then Error "traceEvents contains a non-object or an event without \"ph\""
+    else
+      Ok
+        {
+          events;
+          t0_us = Option.value ~default:0.0 (float_member "t0_us" json);
+          dropped = Option.value ~default:0 (int_member "droppedSpans" json);
+        }
+  | Some _ -> Error "\"traceEvents\" is not an array"
+  | None -> Error "not a Chrome trace (no traceEvents array)"
+
+let is_process_name e =
+  string_member "ph" e = Some "M" && string_member "name" e = Some "process_name"
+
+let process_name_of e =
+  match Json.member_opt "args" e with Some args -> string_member "name" args | None -> None
+
+let summarize (p : parsed) =
+  let spans =
+    List.length (List.filter (fun e -> string_member "ph" e = Some "X") p.events)
+  in
+  let processes =
+    List.filter_map
+      (fun e ->
+        if is_process_name e then
+          match (int_member "pid" e, process_name_of e) with
+          | Some pid, Some name -> Some (pid, name)
+          | _ -> None
+        else None)
+      p.events
+  in
+  { events = List.length p.events; spans; processes; dropped = p.dropped }
+
+let validate json = Result.map summarize (parse json)
+
+(* Spans recorded under a trace context carry args.trace_id; the merged
+   trace is only useful if the hops actually share one. *)
+let trace_ids (p : parsed) =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun e ->
+         match Json.member_opt "args" e with
+         | Some args -> string_member "trace_id" args
+         | None -> None)
+       p.events)
+
+let set_fields updates e =
+  match e with
+  | Json.Assoc kvs ->
+    Json.Assoc
+      (List.map
+         (fun (k, v) ->
+           match List.assoc_opt k updates with Some v' -> (k, v') | None -> (k, v))
+         kvs
+      @ List.filter (fun (k, _) -> not (List.mem_assoc k kvs)) updates)
+  | other -> other
+
+let merge inputs =
+  if inputs = [] then invalid_arg "Tracefile.merge: no inputs";
+  let parsed : (string option * parsed) list =
+    List.map
+      (fun (name, json) ->
+        match parse json with Ok p -> (name, p) | Error m -> raise (Json.Type_error m))
+      inputs
+  in
+  let t0 = List.fold_left (fun acc (_, p) -> Float.min acc p.t0_us) Float.infinity parsed in
+  let t0 = if Float.is_finite t0 then t0 else 0.0 in
+  (* (input index, original pid) -> output pid, dense in first-seen order *)
+  let pid_map = Hashtbl.create 8 in
+  let next_pid = ref 0 in
+  let out_pid idx pid =
+    match Hashtbl.find_opt pid_map (idx, pid) with
+    | Some p -> p
+    | None ->
+      incr next_pid;
+      Hashtbl.add pid_map (idx, pid) !next_pid;
+      !next_pid
+  in
+  let metadata = ref [] in
+  let named = Hashtbl.create 8 in
+  let events = ref [] in
+  let dropped = ref 0 in
+  List.iteri
+    (fun idx (fallback, (p : parsed)) ->
+      dropped := !dropped + p.dropped;
+      let shift = p.t0_us -. t0 in
+      let default_pid = lazy (out_pid idx (-1)) in
+      let remap e =
+        let pid =
+          match int_member "pid" e with
+          | Some pid -> out_pid idx pid
+          | None -> Lazy.force default_pid
+        in
+        let updates =
+          ("pid", Json.Int pid)
+          ::
+          (match float_member "ts" e with
+          | Some ts when shift <> 0.0 -> [ ("ts", Json.Float (ts +. shift)) ]
+          | _ -> [])
+        in
+        (pid, set_fields updates e)
+      in
+      List.iter
+        (fun e ->
+          let pid, e' = remap e in
+          if is_process_name e then begin
+            Hashtbl.replace named pid ();
+            metadata := e' :: !metadata
+          end
+          else events := e' :: !events)
+        p.events;
+      (* Any of this file's pids left unnamed gets the caller's name for
+         the file, so every lane in the merged view is identifiable. *)
+      match fallback with
+      | None -> ()
+      | Some name ->
+        Hashtbl.iter
+          (fun (i, _) pid ->
+            if i = idx && not (Hashtbl.mem named pid) then begin
+              Hashtbl.replace named pid ();
+              metadata :=
+                Json.Assoc
+                  [
+                    ("name", Json.String "process_name");
+                    ("ph", Json.String "M");
+                    ("pid", Json.Int pid);
+                    ("tid", Json.Int 0);
+                    ("args", Json.Assoc [ ("name", Json.String name) ]);
+                  ]
+                :: !metadata
+            end)
+          pid_map)
+    parsed;
+  Json.Assoc
+    [
+      ("traceEvents", Json.List (List.rev !metadata @ List.rev !events));
+      ("displayTimeUnit", Json.String "ms");
+      ("t0_us", Json.Float t0);
+      ("droppedSpans", Json.Int !dropped);
+    ]

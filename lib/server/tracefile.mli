@@ -1,0 +1,44 @@
+(** Chrome [trace_event] files as data: validate one process's [--trace]
+    export, and merge several processes' exports — router plus backends —
+    into one timeline for a fleet-wide flame graph.
+
+    Merging remaps each input file's pids onto a dense unique range,
+    rebases relative [ts] values onto the earliest input's absolute
+    origin (the top-level [t0_us] every export carries), carries or
+    synthesizes [process_name] metadata so every lane is identifiable,
+    and sums [droppedSpans]. The merged object carries its own [t0_us],
+    so merged files merge again. Timeline alignment assumes the
+    processes share one clock (the fleet runs on one host). *)
+
+type parsed = {
+  events : Json.t list;  (** traceEvents, file order *)
+  t0_us : float;  (** absolute origin of the relative [ts] values; 0 when absent *)
+  dropped : int;  (** top-level [droppedSpans]; 0 when absent *)
+}
+
+type summary = {
+  events : int;
+  spans : int;  (** phase-["X"] complete events *)
+  processes : (int * string) list;  (** [(pid, name)] from [process_name] metadata *)
+  dropped : int;
+}
+
+val parse : Json.t -> (parsed, string) result
+(** Structural check: a [traceEvents] array whose members are objects
+    carrying at least ["ph"]. *)
+
+val summarize : parsed -> summary
+
+val validate : Json.t -> (summary, string) result
+(** {!parse} plus {!summarize} — what [nbti_tool trace] prints. *)
+
+val trace_ids : parsed -> string list
+(** The distinct [args.trace_id] values appearing on events, sorted —
+    a merged request trace should show exactly one. *)
+
+val merge : (string option * Json.t) list -> Json.t
+(** [merge [(name, trace); ...]] builds one Chrome trace object from
+    many. [name] labels any of that file's processes that carry no
+    [process_name] metadata of their own.
+    @raise Invalid_argument on an empty input list.
+    @raise Json.Type_error when an input fails {!parse}. *)

@@ -7,6 +7,17 @@
 # warm-cache handoff, and then answers its keys from cache, and
 # (4) every routed answer is byte-identical to a single-backend run
 # (modulo the cached flag).
+#
+# Observability assertions ride the same fleet: the backends run with
+# span rings and the router with --trace/--access-log/--slo, so the run
+# also checks (5) metrics federation (cluster_metrics carries
+# per-backend-labelled families, fleet-merged latency histograms, probe
+# RTT gauges and SLO burn rates), (6) the router access log records
+# backend / failover_count / coalesced per request, and (7) a client's
+# trace id survives client -> router -> backend: at shutdown the router
+# drains every backend's span ring into one merged Chrome trace, which
+# `nbti_tool trace --merge` stitches with the client's own trace into a
+# single validated timeline that still contains the failover hop.
 set -eu
 
 TOOL=${TOOL:-./_build/default/bin/nbti_tool.exe}
@@ -41,7 +52,7 @@ wait_sock() {
 }
 
 start_backend() {
-    "$TOOL" serve -s "$1" --log-level error &
+    "$TOOL" serve -s "$1" --trace-spans 4096 --log-level error &
     eval "$2=\$!"
     PIDS="$PIDS $!"
     wait_sock "$1"
@@ -53,8 +64,12 @@ start_backend "$B3" B3_PID
 
 # Fast probes so the router notices the kill and the resurrection
 # within a couple of seconds rather than the production cadence.
+FLEET_TRACE="$WORK/fleet_trace.json"
+ACCESS_LOG="$WORK/access.jsonl"
 "$TOOL" route -s "$ROUTER" -b "$B1" -b "$B2" -b "$B3" \
-    --probe-interval-ms 200 --probe-backoff-cap-ms 800 --log-level error &
+    --probe-interval-ms 200 --probe-backoff-cap-ms 800 \
+    --trace "$FLEET_TRACE" --access-log "$ACCESS_LOG" --slo "analyze=60s:99" \
+    --log-level error &
 ROUTER_PID=$!
 PIDS="$PIDS $ROUTER_PID"
 wait_sock "$ROUTER"
@@ -110,7 +125,18 @@ FAILOVERS=$(stat_counter failovers)
 [ "${FAILOVERS:-0}" -ge 1 ] || fail "no failover recorded (got '${FAILOVERS:-}')"
 
 # --- 3. resurrection + warm-cache handoff ---
-"$TOOL" serve -s "$B2" --log-level error &
+# The warm handoff only runs on a down -> recovering transition, so the
+# probe loop must confirm the kill before the backend comes back: if the
+# resurrection wins that race, the next probe flips suspect -> up and no
+# handoff is owed. Wait for the router to report the backend down.
+i=0
+until "$TOOL" request -s "$ROUTER" '{"v":1,"op":"stats"}' 2>/dev/null \
+        | grep -q '"state":"down"'; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "router never confirmed the killed backend down"
+    sleep 0.1
+done
+"$TOOL" serve -s "$B2" --trace-spans 4096 --log-level error &
 B2_PID=$!
 PIDS="$PIDS $B2_PID"
 wait_sock "$B2"
@@ -135,6 +161,45 @@ tail -n 15 "$REQS" > "$WORK/tail.jsonl"
 CACHED=$(grep -c '"cached":true' "$WORK/tailrun.out" || true)
 [ "$CACHED" -eq 15 ] || fail "expected all 15 post-kill keys cached after handoff, got $CACHED"
 
+# --- 3b. a traced client request joins the distributed trace ---
+CLIENT_TRACE="$WORK/client_trace.json"
+"$TOOL" request -s "$ROUTER" --trace "$CLIENT_TRACE" \
+    '{"v":1,"op":"analyze","circuit":"c432"}' > "$WORK/traced.out" 2>/dev/null \
+    || fail "traced client request failed"
+grep -q '"ok":true' "$WORK/traced.out" || fail "traced request answered an error"
+[ -s "$CLIENT_TRACE" ] || fail "client --trace wrote no file"
+CLIENT_TID=$(sed -n 's/.*"trace_id":"\([0-9a-f]\{32\}\)".*/\1/p' "$CLIENT_TRACE" | head -n 1)
+[ -n "$CLIENT_TID" ] || fail "client trace carries no trace_id"
+
+# --- 3c. metrics federation + SLO burn rates via cluster_metrics ---
+# let at least one post-traffic probe pass scrape the backends
+sleep 0.5
+"$TOOL" request -s "$ROUTER" '{"v":1,"op":"cluster_metrics"}' > "$WORK/cluster.json" 2>/dev/null \
+    || fail "cluster_metrics request failed"
+grep -q 'backend=' "$WORK/cluster.json" \
+    || fail "cluster_metrics carries no per-backend-labelled families"
+grep -q 'nbti_fleet_request_latency_seconds' "$WORK/cluster.json" \
+    || fail "cluster_metrics carries no fleet-merged latency histogram"
+grep -q 'nbti_fleet_probe_rtt_seconds' "$WORK/cluster.json" \
+    || fail "cluster_metrics carries no probe RTT gauges"
+grep -q 'nbti_slo_burn_rate' "$WORK/cluster.json" \
+    || fail "cluster_metrics carries no SLO burn rates"
+
+# probe RTT percentiles must also show up in the router's stats
+"$TOOL" request -s "$ROUTER" '{"v":1,"op":"stats"}' > "$WORK/stats.json" 2>/dev/null \
+    || fail "router stats request failed"
+grep -q '"probe_rtt"' "$WORK/stats.json" || fail "router stats carry no probe_rtt block"
+grep -q '"slo"' "$WORK/stats.json" || fail "router stats carry no slo block"
+
+# --- 3d. access log: routing fields on every record ---
+[ -s "$ACCESS_LOG" ] || fail "router wrote no access log"
+grep -q '"backend":' "$ACCESS_LOG" || fail "access log has no backend field"
+grep -q '"failover_count":' "$ACCESS_LOG" || fail "access log has no failover_count field"
+grep -q '"coalesced":' "$ACCESS_LOG" || fail "access log has no coalesced field"
+grep -q '"coalesced":true' "$ACCESS_LOG" || fail "access log never recorded a coalesced request"
+awk '{ if ($0 !~ /"failover_count":/) exit 1 }' "$ACCESS_LOG" \
+    || fail "an access-log record is missing failover_count"
+
 # --- 4. byte-identity vs a single-backend run ---
 "$TOOL" request -s "$ROUTER" - --retries 8 < "$REQS" > "$WORK/rerun.out" 2>/dev/null \
     || fail "full re-run through the healed fleet failed"
@@ -150,11 +215,33 @@ cmp -s "$WORK/rerun.norm" "$WORK/direct.norm" \
     || fail "routed answers differ from the single-backend run"
 
 # --- 5. graceful shutdown end to end ---
+# The router stops first: its shutdown drains every backend's span ring
+# (the backends are still serving) and writes the merged fleet trace.
 kill -TERM "$ROUTER_PID"
 wait "$ROUTER_PID" || fail "router exited non-zero"
+[ -s "$FLEET_TRACE" ] || fail "router wrote no merged fleet trace at shutdown"
 for pid in "$B1_PID" "$B2_PID" "$B3_PID" "$SINGLE_PID"; do
     kill -TERM "$pid"
     wait "$pid" || fail "a backend exited non-zero on SIGTERM drain"
 done
 
-echo "fleet-smoke: OK (coalesced=$COALESCED failovers=$FAILOVERS handoff_keys=$HANDOFF_KEYS; 30/30 ok through a mid-batch kill; byte-identical to single backend)"
+# --- 6. one flame graph of the whole fleet ---
+# Stitch the client's own trace onto the router+backends merge and
+# validate the result; the client's trace id must appear on the fleet
+# side (propagated client -> router -> backend), and the mid-batch kill
+# must be visible as a failover hop (a forward attempt beyond the
+# first owner).
+grep -q "$CLIENT_TID" "$FLEET_TRACE" \
+    || fail "client trace id $CLIENT_TID did not propagate into the fleet trace"
+grep -q 'fleet.forward' "$FLEET_TRACE" || fail "no forward spans in the fleet trace"
+grep -q '"attempt":1' "$FLEET_TRACE" \
+    || fail "no failover hop (attempt > 0) recorded in the fleet trace"
+MERGED="$WORK/request_flame.json"
+"$TOOL" trace --merge "$MERGED" "$CLIENT_TRACE" "$FLEET_TRACE" > "$WORK/merge.out" 2>&1 \
+    || fail "trace --merge failed: $(cat "$WORK/merge.out")"
+"$TOOL" trace "$MERGED" > "$WORK/validate.out" 2>&1 \
+    || fail "merged trace does not validate: $(cat "$WORK/validate.out")"
+grep -q 'client' "$WORK/validate.out" || fail "merged trace lost the client process lane"
+grep -q 'router' "$WORK/validate.out" || fail "merged trace lost the router process lane"
+
+echo "fleet-smoke: OK (coalesced=$COALESCED failovers=$FAILOVERS handoff_keys=$HANDOFF_KEYS; 30/30 ok through a mid-batch kill; byte-identical to single backend; merged trace + federation + SLO asserted)"

@@ -65,6 +65,7 @@ let analyze_line ?(circuit = "c17") years =
        {
          id = None;
          timeout_ms = None;
+         trace = None;
          request =
            Single
              (Analyze
@@ -393,6 +394,222 @@ let test_router_coalesces_identical_requests () =
     (result_member "cached" third = Server.Json.Bool true);
   stop_backend b
 
+(* --- distributed tracing, access log, federation, SLO --- *)
+
+let traced_analyze_line ~trace_id ?parent years =
+  let open Server.Protocol in
+  json_str
+    (json_of_envelope
+       {
+         id = None;
+         timeout_ms = None;
+         trace = Some { Obs.Ctx.trace_id; parent_span = parent };
+         request =
+           Single
+             (Analyze
+                {
+                  circuit = Named "c17";
+                  flow = { default_flow_spec with years };
+                  standby = Worst;
+                });
+       })
+
+let with_collector f =
+  let c = Obs.Trace.create () in
+  Obs.Trace.install c;
+  Fun.protect ~finally:Obs.Trace.uninstall (fun () -> f c)
+
+let spans_named c name = List.filter (fun s -> s.Obs.Trace.name = name) (Obs.Trace.spans c)
+
+let test_trace_propagates_through_fleet () =
+  (* Router and backend live in one process, so one installed collector
+     sees both sides: the client's trace id must ride the envelope
+     through the router onto the backend, and the backend's request
+     span must parent onto the exact forward attempt that reached it. *)
+  let b = start_backend () in
+  let router = Fleet.Router.create [ endpoint_of b ] in
+  with_collector @@ fun c ->
+  let tid = Obs.Trace.new_trace_id () in
+  let response =
+    Fleet.Router.handle_line router (traced_analyze_line ~trace_id:tid ~parent:"00c0ffee00c0ffee" 2.5)
+  in
+  Alcotest.(check bool) "traced request ok" true (response_ok response);
+  (match spans_named c "fleet.forward" with
+  | [ fwd ] ->
+    Alcotest.(check (option string)) "forward span joins the client trace" (Some tid)
+      fwd.Obs.Trace.trace_id;
+    (* the backend's server-side request span parents onto that attempt *)
+    let backend_request =
+      List.find_opt
+        (fun s -> s.Obs.Trace.name = "request" && s.Obs.Trace.cat = "server")
+        (Obs.Trace.spans c)
+    in
+    (match backend_request with
+    | Some s ->
+      Alcotest.(check (option string)) "backend span joins the client trace" (Some tid)
+        s.Obs.Trace.trace_id;
+      Alcotest.(check bool) "backend span parents onto the forward attempt" true
+        (s.Obs.Trace.parent = Obs.Trace.Remote (Obs.Trace.span_hex fwd.Obs.Trace.seq))
+    | None -> Alcotest.fail "no backend request span recorded")
+  | l -> Alcotest.failf "expected 1 forward span, got %d" (List.length l));
+  (* the router's request root parents onto the span id the client sent *)
+  (match
+     List.find_opt
+       (fun s -> s.Obs.Trace.name = "request" && s.Obs.Trace.cat = "fleet")
+       (Obs.Trace.spans c)
+   with
+  | Some s ->
+    Alcotest.(check (option string)) "router span joins the client trace" (Some tid)
+      s.Obs.Trace.trace_id;
+    Alcotest.(check bool) "router root parents onto the client span" true
+      (s.Obs.Trace.parent = Obs.Trace.Remote "00c0ffee00c0ffee")
+  | None -> Alcotest.fail "no router request span recorded");
+  stop_backend b
+
+let test_trace_survives_failover () =
+  let b0 = start_backend () in
+  let b1 = start_backend () in
+  let router = Fleet.Router.create [ endpoint_of b0; endpoint_of b1 ] in
+  let y = years_owned_by (Fleet.Router.ring router) (name_of b0) in
+  stop_backend b0;
+  with_collector @@ fun c ->
+  let tid = Obs.Trace.new_trace_id () in
+  let response = Fleet.Router.handle_line router (traced_analyze_line ~trace_id:tid y) in
+  Alcotest.(check bool) "failover answer ok" true (response_ok response);
+  (match spans_named c "fleet.forward" with
+  | [ dead; live ] ->
+    Alcotest.(check bool) "dead-owner attempt marked failed" false dead.Obs.Trace.ok;
+    Alcotest.(check bool) "failover attempt succeeded" true live.Obs.Trace.ok;
+    Alcotest.(check (option string)) "dead attempt keeps the trace" (Some tid)
+      dead.Obs.Trace.trace_id;
+    Alcotest.(check (option string)) "failover hop keeps the trace" (Some tid)
+      live.Obs.Trace.trace_id
+  | l -> Alcotest.failf "expected 2 forward spans (owner + failover), got %d" (List.length l));
+  stop_backend b1
+
+let test_trace_links_coalesced_followers () =
+  let faults =
+    match Server.Faults.parse "compute=delay:400@1" with
+    | Ok f -> f
+    | Error m -> Alcotest.fail m
+  in
+  let b = start_backend ~faults () in
+  let router = Fleet.Router.create [ endpoint_of b ] in
+  with_collector @@ fun c ->
+  let tid_leader = Obs.Trace.new_trace_id () in
+  let tid_follower = Obs.Trace.new_trace_id () in
+  let responses = Array.make 2 "" in
+  let threads =
+    [|
+      Thread.create
+        (fun () ->
+          responses.(0) <- Fleet.Router.handle_line router (traced_analyze_line ~trace_id:tid_leader 6.5))
+        ();
+      Thread.create
+        (fun () ->
+          Unix.sleepf 0.1;
+          responses.(1) <-
+            Fleet.Router.handle_line router (traced_analyze_line ~trace_id:tid_follower 6.5))
+        ();
+    |]
+  in
+  Array.iter Thread.join threads;
+  Alcotest.(check bool) "both ok" true (Array.for_all response_ok responses);
+  Alcotest.(check bool) "coalescing recorded" true (counter router "coalesced" >= 1);
+  (* The follower rode the leader's flight under a different trace: an
+     instant marker in the follower's trace records the leader's id so
+     the two traces are linkable. *)
+  (match spans_named c "fleet.coalesced" with
+  | [ marker ] ->
+    Alcotest.(check (option string)) "marker belongs to the follower trace"
+      (Some tid_follower) marker.Obs.Trace.trace_id;
+    Alcotest.(check bool) "marker names the leader trace" true
+      (List.assoc_opt "leader_trace_id" marker.Obs.Trace.args
+      = Some (Obs.Fields.Str tid_leader))
+  | l -> Alcotest.failf "expected 1 coalesced marker, got %d" (List.length l));
+  stop_backend b
+
+let test_access_log_records_routing () =
+  let b = start_backend () in
+  let router = Fleet.Router.create [ endpoint_of b ] in
+  let path = Filename.temp_file "fleet_access" ".jsonl" in
+  let oc = open_out path in
+  Fleet.Router.set_access_log router oc;
+  Alcotest.(check bool) "request ok" true
+    (response_ok (Fleet.Router.handle_line router (analyze_line 4.25)));
+  Alcotest.(check bool) "stats ok" true
+    (response_ok (Fleet.Router.handle_line router {|{"v":1,"op":"stats"}|}));
+  close_out oc;
+  let ic = open_in path in
+  let lines = In_channel.input_lines ic in
+  close_in ic;
+  Sys.remove path;
+  (match lines with
+  | [ forwarded; local ] ->
+    let j = Server.Json.of_string forwarded in
+    Alcotest.(check bool) "endpoint recorded" true
+      (Server.Json.member_opt "endpoint" j = Some (Server.Json.String "analyze"));
+    Alcotest.(check bool) "serving backend recorded" true
+      (Server.Json.member_opt "backend" j = Some (Server.Json.String (name_of b)));
+    Alcotest.(check bool) "failover_count recorded" true
+      (Server.Json.member_opt "failover_count" j = Some (Server.Json.Int 0));
+    Alcotest.(check bool) "coalesced recorded" true
+      (Server.Json.member_opt "coalesced" j = Some (Server.Json.Bool false));
+    (* locally-answered ops carry an explicit null backend (member_opt
+       collapses present-null to absent, so inspect the assoc itself) *)
+    let jl = Server.Json.of_string local in
+    Alcotest.(check bool) "local op has null backend" true
+      (List.assoc_opt "backend" (Server.Json.to_assoc jl) = Some Server.Json.Null)
+  | l -> Alcotest.failf "expected 2 access records, got %d" (List.length l));
+  stop_backend b
+
+let test_cluster_metrics_federation () =
+  let slo =
+    match Obs.Slo.parse_spec "analyze=60s:99" with
+    | Ok objectives -> Obs.Slo.create objectives
+    | Error m -> Alcotest.fail m
+  in
+  let b = start_backend () in
+  let router = Fleet.Router.create ~slo [ endpoint_of b ] in
+  (* warm the backend with traffic, then let a probe pass scrape it *)
+  Alcotest.(check bool) "request ok" true
+    (response_ok (Fleet.Router.handle_line router (analyze_line 3.25)));
+  force_probe router;
+  let response = Fleet.Router.handle_line router {|{"v":1,"op":"cluster_metrics"}|} in
+  Alcotest.(check bool) "cluster_metrics ok" true (response_ok response);
+  Alcotest.(check bool) "every backend scraped" true
+    (result_member "backends_scraped" response = Server.Json.Int 1);
+  let text =
+    Server.Json.to_string_exn (result_member "prometheus" response)
+  in
+  let contains sub =
+    let n = String.length text and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "per-backend relabelled family" true
+    (contains (Printf.sprintf "nbti_requests_total{backend=\"%s\"" (name_of b)));
+  Alcotest.(check bool) "fleet-merged latency histogram" true
+    (contains "nbti_fleet_request_latency_seconds_bucket{endpoint=\"analyze\"");
+  Alcotest.(check bool) "probe RTT gauge" true
+    (contains (Printf.sprintf "nbti_fleet_probe_rtt_seconds{backend=\"%s\"" (name_of b)));
+  Alcotest.(check bool) "SLO burn rate exported" true
+    (contains "nbti_slo_burn_rate{op=\"analyze\",window=\"5m\"}");
+  (* burn rates also surface in the router's stats *)
+  let stats = Fleet.Router.handle_line router {|{"v":1,"op":"stats"}|} in
+  (match result_member "slo" stats with
+  | Server.Json.List [ Server.Json.Assoc o ] ->
+    Alcotest.(check bool) "stats slo names the op" true
+      (List.assoc_opt "op" o = Some (Server.Json.String "analyze"))
+  | _ -> Alcotest.fail "router stats carry no slo block");
+  (* probe RTT percentiles appear on the backend's stats entry *)
+  (match result_member "backends" stats with
+  | Server.Json.List [ backend_json ] ->
+    Alcotest.(check bool) "probe_rtt block present" true
+      (Server.Json.member_opt "probe_rtt" backend_json <> None)
+  | _ -> Alcotest.fail "router stats carry no backends list");
+  stop_backend b
+
 (* --- structured health and graceful drain --- *)
 
 let test_health_states_and_drain () =
@@ -533,6 +750,18 @@ let () =
             test_router_coalesces_identical_requests;
           Alcotest.test_case "rejects backend-local cache ops" `Quick
             test_router_rejects_cache_ops;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "trace id propagates client -> router -> backend" `Quick
+            test_trace_propagates_through_fleet;
+          Alcotest.test_case "trace survives failover" `Quick test_trace_survives_failover;
+          Alcotest.test_case "coalesced follower links the leader trace" `Quick
+            test_trace_links_coalesced_followers;
+          Alcotest.test_case "access log records routing fields" `Quick
+            test_access_log_records_routing;
+          Alcotest.test_case "cluster_metrics federates backends + SLO" `Quick
+            test_cluster_metrics_federation;
         ] );
       ( "service",
         [

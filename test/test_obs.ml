@@ -270,6 +270,242 @@ let test_flame_summary () =
   check_contains "parent line" flame "a";
   check_contains "child line counts calls" flame "a;b"
 
+(* --- Trace: distributed propagation --- *)
+
+let test_trace_ids_and_propagation () =
+  let id1 = Obs.Trace.new_trace_id () and id2 = Obs.Trace.new_trace_id () in
+  Alcotest.(check int) "trace id is 32 hex chars" 32 (String.length id1);
+  Alcotest.(check bool) "trace ids are hex" true
+    (String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) id1);
+  Alcotest.(check bool) "trace ids distinct" true (id1 <> id2);
+  Alcotest.(check int) "span hex is 16 chars" 16 (String.length (Obs.Trace.span_hex 7));
+  (* No context installed: nothing to propagate. *)
+  Alcotest.(check bool) "no context, no propagation" true
+    (Obs.Trace.propagation_context () = None);
+  with_collector @@ fun c ->
+  let remote = "00c0ffee00c0ffee" in
+  let inner_prop = ref None in
+  Obs.Ctx.with_trace
+    { Obs.Ctx.trace_id = id1; parent_span = Some remote }
+    (fun () ->
+      Obs.Trace.with_span "outer" (fun () ->
+          inner_prop := Obs.Trace.propagation_context ();
+          Obs.Trace.with_span "inner" (fun () -> ())));
+  (* The outgoing context points at the innermost open span. *)
+  (match !inner_prop with
+  | Some tr ->
+    Alcotest.(check string) "propagated trace id" id1 tr.Obs.Ctx.trace_id;
+    (match tr.Obs.Ctx.parent_span with
+    | Some p -> Alcotest.(check int) "parent is a span hex" 16 (String.length p)
+    | None -> Alcotest.fail "propagation lost the open span")
+  | None -> Alcotest.fail "no propagation context under an installed trace");
+  match Obs.Trace.spans c with
+  | [ inner; outer ] ->
+    Alcotest.(check (option string)) "outer carries the trace id" (Some id1)
+      outer.Obs.Trace.trace_id;
+    Alcotest.(check (option string)) "inner carries the trace id" (Some id1)
+      inner.Obs.Trace.trace_id;
+    (* Root spans parent onto the remote span from the wire; nested
+       spans parent locally. *)
+    Alcotest.(check bool) "outer parents onto the remote span" true
+      (outer.Obs.Trace.parent = Obs.Trace.Remote remote);
+    Alcotest.(check bool) "inner parents onto outer" true
+      (inner.Obs.Trace.parent = Obs.Trace.Span outer.Obs.Trace.seq);
+    (match !inner_prop with
+    | Some { Obs.Ctx.parent_span = Some p; _ } ->
+      Alcotest.(check string) "propagation pointed at outer"
+        (Obs.Trace.span_hex outer.Obs.Trace.seq) p
+    | _ -> ())
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_trace_drop_counter_sample () =
+  with_collector ~capacity:1 @@ fun _ ->
+  Obs.Trace.with_span "a" (fun () -> ());
+  Obs.Trace.with_span "b" (fun () -> ());
+  match Obs.Trace.registry_samples () with
+  | [ s ] ->
+    Alcotest.(check string) "drop counter family" "nbti_trace_dropped_spans_total"
+      s.Obs.Registry.name;
+    Alcotest.(check bool) "one overwrite counted" true (s.Obs.Registry.value = Obs.Registry.Counter 1.0)
+  | l -> Alcotest.failf "expected 1 sample, got %d" (List.length l)
+
+(* --- Registry: render / of_prometheus round trip --- *)
+
+let test_prometheus_parse_roundtrip () =
+  let samples =
+    [
+      {
+        Obs.Registry.name = "nbti_requests_total";
+        help = "Requests.";
+        labels = [ ("endpoint", "analyze") ];
+        value = Obs.Registry.Counter 12.0;
+      };
+      {
+        Obs.Registry.name = "nbti_pending_requests";
+        help = "Pending.";
+        labels = [];
+        value = Obs.Registry.Gauge 3.0;
+      };
+      {
+        Obs.Registry.name = "nbti_request_latency_seconds";
+        help = "Latency.";
+        labels = [ ("endpoint", "analyze") ];
+        value =
+          Obs.Registry.Histogram
+            { upper_bounds = [| 0.1; 1.0 |]; counts = [| 1; 2; 3 |]; sum = 4.5; count = 6 };
+      };
+    ]
+  in
+  let parsed = Obs.Registry.of_prometheus (Obs.Registry.render samples) in
+  Alcotest.(check int) "all families parsed back" 3 (List.length parsed);
+  let find name = List.find (fun s -> s.Obs.Registry.name = name) parsed in
+  (match (find "nbti_requests_total").Obs.Registry.value with
+  | Obs.Registry.Counter v -> Alcotest.(check (float 1e-9)) "counter value" 12.0 v
+  | _ -> Alcotest.fail "counter type lost");
+  Alcotest.(check (list (pair string string))) "labels survive"
+    [ ("endpoint", "analyze") ]
+    (find "nbti_requests_total").Obs.Registry.labels;
+  (match (find "nbti_request_latency_seconds").Obs.Registry.value with
+  | Obs.Registry.Histogram { upper_bounds; counts; sum; count } ->
+    (* of_prometheus must de-cumulate the rendered buckets back to the
+       original per-bucket counts. *)
+    Alcotest.(check (array (float 1e-9))) "bounds" [| 0.1; 1.0 |] upper_bounds;
+    Alcotest.(check (array int)) "per-bucket counts" [| 1; 2; 3 |] counts;
+    Alcotest.(check (float 1e-9)) "sum" 4.5 sum;
+    Alcotest.(check int) "count" 6 count
+  | _ -> Alcotest.fail "histogram type lost");
+  (* render ∘ of_prometheus ∘ render is a fixpoint *)
+  Alcotest.(check string) "second round trip is a fixpoint"
+    (Obs.Registry.render samples)
+    (Obs.Registry.render parsed)
+
+(* --- Slo --- *)
+
+let test_slo_parse_spec () =
+  (match Obs.Slo.parse_spec "analyze=50ms:99,calibrate=2s:99.9" with
+  | Ok [ a; c ] ->
+    Alcotest.(check string) "op" "analyze" a.Obs.Slo.op;
+    Alcotest.(check (float 1e-9)) "50ms threshold" 0.05 a.Obs.Slo.threshold_s;
+    Alcotest.(check (float 1e-9)) "99% target" 0.99 a.Obs.Slo.target;
+    Alcotest.(check (float 1e-9)) "2s threshold" 2.0 c.Obs.Slo.threshold_s;
+    Alcotest.(check (float 1e-9)) "99.9% target" 0.999 c.Obs.Slo.target
+  | Ok l -> Alcotest.failf "expected 2 objectives, got %d" (List.length l)
+  | Error m -> Alcotest.fail m);
+  (match Obs.Slo.parse_spec "analyze=250us:90" with
+  | Ok [ a ] -> Alcotest.(check (float 1e-12)) "us threshold" 2.5e-4 a.Obs.Slo.threshold_s
+  | _ -> Alcotest.fail "us spec should parse");
+  List.iter
+    (fun bad ->
+      match Obs.Slo.parse_spec bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "spec %S should be rejected" bad)
+    [ "analyze"; "analyze=50ms"; "analyze=50ms:0"; "analyze=50ms:100"; "analyze=-1s:99"; "=50ms:99" ]
+
+let test_slo_burn_rates () =
+  let obj = { Obs.Slo.op = "analyze"; threshold_s = 0.05; target = 0.99 } in
+  let slo = Obs.Slo.create ~now:1000.0 [ obj ] in
+  (* 100 requests, 2 bad (one error, one too slow): bad fraction 0.02
+     against a 0.01 budget = burn rate 2.0 on both windows. *)
+  for i = 1 to 98 do
+    Obs.Slo.observe ~now:(1000.0 +. float_of_int i) slo ~op:"analyze" ~ok:true ~elapsed_s:0.01
+  done;
+  Obs.Slo.observe ~now:1099.0 slo ~op:"analyze" ~ok:false ~elapsed_s:0.01;
+  Obs.Slo.observe ~now:1099.5 slo ~op:"analyze" ~ok:true ~elapsed_s:0.2;
+  (* an op with no objective is ignored *)
+  Obs.Slo.observe ~now:1099.5 slo ~op:"stats" ~ok:false ~elapsed_s:9.9;
+  (match Obs.Slo.status ~now:1100.0 slo with
+  | [ { Obs.Slo.objective; windows = [ w5; w1h ] } ] ->
+    Alcotest.(check string) "objective op" "analyze" objective.Obs.Slo.op;
+    Alcotest.(check string) "5m label" "5m" w5.Obs.Slo.label;
+    Alcotest.(check int) "5m total" 100 w5.Obs.Slo.total;
+    Alcotest.(check int) "5m bad" 2 w5.Obs.Slo.bad;
+    Alcotest.(check (float 1e-9)) "5m burn" 2.0 w5.Obs.Slo.burn_rate;
+    Alcotest.(check string) "1h label" "1h" w1h.Obs.Slo.label;
+    Alcotest.(check (float 1e-9)) "1h burn" 2.0 w1h.Obs.Slo.burn_rate
+  | l -> Alcotest.failf "expected 1 status with 2 windows, got %d" (List.length l));
+  let samples = Obs.Slo.registry_samples ~now:1100.0 slo in
+  let burn =
+    List.find_opt
+      (fun s ->
+        s.Obs.Registry.name = "nbti_slo_burn_rate"
+        && List.mem ("op", "analyze") s.Obs.Registry.labels
+        && List.mem ("window", "5m") s.Obs.Registry.labels)
+      samples
+  in
+  (match burn with
+  | Some { Obs.Registry.value = Obs.Registry.Gauge v; _ } ->
+    Alcotest.(check (float 1e-9)) "burn rate gauge" 2.0 v
+  | _ -> Alcotest.fail "nbti_slo_burn_rate{op,window} sample missing");
+  (* 10 minutes later the observations age out of the 5m window but
+     stay in the hour (the clock only moves forward). *)
+  match Obs.Slo.status ~now:1700.0 slo with
+  | [ { Obs.Slo.windows = [ w5; w1h ]; _ } ] ->
+    Alcotest.(check int) "5m window drained" 0 w5.Obs.Slo.total;
+    Alcotest.(check (float 1e-9)) "empty window burns nothing" 0.0 w5.Obs.Slo.burn_rate;
+    Alcotest.(check int) "1h window retains" 100 w1h.Obs.Slo.total
+  | _ -> Alcotest.fail "unexpected status shape"
+
+(* --- Tracefile: validate + multi-process merge --- *)
+
+let test_tracefile_merge () =
+  let file_a =
+    Server.Json.of_string
+      {|{"traceEvents":[
+          {"name":"cli.request","ph":"X","pid":100,"tid":0,"ts":5.0,"dur":2.0,
+           "args":{"trace_id":"t1"}}],
+         "t0_us":1000.0,"droppedSpans":2}|}
+  in
+  let file_b =
+    Server.Json.of_string
+      {|{"traceEvents":[
+          {"name":"process_name","ph":"M","pid":100,"tid":0,"args":{"name":"router"}},
+          {"name":"request","ph":"X","pid":100,"tid":0,"ts":1.0,"dur":3.0,
+           "args":{"trace_id":"t1"}}],
+         "t0_us":1500.0,"droppedSpans":1}|}
+  in
+  let merged = Server.Tracefile.merge [ (Some "client", file_a); (None, file_b) ] in
+  (match Server.Tracefile.validate merged with
+  | Error m -> Alcotest.fail m
+  | Ok s ->
+    Alcotest.(check int) "spans survive" 2 s.Server.Tracefile.spans;
+    Alcotest.(check int) "dropped summed" 3 s.Server.Tracefile.dropped;
+    (* Both files used pid 100; the merge must keep them apart, carrying
+       file B's own process_name and synthesizing file A's fallback. *)
+    Alcotest.(check (list (pair int string))) "processes named and disambiguated"
+      [ (1, "client"); (2, "router") ]
+      (List.sort compare s.Server.Tracefile.processes));
+  (match Server.Tracefile.parse merged with
+  | Error m -> Alcotest.fail m
+  | Ok p ->
+    Alcotest.(check (list string)) "one shared trace id" [ "t1" ] (Server.Tracefile.trace_ids p);
+    Alcotest.(check (float 1e-9)) "merged origin is the earliest input" 1000.0
+      p.Server.Tracefile.t0_us;
+    (* File B starts 500 us after file A's origin: its event must be
+       rebased onto the shared timeline. *)
+    let ts_of name =
+      List.find_map
+        (fun e ->
+          match (Server.Json.member_opt "name" e, Server.Json.member_opt "ts" e) with
+          | Some (Server.Json.String n), Some ts when n = name ->
+            Some (Server.Json.to_float ts)
+          | _ -> None)
+        p.Server.Tracefile.events
+    in
+    Alcotest.(check (option (float 1e-9))) "file A keeps its ts" (Some 5.0)
+      (ts_of "cli.request");
+    Alcotest.(check (option (float 1e-9))) "file B rebased by +500" (Some 501.0)
+      (ts_of "request"));
+  (* validation failures are structural, not crashes *)
+  (match Server.Tracefile.validate (Server.Json.Assoc []) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "object without traceEvents should not validate");
+  match
+    Server.Tracefile.validate
+      (Server.Json.Assoc [ ("traceEvents", Server.Json.List [ Server.Json.Int 3 ]) ])
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-object event should not validate"
+
 (* --- Log --- *)
 
 let with_log_capture f =
@@ -365,6 +601,8 @@ let () =
           Alcotest.test_case "histogram + family grouping" `Quick
             test_prometheus_histogram_and_grouping;
           Alcotest.test_case "metrics round-trip" `Quick test_prometheus_roundtrip_from_metrics;
+          Alcotest.test_case "render/of_prometheus round trip" `Quick
+            test_prometheus_parse_roundtrip;
         ] );
       ( "trace",
         [
@@ -373,6 +611,17 @@ let () =
           Alcotest.test_case "exceptions + disabled" `Quick test_trace_exception_and_disabled;
           Alcotest.test_case "chrome export" `Quick test_trace_chrome_json;
           Alcotest.test_case "flame summary" `Quick test_flame_summary;
+          Alcotest.test_case "ids, propagation, remote parents" `Quick
+            test_trace_ids_and_propagation;
+          Alcotest.test_case "drop counter registry sample" `Quick
+            test_trace_drop_counter_sample;
+        ] );
+      ( "tracefile",
+        [ Alcotest.test_case "multi-process merge" `Quick test_tracefile_merge ] );
+      ( "slo",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_slo_parse_spec;
+          Alcotest.test_case "burn-rate windows" `Quick test_slo_burn_rates;
         ] );
       ( "log",
         [

@@ -188,19 +188,21 @@ let test_protocol_roundtrip () =
   in
   List.iter
     (fun job ->
-      let e = { id = Some "req-1"; timeout_ms = None; request = Single job } in
+      let e = { id = Some "req-1"; timeout_ms = None; trace = None; request = Single job } in
       let json = Server.Json.of_string (Server.Json.to_string (json_of_envelope e)) in
       match envelope_of_json json with
       | Ok e' -> Alcotest.(check bool) "roundtrip" true (e = e')
       | Error { message = m; _ } -> Alcotest.fail m)
     jobs;
-  let batch = { id = None; timeout_ms = None; request = Batch jobs } in
+  let batch = { id = None; timeout_ms = None; trace = None; request = Batch jobs } in
   (match envelope_of_json (json_of_envelope batch) with
   | Ok b -> Alcotest.(check bool) "batch roundtrip" true (b = batch)
   | Error { message = m; _ } -> Alcotest.fail m);
   List.iter
     (fun r ->
-      match envelope_of_json (json_of_envelope { id = None; timeout_ms = None; request = r }) with
+      match
+        envelope_of_json (json_of_envelope { id = None; timeout_ms = None; trace = None; request = r })
+      with
       | Ok e -> Alcotest.(check bool) "introspective roundtrip" true (e.request = r)
       | Error { message = m; _ } -> Alcotest.fail m)
     [ Health; Stats ]
@@ -253,6 +255,7 @@ let analyze_c17_request ?id () =
     {
       id;
       timeout_ms = None;
+      trace = None;
       request = Single (Analyze { circuit = Named "c17"; flow = default_flow_spec; standby = Worst });
     }
 
@@ -320,7 +323,12 @@ let test_service_prepared_shared_across_years () =
   let ask years =
     let flow = { default_flow_spec with years } in
     let e =
-      { id = None; timeout_ms = None; request = Single (Analyze { circuit = Named "c17"; flow; standby = Worst }) }
+      {
+        id = None;
+        timeout_ms = None;
+        trace = None;
+        request = Single (Analyze { circuit = Named "c17"; flow; standby = Worst });
+      }
     in
     ignore (result_of_response (Server.Service.handle t (json_of_envelope e)))
   in
